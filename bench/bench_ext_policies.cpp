@@ -1,0 +1,29 @@
+// Extension bench: the paper's four response policies plus the classic
+// active-learning baselines adapted to pairs (query-by-committee and
+// density-weighted uncertainty), on the Figure 1 and Figure 3
+// configurations.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace et;
+  for (bool informed : {true, false}) {
+    ConvergenceConfig config;
+    config.dataset = "omdb";
+    config.rows = 300;
+    config.violation_degree = 0.10;
+    config.trainer_prior = {PriorKind::kRandom, 0.9};
+    config.learner_prior = informed
+                               ? PriorSpec{PriorKind::kDataEstimate, 0.9}
+                               : PriorSpec{PriorKind::kUniform, 0.9};
+    config.repetitions = 3;
+    config.policies = ExtendedPolicyKinds();
+    auto result = RunConvergenceExperiment(config);
+    ET_CHECK_OK(result.status());
+    bench::PrintSeriesTable(
+        std::string("Extended policies: MAE, OMDB ~10%, learner prior=") +
+            (informed ? "Data-estimate" : "Uniform-0.9"),
+        *result);
+  }
+  return 0;
+}

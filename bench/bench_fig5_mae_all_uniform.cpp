@@ -1,0 +1,28 @@
+// Figure 5: MAE between trainer and learner models across all four
+// datasets, ~20% violations, trainer prior = Random, learner prior =
+// Uniform-0.9 (uninformed learner).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace et;
+  for (const std::string& dataset :
+       {std::string("omdb"), std::string("airport"),
+        std::string("hospital"), std::string("tax")}) {
+    ConvergenceConfig config;
+    config.dataset = dataset;
+    config.rows = 300;
+    config.violation_degree = 0.20;
+    config.trainer_prior = {PriorKind::kRandom, 0.9};
+    config.learner_prior = {PriorKind::kUniform, 0.9};
+    config.repetitions = 3;
+    auto result = RunConvergenceExperiment(config);
+    ET_CHECK_OK(result.status());
+    bench::PrintSeriesTable("Figure 5 (" + dataset +
+                                "): MAE, ~20% violations, "
+                                "learner prior=Uniform-0.9",
+                            *result);
+    bench::MaybeWriteCsv("fig5_mae_" + dataset, *result);
+  }
+  return 0;
+}

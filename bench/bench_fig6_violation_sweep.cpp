@@ -1,0 +1,31 @@
+// Figure 6: MAE between trainer and learner models on OMDB at violation
+// degrees ~5%, ~15%, ~25%; trainer prior = Random, learner prior =
+// Uniform-0.9.
+//
+// Expected shape: with disagreeing priors, higher violation degrees
+// slow every method down.
+
+#include "bench_util.h"
+
+int main() {
+  using namespace et;
+  for (double degree : {0.05, 0.15, 0.25}) {
+    ConvergenceConfig config;
+    config.dataset = "omdb";
+    config.rows = 400;
+    config.violation_degree = degree;
+    config.trainer_prior = {PriorKind::kRandom, 0.9};
+    config.learner_prior = {PriorKind::kUniform, 0.9};
+    config.repetitions = 3;
+    auto result = RunConvergenceExperiment(config);
+    ET_CHECK_OK(result.status());
+    bench::PrintSeriesTable(
+        "Figure 6: MAE, OMDB, degree ~" +
+            TableReporter::Num(100.0 * degree, 0) +
+            "%, learner prior=Uniform-0.9",
+        *result);
+    bench::MaybeWriteCsv(
+        "fig6_mae_deg" + TableReporter::Num(100.0 * degree, 0), *result);
+  }
+  return 0;
+}

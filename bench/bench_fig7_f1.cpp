@@ -1,0 +1,32 @@
+// Figure 7: F1 score of the learner's error detection on a 30% held-out
+// test set, per iteration; OMDB, Hospital, Tax; ~20% violations; both
+// priors Random.
+//
+// Expected shape: the stochastic methods match or beat US and Random;
+// Random scores high recall but low precision; US suffers low recall
+// (biased to early, possibly wrong annotations).
+
+#include "bench_util.h"
+
+int main() {
+  using namespace et;
+  for (const std::string& dataset :
+       {std::string("omdb"), std::string("hospital"), std::string("tax")}) {
+    ConvergenceConfig config;
+    config.dataset = dataset;
+    config.rows = 300;
+    config.violation_degree = 0.20;
+    config.trainer_prior = {PriorKind::kRandom, 0.9};
+    config.learner_prior = {PriorKind::kRandom, 0.9};
+    config.repetitions = 3;
+    config.compute_f1 = true;
+    auto result = RunConvergenceExperiment(config);
+    ET_CHECK_OK(result.status());
+    bench::PrintSeriesTable("Figure 7 (" + dataset +
+                                "): held-out F1, ~20% violations, "
+                                "both priors Random",
+                            *result, /*use_f1=*/true);
+    bench::MaybeWriteCsv("fig7_f1_" + dataset, *result, /*use_f1=*/true);
+  }
+  return 0;
+}

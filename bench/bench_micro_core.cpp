@@ -1,0 +1,117 @@
+// Micro-benchmarks of the game layer: belief updates, pair prediction,
+// policy distributions, and whole-interaction throughput.
+
+#include <benchmark/benchmark.h>
+
+#include "belief/priors.h"
+#include "common/logging.h"
+#include "core/candidates.h"
+#include "core/game.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+
+namespace {
+
+using namespace et;
+
+struct Setup {
+  Relation rel;
+  std::shared_ptr<const HypothesisSpace> space;
+  std::vector<RowPair> pool;
+
+  static Setup Make(size_t rows) {
+    auto data = MakeOmdb(rows, 9);
+    ET_CHECK_OK(data.status());
+    Setup s;
+    s.rel = std::move(data->rel);
+    std::vector<FD> clean;
+    for (const auto& text : data->clean_fds) {
+      auto fd = ParseFD(text, s.rel.schema());
+      ET_CHECK_OK(fd.status());
+      clean.push_back(*fd);
+    }
+    ErrorGenerator gen(&s.rel, 10);
+    ET_CHECK_OK(gen.InjectToDegree(clean, 0.10));
+    auto capped = HypothesisSpace::BuildCapped(s.rel, 4, 38, clean);
+    ET_CHECK_OK(capped.status());
+    s.space =
+        std::make_shared<const HypothesisSpace>(std::move(*capped));
+    Rng rng(11);
+    auto pool =
+        BuildCandidatePairs(s.rel, *s.space, CandidateOptions{}, rng);
+    ET_CHECK_OK(pool.status());
+    s.pool = std::move(*pool);
+    return s;
+  }
+};
+
+void BM_UpdateFromObservation(benchmark::State& state) {
+  Setup s = Setup::Make(1000);
+  BeliefModel belief(s.space);
+  const std::vector<RowPair> pairs(s.pool.begin(),
+                                   s.pool.begin() + 5);
+  for (auto _ : state) {
+    UpdateFromObservation(&belief, s.rel, pairs);
+  }
+  state.SetItemsProcessed(state.iterations() * 5 * s.space->size());
+}
+BENCHMARK(BM_UpdateFromObservation);
+
+void BM_PredictPair(benchmark::State& state) {
+  Setup s = Setup::Make(1000);
+  BeliefModel belief(s.space);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        PredictPair(belief, s.rel, s.pool[i % s.pool.size()]));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PredictPair);
+
+void BM_PolicyDistribution(benchmark::State& state) {
+  Setup s = Setup::Make(1000);
+  BeliefModel belief(s.space);
+  const auto kind = static_cast<PolicyKind>(state.range(0));
+  auto policy = MakePolicy(kind);
+  std::vector<RowPair> candidates(
+      s.pool.begin(),
+      s.pool.begin() + std::min<size_t>(s.pool.size(), 1000));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        policy->Distribution(belief, s.rel, candidates));
+  }
+  state.SetLabel(PolicyKindToString(kind));
+  state.SetItemsProcessed(state.iterations() * candidates.size());
+}
+BENCHMARK(BM_PolicyDistribution)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_FullInteraction(benchmark::State& state) {
+  Setup s = Setup::Make(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Rng rng(12);
+    auto trainer_prior = RandomPrior(s.space, rng);
+    auto learner_prior = DataEstimatePrior(s.space, s.rel);
+    ET_CHECK_OK(trainer_prior.status());
+    ET_CHECK_OK(learner_prior.status());
+    Trainer trainer(std::move(*trainer_prior), TrainerOptions{}, 13);
+    Learner learner(std::move(*learner_prior),
+                    MakePolicy(PolicyKind::kStochasticUncertainty),
+                    s.pool, LearnerOptions{}, 14);
+    GameOptions options;
+    options.iterations = 10;
+    Game game(&s.rel, std::move(trainer), std::move(learner), options);
+    state.ResumeTiming();
+    auto result = game.Run();
+    ET_CHECK_OK(result.status());
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // interactions
+}
+BENCHMARK(BM_FullInteraction)->Arg(400)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// Micro-benchmarks of the FD engine substrate: partition construction,
+// g1 computation, violation enumeration, levelwise discovery, and
+// hypothesis-space construction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "data/datasets.h"
+#include "fd/discovery.h"
+#include "fd/g1.h"
+#include "fd/hypothesis_space.h"
+#include "fd/violations.h"
+
+namespace {
+
+using namespace et;
+
+Dataset MakeData(size_t rows) {
+  auto data = MakeOmdb(rows, 7);
+  ET_CHECK_OK(data.status());
+  return std::move(*data);
+}
+
+FD TitleYear(const Schema& schema) {
+  auto fd = ParseFD("title->year", schema);
+  ET_CHECK_OK(fd.status());
+  return *fd;
+}
+
+void BM_PartitionBuild(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const FD fd = TitleYear(data.rel.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partition::Build(data.rel, fd.lhs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionBuild)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PartitionBuildMultiColumn(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const AttrSet lhs = AttrSet::Of({0, 1, 2});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Partition::Build(data.rel, lhs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PartitionBuildMultiColumn)->Arg(1000)->Arg(10000);
+
+void BM_G1(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const FD fd = TitleYear(data.rel.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(G1(data.rel, fd));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_G1)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_CheckPair(benchmark::State& state) {
+  const Dataset data = MakeData(1000);
+  const FD fd = TitleYear(data.rel.schema());
+  RowId i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        CheckPair(data.rel, fd, i % 1000, (i * 7 + 1) % 1000));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CheckPair);
+
+void BM_ViolatingPairs(benchmark::State& state) {
+  Dataset data = MakeData(state.range(0));
+  const FD fd = TitleYear(data.rel.schema());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ViolatingPairs(data.rel, fd));
+  }
+}
+BENCHMARK(BM_ViolatingPairs)->Arg(1000)->Arg(10000);
+
+void BM_DiscoverFDs(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  DiscoveryOptions options;
+  options.max_lhs_size = 2;
+  for (auto _ : state) {
+    auto found = DiscoverFDs(data.rel, options);
+    ET_CHECK_OK(found.status());
+    benchmark::DoNotOptimize(found);
+  }
+}
+BENCHMARK(BM_DiscoverFDs)->Arg(200)->Arg(1000);
+
+void BM_BuildCappedSpace(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  for (auto _ : state) {
+    auto space = HypothesisSpace::BuildCapped(data.rel, 4, 38, {});
+    ET_CHECK_OK(space.status());
+    benchmark::DoNotOptimize(space);
+  }
+}
+BENCHMARK(BM_BuildCappedSpace)->Arg(200)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

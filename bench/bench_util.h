@@ -1,0 +1,105 @@
+// Shared helpers for the figure/table reproduction binaries: printing
+// MAE/F1 series the way the paper's figures plot them, and CSV dumps
+// (written next to the binary when ET_BENCH_CSV_DIR is set).
+
+#ifndef ET_BENCH_BENCH_UTIL_H_
+#define ET_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "exp/convergence_experiment.h"
+#include "metrics/stats.h"
+#include "exp/report.h"
+
+namespace et {
+namespace bench {
+
+/// Prints one experiment's per-iteration series as a table: rows =
+/// iterations (subsampled), columns = methods.
+inline void PrintSeriesTable(const std::string& title,
+                             const ConvergenceResult& result,
+                             bool use_f1 = false) {
+  std::printf("== %s ==\n", title.c_str());
+  std::string learner_prior_label =
+      PriorKindToString(result.config.learner_prior.kind);
+  if (result.config.learner_prior.kind == PriorKind::kUniform) {
+    learner_prior_label +=
+        "-" + TableReporter::Num(result.config.learner_prior.uniform_d, 1);
+  }
+  std::printf(
+      "dataset=%s rows=%zu violation=%.0f%% (achieved %.1f%%) "
+      "trainer-prior=%s learner-prior=%s reps=%zu\n",
+      result.config.dataset.c_str(), result.config.rows,
+      100.0 * result.config.violation_degree,
+      100.0 * result.achieved_degree,
+      PriorKindToString(result.config.trainer_prior.kind),
+      learner_prior_label.c_str(), result.config.repetitions);
+
+  std::vector<std::string> headers = {"iter"};
+  for (const MethodSeries& m : result.methods) {
+    headers.push_back(PolicyKindToString(m.policy));
+  }
+  TableReporter table(headers);
+  const size_t n = result.methods.front().mae.size();
+  for (size_t t = 0; t < n; ++t) {
+    // Subsample: every iteration early, every 5th later.
+    if (!(t < 5 || (t + 1) % 5 == 0 || t + 1 == n)) continue;
+    std::vector<std::string> row = {std::to_string(t + 1)};
+    for (const MethodSeries& m : result.methods) {
+      const std::vector<double>& series = use_f1 ? m.f1 : m.mae;
+      row.push_back(TableReporter::Num(series.at(t)));
+    }
+    ET_CHECK_OK(table.AddRow(row));
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  // Summary line: final value per method (who wins), with bootstrap
+  // 95% CIs over the paired repetitions when available.
+  std::printf("final %s:", use_f1 ? "F1" : "MAE");
+  for (const MethodSeries& m : result.methods) {
+    const std::vector<double>& series = use_f1 ? m.f1 : m.mae;
+    const std::vector<double>& finals =
+        use_f1 ? m.final_f1_per_rep : m.final_mae_per_rep;
+    std::printf("  %s=%.4f", PolicyKindToString(m.policy),
+                series.back());
+    if (finals.size() >= 2) {
+      auto ci = BootstrapMeanCI(finals);
+      if (ci.ok()) std::printf("±%.4f", ci->half_width());
+    }
+  }
+  std::printf("\n\n");
+}
+
+/// Optional CSV dump for plotting.
+inline void MaybeWriteCsv(const std::string& name,
+                          const ConvergenceResult& result,
+                          bool use_f1 = false) {
+  const char* dir = std::getenv("ET_BENCH_CSV_DIR");
+  if (dir == nullptr) return;
+  std::vector<std::string> headers = {"iter"};
+  for (const MethodSeries& m : result.methods) {
+    headers.push_back(PolicyKindToString(m.policy));
+  }
+  std::vector<std::vector<std::string>> rows;
+  const size_t n = result.methods.front().mae.size();
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<std::string> row = {std::to_string(t + 1)};
+    for (const MethodSeries& m : result.methods) {
+      const std::vector<double>& series = use_f1 ? m.f1 : m.mae;
+      row.push_back(TableReporter::Num(series.at(t), 6));
+    }
+    rows.push_back(std::move(row));
+  }
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  ET_CHECK_OK(WriteCsv(path, headers, rows));
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace bench
+}  // namespace et
+
+#endif  // ET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,50 @@
+#include "belief/belief_model.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/math.h"
+
+namespace et {
+
+BeliefModel::BeliefModel(std::shared_ptr<const HypothesisSpace> space)
+    : space_(std::move(space)) {
+  ET_CHECK(space_ != nullptr);
+  betas_.assign(space_->size(), Beta());
+}
+
+BeliefModel::BeliefModel(std::shared_ptr<const HypothesisSpace> space,
+                         std::vector<Beta> betas)
+    : space_(std::move(space)), betas_(std::move(betas)) {
+  ET_CHECK(space_ != nullptr);
+  ET_CHECK(betas_.size() == space_->size());
+}
+
+std::vector<double> BeliefModel::Confidences() const {
+  std::vector<double> out(betas_.size());
+  for (size_t i = 0; i < betas_.size(); ++i) out[i] = betas_[i].Mean();
+  return out;
+}
+
+std::vector<size_t> BeliefModel::TopK(size_t k) const {
+  std::vector<size_t> idx(betas_.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  k = std::min(k, idx.size());
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    return betas_[a].Mean() > betas_[b].Mean();
+  });
+  idx.resize(k);
+  return idx;
+}
+
+Result<double> BeliefModel::MAE(const BeliefModel& other) const {
+  if (space_.get() != other.space_.get() &&
+      !(space_ && other.space_ && space_->fds() == other.space_->fds())) {
+    return Status::InvalidArgument(
+        "MAE requires beliefs over the same hypothesis space");
+  }
+  return MeanAbsoluteError(Confidences(), other.Confidences());
+}
+
+}  // namespace et

@@ -1,0 +1,62 @@
+// BeliefModel: an agent's belief theta — one Beta distribution per FD of
+// a shared hypothesis space. Both the trainer and the learner hold one;
+// the game's MAE metric compares their mean vectors.
+
+#ifndef ET_BELIEF_BELIEF_MODEL_H_
+#define ET_BELIEF_BELIEF_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "belief/beta.h"
+#include "common/result.h"
+#include "fd/hypothesis_space.h"
+
+namespace et {
+
+/// A belief over the FDs of a hypothesis space. Copyable (agents fork
+/// and compare beliefs); the hypothesis space is shared immutable state.
+class BeliefModel {
+ public:
+  BeliefModel() = default;
+
+  /// All-FDs-uniform Beta(1,1) belief.
+  explicit BeliefModel(std::shared_ptr<const HypothesisSpace> space);
+
+  BeliefModel(std::shared_ptr<const HypothesisSpace> space,
+              std::vector<Beta> betas);
+
+  const HypothesisSpace& space() const { return *space_; }
+  const std::shared_ptr<const HypothesisSpace>& space_ptr() const {
+    return space_;
+  }
+  size_t size() const { return betas_.size(); }
+
+  const Beta& beta(size_t idx) const { return betas_.at(idx); }
+  Beta& beta(size_t idx) { return betas_.at(idx); }
+
+  /// Mean confidence of FD idx.
+  double Confidence(size_t idx) const { return betas_.at(idx).Mean(); }
+
+  /// Vector of all mean confidences, in space order.
+  std::vector<double> Confidences() const;
+
+  /// Indices of the k highest-confidence FDs, ties broken by index
+  /// (deterministic). k is clamped to size().
+  std::vector<size_t> TopK(size_t k) const;
+
+  /// Index of the single highest-confidence FD.
+  size_t Top1() const { return TopK(1).front(); }
+
+  /// Mean absolute difference of confidences against another belief
+  /// over the same space (the paper's convergence metric).
+  Result<double> MAE(const BeliefModel& other) const;
+
+ private:
+  std::shared_ptr<const HypothesisSpace> space_;
+  std::vector<Beta> betas_;
+};
+
+}  // namespace et
+
+#endif  // ET_BELIEF_BELIEF_MODEL_H_

@@ -1,0 +1,29 @@
+#include "belief/beta.h"
+
+namespace et {
+
+Result<Beta> Beta::FromMeanStd(double mean, double stddev) {
+  if (mean <= 0.0 || mean >= 1.0) {
+    return Status::InvalidArgument("Beta mean must be in (0,1)");
+  }
+  const double var = stddev * stddev;
+  const double max_var = mean * (1.0 - mean);
+  if (var <= 0.0 || var >= max_var) {
+    return Status::InvalidArgument(
+        "Beta variance must be in (0, mean*(1-mean))");
+  }
+  const double nu = max_var / var - 1.0;
+  return Beta(mean * nu, (1.0 - mean) * nu);
+}
+
+void Beta::Decay(double factor, double min_strength) {
+  if (factor >= 1.0) return;
+  const double strength = alpha_ + beta_;
+  if (strength <= min_strength) return;
+  double f = factor;
+  if (strength * f < min_strength) f = min_strength / strength;
+  alpha_ *= f;
+  beta_ *= f;
+}
+
+}  // namespace et

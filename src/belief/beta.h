@@ -1,0 +1,57 @@
+// Beta distribution over an FD's confidence — the building block of
+// agent beliefs (App. A.2 configures priors via Beta mean/stddev).
+
+#ifndef ET_BELIEF_BETA_H_
+#define ET_BELIEF_BETA_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace et {
+
+/// Beta(alpha, beta) with conjugate Bernoulli updating.
+class Beta {
+ public:
+  /// Uniform prior Beta(1, 1).
+  Beta() : alpha_(1.0), beta_(1.0) {}
+  Beta(double alpha, double beta) : alpha_(alpha), beta_(beta) {}
+
+  /// Solves alpha/beta from a target mean and standard deviation via
+  ///   mu = a/(a+b),  sigma^2 = ab / ((a+b)^2 (a+b+1))
+  /// (the equations the paper quotes). Requires 0 < mean < 1 and
+  /// 0 < sigma^2 < mean(1-mean).
+  static Result<Beta> FromMeanStd(double mean, double stddev);
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+  double Mean() const { return alpha_ / (alpha_ + beta_); }
+  double Variance() const {
+    const double s = alpha_ + beta_;
+    return alpha_ * beta_ / (s * s * (s + 1.0));
+  }
+  /// Pseudo-observation count; grows with evidence (belief stiffness).
+  double Strength() const { return alpha_ + beta_; }
+
+  /// Conjugate updates; `weight` is the evidence multiplicity.
+  void ObserveSuccess(double weight = 1.0) { alpha_ += weight; }
+  void ObserveFailure(double weight = 1.0) { beta_ += weight; }
+
+  /// Exponential forgetting: scales both pseudo-counts by `factor`
+  /// (mean preserved, variance widened), never shrinking the total
+  /// strength below `min_strength`. Models evidence staleness when the
+  /// other agent is non-stationary: old labels should count less than
+  /// new ones.
+  void Decay(double factor, double min_strength = 2.0);
+
+  /// Draws a confidence sample.
+  double Sample(Rng& rng) const { return rng.NextBeta(alpha_, beta_); }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace et
+
+#endif  // ET_BELIEF_BETA_H_

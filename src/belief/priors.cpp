@@ -1,0 +1,101 @@
+#include "belief/priors.h"
+
+#include <algorithm>
+
+#include "fd/g1.h"
+
+namespace et {
+namespace {
+
+// Clamps a mean into the open interval required by Beta parameters.
+double ClampMean(double mean) {
+  return std::clamp(mean, 1e-3, 1.0 - 1e-3);
+}
+
+// Beta with a given mean and total pseudo-count.
+Beta BetaFromMeanStrength(double mean, double strength) {
+  mean = ClampMean(mean);
+  return Beta(mean * strength, (1.0 - mean) * strength);
+}
+
+Status CheckSpace(const std::shared_ptr<const HypothesisSpace>& space) {
+  if (!space || space->size() == 0) {
+    return Status::InvalidArgument("hypothesis space is null or empty");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BeliefModel> UniformPrior(
+    std::shared_ptr<const HypothesisSpace> space, double d,
+    double strength) {
+  ET_RETURN_NOT_OK(CheckSpace(space));
+  if (d <= 0.0 || d >= 1.0) {
+    return Status::InvalidArgument("Uniform-d prior needs d in (0,1)");
+  }
+  if (strength <= 0.0) {
+    return Status::InvalidArgument("prior strength must be positive");
+  }
+  std::vector<Beta> betas(space->size(), BetaFromMeanStrength(d, strength));
+  return BeliefModel(std::move(space), std::move(betas));
+}
+
+Result<BeliefModel> RandomPrior(
+    std::shared_ptr<const HypothesisSpace> space, Rng& rng,
+    double strength) {
+  ET_RETURN_NOT_OK(CheckSpace(space));
+  if (strength <= 0.0) {
+    return Status::InvalidArgument("prior strength must be positive");
+  }
+  std::vector<Beta> betas;
+  betas.reserve(space->size());
+  for (size_t i = 0; i < space->size(); ++i) {
+    betas.push_back(BetaFromMeanStrength(rng.NextDouble(), strength));
+  }
+  return BeliefModel(std::move(space), std::move(betas));
+}
+
+Result<BeliefModel> DataEstimatePrior(
+    std::shared_ptr<const HypothesisSpace> space, const Relation& rel,
+    double strength) {
+  ET_RETURN_NOT_OK(CheckSpace(space));
+  if (rel.schema() != space->schema()) {
+    return Status::InvalidArgument(
+        "relation schema does not match hypothesis space");
+  }
+  if (strength <= 0.0) {
+    return Status::InvalidArgument("prior strength must be positive");
+  }
+  std::vector<Beta> betas;
+  betas.reserve(space->size());
+  for (const FD& fd : space->fds()) {
+    betas.push_back(
+        BetaFromMeanStrength(PairwiseConfidence(rel, fd), strength));
+  }
+  return BeliefModel(std::move(space), std::move(betas));
+}
+
+Result<BeliefModel> UserPrior(
+    std::shared_ptr<const HypothesisSpace> space, const FD& stated,
+    const UserPriorConfig& config) {
+  ET_RETURN_NOT_OK(CheckSpace(space));
+  ET_ASSIGN_OR_RETURN(size_t stated_idx, space->IndexOf(stated));
+  std::vector<Beta> betas;
+  betas.reserve(space->size());
+  for (size_t i = 0; i < space->size(); ++i) {
+    double mean = config.other_mean;
+    if (i == stated_idx) {
+      mean = config.stated_mean;
+    } else if (config.boost_related &&
+               space->fd(i).IsRelatedTo(stated)) {
+      mean = config.related_mean;
+    }
+    ET_ASSIGN_OR_RETURN(Beta b,
+                        Beta::FromMeanStd(ClampMean(mean), config.stddev));
+    betas.push_back(b);
+  }
+  return BeliefModel(std::move(space), std::move(betas));
+}
+
+}  // namespace et

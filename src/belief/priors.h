@@ -1,0 +1,58 @@
+// Prior belief builders (App. A.2 and C.1).
+//
+// Empirical study priors: Uniform-d (every FD's confidence initialized
+// to d), Random (each confidence sampled from [0,1]), Data-estimate
+// (confidence from the unlabeled data, treating it as clean). User-study
+// prior: the user's stated FD gets mean eps = 0.85, its subset/superset
+// relatives 0.8, everything else 0.15; all stddevs 0.05.
+
+#ifndef ET_BELIEF_PRIORS_H_
+#define ET_BELIEF_PRIORS_H_
+
+#include <memory>
+
+#include "belief/belief_model.h"
+#include "common/rng.h"
+#include "data/relation.h"
+
+namespace et {
+
+/// Configuration constants from App. A.2.
+struct UserPriorConfig {
+  double stated_mean = 0.85;    // epsilon
+  double related_mean = 0.80;   // subset/superset FDs
+  double other_mean = 0.15;     // everything else
+  double stddev = 0.05;
+  /// When false, related FDs get other_mean (the paper's first prior
+  /// configuration); when true, the second configuration above.
+  bool boost_related = true;
+};
+
+/// Every FD's prior confidence is d; `strength` is the Beta
+/// pseudo-count alpha+beta controlling how fast evidence moves it.
+/// d must be in (0,1), strength > 0.
+Result<BeliefModel> UniformPrior(
+    std::shared_ptr<const HypothesisSpace> space, double d,
+    double strength = 10.0);
+
+/// Each FD's prior confidence is drawn uniformly from (0,1).
+Result<BeliefModel> RandomPrior(
+    std::shared_ptr<const HypothesisSpace> space, Rng& rng,
+    double strength = 10.0);
+
+/// Each FD's prior confidence is its PairwiseConfidence on the given
+/// (unlabeled, possibly dirty) relation — "the learner computes its
+/// prior by treating the unlabeled dataset to be completely clean".
+Result<BeliefModel> DataEstimatePrior(
+    std::shared_ptr<const HypothesisSpace> space, const Relation& rel,
+    double strength = 10.0);
+
+/// The user-study prior: `stated` is the FD the user declared most
+/// accurate (must be inside the space).
+Result<BeliefModel> UserPrior(
+    std::shared_ptr<const HypothesisSpace> space, const FD& stated,
+    const UserPriorConfig& config = {});
+
+}  // namespace et
+
+#endif  // ET_BELIEF_PRIORS_H_

@@ -1,0 +1,129 @@
+#include "belief/serialize.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace et {
+namespace {
+
+constexpr char kMagic[] = "et-belief-v1";
+
+Result<std::vector<std::string>> ReadLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    lines.push_back(line);
+  }
+  if (lines.empty()) return Status::InvalidArgument("empty belief file");
+  return lines;
+}
+
+}  // namespace
+
+std::string SerializeBeliefModel(const BeliefModel& belief) {
+  const HypothesisSpace& space = belief.space();
+  const Schema& schema = space.schema();
+  std::string out = std::string(kMagic) + "\n";
+  out += "attributes " + std::to_string(schema.num_attributes()) + "\n";
+  for (const std::string& name : schema.names()) out += name + "\n";
+  out += "fds " + std::to_string(space.size()) + "\n";
+  for (size_t i = 0; i < space.size(); ++i) {
+    const FD& fd = space.fd(i);
+    out += StrFormat("%u %d %.17g %.17g\n", fd.lhs.mask(), fd.rhs,
+                     belief.beta(i).alpha(), belief.beta(i).beta());
+  }
+  return out;
+}
+
+Result<BeliefModel> DeserializeBeliefModel(const std::string& text) {
+  ET_ASSIGN_OR_RETURN(std::vector<std::string> lines, ReadLines(text));
+  size_t pos = 0;
+  auto next = [&]() -> Result<std::string> {
+    if (pos >= lines.size()) {
+      return Status::InvalidArgument("truncated belief file");
+    }
+    return lines[pos++];
+  };
+
+  ET_ASSIGN_OR_RETURN(std::string magic, next());
+  if (magic != kMagic) {
+    return Status::InvalidArgument("bad magic: " + magic);
+  }
+  ET_ASSIGN_OR_RETURN(std::string attr_header, next());
+  const auto attr_parts = Split(attr_header, ' ');
+  if (attr_parts.size() != 2 || attr_parts[0] != "attributes") {
+    return Status::InvalidArgument("bad attributes header");
+  }
+  ET_ASSIGN_OR_RETURN(long long n_attrs, ParseInt(attr_parts[1]));
+  if (n_attrs <= 0 || n_attrs > kMaxAttributes) {
+    return Status::InvalidArgument("bad attribute count");
+  }
+  std::vector<std::string> names;
+  for (long long i = 0; i < n_attrs; ++i) {
+    ET_ASSIGN_OR_RETURN(std::string name, next());
+    names.push_back(name);
+  }
+  ET_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(names)));
+
+  ET_ASSIGN_OR_RETURN(std::string fd_header, next());
+  const auto fd_parts = Split(fd_header, ' ');
+  if (fd_parts.size() != 2 || fd_parts[0] != "fds") {
+    return Status::InvalidArgument("bad fds header");
+  }
+  ET_ASSIGN_OR_RETURN(long long n_fds, ParseInt(fd_parts[1]));
+  if (n_fds <= 0) {
+    return Status::InvalidArgument("belief needs at least one FD");
+  }
+  std::vector<FD> fds;
+  std::vector<Beta> betas;
+  for (long long i = 0; i < n_fds; ++i) {
+    ET_ASSIGN_OR_RETURN(std::string line, next());
+    const auto parts = Split(line, ' ');
+    if (parts.size() != 4) {
+      return Status::InvalidArgument("bad FD line: " + line);
+    }
+    ET_ASSIGN_OR_RETURN(long long mask, ParseInt(parts[0]));
+    ET_ASSIGN_OR_RETURN(long long rhs, ParseInt(parts[1]));
+    ET_ASSIGN_OR_RETURN(double alpha, ParseDouble(parts[2]));
+    ET_ASSIGN_OR_RETURN(double beta, ParseDouble(parts[3]));
+    if (alpha <= 0.0 || beta <= 0.0) {
+      return Status::InvalidArgument("Beta parameters must be positive");
+    }
+    const FD fd(AttrSet(static_cast<uint32_t>(mask)),
+                static_cast<int>(rhs));
+    if (!fd.IsValid(schema)) {
+      return Status::InvalidArgument("invalid FD in belief file: " +
+                                     line);
+    }
+    fds.push_back(fd);
+    betas.emplace_back(alpha, beta);
+  }
+  ET_ASSIGN_OR_RETURN(HypothesisSpace space,
+                      HypothesisSpace::Make(schema, std::move(fds)));
+  return BeliefModel(
+      std::make_shared<const HypothesisSpace>(std::move(space)),
+      std::move(betas));
+}
+
+Status SaveBeliefModel(const BeliefModel& belief,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << SerializeBeliefModel(belief);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<BeliefModel> LoadBeliefModel(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return DeserializeBeliefModel(ss.str());
+}
+
+}  // namespace et

@@ -1,0 +1,36 @@
+// Belief-model serialization: save a training session's learned model
+// and resume or ship it. Plain-text, versioned, self-contained (the
+// hypothesis space travels with the Betas).
+//
+// Format (line-oriented):
+//   et-belief-v1
+//   attributes <n>
+//   <attribute name>            x n   (one per line, verbatim)
+//   fds <m>
+//   <lhs-mask> <rhs> <alpha> <beta>   x m
+
+#ifndef ET_BELIEF_SERIALIZE_H_
+#define ET_BELIEF_SERIALIZE_H_
+
+#include <string>
+
+#include "belief/belief_model.h"
+#include "common/result.h"
+
+namespace et {
+
+/// Serializes the belief (hypothesis space + Beta parameters) to text.
+std::string SerializeBeliefModel(const BeliefModel& belief);
+
+/// Parses a serialized belief. Fails on version/shape mismatches,
+/// malformed numbers, or invalid FDs.
+Result<BeliefModel> DeserializeBeliefModel(const std::string& text);
+
+/// File convenience wrappers.
+Status SaveBeliefModel(const BeliefModel& belief,
+                       const std::string& path);
+Result<BeliefModel> LoadBeliefModel(const std::string& path);
+
+}  // namespace et
+
+#endif  // ET_BELIEF_SERIALIZE_H_

@@ -1,0 +1,97 @@
+#include "belief/update.h"
+
+#include "fd/g1.h"
+
+namespace et {
+
+void UpdateFromObservation(BeliefModel* belief, const Relation& rel,
+                           const std::vector<RowPair>& pairs,
+                           double weight) {
+  if (weight <= 0.0) return;
+  const HypothesisSpace& space = belief->space();
+  for (size_t i = 0; i < space.size(); ++i) {
+    const FD& fd = space.fd(i);
+    for (const RowPair& p : pairs) {
+      switch (CheckPair(rel, fd, p.first, p.second)) {
+        case PairCompliance::kSatisfies:
+          belief->beta(i).ObserveSuccess(weight);
+          break;
+        case PairCompliance::kViolates:
+          belief->beta(i).ObserveFailure(weight);
+          break;
+        case PairCompliance::kInapplicable:
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Shared core of apply/retract: walks (FD, labeled pair) combinations
+/// and calls ObserveSuccess/ObserveFailure with sign * weight.
+/// Retraction clamps so Beta parameters stay positive.
+void ApplyLabelEvidence(BeliefModel* belief, const Relation& rel,
+                        const std::vector<LabeledPair>& labels,
+                        const UpdateWeights& weights, double sign) {
+  constexpr double kMinParam = 1e-3;
+  const HypothesisSpace& space = belief->space();
+  auto success = [&](size_t i, double w) {
+    if (w <= 0.0) return;
+    Beta& b = belief->beta(i);
+    const double delta = sign * w;
+    if (b.alpha() + delta < kMinParam) {
+      b = Beta(kMinParam, b.beta());
+    } else {
+      b.ObserveSuccess(delta);
+    }
+  };
+  auto failure = [&](size_t i, double w) {
+    if (w <= 0.0) return;
+    Beta& b = belief->beta(i);
+    const double delta = sign * w;
+    if (b.beta() + delta < kMinParam) {
+      b = Beta(b.alpha(), kMinParam);
+    } else {
+      b.ObserveFailure(delta);
+    }
+  };
+  for (size_t i = 0; i < space.size(); ++i) {
+    const FD& fd = space.fd(i);
+    for (const LabeledPair& lp : labels) {
+      const PairCompliance c =
+          CheckPair(rel, fd, lp.pair.first, lp.pair.second);
+      if (c == PairCompliance::kInapplicable) continue;
+      const bool violates = (c == PairCompliance::kViolates);
+      if (!lp.AnyDirty()) {
+        if (violates) {
+          failure(i, weights.clean_violates);
+        } else {
+          success(i, weights.clean_satisfies);
+        }
+      } else {
+        if (violates) {
+          success(i, weights.dirty_violates);
+        } else {
+          success(i, weights.dirty_satisfies);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void UpdateFromLabels(BeliefModel* belief, const Relation& rel,
+                      const std::vector<LabeledPair>& labels,
+                      const UpdateWeights& weights) {
+  ApplyLabelEvidence(belief, rel, labels, weights, +1.0);
+}
+
+void RemoveLabelEvidence(BeliefModel* belief, const Relation& rel,
+                         const std::vector<LabeledPair>& labels,
+                         const UpdateWeights& weights) {
+  ApplyLabelEvidence(belief, rel, labels, weights, -1.0);
+}
+
+}  // namespace et

@@ -1,0 +1,82 @@
+// Fictitious-play / Bayesian belief updates (the paper treats the two
+// interchangeably given a Beta prior).
+//
+// Two update channels exist, matching the two agents' prediction models:
+//
+//  * Observation (trainer's P^T): the trainer sees raw samples X_t and
+//    moves its belief by how much they accord with each FD — an
+//    LHS-agreeing pair that satisfies f is a success for f, a violating
+//    pair a failure. This is what makes the trainer non-stationary: its
+//    labeling strategy drifts as evidence accumulates.
+//
+//  * Labels (learner's P^L): the learner sees the trainer's labeled
+//    pairs Y_t. A clean/clean pair that satisfies f supports f; a
+//    clean/clean pair violating f contradicts f; a violating pair with a
+//    dirty tuple is explained by the error and weakly supports f; a
+//    satisfying pair with a dirty tuple is uninformative. (The paper
+//    leaves the exact likelihood implicit; DESIGN.md §2 documents this
+//    instantiation.)
+
+#ifndef ET_BELIEF_UPDATE_H_
+#define ET_BELIEF_UPDATE_H_
+
+#include <vector>
+
+#include "belief/belief_model.h"
+#include "data/relation.h"
+#include "fd/violations.h"
+
+namespace et {
+
+/// A tuple pair with the trainer's per-tuple dirty labels.
+struct LabeledPair {
+  RowPair pair;
+  bool first_dirty = false;
+  bool second_dirty = false;
+
+  bool AnyDirty() const { return first_dirty || second_dirty; }
+};
+
+/// Evidence weights of the update rules. Defaults follow DESIGN.md §2:
+/// the learner's information about the *trainer's belief* is carried by
+/// the trainer's dirt attributions on violating pairs — a violating pair
+/// the trainer marks dirty means the trainer holds f (the violation is
+/// an error), one it leaves clean means the trainer accepts the
+/// exception (does not hold f). Satisfying pairs are only weakly
+/// informative: the trainer labels them clean under almost any belief.
+struct UpdateWeights {
+  /// Clean/clean satisfying pair -> ObserveSuccess(clean_satisfies).
+  double clean_satisfies = 0.2;
+  /// Clean/clean violating pair -> ObserveFailure(clean_violates).
+  double clean_violates = 1.0;
+  /// Dirty pair violating f -> ObserveSuccess(dirty_violates)
+  /// (violation explained by the error).
+  double dirty_violates = 1.0;
+  /// Dirty pair satisfying f: uninformative by default.
+  double dirty_satisfies = 0.0;
+};
+
+/// Trainer-side update: raw observation of presented pairs.
+/// LHS-inapplicable pairs leave the FD untouched. `weight` scales the
+/// evidence (a slow human learner uses weight < 1).
+void UpdateFromObservation(BeliefModel* belief, const Relation& rel,
+                           const std::vector<RowPair>& pairs,
+                           double weight = 1.0);
+
+/// Learner-side update from the trainer's labeled pairs.
+void UpdateFromLabels(BeliefModel* belief, const Relation& rel,
+                      const std::vector<LabeledPair>& labels,
+                      const UpdateWeights& weights = {});
+
+/// Retracts evidence previously applied by UpdateFromLabels with the
+/// same labels and weights (pseudo-counts are subtracted, clamped so
+/// Beta parameters stay positive). Enables label *replacement*: when a
+/// trainer revises an earlier label, the stale opinion is withdrawn
+/// instead of being averaged against forever.
+void RemoveLabelEvidence(BeliefModel* belief, const Relation& rel,
+                         const std::vector<LabeledPair>& labels,
+                         const UpdateWeights& weights = {});
+
+}  // namespace et
+
+#endif  // ET_BELIEF_UPDATE_H_

@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+#include <atomic>
+
+namespace et {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  ss_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  ss_ << "\n";
+  std::cerr << ss_.str();
+  (void)level_;
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
+  ss_ << "[FATAL " << file << ":" << line << "] Check failed: " << expr
+      << " ";
+}
+
+FatalMessage::~FatalMessage() {
+  ss_ << "\n";
+  std::cerr << ss_.str();
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace et

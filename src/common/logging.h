@@ -1,0 +1,68 @@
+// Minimal leveled logging and check macros.
+//
+// ET_CHECK aborts on contract violations (programming errors); Status is
+// used for expected runtime failures. This mirrors the split used by
+// Arrow (DCHECK) and RocksDB (assert + Status).
+
+#ifndef ET_COMMON_LOGGING_H_
+#define ET_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace et {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: Info.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return ss_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream ss_;
+};
+
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalMessage();
+  std::ostream& stream() { return ss_; }
+
+ private:
+  std::ostringstream ss_;
+};
+
+}  // namespace internal
+}  // namespace et
+
+#define ET_LOG(level)                                            \
+  if (::et::LogLevel::k##level < ::et::GetLogLevel()) {          \
+  } else                                                         \
+    ::et::internal::LogMessage(::et::LogLevel::k##level,         \
+                               __FILE__, __LINE__)               \
+        .stream()
+
+/// Aborts with a message when `cond` is false. Active in all build types:
+/// the experiment harness must fail loudly, not produce wrong figures.
+#define ET_CHECK(cond)                                              \
+  if (cond) {                                                       \
+  } else                                                            \
+    ::et::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+#define ET_CHECK_OK(expr)                                  \
+  do {                                                     \
+    ::et::Status _st = (expr);                             \
+    ET_CHECK(_st.ok()) << _st.ToString();                  \
+  } while (0)
+
+#endif  // ET_COMMON_LOGGING_H_

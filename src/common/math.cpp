@@ -1,0 +1,74 @@
+#include "common/math.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace et {
+
+std::vector<double> Softmax(const std::vector<double>& x, double temp) {
+  assert(temp > 0.0);
+  std::vector<double> out(x.size());
+  if (x.empty()) return out;
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double v : x) mx = std::max(mx, v / temp);
+  double denom = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    out[i] = std::exp(x[i] / temp - mx);
+    denom += out[i];
+  }
+  for (double& v : out) v /= denom;
+  return out;
+}
+
+double BinaryEntropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log(p) - (1.0 - p) * std::log(1.0 - p);
+}
+
+double Entropy(const std::vector<double>& p) {
+  double h = 0.0;
+  for (double v : p) {
+    if (v > 0.0) h -= v * std::log(v);
+  }
+  return h;
+}
+
+void RunningStats::Add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  KahanSum s;
+  for (double x : v) s.Add(x);
+  return s.sum() / static_cast<double>(v.size());
+}
+
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  KahanSum s;
+  for (size_t i = 0; i < a.size(); ++i) s.Add(std::fabs(a[i] - b[i]));
+  return s.sum() / static_cast<double>(a.size());
+}
+
+}  // namespace et

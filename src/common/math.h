@@ -1,0 +1,69 @@
+// Small numeric utilities shared across the library: stable softmax,
+// entropy, Kahan summation, and simple descriptive statistics.
+
+#ifndef ET_COMMON_MATH_H_
+#define ET_COMMON_MATH_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace et {
+
+/// Numerically stable softmax with temperature: out[i] ∝ exp(x[i]/temp).
+/// temp must be > 0. Returns a proper distribution (sums to 1) even for
+/// widely spread inputs.
+std::vector<double> Softmax(const std::vector<double>& x, double temp);
+
+/// Binary entropy H(p) = -p ln p - (1-p) ln(1-p), in nats; H(0)=H(1)=0.
+double BinaryEntropy(double p);
+
+/// Shannon entropy of a distribution (nats). Zero-probability entries
+/// contribute 0; inputs are not renormalized.
+double Entropy(const std::vector<double>& p);
+
+/// Compensated (Kahan) accumulator for long experiment sums.
+class KahanSum {
+ public:
+  void Add(double x) {
+    const double y = x - c_;
+    const double t = sum_ + y;
+    c_ = (t - sum_) - y;
+    sum_ = t;
+  }
+  double sum() const { return sum_; }
+
+ private:
+  double sum_ = 0.0;
+  double c_ = 0.0;
+};
+
+/// Streaming mean / variance (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Mean of a vector; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Mean absolute difference between two equal-length vectors.
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+}  // namespace et
+
+#endif  // ET_COMMON_MATH_H_

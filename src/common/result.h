@@ -1,0 +1,85 @@
+// Result<T>: value-or-Status, the companion of Status for fallible
+// functions that produce a value. Mirrors arrow::Result in spirit.
+
+#ifndef ET_COMMON_RESULT_H_
+#define ET_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace et {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value could not be produced. Constructing a Result from an OK status
+/// is a programming error (asserted in debug builds, converted to an
+/// Internal error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value (success).
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from a non-OK status (failure).
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(payload_).ok());
+    if (std::get<Status>(payload_).ok()) {
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The status: OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// Accessors. Must not be called on an error Result.
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `alt` when this holds an error.
+  T ValueOr(T alt) const {
+    if (ok()) return value();
+    return alt;
+  }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+}  // namespace et
+
+/// Propagates the error of a Result-returning expression, otherwise binds
+/// its value to `lhs`. Usable in functions returning Status or Result.
+#define ET_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#define ET_ASSIGN_OR_RETURN(lhs, expr) \
+  ET_ASSIGN_OR_RETURN_IMPL(ET_CONCAT_(_et_result_, __LINE__), lhs, expr)
+
+#define ET_CONCAT_INNER_(a, b) a##b
+#define ET_CONCAT_(a, b) ET_CONCAT_INNER_(a, b)
+
+#endif  // ET_COMMON_RESULT_H_

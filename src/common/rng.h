@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (policies, error generation,
+// simulated annotators) take an explicit Rng so experiments are
+// bit-reproducible across runs and platforms. The engine is
+// xoshiro256** seeded via SplitMix64, both implemented here so results
+// do not depend on a standard library's unspecified distributions.
+
+#ifndef ET_COMMON_RNG_H_
+#define ET_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace et {
+
+/// xoshiro256** generator with explicit, portable distributions.
+class Rng {
+ public:
+  /// Seeds the four-word state from `seed` via SplitMix64; any seed
+  /// (including 0) yields a valid, well-mixed state.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit word.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, n). n must be > 0. Unbiased (rejection sampling).
+  uint64_t NextUint64(uint64_t n);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    assert(hi >= lo);
+    return lo + static_cast<int>(
+                    NextUint64(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+  /// Standard normal via Box–Muller (no cached spare: keeps state small
+  /// and draws independent of call interleaving).
+  double NextGaussian();
+
+  /// Gamma(shape, 1) via Marsaglia–Tsang; shape > 0.
+  double NextGamma(double shape);
+
+  /// Beta(alpha, beta) via two gamma draws.
+  double NextBeta(double alpha, double beta);
+
+  /// Samples an index in [0, weights.size()) with probability
+  /// proportional to weights[i]. Weights must be non-negative with a
+  /// positive sum; returns the last index on numerical underflow.
+  size_t NextDiscrete(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextUint64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Draws `k` distinct indices uniformly from [0, n) (k <= n),
+  /// in random order. O(k) expected via Floyd's algorithm.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator; useful for giving each
+  /// agent or repetition its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace et
+
+#endif  // ET_COMMON_RNG_H_

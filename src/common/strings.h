@@ -1,0 +1,41 @@
+// String helpers used by the CSV reader, reporters, and config parsing.
+
+#ifndef ET_COMMON_STRINGS_H_
+#define ET_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+
+/// Splits on a single character; keeps empty fields. "a,,b" -> {a,"",b}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator string.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+/// Case-sensitive prefix/suffix tests.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLower(std::string_view s);
+
+/// Strict numeric parsing: the whole trimmed string must parse.
+Result<long long> ParseInt(std::string_view s);
+Result<double> ParseDouble(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace et
+
+#endif  // ET_COMMON_STRINGS_H_

@@ -1,0 +1,71 @@
+#include "core/candidates.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "fd/partition.h"
+
+namespace et {
+
+Result<std::vector<RowPair>> BuildCandidatePairs(
+    const Relation& rel, const HypothesisSpace& space,
+    const CandidateOptions& options, Rng& rng) {
+  std::vector<RowId> rows = options.restrict_to;
+  if (rows.empty()) {
+    rows.resize(rel.num_rows());
+    for (RowId r = 0; r < rel.num_rows(); ++r) rows[r] = r;
+  }
+  if (rows.size() < 2) {
+    return Status::InvalidArgument(
+        "need at least two rows to form candidate pairs");
+  }
+  std::unordered_set<RowPair, RowPairHash> seen;
+
+  // LHS-agreeing pairs per FD. Distinct FDs often share LHS attribute
+  // sets; partition once per distinct LHS.
+  std::unordered_set<uint32_t> done_lhs;
+  for (const FD& fd : space.fds()) {
+    if (!done_lhs.insert(fd.lhs.mask()).second) continue;
+    const Partition part = Partition::Build(rel, fd.lhs, rows);
+    size_t taken = 0;
+    for (const auto& cls : part.classes()) {
+      for (size_t i = 0; i < cls.size() &&
+                         (options.per_fd_limit == 0 ||
+                          taken < options.per_fd_limit);
+           ++i) {
+        for (size_t j = i + 1; j < cls.size(); ++j) {
+          seen.insert(RowPair(cls[i], cls[j]));
+          if (++taken >= options.per_fd_limit &&
+              options.per_fd_limit != 0) {
+            break;
+          }
+        }
+      }
+      if (options.per_fd_limit != 0 && taken >= options.per_fd_limit) {
+        break;
+      }
+    }
+  }
+
+  // Random filler pairs.
+  for (size_t i = 0; i < options.random_pairs; ++i) {
+    const RowId a = rows[rng.NextUint64(rows.size())];
+    RowId b = rows[rng.NextUint64(rows.size())];
+    if (a == b) continue;
+    seen.insert(RowPair(a, b));
+  }
+
+  std::vector<RowPair> pool(seen.begin(), seen.end());
+  std::sort(pool.begin(), pool.end());
+  if (options.max_pairs != 0 && pool.size() > options.max_pairs) {
+    rng.Shuffle(pool);
+    pool.resize(options.max_pairs);
+    std::sort(pool.begin(), pool.end());
+  }
+  if (pool.empty()) {
+    return Status::FailedPrecondition("candidate pool is empty");
+  }
+  return pool;
+}
+
+}  // namespace et

@@ -1,0 +1,42 @@
+// Candidate-pair pool construction.
+//
+// FD violations are defined over pairs of tuples, so the paper modifies
+// every sampling method to select a *pair* instead of a single tuple
+// (App. C.1). The informative pairs are those agreeing on the LHS of at
+// least one hypothesis-space FD; random filler pairs are added for
+// coverage so Fixed Random Sampling is not artificially advantaged.
+
+#ifndef ET_CORE_CANDIDATES_H_
+#define ET_CORE_CANDIDATES_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/relation.h"
+#include "fd/hypothesis_space.h"
+#include "fd/violations.h"
+
+namespace et {
+
+struct CandidateOptions {
+  /// Cap on LHS-agreeing pairs gathered per FD (0 = unlimited).
+  size_t per_fd_limit = 200;
+  /// Cap on the total pool; excess is randomly subsampled.
+  size_t max_pairs = 4000;
+  /// Uniformly random filler pairs appended (deduplicated).
+  size_t random_pairs = 200;
+  /// When set, restrict all pairs to these rows (the training side of a
+  /// split). Empty = all rows.
+  std::vector<RowId> restrict_to;
+};
+
+/// Builds the deduplicated candidate pool. Requires a relation with at
+/// least two (restricted) rows.
+Result<std::vector<RowPair>> BuildCandidatePairs(
+    const Relation& rel, const HypothesisSpace& space,
+    const CandidateOptions& options, Rng& rng);
+
+}  // namespace et
+
+#endif  // ET_CORE_CANDIDATES_H_

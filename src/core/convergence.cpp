@@ -1,0 +1,61 @@
+#include "core/convergence.h"
+
+#include <cmath>
+
+namespace et {
+
+void EmpiricalFrequency::Record(size_t action_id) {
+  ++counts_[action_id];
+  ++total_;
+}
+
+double EmpiricalFrequency::Frequency(size_t action_id) const {
+  if (total_ == 0) return 0.0;
+  auto it = counts_.find(action_id);
+  if (it == counts_.end()) return 0.0;
+  return static_cast<double>(it->second) / static_cast<double>(total_);
+}
+
+double EmpiricalFrequency::L1Distance(
+    const EmpiricalFrequency& other) const {
+  double d = 0.0;
+  for (const auto& [id, cnt] : counts_) {
+    (void)cnt;
+    d += std::fabs(Frequency(id) - other.Frequency(id));
+  }
+  for (const auto& [id, cnt] : other.counts_) {
+    (void)cnt;
+    if (!counts_.count(id)) d += other.Frequency(id);
+  }
+  return d;
+}
+
+std::unordered_map<size_t, double> EmpiricalFrequency::Distribution()
+    const {
+  std::unordered_map<size_t, double> out;
+  for (const auto& [id, cnt] : counts_) {
+    (void)cnt;
+    out[id] = Frequency(id);
+  }
+  return out;
+}
+
+bool SeriesConverged(const std::vector<double>& series, size_t window,
+                     double tolerance) {
+  if (series.size() < window + 1) return false;
+  for (size_t i = series.size() - window; i < series.size(); ++i) {
+    if (std::fabs(series[i] - series[i - 1]) > tolerance) return false;
+  }
+  return true;
+}
+
+double ConvergenceTracker::RecordIteration(
+    const std::vector<size_t>& action_ids) {
+  const EmpiricalFrequency before = freq_;
+  for (size_t id : action_ids) freq_.Record(id);
+  const double d = freq_.L1Distance(before);
+  drift_.push_back(d);
+  return d;
+}
+
+}  // namespace et

@@ -1,0 +1,72 @@
+// Empirical behaviour and convergence (Definition 2 / Proposition 1).
+//
+// Phi_t^i — the empirical distribution of an agent's realized actions up
+// to interaction t — converges when it stabilizes; the game converges to
+// an equilibrium when both agents' empirical behaviours do. We track the
+// trainer's action as its realized labeling rule (the top FD it labeled
+// by) and the learner's as the selected pairs, and expose numerical
+// stabilization tests used by the property suite.
+
+#ifndef ET_CORE_CONVERGENCE_H_
+#define ET_CORE_CONVERGENCE_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+namespace et {
+
+/// Running empirical distribution over a discrete action set identified
+/// by integer ids.
+class EmpiricalFrequency {
+ public:
+  /// Records one realized action.
+  void Record(size_t action_id);
+
+  size_t total() const { return total_; }
+
+  /// Phi_t(action): occurrences / t. Zero for unseen actions.
+  double Frequency(size_t action_id) const;
+
+  /// L1 distance between this distribution and another over the union
+  /// of their supports.
+  double L1Distance(const EmpiricalFrequency& other) const;
+
+  /// A copy of the current distribution (action -> frequency).
+  std::unordered_map<size_t, double> Distribution() const;
+
+ private:
+  std::unordered_map<size_t, size_t> counts_;
+  size_t total_ = 0;
+};
+
+/// Detects stabilization of a scalar series (e.g. the MAE curve or the
+/// drift of Phi_t): converged when every successive difference within
+/// the trailing `window` is below `tolerance`. Series shorter than
+/// window+1 are not converged.
+bool SeriesConverged(const std::vector<double>& series, size_t window,
+                     double tolerance);
+
+/// Per-iteration drift ||Phi_t - Phi_{t-1}||_1 tracker for one agent.
+class ConvergenceTracker {
+ public:
+  /// Records the agent's realized action(s) this interaction and
+  /// returns the drift of the empirical distribution.
+  double RecordIteration(const std::vector<size_t>& action_ids);
+
+  const std::vector<double>& drift_series() const { return drift_; }
+  const EmpiricalFrequency& frequencies() const { return freq_; }
+
+  /// Empirical behaviour converged: trailing drifts all below tol.
+  bool Converged(size_t window, double tolerance) const {
+    return SeriesConverged(drift_, window, tolerance);
+  }
+
+ private:
+  EmpiricalFrequency freq_;
+  std::vector<double> drift_;
+};
+
+}  // namespace et
+
+#endif  // ET_CORE_CONVERGENCE_H_

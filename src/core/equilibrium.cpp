@@ -1,0 +1,85 @@
+#include "core/equilibrium.h"
+
+#include <cmath>
+
+#include "common/math.h"
+#include "core/payoff.h"
+
+namespace et {
+
+Result<double> LearnerPolicyValue(const BeliefModel& belief,
+                                  const Relation& rel,
+                                  const std::vector<RowPair>& candidates,
+                                  const std::vector<double>& pi,
+                                  double gamma,
+                                  const InferenceOptions& options) {
+  if (pi.size() != candidates.size()) {
+    return Status::InvalidArgument("pi must be parallel to candidates");
+  }
+  double mass = 0.0;
+  for (double p : pi) {
+    if (p < -1e-12) {
+      return Status::InvalidArgument("pi has negative mass");
+    }
+    mass += p;
+  }
+  if (std::fabs(mass - 1.0) > 1e-6) {
+    return Status::InvalidArgument("pi must sum to 1");
+  }
+  std::vector<double> payoffs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    payoffs[i] =
+        LearnerExamplePayoff(belief, rel, candidates[i], options);
+  }
+  return LearnerPolicyPayoff(pi, payoffs, gamma);
+}
+
+std::vector<double> OptimalLearnerPolicy(
+    const BeliefModel& belief, const Relation& rel,
+    const std::vector<RowPair>& candidates, double gamma,
+    const InferenceOptions& options) {
+  std::vector<double> payoffs(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    payoffs[i] =
+        LearnerExamplePayoff(belief, rel, candidates[i], options);
+  }
+  return Softmax(payoffs, gamma);
+}
+
+Result<double> LearnerPolicyRegret(const BeliefModel& belief,
+                                   const Relation& rel,
+                                   const std::vector<RowPair>& candidates,
+                                   const std::vector<double>& pi,
+                                   double gamma,
+                                   const InferenceOptions& options) {
+  const std::vector<double> best =
+      OptimalLearnerPolicy(belief, rel, candidates, gamma, options);
+  ET_ASSIGN_OR_RETURN(
+      double best_value,
+      LearnerPolicyValue(belief, rel, candidates, best, gamma, options));
+  ET_ASSIGN_OR_RETURN(
+      double pi_value,
+      LearnerPolicyValue(belief, rel, candidates, pi, gamma, options));
+  return best_value - pi_value;
+}
+
+bool TrainerLabelsAreBestResponse(const BeliefModel& trainer_belief,
+                                  const Relation& rel,
+                                  const std::vector<LabeledPair>& labels,
+                                  double tolerance,
+                                  const InferenceOptions& options) {
+  for (const LabeledPair& lp : labels) {
+    const PairPrediction p =
+        PredictPair(trainer_belief, rel, lp.pair, options);
+    const auto consistent = [&](double p_dirty, bool label) {
+      const double chosen = LabelProbability(p_dirty, label);
+      const double other = LabelProbability(p_dirty, !label);
+      return chosen + tolerance >= other;
+    };
+    if (!consistent(p.first_dirty, lp.first_dirty)) return false;
+    if (!consistent(p.second_dirty, lp.second_dirty)) return false;
+  }
+  return true;
+}
+
+}  // namespace et

@@ -1,0 +1,58 @@
+// Equilibrium diagnostics (Section 4 / Proposition 1).
+//
+// The stochastic best response pi(x) ∝ exp(u_a(theta, x)/gamma) is the
+// exact maximizer of the learner's entropy-regularized payoff
+//   u_L(pi) = E_pi[u_a] + gamma * H(pi)
+// (a maximum-entropy / Gibbs variational result). These helpers compute
+// a policy's u_L *regret* against that maximizer and check whether the
+// trainer's labeling was a best response to its own belief — the two
+// halves of "the final state is an equilibrium".
+
+#ifndef ET_CORE_EQUILIBRIUM_H_
+#define ET_CORE_EQUILIBRIUM_H_
+
+#include <vector>
+
+#include "belief/update.h"
+#include "common/result.h"
+#include "core/inference.h"
+
+namespace et {
+
+/// u_L of an arbitrary selection distribution `pi` over `candidates`
+/// under `belief`: expected example payoff plus gamma times entropy.
+Result<double> LearnerPolicyValue(const BeliefModel& belief,
+                                  const Relation& rel,
+                                  const std::vector<RowPair>& candidates,
+                                  const std::vector<double>& pi,
+                                  double gamma,
+                                  const InferenceOptions& options = {});
+
+/// The u_L-optimal distribution over `candidates`: softmax of the
+/// example payoffs at temperature gamma (the stochastic best response).
+std::vector<double> OptimalLearnerPolicy(
+    const BeliefModel& belief, const Relation& rel,
+    const std::vector<RowPair>& candidates, double gamma,
+    const InferenceOptions& options = {});
+
+/// Regret of `pi`: u_L(optimal) - u_L(pi). Non-negative up to floating
+/// point; zero exactly when pi is the stochastic best response.
+Result<double> LearnerPolicyRegret(const BeliefModel& belief,
+                                   const Relation& rel,
+                                   const std::vector<RowPair>& candidates,
+                                   const std::vector<double>& pi,
+                                   double gamma,
+                                   const InferenceOptions& options = {});
+
+/// Whether every emitted label maximizes theta^T(y | x) under the
+/// trainer's belief — the trainer side of the equilibrium condition
+/// (best-response labeling). `tolerance` allows indifference at 0.5.
+bool TrainerLabelsAreBestResponse(const BeliefModel& trainer_belief,
+                                  const Relation& rel,
+                                  const std::vector<LabeledPair>& labels,
+                                  double tolerance = 1e-9,
+                                  const InferenceOptions& options = {});
+
+}  // namespace et
+
+#endif  // ET_CORE_EQUILIBRIUM_H_

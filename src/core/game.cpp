@@ -1,0 +1,84 @@
+#include "core/game.h"
+
+#include "common/logging.h"
+#include "core/payoff.h"
+
+namespace et {
+
+std::vector<double> GameResult::MaeSeries() const {
+  std::vector<double> out;
+  out.reserve(iterations.size());
+  for (const IterationRecord& it : iterations) out.push_back(it.mae);
+  return out;
+}
+
+Game::Game(const Relation* rel, Trainer trainer, Learner learner,
+           const GameOptions& options)
+    : rel_(rel),
+      trainer_(std::move(trainer)),
+      learner_(std::move(learner)),
+      options_(options) {
+  ET_CHECK(rel_ != nullptr);
+}
+
+Result<GameResult> Game::Run(const IterationCallback& callback) {
+  GameResult result;
+  {
+    ET_ASSIGN_OR_RETURN(double mae,
+                        trainer_.belief().MAE(learner_.belief()));
+    result.initial_mae = mae;
+  }
+  ConvergenceTracker trainer_track;
+  ConvergenceTracker learner_track;
+
+  for (size_t t = 1; t <= options_.iterations; ++t) {
+    if (!learner_.CanSelect(options_.pairs_per_iteration)) {
+      if (options_.allow_early_exhaustion) {
+        result.pool_exhausted = true;
+        break;
+      }
+      return Status::FailedPrecondition(
+          "candidate pool exhausted at iteration " + std::to_string(t));
+    }
+    ET_ASSIGN_OR_RETURN(
+        std::vector<RowPair> pairs,
+        learner_.SelectExamples(*rel_, options_.pairs_per_iteration));
+
+    // Trainer learns from what it sees, then labels.
+    trainer_.Observe(*rel_, pairs);
+    std::vector<LabeledPair> labels = trainer_.Label(*rel_, pairs);
+
+    // Learner learns from the labels.
+    learner_.Consume(*rel_, labels);
+
+    IterationRecord rec;
+    rec.t = t;
+    rec.labels = labels;
+    ET_ASSIGN_OR_RETURN(rec.mae,
+                        trainer_.belief().MAE(learner_.belief()));
+    rec.trainer_payoff = TrainerPayoff(trainer_.belief(), *rel_, labels,
+                                       trainer_.options().inference);
+    rec.learner_payoff =
+        LearnerRealizedPayoff(learner_.belief(), *rel_, labels);
+    rec.trainer_top_fd = trainer_.belief().Top1();
+    rec.learner_top_fd = learner_.belief().Top1();
+
+    // Empirical behaviour: the trainer's realized action is the rule it
+    // labeled by; the learner's are the pairs it presented (ids = pair
+    // hash reduced to the pool domain via the pair key itself).
+    rec.trainer_drift = trainer_track.RecordIteration({rec.trainer_top_fd});
+    std::vector<size_t> pair_ids;
+    pair_ids.reserve(pairs.size());
+    for (const RowPair& p : pairs) {
+      pair_ids.push_back((static_cast<size_t>(p.first) << 20) ^
+                         static_cast<size_t>(p.second));
+    }
+    rec.learner_drift = learner_track.RecordIteration(pair_ids);
+
+    result.iterations.push_back(rec);
+    if (callback) callback(result.iterations.back());
+  }
+  return result;
+}
+
+}  // namespace et

@@ -1,0 +1,88 @@
+// The exploratory-training game loop (Section 2).
+//
+// Each interaction t: the learner presents k examples (pairs), the
+// trainer observes them (updating its belief — P^T), labels them per
+// its current belief (R^T), and the learner consumes the labels (P^L).
+// The engine records per-iteration metrics: trainer/learner belief MAE,
+// payoffs, empirical-behaviour drift, and optional F1 of the learner's
+// error detection on a held-out test set.
+
+#ifndef ET_CORE_GAME_H_
+#define ET_CORE_GAME_H_
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/convergence.h"
+#include "core/learner.h"
+#include "core/trainer.h"
+
+namespace et {
+
+struct GameOptions {
+  /// Number of interactions N (paper: 30).
+  size_t iterations = 30;
+  /// Pairs presented per interaction; the paper's sample of k = 10
+  /// tuples corresponds to 5 pairs.
+  size_t pairs_per_iteration = 5;
+  /// Stop early when the pool cannot supply fresh pairs (otherwise the
+  /// run fails). The paper's datasets are large enough to never hit
+  /// this; small tests may.
+  bool allow_early_exhaustion = true;
+};
+
+/// Everything measured in one interaction.
+struct IterationRecord {
+  size_t t = 0;
+  std::vector<LabeledPair> labels;
+  /// MAE between trainer and learner beliefs *after* the interaction.
+  double mae = 0.0;
+  /// Realized payoffs of the interaction.
+  double trainer_payoff = 0.0;
+  double learner_payoff = 0.0;
+  /// Agents' current top FD (hypothesis-space index).
+  size_t trainer_top_fd = 0;
+  size_t learner_top_fd = 0;
+  /// Empirical-behaviour drift of each agent (L1 on Phi_t).
+  double trainer_drift = 0.0;
+  double learner_drift = 0.0;
+};
+
+struct GameResult {
+  std::vector<IterationRecord> iterations;
+  /// MAE before any interaction (prior disagreement).
+  double initial_mae = 0.0;
+  bool pool_exhausted = false;
+
+  std::vector<double> MaeSeries() const;
+};
+
+/// Callback invoked after every interaction, e.g. to compute held-out
+/// F1; receives the current iteration record (mutable, to attach
+/// nothing — it may inspect learner/trainer via captured state).
+using IterationCallback = std::function<void(const IterationRecord&)>;
+
+/// Runs the game to completion. The relation is shared, read-only
+/// during the run.
+class Game {
+ public:
+  Game(const Relation* rel, Trainer trainer, Learner learner,
+       const GameOptions& options);
+
+  /// Runs all iterations (or until pool exhaustion when allowed).
+  Result<GameResult> Run(const IterationCallback& callback = nullptr);
+
+  const Trainer& trainer() const { return trainer_; }
+  const Learner& learner() const { return learner_; }
+
+ private:
+  const Relation* rel_;
+  Trainer trainer_;
+  Learner learner_;
+  GameOptions options_;
+};
+
+}  // namespace et
+
+#endif  // ET_CORE_GAME_H_

@@ -1,0 +1,46 @@
+#include "core/inference.h"
+
+#include <algorithm>
+
+#include "fd/g1.h"
+
+namespace et {
+
+PairPrediction PredictPair(const BeliefModel& belief, const Relation& rel,
+                           const RowPair& pair,
+                           const InferenceOptions& options) {
+  const HypothesisSpace& space = belief.space();
+  std::vector<size_t> indices;
+  if (options.top_k == 0 || options.top_k >= space.size()) {
+    indices.resize(space.size());
+    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  } else {
+    indices = belief.TopK(options.top_k);
+  }
+  double num = 0.0;
+  double den = 0.0;
+  for (size_t idx : indices) {
+    const double mu = belief.Confidence(idx);
+    if (mu < options.min_confidence) continue;
+    const PairCompliance c =
+        CheckPair(rel, space.fd(idx), pair.first, pair.second);
+    if (c == PairCompliance::kInapplicable) continue;
+    // Endorsement weight: how far above indifference the belief sits.
+    const double w = (mu - options.min_confidence) /
+                     (1.0 - options.min_confidence);
+    const double evidence =
+        (c == PairCompliance::kViolates) ? mu : 1.0 - mu;
+    num += w * evidence;
+    den += w;
+  }
+  PairPrediction out;
+  if (den > 0.0) {
+    const double p = std::clamp(num / den, 0.0, 1.0);
+    // FD violations implicate both tuples symmetrically (Example 2).
+    out.first_dirty = p;
+    out.second_dirty = p;
+  }
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,49 @@
+// Turning a belief into label predictions for tuple pairs — the bridge
+// between beliefs theta and the game's payoffs/policies.
+//
+// Example 2 of the paper: an FD with violation measure m marks tuples of
+// a violating pair dirty with probability 1 - m and tuples of a
+// satisfying pair dirty with probability m. With confidence mu = 1 - m,
+// a believed FD therefore contributes dirty-evidence mu on violation
+// and 1 - mu on satisfaction. Evidence is mixed over the FDs the belief
+// actually endorses (mean above 1/2), weighted by how strongly.
+
+#ifndef ET_CORE_INFERENCE_H_
+#define ET_CORE_INFERENCE_H_
+
+#include "belief/belief_model.h"
+#include "data/relation.h"
+#include "fd/violations.h"
+
+namespace et {
+
+/// Predicted per-tuple dirty probabilities for one presented pair.
+struct PairPrediction {
+  double first_dirty = 0.0;
+  double second_dirty = 0.0;
+};
+
+struct InferenceOptions {
+  /// Restrict evidence to the belief's top_k FDs (0 = all FDs).
+  size_t top_k = 0;
+  /// Minimum confidence for an FD to contribute evidence; FDs the
+  /// belief does not endorse stay silent.
+  double min_confidence = 0.5;
+};
+
+/// Dirty probabilities of a pair's tuples under `belief`. A pair
+/// inapplicable to every endorsed FD predicts clean (probability 0):
+/// with no believed rule firing, there is no evidence of dirt.
+PairPrediction PredictPair(const BeliefModel& belief, const Relation& rel,
+                           const RowPair& pair,
+                           const InferenceOptions& options = {});
+
+/// theta(y | x): the probability the belief assigns to labeling
+/// `dirty`/clean for one tuple whose predicted dirty probability is p.
+inline double LabelProbability(double p_dirty, bool label_dirty) {
+  return label_dirty ? p_dirty : 1.0 - p_dirty;
+}
+
+}  // namespace et
+
+#endif  // ET_CORE_INFERENCE_H_

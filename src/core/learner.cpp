@@ -1,0 +1,129 @@
+#include "core/learner.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace et {
+
+Learner::Learner(BeliefModel prior, std::unique_ptr<ResponsePolicy> policy,
+                 std::vector<RowPair> candidate_pool,
+                 const LearnerOptions& options, uint64_t seed)
+    : belief_(std::move(prior)),
+      policy_(std::move(policy)),
+      pool_(std::move(candidate_pool)),
+      options_(options),
+      rng_(seed) {
+  ET_CHECK(policy_ != nullptr);
+  ET_CHECK(!pool_.empty()) << "learner needs a non-empty candidate pool";
+}
+
+std::vector<RowPair> Learner::FreshCandidates() const {
+  std::vector<RowPair> fresh;
+  fresh.reserve(pool_.size() - shown_.size());
+  for (const RowPair& p : pool_) {
+    if (!shown_.count(p)) fresh.push_back(p);
+  }
+  return fresh;
+}
+
+size_t Learner::fresh_pool_size() const {
+  return pool_.size() - shown_.size();
+}
+
+size_t Learner::RevisitSlots(size_t k) const {
+  if (options_.revisit_fraction <= 0.0) return 0;
+  size_t slots = static_cast<size_t>(
+      options_.revisit_fraction * static_cast<double>(k));
+  return std::min(slots, shown_.size());
+}
+
+bool Learner::CanSelect(size_t k) const {
+  return fresh_pool_size() + RevisitSlots(k) >= k;
+}
+
+Result<std::vector<RowPair>> Learner::SelectExamples(const Relation& rel,
+                                                     size_t k) {
+  last_revisited_.clear();
+  const size_t revisit = RevisitSlots(k);
+  const size_t fresh_needed = k - revisit;
+  const std::vector<RowPair> fresh = FreshCandidates();
+  if (fresh.size() < fresh_needed) {
+    return Status::FailedPrecondition(
+        "candidate pool exhausted: " + std::to_string(fresh.size()) +
+        " fresh pairs left, need " + std::to_string(fresh_needed));
+  }
+  ET_ASSIGN_OR_RETURN(
+      std::vector<RowPair> picked,
+      policy_->SelectPairs(belief_, rel, fresh, fresh_needed, rng_));
+  for (const RowPair& p : picked) shown_.insert(p);
+  if (revisit > 0) {
+    // Uniformly re-present previously shown pairs (sorted snapshot for
+    // determinism across hash-set iteration orders).
+    std::vector<RowPair> old(shown_.begin(), shown_.end());
+    std::sort(old.begin(), old.end());
+    // Exclude this round's fresh picks.
+    std::unordered_set<RowPair, RowPairHash> this_round(picked.begin(),
+                                                        picked.end());
+    std::vector<RowPair> eligible;
+    eligible.reserve(old.size());
+    for (const RowPair& p : old) {
+      if (!this_round.count(p)) eligible.push_back(p);
+    }
+    const size_t take = std::min(revisit, eligible.size());
+    const auto idx =
+        rng_.SampleWithoutReplacement(eligible.size(), take);
+    for (size_t i : idx) {
+      picked.push_back(eligible[i]);
+      last_revisited_.insert(eligible[i]);
+    }
+  }
+  return picked;
+}
+
+void Learner::Consume(const Relation& rel,
+                      const std::vector<LabeledPair>& labels) {
+  if (options_.forgetting_factor < 1.0) {
+    for (size_t i = 0; i < belief_.size(); ++i) {
+      belief_.beta(i).Decay(options_.forgetting_factor);
+    }
+  }
+  std::vector<LabeledPair> first_time;
+  std::vector<LabeledPair> revisited;
+  for (const LabeledPair& lp : labels) {
+    (last_revisited_.count(lp.pair) ? revisited : first_time)
+        .push_back(lp);
+  }
+  UpdateFromLabels(&belief_, rel, first_time, options_.update_weights);
+
+  if (!revisited.empty()) {
+    if (options_.replace_on_revisit) {
+      // Withdraw each pair's previous opinion, then apply the new one
+      // at base weight.
+      for (const LabeledPair& lp : revisited) {
+        auto it = previous_label_.find(lp.pair);
+        if (it != previous_label_.end()) {
+          RemoveLabelEvidence(&belief_, rel, {it->second},
+                              options_.update_weights);
+        }
+        UpdateFromLabels(&belief_, rel, {lp}, options_.update_weights);
+      }
+    } else {
+      UpdateWeights boosted = options_.update_weights;
+      boosted.clean_satisfies *= options_.revisit_weight;
+      boosted.clean_violates *= options_.revisit_weight;
+      boosted.dirty_violates *= options_.revisit_weight;
+      boosted.dirty_satisfies *= options_.revisit_weight;
+      UpdateFromLabels(&belief_, rel, revisited, boosted);
+    }
+  }
+  for (const LabeledPair& lp : labels) previous_label_[lp.pair] = lp;
+  last_revisited_.clear();
+}
+
+std::vector<double> Learner::CurrentDistribution(
+    const Relation& rel) const {
+  return policy_->Distribution(belief_, rel, FreshCandidates());
+}
+
+}  // namespace et

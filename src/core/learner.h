@@ -1,0 +1,93 @@
+// The learner agent — the active-learning system side of the game.
+//
+// Prediction model P^L: FP/Bayesian updating from the trainer's labeled
+// pairs (belief/update.h). Response model R^L: one of the four policies
+// in core/policies.h, applied to a candidate-pair pool with
+// already-shown pairs removed ("a fresh example in each interaction").
+
+#ifndef ET_CORE_LEARNER_H_
+#define ET_CORE_LEARNER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "belief/belief_model.h"
+#include "belief/update.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/policies.h"
+
+namespace et {
+
+struct LearnerOptions {
+  /// Evidence weights of the label-update rule.
+  UpdateWeights update_weights;
+  /// Extension (App. D discusses relabeling as future work): fraction
+  /// of each interaction's slots used to *re-present* previously shown
+  /// pairs, letting a trainer whose belief has moved revise earlier
+  /// labels. 0 = the paper's fresh-examples-only protocol.
+  double revisit_fraction = 0.0;
+  /// How relabeling evidence is weighted relative to first labels
+  /// (> 1 favours newer opinions). Ignored when replace_on_revisit.
+  double revisit_weight = 2.0;
+  /// Replacement semantics for revisits: retract the evidence the
+  /// pair's previous label contributed, then apply the new label — the
+  /// old opinion is withdrawn rather than averaged against.
+  bool replace_on_revisit = false;
+  /// Extension: exponential evidence forgetting applied before each
+  /// Consume (1.0 = the paper's accumulate-forever updating). With a
+  /// non-stationary trainer, old labels reflect an old belief;
+  /// discounting them lets the learner track the drift.
+  double forgetting_factor = 1.0;
+};
+
+class Learner {
+ public:
+  Learner(BeliefModel prior, std::unique_ptr<ResponsePolicy> policy,
+          std::vector<RowPair> candidate_pool,
+          const LearnerOptions& options, uint64_t seed);
+
+  /// R^L: selects `k` pairs — fresh ones by default; when
+  /// revisit_fraction > 0, a share of the slots re-presents previously
+  /// shown pairs. Fails when the fresh pool cannot fill the remaining
+  /// slots.
+  Result<std::vector<RowPair>> SelectExamples(const Relation& rel,
+                                              size_t k);
+
+  /// Whether SelectExamples(k) can currently succeed.
+  bool CanSelect(size_t k) const;
+
+  /// P^L: consumes the trainer's labels. Labels for re-presented pairs
+  /// are weighted by revisit_weight (newer opinions count more).
+  void Consume(const Relation& rel, const std::vector<LabeledPair>& labels);
+
+  /// The current selection distribution over the *fresh* pool (used by
+  /// convergence tracking and tests).
+  std::vector<double> CurrentDistribution(const Relation& rel) const;
+
+  const BeliefModel& belief() const { return belief_; }
+  const ResponsePolicy& policy() const { return *policy_; }
+  size_t fresh_pool_size() const;
+
+ private:
+  std::vector<RowPair> FreshCandidates() const;
+  size_t RevisitSlots(size_t k) const;
+
+  BeliefModel belief_;
+  std::unique_ptr<ResponsePolicy> policy_;
+  std::vector<RowPair> pool_;
+  std::unordered_set<RowPair, RowPairHash> shown_;
+  /// Pairs re-presented in the latest SelectExamples call (consumed by
+  /// the next Consume to weight relabeling evidence).
+  std::unordered_set<RowPair, RowPairHash> last_revisited_;
+  /// Last label consumed per pair (for replacement semantics).
+  std::unordered_map<RowPair, LabeledPair, RowPairHash> previous_label_;
+  LearnerOptions options_;
+  Rng rng_;
+};
+
+}  // namespace et
+
+#endif  // ET_CORE_LEARNER_H_

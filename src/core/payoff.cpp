@@ -1,0 +1,57 @@
+#include "core/payoff.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/math.h"
+
+namespace et {
+
+double TrainerPayoff(const BeliefModel& trainer_belief, const Relation& rel,
+                     const std::vector<LabeledPair>& labels,
+                     const InferenceOptions& options) {
+  double payoff = 0.0;
+  for (const LabeledPair& lp : labels) {
+    const PairPrediction p =
+        PredictPair(trainer_belief, rel, lp.pair, options);
+    payoff += LabelProbability(p.first_dirty, lp.first_dirty);
+    payoff += LabelProbability(p.second_dirty, lp.second_dirty);
+  }
+  return payoff;
+}
+
+double LearnerExamplePayoff(const BeliefModel& learner_belief,
+                            const Relation& rel, const RowPair& pair,
+                            const InferenceOptions& options) {
+  const PairPrediction p = PredictPair(learner_belief, rel, pair, options);
+  const double c1 = std::max(p.first_dirty, 1.0 - p.first_dirty);
+  const double c2 = std::max(p.second_dirty, 1.0 - p.second_dirty);
+  return 0.5 * (c1 + c2);
+}
+
+double LearnerRealizedPayoff(const BeliefModel& learner_belief,
+                             const Relation& rel,
+                             const std::vector<LabeledPair>& labels,
+                             const InferenceOptions& options) {
+  double payoff = 0.0;
+  for (const LabeledPair& lp : labels) {
+    const PairPrediction p =
+        PredictPair(learner_belief, rel, lp.pair, options);
+    payoff += 0.5 * (LabelProbability(p.first_dirty, lp.first_dirty) +
+                     LabelProbability(p.second_dirty, lp.second_dirty));
+  }
+  return payoff;
+}
+
+double LearnerPolicyPayoff(const std::vector<double>& probabilities,
+                           const std::vector<double>& example_payoffs,
+                           double gamma) {
+  assert(probabilities.size() == example_payoffs.size());
+  double expected = 0.0;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    expected += probabilities[i] * example_payoffs[i];
+  }
+  return expected + gamma * Entropy(probabilities);
+}
+
+}  // namespace et

@@ -1,0 +1,51 @@
+// The game's payoff functions (Section 2 of the paper).
+//
+//   u_T(theta^T, pi^T)  — trainer: sum over labeled examples of
+//                         theta^T(pi^T(x) | x).
+//   u_a(theta^L, x)     — learner, per example: the probability the
+//                         learner's belief assigns to the label it
+//                         expects for x (its prediction confidence).
+//   u_L = u_a - gamma * sum pi(x) ln pi(x)
+//                       — learner, per policy: expected prediction
+//                         payoff plus an entropy bonus rewarding
+//                         representative, diverse example sets.
+
+#ifndef ET_CORE_PAYOFF_H_
+#define ET_CORE_PAYOFF_H_
+
+#include <vector>
+
+#include "belief/update.h"
+#include "core/inference.h"
+
+namespace et {
+
+/// u_T: the trainer's payoff for its own labeling of the presented
+/// pairs under its belief (per-tuple label probabilities summed).
+double TrainerPayoff(const BeliefModel& trainer_belief, const Relation& rel,
+                     const std::vector<LabeledPair>& labels,
+                     const InferenceOptions& options = {});
+
+/// u_a for one example pair: the learner's confidence in its own label
+/// prediction, max_y theta(y|x), averaged over the pair's two tuples.
+double LearnerExamplePayoff(const BeliefModel& learner_belief,
+                            const Relation& rel, const RowPair& pair,
+                            const InferenceOptions& options = {});
+
+/// Realized u_a once the trainer's labels are known: theta^L(y|x) for
+/// the actual labels, averaged per pair and summed over pairs.
+double LearnerRealizedPayoff(const BeliefModel& learner_belief,
+                             const Relation& rel,
+                             const std::vector<LabeledPair>& labels,
+                             const InferenceOptions& options = {});
+
+/// u_L: expected example payoff under the selection distribution plus
+/// gamma times its Shannon entropy. `probabilities` and
+/// `example_payoffs` are parallel over the candidate set.
+double LearnerPolicyPayoff(const std::vector<double>& probabilities,
+                           const std::vector<double>& example_payoffs,
+                           double gamma);
+
+}  // namespace et
+
+#endif  // ET_CORE_PAYOFF_H_

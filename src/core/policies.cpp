@@ -1,0 +1,338 @@
+#include "core/policies.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/math.h"
+#include "core/payoff.h"
+#include "fd/g1.h"
+
+namespace et {
+
+const char* PolicyKindToString(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return "Random";
+    case PolicyKind::kUncertainty:
+      return "US";
+    case PolicyKind::kStochasticBestResponse:
+      return "StochasticBR";
+    case PolicyKind::kStochasticUncertainty:
+      return "StochasticUS";
+    case PolicyKind::kQueryByCommittee:
+      return "QBC";
+    case PolicyKind::kDensityWeightedUncertainty:
+      return "DensityUS";
+  }
+  return "?";
+}
+
+Result<std::vector<RowPair>> ResponsePolicy::SelectPairs(
+    const BeliefModel& belief, const Relation& rel,
+    const std::vector<RowPair>& candidates, size_t k, Rng& rng) const {
+  if (k > candidates.size()) {
+    return Status::InvalidArgument(
+        "cannot select " + std::to_string(k) + " pairs from pool of " +
+        std::to_string(candidates.size()));
+  }
+  std::vector<double> weights = Distribution(belief, rel, candidates);
+  std::vector<RowPair> out;
+  out.reserve(k);
+  for (size_t draw = 0; draw < k; ++draw) {
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total <= 0.0) {
+      // Remaining mass exhausted numerically: fall back to uniform over
+      // the not-yet-chosen candidates.
+      for (size_t i = 0; i < weights.size(); ++i) {
+        weights[i] = (weights[i] < 0.0) ? 0.0 : 1.0;
+      }
+      for (const RowPair& p : out) {
+        auto it = std::find(candidates.begin(), candidates.end(), p);
+        weights[static_cast<size_t>(it - candidates.begin())] = 0.0;
+      }
+      total = std::accumulate(weights.begin(), weights.end(), 0.0);
+      if (total <= 0.0) break;
+    }
+    const size_t idx = rng.NextDiscrete(weights);
+    out.push_back(candidates[idx]);
+    weights[idx] = 0.0;
+  }
+  return out;
+}
+
+namespace {
+
+class RandomPolicy final : public ResponsePolicy {
+ public:
+  PolicyKind kind() const override { return PolicyKind::kRandom; }
+
+  std::vector<double> Distribution(
+      const BeliefModel&, const Relation&,
+      const std::vector<RowPair>& candidates) const override {
+    if (candidates.empty()) return {};
+    return std::vector<double>(candidates.size(),
+                               1.0 / static_cast<double>(candidates.size()));
+  }
+};
+
+// Shared scoring helpers.
+std::vector<double> PayoffScores(const BeliefModel& belief,
+                                 const Relation& rel,
+                                 const std::vector<RowPair>& candidates,
+                                 const InferenceOptions& inference) {
+  std::vector<double> s(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    s[i] = LearnerExamplePayoff(belief, rel, candidates[i], inference);
+  }
+  return s;
+}
+
+std::vector<double> EntropyScores(const BeliefModel& belief,
+                                  const Relation& rel,
+                                  const std::vector<RowPair>& candidates,
+                                  const InferenceOptions& inference) {
+  std::vector<double> s(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const PairPrediction p =
+        PredictPair(belief, rel, candidates[i], inference);
+    s[i] = 0.5 * (BinaryEntropy(p.first_dirty) +
+                  BinaryEntropy(p.second_dirty));
+  }
+  return s;
+}
+
+class UncertaintyPolicy final : public ResponsePolicy {
+ public:
+  explicit UncertaintyPolicy(InferenceOptions inference)
+      : inference_(inference) {}
+
+  PolicyKind kind() const override { return PolicyKind::kUncertainty; }
+
+  std::vector<double> Distribution(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const override {
+    // Deterministic policy: all mass on the argmax (ties split evenly),
+    // which is also what the empirical-frequency tracker should see.
+    std::vector<double> s =
+        EntropyScores(belief, rel, candidates, inference_);
+    std::vector<double> out(candidates.size(), 0.0);
+    if (candidates.empty()) return out;
+    const double best = *std::max_element(s.begin(), s.end());
+    size_t ties = 0;
+    for (double v : s) ties += (v == best);
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == best) out[i] = 1.0 / static_cast<double>(ties);
+    }
+    return out;
+  }
+
+  Result<std::vector<RowPair>> SelectPairs(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates, size_t k,
+      Rng& rng) const override {
+    if (k > candidates.size()) {
+      return Status::InvalidArgument("pool smaller than k");
+    }
+    // Greedy top-k by entropy score; ties broken by pool order for
+    // determinism (rng unused).
+    (void)rng;
+    std::vector<double> s =
+        EntropyScores(belief, rel, candidates, inference_);
+    std::vector<size_t> idx(candidates.size());
+    std::iota(idx.begin(), idx.end(), 0);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](size_t a, size_t b) { return s[a] > s[b]; });
+    std::vector<RowPair> out;
+    out.reserve(k);
+    for (size_t i = 0; i < k; ++i) out.push_back(candidates[idx[i]]);
+    return out;
+  }
+
+ private:
+  InferenceOptions inference_;
+};
+
+class SoftmaxPolicy : public ResponsePolicy {
+ public:
+  SoftmaxPolicy(double gamma, InferenceOptions inference)
+      : gamma_(gamma), inference_(inference) {}
+
+  std::vector<double> Distribution(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const override {
+    if (candidates.empty()) return {};
+    return Softmax(Scores(belief, rel, candidates), gamma_);
+  }
+
+ protected:
+  virtual std::vector<double> Scores(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const = 0;
+
+  double gamma_;
+  InferenceOptions inference_;
+};
+
+class StochasticBestResponsePolicy final : public SoftmaxPolicy {
+ public:
+  using SoftmaxPolicy::SoftmaxPolicy;
+
+  PolicyKind kind() const override {
+    return PolicyKind::kStochasticBestResponse;
+  }
+
+ protected:
+  std::vector<double> Scores(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const override {
+    return PayoffScores(belief, rel, candidates, inference_);
+  }
+};
+
+class StochasticUncertaintyPolicy final : public SoftmaxPolicy {
+ public:
+  using SoftmaxPolicy::SoftmaxPolicy;
+
+  PolicyKind kind() const override {
+    return PolicyKind::kStochasticUncertainty;
+  }
+
+ protected:
+  std::vector<double> Scores(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const override {
+    return EntropyScores(belief, rel, candidates, inference_);
+  }
+};
+
+// Query-by-committee: sample `committee_size` point beliefs from the
+// Beta posteriors, let each vote the pair's labels under its own
+// confidences, and score pairs by vote entropy. A committee that
+// agrees everywhere marks a settled model; disagreement marks pairs
+// whose labels the posterior genuinely does not pin down yet.
+class QueryByCommitteePolicy final : public SoftmaxPolicy {
+ public:
+  QueryByCommitteePolicy(double gamma, InferenceOptions inference,
+                         size_t committee_size, uint64_t seed)
+      : SoftmaxPolicy(gamma, inference),
+        committee_size_(committee_size),
+        rng_(seed) {}
+
+  PolicyKind kind() const override {
+    return PolicyKind::kQueryByCommittee;
+  }
+
+ protected:
+  std::vector<double> Scores(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const override {
+    // Draw the committee: per member, a full confidence vector sampled
+    // from the Beta posteriors, wrapped into a point-mass BeliefModel
+    // (large pseudo-counts pin the means at the samples).
+    std::vector<BeliefModel> committee;
+    committee.reserve(committee_size_);
+    for (size_t m = 0; m < committee_size_; ++m) {
+      std::vector<Beta> betas;
+      betas.reserve(belief.size());
+      for (size_t i = 0; i < belief.size(); ++i) {
+        const double sample =
+            std::clamp(belief.beta(i).Sample(rng_), 1e-3, 1.0 - 1e-3);
+        betas.push_back(Beta(sample * 1e6, (1.0 - sample) * 1e6));
+      }
+      committee.emplace_back(belief.space_ptr(), std::move(betas));
+    }
+    std::vector<double> scores(candidates.size(), 0.0);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      size_t dirty_votes = 0;
+      for (const BeliefModel& member : committee) {
+        const PairPrediction p =
+            PredictPair(member, rel, candidates[c], inference_);
+        dirty_votes += p.first_dirty > 0.5;
+      }
+      const double share = static_cast<double>(dirty_votes) /
+                           static_cast<double>(committee_size_);
+      scores[c] = BinaryEntropy(share);
+    }
+    return scores;
+  }
+
+ private:
+  size_t committee_size_;
+  mutable Rng rng_;
+};
+
+// Density-weighted uncertainty: entropy scaled by the number of
+// hypothesis-space FDs the pair carries evidence for. Representative
+// pairs teach the learner about many rules at once.
+class DensityWeightedUncertaintyPolicy final : public SoftmaxPolicy {
+ public:
+  using SoftmaxPolicy::SoftmaxPolicy;
+
+  PolicyKind kind() const override {
+    return PolicyKind::kDensityWeightedUncertainty;
+  }
+
+ protected:
+  std::vector<double> Scores(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const override {
+    const HypothesisSpace& space = belief.space();
+    std::vector<double> entropy =
+        EntropyScores(belief, rel, candidates, inference_);
+    for (size_t c = 0; c < candidates.size(); ++c) {
+      size_t applicable = 0;
+      for (const FD& fd : space.fds()) {
+        if (CheckPair(rel, fd, candidates[c].first,
+                      candidates[c].second) !=
+            PairCompliance::kInapplicable) {
+          ++applicable;
+        }
+      }
+      const double density = static_cast<double>(applicable) /
+                             static_cast<double>(space.size());
+      entropy[c] *= density;
+    }
+    return entropy;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<ResponsePolicy> MakePolicy(PolicyKind kind,
+                                           const PolicyOptions& options) {
+  switch (kind) {
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+    case PolicyKind::kUncertainty:
+      return std::make_unique<UncertaintyPolicy>(options.inference);
+    case PolicyKind::kStochasticBestResponse:
+      return std::make_unique<StochasticBestResponsePolicy>(
+          options.gamma, options.inference);
+    case PolicyKind::kStochasticUncertainty:
+      return std::make_unique<StochasticUncertaintyPolicy>(
+          options.gamma, options.inference);
+    case PolicyKind::kQueryByCommittee:
+      return std::make_unique<QueryByCommitteePolicy>(
+          options.gamma, options.inference, options.committee_size,
+          options.committee_seed);
+    case PolicyKind::kDensityWeightedUncertainty:
+      return std::make_unique<DensityWeightedUncertaintyPolicy>(
+          options.gamma, options.inference);
+  }
+  return nullptr;
+}
+
+std::vector<PolicyKind> AllPolicyKinds() {
+  return {PolicyKind::kRandom, PolicyKind::kUncertainty,
+          PolicyKind::kStochasticBestResponse,
+          PolicyKind::kStochasticUncertainty};
+}
+
+std::vector<PolicyKind> ExtendedPolicyKinds() {
+  std::vector<PolicyKind> kinds = AllPolicyKinds();
+  kinds.push_back(PolicyKind::kQueryByCommittee);
+  kinds.push_back(PolicyKind::kDensityWeightedUncertainty);
+  return kinds;
+}
+
+}  // namespace et

@@ -1,0 +1,96 @@
+// Learner response policies R^L (Section 4 of the paper).
+//
+//   Fixed Random Sampling        — uniform over the candidate pool.
+//   Uncertainty Sampling (US)    — deterministic argmax of label entropy
+//                                  under the learner's belief.
+//   Stochastic Best Response     — pi(x) ∝ exp(u_a(theta, x) / gamma).
+//   Stochastic Uncertainty       — pi(x) ∝ exp(entropy(x, theta) / gamma).
+//
+// gamma = 0.5 throughout the paper's experiments. All policies select
+// pairs of tuples and never repeat a pair within a game ("the learner
+// provides a fresh example in each interaction").
+
+#ifndef ET_CORE_POLICIES_H_
+#define ET_CORE_POLICIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "belief/belief_model.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "core/inference.h"
+#include "fd/violations.h"
+
+namespace et {
+
+/// The kind of response policy, for configs and reports.
+enum class PolicyKind {
+  kRandom,
+  kUncertainty,
+  kStochasticBestResponse,
+  kStochasticUncertainty,
+  // Extensions beyond the paper's four (classic active-learning
+  // baselines adapted to the pair setting):
+  /// Query-by-committee: a committee of beliefs sampled from the Beta
+  /// posteriors votes on each pair's labels; selection follows vote
+  /// disagreement (softmax with gamma).
+  kQueryByCommittee,
+  /// Density-weighted uncertainty: entropy scaled by how many
+  /// hypothesis-space FDs the pair is applicable to (informative for
+  /// many rules = representative), softmax with gamma.
+  kDensityWeightedUncertainty,
+};
+
+const char* PolicyKindToString(PolicyKind kind);
+
+/// Interface: select `k` fresh pairs from `candidates` given the
+/// learner's current belief. `candidates` excludes already-shown pairs
+/// (the Learner filters them before calling).
+class ResponsePolicy {
+ public:
+  virtual ~ResponsePolicy() = default;
+
+  virtual PolicyKind kind() const = 0;
+  std::string name() const { return PolicyKindToString(kind()); }
+
+  /// Selection distribution pi_t^L over `candidates` under `belief`
+  /// (the per-interaction policy of Section 2). Sums to 1.
+  virtual std::vector<double> Distribution(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const = 0;
+
+  /// Draws `k` distinct pairs. Default: sequential draws from
+  /// Distribution() with chosen entries zeroed out. Deterministic
+  /// policies override. k must be <= candidates.size().
+  virtual Result<std::vector<RowPair>> SelectPairs(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates, size_t k, Rng& rng) const;
+};
+
+/// Factory configuration.
+struct PolicyOptions {
+  /// Exploration temperature gamma of the stochastic policies.
+  double gamma = 0.5;
+  /// Inference options used to score pairs under the belief.
+  InferenceOptions inference;
+  /// Committee size for query-by-committee.
+  size_t committee_size = 8;
+  /// Seed for the committee's posterior draws.
+  uint64_t committee_seed = 0xC0117EE;
+};
+
+/// Creates a policy of the given kind.
+std::unique_ptr<ResponsePolicy> MakePolicy(PolicyKind kind,
+                                           const PolicyOptions& options = {});
+
+/// The paper's four policies, in the order the figures list them.
+std::vector<PolicyKind> AllPolicyKinds();
+
+/// The paper's four plus the extension baselines.
+std::vector<PolicyKind> ExtendedPolicyKinds();
+
+}  // namespace et
+
+#endif  // ET_CORE_POLICIES_H_

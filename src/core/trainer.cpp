@@ -1,0 +1,104 @@
+#include "core/trainer.h"
+
+#include "fd/g1.h"
+
+namespace et {
+
+Trainer::Trainer(BeliefModel prior, const TrainerOptions& options,
+                 uint64_t seed)
+    : belief_(std::move(prior)), options_(options), rng_(seed) {
+  if (options_.prediction == TrainerPrediction::kHypothesisTesting) {
+    ht_current_ = belief_.Top1();
+    HtRebuildProxyBelief();
+  }
+}
+
+double Trainer::HtViolationRate(const Relation& rel, size_t idx) const {
+  const FD& fd = belief_.space().fd(idx);
+  size_t applicable = 0;
+  size_t violating = 0;
+  for (const auto& interaction : ht_window_) {
+    for (const RowPair& p : interaction) {
+      switch (CheckPair(rel, fd, p.first, p.second)) {
+        case PairCompliance::kSatisfies:
+          ++applicable;
+          break;
+        case PairCompliance::kViolates:
+          ++applicable;
+          ++violating;
+          break;
+        case PairCompliance::kInapplicable:
+          break;
+      }
+    }
+  }
+  if (applicable == 0) return 0.0;
+  return static_cast<double>(violating) / static_cast<double>(applicable);
+}
+
+void Trainer::HtRebuildProxyBelief() {
+  // The HT trainer's "belief" for payoff/MAE purposes: confident in the
+  // working hypothesis, dismissive of the rest.
+  const double strength = 20.0;
+  for (size_t i = 0; i < belief_.size(); ++i) {
+    const double mean = (i == ht_current_)
+                            ? options_.ht_current_confidence
+                            : options_.ht_other_confidence;
+    belief_.beta(i) = Beta(mean * strength, (1.0 - mean) * strength);
+  }
+}
+
+void Trainer::HtObserve(const Relation& rel,
+                        const std::vector<RowPair>& pairs) {
+  ht_window_.push_back(pairs);
+  while (ht_window_.size() > options_.ht_window) ht_window_.pop_front();
+  if (HtViolationRate(rel, ht_current_) > options_.ht_tolerance) {
+    double best_rate = HtViolationRate(rel, ht_current_);
+    size_t best = ht_current_;
+    for (size_t i = 0; i < belief_.size(); ++i) {
+      const double rate = HtViolationRate(rel, i);
+      if (rate < best_rate) {
+        best_rate = rate;
+        best = i;
+      }
+    }
+    ht_current_ = best;
+  }
+  HtRebuildProxyBelief();
+}
+
+void Trainer::Observe(const Relation& rel,
+                      const std::vector<RowPair>& pairs) {
+  if (!options_.learns) return;
+  if (options_.prediction == TrainerPrediction::kHypothesisTesting) {
+    HtObserve(rel, pairs);
+    return;
+  }
+  UpdateFromObservation(&belief_, rel, pairs);
+}
+
+std::vector<LabeledPair> Trainer::Label(
+    const Relation& rel, const std::vector<RowPair>& pairs) {
+  std::vector<LabeledPair> out;
+  out.reserve(pairs.size());
+  for (const RowPair& pair : pairs) {
+    const PairPrediction p =
+        PredictPair(belief_, rel, pair, options_.inference);
+    LabeledPair lp;
+    lp.pair = pair;
+    lp.first_dirty = p.first_dirty > 0.5;
+    lp.second_dirty = p.second_dirty > 0.5;
+    if (options_.label_noise > 0.0) {
+      if (rng_.NextBernoulli(options_.label_noise)) {
+        lp.first_dirty = !lp.first_dirty;
+      }
+      if (rng_.NextBernoulli(options_.label_noise)) {
+        lp.second_dirty = !lp.second_dirty;
+      }
+    }
+    out.push_back(lp);
+  }
+  return out;
+}
+
+}  // namespace et

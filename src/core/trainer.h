@@ -1,0 +1,92 @@
+// The trainer agent — the simulated human annotator of the game.
+//
+// Prediction model P^T: Fictitious Play / Bayesian updating from the
+// *observed* samples (the user study found FP models human trainers
+// best). This is the source of non-stationarity: the trainer's labeling
+// strategy tracks its drifting belief.
+//
+// Response model R^T (best response): label each presented tuple dirty
+// exactly when the belief's dirty probability exceeds 1/2 — the labeling
+// that maximizes u_T given theta^T. Optional label noise models slips.
+
+#ifndef ET_CORE_TRAINER_H_
+#define ET_CORE_TRAINER_H_
+
+#include <deque>
+#include <vector>
+
+#include "belief/belief_model.h"
+#include "belief/update.h"
+#include "common/rng.h"
+#include "core/inference.h"
+
+namespace et {
+
+/// The trainer's prediction model P^T (Section 3 of the paper).
+enum class TrainerPrediction {
+  /// Fictitious Play / Bayesian — what the user study found humans do.
+  kFictitiousPlay,
+  /// Hypothesis testing: keep a single working hypothesis; reject it
+  /// when it fails to explain the recent window; adopt the best
+  /// replacement. The belief exposed to the game is a proxy (high
+  /// confidence on the working hypothesis, low elsewhere).
+  kHypothesisTesting,
+};
+
+struct TrainerOptions {
+  /// When false the trainer never updates its belief — the stationary
+  /// annotator current active-learning systems assume. Figures compare
+  /// against the learning (non-stationary) trainer.
+  bool learns = true;
+  /// Probability of flipping each emitted label (annotation slip).
+  double label_noise = 0.0;
+  /// Inference options used when labeling.
+  InferenceOptions inference;
+  /// Human-learning model driving belief updates.
+  TrainerPrediction prediction = TrainerPrediction::kFictitiousPlay;
+  /// Hypothesis-testing knobs (used when prediction = kHypothesisTesting).
+  double ht_tolerance = 0.2;
+  size_t ht_window = 1;
+  /// Proxy-belief confidences the HT trainer exposes.
+  double ht_current_confidence = 0.95;
+  double ht_other_confidence = 0.10;
+};
+
+class Trainer {
+ public:
+  /// For a hypothesis-testing trainer the prior's top FD becomes the
+  /// initial working hypothesis and the proxy belief is built from it.
+  Trainer(BeliefModel prior, const TrainerOptions& options, uint64_t seed);
+
+  /// P^T: updates the belief from the raw compliance evidence of the
+  /// presented pairs (no-op for a stationary trainer).
+  void Observe(const Relation& rel, const std::vector<RowPair>& pairs);
+
+  /// R^T: labels each presented pair per the current belief; does not
+  /// change the belief.
+  std::vector<LabeledPair> Label(const Relation& rel,
+                                 const std::vector<RowPair>& pairs);
+
+  const BeliefModel& belief() const { return belief_; }
+  const TrainerOptions& options() const { return options_; }
+
+  /// Hypothesis-testing trainers: the current working hypothesis.
+  size_t current_hypothesis() const { return ht_current_; }
+
+ private:
+  /// HT internals: violation rate of FD idx over the window.
+  double HtViolationRate(const Relation& rel, size_t idx) const;
+  void HtObserve(const Relation& rel, const std::vector<RowPair>& pairs);
+  void HtRebuildProxyBelief();
+
+  BeliefModel belief_;
+  TrainerOptions options_;
+  Rng rng_;
+  // Hypothesis-testing state.
+  size_t ht_current_ = 0;
+  std::deque<std::vector<RowPair>> ht_window_;
+};
+
+}  // namespace et
+
+#endif  // ET_CORE_TRAINER_H_

@@ -1,0 +1,166 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace et {
+namespace {
+
+// Parses records incrementally, handling quotes per RFC 4180.
+class CsvParser {
+ public:
+  CsvParser(const std::string& text, char sep) : text_(text), sep_(sep) {}
+
+  /// Reads the next record. Returns false at end of input. On malformed
+  /// quoting, returns an error through `status`.
+  bool NextRecord(std::vector<std::string>* record, Status* status) {
+    record->clear();
+    *status = Status::OK();
+    if (pos_ >= text_.size()) return false;
+    std::string field;
+    bool in_quotes = false;
+    bool field_was_quoted = false;
+    for (;;) {
+      if (pos_ >= text_.size()) {
+        if (in_quotes) {
+          *status = Status::IOError("unterminated quoted field");
+          return false;
+        }
+        record->push_back(std::move(field));
+        return true;
+      }
+      const char c = text_[pos_];
+      if (in_quotes) {
+        if (c == '"') {
+          if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
+            field.push_back('"');
+            pos_ += 2;
+          } else {
+            in_quotes = false;
+            ++pos_;
+          }
+        } else {
+          field.push_back(c);
+          ++pos_;
+        }
+        continue;
+      }
+      if (c == '"' && field.empty() && !field_was_quoted) {
+        in_quotes = true;
+        field_was_quoted = true;
+        ++pos_;
+      } else if (c == sep_) {
+        record->push_back(std::move(field));
+        field.clear();
+        field_was_quoted = false;
+        ++pos_;
+      } else if (c == '\n' || c == '\r') {
+        record->push_back(std::move(field));
+        // Consume \n, \r, or \r\n.
+        ++pos_;
+        if (c == '\r' && pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+        return true;
+      } else {
+        field.push_back(c);
+        ++pos_;
+      }
+    }
+  }
+
+ private:
+  const std::string& text_;
+  char sep_;
+  size_t pos_ = 0;
+};
+
+bool NeedsQuoting(const std::string& field, char sep) {
+  for (char c : field) {
+    if (c == sep || c == '"' || c == '\n' || c == '\r') return true;
+  }
+  return false;
+}
+
+void AppendField(std::string* out, const std::string& field, char sep) {
+  if (!NeedsQuoting(field, sep)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options) {
+  CsvParser parser(text, options.separator);
+  std::vector<std::string> record;
+  Status st;
+  if (!parser.NextRecord(&record, &st)) {
+    if (!st.ok()) return st;
+    return Status::IOError("empty CSV input (no header)");
+  }
+  ET_ASSIGN_OR_RETURN(Schema schema, Schema::Make(record));
+  Relation rel(schema);
+  const size_t width = record.size();
+  size_t line = 1;
+  while (parser.NextRecord(&record, &st)) {
+    ++line;
+    // Skip a trailing blank line.
+    if (record.size() == 1 && record[0].empty()) continue;
+    if (record.size() != width) {
+      if (options.strict_field_count) {
+        return Status::IOError(
+            "record " + std::to_string(line) + " has " +
+            std::to_string(record.size()) + " fields, expected " +
+            std::to_string(width));
+      }
+      record.resize(width);
+    }
+    ET_RETURN_NOT_OK(rel.AppendRow(record));
+  }
+  if (!st.ok()) return st;
+  return rel;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ReadCsvString(ss.str(), options);
+}
+
+std::string WriteCsvString(const Relation& rel, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = rel.schema();
+  for (int c = 0; c < schema.num_attributes(); ++c) {
+    if (c) out.push_back(options.separator);
+    AppendField(&out, schema.name(c), options.separator);
+  }
+  out.push_back('\n');
+  for (RowId r = 0; r < rel.num_rows(); ++r) {
+    for (int c = 0; c < rel.num_columns(); ++c) {
+      if (c) out.push_back(options.separator);
+      AppendField(&out, rel.cell(r, c), options.separator);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Relation& rel, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open " + path + " for write");
+  out << WriteCsvString(rel, options);
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace et

@@ -1,0 +1,43 @@
+// RFC-4180-style CSV reader/writer for Relations.
+//
+// Supports quoted fields containing separators, quotes ("" escaping) and
+// embedded newlines. The first record is the header and becomes the
+// schema.
+
+#ifndef ET_DATA_CSV_H_
+#define ET_DATA_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace et {
+
+struct CsvOptions {
+  char separator = ',';
+  /// Reject records whose field count differs from the header when true;
+  /// otherwise pad/truncate to the header width.
+  bool strict_field_count = true;
+};
+
+/// Parses CSV text (header + records) into a Relation.
+Result<Relation> ReadCsvString(const std::string& text,
+                               const CsvOptions& options = {});
+
+/// Reads a CSV file from disk.
+Result<Relation> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options = {});
+
+/// Serializes a Relation to CSV text (header + records), quoting fields
+/// that contain the separator, quotes, or newlines.
+std::string WriteCsvString(const Relation& rel,
+                           const CsvOptions& options = {});
+
+/// Writes a Relation to a CSV file.
+Status WriteCsvFile(const Relation& rel, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace et
+
+#endif  // ET_DATA_CSV_H_

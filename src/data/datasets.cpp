@@ -1,0 +1,238 @@
+#include "data/datasets.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace et {
+namespace {
+
+Status ValidateSpec(const DatasetSpec& spec) {
+  if (spec.attrs.empty()) {
+    return Status::InvalidArgument("spec has no attributes");
+  }
+  std::unordered_set<std::string> seen;
+  for (const AttrSpec& a : spec.attrs) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    if (a.domain_size == 0) {
+      return Status::InvalidArgument("domain_size must be positive: " +
+                                     a.name);
+    }
+    if (a.noise < 0.0 || a.noise >= 1.0) {
+      return Status::InvalidArgument("noise must be in [0,1): " + a.name);
+    }
+    if (a.kind == AttrSpec::Kind::kDerived) {
+      if (a.deps.empty()) {
+        return Status::InvalidArgument("derived attribute needs deps: " +
+                                       a.name);
+      }
+      for (const std::string& dep : a.deps) {
+        if (!seen.count(dep)) {
+          return Status::InvalidArgument(
+              "dep '" + dep + "' of '" + a.name +
+              "' must be declared earlier in the spec");
+        }
+      }
+    } else if (!a.deps.empty()) {
+      return Status::InvalidArgument("free attribute has deps: " + a.name);
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::AlreadyExists("duplicate attribute: " + a.name);
+    }
+  }
+  return Status::OK();
+}
+
+std::string MakeValue(const AttrSpec& a, size_t idx) {
+  const std::string& prefix = a.prefix.empty() ? a.name : a.prefix;
+  return prefix + "_" + std::to_string(idx);
+}
+
+}  // namespace
+
+Result<Dataset> GenerateFromSpec(const DatasetSpec& spec, size_t n,
+                                 uint64_t seed) {
+  ET_RETURN_NOT_OK(ValidateSpec(spec));
+  std::vector<std::string> names;
+  names.reserve(spec.attrs.size());
+  for (const AttrSpec& a : spec.attrs) names.push_back(a.name);
+  ET_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(names)));
+
+  Rng rng(seed);
+  // Index of each attribute for dep lookup during row construction.
+  std::unordered_map<std::string, size_t> attr_pos;
+  for (size_t i = 0; i < spec.attrs.size(); ++i) {
+    attr_pos.emplace(spec.attrs[i].name, i);
+  }
+  // Memoized derivation tables: dep-values key -> derived value.
+  std::vector<std::unordered_map<std::string, std::string>> memo(
+      spec.attrs.size());
+
+  Dataset out;
+  out.name = spec.name;
+  out.rel = Relation(schema);
+  std::vector<std::string> row(spec.attrs.size());
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t i = 0; i < spec.attrs.size(); ++i) {
+      const AttrSpec& a = spec.attrs[i];
+      if (a.kind == AttrSpec::Kind::kFree) {
+        row[i] = MakeValue(a, rng.NextUint64(a.domain_size));
+        continue;
+      }
+      if (a.noise > 0.0 && rng.NextBernoulli(a.noise)) {
+        // Noisy deviation: a fresh draw that bypasses the mapping.
+        row[i] = MakeValue(a, rng.NextUint64(a.domain_size));
+        continue;
+      }
+      std::string key;
+      for (const std::string& dep : a.deps) {
+        key += row[attr_pos.at(dep)];
+        key += '\x1f';
+      }
+      auto it = memo[i].find(key);
+      if (it == memo[i].end()) {
+        it = memo[i]
+                 .emplace(key, MakeValue(a, rng.NextUint64(a.domain_size)))
+                 .first;
+      }
+      row[i] = it->second;
+    }
+    ET_RETURN_NOT_OK(out.rel.AppendRow(row));
+  }
+  for (const AttrSpec& a : spec.attrs) {
+    if (a.kind == AttrSpec::Kind::kDerived && a.noise == 0.0) {
+      out.clean_fds.push_back(Join(a.deps, ",") + "->" + a.name);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> MakeOmdb(size_t n, uint64_t seed) {
+  using K = AttrSpec::Kind;
+  DatasetSpec spec;
+  spec.name = "omdb";
+  const size_t titles = std::max<size_t>(4, n / 3);
+  spec.attrs = {
+      {"title", K::kFree, titles, {}, "movie", 0.0},
+      {"year", K::kDerived, 40, {"title"}, "y", 0.0},
+      {"rating", K::kDerived, 8, {"title"}, "rated", 0.0},
+      {"type", K::kDerived, 3, {"rating"}, "type", 0.0},
+      {"genre", K::kDerived, 12, {"title"}, "genre", 0.0},
+      // Near-constant language column: mostly "language_0".
+      {"language", K::kDerived, 5, {"title"}, "language", 0.1},
+  };
+  ET_ASSIGN_OR_RETURN(Dataset data, GenerateFromSpec(spec, n, seed));
+  data.documented_fds = data.clean_fds;
+  return data;
+}
+
+Result<Dataset> MakeAirport(size_t n, uint64_t seed) {
+  using K = AttrSpec::Kind;
+  DatasetSpec spec;
+  spec.name = "airport";
+  const size_t sites = std::max<size_t>(4, n / 4);
+  spec.attrs = {
+      {"sitenumber", K::kFree, sites, {}, "site", 0.0},
+      // Large codomain keeps facilityname near-injective in sitenumber,
+      // so facilityname -> * FDs also hold on clean data (the user
+      // study's alternative hypotheses need this).
+      {"facilityname", K::kDerived, 8 * sites, {"sitenumber"}, "fac", 0.0},
+      {"type", K::kDerived, 4, {"facilityname"}, "ftype", 0.0},
+      {"manager", K::kDerived, std::max<size_t>(3, n / 6),
+       {"facilityname"}, "mgr", 0.0},
+      {"owner", K::kDerived, std::max<size_t>(3, n / 8), {"manager"},
+       "own", 0.0},
+      {"county", K::kDerived, 15, {"facilityname"}, "county", 0.0},
+  };
+  ET_ASSIGN_OR_RETURN(Dataset data, GenerateFromSpec(spec, n, seed));
+  data.documented_fds = data.clean_fds;
+  return data;
+}
+
+Result<Dataset> MakeHospital(size_t n, uint64_t seed) {
+  using K = AttrSpec::Kind;
+  DatasetSpec spec;
+  spec.name = "hospital";
+  const size_t providers = std::max<size_t>(4, n / 5);
+  spec.attrs = {
+      {"ProviderNumber", K::kFree, providers, {}, "prov", 0.0},
+      {"HospitalName", K::kDerived, 8 * providers, {"ProviderNumber"},
+       "hosp", 0.0},
+      {"Address1", K::kDerived, 8 * providers, {"ProviderNumber"}, "addr",
+       0.0},
+      {"Address2", K::kFree, 1, {}, "x", 0.0},
+      {"Address3", K::kFree, 1, {}, "x", 0.0},
+      {"PhoneNumber", K::kDerived, 8 * providers, {"ProviderNumber"},
+       "phone", 0.0},
+      {"ZipCode", K::kDerived, std::max<size_t>(3, n / 8),
+       {"PhoneNumber"}, "zip", 0.0},
+      {"City", K::kDerived, std::max<size_t>(3, n / 10), {"ZipCode"},
+       "city", 0.0},
+      {"State", K::kDerived, 12, {"ZipCode"}, "st", 0.0},
+      {"CountyName", K::kDerived, 30, {"ZipCode"}, "cnty", 0.0},
+      {"HospitalType", K::kDerived, 3, {"ProviderNumber"}, "htype", 0.0},
+      {"HospitalOwner", K::kDerived, 6, {"ProviderNumber"}, "howner", 0.0},
+      {"EmergencyService", K::kDerived, 2, {"ProviderNumber"}, "emerg",
+       0.0},
+      {"MeasureCode", K::kFree, 12, {}, "mcode", 0.0},
+      {"MeasureName", K::kDerived, 96, {"MeasureCode"}, "mname", 0.0},
+      {"Condition", K::kDerived, 8, {"MeasureCode"}, "cond", 0.0},
+      {"Score", K::kFree, 100, {}, "score", 0.0},
+      {"Sample", K::kFree, 60, {}, "sample", 0.0},
+      {"StateAvg", K::kDerived, 200, {"MeasureCode", "State"}, "avg", 0.0},
+  };
+  ET_ASSIGN_OR_RETURN(Dataset data, GenerateFromSpec(spec, n, seed));
+  data.documented_fds = {
+      "ProviderNumber->HospitalName", "ZipCode->City", "ZipCode->State",
+      "PhoneNumber->ZipCode",         "MeasureCode->MeasureName",
+      "MeasureCode->Condition"};
+  return data;
+}
+
+Result<Dataset> MakeTax(size_t n, uint64_t seed) {
+  using K = AttrSpec::Kind;
+  DatasetSpec spec;
+  spec.name = "tax";
+  spec.attrs = {
+      {"FName", K::kFree, std::max<size_t>(4, n / 2), {}, "fname", 0.0},
+      {"LName", K::kFree, std::max<size_t>(4, n / 3), {}, "lname", 0.0},
+      {"Gender", K::kFree, 2, {}, "g", 0.0},
+      {"Zip", K::kFree, std::max<size_t>(4, n / 5), {}, "zip", 0.0},
+      {"AreaCode", K::kDerived, std::max<size_t>(3, n / 12), {"Zip"},
+       "area", 0.0},
+      {"State", K::kDerived, 20, {"AreaCode"}, "st", 0.0},
+      {"City", K::kDerived, std::max<size_t>(3, n / 8), {"Zip"}, "city",
+       0.0},
+      {"Phone", K::kFree, std::max<size_t>(4, 2 * n), {}, "ph", 0.0},
+      {"MaritalStatus", K::kFree, 2, {}, "ms", 0.0},
+      {"HasChild", K::kFree, 2, {}, "hc", 0.0},
+      {"Salary", K::kFree, 200, {}, "sal", 0.0},
+      {"Rate", K::kDerived, 10, {"State"}, "rate", 0.2},
+      {"SingleExemp", K::kDerived, 12, {"State"}, "sx", 0.0},
+      {"MarriedExemp", K::kDerived, 12, {"State"}, "mx", 0.0},
+      {"ChildExemp", K::kDerived, 12, {"State"}, "cx", 0.0},
+  };
+  ET_ASSIGN_OR_RETURN(Dataset data, GenerateFromSpec(spec, n, seed));
+  data.documented_fds = {"Zip->City", "Zip->AreaCode", "AreaCode->State",
+                         "State->SingleExemp"};
+  return data;
+}
+
+Result<Dataset> MakeDatasetByName(const std::string& name, size_t n,
+                                  uint64_t seed) {
+  const std::string key = ToLower(name);
+  if (key == "omdb") return MakeOmdb(n, seed);
+  if (key == "airport") return MakeAirport(n, seed);
+  if (key == "hospital") return MakeHospital(n, seed);
+  if (key == "tax") return MakeTax(n, seed);
+  return Status::NotFound("unknown dataset: " + name);
+}
+
+std::vector<std::string> AvailableDatasets() {
+  return {"omdb", "airport", "hospital", "tax"};
+}
+
+}  // namespace et

@@ -1,0 +1,106 @@
+// Synthetic generators for the paper's four evaluation datasets: OMDB,
+// AIRPORT (Alaska airfields), Hospital, and Tax.
+//
+// Substitution (see DESIGN.md §4): the originals are not redistributable,
+// so each generator reproduces the documented *shape* — schema, attribute
+// cardinalities, and which FDs hold on clean data (Hospital: 19
+// attributes / 6 FDs; Tax: 15 attributes / 4 FDs). The FD algorithms only
+// observe value-equality patterns, which these generators control
+// exactly. Violations are injected separately by src/errgen.
+//
+// The generator core is declarative: an attribute is either *free*
+// (drawn from a value pool, so duplicates across rows create
+// LHS-agreeing pairs) or *derived* (a memoized random function of other
+// attributes, which makes deps -> attr an exact FD on clean data; an
+// optional noise rate relaxes it to an approximate FD).
+//
+// FDs are reported as strings "A,B->C" here to keep this module below
+// the FD layer in the dependency order; fd/fd.h parses them.
+
+#ifndef ET_DATA_DATASETS_H_
+#define ET_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/relation.h"
+
+namespace et {
+
+/// Declarative attribute rule for the generator.
+struct AttrSpec {
+  enum class Kind { kFree, kDerived };
+
+  std::string name;
+  Kind kind = Kind::kFree;
+  /// kFree: size of the value pool rows sample from (collisions across
+  /// rows are intended). kDerived: size of the codomain the memoized
+  /// mapping draws values from.
+  size_t domain_size = 10;
+  /// kDerived only: names of determinant attributes (must precede this
+  /// attribute in the spec list).
+  std::vector<std::string> deps;
+  /// Human-readable value prefix, e.g. "movie" -> values "movie_17".
+  std::string prefix;
+  /// kDerived only: probability a row ignores the mapping and draws a
+  /// fresh random value, making deps -> attr only approximately hold on
+  /// clean data. 0 = exact FD.
+  double noise = 0.0;
+};
+
+/// A full dataset recipe.
+struct DatasetSpec {
+  std::string name;
+  std::vector<AttrSpec> attrs;
+};
+
+/// A generated dataset plus the FDs that hold on it by construction:
+/// each zero-noise derived attribute contributes "deps->attr".
+struct Dataset {
+  std::string name;
+  Relation rel;
+  /// FDs exact on the clean data, as parseable "A,B->C" strings.
+  std::vector<std::string> clean_fds;
+  /// The subset the literature documents for this dataset (Hospital: 6
+  /// FDs, Tax: 4 FDs — App. C.1); experiments watch these for error
+  /// injection. Equal to clean_fds when the paper documents no subset.
+  std::vector<std::string> documented_fds;
+};
+
+/// Generates `n` rows from a spec. Validates the spec (unique names,
+/// deps precede their attribute, sane sizes).
+Result<Dataset> GenerateFromSpec(const DatasetSpec& spec, size_t n,
+                                 uint64_t seed);
+
+/// OMDB (Open Movie Database): 6 attributes. Clean FDs:
+/// title->year, title->rating, rating->type, title->genre (so also
+/// title->type transitively); language is near-constant.
+Result<Dataset> MakeOmdb(size_t n, uint64_t seed);
+
+/// AIRPORT (Alaska airfields): 6 attributes. Clean FDs:
+/// sitenumber->facilityname, facilityname->type, facilityname->manager,
+/// manager->owner, facilityname->county.
+Result<Dataset> MakeAirport(size_t n, uint64_t seed);
+
+/// Hospital: 19 attributes; documented shape is 6 FDs —
+/// ProviderNumber->HospitalName, ZipCode->City, ZipCode->State,
+/// PhoneNumber->ZipCode, MeasureCode->MeasureName,
+/// MeasureCode->Condition.
+Result<Dataset> MakeHospital(size_t n, uint64_t seed);
+
+/// Tax: 15 attributes; documented shape is 4 FDs — Zip->City,
+/// Zip->State, AreaCode->State, State->SingleExemp.
+Result<Dataset> MakeTax(size_t n, uint64_t seed);
+
+/// Dataset by lowercase name ("omdb", "airport", "hospital", "tax").
+Result<Dataset> MakeDatasetByName(const std::string& name, size_t n,
+                                  uint64_t seed);
+
+/// Names accepted by MakeDatasetByName.
+std::vector<std::string> AvailableDatasets();
+
+}  // namespace et
+
+#endif  // ET_DATA_DATASETS_H_

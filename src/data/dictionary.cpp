@@ -1,0 +1,19 @@
+#include "data/dictionary.h"
+
+namespace et {
+
+Dictionary::Code Dictionary::GetOrAdd(const std::string& value) {
+  auto it = index_.find(value);
+  if (it != index_.end()) return it->second;
+  const Code code = static_cast<Code>(values_.size());
+  values_.push_back(value);
+  index_.emplace(value, code);
+  return code;
+}
+
+Dictionary::Code Dictionary::Find(const std::string& value) const {
+  auto it = index_.find(value);
+  return it == index_.end() ? kInvalidCode : it->second;
+}
+
+}  // namespace et

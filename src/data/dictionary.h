@@ -1,0 +1,44 @@
+// Dictionary: per-column string interning.
+//
+// FD semantics only require equality comparison between cell values, so
+// the Relation stores 32-bit dictionary codes and compares integers; the
+// dictionary maps codes back to strings for display and CSV export.
+
+#ifndef ET_DATA_DICTIONARY_H_
+#define ET_DATA_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace et {
+
+/// A dense code assignment for the distinct strings of one column.
+/// Codes are stable: a string keeps the code of its first insertion.
+class Dictionary {
+ public:
+  using Code = uint32_t;
+
+  /// Interns `value`, returning its code (existing or freshly assigned).
+  Code GetOrAdd(const std::string& value);
+
+  /// Code of `value`, or kInvalidCode when never interned.
+  Code Find(const std::string& value) const;
+
+  /// String for a valid code. Precondition: code < size().
+  const std::string& Lookup(Code code) const { return values_.at(code); }
+
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  static constexpr Code kInvalidCode = UINT32_MAX;
+
+ private:
+  std::vector<std::string> values_;
+  std::unordered_map<std::string, Code> index_;
+};
+
+}  // namespace et
+
+#endif  // ET_DATA_DICTIONARY_H_

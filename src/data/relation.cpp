@@ -1,0 +1,58 @@
+#include "data/relation.h"
+
+#include <cassert>
+
+namespace et {
+
+Status Relation::AppendRow(const std::vector<std::string>& cells) {
+  if (static_cast<int>(cells.size()) != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(cells.size()) + " cells, schema has " +
+        std::to_string(schema_.num_attributes()));
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    columns_[c].push_back(dicts_[c].GetOrAdd(cells[c]));
+  }
+  return Status::OK();
+}
+
+Status Relation::SetCell(RowId row, int col, const std::string& value) {
+  if (col < 0 || col >= num_columns()) {
+    return Status::OutOfRange("column " + std::to_string(col));
+  }
+  if (row >= num_rows()) {
+    return Status::OutOfRange("row " + std::to_string(row));
+  }
+  columns_[col][row] = dicts_[col].GetOrAdd(value);
+  return Status::OK();
+}
+
+std::vector<std::string> Relation::Row(RowId row) const {
+  assert(row < num_rows());
+  std::vector<std::string> out;
+  out.reserve(num_columns());
+  for (int c = 0; c < num_columns(); ++c) out.push_back(cell(row, c));
+  return out;
+}
+
+Result<Relation> Relation::Select(const std::vector<RowId>& rows) const {
+  Relation out(schema_);
+  for (RowId r : rows) {
+    if (r >= num_rows()) {
+      return Status::OutOfRange("row " + std::to_string(r) +
+                                " out of " + std::to_string(num_rows()));
+    }
+    ET_RETURN_NOT_OK(out.AppendRow(Row(r)));
+  }
+  return out;
+}
+
+bool Relation::RowsEqualOn(RowId a, RowId b,
+                           const std::vector<int>& cols) const {
+  for (int c : cols) {
+    if (columns_[c][a] != columns_[c][b]) return false;
+  }
+  return true;
+}
+
+}  // namespace et

@@ -1,0 +1,79 @@
+// Relation: an in-memory columnar table with dictionary-encoded cells.
+//
+// This is the substrate every other module operates on: the FD engine
+// compares cell codes, the error generator rewrites cells, and the game
+// engine samples tuple pairs from it.
+
+#ifndef ET_DATA_RELATION_H_
+#define ET_DATA_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/dictionary.h"
+#include "data/schema.h"
+
+namespace et {
+
+/// Index of a tuple within a Relation.
+using RowId = uint32_t;
+
+/// Columnar table. Cells are Dictionary codes; one dictionary per
+/// column. Rows are append-only; individual cells are mutable (the
+/// error generator scrambles values in place).
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema)
+      : schema_(std::move(schema)), columns_(schema_.num_attributes()),
+        dicts_(schema_.num_attributes()) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  int num_columns() const { return schema_.num_attributes(); }
+
+  /// Appends a row of string cells; size must match the schema.
+  Status AppendRow(const std::vector<std::string>& cells);
+
+  /// Code of cell (row, col). Preconditions checked with assertions.
+  Dictionary::Code code(RowId row, int col) const {
+    return columns_[col][row];
+  }
+
+  /// String of cell (row, col).
+  const std::string& cell(RowId row, int col) const {
+    return dicts_[col].Lookup(columns_[col][row]);
+  }
+
+  /// Overwrites cell (row, col) with `value`, interning it if new.
+  Status SetCell(RowId row, int col, const std::string& value);
+
+  /// Entire row as strings (for display / CSV export).
+  std::vector<std::string> Row(RowId row) const;
+
+  /// Column dictionary (read-only).
+  const Dictionary& dictionary(int col) const { return dicts_[col]; }
+
+  /// Number of distinct values in a column.
+  size_t DistinctCount(int col) const { return dicts_[col].size(); }
+
+  /// New relation with the same schema containing the given rows, in
+  /// order. Row ids must be < num_rows().
+  Result<Relation> Select(const std::vector<RowId>& rows) const;
+
+  /// Two rows agree on every attribute in `cols`.
+  bool RowsEqualOn(RowId a, RowId b, const std::vector<int>& cols) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Dictionary::Code>> columns_;
+  std::vector<Dictionary> dicts_;
+};
+
+}  // namespace et
+
+#endif  // ET_DATA_RELATION_H_

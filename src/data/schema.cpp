@@ -1,0 +1,37 @@
+#include "data/schema.h"
+
+namespace et {
+
+Result<Schema> Schema::Make(std::vector<std::string> names) {
+  if (names.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  if (static_cast<int>(names.size()) > kMaxAttributes) {
+    return Status::InvalidArgument(
+        "schema exceeds " + std::to_string(kMaxAttributes) +
+        " attributes: " + std::to_string(names.size()));
+  }
+  Schema s;
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i].empty()) {
+      return Status::InvalidArgument("attribute name must be non-empty");
+    }
+    auto [it, inserted] = s.index_.emplace(names[i], static_cast<int>(i));
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate attribute: " + names[i]);
+    }
+  }
+  s.names_ = std::move(names);
+  return s;
+}
+
+Result<int> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("attribute not in schema: " + name);
+  }
+  return it->second;
+}
+
+}  // namespace et

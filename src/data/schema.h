@@ -1,0 +1,53 @@
+// Schema: an ordered list of named attributes.
+//
+// The FD engine addresses attributes by index and bitmask (see
+// fd/attrset.h), which caps a schema at 32 attributes — far above the
+// paper's datasets (Hospital, the largest, has 19).
+
+#ifndef ET_DATA_SCHEMA_H_
+#define ET_DATA_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+
+/// Maximum number of attributes representable in an AttrSet bitmask.
+inline constexpr int kMaxAttributes = 32;
+
+/// Ordered attribute names with O(1) name→index lookup. Immutable after
+/// construction via Make().
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates and builds a schema: 1..32 attributes, non-empty, unique
+  /// names.
+  static Result<Schema> Make(std::vector<std::string> names);
+
+  int num_attributes() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int idx) const { return names_.at(idx); }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Index of `name`, or NotFound.
+  Result<int> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  bool operator==(const Schema& other) const {
+    return names_ == other.names_;
+  }
+  bool operator!=(const Schema& other) const { return !(*this == other); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace et
+
+#endif  // ET_DATA_SCHEMA_H_

@@ -1,0 +1,43 @@
+#include "data/split.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace et {
+
+Result<Split> TrainTestSplit(size_t num_rows, double test_fraction,
+                             Rng& rng) {
+  if (test_fraction < 0.0 || test_fraction > 1.0) {
+    return Status::InvalidArgument("test_fraction must be in [0,1]");
+  }
+  std::vector<RowId> ids(num_rows);
+  std::iota(ids.begin(), ids.end(), 0);
+  rng.Shuffle(ids);
+  size_t n_test =
+      static_cast<size_t>(test_fraction * static_cast<double>(num_rows));
+  if (num_rows >= 2) {
+    if (test_fraction > 0.0) n_test = std::max<size_t>(n_test, 1);
+    n_test = std::min(n_test, num_rows - 1);
+  }
+  Split split;
+  split.test.assign(ids.begin(), ids.begin() + n_test);
+  split.train.assign(ids.begin() + n_test, ids.end());
+  // Deterministic downstream iteration order.
+  std::sort(split.test.begin(), split.test.end());
+  std::sort(split.train.begin(), split.train.end());
+  return split;
+}
+
+Result<std::vector<RowId>> SampleRows(const Relation& rel, size_t k,
+                                      Rng& rng) {
+  if (k > rel.num_rows()) {
+    return Status::InvalidArgument(
+        "cannot sample " + std::to_string(k) + " rows from " +
+        std::to_string(rel.num_rows()));
+  }
+  std::vector<size_t> raw = rng.SampleWithoutReplacement(rel.num_rows(), k);
+  std::vector<RowId> out(raw.begin(), raw.end());
+  return out;
+}
+
+}  // namespace et

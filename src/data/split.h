@@ -1,0 +1,33 @@
+// Train/test splitting and row subsampling used by the experiment
+// harness (the paper holds out 30% of each dataset to score F1).
+
+#ifndef ET_DATA_SPLIT_H_
+#define ET_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/relation.h"
+
+namespace et {
+
+/// A train/test partition of row ids from one relation.
+struct Split {
+  std::vector<RowId> train;
+  std::vector<RowId> test;
+};
+
+/// Randomly partitions [0, num_rows) with `test_fraction` of rows in the
+/// test side (rounded down, at least one row on each side when
+/// num_rows >= 2). test_fraction must be in [0, 1].
+Result<Split> TrainTestSplit(size_t num_rows, double test_fraction,
+                             Rng& rng);
+
+/// Uniformly samples `k` distinct rows of `rel` (k <= num_rows).
+Result<std::vector<RowId>> SampleRows(const Relation& rel, size_t k,
+                                      Rng& rng);
+
+}  // namespace et
+
+#endif  // ET_DATA_SPLIT_H_

@@ -1,0 +1,174 @@
+#include "errgen/error_generator.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "fd/g1.h"
+#include "fd/partition.h"
+
+namespace et {
+
+ErrorGenerator::ErrorGenerator(Relation* rel, uint64_t seed)
+    : rel_(rel), rng_(seed) {
+  truth_.dirty_rows.assign(rel->num_rows(), false);
+}
+
+Result<bool> ErrorGenerator::InjectViolation(const FD& fd,
+                                             const std::vector<FD>& avoid) {
+  if (!fd.IsValid(rel_->schema())) {
+    return Status::InvalidArgument("invalid FD for this schema");
+  }
+  // Overwriting row r's column fd.rhs with a globally fresh value can
+  // only create new violations in FDs whose RHS is that same column
+  // (for LHS membership the fresh value forms a singleton class). A row
+  // is safe for an avoid-FD f when it has no partner agreeing with it
+  // on f's LHS.
+  std::vector<FD> relevant_avoid;
+  for (const FD& f : avoid) {
+    if (!f.IsValid(rel_->schema())) {
+      return Status::InvalidArgument("invalid avoid-FD for this schema");
+    }
+    if (f.rhs == fd.rhs) relevant_avoid.push_back(f);
+  }
+  std::vector<std::vector<bool>> has_partner;
+  for (const FD& f : relevant_avoid) {
+    std::vector<bool> flags(rel_->num_rows(), false);
+    const Partition p = Partition::Build(*rel_, f.lhs);
+    for (const auto& cls : p.classes()) {
+      for (RowId r : cls) flags[r] = true;
+    }
+    has_partner.push_back(std::move(flags));
+  }
+  auto safe = [&](RowId r) {
+    for (const auto& flags : has_partner) {
+      if (flags[r]) return false;
+    }
+    return true;
+  };
+  const Partition part = Partition::Build(*rel_, fd.lhs);
+  // Candidate classes: those containing at least one satisfied pair,
+  // i.e. some RHS value shared by >= 2 rows. Overwriting one such row's
+  // RHS creates at least one new violating pair.
+  struct Candidate {
+    RowId row;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& cls : part.classes()) {
+    // Census of RHS values within the class.
+    std::unordered_map<Dictionary::Code, std::vector<RowId>> by_rhs;
+    for (RowId r : cls) by_rhs[rel_->code(r, fd.rhs)].push_back(r);
+    for (const auto& [code, members] : by_rhs) {
+      (void)code;
+      if (members.size() >= 2) {
+        // Prefer rows not already dirtied so the degree keeps moving
+        // and ground truth stays interpretable.
+        for (RowId r : members) {
+          if (!truth_.dirty_rows[r] && safe(r)) candidates.push_back({r});
+        }
+        if (candidates.empty()) {
+          for (RowId r : members) {
+            if (safe(r)) candidates.push_back({r});
+          }
+        }
+      }
+    }
+  }
+  if (candidates.empty()) return false;
+  const Candidate pick =
+      candidates[rng_.NextUint64(candidates.size())];
+  const std::string fresh =
+      "ERR_" + std::to_string(fresh_counter_++);
+  ET_RETURN_NOT_OK(rel_->SetCell(pick.row, fd.rhs, fresh));
+  truth_.dirty_rows[pick.row] = true;
+  truth_.dirty_cells.push_back(Cell{pick.row, fd.rhs});
+  return true;
+}
+
+Result<size_t> ErrorGenerator::InjectViolations(
+    const FD& fd, size_t count, const std::vector<FD>& avoid) {
+  size_t injected = 0;
+  for (size_t i = 0; i < count; ++i) {
+    ET_ASSIGN_OR_RETURN(bool ok, InjectViolation(fd, avoid));
+    if (!ok) break;
+    ++injected;
+  }
+  return injected;
+}
+
+Status ErrorGenerator::InjectWithRatio(const std::vector<FD>& targets,
+                                       const std::vector<FD>& alternatives,
+                                       size_t target_violations,
+                                       int ratio_m, int ratio_n) {
+  if (ratio_m <= 0 || ratio_n <= 0) {
+    return Status::InvalidArgument("ratio parts must be positive");
+  }
+  if (targets.empty()) {
+    return Status::InvalidArgument("need at least one target FD");
+  }
+  // n alternative violations per m target violations.
+  const size_t alt_violations = static_cast<size_t>(
+      static_cast<double>(target_violations) *
+          static_cast<double>(ratio_n) / static_cast<double>(ratio_m) +
+      0.5);
+  for (const FD& fd : targets) {
+    // Target scrambles may legitimately also violate alternatives (the
+    // study's scrambler is target-directed).
+    ET_RETURN_NOT_OK(InjectViolations(fd, target_violations).status());
+  }
+  for (const FD& fd : alternatives) {
+    // Alternative violations must NOT leak into the targets, otherwise
+    // the ratio inverts; skip gracefully when the data structure
+    // leaves no safe rows (the generator then relies on the other
+    // alternative FDs).
+    ET_RETURN_NOT_OK(
+        InjectViolations(fd, alt_violations, targets).status());
+  }
+  return Status::OK();
+}
+
+Status ErrorGenerator::InjectToDegree(const std::vector<FD>& fds,
+                                      double degree) {
+  if (degree < 0.0 || degree >= 1.0) {
+    return Status::InvalidArgument("degree must be in [0,1)");
+  }
+  if (fds.empty()) {
+    return Status::InvalidArgument("need at least one FD");
+  }
+  size_t next = 0;
+  // Hard cap: each row can be dirtied only so many times before the
+  // relation runs out of satisfied pairs anyway.
+  const size_t max_steps = rel_->num_rows() * fds.size() + 16;
+  for (size_t step = 0; step < max_steps; ++step) {
+    if (MeasureDegree(fds) >= degree) return Status::OK();
+    bool any = false;
+    // Try each FD once starting from the round-robin cursor.
+    for (size_t k = 0; k < fds.size(); ++k) {
+      const FD& fd = fds[(next + k) % fds.size()];
+      ET_ASSIGN_OR_RETURN(bool ok, InjectViolation(fd));
+      if (ok) {
+        next = (next + k + 1) % fds.size();
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;  // nothing left to scramble
+  }
+  if (MeasureDegree(fds) >= degree) return Status::OK();
+  return Status::FailedPrecondition(
+      "could not reach requested violation degree");
+}
+
+double ErrorGenerator::MeasureDegree(const std::vector<FD>& fds) const {
+  uint64_t violating = 0;
+  uint64_t agreeing = 0;
+  for (const FD& fd : fds) {
+    const Partition part = Partition::Build(*rel_, fd.lhs);
+    agreeing += part.AgreeingPairCount();
+    violating += ViolatingPairCount(*rel_, fd);
+  }
+  if (agreeing == 0) return 0.0;
+  return static_cast<double>(violating) / static_cast<double>(agreeing);
+}
+
+}  // namespace et

@@ -1,0 +1,96 @@
+// BART-style error generation (Arocena et al., cited in App. A.2):
+// scrambles cell values w.r.t. chosen FDs so the resulting relation
+// contains a controlled amount of FD violations, while recording the
+// ground truth of which rows/cells were dirtied.
+//
+// Two controls from the paper are implemented:
+//   * the user-study *violation ratio* m/n — n violations in every
+//     alternative FD per m violations in the target FD(s) (App. A.2,
+//     ratios 1/3 and 2/3);
+//   * the empirical study's *degree of violation* — inject until the
+//     fraction of LHS-agreeing tuple pairs of the watched FDs that
+//     violate reaches a target degree (App. C.1, 5%..35%).
+
+#ifndef ET_ERRGEN_ERROR_GENERATOR_H_
+#define ET_ERRGEN_ERROR_GENERATOR_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/relation.h"
+#include "fd/fd.h"
+#include "fd/violations.h"
+
+namespace et {
+
+/// Ground truth produced alongside injected errors.
+struct DirtyGroundTruth {
+  /// Per-row flag: true when any cell of the row was scrambled.
+  std::vector<bool> dirty_rows;
+  /// Exact cells that were overwritten, in injection order.
+  std::vector<Cell> dirty_cells;
+
+  size_t NumDirtyRows() const {
+    size_t n = 0;
+    for (bool b : dirty_rows) n += b;
+    return n;
+  }
+};
+
+/// Mutates a relation in place, injecting FD violations.
+class ErrorGenerator {
+ public:
+  /// `rel` must outlive the generator. Initializes an all-clean ground
+  /// truth sized to the relation.
+  ErrorGenerator(Relation* rel, uint64_t seed);
+
+  /// Injects one fresh violation of `fd`: picks an LHS equivalence
+  /// class containing a satisfied pair and overwrites the RHS cell of
+  /// one of its rows with a unique new value. Returns true on success,
+  /// false when the relation has no class left to scramble.
+  ///
+  /// `avoid` lists FDs that must NOT acquire new violations from this
+  /// scramble (the user-study setup needs alternative-only violations
+  /// that leave the target FDs untouched). Rows whose change would
+  /// violate an avoid-FD are excluded from the candidate set; when no
+  /// candidate survives, the call returns false.
+  Result<bool> InjectViolation(const FD& fd,
+                               const std::vector<FD>& avoid = {});
+
+  /// Injects `count` violations of `fd`. Stops early (OK) when the
+  /// relation runs out of scrambleable classes; the returned value is
+  /// the number actually injected.
+  Result<size_t> InjectViolations(const FD& fd, size_t count,
+                                  const std::vector<FD>& avoid = {});
+
+  /// User-study scenario shape: per `ratio_m` violations in each target
+  /// FD, `ratio_n` violations in each alternative FD, scaled so targets
+  /// receive `target_violations` total.
+  Status InjectWithRatio(const std::vector<FD>& targets,
+                         const std::vector<FD>& alternatives,
+                         size_t target_violations, int ratio_m,
+                         int ratio_n);
+
+  /// Empirical-study shape: round-robins injections across `fds` until
+  /// MeasureDegree(fds) >= degree or no further injection is possible.
+  /// degree in [0, 1).
+  Status InjectToDegree(const std::vector<FD>& fds, double degree);
+
+  /// Current violation degree of the watched FDs: violating pairs
+  /// divided by LHS-agreeing pairs, summed over `fds`. 0 when no pair
+  /// agrees on any LHS.
+  double MeasureDegree(const std::vector<FD>& fds) const;
+
+  const DirtyGroundTruth& ground_truth() const { return truth_; }
+
+ private:
+  Relation* rel_;
+  Rng rng_;
+  DirtyGroundTruth truth_;
+  size_t fresh_counter_ = 0;
+};
+
+}  // namespace et
+
+#endif  // ET_ERRGEN_ERROR_GENERATOR_H_

@@ -1,0 +1,91 @@
+// The empirical-study runner (App. C): a learning (FP) trainer against a
+// learner using one of the four response policies, over a dirty dataset
+// with a 38-FD hypothesis space; measures per-iteration trainer/learner
+// belief MAE (Figures 1, 3–6) and optionally held-out error-detection F1
+// (Figure 7). Results are averaged over seeded repetitions.
+
+#ifndef ET_EXP_CONVERGENCE_EXPERIMENT_H_
+#define ET_EXP_CONVERGENCE_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/policies.h"
+
+namespace et {
+
+/// Which prior an agent starts from (App. C.1).
+enum class PriorKind { kUniform, kRandom, kDataEstimate };
+
+const char* PriorKindToString(PriorKind kind);
+
+struct PriorSpec {
+  PriorKind kind = PriorKind::kRandom;
+  /// Uniform-d's d.
+  double uniform_d = 0.9;
+  /// Beta pseudo-count alpha+beta of the prior: how much evidence it
+  /// takes to move the belief (belief stiffness).
+  double strength = 30.0;
+};
+
+struct ConvergenceConfig {
+  /// "omdb", "airport", "hospital", "tax" — or "csv:<path>" to run on
+  /// a user-supplied CSV file (header row = schema). For CSV data the
+  /// watched FDs for error injection are discovered from the data
+  /// (approximate discovery, g1 <= csv_discovery_threshold); pass
+  /// violation_degree = 0 to play the game on the data as-is.
+  std::string dataset = "omdb";
+  /// Discovery threshold used to find watchable FDs in CSV data.
+  double csv_discovery_threshold = 0.05;
+  size_t rows = 400;
+  /// Target degree of violation injected w.r.t. the dataset's clean FDs.
+  double violation_degree = 0.10;
+  PriorSpec trainer_prior{PriorKind::kRandom, 0.9};
+  PriorSpec learner_prior{PriorKind::kDataEstimate, 0.9};
+  /// Hypothesis-space size (paper: 38) and FD width cap (paper: 4).
+  size_t hypothesis_cap = 38;
+  int max_fd_attrs = 4;
+  /// Interaction schedule (paper: N = 30, k = 10 tuples = 5 pairs).
+  size_t iterations = 30;
+  size_t pairs_per_iteration = 5;
+  /// Stochastic-policy temperature (paper: 0.5).
+  double gamma = 0.5;
+  /// Seeded repetitions averaged into each series.
+  size_t repetitions = 5;
+  uint64_t seed = 42;
+  /// Also compute held-out error-detection F1 per iteration (Figure 7).
+  bool compute_f1 = false;
+  double test_fraction = 0.3;
+  /// Policies to run; empty = all four.
+  std::vector<PolicyKind> policies;
+};
+
+/// Averaged per-iteration series for one policy.
+struct MethodSeries {
+  PolicyKind policy;
+  /// MAE between trainer and learner beliefs, index = iteration - 1.
+  std::vector<double> mae;
+  /// Held-out F1 (empty unless compute_f1).
+  std::vector<double> f1;
+  /// MAE before any interaction (prior disagreement), averaged.
+  double initial_mae = 0.0;
+  /// Final-iteration values per repetition (paired across policies:
+  /// index = repetition), for confidence intervals and paired tests.
+  std::vector<double> final_mae_per_rep;
+  std::vector<double> final_f1_per_rep;
+};
+
+struct ConvergenceResult {
+  ConvergenceConfig config;
+  std::vector<MethodSeries> methods;
+  /// Violation degree actually reached (averaged over repetitions).
+  double achieved_degree = 0.0;
+};
+
+Result<ConvergenceResult> RunConvergenceExperiment(
+    const ConvergenceConfig& config);
+
+}  // namespace et
+
+#endif  // ET_EXP_CONVERGENCE_EXPERIMENT_H_

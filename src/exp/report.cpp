@@ -1,0 +1,69 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "common/strings.h"
+
+namespace et {
+
+TableReporter::TableReporter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+Status TableReporter::AddRow(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(cells.size()) +
+        " != header width " + std::to_string(headers_.size()));
+  }
+  rows_.push_back(std::move(cells));
+  return Status::OK();
+}
+
+std::string TableReporter::Num(double v, int precision) {
+  return StrFormat("%.*f", precision, v);
+}
+
+std::string TableReporter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto format_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      line += " " + row[c] + std::string(widths[c] - row[c].size(), ' ') +
+              " |";
+    }
+    return line + "\n";
+  };
+  std::string sep = "+";
+  for (size_t w : widths) sep += std::string(w + 2, '-') + "+";
+  sep += "\n";
+
+  std::string out = sep + format_row(headers_) + sep;
+  for (const auto& row : rows_) out += format_row(row);
+  out += sep;
+  return out;
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << Join(headers, ",") << "\n";
+  for (const auto& row : rows) {
+    if (row.size() != headers.size()) {
+      return Status::InvalidArgument("csv row width mismatch");
+    }
+    out << Join(row, ",") << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace et

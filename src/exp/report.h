@@ -1,0 +1,40 @@
+// Plain-text and CSV reporting for the experiment harness. Benches
+// print paper-style tables/series with these helpers.
+
+#ifndef ET_EXP_REPORT_H_
+#define ET_EXP_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+
+/// Fixed-width ASCII table builder.
+class TableReporter {
+ public:
+  explicit TableReporter(std::vector<std::string> headers);
+
+  /// Row width must match the header width.
+  Status AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  static std::string Num(double v, int precision = 4);
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes a CSV file (headers + rows); cells are written verbatim, so
+/// callers must not embed separators.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& headers,
+                const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace et
+
+#endif  // ET_EXP_REPORT_H_

@@ -1,0 +1,144 @@
+#include "exp/userstudy_experiment.h"
+
+#include <algorithm>
+
+#include "belief/priors.h"
+#include "common/math.h"
+#include "metrics/mrr.h"
+
+namespace et {
+namespace {
+
+/// Builds the Bayesian(FP) predictor for a session: prior seeded from
+/// the participant's initially declared FD (the study elicits it), per
+/// App. A.2's configuration.
+Result<std::unique_ptr<AnnotatorModel>> MakeBayesianPredictor(
+    const ScenarioInstance& instance, const StudySession& session,
+    uint64_t seed) {
+  ET_ASSIGN_OR_RETURN(
+      BeliefModel prior,
+      UserPrior(instance.space,
+                instance.space->fd(session.prior_hypothesis)));
+  BayesianAnnotatorOptions options;  // deterministic, weight 1
+  return std::unique_ptr<AnnotatorModel>(
+      new BayesianAnnotator(std::move(prior), options, seed));
+}
+
+Result<std::unique_ptr<AnnotatorModel>> MakeHTPredictor(
+    const ScenarioInstance& instance, const StudySession& session,
+    uint64_t seed) {
+  HypothesisTestingOptions options;  // test every round on last sample
+  return std::unique_ptr<AnnotatorModel>(new HypothesisTestingAnnotator(
+      instance.space, session.prior_hypothesis, options, seed));
+}
+
+Result<std::unique_ptr<AnnotatorModel>> MakeModelFreePredictor(
+    const ScenarioInstance& instance, const StudySession&, uint64_t seed) {
+  return std::unique_ptr<AnnotatorModel>(
+      new ModelFreeAnnotator(instance.space, ModelFreeOptions{}, seed));
+}
+
+struct PredictorSpec {
+  std::string name;
+  Result<std::unique_ptr<AnnotatorModel>> (*make)(const ScenarioInstance&,
+                                                  const StudySession&,
+                                                  uint64_t);
+};
+
+}  // namespace
+
+Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
+  if (config.participants == 0) {
+    return Status::InvalidArgument("need at least one participant");
+  }
+  std::vector<PredictorSpec> predictors = {
+      {"Bayesian(FP)", &MakeBayesianPredictor},
+      {"HypothesisTesting", &MakeHTPredictor},
+  };
+  if (config.include_model_free) {
+    predictors.push_back({"ModelFree", &MakeModelFreePredictor});
+  }
+
+  UserStudyResult result;
+  const std::vector<Scenario> scenarios = UserStudyScenarios();
+  const std::vector<ParticipantProfile> cohort =
+      DefaultCohort(config.participants, config.seed);
+
+  for (const Scenario& scenario : scenarios) {
+    const uint64_t scenario_seed =
+        config.seed ^ (0x5CE9A210ULL * static_cast<uint64_t>(scenario.id));
+    ET_ASSIGN_OR_RETURN(
+        ScenarioInstance instance,
+        InstantiateScenario(scenario, config.instance, scenario_seed));
+    ET_ASSIGN_OR_RETURN(std::vector<double> fd_f1,
+                        SpaceF1Table(instance));
+
+    // Run every participant, collecting sessions and Table 3 stats.
+    std::vector<StudySession> sessions;
+    std::vector<double> f1_changes;
+    for (size_t p = 0; p < cohort.size(); ++p) {
+      ParticipantProfile profile = cohort[p];
+      if (scenario.id == 2) {
+        // Scenario 2 was markedly harder: more regressions, noisier
+        // declarations (App. A.3).
+        profile.regression_prob += config.scenario2_extra_regression;
+        profile.regression_pool = 12;
+        profile.decision_noise = std::max(profile.decision_noise, 0.05);
+      }
+      const uint64_t part_seed = scenario_seed + 7919ULL * (p + 1);
+      ET_ASSIGN_OR_RETURN(
+          std::unique_ptr<AnnotatorModel> participant,
+          MakeSimulatedParticipant(instance, profile, part_seed));
+      Rng session_rng(part_seed ^ 0xFACEULL);
+      ET_ASSIGN_OR_RETURN(
+          StudySession session,
+          RunStudySession(instance, *participant, static_cast<int>(p),
+                          config.study, session_rng));
+      ET_ASSIGN_OR_RETURN(double change,
+                          SessionF1Change(instance, session));
+      f1_changes.push_back(change);
+      sessions.push_back(std::move(session));
+    }
+    result.table3.push_back({scenario.id, Mean(f1_changes)});
+
+    // Score every predictor over all sessions.
+    for (const PredictorSpec& spec : predictors) {
+      std::vector<double> rrs;
+      std::vector<double> rrs_plus;
+      for (const StudySession& session : sessions) {
+        const uint64_t pred_seed =
+            scenario_seed ^ (0xABCDULL + session.participant);
+        {
+          ET_ASSIGN_OR_RETURN(
+              std::unique_ptr<AnnotatorModel> predictor,
+              spec.make(instance, session, pred_seed));
+          ET_ASSIGN_OR_RETURN(
+              std::vector<double> series,
+              PredictorRRSeries(instance, session, *predictor,
+                                config.top_k, /*plus=*/false, fd_f1));
+          rrs.insert(rrs.end(), series.begin(), series.end());
+        }
+        {
+          ET_ASSIGN_OR_RETURN(
+              std::unique_ptr<AnnotatorModel> predictor,
+              spec.make(instance, session, pred_seed));
+          ET_ASSIGN_OR_RETURN(
+              std::vector<double> series,
+              PredictorRRSeries(instance, session, *predictor,
+                                config.top_k, /*plus=*/true, fd_f1));
+          rrs_plus.insert(rrs_plus.end(), series.begin(), series.end());
+        }
+      }
+      ModelScenarioScore score;
+      score.scenario_id = scenario.id;
+      score.model = spec.name;
+      score.mrr = MeanReciprocalRank(rrs);
+      score.mrr_plus = MeanReciprocalRank(rrs_plus);
+      score.sessions = sessions.size();
+      result.fig2.push_back(score);
+    }
+  }
+  return result;
+}
+
+}  // namespace et

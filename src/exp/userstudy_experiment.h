@@ -1,0 +1,58 @@
+// The user-study experiment runner (App. A): runs the simulated cohort
+// through the five Table 2 scenarios, scores each human-learning model's
+// ability to predict participants' declared hypotheses (Figure 2, MRR
+// with k = 5, exact and "+"), and computes the per-scenario average
+// f1-score change between rounds (Table 3).
+
+#ifndef ET_EXP_USERSTUDY_EXPERIMENT_H_
+#define ET_EXP_USERSTUDY_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "human/study.h"
+
+namespace et {
+
+struct UserStudyConfig {
+  size_t participants = 20;
+  StudyOptions study;
+  ScenarioInstanceOptions instance;
+  uint64_t seed = 7;
+  size_t top_k = 5;
+  /// Extra non-monotone behaviour injected for scenario 2 (the paper
+  /// reports participants there "often moved from more accurate beliefs
+  /// to less accurate ones").
+  double scenario2_extra_regression = 0.35;
+  /// Also evaluate the model-free (reinforcement) predictor — beyond
+  /// the paper's Figure 2, which compares Bayesian vs HT.
+  bool include_model_free = false;
+};
+
+/// MRR of one model on one scenario (Figure 2 bar).
+struct ModelScenarioScore {
+  int scenario_id = 0;
+  std::string model;
+  /// Exact-match MRR and subset/superset-credited MRR ("+"-variant).
+  double mrr = 0.0;
+  double mrr_plus = 0.0;
+  size_t sessions = 0;
+};
+
+/// Table 3 row.
+struct ScenarioF1Change {
+  int scenario_id = 0;
+  double avg_f1_change = 0.0;
+};
+
+struct UserStudyResult {
+  std::vector<ModelScenarioScore> fig2;
+  std::vector<ScenarioF1Change> table3;
+};
+
+Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config);
+
+}  // namespace et
+
+#endif  // ET_EXP_USERSTUDY_EXPERIMENT_H_

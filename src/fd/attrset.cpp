@@ -1,0 +1,52 @@
+#include "fd/attrset.h"
+
+namespace et {
+
+std::vector<int> AttrSet::ToIndices() const {
+  std::vector<int> out;
+  out.reserve(size());
+  uint32_t m = mask_;
+  while (m) {
+    const int a = std::countr_zero(m);
+    out.push_back(a);
+    m &= m - 1;
+  }
+  return out;
+}
+
+std::string AttrSet::ToString(const Schema& schema) const {
+  if (empty()) return "{}";
+  std::string out;
+  bool first = true;
+  for (int a : ToIndices()) {
+    if (!first) out += ",";
+    first = false;
+    out += schema.name(a);
+  }
+  return out;
+}
+
+std::vector<AttrSet> EnumerateSubsets(AttrSet universe, int min_size,
+                                      int max_size) {
+  std::vector<AttrSet> out;
+  const uint32_t u = universe.mask();
+  // Iterate submasks of u in ascending order via the standard
+  // (s - u) & u trick run in reverse; simpler: walk all masks up to u and
+  // keep those contained in u. The universes here are tiny (<= 32 bits
+  // set but schemas <= 19 attributes), and enumeration happens once per
+  // experiment, so clarity wins over the submask-walk micro-optimization
+  // for sparse universes.
+  if (u == 0) return out;
+  for (uint32_t s = u;; s = (s - 1) & u) {
+    if (s != 0) {
+      const int sz = std::popcount(s);
+      if (sz >= min_size && sz <= max_size) out.push_back(AttrSet(s));
+    }
+    if (s == 0) break;
+  }
+  // The submask walk yields descending order; flip for ascending.
+  std::vector<AttrSet> asc(out.rbegin(), out.rend());
+  return asc;
+}
+
+}  // namespace et

@@ -1,0 +1,105 @@
+// AttrSet: a set of attribute indices as a 32-bit mask.
+//
+// All FD-lattice operations (subset tests, union, enumeration) are O(1)
+// bit operations, which keeps hypothesis-space enumeration and the
+// levelwise discovery algorithm cheap.
+
+#ifndef ET_FD_ATTRSET_H_
+#define ET_FD_ATTRSET_H_
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/schema.h"
+
+namespace et {
+
+/// Immutable-by-convention bitmask over attribute indices [0, 32).
+class AttrSet {
+ public:
+  constexpr AttrSet() : mask_(0) {}
+  constexpr explicit AttrSet(uint32_t mask) : mask_(mask) {}
+
+  /// Set containing exactly one attribute.
+  static constexpr AttrSet Single(int attr) {
+    return AttrSet(uint32_t{1} << attr);
+  }
+
+  /// Set of the given attribute indices.
+  static AttrSet Of(std::initializer_list<int> attrs) {
+    uint32_t m = 0;
+    for (int a : attrs) m |= uint32_t{1} << a;
+    return AttrSet(m);
+  }
+
+  /// Full set {0, ..., n-1}.
+  static constexpr AttrSet FullSet(int n) {
+    return AttrSet(n >= 32 ? ~uint32_t{0}
+                           : ((uint32_t{1} << n) - 1));
+  }
+
+  constexpr uint32_t mask() const { return mask_; }
+  constexpr bool empty() const { return mask_ == 0; }
+  constexpr int size() const { return std::popcount(mask_); }
+
+  constexpr bool Contains(int attr) const {
+    return (mask_ >> attr) & 1u;
+  }
+  constexpr bool ContainsAll(AttrSet other) const {
+    return (mask_ & other.mask_) == other.mask_;
+  }
+  /// Proper subset.
+  constexpr bool IsProperSubsetOf(AttrSet other) const {
+    return mask_ != other.mask_ && other.ContainsAll(*this);
+  }
+  constexpr bool Intersects(AttrSet other) const {
+    return (mask_ & other.mask_) != 0;
+  }
+
+  constexpr AttrSet Union(AttrSet other) const {
+    return AttrSet(mask_ | other.mask_);
+  }
+  constexpr AttrSet Intersect(AttrSet other) const {
+    return AttrSet(mask_ & other.mask_);
+  }
+  constexpr AttrSet Without(AttrSet other) const {
+    return AttrSet(mask_ & ~other.mask_);
+  }
+  constexpr AttrSet With(int attr) const {
+    return AttrSet(mask_ | (uint32_t{1} << attr));
+  }
+  constexpr AttrSet WithoutAttr(int attr) const {
+    return AttrSet(mask_ & ~(uint32_t{1} << attr));
+  }
+
+  /// Attribute indices in ascending order.
+  std::vector<int> ToIndices() const;
+
+  /// "A,B" given the schema (or "{}" for the empty set).
+  std::string ToString(const Schema& schema) const;
+
+  constexpr bool operator==(const AttrSet& o) const {
+    return mask_ == o.mask_;
+  }
+  constexpr bool operator!=(const AttrSet& o) const {
+    return mask_ != o.mask_;
+  }
+  /// Order by mask value (deterministic container ordering).
+  constexpr bool operator<(const AttrSet& o) const {
+    return mask_ < o.mask_;
+  }
+
+ private:
+  uint32_t mask_;
+};
+
+/// Enumerates all non-empty subsets of `universe` with size in
+/// [min_size, max_size], ascending by mask value.
+std::vector<AttrSet> EnumerateSubsets(AttrSet universe, int min_size,
+                                      int max_size);
+
+}  // namespace et
+
+#endif  // ET_FD_ATTRSET_H_

@@ -1,0 +1,108 @@
+#include "fd/error_detector.h"
+
+#include <algorithm>
+
+#include "fd/partition.h"
+
+namespace et {
+
+std::vector<double> DirtyProbabilitiesForFD(const Relation& rel,
+                                            const std::vector<RowId>& rows,
+                                            const FD& fd,
+                                            double confidence) {
+  confidence = std::clamp(confidence, 0.0, 1.0);
+  // Classify every row in `rows` as violating / satisfying-only /
+  // inapplicable using the LHS partition restricted to these rows.
+  enum : uint8_t { kNone = 0, kSat = 1, kViol = 2 };
+  std::vector<uint8_t> state(rows.size(), kNone);
+  // Map RowId -> position within `rows`.
+  std::vector<size_t> pos_of;  // sized lazily to max row id + 1
+  {
+    RowId max_row = 0;
+    for (RowId r : rows) max_row = std::max(max_row, r);
+    pos_of.assign(static_cast<size_t>(max_row) + 1, SIZE_MAX);
+    for (size_t i = 0; i < rows.size(); ++i) pos_of[rows[i]] = i;
+  }
+  const Partition part = Partition::Build(rel, fd.lhs, rows);
+  for (const auto& cls : part.classes()) {
+    // A row violates if any same-class row differs on the RHS; it
+    // satisfies (only) if all same-class rows agree. With the class's
+    // RHS-value census this is O(|class|).
+    bool rhs_uniform = true;
+    const Dictionary::Code first = rel.code(cls[0], fd.rhs);
+    for (RowId r : cls) {
+      if (rel.code(r, fd.rhs) != first) {
+        rhs_uniform = false;
+        break;
+      }
+    }
+    if (rhs_uniform) {
+      for (RowId r : cls) state[pos_of[r]] = kSat;
+      continue;
+    }
+    // Mixed class: every row has at least one partner with a different
+    // RHS value, so every row is in some violating pair. Violating
+    // evidence dominates any satisfying partners the row may also have.
+    for (RowId r : cls) state[pos_of[r]] = kViol;
+  }
+  std::vector<double> out(rows.size(), 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    switch (state[i]) {
+      case kViol:
+        out[i] = confidence;
+        break;
+      case kSat:
+        out[i] = 1.0 - confidence;
+        break;
+      default:
+        out[i] = 0.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> DirtyProbabilities(const Relation& rel,
+                                       const std::vector<RowId>& rows,
+                                       const std::vector<WeightedFD>& fds) {
+  std::vector<double> num(rows.size(), 0.0);
+  std::vector<double> den(rows.size(), 0.0);
+  for (const WeightedFD& wfd : fds) {
+    if (wfd.weight <= 0.0) continue;
+    // Applicability: rows in some LHS class of size >= 2.
+    const std::vector<double> p =
+        DirtyProbabilitiesForFD(rel, rows, wfd.fd, wfd.confidence);
+    const Partition part = Partition::Build(rel, wfd.fd.lhs, rows);
+    std::vector<bool> applicable(rows.size(), false);
+    {
+      std::vector<size_t> pos_of;
+      RowId max_row = 0;
+      for (RowId r : rows) max_row = std::max(max_row, r);
+      pos_of.assign(static_cast<size_t>(max_row) + 1, SIZE_MAX);
+      for (size_t i = 0; i < rows.size(); ++i) pos_of[rows[i]] = i;
+      for (const auto& cls : part.classes()) {
+        for (RowId r : cls) applicable[pos_of[r]] = true;
+      }
+    }
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!applicable[i]) continue;
+      num[i] += wfd.weight * p[i];
+      den[i] += wfd.weight;
+    }
+  }
+  std::vector<double> out(rows.size(), 0.0);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    if (den[i] > 0.0) out[i] = num[i] / den[i];
+  }
+  return out;
+}
+
+std::vector<bool> PredictDirty(const std::vector<double>& probabilities,
+                               double threshold) {
+  std::vector<bool> out(probabilities.size());
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    out[i] = probabilities[i] > threshold;
+  }
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,50 @@
+// FD-based error detection (App. A.1, Example 2): converting an
+// approximate FD's confidence into per-tuple dirty probabilities.
+//
+// For an FD f whose scaled violation measure is m (confidence 1 - m):
+// tuples of a *violating* pair are dirty with probability 1 - m, tuples
+// of a *satisfying* pair with probability m. Tuples never matching f's
+// LHS get no evidence from f.
+
+#ifndef ET_FD_ERROR_DETECTOR_H_
+#define ET_FD_ERROR_DETECTOR_H_
+
+#include <vector>
+
+#include "data/relation.h"
+#include "fd/fd.h"
+
+namespace et {
+
+/// An FD paired with the detector's confidence that it holds (in [0,1];
+/// confidence = 1 - violation measure) and a mixing weight used when
+/// aggregating evidence from several FDs.
+struct WeightedFD {
+  FD fd;
+  double confidence = 1.0;
+  double weight = 1.0;
+};
+
+/// Per-tuple dirty probability from a single FD over the given rows:
+/// confidence for tuples in a violating pair, 1 - confidence for tuples
+/// only in satisfying pairs, 0 for tuples whose LHS never matches.
+/// Output is indexed parallel to `rows`.
+std::vector<double> DirtyProbabilitiesForFD(const Relation& rel,
+                                            const std::vector<RowId>& rows,
+                                            const FD& fd,
+                                            double confidence);
+
+/// Weighted mean of per-FD dirty probabilities; FDs inapplicable to a
+/// tuple do not contribute to that tuple's mixture. Tuples with no
+/// applicable FD get probability 0.
+std::vector<double> DirtyProbabilities(const Relation& rel,
+                                       const std::vector<RowId>& rows,
+                                       const std::vector<WeightedFD>& fds);
+
+/// Thresholds probabilities into dirty flags (p > threshold).
+std::vector<bool> PredictDirty(const std::vector<double>& probabilities,
+                               double threshold = 0.5);
+
+}  // namespace et
+
+#endif  // ET_FD_ERROR_DETECTOR_H_

@@ -1,0 +1,41 @@
+#include "fd/fd.h"
+
+#include "common/strings.h"
+
+namespace et {
+
+std::string FD::ToString(const Schema& schema) const {
+  return lhs.ToString(schema) + "->" + schema.name(rhs);
+}
+
+Result<FD> ParseFD(const std::string& text, const Schema& schema) {
+  const size_t arrow = text.find("->");
+  if (arrow == std::string::npos) {
+    return Status::InvalidArgument("FD missing '->': " + text);
+  }
+  const std::string lhs_text = text.substr(0, arrow);
+  const std::string rhs_text{Trim(text.substr(arrow + 2))};
+  if (rhs_text.empty()) {
+    return Status::InvalidArgument("FD missing RHS: " + text);
+  }
+  AttrSet lhs;
+  for (const std::string& part : Split(lhs_text, ',')) {
+    const std::string name{Trim(part)};
+    if (name.empty()) {
+      return Status::InvalidArgument("empty LHS attribute in: " + text);
+    }
+    ET_ASSIGN_OR_RETURN(int idx, schema.IndexOf(name));
+    lhs = lhs.With(idx);
+  }
+  if (lhs.empty()) {
+    return Status::InvalidArgument("FD needs a non-empty LHS: " + text);
+  }
+  ET_ASSIGN_OR_RETURN(int rhs, schema.IndexOf(rhs_text));
+  FD fd(lhs, rhs);
+  if (!fd.IsValid(schema)) {
+    return Status::InvalidArgument("FD is trivial or invalid: " + text);
+  }
+  return fd;
+}
+
+}  // namespace et

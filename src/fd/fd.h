@@ -1,0 +1,77 @@
+// FD: a normalized functional dependency X -> A (single-attribute RHS,
+// X non-empty, A not in X), plus the lattice relations the paper's
+// "+"-metrics rely on (App. A.2: X -> Z is a *superset* of XY -> Z; a
+// subset FD is implied by its superset).
+
+#ifndef ET_FD_FD_H_
+#define ET_FD_FD_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "fd/attrset.h"
+
+namespace et {
+
+/// A normalized, non-trivial functional dependency lhs -> rhs.
+struct FD {
+  AttrSet lhs;
+  int rhs = -1;
+
+  FD() = default;
+  FD(AttrSet lhs_in, int rhs_in) : lhs(lhs_in), rhs(rhs_in) {}
+
+  /// Total number of attributes mentioned (|X| + 1).
+  int NumAttributes() const { return lhs.size() + 1; }
+
+  /// Validity: non-empty LHS, RHS in range, RHS not in LHS.
+  bool IsValid(const Schema& schema) const {
+    return !lhs.empty() && rhs >= 0 && rhs < schema.num_attributes() &&
+           !lhs.Contains(rhs);
+  }
+
+  /// Paper's lattice relation: this FD is a *superset* of `other` when
+  /// they share the RHS and this LHS is a proper subset of other's (a
+  /// superset FD is the logically stronger statement).
+  bool IsSupersetOf(const FD& other) const {
+    return rhs == other.rhs && lhs.IsProperSubsetOf(other.lhs);
+  }
+  /// Dual of IsSupersetOf.
+  bool IsSubsetOf(const FD& other) const { return other.IsSupersetOf(*this); }
+
+  /// Superset, subset, or equal (the family the "+"-metrics credit).
+  bool IsRelatedTo(const FD& other) const {
+    return *this == other || IsSupersetOf(other) || IsSubsetOf(other);
+  }
+
+  /// "A,B->C" given the schema.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const FD& o) const {
+    return lhs == o.lhs && rhs == o.rhs;
+  }
+  bool operator!=(const FD& o) const { return !(*this == o); }
+  /// Deterministic ordering: by RHS, then LHS mask.
+  bool operator<(const FD& o) const {
+    if (rhs != o.rhs) return rhs < o.rhs;
+    return lhs < o.lhs;
+  }
+};
+
+/// Parses "A,B->C" (attribute names from the schema; spaces allowed).
+Result<FD> ParseFD(const std::string& text, const Schema& schema);
+
+/// Hash functor for unordered containers keyed by FD.
+struct FDHash {
+  size_t operator()(const FD& fd) const {
+    return std::hash<uint64_t>()(
+        (static_cast<uint64_t>(fd.lhs.mask()) << 8) ^
+        static_cast<uint64_t>(fd.rhs));
+  }
+};
+
+}  // namespace et
+
+#endif  // ET_FD_FD_H_

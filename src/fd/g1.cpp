@@ -1,0 +1,88 @@
+#include "fd/g1.h"
+
+#include <unordered_map>
+
+namespace et {
+namespace {
+
+struct PairCounts {
+  uint64_t agreeing = 0;   // pairs matching on LHS
+  uint64_t violating = 0;  // of those, pairs differing on RHS
+};
+
+PairCounts CountPairs(const Relation& rel, const FD& fd,
+                      const std::vector<RowId>& rows) {
+  PairCounts out;
+  const Partition part = Partition::Build(rel, fd.lhs, rows);
+  for (const auto& cls : part.classes()) {
+    const uint64_t n = cls.size();
+    out.agreeing += n * (n - 1) / 2;
+    // Within an LHS class, satisfied pairs are those agreeing on the
+    // RHS; count via RHS-value frequencies.
+    std::unordered_map<Dictionary::Code, uint64_t> freq;
+    freq.reserve(cls.size());
+    for (RowId r : cls) ++freq[rel.code(r, fd.rhs)];
+    uint64_t satisfied = 0;
+    for (const auto& [code, cnt] : freq) {
+      (void)code;
+      satisfied += cnt * (cnt - 1) / 2;
+    }
+    out.violating += n * (n - 1) / 2 - satisfied;
+  }
+  return out;
+}
+
+std::vector<RowId> AllRows(const Relation& rel) {
+  std::vector<RowId> rows(rel.num_rows());
+  for (RowId r = 0; r < rel.num_rows(); ++r) rows[r] = r;
+  return rows;
+}
+
+}  // namespace
+
+PairCompliance CheckPair(const Relation& rel, const FD& fd, RowId a,
+                         RowId b) {
+  for (int col : fd.lhs.ToIndices()) {
+    if (rel.code(a, col) != rel.code(b, col)) {
+      return PairCompliance::kInapplicable;
+    }
+  }
+  return rel.code(a, fd.rhs) == rel.code(b, fd.rhs)
+             ? PairCompliance::kSatisfies
+             : PairCompliance::kViolates;
+}
+
+uint64_t ViolatingPairCount(const Relation& rel, const FD& fd) {
+  return ViolatingPairCount(rel, fd, AllRows(rel));
+}
+
+uint64_t ViolatingPairCount(const Relation& rel, const FD& fd,
+                            const std::vector<RowId>& rows) {
+  return CountPairs(rel, fd, rows).violating;
+}
+
+double G1(const Relation& rel, const FD& fd) {
+  return G1(rel, fd, AllRows(rel));
+}
+
+double G1(const Relation& rel, const FD& fd,
+          const std::vector<RowId>& rows) {
+  if (rows.size() < 2) return 0.0;
+  const PairCounts counts = CountPairs(rel, fd, rows);
+  const double n = static_cast<double>(rows.size());
+  return static_cast<double>(counts.violating) / (n * n);
+}
+
+double PairwiseConfidence(const Relation& rel, const FD& fd) {
+  return PairwiseConfidence(rel, fd, AllRows(rel));
+}
+
+double PairwiseConfidence(const Relation& rel, const FD& fd,
+                          const std::vector<RowId>& rows) {
+  const PairCounts counts = CountPairs(rel, fd, rows);
+  if (counts.agreeing == 0) return 1.0;
+  return 1.0 - static_cast<double>(counts.violating) /
+                   static_cast<double>(counts.agreeing);
+}
+
+}  // namespace et

@@ -1,0 +1,61 @@
+// The scaled g1 approximation measure (App. A.1) and per-pair
+// compliance tests.
+//
+//   g1(X -> A, r) = |{(t1,t2) : t1[X]=t2[X], t1[A]!=t2[A]}| / |r|^2
+//
+// counted over unordered pairs of distinct tuples, matching the paper's
+// worked example (Table 1: g1(Team -> City) = 1/25 on 5 tuples).
+
+#ifndef ET_FD_G1_H_
+#define ET_FD_G1_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+#include "fd/fd.h"
+#include "fd/partition.h"
+
+namespace et {
+
+/// Relationship of one tuple pair to one FD.
+enum class PairCompliance {
+  /// LHS values differ: the pair says nothing about the FD.
+  kInapplicable,
+  /// LHS values agree and RHS values agree.
+  kSatisfies,
+  /// LHS values agree and RHS values differ: a violation.
+  kViolates,
+};
+
+/// Compliance of the pair (a, b) with `fd`.
+PairCompliance CheckPair(const Relation& rel, const FD& fd, RowId a,
+                         RowId b);
+
+/// Number of unordered violating pairs of `fd` over all rows.
+uint64_t ViolatingPairCount(const Relation& rel, const FD& fd);
+
+/// Number of unordered violating pairs over a row subset.
+uint64_t ViolatingPairCount(const Relation& rel, const FD& fd,
+                            const std::vector<RowId>& rows);
+
+/// Scaled g1 over all rows; 0 for relations with < 2 rows.
+double G1(const Relation& rel, const FD& fd);
+
+/// Scaled g1 over a row subset (denominator |rows|^2).
+double G1(const Relation& rel, const FD& fd,
+          const std::vector<RowId>& rows);
+
+/// The FD's *confidence* 1 - g1_pairfrac, where g1_pairfrac normalizes
+/// violating pairs by the number of LHS-agreeing pairs instead of n^2.
+/// This is the per-pair probability that an LHS-matching pair satisfies
+/// the FD — the quantity the belief models track. Returns 1 when no pair
+/// matches on the LHS (the FD is vacuously satisfied).
+double PairwiseConfidence(const Relation& rel, const FD& fd);
+
+/// PairwiseConfidence over a row subset.
+double PairwiseConfidence(const Relation& rel, const FD& fd,
+                          const std::vector<RowId>& rows);
+
+}  // namespace et
+
+#endif  // ET_FD_G1_H_

@@ -1,0 +1,162 @@
+#include "fd/hypothesis_space.h"
+
+#include <algorithm>
+
+#include "fd/g1.h"
+
+namespace et {
+
+Result<HypothesisSpace> HypothesisSpace::Make(const Schema& schema,
+                                              std::vector<FD> fds) {
+  HypothesisSpace space;
+  space.schema_ = schema;
+  for (const FD& fd : fds) {
+    if (!fd.IsValid(schema)) {
+      return Status::InvalidArgument("invalid FD in hypothesis space");
+    }
+    auto [it, inserted] = space.index_.emplace(fd, space.fds_.size());
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate FD: " + fd.ToString(schema));
+    }
+    space.fds_.push_back(fd);
+  }
+  if (space.fds_.empty()) {
+    return Status::InvalidArgument("hypothesis space must be non-empty");
+  }
+  return space;
+}
+
+HypothesisSpace HypothesisSpace::EnumerateAll(const Schema& schema,
+                                              int max_total_attrs) {
+  std::vector<FD> fds;
+  const int n = schema.num_attributes();
+  const AttrSet universe = AttrSet::FullSet(n);
+  for (int rhs = 0; rhs < n; ++rhs) {
+    const AttrSet candidates = universe.WithoutAttr(rhs);
+    for (const AttrSet& lhs :
+         EnumerateSubsets(candidates, 1, max_total_attrs - 1)) {
+      fds.emplace_back(lhs, rhs);
+    }
+  }
+  std::sort(fds.begin(), fds.end());
+  auto space = Make(schema, std::move(fds));
+  // Enumeration cannot produce duplicates or invalid FDs.
+  return std::move(space).value();
+}
+
+Result<HypothesisSpace> HypothesisSpace::BuildCapped(
+    const Relation& rel, int max_total_attrs, size_t cap,
+    const std::vector<FD>& must_include) {
+  if (cap == 0) return Status::InvalidArgument("cap must be positive");
+  const HypothesisSpace all =
+      EnumerateAll(rel.schema(), max_total_attrs);
+  for (const FD& fd : must_include) {
+    if (!all.Contains(fd)) {
+      return Status::InvalidArgument(
+          "must_include FD outside the enumerable space: " +
+          fd.ToString(rel.schema()));
+    }
+  }
+  if (must_include.size() > cap) {
+    return Status::InvalidArgument("more must_include FDs than cap");
+  }
+  struct Ranked {
+    FD fd;
+    double g1;
+  };
+  // Degenerate candidates are excluded up front: an FD whose RHS
+  // column is constant holds vacuously, and a constant LHS attribute
+  // adds nothing to the determinant — both classes would flood the
+  // low-g1 head of the ranking with rules that carry no signal
+  // (Hospital's empty Address2/Address3 columns are the canonical
+  // offenders).
+  auto is_constant = [&](int col) {
+    return rel.DistinctCount(col) < 2;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(all.size());
+  for (const FD& fd : all.fds()) {
+    if (std::find(must_include.begin(), must_include.end(), fd) !=
+        must_include.end()) {
+      continue;
+    }
+    if (is_constant(fd.rhs)) continue;
+    bool degenerate_lhs = false;
+    for (int col : fd.lhs.ToIndices()) {
+      if (is_constant(col)) {
+        degenerate_lhs = true;
+        break;
+      }
+    }
+    if (degenerate_lhs) continue;
+    ranked.push_back({fd, G1(rel, fd)});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) {
+                     if (a.g1 != b.g1) return a.g1 < b.g1;
+                     return a.fd < b.fd;
+                   });
+  // Keep a *spread* of plausibility, not just the lowest-g1 candidates:
+  // half the remaining slots take the most plausible FDs, the other
+  // half sample evenly across the g1 spectrum. A space of only
+  // near-holding FDs would make every data-informed prior
+  // indistinguishable from Uniform-high and hide prior effects the
+  // evaluation studies.
+  std::vector<FD> chosen = must_include;
+  if (!ranked.empty() && chosen.size() < cap) {
+    const size_t remaining = cap - chosen.size();
+    const size_t head = std::min(remaining / 2, ranked.size());
+    std::vector<bool> taken(ranked.size(), false);
+    for (size_t i = 0; i < head; ++i) {
+      chosen.push_back(ranked[i].fd);
+      taken[i] = true;
+    }
+    const size_t spread = remaining - head;
+    for (size_t j = 0; j < spread && chosen.size() < cap; ++j) {
+      // Evenly spaced positions over the full ranking (skipping
+      // already-taken slots forward).
+      size_t pos = spread <= 1
+                       ? ranked.size() - 1
+                       : head + (j * (ranked.size() - head - 1)) /
+                                    (spread - 1);
+      while (pos < ranked.size() && taken[pos]) ++pos;
+      if (pos >= ranked.size()) break;
+      chosen.push_back(ranked[pos].fd);
+      taken[pos] = true;
+    }
+    // Top up (small spaces may have exhausted positions).
+    for (size_t i = 0; i < ranked.size() && chosen.size() < cap; ++i) {
+      if (!taken[i]) {
+        chosen.push_back(ranked[i].fd);
+        taken[i] = true;
+      }
+    }
+  }
+  std::sort(chosen.begin(), chosen.end());
+  return Make(rel.schema(), std::move(chosen));
+}
+
+Result<size_t> HypothesisSpace::IndexOf(const FD& fd) const {
+  auto it = index_.find(fd);
+  if (it == index_.end()) {
+    // The FD may reference attributes outside this space's schema, so
+    // format it numerically rather than via schema names.
+    return Status::NotFound(
+        "FD not in hypothesis space: lhs_mask=" +
+        std::to_string(fd.lhs.mask()) + " rhs=" + std::to_string(fd.rhs));
+  }
+  return it->second;
+}
+
+std::vector<size_t> HypothesisSpace::RelatedIndices(size_t idx) const {
+  std::vector<size_t> out;
+  const FD& target = fds_.at(idx);
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (i == idx) continue;
+    if (fds_[i].IsRelatedTo(target)) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace et

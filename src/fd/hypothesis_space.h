@@ -1,0 +1,68 @@
+// HypothesisSpace: the fixed, finite set of candidate FDs that beliefs
+// are defined over.
+//
+// The paper's empirical study tracks "a model for 38 approximate FDs for
+// each dataset ... each FD has at most four attributes" (App. C.1); the
+// user study tracks all candidate FDs over 3-5 attribute scenario
+// schemas. Both shapes are built here.
+
+#ifndef ET_FD_HYPOTHESIS_SPACE_H_
+#define ET_FD_HYPOTHESIS_SPACE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "fd/fd.h"
+
+namespace et {
+
+/// An ordered, deduplicated set of candidate FDs with O(1) FD -> index
+/// lookup. The index of an FD is its identity everywhere downstream
+/// (belief vectors, MAE, policies).
+class HypothesisSpace {
+ public:
+  HypothesisSpace() = default;
+
+  /// Builds a space from explicit FDs; rejects duplicates and FDs
+  /// invalid under the schema.
+  static Result<HypothesisSpace> Make(const Schema& schema,
+                                      std::vector<FD> fds);
+
+  /// All valid normalized FDs whose total attribute count (|LHS|+1) is
+  /// at most `max_total_attrs`.
+  static HypothesisSpace EnumerateAll(const Schema& schema,
+                                      int max_total_attrs = 4);
+
+  /// The paper's evaluation shape: enumerate all FDs up to
+  /// `max_total_attrs`, then keep `cap` of them — every FD in
+  /// `must_include` plus the lowest-g1 (most plausible) remaining
+  /// candidates, with deterministic tie-breaking. `rel` supplies the
+  /// data used for the g1 ranking.
+  static Result<HypothesisSpace> BuildCapped(
+      const Relation& rel, int max_total_attrs, size_t cap,
+      const std::vector<FD>& must_include);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<FD>& fds() const { return fds_; }
+  size_t size() const { return fds_.size(); }
+  const FD& fd(size_t idx) const { return fds_.at(idx); }
+
+  /// Index of `fd`, or NotFound when the FD is outside the space.
+  Result<size_t> IndexOf(const FD& fd) const;
+  bool Contains(const FD& fd) const { return index_.count(fd) > 0; }
+
+  /// Indices of FDs related to fds_[idx] by the paper's subset/superset
+  /// lattice relation (excluding idx itself).
+  std::vector<size_t> RelatedIndices(size_t idx) const;
+
+ private:
+  Schema schema_;
+  std::vector<FD> fds_;
+  std::unordered_map<FD, size_t, FDHash> index_;
+};
+
+}  // namespace et
+
+#endif  // ET_FD_HYPOTHESIS_SPACE_H_

@@ -1,0 +1,113 @@
+#include "fd/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace et {
+namespace {
+
+// 64-bit FNV-1a over the code sequence of the key attributes. Collisions
+// are resolved by chaining full keys below, so the hash only needs to be
+// well-distributed, not perfect.
+struct KeyHash {
+  size_t operator()(const std::vector<Dictionary::Code>& key) const {
+    uint64_t h = 1469598103934665603ULL;
+    for (Dictionary::Code c : key) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace
+
+Partition Partition::Build(const Relation& rel, AttrSet attrs) {
+  std::vector<RowId> all(rel.num_rows());
+  for (RowId r = 0; r < rel.num_rows(); ++r) all[r] = r;
+  return Build(rel, attrs, all);
+}
+
+Partition Partition::Build(const Relation& rel, AttrSet attrs,
+                           const std::vector<RowId>& rows) {
+  Partition p;
+  p.num_rows_ = rows.size();
+  const std::vector<int> cols = attrs.ToIndices();
+  std::unordered_map<std::vector<Dictionary::Code>, std::vector<RowId>,
+                     KeyHash>
+      groups;
+  groups.reserve(rows.size());
+  std::vector<Dictionary::Code> key(cols.size());
+  for (RowId r : rows) {
+    for (size_t i = 0; i < cols.size(); ++i) key[i] = rel.code(r, cols[i]);
+    groups[key].push_back(r);
+  }
+  for (auto& [k, members] : groups) {
+    (void)k;
+    if (members.size() >= 2) {
+      p.classes_.push_back(std::move(members));
+    } else {
+      ++p.num_singletons_;
+    }
+  }
+  // Deterministic class order regardless of hash iteration order.
+  std::sort(p.classes_.begin(), p.classes_.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a[0] < b[0];
+            });
+  return p;
+}
+
+uint64_t Partition::AgreeingPairCount() const {
+  uint64_t pairs = 0;
+  for (const auto& cls : classes_) {
+    const uint64_t n = cls.size();
+    pairs += n * (n - 1) / 2;
+  }
+  return pairs;
+}
+
+size_t Partition::TaneError() const {
+  size_t kept = 0;
+  for (const auto& cls : classes_) kept += cls.size() - 1;
+  return kept;
+}
+
+Partition Partition::Product(const Partition& x, const Partition& y,
+                             size_t num_rows) {
+  // Standard TANE product over stripped partitions: a row pair agrees
+  // on X ∪ Y iff it agrees on X and on Y, so product classes are the
+  // size->=2 intersections of x-classes with y-classes. Rows stripped
+  // from either input are singletons in the product.
+  std::unordered_map<RowId, size_t> x_class_of;
+  for (size_t i = 0; i < x.classes_.size(); ++i) {
+    for (RowId r : x.classes_[i]) x_class_of.emplace(r, i);
+  }
+  Partition out;
+  out.num_rows_ = num_rows;
+  size_t covered = 0;
+  for (const auto& y_cls : y.classes_) {
+    // Bucket this y-class's rows by their x-class.
+    std::unordered_map<size_t, std::vector<RowId>> buckets;
+    for (RowId r : y_cls) {
+      auto it = x_class_of.find(r);
+      if (it != x_class_of.end()) buckets[it->second].push_back(r);
+    }
+    for (auto& [x_idx, members] : buckets) {
+      (void)x_idx;
+      if (members.size() >= 2) {
+        std::sort(members.begin(), members.end());
+        covered += members.size();
+        out.classes_.push_back(std::move(members));
+      }
+    }
+  }
+  std::sort(out.classes_.begin(), out.classes_.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a[0] < b[0];
+            });
+  out.num_singletons_ = num_rows - covered;
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,66 @@
+// Equivalence-class partitions of a relation under an attribute set —
+// the workhorse of g1 computation and TANE-style discovery.
+//
+// The partition of X groups rows that agree on every attribute of X.
+// We keep the *stripped* form (singleton classes dropped) familiar from
+// TANE, plus enough bookkeeping to recover pair counts exactly.
+
+#ifndef ET_FD_PARTITION_H_
+#define ET_FD_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/relation.h"
+#include "fd/attrset.h"
+
+namespace et {
+
+/// Stripped partition: equivalence classes of size >= 2 under equality
+/// on an attribute set, over a given row universe.
+class Partition {
+ public:
+  /// Builds the partition of `attrs` over all rows of `rel`.
+  static Partition Build(const Relation& rel, AttrSet attrs);
+
+  /// Builds the partition over a subset of rows (ids into `rel`).
+  static Partition Build(const Relation& rel, AttrSet attrs,
+                         const std::vector<RowId>& rows);
+
+  /// Classes with >= 2 rows; row ids are ascending within each class.
+  const std::vector<std::vector<RowId>>& classes() const {
+    return classes_;
+  }
+
+  /// Number of rows the partition was built over (including singletons).
+  size_t num_rows() const { return num_rows_; }
+
+  /// Number of singleton classes (stripped away).
+  size_t num_singletons() const { return num_singletons_; }
+
+  /// Total number of unordered row pairs that agree on the attribute
+  /// set: sum over classes of C(|class|, 2).
+  uint64_t AgreeingPairCount() const;
+
+  /// Error measure used by TANE: rows minus number of classes (counting
+  /// singletons), i.e. the minimum number of rows to delete for the
+  /// partition to become a key.
+  size_t TaneError() const;
+
+  /// TANE's partition product: the partition of X ∪ Y computed from the
+  /// stripped partitions of X and Y in O(|classes|) time, without
+  /// touching the relation. Both inputs must have been built over the
+  /// same row universe of `num_rows` rows (ids 0..num_rows-1 when built
+  /// over all rows); behaviour is undefined otherwise.
+  static Partition Product(const Partition& x, const Partition& y,
+                           size_t num_rows);
+
+ private:
+  std::vector<std::vector<RowId>> classes_;
+  size_t num_rows_ = 0;
+  size_t num_singletons_ = 0;
+};
+
+}  // namespace et
+
+#endif  // ET_FD_PARTITION_H_

@@ -1,0 +1,76 @@
+#include "fd/violations.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fd/partition.h"
+
+namespace et {
+namespace {
+
+// Walks LHS classes, invoking `emit(a, b)` on pairs until it returns
+// false. `want_violating` selects violating vs all agreeing pairs.
+template <typename Emit>
+void ForEachPair(const Relation& rel, const FD& fd, bool violating_only,
+                 Emit emit) {
+  const Partition part = Partition::Build(rel, fd.lhs);
+  for (const auto& cls : part.classes()) {
+    for (size_t i = 0; i < cls.size(); ++i) {
+      for (size_t j = i + 1; j < cls.size(); ++j) {
+        const bool violates =
+            rel.code(cls[i], fd.rhs) != rel.code(cls[j], fd.rhs);
+        if (violating_only && !violates) continue;
+        if (!emit(cls[i], cls[j])) return;
+      }
+    }
+  }
+}
+
+std::vector<RowPair> CollectPairs(const Relation& rel, const FD& fd,
+                                  bool violating_only, size_t limit) {
+  std::vector<RowPair> out;
+  ForEachPair(rel, fd, violating_only, [&](RowId a, RowId b) {
+    out.emplace_back(a, b);
+    return limit == 0 || out.size() < limit;
+  });
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<RowPair> ViolatingPairs(const Relation& rel, const FD& fd,
+                                    size_t limit) {
+  return CollectPairs(rel, fd, /*violating_only=*/true, limit);
+}
+
+std::vector<RowPair> AgreeingPairs(const Relation& rel, const FD& fd,
+                                   size_t limit) {
+  return CollectPairs(rel, fd, /*violating_only=*/false, limit);
+}
+
+std::vector<Cell> ViolationCells(const FD& fd, const RowPair& pair) {
+  std::vector<Cell> out;
+  for (RowId r : {pair.first, pair.second}) {
+    for (int col : fd.lhs.ToIndices()) out.push_back(Cell{r, col});
+    out.push_back(Cell{r, fd.rhs});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<Cell> AllViolationCells(const Relation& rel,
+                                    const std::vector<FD>& fds) {
+  std::unordered_set<Cell, CellHash> seen;
+  for (const FD& fd : fds) {
+    for (const RowPair& pair : ViolatingPairs(rel, fd)) {
+      for (const Cell& c : ViolationCells(fd, pair)) seen.insert(c);
+    }
+  }
+  std::vector<Cell> out(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,85 @@
+// Violation enumeration: the pairs of tuples (and the cells) that
+// witness an FD's violations. Used by the error detector, the learner's
+// candidate-pair pool, and the examples.
+
+#ifndef ET_FD_VIOLATIONS_H_
+#define ET_FD_VIOLATIONS_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "data/relation.h"
+#include "fd/fd.h"
+
+namespace et {
+
+/// An unordered pair of rows; first < second by construction.
+struct RowPair {
+  RowId first = 0;
+  RowId second = 0;
+
+  RowPair() = default;
+  RowPair(RowId a, RowId b)
+      : first(a < b ? a : b), second(a < b ? b : a) {}
+
+  bool operator==(const RowPair& o) const {
+    return first == o.first && second == o.second;
+  }
+  bool operator<(const RowPair& o) const {
+    if (first != o.first) return first < o.first;
+    return second < o.second;
+  }
+};
+
+struct RowPairHash {
+  size_t operator()(const RowPair& p) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(p.first) << 32) |
+                                 p.second);
+  }
+};
+
+/// A cell position (row, column), the granularity of C_v in App. A.1.
+struct Cell {
+  RowId row = 0;
+  int col = 0;
+
+  bool operator==(const Cell& o) const {
+    return row == o.row && col == o.col;
+  }
+  bool operator<(const Cell& o) const {
+    if (row != o.row) return row < o.row;
+    return col < o.col;
+  }
+};
+
+struct CellHash {
+  size_t operator()(const Cell& c) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(c.row) << 32) |
+                                 static_cast<uint32_t>(c.col));
+  }
+};
+
+/// Enumerates the violating pairs of `fd`, ascending, stopping after
+/// `limit` pairs (0 = unlimited).
+std::vector<RowPair> ViolatingPairs(const Relation& rel, const FD& fd,
+                                    size_t limit = 0);
+
+/// Enumerates LHS-agreeing pairs of `fd` (both satisfying and
+/// violating), ascending, stopping after `limit` pairs (0 = unlimited).
+std::vector<RowPair> AgreeingPairs(const Relation& rel, const FD& fd,
+                                   size_t limit = 0);
+
+/// The violating cells C_v of one violating pair: the LHS cells and the
+/// RHS cell of both tuples (App. A.1 defines a violation over the X and
+/// Y cells of the two tuples).
+std::vector<Cell> ViolationCells(const FD& fd, const RowPair& pair);
+
+/// Union of ViolationCells over all violating pairs of all `fds`
+/// (deduplicated, sorted).
+std::vector<Cell> AllViolationCells(const Relation& rel,
+                                    const std::vector<FD>& fds);
+
+}  // namespace et
+
+#endif  // ET_FD_VIOLATIONS_H_

@@ -1,0 +1,204 @@
+#include "human/annotator.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/math.h"
+#include "fd/g1.h"
+
+namespace et {
+
+std::vector<LabeledPair> AnnotatorModel::Label(
+    const Relation& rel, const std::vector<RowPair>& pairs) const {
+  const FD& hyp = space_->fd(CurrentHypothesis());
+  std::vector<LabeledPair> out;
+  out.reserve(pairs.size());
+  for (const RowPair& p : pairs) {
+    LabeledPair lp;
+    lp.pair = p;
+    const bool dirty =
+        CheckPair(rel, hyp, p.first, p.second) == PairCompliance::kViolates;
+    lp.first_dirty = dirty;
+    lp.second_dirty = dirty;
+    out.push_back(lp);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// BayesianAnnotator
+
+BayesianAnnotator::BayesianAnnotator(
+    BeliefModel prior, const BayesianAnnotatorOptions& options,
+    uint64_t seed)
+    : AnnotatorModel(prior.space_ptr()),
+      belief_(std::move(prior)),
+      options_(options),
+      rng_(seed) {
+  ET_CHECK(options_.learning_weight > 0.0);
+  declared_ = belief_.Top1();
+}
+
+void BayesianAnnotator::Observe(const Relation& rel,
+                                const std::vector<RowPair>& pairs) {
+  UpdateFromObservation(&belief_, rel, pairs, options_.learning_weight);
+  Redeclare();
+}
+
+void BayesianAnnotator::Redeclare() {
+  if (options_.regression_prob > 0.0 &&
+      rng_.NextBernoulli(options_.regression_prob)) {
+    // Non-monotone slip: declare one of the current best instead of
+    // the best.
+    const std::vector<size_t> top = belief_.TopK(options_.regression_pool);
+    declared_ = top[rng_.NextUint64(top.size())];
+    return;
+  }
+  if (options_.decision_noise > 0.0) {
+    const std::vector<double> probs =
+        Softmax(belief_.Confidences(), options_.decision_noise);
+    declared_ = rng_.NextDiscrete(probs);
+    return;
+  }
+  declared_ = belief_.Top1();
+}
+
+std::vector<size_t> BayesianAnnotator::TopK(size_t k) const {
+  return belief_.TopK(k);
+}
+
+// ---------------------------------------------------------------------------
+// HypothesisTestingAnnotator
+
+HypothesisTestingAnnotator::HypothesisTestingAnnotator(
+    std::shared_ptr<const HypothesisSpace> space, size_t initial_hypothesis,
+    const HypothesisTestingOptions& options, uint64_t seed)
+    : AnnotatorModel(std::move(space)),
+      options_(options),
+      rng_(seed),
+      current_(initial_hypothesis) {
+  ET_CHECK(current_ < space_->size());
+  ET_CHECK(options_.frequency >= 1);
+  ET_CHECK(options_.window >= 1);
+}
+
+double HypothesisTestingAnnotator::ViolationRate(size_t idx) const {
+  if (last_rel_ == nullptr) return 0.0;
+  const FD& fd = space_->fd(idx);
+  size_t applicable = 0;
+  size_t violating = 0;
+  for (const auto& interaction : window_) {
+    for (const RowPair& p : interaction) {
+      switch (CheckPair(*last_rel_, fd, p.first, p.second)) {
+        case PairCompliance::kSatisfies:
+          ++applicable;
+          break;
+        case PairCompliance::kViolates:
+          ++applicable;
+          ++violating;
+          break;
+        case PairCompliance::kInapplicable:
+          break;
+      }
+    }
+  }
+  if (applicable == 0) return 0.0;
+  return static_cast<double>(violating) / static_cast<double>(applicable);
+}
+
+void HypothesisTestingAnnotator::Observe(
+    const Relation& rel, const std::vector<RowPair>& pairs) {
+  last_rel_ = &rel;
+  window_.push_back(pairs);
+  while (window_.size() > options_.window) window_.pop_front();
+  ++observe_count_;
+  if (observe_count_ % options_.frequency != 0) return;
+
+  if (ViolationRate(current_) <= options_.tolerance) return;  // keep it
+
+  // Reject: adopt the hypothesis performing best on the window.
+  // Deterministic tie-break by index keeps replays reproducible.
+  double best_rate = ViolationRate(current_);
+  size_t best = current_;
+  for (size_t i = 0; i < space_->size(); ++i) {
+    const double rate = ViolationRate(i);
+    if (rate < best_rate) {
+      best_rate = rate;
+      best = i;
+    }
+  }
+  current_ = best;
+}
+
+std::vector<size_t> HypothesisTestingAnnotator::TopK(size_t k) const {
+  std::vector<size_t> idx(space_->size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::vector<double> rate(space_->size());
+  for (size_t i = 0; i < space_->size(); ++i) rate[i] = ViolationRate(i);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    // Current hypothesis first, then ascending violation rate.
+    if ((a == current_) != (b == current_)) return a == current_;
+    return rate[a] < rate[b];
+  });
+  idx.resize(std::min(k, idx.size()));
+  return idx;
+}
+
+// ---------------------------------------------------------------------------
+// ModelFreeAnnotator
+
+ModelFreeAnnotator::ModelFreeAnnotator(
+    std::shared_ptr<const HypothesisSpace> space,
+    const ModelFreeOptions& options, uint64_t seed)
+    : AnnotatorModel(std::move(space)), options_(options), rng_(seed) {
+  ET_CHECK(options_.learning_rate > 0.0 && options_.learning_rate <= 1.0);
+  ET_CHECK(options_.temperature > 0.0);
+  propensity_.assign(space_->size(), 0.5);
+  current_ = rng_.NextUint64(space_->size());
+}
+
+void ModelFreeAnnotator::Observe(const Relation& rel,
+                                 const std::vector<RowPair>& pairs) {
+  // Realized payoff of the *current* action only: the fraction of
+  // applicable pairs the declared FD explains. Model-free learners do
+  // not counterfactually evaluate unchosen hypotheses.
+  const FD& fd = space_->fd(current_);
+  size_t applicable = 0;
+  size_t satisfied = 0;
+  for (const RowPair& p : pairs) {
+    switch (CheckPair(rel, fd, p.first, p.second)) {
+      case PairCompliance::kSatisfies:
+        ++applicable;
+        ++satisfied;
+        break;
+      case PairCompliance::kViolates:
+        ++applicable;
+        break;
+      case PairCompliance::kInapplicable:
+        break;
+    }
+  }
+  if (applicable > 0) {
+    const double reward =
+        static_cast<double>(satisfied) / static_cast<double>(applicable);
+    propensity_[current_] +=
+        options_.learning_rate * (reward - propensity_[current_]);
+  }
+  const std::vector<double> probs =
+      Softmax(propensity_, options_.temperature);
+  current_ = rng_.NextDiscrete(probs);
+}
+
+std::vector<size_t> ModelFreeAnnotator::TopK(size_t k) const {
+  std::vector<size_t> idx(space_->size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::stable_sort(idx.begin(), idx.end(), [&](size_t a, size_t b) {
+    if ((a == current_) != (b == current_)) return a == current_;
+    return propensity_[a] > propensity_[b];
+  });
+  idx.resize(std::min(k, idx.size()));
+  return idx;
+}
+
+}  // namespace et

@@ -1,0 +1,174 @@
+// Human-learning models (Section 3 of the paper).
+//
+// Each model plays two roles:
+//  * as a *simulated annotator* — the human in the replayed user study
+//    (the paper's 20 participants; DESIGN.md §4 documents the
+//    substitution);
+//  * as a *predictor* of annotator behaviour — the thing Figure 2
+//    scores: replay the samples a participant saw and rank FDs by how
+//    likely the participant is to declare them.
+//
+// Implemented models:
+//   Fictitious Play / Bayesian    — Beta-per-FD belief, conjugate
+//                                   updates from observed compliance.
+//   Hypothesis Testing            — keep a single hypothesis; reject it
+//                                   when it explains too little of the
+//                                   recent window; adopt the best FD on
+//                                   that window.
+//   Model-free (reinforcement)    — no belief about the data; propensity
+//                                   per FD reinforced by realized
+//                                   explanatory payoff (the class §3
+//                                   argues does not fit trainers).
+
+#ifndef ET_HUMAN_ANNOTATOR_H_
+#define ET_HUMAN_ANNOTATOR_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "belief/belief_model.h"
+#include "belief/update.h"
+#include "common/rng.h"
+
+namespace et {
+
+/// Common interface of simulated annotators and behaviour predictors.
+class AnnotatorModel {
+ public:
+  virtual ~AnnotatorModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Prediction step: incorporate one presented sample.
+  virtual void Observe(const Relation& rel,
+                       const std::vector<RowPair>& pairs) = 0;
+
+  /// The hypothesis (space index) the annotator would declare now.
+  /// May be stochastic for noisy models; stable between Observe calls.
+  virtual size_t CurrentHypothesis() const = 0;
+
+  /// Ranked top-k hypotheses by the model's preference.
+  virtual std::vector<size_t> TopK(size_t k) const = 0;
+
+  /// Response step: label the presented pairs under the *current*
+  /// declared hypothesis (violating pair -> both tuples dirty).
+  std::vector<LabeledPair> Label(const Relation& rel,
+                                 const std::vector<RowPair>& pairs) const;
+
+  const HypothesisSpace& space() const { return *space_; }
+
+ protected:
+  explicit AnnotatorModel(std::shared_ptr<const HypothesisSpace> space)
+      : space_(std::move(space)) {}
+
+  std::shared_ptr<const HypothesisSpace> space_;
+};
+
+/// Fictitious Play / Bayesian annotator.
+struct BayesianAnnotatorOptions {
+  /// Evidence weight per observed pair (inertia: < 1 learns slowly).
+  double learning_weight = 1.0;
+  /// Softmax temperature over confidences when declaring a hypothesis;
+  /// 0 = deterministic argmax.
+  double decision_noise = 0.0;
+  /// Probability per Observe of a non-monotone "regression": the
+  /// declared hypothesis is temporarily drawn from the top
+  /// `regression_pool` instead of the top 1 (the behaviour the paper
+  /// reports in scenario 2).
+  double regression_prob = 0.0;
+  /// Size of the pool regressions draw from.
+  size_t regression_pool = 5;
+};
+
+class BayesianAnnotator final : public AnnotatorModel {
+ public:
+  BayesianAnnotator(BeliefModel prior,
+                    const BayesianAnnotatorOptions& options, uint64_t seed);
+
+  std::string name() const override { return "Bayesian(FP)"; }
+  void Observe(const Relation& rel,
+               const std::vector<RowPair>& pairs) override;
+  size_t CurrentHypothesis() const override { return declared_; }
+  std::vector<size_t> TopK(size_t k) const override;
+
+  const BeliefModel& belief() const { return belief_; }
+
+ private:
+  void Redeclare();
+
+  BeliefModel belief_;
+  BayesianAnnotatorOptions options_;
+  Rng rng_;
+  size_t declared_ = 0;
+};
+
+/// Hypothesis-testing annotator.
+struct HypothesisTestingOptions {
+  /// Reject the current hypothesis when the fraction of applicable
+  /// window pairs it fails to explain exceeds this tolerance.
+  double tolerance = 0.2;
+  /// Test every `frequency` observations (paper: every interaction).
+  size_t frequency = 1;
+  /// Number of most recent interactions in the evaluation window
+  /// (paper: the preceding interaction performed best).
+  size_t window = 1;
+};
+
+class HypothesisTestingAnnotator final : public AnnotatorModel {
+ public:
+  HypothesisTestingAnnotator(std::shared_ptr<const HypothesisSpace> space,
+                             size_t initial_hypothesis,
+                             const HypothesisTestingOptions& options,
+                             uint64_t seed);
+
+  std::string name() const override { return "HypothesisTesting"; }
+  void Observe(const Relation& rel,
+               const std::vector<RowPair>& pairs) override;
+  size_t CurrentHypothesis() const override { return current_; }
+  std::vector<size_t> TopK(size_t k) const override;
+
+ private:
+  /// Fraction of window pairs applicable to FD idx that violate it;
+  /// 0 when none apply.
+  double ViolationRate(size_t idx) const;
+
+  HypothesisTestingOptions options_;
+  Rng rng_;
+  size_t current_;
+  size_t observe_count_ = 0;
+  /// Recent interactions: each is the list of (pair, relation snapshot
+  /// is shared so only pairs stored).
+  std::deque<std::vector<RowPair>> window_;
+  const Relation* last_rel_ = nullptr;
+};
+
+/// Model-free (reinforcement) annotator.
+struct ModelFreeOptions {
+  double learning_rate = 0.3;
+  /// Softmax temperature for hypothesis choice.
+  double temperature = 0.1;
+};
+
+class ModelFreeAnnotator final : public AnnotatorModel {
+ public:
+  ModelFreeAnnotator(std::shared_ptr<const HypothesisSpace> space,
+                     const ModelFreeOptions& options, uint64_t seed);
+
+  std::string name() const override { return "ModelFree"; }
+  void Observe(const Relation& rel,
+               const std::vector<RowPair>& pairs) override;
+  size_t CurrentHypothesis() const override { return current_; }
+  std::vector<size_t> TopK(size_t k) const override;
+
+ private:
+  ModelFreeOptions options_;
+  Rng rng_;
+  std::vector<double> propensity_;
+  size_t current_ = 0;
+};
+
+}  // namespace et
+
+#endif  // ET_HUMAN_ANNOTATOR_H_

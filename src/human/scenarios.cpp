@@ -1,0 +1,162 @@
+#include "human/scenarios.h"
+
+namespace et {
+namespace {
+
+using K = AttrSpec::Kind;
+
+Scenario MakeScenario1() {
+  // Target: (facilityname, type) -> manager.
+  // Alternative: facilityname -> (type, manager).
+  Scenario s;
+  s.id = 1;
+  s.domain = "Airport";
+  s.spec.name = "airport_s1";
+  s.spec.attrs = {
+      {"facilityname", K::kFree, 60, {}, "fac", 0.0},
+      // Approximate: a facility's type is mostly fixed, with exceptions
+      // (mirrors the real data, and makes alternative-only scrambles
+      // possible — rows whose (facilityname, type) combo is unique).
+      {"type", K::kDerived, 4, {"facilityname"}, "ftype", 0.15},
+      {"manager", K::kDerived, 40, {"facilityname", "type"}, "mgr", 0.0},
+  };
+  s.target_fds = {"facilityname,type->manager"};
+  s.alternative_fds = {"facilityname->type", "facilityname->manager"};
+  s.ratio_m = 1;
+  s.ratio_n = 3;
+  return s;
+}
+
+Scenario MakeScenario2() {
+  // Target: sitenumber -> (facilityname, owner, manager).
+  // Alternative: facilityname -> (sitenumber, owner, manager).
+  Scenario s;
+  s.id = 2;
+  s.domain = "Airport";
+  s.spec.name = "airport_s2";
+  s.spec.attrs = {
+      {"sitenumber", K::kFree, 90, {}, "site", 0.0},
+      // Non-injective: several sites share a facility name (as in the
+      // real airfield data), so facilityname classes span sites and
+      // alternative-only violations exist for rows with a unique site.
+      {"facilityname", K::kDerived, 40, {"sitenumber"}, "fac", 0.0},
+      {"owner", K::kDerived, 30, {"facilityname"}, "own", 0.0},
+      {"manager", K::kDerived, 40, {"facilityname"}, "mgr", 0.0},
+  };
+  s.target_fds = {"sitenumber->facilityname", "sitenumber->owner",
+                  "sitenumber->manager"};
+  s.alternative_fds = {"facilityname->owner", "facilityname->manager"};
+  s.ratio_m = 1;
+  s.ratio_n = 3;
+  return s;
+}
+
+Scenario MakeScenario3() {
+  // Target: manager -> owner.
+  // Alternative: facilityname -> (owner, manager).
+  Scenario s;
+  s.id = 3;
+  s.domain = "Airport";
+  s.spec.name = "airport_s3";
+  s.spec.attrs = {
+      {"facilityname", K::kFree, 60, {}, "fac", 0.0},
+      {"manager", K::kDerived, 30, {"facilityname"}, "mgr", 0.0},
+      {"owner", K::kDerived, 20, {"manager"}, "own", 0.0},
+  };
+  s.target_fds = {"manager->owner"};
+  s.alternative_fds = {"facilityname->owner", "facilityname->manager"};
+  s.ratio_m = 1;
+  s.ratio_n = 3;
+  return s;
+}
+
+Scenario MakeScenario4() {
+  // Target: (title, year) -> (type, genre).
+  // Alternative: title -> (year, type, genre).
+  Scenario s;
+  s.id = 4;
+  s.domain = "OMDB";
+  s.spec.name = "omdb_s4";
+  s.spec.attrs = {
+      {"title", K::kFree, 60, {}, "movie", 0.0},
+      // Approximate: remakes share a title across years, so some rows
+      // have a unique (title, year) combination.
+      {"year", K::kDerived, 30, {"title"}, "y", 0.2},
+      {"type", K::kDerived, 3, {"title", "year"}, "type", 0.0},
+      {"genre", K::kDerived, 12, {"title", "year"}, "genre", 0.0},
+  };
+  s.target_fds = {"title,year->type", "title,year->genre"};
+  s.alternative_fds = {"title->year", "title->type", "title->genre"};
+  s.ratio_m = 2;
+  s.ratio_n = 3;
+  return s;
+}
+
+Scenario MakeScenario5() {
+  // Target: rating -> type.
+  // Alternative: title -> (rating, type).
+  Scenario s;
+  s.id = 5;
+  s.domain = "OMDB";
+  s.spec.name = "omdb_s5";
+  s.spec.attrs = {
+      {"title", K::kFree, 60, {}, "movie", 0.0},
+      // Approximate: re-releases get re-rated occasionally.
+      {"rating", K::kDerived, 8, {"title"}, "rated", 0.15},
+      {"type", K::kDerived, 3, {"rating"}, "type", 0.0},
+  };
+  s.target_fds = {"rating->type"};
+  s.alternative_fds = {"title->rating", "title->type"};
+  s.ratio_m = 2;
+  s.ratio_n = 3;
+  return s;
+}
+
+}  // namespace
+
+std::vector<Scenario> UserStudyScenarios() {
+  return {MakeScenario1(), MakeScenario2(), MakeScenario3(),
+          MakeScenario4(), MakeScenario5()};
+}
+
+std::vector<bool> ScenarioInstance::clean_rows() const {
+  std::vector<bool> clean(truth.dirty_rows.size());
+  for (size_t i = 0; i < clean.size(); ++i) {
+    clean[i] = !truth.dirty_rows[i];
+  }
+  return clean;
+}
+
+Result<ScenarioInstance> InstantiateScenario(
+    const Scenario& scenario, const ScenarioInstanceOptions& options,
+    uint64_t seed) {
+  ET_ASSIGN_OR_RETURN(Dataset data,
+                      GenerateFromSpec(scenario.spec, options.rows, seed));
+  ScenarioInstance inst;
+  inst.scenario = scenario;
+  inst.rel = std::move(data.rel);
+
+  for (const std::string& text : scenario.target_fds) {
+    ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, inst.rel.schema()));
+    inst.targets.push_back(fd);
+  }
+  for (const std::string& text : scenario.alternative_fds) {
+    ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, inst.rel.schema()));
+    inst.alternatives.push_back(fd);
+  }
+
+  ErrorGenerator gen(&inst.rel, seed ^ 0xE55CA9E5u);
+  ET_RETURN_NOT_OK(gen.InjectWithRatio(
+      inst.targets, inst.alternatives, options.target_violations,
+      scenario.ratio_m, scenario.ratio_n));
+  inst.truth = gen.ground_truth();
+
+  inst.space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(inst.rel.schema(),
+                                    options.max_fd_attrs));
+  ET_ASSIGN_OR_RETURN(inst.primary_target,
+                      inst.space->IndexOf(inst.targets.front()));
+  return inst;
+}
+
+}  // namespace et

@@ -1,0 +1,72 @@
+// The five user-study scenarios of Table 2, as executable recipes:
+// a scenario-specific schema/generator, the target FD(s) (the ones that
+// hold with the fewest violations after injection), the alternative
+// FD(s) a participant might plausibly believe, and the violation ratio
+// m/n used by the error generator (1/3 for AIRPORT, 2/3 for OMDB).
+
+#ifndef ET_HUMAN_SCENARIOS_H_
+#define ET_HUMAN_SCENARIOS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "fd/hypothesis_space.h"
+
+namespace et {
+
+/// Static description of one scenario (Table 2 row).
+struct Scenario {
+  int id = 0;
+  std::string domain;  // "Airport" or "OMDB"
+  DatasetSpec spec;
+  /// Normalized target FDs, "A,B->C" strings over the spec's schema.
+  std::vector<std::string> target_fds;
+  /// Normalized alternative FDs.
+  std::vector<std::string> alternative_fds;
+  /// Violation ratio m/n: n violations in every alternative FD per m in
+  /// each target FD.
+  int ratio_m = 1;
+  int ratio_n = 3;
+};
+
+/// All five Table 2 scenarios, in order.
+std::vector<Scenario> UserStudyScenarios();
+
+/// A scenario made concrete: generated data with injected violations,
+/// ground-truth dirty rows, the hypothesis space, and resolved FDs.
+struct ScenarioInstance {
+  Scenario scenario;
+  Relation rel;
+  DirtyGroundTruth truth;
+  std::shared_ptr<const HypothesisSpace> space;
+  std::vector<FD> targets;
+  std::vector<FD> alternatives;
+
+  /// Index of the primary target FD in the space.
+  size_t primary_target = 0;
+  /// Per-row clean flags derived from the ground truth.
+  std::vector<bool> clean_rows() const;
+};
+
+struct ScenarioInstanceOptions {
+  size_t rows = 200;
+  /// Violations injected per target FD; alternatives get
+  /// ratio_n/ratio_m times as many.
+  size_t target_violations = 25;
+  /// Max total attributes (|LHS|+1) per hypothesis-space FD.
+  int max_fd_attrs = 3;
+};
+
+/// Generates the data, injects violations at the scenario's ratio, and
+/// enumerates the hypothesis space over the scenario schema.
+Result<ScenarioInstance> InstantiateScenario(
+    const Scenario& scenario, const ScenarioInstanceOptions& options,
+    uint64_t seed);
+
+}  // namespace et
+
+#endif  // ET_HUMAN_SCENARIOS_H_

@@ -1,0 +1,169 @@
+#include "human/study.h"
+
+#include <cmath>
+
+#include "belief/priors.h"
+#include "core/candidates.h"
+#include "metrics/fd_f1.h"
+#include "metrics/mrr.h"
+
+namespace et {
+
+std::vector<ParticipantProfile> DefaultCohort(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ParticipantProfile> cohort;
+  cohort.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    ParticipantProfile p;
+    p.learning_weight = rng.NextDouble(0.4, 1.2);
+    p.decision_noise = rng.NextBernoulli(0.3) ? rng.NextDouble(0.02, 0.08)
+                                              : 0.0;
+    p.regression_prob = rng.NextDouble(0.05, 0.25);
+    const double prior_draw = rng.NextDouble();
+    p.prior_kind = prior_draw < 0.5 ? 0 : (prior_draw < 0.8 ? 1 : 2);
+    cohort.push_back(p);
+  }
+  return cohort;
+}
+
+Result<std::unique_ptr<AnnotatorModel>> MakeSimulatedParticipant(
+    const ScenarioInstance& instance, const ParticipantProfile& profile,
+    uint64_t seed) {
+  Rng rng(seed);
+  BeliefModel prior;
+  switch (profile.prior_kind) {
+    case 0: {
+      // Believes one of the scenario's alternative FDs.
+      const FD& alt = instance.alternatives[rng.NextUint64(
+          instance.alternatives.size())];
+      ET_ASSIGN_OR_RETURN(prior, UserPrior(instance.space, alt));
+      break;
+    }
+    case 1: {
+      // "Not sure": uniform prior (the study falls back to uniform).
+      ET_ASSIGN_OR_RETURN(prior, UniformPrior(instance.space, 0.5, 4.0));
+      break;
+    }
+    default: {
+      const FD& tgt =
+          instance.targets[rng.NextUint64(instance.targets.size())];
+      ET_ASSIGN_OR_RETURN(prior, UserPrior(instance.space, tgt));
+      break;
+    }
+  }
+  BayesianAnnotatorOptions options;
+  options.learning_weight = profile.learning_weight;
+  options.decision_noise = profile.decision_noise;
+  options.regression_prob = profile.regression_prob;
+  options.regression_pool = profile.regression_pool;
+  return std::unique_ptr<AnnotatorModel>(
+      new BayesianAnnotator(std::move(prior), options, rng.NextUint64()));
+}
+
+Result<StudySession> RunStudySession(const ScenarioInstance& instance,
+                                     AnnotatorModel& participant,
+                                     int participant_id,
+                                     const StudyOptions& options,
+                                     Rng& rng) {
+  if (options.min_rounds == 0 || options.max_rounds < options.min_rounds) {
+    return Status::InvalidArgument("invalid round bounds");
+  }
+  StudySession session;
+  session.scenario_id = instance.scenario.id;
+  session.participant = participant_id;
+  session.prior_hypothesis = participant.CurrentHypothesis();
+
+  // The study UI shows random samples; build an LHS-aware pool so pairs
+  // actually exercise the scenario's FDs, then sample uniformly.
+  CandidateOptions pool_options;
+  pool_options.random_pairs = 100;
+  ET_ASSIGN_OR_RETURN(
+      std::vector<RowPair> pool,
+      BuildCandidatePairs(instance.rel, *instance.space, pool_options,
+                          rng));
+
+  const size_t rounds =
+      options.min_rounds +
+      rng.NextUint64(options.max_rounds - options.min_rounds + 1);
+  size_t cursor = 0;
+  rng.Shuffle(pool);
+  for (size_t t = 0; t < rounds; ++t) {
+    StudyRound round;
+    for (size_t i = 0; i < options.pairs_per_round && cursor < pool.size();
+         ++i) {
+      round.shown.push_back(pool[cursor++]);
+    }
+    if (round.shown.empty()) break;  // pool exhausted
+    participant.Observe(instance.rel, round.shown);
+    round.declared = participant.CurrentHypothesis();
+    round.labels = participant.Label(instance.rel, round.shown);
+    session.rounds.push_back(std::move(round));
+  }
+  return session;
+}
+
+Result<std::vector<double>> PredictorRRSeries(
+    const ScenarioInstance& instance, const StudySession& session,
+    AnnotatorModel& predictor, size_t k, bool plus,
+    const std::vector<double>& fd_f1) {
+  if (plus && fd_f1.size() != instance.space->size()) {
+    return Status::InvalidArgument(
+        "fd_f1 must be parallel to the hypothesis space");
+  }
+  std::vector<double> rrs;
+  rrs.reserve(session.rounds.size());
+  for (const StudyRound& round : session.rounds) {
+    predictor.Observe(instance.rel, round.shown);
+    const std::vector<size_t> ranked = predictor.TopK(k);
+    const double rr =
+        plus ? ReciprocalRankPlus(*instance.space, ranked, round.declared,
+                                  fd_f1)
+             : ReciprocalRank(ranked, round.declared);
+    rrs.push_back(rr);
+  }
+  return rrs;
+}
+
+Result<std::vector<double>> SpaceF1Table(const ScenarioInstance& instance) {
+  const std::vector<bool> clean = instance.clean_rows();
+  std::vector<double> out;
+  out.reserve(instance.space->size());
+  for (const FD& fd : instance.space->fds()) {
+    ET_ASSIGN_OR_RETURN(PRF1 score, FdCleanF1(instance.rel, fd, clean));
+    out.push_back(score.f1);
+  }
+  return out;
+}
+
+Result<double> SessionF1Change(const ScenarioInstance& instance,
+                               const StudySession& session) {
+  if (session.rounds.size() < 2) return 0.0;
+  const std::vector<bool> clean = instance.clean_rows();
+  std::vector<double> f1s;
+  f1s.reserve(session.rounds.size());
+  for (const StudyRound& round : session.rounds) {
+    ET_ASSIGN_OR_RETURN(
+        PRF1 score,
+        FdCleanF1(instance.rel, instance.space->fd(round.declared), clean));
+    f1s.push_back(score.f1);
+  }
+  double total = 0.0;
+  for (size_t i = 1; i < f1s.size(); ++i) {
+    total += std::fabs(f1s[i] - f1s[i - 1]);
+  }
+  return total / static_cast<double>(f1s.size() - 1);
+}
+
+size_t RoundsToTarget(const ScenarioInstance& instance,
+                      const StudySession& session) {
+  for (size_t t = 0; t < session.rounds.size(); ++t) {
+    const FD& declared =
+        instance.space->fd(session.rounds[t].declared);
+    for (const FD& target : instance.targets) {
+      if (declared == target) return t + 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace et

@@ -1,0 +1,117 @@
+// The user-study replay harness (App. A.2/A.3).
+//
+// A cohort of simulated participants interacts with each scenario:
+// every round the interface shows a random sample (the study UI showed
+// 10 random tuples; here 5 random pairs), the participant labels
+// violations under their current hypothesis and declares the FD they
+// believe most accurate. Predictors (the models of Section 3) then
+// replay each session's sample stream and are scored by the MRR of the
+// participant's declared FD in their top-5 (Figure 2), exactly and with
+// subset/superset "+" credit; Table 3 reports the average f1-change of
+// declared hypotheses between rounds.
+
+#ifndef ET_HUMAN_STUDY_H_
+#define ET_HUMAN_STUDY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "human/annotator.h"
+#include "human/scenarios.h"
+
+namespace et {
+
+/// One interaction of one participant.
+struct StudyRound {
+  std::vector<RowPair> shown;
+  /// Hypothesis-space index of the declared FD after seeing the sample.
+  size_t declared = 0;
+  std::vector<LabeledPair> labels;
+};
+
+/// One participant x scenario trace.
+struct StudySession {
+  int scenario_id = 0;
+  int participant = 0;
+  /// Hypothesis declared before any sample (the prior the study elicits).
+  size_t prior_hypothesis = 0;
+  std::vector<StudyRound> rounds;
+};
+
+/// Behavioural profile of one simulated participant.
+struct ParticipantProfile {
+  /// Evidence weight per observed pair (slow vs fast learner).
+  double learning_weight = 1.0;
+  /// Softmax temperature when declaring (0 = argmax).
+  double decision_noise = 0.0;
+  /// Probability of a non-monotone regression per round.
+  double regression_prob = 0.0;
+  /// Pool size regressions draw from (larger = wilder regressions).
+  size_t regression_pool = 5;
+  /// Prior: 0 = believes an alternative FD, 1 = unsure (uniform),
+  /// 2 = already believes the target.
+  int prior_kind = 0;
+};
+
+/// A heterogeneous cohort of `n` participants (deterministic in seed).
+/// Mix: mostly alternative-believers, some unsure, a few
+/// target-believers; learning speeds and noise vary.
+std::vector<ParticipantProfile> DefaultCohort(size_t n, uint64_t seed);
+
+/// Builds the simulated human for a profile on a scenario instance
+/// (Bayesian learner per the paper's finding, configured by profile).
+Result<std::unique_ptr<AnnotatorModel>> MakeSimulatedParticipant(
+    const ScenarioInstance& instance, const ParticipantProfile& profile,
+    uint64_t seed);
+
+struct StudyOptions {
+  /// Every participant interacts 9..15 rounds (App. A.2); rounds are
+  /// drawn uniformly in this range per session.
+  size_t min_rounds = 9;
+  size_t max_rounds = 15;
+  /// Pairs per shown sample (10 tuples = 5 pairs).
+  size_t pairs_per_round = 5;
+};
+
+/// Runs one participant through one scenario instance.
+Result<StudySession> RunStudySession(const ScenarioInstance& instance,
+                                     AnnotatorModel& participant,
+                                     int participant_id,
+                                     const StudyOptions& options, Rng& rng);
+
+/// A predictor factory: builds a fresh model to replay one session.
+using PredictorFactory =
+    std::function<Result<std::unique_ptr<AnnotatorModel>>(
+        const ScenarioInstance&, const StudySession&, uint64_t seed)>;
+
+/// Replays `session`'s sample stream through a fresh predictor and
+/// returns the per-round reciprocal rank of the declared FD in the
+/// predictor's top-k (k = 5 in the paper). When `plus` is set,
+/// subset/superset matches earn discounted credit using `fd_f1` (per-FD
+/// F1 against ground truth, parallel to the hypothesis space).
+Result<std::vector<double>> PredictorRRSeries(
+    const ScenarioInstance& instance, const StudySession& session,
+    AnnotatorModel& predictor, size_t k, bool plus,
+    const std::vector<double>& fd_f1);
+
+/// Per-FD F1 of every hypothesis-space FD against the instance's
+/// ground-truth clean rows (the "+"-metric discount table).
+Result<std::vector<double>> SpaceF1Table(const ScenarioInstance& instance);
+
+/// Table 3's statistic: mean absolute f1-change of the declared FD
+/// between consecutive rounds of a session.
+Result<double> SessionF1Change(const ScenarioInstance& instance,
+                               const StudySession& session);
+
+/// 1-based round at which the participant first declared one of the
+/// scenario's target FDs, or 0 when they never did — the study design's
+/// "time to pinpoint the target" (App. A.2 argues smaller violation
+/// ratios make this faster).
+size_t RoundsToTarget(const ScenarioInstance& instance,
+                      const StudySession& session);
+
+}  // namespace et
+
+#endif  // ET_HUMAN_STUDY_H_

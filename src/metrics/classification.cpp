@@ -1,0 +1,50 @@
+#include "metrics/classification.h"
+
+namespace et {
+
+Result<ConfusionCounts> Confusion(const std::vector<bool>& predicted,
+                                  const std::vector<bool>& actual) {
+  if (predicted.size() != actual.size()) {
+    return Status::InvalidArgument(
+        "predicted/actual size mismatch: " +
+        std::to_string(predicted.size()) + " vs " +
+        std::to_string(actual.size()));
+  }
+  ConfusionCounts c;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] && actual[i]) {
+      ++c.tp;
+    } else if (predicted[i] && !actual[i]) {
+      ++c.fp;
+    } else if (!predicted[i] && actual[i]) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return c;
+}
+
+PRF1 ScoresFromCounts(const ConfusionCounts& counts) {
+  PRF1 out;
+  const double tp = static_cast<double>(counts.tp);
+  if (counts.tp + counts.fp > 0) {
+    out.precision = tp / static_cast<double>(counts.tp + counts.fp);
+  }
+  if (counts.tp + counts.fn > 0) {
+    out.recall = tp / static_cast<double>(counts.tp + counts.fn);
+  }
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall /
+             (out.precision + out.recall);
+  }
+  return out;
+}
+
+Result<PRF1> DetectionScores(const std::vector<bool>& predicted,
+                             const std::vector<bool>& actual) {
+  ET_ASSIGN_OR_RETURN(ConfusionCounts c, Confusion(predicted, actual));
+  return ScoresFromCounts(c);
+}
+
+}  // namespace et

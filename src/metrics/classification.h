@@ -1,0 +1,45 @@
+// Binary-classification scores for error detection (precision / recall /
+// F1 over the dirty class) — Figure 7's metric.
+
+#ifndef ET_METRICS_CLASSIFICATION_H_
+#define ET_METRICS_CLASSIFICATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+
+struct ConfusionCounts {
+  size_t tp = 0;
+  size_t fp = 0;
+  size_t tn = 0;
+  size_t fn = 0;
+
+  size_t total() const { return tp + fp + tn + fn; }
+};
+
+struct PRF1 {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Tallies predictions against ground truth (parallel vectors; the
+/// positive class is `true`).
+Result<ConfusionCounts> Confusion(const std::vector<bool>& predicted,
+                                  const std::vector<bool>& actual);
+
+/// Precision/recall/F1 from counts. Degenerate denominators yield 0
+/// (e.g. no predicted positives -> precision 0), matching the usual
+/// error-detection convention.
+PRF1 ScoresFromCounts(const ConfusionCounts& counts);
+
+/// One-shot: confusion + scores.
+Result<PRF1> DetectionScores(const std::vector<bool>& predicted,
+                             const std::vector<bool>& actual);
+
+}  // namespace et
+
+#endif  // ET_METRICS_CLASSIFICATION_H_

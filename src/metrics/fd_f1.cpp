@@ -1,0 +1,49 @@
+#include "metrics/fd_f1.h"
+
+#include "fd/partition.h"
+
+namespace et {
+
+std::vector<bool> CompliantRows(const Relation& rel, const FD& fd) {
+  std::vector<bool> compliant(rel.num_rows(), true);
+  const Partition part = Partition::Build(rel, fd.lhs);
+  for (const auto& cls : part.classes()) {
+    // A mixed-RHS class puts every member in some violating pair.
+    const Dictionary::Code first = rel.code(cls[0], fd.rhs);
+    bool uniform = true;
+    for (RowId r : cls) {
+      if (rel.code(r, fd.rhs) != first) {
+        uniform = false;
+        break;
+      }
+    }
+    if (!uniform) {
+      for (RowId r : cls) compliant[r] = false;
+    }
+  }
+  return compliant;
+}
+
+Result<PRF1> FdCleanF1(const Relation& rel, const FD& fd,
+                       const std::vector<bool>& clean_rows) {
+  if (clean_rows.size() != rel.num_rows()) {
+    return Status::InvalidArgument("clean_rows size mismatch");
+  }
+  const std::vector<bool> compliant = CompliantRows(rel, fd);
+  // Here the "positive" prediction is compliant-and-clean.
+  ConfusionCounts c;
+  for (size_t i = 0; i < compliant.size(); ++i) {
+    if (compliant[i] && clean_rows[i]) {
+      ++c.tp;
+    } else if (compliant[i] && !clean_rows[i]) {
+      ++c.fp;
+    } else if (!compliant[i] && clean_rows[i]) {
+      ++c.fn;
+    } else {
+      ++c.tn;
+    }
+  }
+  return ScoresFromCounts(c);
+}
+
+}  // namespace et

@@ -1,0 +1,36 @@
+// Per-FD F1 against ground-truth clean tuples (App. A.2):
+//   c(f)   — tuples compliant with f (in no violating pair of f)
+//   c_g    — tuples that are clean in the ground truth
+//   precision = |c(f) ∩ c_g| / |c(f)|
+//   recall    = |c(f) ∩ c_g| / |c_g|
+// (the paper's displayed recall formula omits the intersection, an
+// evident typo; the harmonic mean only makes sense with it).
+//
+// These scores drive Table 3 (f1-change of the user's hypothesis
+// between rounds) and the "+"-metric discounts of Figure 2.
+
+#ifndef ET_METRICS_FD_F1_H_
+#define ET_METRICS_FD_F1_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "fd/fd.h"
+#include "metrics/classification.h"
+
+namespace et {
+
+/// Tuples of `rel` compliant with `fd`: not a member of any violating
+/// pair. Returned as a per-row flag vector.
+std::vector<bool> CompliantRows(const Relation& rel, const FD& fd);
+
+/// F1 of `fd`'s compliant set against ground-truth clean rows.
+/// `clean_rows` is a per-row flag vector (true = clean) of size
+/// rel.num_rows().
+Result<PRF1> FdCleanF1(const Relation& rel, const FD& fd,
+                       const std::vector<bool>& clean_rows);
+
+}  // namespace et
+
+#endif  // ET_METRICS_FD_F1_H_

@@ -1,0 +1,36 @@
+#include "metrics/mrr.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace et {
+
+double ReciprocalRank(const std::vector<size_t>& ranked, size_t target) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == target) return 1.0 / static_cast<double>(i + 1);
+  }
+  return 0.0;
+}
+
+double ReciprocalRankPlus(const HypothesisSpace& space,
+                          const std::vector<size_t>& ranked, size_t target,
+                          const std::vector<double>& f1) {
+  const FD& target_fd = space.fd(target);
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    const size_t idx = ranked[i];
+    if (idx == target) return 1.0 / static_cast<double>(i + 1);
+    if (space.fd(idx).IsRelatedTo(target_fd)) {
+      const double discount =
+          1.0 - std::fabs(f1.at(idx) - f1.at(target));
+      return discount / static_cast<double>(i + 1);
+    }
+  }
+  return 0.0;
+}
+
+double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks) {
+  return Mean(reciprocal_ranks);
+}
+
+}  // namespace et

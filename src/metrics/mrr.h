@@ -1,0 +1,33 @@
+// Reciprocal Rank / Mean Reciprocal Rank over top-k predictions
+// (App. A.2's evaluation metric, k = 5), plus the "+"-variants that also
+// credit subset/superset FDs of the ground truth, discounted by the F1
+// difference between the matched FD and the ground-truth FD.
+
+#ifndef ET_METRICS_MRR_H_
+#define ET_METRICS_MRR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "fd/hypothesis_space.h"
+
+namespace et {
+
+/// 1/p where p is the 1-based position of `target` in `ranked`
+/// (typically a top-k list); 0 when absent.
+double ReciprocalRank(const std::vector<size_t>& ranked, size_t target);
+
+/// "+"-variant: the first position whose FD is the target *or* a
+/// subset/superset of it scores. Exact matches earn 1/p; related
+/// matches earn (1/p) * (1 - |f1[match] - f1[target]|), where `f1`
+/// holds each hypothesis-space FD's F1 against ground truth.
+double ReciprocalRankPlus(const HypothesisSpace& space,
+                          const std::vector<size_t>& ranked, size_t target,
+                          const std::vector<double>& f1);
+
+/// Mean of per-query reciprocal ranks; 0 for no queries.
+double MeanReciprocalRank(const std::vector<double>& reciprocal_ranks);
+
+}  // namespace et
+
+#endif  // ET_METRICS_MRR_H_

@@ -1,0 +1,97 @@
+#include "metrics/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace et {
+namespace {
+
+Status CheckOptions(const BootstrapOptions& options) {
+  if (options.resamples < 10) {
+    return Status::InvalidArgument("need at least 10 resamples");
+  }
+  if (options.confidence <= 0.0 || options.confidence >= 1.0) {
+    return Status::InvalidArgument("confidence must be in (0,1)");
+  }
+  return Status::OK();
+}
+
+/// Percentile of a sorted vector (nearest-rank).
+double Percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Result<ConfidenceInterval> BootstrapMeanCI(
+    const std::vector<double>& samples, const BootstrapOptions& options) {
+  ET_RETURN_NOT_OK(CheckOptions(options));
+  if (samples.size() < 2) {
+    return Status::InvalidArgument("need at least 2 samples");
+  }
+  Rng rng(options.seed);
+  std::vector<double> means;
+  means.reserve(options.resamples);
+  for (size_t b = 0; b < options.resamples; ++b) {
+    KahanSum sum;
+    for (size_t i = 0; i < samples.size(); ++i) {
+      sum.Add(samples[rng.NextUint64(samples.size())]);
+    }
+    means.push_back(sum.sum() / static_cast<double>(samples.size()));
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = 1.0 - options.confidence;
+  ConfidenceInterval ci;
+  ci.mean = Mean(samples);
+  ci.lower = Percentile(means, alpha / 2.0);
+  ci.upper = Percentile(means, 1.0 - alpha / 2.0);
+  return ci;
+}
+
+Result<PairedComparison> PairedBootstrap(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const BootstrapOptions& options) {
+  ET_RETURN_NOT_OK(CheckOptions(options));
+  if (a.size() != b.size()) {
+    return Status::InvalidArgument("paired samples must align");
+  }
+  if (a.size() < 2) {
+    return Status::InvalidArgument("need at least 2 pairs");
+  }
+  std::vector<double> diffs(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diffs[i] = a[i] - b[i];
+
+  Rng rng(options.seed);
+  std::vector<double> means;
+  means.reserve(options.resamples);
+  size_t a_below = 0;
+  for (size_t r = 0; r < options.resamples; ++r) {
+    KahanSum sum;
+    for (size_t i = 0; i < diffs.size(); ++i) {
+      sum.Add(diffs[rng.NextUint64(diffs.size())]);
+    }
+    const double mean_diff =
+        sum.sum() / static_cast<double>(diffs.size());
+    means.push_back(mean_diff);
+    if (mean_diff < 0.0) ++a_below;
+  }
+  std::sort(means.begin(), means.end());
+  const double alpha = 1.0 - options.confidence;
+  PairedComparison out;
+  out.mean_difference = Mean(diffs);
+  out.difference_ci.mean = out.mean_difference;
+  out.difference_ci.lower = Percentile(means, alpha / 2.0);
+  out.difference_ci.upper = Percentile(means, 1.0 - alpha / 2.0);
+  out.prob_a_below_b = static_cast<double>(a_below) /
+                       static_cast<double>(options.resamples);
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,55 @@
+// Resampling statistics for experiment reporting: bootstrap confidence
+// intervals over per-repetition results, and a paired bootstrap test
+// for "method A beats method B" claims. Seeded and deterministic like
+// everything else in the library.
+
+#ifndef ET_METRICS_STATS_H_
+#define ET_METRICS_STATS_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace et {
+
+struct BootstrapOptions {
+  size_t resamples = 2000;
+  /// Two-sided confidence level (e.g. 0.95).
+  double confidence = 0.95;
+  uint64_t seed = 0xB007;
+};
+
+/// A two-sided percentile interval around the sample mean.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double lower = 0.0;
+  double upper = 0.0;
+
+  double half_width() const { return (upper - lower) / 2.0; }
+};
+
+/// Percentile-bootstrap CI of the mean of `samples` (>= 2 samples;
+/// confidence in (0,1)).
+Result<ConfidenceInterval> BootstrapMeanCI(
+    const std::vector<double>& samples,
+    const BootstrapOptions& options = {});
+
+/// Paired bootstrap comparison of two equal-length per-repetition
+/// vectors (e.g. final MAE of two policies on the same seeds).
+struct PairedComparison {
+  /// Mean of a - b.
+  double mean_difference = 0.0;
+  ConfidenceInterval difference_ci;
+  /// Fraction of resamples where mean(a) < mean(b) — the bootstrap
+  /// probability that A scores lower than B (for MAE, that A wins).
+  double prob_a_below_b = 0.0;
+};
+
+Result<PairedComparison> PairedBootstrap(
+    const std::vector<double>& a, const std::vector<double>& b,
+    const BootstrapOptions& options = {});
+
+}  // namespace et
+
+#endif  // ET_METRICS_STATS_H_

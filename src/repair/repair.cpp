@@ -1,0 +1,165 @@
+#include "repair/repair.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "fd/g1.h"
+#include "fd/partition.h"
+
+namespace et {
+namespace {
+
+/// Trusted FDs sorted by descending confidence (stable on ties).
+std::vector<WeightedFD> TrustedFds(const std::vector<WeightedFD>& fds,
+                                   double threshold) {
+  std::vector<WeightedFD> trusted;
+  for (const WeightedFD& wfd : fds) {
+    if (wfd.confidence >= threshold) trusted.push_back(wfd);
+  }
+  std::stable_sort(trusted.begin(), trusted.end(),
+                   [](const WeightedFD& a, const WeightedFD& b) {
+                     if (a.confidence != b.confidence) {
+                       return a.confidence > b.confidence;
+                     }
+                     return a.fd < b.fd;
+                   });
+  return trusted;
+}
+
+/// Actions one pass of one FD proposes over `rel`.
+void ProposeForFd(const Relation& rel, const WeightedFD& wfd,
+                  const RepairOptions& options,
+                  std::vector<RepairAction>* out) {
+  const Partition part = Partition::Build(rel, wfd.fd.lhs);
+  for (const auto& cls : part.classes()) {
+    // Census of RHS codes in this class.
+    std::unordered_map<Dictionary::Code, size_t> freq;
+    for (RowId r : cls) ++freq[rel.code(r, wfd.fd.rhs)];
+    if (freq.size() < 2) continue;  // consistent class
+    // Plurality value; deterministic tie-break by smaller code.
+    Dictionary::Code majority = 0;
+    size_t best = 0;
+    for (const auto& [code, cnt] : freq) {
+      if (cnt > best || (cnt == best && code < majority)) {
+        majority = code;
+        best = cnt;
+      }
+    }
+    const double share =
+        static_cast<double>(best) / static_cast<double>(cls.size());
+    if (share < options.min_majority) continue;
+    const std::string& new_value =
+        rel.dictionary(wfd.fd.rhs).Lookup(majority);
+    for (RowId r : cls) {
+      if (rel.code(r, wfd.fd.rhs) == majority) continue;
+      RepairAction action;
+      action.cell = Cell{r, wfd.fd.rhs};
+      action.old_value = rel.cell(r, wfd.fd.rhs);
+      action.new_value = new_value;
+      action.cause = wfd.fd;
+      action.confidence = wfd.confidence;
+      out->push_back(action);
+    }
+  }
+}
+
+uint64_t TotalViolations(const Relation& rel,
+                         const std::vector<WeightedFD>& fds) {
+  uint64_t total = 0;
+  for (const WeightedFD& wfd : fds) {
+    total += ViolatingPairCount(rel, wfd.fd);
+  }
+  return total;
+}
+
+}  // namespace
+
+std::vector<RepairAction> SuggestRepairs(const Relation& rel,
+                                         const std::vector<WeightedFD>& fds,
+                                         const RepairOptions& options) {
+  std::vector<RepairAction> out;
+  for (const WeightedFD& wfd :
+       TrustedFds(fds, options.trust_threshold)) {
+    ProposeForFd(rel, wfd, options, &out);
+  }
+  return out;
+}
+
+Result<RepairResult> RepairRelation(Relation* rel,
+                                    const std::vector<WeightedFD>& fds,
+                                    const RepairOptions& options) {
+  if (rel == nullptr) {
+    return Status::InvalidArgument("relation must not be null");
+  }
+  if (options.min_majority < 0.0 || options.min_majority > 1.0) {
+    return Status::InvalidArgument("min_majority must be in [0,1]");
+  }
+  const std::vector<WeightedFD> trusted =
+      TrustedFds(fds, options.trust_threshold);
+  for (const WeightedFD& wfd : trusted) {
+    if (!wfd.fd.IsValid(rel->schema())) {
+      return Status::InvalidArgument("FD invalid for this schema");
+    }
+  }
+  RepairResult result;
+  result.violations_before = TotalViolations(*rel, trusted);
+  for (size_t pass = 0; pass < options.max_passes; ++pass) {
+    std::vector<RepairAction> proposed;
+    for (const WeightedFD& wfd : trusted) {
+      // Propose and apply per FD so later FDs see earlier fixes.
+      std::vector<RepairAction> actions;
+      ProposeForFd(*rel, wfd, options, &actions);
+      for (const RepairAction& action : actions) {
+        ET_RETURN_NOT_OK(rel->SetCell(action.cell.row, action.cell.col,
+                                      action.new_value));
+      }
+      proposed.insert(proposed.end(), actions.begin(), actions.end());
+    }
+    result.actions.insert(result.actions.end(), proposed.begin(),
+                          proposed.end());
+    if (proposed.empty()) break;
+  }
+  result.violations_after = TotalViolations(*rel, trusted);
+  return result;
+}
+
+Result<RepairScore> ScoreRepair(const Relation& pristine,
+                                const Relation& repaired,
+                                const std::vector<Cell>& dirty_cells,
+                                const std::vector<RepairAction>& actions) {
+  if (pristine.num_rows() != repaired.num_rows() ||
+      pristine.schema() != repaired.schema()) {
+    return Status::InvalidArgument(
+        "pristine/repaired relations do not line up");
+  }
+  // Schemas are capped at 32 attributes, so 6 bits suffice for the
+  // column part of a packed cell key.
+  auto pack = [](RowId row, int col) {
+    return (static_cast<uint64_t>(row) << 6) |
+           static_cast<uint32_t>(col);
+  };
+  std::unordered_set<uint64_t> dirty;
+  for (const Cell& c : dirty_cells) dirty.insert(pack(c.row, c.col));
+  std::unordered_set<uint64_t> changed;
+  for (const RepairAction& action : actions) {
+    changed.insert(pack(action.cell.row, action.cell.col));
+  }
+
+  RepairScore score;
+  score.dirty_total = dirty.size();
+  score.changed = changed.size();
+  for (uint64_t key : changed) {
+    if (dirty.count(key)) ++score.changed_dirty;
+  }
+  for (uint64_t key : dirty) {
+    const RowId row = static_cast<RowId>(key >> 6);
+    const int col = static_cast<int>(key & 0x3F);
+    if (repaired.cell(row, col) == pristine.cell(row, col)) {
+      ++score.changed_correctly;
+    }
+  }
+  return score;
+}
+
+}  // namespace et

@@ -1,0 +1,105 @@
+// FD-based data repair — the downstream consumer of learned approximate
+// FDs (App. A.1: "this learned approximate FDs can be used for
+// detecting errors...", citing the repair literature).
+//
+// The engine implements equivalence-class repair: for each trusted FD
+// X -> A and each X-equivalence class whose A-values disagree, restore
+// consistency by rewriting the minority A-cells to the class's
+// plurality value. FDs are applied in decreasing confidence order;
+// confidence also gates which FDs are trusted at all. The paper's
+// pipeline learns the confidences interactively (core/), then this
+// module turns them into concrete fixes.
+
+#ifndef ET_REPAIR_REPAIR_H_
+#define ET_REPAIR_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "fd/error_detector.h"
+#include "fd/violations.h"
+
+namespace et {
+
+/// One proposed cell rewrite.
+struct RepairAction {
+  Cell cell;
+  std::string old_value;
+  std::string new_value;
+  /// The FD that motivated the rewrite.
+  FD cause;
+  /// Confidence of that FD when the action was proposed.
+  double confidence = 0.0;
+};
+
+struct RepairOptions {
+  /// Only FDs with confidence >= trust_threshold drive repairs.
+  double trust_threshold = 0.8;
+  /// Minimum plurality share within an equivalence class for its
+  /// majority value to overwrite the minority (protects classes where
+  /// no value dominates: rewriting a 50/50 split is a coin flip).
+  double min_majority = 0.5;
+  /// Repeat repair passes until no action fires (a fix for one FD can
+  /// expose violations of another) up to this many rounds.
+  size_t max_passes = 3;
+};
+
+/// The outcome of RepairRelation.
+struct RepairResult {
+  /// Actions actually applied, in application order.
+  std::vector<RepairAction> actions;
+  /// Violating pairs across the trusted FDs before and after.
+  uint64_t violations_before = 0;
+  uint64_t violations_after = 0;
+
+  size_t cost() const { return actions.size(); }
+};
+
+/// Proposes the repair actions one pass over `fds` would apply, without
+/// mutating the relation. FDs below the trust threshold are skipped.
+std::vector<RepairAction> SuggestRepairs(const Relation& rel,
+                                         const std::vector<WeightedFD>& fds,
+                                         const RepairOptions& options = {});
+
+/// Applies equivalence-class repair in place. Deterministic: FDs are
+/// processed by descending confidence (ties: FD order), classes in
+/// partition order, plurality ties by dictionary-code order.
+Result<RepairResult> RepairRelation(Relation* rel,
+                                    const std::vector<WeightedFD>& fds,
+                                    const RepairOptions& options = {});
+
+/// Scores a repair against ground truth when the pristine relation is
+/// available (our error generator keeps it): of the cells the repair
+/// changed, how many were truly dirty (precision), how many dirty
+/// cells were restored to their original value (corrected / recall).
+struct RepairScore {
+  size_t changed = 0;
+  size_t changed_correctly = 0;  // dirty cell set back to original
+  size_t changed_dirty = 0;      // dirty cell touched (any new value)
+  size_t dirty_total = 0;
+
+  double precision() const {
+    return changed == 0 ? 0.0
+                        : static_cast<double>(changed_dirty) /
+                              static_cast<double>(changed);
+  }
+  double correction_rate() const {
+    return dirty_total == 0 ? 0.0
+                            : static_cast<double>(changed_correctly) /
+                                  static_cast<double>(dirty_total);
+  }
+};
+
+/// Compares `repaired` to the pristine original. `dirty_cells` lists
+/// the cells the error generator scrambled; `actions` the rewrites the
+/// repair applied (RepairResult::actions).
+Result<RepairScore> ScoreRepair(const Relation& pristine,
+                                const Relation& repaired,
+                                const std::vector<Cell>& dirty_cells,
+                                const std::vector<RepairAction>& actions);
+
+}  // namespace et
+
+#endif  // ET_REPAIR_REPAIR_H_

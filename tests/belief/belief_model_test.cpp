@@ -1,0 +1,102 @@
+#include "belief/belief_model.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+std::shared_ptr<const HypothesisSpace> SmallSpace() {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  return std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(schema, 2));  // 6 FDs
+}
+
+TEST(BeliefModelTest, DefaultUniformBetas) {
+  BeliefModel belief(SmallSpace());
+  EXPECT_EQ(belief.size(), 6u);
+  for (size_t i = 0; i < belief.size(); ++i) {
+    EXPECT_DOUBLE_EQ(belief.Confidence(i), 0.5);
+  }
+}
+
+TEST(BeliefModelTest, ExplicitBetas) {
+  auto space = SmallSpace();
+  std::vector<Beta> betas(space->size(), Beta(9.0, 1.0));
+  BeliefModel belief(space, std::move(betas));
+  EXPECT_DOUBLE_EQ(belief.Confidence(0), 0.9);
+}
+
+TEST(BeliefModelTest, ConfidencesVector) {
+  BeliefModel belief(SmallSpace());
+  belief.beta(2).ObserveSuccess(3.0);
+  const auto conf = belief.Confidences();
+  ASSERT_EQ(conf.size(), 6u);
+  EXPECT_DOUBLE_EQ(conf[2], 0.8);
+  EXPECT_DOUBLE_EQ(conf[0], 0.5);
+}
+
+TEST(BeliefModelTest, TopKOrdering) {
+  BeliefModel belief(SmallSpace());
+  belief.beta(3).ObserveSuccess(8.0);   // 0.9
+  belief.beta(1).ObserveSuccess(3.0);   // 0.8
+  belief.beta(5).ObserveFailure(5.0);   // low
+  const auto top = belief.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 3u);
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(belief.Top1(), 3u);
+}
+
+TEST(BeliefModelTest, TopKTieBreaksByIndex) {
+  BeliefModel belief(SmallSpace());
+  const auto top = belief.TopK(6);
+  for (size_t i = 0; i < top.size(); ++i) EXPECT_EQ(top[i], i);
+}
+
+TEST(BeliefModelTest, TopKClampsToSize) {
+  BeliefModel belief(SmallSpace());
+  EXPECT_EQ(belief.TopK(100).size(), 6u);
+  EXPECT_TRUE(belief.TopK(0).empty());
+}
+
+TEST(BeliefModelTest, MaeZeroAgainstSelf) {
+  BeliefModel belief(SmallSpace());
+  EXPECT_DOUBLE_EQ(*belief.MAE(belief), 0.0);
+}
+
+TEST(BeliefModelTest, MaeKnownValue) {
+  auto space = SmallSpace();
+  BeliefModel a(space);
+  BeliefModel b(space);
+  b.beta(0).ObserveSuccess(2.0);  // 0.75 vs 0.5 -> |d| = 0.25
+  EXPECT_NEAR(*a.MAE(b), 0.25 / 6.0, 1e-12);
+  EXPECT_NEAR(*b.MAE(a), 0.25 / 6.0, 1e-12);
+}
+
+TEST(BeliefModelTest, MaeAcrossEquivalentSpaces) {
+  // Distinct shared_ptrs with identical FDs are comparable.
+  BeliefModel a(SmallSpace());
+  BeliefModel b(SmallSpace());
+  EXPECT_TRUE(a.MAE(b).ok());
+}
+
+TEST(BeliefModelTest, MaeRejectsDifferentSpaces) {
+  BeliefModel a(SmallSpace());
+  const Schema other = *Schema::Make({"X", "Y"});
+  BeliefModel b(std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(other, 2)));
+  EXPECT_FALSE(a.MAE(b).ok());
+}
+
+TEST(BeliefModelTest, CopyIsIndependent) {
+  BeliefModel a(SmallSpace());
+  BeliefModel b = a;
+  b.beta(0).ObserveSuccess(10.0);
+  EXPECT_DOUBLE_EQ(a.Confidence(0), 0.5);
+  EXPECT_GT(b.Confidence(0), 0.9);
+}
+
+}  // namespace
+}  // namespace et

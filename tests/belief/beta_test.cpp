@@ -1,0 +1,90 @@
+#include "belief/beta.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace et {
+namespace {
+
+TEST(BetaTest, DefaultIsUniform) {
+  Beta b;
+  EXPECT_DOUBLE_EQ(b.alpha(), 1.0);
+  EXPECT_DOUBLE_EQ(b.beta(), 1.0);
+  EXPECT_DOUBLE_EQ(b.Mean(), 0.5);
+}
+
+TEST(BetaTest, MeanAndVariance) {
+  Beta b(2.0, 6.0);
+  EXPECT_DOUBLE_EQ(b.Mean(), 0.25);
+  EXPECT_DOUBLE_EQ(b.Variance(), 2.0 * 6.0 / (64.0 * 9.0));
+  EXPECT_DOUBLE_EQ(b.Strength(), 8.0);
+}
+
+TEST(BetaTest, UpdatesShiftMean) {
+  Beta b(1.0, 1.0);
+  b.ObserveSuccess();
+  EXPECT_GT(b.Mean(), 0.5);
+  b.ObserveFailure();
+  b.ObserveFailure();
+  EXPECT_LT(b.Mean(), 0.5);
+}
+
+TEST(BetaTest, WeightedUpdates) {
+  Beta a(1.0, 1.0);
+  Beta b(1.0, 1.0);
+  a.ObserveSuccess(2.0);
+  b.ObserveSuccess();
+  b.ObserveSuccess();
+  EXPECT_DOUBLE_EQ(a.Mean(), b.Mean());
+}
+
+TEST(BetaTest, VarianceShrinksWithEvidence) {
+  Beta b(2.0, 2.0);
+  const double before = b.Variance();
+  for (int i = 0; i < 10; ++i) b.ObserveSuccess();
+  EXPECT_LT(b.Variance(), before);
+}
+
+TEST(BetaTest, FromMeanStdRoundTrip) {
+  // The paper's prior configuration: mean 0.85, stddev 0.05.
+  auto b = Beta::FromMeanStd(0.85, 0.05);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(b->Mean(), 0.85, 1e-12);
+  EXPECT_NEAR(std::sqrt(b->Variance()), 0.05, 1e-12);
+}
+
+TEST(BetaTest, FromMeanStdOtherPaperConfigs) {
+  for (double mean : {0.15, 0.8}) {
+    auto b = Beta::FromMeanStd(mean, 0.05);
+    ASSERT_TRUE(b.ok()) << mean;
+    EXPECT_NEAR(b->Mean(), mean, 1e-12);
+    EXPECT_GT(b->alpha(), 0.0);
+    EXPECT_GT(b->beta(), 0.0);
+  }
+}
+
+TEST(BetaTest, FromMeanStdRejectsInvalid) {
+  EXPECT_FALSE(Beta::FromMeanStd(0.0, 0.05).ok());
+  EXPECT_FALSE(Beta::FromMeanStd(1.0, 0.05).ok());
+  EXPECT_FALSE(Beta::FromMeanStd(0.5, 0.0).ok());
+  // Variance >= mean(1-mean) is impossible for a Beta.
+  EXPECT_FALSE(Beta::FromMeanStd(0.5, 0.5).ok());
+}
+
+TEST(BetaTest, SampleWithinSupportAndNearMean) {
+  Beta b(20.0, 5.0);
+  Rng rng(3);
+  double sum = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const double s = b.Sample(rng);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum / n, 0.8, 0.01);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,150 @@
+#include "belief/priors.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/datasets.h"
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+std::shared_ptr<const HypothesisSpace> SpaceOver(const Schema& schema) {
+  return std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(schema, 3));
+}
+
+TEST(UniformPriorTest, AllMeansEqualD) {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  auto prior = UniformPrior(SpaceOver(schema), 0.9);
+  ASSERT_TRUE(prior.ok());
+  for (size_t i = 0; i < prior->size(); ++i) {
+    EXPECT_NEAR(prior->Confidence(i), 0.9, 1e-9);
+  }
+}
+
+TEST(UniformPriorTest, StrengthControlsStiffness) {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  auto soft = UniformPrior(SpaceOver(schema), 0.5, 2.0);
+  auto stiff = UniformPrior(SpaceOver(schema), 0.5, 50.0);
+  ASSERT_TRUE(soft.ok() && stiff.ok());
+  soft->beta(0).ObserveSuccess(5.0);
+  stiff->beta(0).ObserveSuccess(5.0);
+  EXPECT_GT(soft->Confidence(0), stiff->Confidence(0));
+}
+
+TEST(UniformPriorTest, RejectsBadArgs) {
+  const Schema schema = *Schema::Make({"A", "B"});
+  EXPECT_FALSE(UniformPrior(SpaceOver(schema), 0.0).ok());
+  EXPECT_FALSE(UniformPrior(SpaceOver(schema), 1.0).ok());
+  EXPECT_FALSE(UniformPrior(SpaceOver(schema), 0.5, -1.0).ok());
+  EXPECT_FALSE(UniformPrior(nullptr, 0.5).ok());
+}
+
+TEST(RandomPriorTest, MeansVaryAcrossFds) {
+  const Schema schema = *Schema::Make({"A", "B", "C", "D"});
+  Rng rng(5);
+  auto prior = RandomPrior(SpaceOver(schema), rng);
+  ASSERT_TRUE(prior.ok());
+  double lo = 1.0;
+  double hi = 0.0;
+  for (size_t i = 0; i < prior->size(); ++i) {
+    lo = std::min(lo, prior->Confidence(i));
+    hi = std::max(hi, prior->Confidence(i));
+  }
+  EXPECT_GT(hi - lo, 0.2);
+}
+
+TEST(RandomPriorTest, DeterministicInRng) {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  Rng r1(9);
+  Rng r2(9);
+  auto a = RandomPrior(SpaceOver(schema), r1);
+  auto b = RandomPrior(SpaceOver(schema), r2);
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->Confidence(i), b->Confidence(i));
+  }
+}
+
+TEST(DataEstimatePriorTest, TracksPairwiseConfidence) {
+  auto data = MakeOmdb(200, 41);
+  ASSERT_TRUE(data.ok());
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(data->rel.schema(), 2));
+  auto prior = DataEstimatePrior(space, data->rel);
+  ASSERT_TRUE(prior.ok());
+  for (size_t i = 0; i < space->size(); ++i) {
+    const double expected =
+        std::clamp(PairwiseConfidence(data->rel, space->fd(i)), 1e-3,
+                   1.0 - 1e-3);
+    EXPECT_NEAR(prior->Confidence(i), expected, 1e-9)
+        << space->fd(i).ToString(data->rel.schema());
+  }
+}
+
+TEST(DataEstimatePriorTest, RejectsSchemaMismatch) {
+  auto data = MakeOmdb(50, 43);
+  const Schema other = *Schema::Make({"X", "Y"});
+  EXPECT_FALSE(DataEstimatePrior(SpaceOver(other), data->rel).ok());
+}
+
+class UserPriorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = *Schema::Make({"A", "B", "C"});
+    space_ = SpaceOver(schema_);
+    stated_ = MustParseFD("A,B->C", schema_);
+  }
+  Schema schema_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  FD stated_;
+};
+
+TEST_F(UserPriorTest, PaperConfiguration) {
+  auto prior = UserPrior(space_, stated_);
+  ASSERT_TRUE(prior.ok());
+  const size_t stated_idx = *space_->IndexOf(stated_);
+  EXPECT_NEAR(prior->Confidence(stated_idx), 0.85, 1e-9);
+
+  // A->C is a superset of A,B->C: boosted to 0.8.
+  const size_t related_idx =
+      *space_->IndexOf(MustParseFD("A->C", schema_));
+  EXPECT_NEAR(prior->Confidence(related_idx), 0.80, 1e-9);
+
+  // A->B is unrelated: 0.15.
+  const size_t other_idx =
+      *space_->IndexOf(MustParseFD("A->B", schema_));
+  EXPECT_NEAR(prior->Confidence(other_idx), 0.15, 1e-9);
+}
+
+TEST_F(UserPriorTest, StddevMatchesConfig) {
+  auto prior = UserPrior(space_, stated_);
+  ASSERT_TRUE(prior.ok());
+  const size_t stated_idx = *space_->IndexOf(stated_);
+  EXPECT_NEAR(std::sqrt(prior->beta(stated_idx).Variance()), 0.05,
+              1e-9);
+}
+
+TEST_F(UserPriorTest, FirstConfigurationDisablesRelatedBoost) {
+  UserPriorConfig config;
+  config.boost_related = false;
+  auto prior = UserPrior(space_, stated_, config);
+  ASSERT_TRUE(prior.ok());
+  const size_t related_idx =
+      *space_->IndexOf(MustParseFD("A->C", schema_));
+  EXPECT_NEAR(prior->Confidence(related_idx), 0.15, 1e-9);
+}
+
+TEST_F(UserPriorTest, RejectsStatedOutsideSpace) {
+  const Schema big = *Schema::Make({"A", "B", "C", "D", "E"});
+  const FD wide = MustParseFD("A,B,C,D->E", big);
+  EXPECT_FALSE(UserPrior(space_, wide).ok());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,93 @@
+#include "belief/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "belief/priors.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+BeliefModel SampleBelief() {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(schema, 3));
+  Rng rng(42);
+  auto belief = RandomPrior(space, rng);
+  EXPECT_TRUE(belief.ok());
+  belief->beta(0).ObserveSuccess(3.5);
+  belief->beta(2).ObserveFailure(1.25);
+  return std::move(*belief);
+}
+
+TEST(SerializeTest, RoundTripPreservesEverything) {
+  const BeliefModel original = SampleBelief();
+  auto restored = DeserializeBeliefModel(SerializeBeliefModel(original));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), original.size());
+  EXPECT_EQ(restored->space().schema(), original.space().schema());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(restored->space().fd(i), original.space().fd(i));
+    EXPECT_DOUBLE_EQ(restored->beta(i).alpha(),
+                     original.beta(i).alpha());
+    EXPECT_DOUBLE_EQ(restored->beta(i).beta(), original.beta(i).beta());
+  }
+}
+
+TEST(SerializeTest, FileRoundTrip) {
+  const BeliefModel original = SampleBelief();
+  const std::string path = ::testing::TempDir() + "/et_belief.model";
+  ET_ASSERT_OK(SaveBeliefModel(original, path));
+  auto restored = LoadBeliefModel(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_NEAR(*restored->MAE(original), 0.0, 1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, AttributeNamesWithSpacesSurvive) {
+  const Schema schema = *Schema::Make({"first name", "zip code"});
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(schema, 2));
+  BeliefModel belief(space);
+  auto restored = DeserializeBeliefModel(SerializeBeliefModel(belief));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->space().schema().name(0), "first name");
+}
+
+TEST(SerializeTest, RejectsCorruptInputs) {
+  const std::string good = SerializeBeliefModel(SampleBelief());
+
+  EXPECT_FALSE(DeserializeBeliefModel("").ok());
+  EXPECT_FALSE(DeserializeBeliefModel("wrong-magic\n").ok());
+  // Truncation after the header.
+  EXPECT_FALSE(
+      DeserializeBeliefModel("et-belief-v1\nattributes 3\nA\n").ok());
+  // Garbage FD line.
+  std::string bad = good;
+  bad.replace(bad.rfind('\n', bad.size() - 2) + 1, std::string::npos,
+              "not numbers\n");
+  EXPECT_FALSE(DeserializeBeliefModel(bad).ok());
+}
+
+TEST(SerializeTest, RejectsNonPositiveBetas) {
+  std::string text =
+      "et-belief-v1\nattributes 2\nA\nB\nfds 1\n1 1 0 2\n";
+  EXPECT_FALSE(DeserializeBeliefModel(text).ok());
+}
+
+TEST(SerializeTest, RejectsInvalidFd) {
+  // rhs inside lhs mask.
+  std::string text =
+      "et-belief-v1\nattributes 2\nA\nB\nfds 1\n3 1 1 1\n";
+  EXPECT_FALSE(DeserializeBeliefModel(text).ok());
+}
+
+TEST(SerializeTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      LoadBeliefModel("/nonexistent/belief.model").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,134 @@
+#include "belief/update.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class UpdateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    team_apps_ = *space_->IndexOf(MustParseFD("Team->Apps", rel_.schema()));
+    player_team_ =
+        *space_->IndexOf(MustParseFD("Player->Team", rel_.schema()));
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  size_t team_apps_ = 0;
+  size_t player_team_ = 0;
+};
+
+TEST_F(UpdateTest, ObservationMovesViolatedFdDown) {
+  BeliefModel belief(space_);
+  // Lakers pair (0,1) violates Team->City, satisfies Team->Apps.
+  UpdateFromObservation(&belief, rel_, {RowPair(0, 1)});
+  EXPECT_LT(belief.Confidence(team_city_), 0.5);
+  EXPECT_GT(belief.Confidence(team_apps_), 0.5);
+  // Player->Team has no applicable pair: untouched.
+  EXPECT_DOUBLE_EQ(belief.Confidence(player_team_), 0.5);
+}
+
+TEST_F(UpdateTest, ObservationWeightScalesEvidence) {
+  BeliefModel heavy(space_);
+  BeliefModel light(space_);
+  UpdateFromObservation(&heavy, rel_, {RowPair(0, 1)}, 2.0);
+  UpdateFromObservation(&light, rel_, {RowPair(0, 1)}, 0.5);
+  EXPECT_LT(heavy.Confidence(team_city_), light.Confidence(team_city_));
+}
+
+TEST_F(UpdateTest, ObservationZeroWeightIsNoOp) {
+  BeliefModel belief(space_);
+  UpdateFromObservation(&belief, rel_, {RowPair(0, 1)}, 0.0);
+  EXPECT_DOUBLE_EQ(belief.Confidence(team_city_), 0.5);
+}
+
+TEST_F(UpdateTest, CleanViolationIsEvidenceAgainst) {
+  BeliefModel belief(space_);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);  // violates Team->City
+  lp.first_dirty = false;
+  lp.second_dirty = false;
+  UpdateFromLabels(&belief, rel_, {lp});
+  EXPECT_LT(belief.Confidence(team_city_), 0.5);
+}
+
+TEST_F(UpdateTest, DirtyViolationIsEvidenceFor) {
+  BeliefModel belief(space_);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);
+  lp.first_dirty = true;  // trainer attributes the violation to error
+  lp.second_dirty = false;
+  UpdateFromLabels(&belief, rel_, {lp});
+  EXPECT_GT(belief.Confidence(team_city_), 0.5);
+}
+
+TEST_F(UpdateTest, CleanSatisfactionIsWeakEvidenceFor) {
+  BeliefModel belief(space_);
+  LabeledPair lp;
+  lp.pair = RowPair(2, 3);  // satisfies Team->City (Bulls, Chicago)
+  UpdateFromLabels(&belief, rel_, {lp});
+  EXPECT_GT(belief.Confidence(team_city_), 0.5);
+  // Weak by default: smaller step than a clean violation's.
+  BeliefModel other(space_);
+  LabeledPair violation;
+  violation.pair = RowPair(0, 1);
+  UpdateFromLabels(&other, rel_, {violation});
+  EXPECT_LT(belief.Confidence(team_city_) - 0.5,
+            0.5 - other.Confidence(team_city_));
+}
+
+TEST_F(UpdateTest, DirtySatisfactionIgnoredByDefault) {
+  BeliefModel belief(space_);
+  LabeledPair lp;
+  lp.pair = RowPair(2, 3);  // satisfies Team->City
+  lp.first_dirty = true;
+  UpdateFromLabels(&belief, rel_, {lp});
+  EXPECT_DOUBLE_EQ(belief.Confidence(team_city_), 0.5);
+}
+
+TEST_F(UpdateTest, InapplicablePairsLeaveBeliefAlone) {
+  BeliefModel belief(space_);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 4);  // different teams
+  UpdateFromLabels(&belief, rel_, {lp});
+  EXPECT_DOUBLE_EQ(belief.Confidence(team_city_), 0.5);
+}
+
+TEST_F(UpdateTest, CustomWeights) {
+  UpdateWeights weights;
+  weights.clean_satisfies = 0.0;
+  weights.clean_violates = 2.0;
+  BeliefModel belief(space_);
+  LabeledPair sat;
+  sat.pair = RowPair(2, 3);
+  LabeledPair viol;
+  viol.pair = RowPair(0, 1);
+  UpdateFromLabels(&belief, rel_, {sat, viol}, weights);
+  // Satisfaction ignored; violation weighted 2: Beta(1, 3).
+  EXPECT_DOUBLE_EQ(belief.Confidence(team_city_), 0.25);
+}
+
+TEST_F(UpdateTest, BatchesAccumulate) {
+  BeliefModel once(space_);
+  BeliefModel twice(space_);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);
+  UpdateFromLabels(&once, rel_, {lp});
+  UpdateFromLabels(&twice, rel_, {lp});
+  UpdateFromLabels(&twice, rel_, {lp});
+  EXPECT_LT(twice.Confidence(team_city_), once.Confidence(team_city_));
+}
+
+}  // namespace
+}  // namespace et

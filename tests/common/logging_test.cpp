@@ -1,0 +1,59 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace et {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrips) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, BelowThresholdMessagesAreDropped) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  ET_LOG(Info) << "should not appear";
+  ET_LOG(Error) << "should appear";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("should not appear"), std::string::npos);
+  EXPECT_NE(err.find("should appear"), std::string::npos);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, MessagesCarryLevelAndLocation) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  ET_LOG(Warn) << "careful";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[WARN"), std::string::npos);
+  EXPECT_NE(err.find("logging_test.cpp"), std::string::npos);
+  EXPECT_NE(err.find("careful"), std::string::npos);
+  SetLogLevel(original);
+}
+
+TEST(LoggingDeathTest, CheckFailureAborts) {
+  EXPECT_DEATH({ ET_CHECK(1 == 2) << "impossible"; },
+               "Check failed: 1 == 2");
+}
+
+TEST(LoggingDeathTest, CheckOkAbortsOnError) {
+  EXPECT_DEATH({ ET_CHECK_OK(Status::IOError("disk gone")); },
+               "disk gone");
+}
+
+TEST(LoggingTest, CheckPassesSilently) {
+  ET_CHECK(true) << "never evaluated";
+  ET_CHECK_OK(Status::OK());
+}
+
+}  // namespace
+}  // namespace et

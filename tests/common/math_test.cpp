@@ -1,0 +1,121 @@
+#include "common/math.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace et {
+namespace {
+
+TEST(SoftmaxTest, SumsToOne) {
+  const auto p = Softmax({1.0, 2.0, 3.0}, 1.0);
+  double sum = 0.0;
+  for (double v : p) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(SoftmaxTest, MonotoneInScores) {
+  const auto p = Softmax({1.0, 2.0, 3.0}, 1.0);
+  EXPECT_LT(p[0], p[1]);
+  EXPECT_LT(p[1], p[2]);
+}
+
+TEST(SoftmaxTest, UniformForEqualScores) {
+  const auto p = Softmax({5.0, 5.0, 5.0, 5.0}, 0.5);
+  for (double v : p) EXPECT_NEAR(v, 0.25, 1e-12);
+}
+
+TEST(SoftmaxTest, LowTemperatureSharpens) {
+  const auto soft = Softmax({1.0, 2.0}, 10.0);
+  const auto sharp = Softmax({1.0, 2.0}, 0.1);
+  EXPECT_GT(sharp[1], soft[1]);
+  EXPECT_GT(sharp[1], 0.99);
+}
+
+TEST(SoftmaxTest, StableForExtremeInputs) {
+  const auto p = Softmax({-1e6, 0.0, 1e6}, 1.0);
+  EXPECT_NEAR(p[2], 1.0, 1e-9);
+  EXPECT_FALSE(std::isnan(p[0]));
+  EXPECT_FALSE(std::isnan(p[1]));
+}
+
+TEST(SoftmaxTest, EmptyInput) {
+  EXPECT_TRUE(Softmax({}, 1.0).empty());
+}
+
+TEST(BinaryEntropyTest, ZeroAtExtremes) {
+  EXPECT_EQ(BinaryEntropy(0.0), 0.0);
+  EXPECT_EQ(BinaryEntropy(1.0), 0.0);
+}
+
+TEST(BinaryEntropyTest, MaximizedAtHalf) {
+  EXPECT_NEAR(BinaryEntropy(0.5), std::log(2.0), 1e-12);
+  EXPECT_GT(BinaryEntropy(0.5), BinaryEntropy(0.3));
+  EXPECT_GT(BinaryEntropy(0.3), BinaryEntropy(0.1));
+}
+
+TEST(BinaryEntropyTest, Symmetric) {
+  EXPECT_NEAR(BinaryEntropy(0.2), BinaryEntropy(0.8), 1e-12);
+}
+
+TEST(EntropyTest, UniformDistribution) {
+  EXPECT_NEAR(Entropy({0.25, 0.25, 0.25, 0.25}), std::log(4.0), 1e-12);
+}
+
+TEST(EntropyTest, DegenerateDistributionIsZero) {
+  EXPECT_EQ(Entropy({1.0, 0.0, 0.0}), 0.0);
+}
+
+TEST(KahanSumTest, CompensatesSmallAdditions) {
+  KahanSum k;
+  k.Add(1e16);
+  for (int i = 0; i < 10; ++i) k.Add(1.0);
+  k.Add(-1e16);
+  EXPECT_NEAR(k.sum(), 10.0, 1e-6);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 3.0);
+  EXPECT_EQ(s.max(), 3.0);
+}
+
+TEST(RunningStatsTest, KnownMoments) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(MeanTest, EmptyAndValues) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_NEAR(Mean({1.0, 2.0, 3.0}), 2.0, 1e-12);
+}
+
+TEST(MaeTest, ZeroForIdentical) {
+  EXPECT_EQ(MeanAbsoluteError({1.0, 2.0}, {1.0, 2.0}), 0.0);
+}
+
+TEST(MaeTest, KnownValue) {
+  EXPECT_NEAR(MeanAbsoluteError({0.0, 1.0}, {1.0, 0.5}), 0.75, 1e-12);
+}
+
+TEST(MaeTest, EmptyVectors) {
+  EXPECT_EQ(MeanAbsoluteError({}, {}), 0.0);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,216 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/math.h"
+
+namespace et {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, ZeroSeedIsValid) {
+  Rng rng(0);
+  // Must not collapse to a degenerate stream.
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 32; ++i) seen.insert(rng.NextUint64());
+  EXPECT_GT(seen.size(), 30u);
+}
+
+TEST(RngTest, BoundedUintStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextUint64(17), 17u);
+  }
+}
+
+TEST(RngTest, BoundedUintCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.NextUint64(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextDoubleRangeRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 200; ++i) {
+    const double d = rng.NextDouble(-2.5, 4.0);
+    EXPECT_GE(d, -2.5);
+    EXPECT_LT(d, 4.0);
+  }
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng rng(15);
+  std::set<int> seen;
+  for (int i = 0; i < 400; ++i) {
+    const int v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all 5 values hit
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.NextBernoulli(0.0));
+    EXPECT_TRUE(rng.NextBernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliMeanApproximatesP) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(21);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(RngTest, GammaMeanMatchesShape) {
+  Rng rng(23);
+  for (double shape : {0.5, 1.0, 2.5, 7.0}) {
+    RunningStats stats;
+    for (int i = 0; i < 20000; ++i) stats.Add(rng.NextGamma(shape));
+    EXPECT_NEAR(stats.mean(), shape, 0.12 * shape + 0.03) << shape;
+  }
+}
+
+TEST(RngTest, BetaMeanAndSupport) {
+  Rng rng(25);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    const double b = rng.NextBeta(2.0, 6.0);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+    stats.Add(b);
+  }
+  EXPECT_NEAR(stats.mean(), 0.25, 0.01);
+}
+
+TEST(RngTest, DiscreteRespectsWeights) {
+  Rng rng(27);
+  std::vector<double> w = {1.0, 0.0, 3.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextDiscrete(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(RngTest, DiscreteSingleton) {
+  Rng rng(29);
+  EXPECT_EQ(rng.NextDiscrete({5.0}), 0u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleChangesOrderForLongVectors) {
+  Rng rng(33);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctAndInRange) {
+  Rng rng(35);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto sample = rng.SampleWithoutReplacement(50, 20);
+    ASSERT_EQ(sample.size(), 20u);
+    std::set<size_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 20u);
+    for (size_t s : sample) EXPECT_LT(s, 50u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(37);
+  const auto sample = rng.SampleWithoutReplacement(10, 10);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, SampleWithoutReplacementZero) {
+  Rng rng(39);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(41);
+  Rng child = parent.Fork();
+  // Child stream should differ from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.NextUint64() == child.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, UniformityOfBoundedDraws) {
+  Rng rng(GetParam());
+  const uint64_t buckets = 8;
+  std::vector<int> counts(buckets, 0);
+  const int n = 16000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextUint64(buckets)];
+  for (uint64_t b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(static_cast<double>(counts[b]) / n, 1.0 / buckets, 0.02)
+        << "seed=" << GetParam() << " bucket=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL,
+                                           0xDEADBEEFULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,119 @@
+#include "core/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/datasets.h"
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+class CandidatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeOmdb(200, 51);
+    ET_ASSERT_OK(data.status());
+    rel_ = std::move(data->rel);
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+  }
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+};
+
+TEST_F(CandidatesTest, PoolIsDeduplicatedAndSorted) {
+  Rng rng(1);
+  auto pool = BuildCandidatePairs(rel_, *space_, CandidateOptions{}, rng);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_FALSE(pool->empty());
+  for (size_t i = 1; i < pool->size(); ++i) {
+    EXPECT_TRUE((*pool)[i - 1] < (*pool)[i]);
+  }
+}
+
+TEST_F(CandidatesTest, PairsAreValidRows) {
+  Rng rng(2);
+  auto pool = BuildCandidatePairs(rel_, *space_, CandidateOptions{}, rng);
+  ASSERT_TRUE(pool.ok());
+  for (const RowPair& p : *pool) {
+    EXPECT_LT(p.first, p.second);
+    EXPECT_LT(p.second, rel_.num_rows());
+  }
+}
+
+TEST_F(CandidatesTest, MostPairsAreLhsAgreeing) {
+  Rng rng(3);
+  CandidateOptions options;
+  options.random_pairs = 0;
+  auto pool = BuildCandidatePairs(rel_, *space_, options, rng);
+  ASSERT_TRUE(pool.ok());
+  for (const RowPair& p : *pool) {
+    bool applicable = false;
+    for (const FD& fd : space_->fds()) {
+      if (CheckPair(rel_, fd, p.first, p.second) !=
+          PairCompliance::kInapplicable) {
+        applicable = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(applicable);
+  }
+}
+
+TEST_F(CandidatesTest, MaxPairsCapEnforced) {
+  Rng rng(4);
+  CandidateOptions options;
+  options.max_pairs = 50;
+  auto pool = BuildCandidatePairs(rel_, *space_, options, rng);
+  ASSERT_TRUE(pool.ok());
+  EXPECT_LE(pool->size(), 50u);
+}
+
+TEST_F(CandidatesTest, RestrictToRowsHonored) {
+  Rng rng(5);
+  CandidateOptions options;
+  options.restrict_to = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto pool = BuildCandidatePairs(rel_, *space_, options, rng);
+  ASSERT_TRUE(pool.ok());
+  for (const RowPair& p : *pool) {
+    EXPECT_LT(p.second, 10u);
+  }
+}
+
+TEST_F(CandidatesTest, TooFewRowsFails) {
+  Rng rng(6);
+  CandidateOptions options;
+  options.restrict_to = {3};
+  EXPECT_FALSE(BuildCandidatePairs(rel_, *space_, options, rng).ok());
+}
+
+TEST_F(CandidatesTest, PerFdLimitBoundsPoolGrowth) {
+  Rng rng(7);
+  CandidateOptions small;
+  small.per_fd_limit = 5;
+  small.random_pairs = 0;
+  small.max_pairs = 0;
+  CandidateOptions large;
+  large.per_fd_limit = 100;
+  large.random_pairs = 0;
+  large.max_pairs = 0;
+  auto pool_small = BuildCandidatePairs(rel_, *space_, small, rng);
+  auto pool_large = BuildCandidatePairs(rel_, *space_, large, rng);
+  ASSERT_TRUE(pool_small.ok() && pool_large.ok());
+  EXPECT_LT(pool_small->size(), pool_large->size());
+}
+
+TEST_F(CandidatesTest, DeterministicGivenSameRng) {
+  Rng a(8);
+  Rng b(8);
+  auto p1 = BuildCandidatePairs(rel_, *space_, CandidateOptions{}, a);
+  auto p2 = BuildCandidatePairs(rel_, *space_, CandidateOptions{}, b);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(*p1, *p2);
+}
+
+}  // namespace
+}  // namespace et

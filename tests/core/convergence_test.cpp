@@ -1,0 +1,111 @@
+#include "core/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(EmpiricalFrequencyTest, EmptyHasZeroFrequencies) {
+  EmpiricalFrequency f;
+  EXPECT_EQ(f.total(), 0u);
+  EXPECT_EQ(f.Frequency(3), 0.0);
+}
+
+TEST(EmpiricalFrequencyTest, FrequenciesNormalize) {
+  EmpiricalFrequency f;
+  f.Record(1);
+  f.Record(1);
+  f.Record(2);
+  EXPECT_EQ(f.total(), 3u);
+  EXPECT_NEAR(f.Frequency(1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(f.Frequency(2), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(f.Frequency(9), 0.0);
+}
+
+TEST(EmpiricalFrequencyTest, DistributionCopy) {
+  EmpiricalFrequency f;
+  f.Record(0);
+  f.Record(5);
+  const auto dist = f.Distribution();
+  EXPECT_EQ(dist.size(), 2u);
+  EXPECT_NEAR(dist.at(0), 0.5, 1e-12);
+}
+
+TEST(EmpiricalFrequencyTest, L1DistanceProperties) {
+  EmpiricalFrequency a;
+  EmpiricalFrequency b;
+  a.Record(1);
+  b.Record(1);
+  EXPECT_NEAR(a.L1Distance(b), 0.0, 1e-12);
+  b.Record(2);  // b = {1: .5, 2: .5}; a = {1: 1}
+  EXPECT_NEAR(a.L1Distance(b), 1.0, 1e-12);
+  EXPECT_NEAR(a.L1Distance(b), b.L1Distance(a), 1e-12);
+}
+
+TEST(EmpiricalFrequencyTest, L1DistanceDisjointSupports) {
+  EmpiricalFrequency a;
+  EmpiricalFrequency b;
+  a.Record(1);
+  b.Record(2);
+  EXPECT_NEAR(a.L1Distance(b), 2.0, 1e-12);
+}
+
+TEST(SeriesConvergedTest, ShortSeriesNotConverged) {
+  EXPECT_FALSE(SeriesConverged({0.1, 0.1}, 5, 0.01));
+}
+
+TEST(SeriesConvergedTest, FlatTailConverges) {
+  const std::vector<double> series = {0.9, 0.5, 0.3, 0.21, 0.2,
+                                      0.2, 0.2, 0.2};
+  EXPECT_TRUE(SeriesConverged(series, 3, 0.02));
+}
+
+TEST(SeriesConvergedTest, JumpyTailDoesNot) {
+  const std::vector<double> series = {0.2, 0.2, 0.2, 0.5, 0.2, 0.2};
+  EXPECT_FALSE(SeriesConverged(series, 4, 0.02));
+}
+
+TEST(ConvergenceTrackerTest, DriftShrinksForRepeatedAction) {
+  // An agent repeating one action: Phi_t concentrates and drift -> 0.
+  ConvergenceTracker tracker;
+  double last = 1e9;
+  for (int t = 0; t < 50; ++t) {
+    const double drift = tracker.RecordIteration({7});
+    if (t > 0) {
+      EXPECT_LE(drift, last + 1e-12);
+    }
+    last = drift;
+  }
+  EXPECT_LT(last, 0.05);
+  EXPECT_TRUE(tracker.Converged(5, 0.05));
+}
+
+TEST(ConvergenceTrackerTest, AlternatingActionsStillConverge) {
+  // Alternating a/b: empirical distribution tends to (.5, .5) — the
+  // mixed policy — so drift still shrinks (Definition 2 allows mixed
+  // limits).
+  ConvergenceTracker tracker;
+  for (int t = 0; t < 100; ++t) {
+    tracker.RecordIteration({static_cast<size_t>(t % 2)});
+  }
+  EXPECT_TRUE(tracker.Converged(10, 0.05));
+  EXPECT_NEAR(tracker.frequencies().Frequency(0), 0.5, 0.01);
+}
+
+TEST(ConvergenceTrackerTest, RegimeChangeRaisesDrift) {
+  ConvergenceTracker tracker;
+  for (int t = 0; t < 30; ++t) tracker.RecordIteration({0});
+  const double before = tracker.drift_series().back();
+  const double spike = tracker.RecordIteration({1, 1, 1, 1, 1});
+  EXPECT_GT(spike, before);
+}
+
+TEST(ConvergenceTrackerTest, MultipleActionsPerIteration) {
+  ConvergenceTracker tracker;
+  tracker.RecordIteration({1, 2, 3});
+  EXPECT_EQ(tracker.frequencies().total(), 3u);
+  EXPECT_EQ(tracker.drift_series().size(), 1u);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,161 @@
+#include "core/equilibrium.h"
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "core/candidates.h"
+#include "core/game.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class EquilibriumTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    candidates_ = {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4),
+                   RowPair(1, 2)};
+    Rng rng(5);
+    auto belief = RandomPrior(space_, rng);
+    ET_ASSERT_OK(belief.status());
+    belief_ = std::move(*belief);
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  std::vector<RowPair> candidates_;
+  BeliefModel belief_;
+};
+
+TEST_F(EquilibriumTest, OptimalPolicyHasZeroRegret) {
+  const auto best =
+      OptimalLearnerPolicy(belief_, rel_, candidates_, 0.5);
+  auto regret =
+      LearnerPolicyRegret(belief_, rel_, candidates_, best, 0.5);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_NEAR(*regret, 0.0, 1e-9);
+}
+
+TEST_F(EquilibriumTest, UniformPolicyHasNonNegativeRegret) {
+  const std::vector<double> uniform(candidates_.size(),
+                                    1.0 / candidates_.size());
+  auto regret =
+      LearnerPolicyRegret(belief_, rel_, candidates_, uniform, 0.5);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_GE(*regret, -1e-9);
+}
+
+TEST_F(EquilibriumTest, PointMassPolicyHasPositiveRegret) {
+  // Concentrating all mass forfeits the entropy bonus entirely.
+  std::vector<double> point(candidates_.size(), 0.0);
+  point[0] = 1.0;
+  auto regret =
+      LearnerPolicyRegret(belief_, rel_, candidates_, point, 0.5);
+  ASSERT_TRUE(regret.ok());
+  EXPECT_GT(*regret, 0.01);
+}
+
+TEST_F(EquilibriumTest, ValueValidatesDistribution) {
+  std::vector<double> bad(candidates_.size(),
+                          1.0 / candidates_.size());
+  bad[0] += 0.5;  // mass 1.5
+  EXPECT_FALSE(
+      LearnerPolicyValue(belief_, rel_, candidates_, bad, 0.5).ok());
+  EXPECT_FALSE(
+      LearnerPolicyValue(belief_, rel_, candidates_, {0.5}, 0.5).ok());
+}
+
+TEST_F(EquilibriumTest, TrainerBestResponseLabelsPass) {
+  Trainer trainer(belief_, TrainerOptions{}, 7);
+  const auto labels = trainer.Label(rel_, candidates_);
+  EXPECT_TRUE(
+      TrainerLabelsAreBestResponse(trainer.belief(), rel_, labels));
+}
+
+TEST_F(EquilibriumTest, FlippedLabelsFailBestResponse) {
+  // Build a belief that strongly endorses Team->City, then label its
+  // violating pair clean: not a best response.
+  std::vector<Beta> betas(space_->size(), Beta(4, 16));
+  betas[*space_->IndexOf(MustParseFD("Team->City", rel_.schema()))] =
+      Beta(90, 10);
+  BeliefModel endorsing(space_, std::move(betas));
+  LabeledPair wrong;
+  wrong.pair = RowPair(0, 1);  // violates the endorsed FD
+  wrong.first_dirty = false;
+  wrong.second_dirty = false;
+  EXPECT_FALSE(
+      TrainerLabelsAreBestResponse(endorsing, rel_, {wrong}));
+}
+
+TEST_F(EquilibriumTest, NoisyTrainerViolatesBestResponse) {
+  // With label_noise = 1 every label is flipped; on pairs where the
+  // belief is not indifferent this breaks the equilibrium condition.
+  std::vector<Beta> betas(space_->size(), Beta(4, 16));
+  betas[*space_->IndexOf(MustParseFD("Team->City", rel_.schema()))] =
+      Beta(90, 10);
+  BeliefModel endorsing(space_, std::move(betas));
+  TrainerOptions noisy;
+  noisy.label_noise = 1.0;
+  Trainer trainer(endorsing, noisy, 9);
+  const auto labels = trainer.Label(rel_, {RowPair(0, 1)});
+  EXPECT_FALSE(
+      TrainerLabelsAreBestResponse(endorsing, rel_, labels));
+}
+
+// Property sweep: across random beliefs and gammas, no tested policy
+// beats the stochastic best response on u_L (the Gibbs variational
+// inequality, the analytic core of Proposition 1).
+class GibbsOptimalitySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GibbsOptimalitySweep, SoftmaxMaximizesEntropyRegularizedPayoff) {
+  auto data = MakeOmdb(120, GetParam());
+  ASSERT_TRUE(data.ok());
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(data->rel.schema(), 2));
+  Rng rng(GetParam() ^ 0x99);
+  auto belief = RandomPrior(space, rng);
+  ASSERT_TRUE(belief.ok());
+  CandidateOptions pool_options;
+  pool_options.max_pairs = 60;
+  auto pool =
+      BuildCandidatePairs(data->rel, *space, pool_options, rng);
+  ASSERT_TRUE(pool.ok());
+
+  for (double gamma : {0.1, 0.5, 2.0}) {
+    // Alternatives: uniform, a random distribution, point masses.
+    std::vector<std::vector<double>> alternatives;
+    alternatives.emplace_back(pool->size(), 1.0 / pool->size());
+    std::vector<double> random_pi(pool->size());
+    double total = 0.0;
+    for (double& p : random_pi) {
+      p = rng.NextDouble() + 1e-6;
+      total += p;
+    }
+    for (double& p : random_pi) p /= total;
+    alternatives.push_back(random_pi);
+    std::vector<double> point(pool->size(), 0.0);
+    point[rng.NextUint64(pool->size())] = 1.0;
+    alternatives.push_back(point);
+
+    for (const auto& pi : alternatives) {
+      auto regret =
+          LearnerPolicyRegret(*belief, data->rel, *pool, pi, gamma);
+      ASSERT_TRUE(regret.ok());
+      EXPECT_GE(*regret, -1e-9) << "gamma=" << gamma;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GibbsOptimalitySweep,
+                         ::testing::Values(61, 62, 63, 64, 65));
+
+}  // namespace
+}  // namespace et

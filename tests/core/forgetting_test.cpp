@@ -1,0 +1,124 @@
+// Tests for the evidence-forgetting extension (Beta::Decay and
+// LearnerOptions::forgetting_factor).
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "core/game.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+TEST(BetaDecayTest, PreservesMeanWidensVariance) {
+  Beta b(30.0, 10.0);
+  const double mean = b.Mean();
+  const double var = b.Variance();
+  b.Decay(0.5);
+  EXPECT_DOUBLE_EQ(b.Mean(), mean);
+  EXPECT_GT(b.Variance(), var);
+  EXPECT_DOUBLE_EQ(b.Strength(), 20.0);
+}
+
+TEST(BetaDecayTest, RespectsMinStrength) {
+  Beta b(3.0, 1.0);
+  b.Decay(0.1, 2.0);
+  EXPECT_DOUBLE_EQ(b.Strength(), 2.0);
+  EXPECT_DOUBLE_EQ(b.Mean(), 0.75);
+  // Already at the floor: no further shrink.
+  b.Decay(0.1, 2.0);
+  EXPECT_DOUBLE_EQ(b.Strength(), 2.0);
+}
+
+TEST(BetaDecayTest, FactorOneIsNoOp) {
+  Beta b(5.0, 7.0);
+  b.Decay(1.0);
+  EXPECT_DOUBLE_EQ(b.alpha(), 5.0);
+  EXPECT_DOUBLE_EQ(b.beta(), 7.0);
+}
+
+class ForgettingLearnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    pool_ = {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4), RowPair(1, 2),
+             RowPair(3, 4)};
+  }
+
+  Learner MakeLearner(double forgetting) {
+    LearnerOptions options;
+    options.forgetting_factor = forgetting;
+    return Learner(BeliefModel(space_), MakePolicy(PolicyKind::kRandom),
+                   pool_, options, 1);
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  std::vector<RowPair> pool_;
+};
+
+TEST_F(ForgettingLearnerTest, AdaptsFasterToLabelFlips) {
+  // Phase 1: the trainer repeatedly marks the violating pair dirty
+  // (endorsing Team->City). Phase 2: the trainer flips to clean
+  // (belief revised). The forgetting learner crosses back below 0.5
+  // sooner.
+  LabeledPair endorse;
+  endorse.pair = RowPair(0, 1);
+  endorse.first_dirty = true;
+  endorse.second_dirty = true;
+  LabeledPair reject;
+  reject.pair = RowPair(0, 1);
+
+  auto rounds_to_flip = [&](double forgetting) {
+    Learner learner = MakeLearner(forgetting);
+    for (int i = 0; i < 20; ++i) learner.Consume(rel_, {endorse});
+    int rounds = 0;
+    while (learner.belief().Confidence(team_city_) > 0.5 &&
+           rounds < 200) {
+      learner.Consume(rel_, {reject});
+      ++rounds;
+    }
+    return rounds;
+  };
+
+  const int stubborn = rounds_to_flip(1.0);
+  const int adaptive = rounds_to_flip(0.8);
+  EXPECT_LT(adaptive, stubborn);
+  EXPECT_LT(adaptive, 200);
+}
+
+TEST_F(ForgettingLearnerTest, NoForgettingMatchesBaseline) {
+  Learner a = MakeLearner(1.0);
+  LearnerOptions default_options;
+  Learner b(BeliefModel(space_), MakePolicy(PolicyKind::kRandom), pool_,
+            default_options, 1);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);
+  lp.first_dirty = true;
+  a.Consume(rel_, {lp});
+  b.Consume(rel_, {lp});
+  EXPECT_DOUBLE_EQ(a.belief().Confidence(team_city_),
+                   b.belief().Confidence(team_city_));
+}
+
+TEST_F(ForgettingLearnerTest, ForgettingBoundsBeliefStiffness) {
+  // Under constant forgetting, pseudo-counts converge to a bounded
+  // level instead of growing without limit.
+  Learner learner = MakeLearner(0.9);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);
+  lp.first_dirty = true;
+  for (int i = 0; i < 300; ++i) learner.Consume(rel_, {lp});
+  // Stationary strength ~ evidence_per_round / (1 - factor) + floor.
+  EXPECT_LT(learner.belief().beta(team_city_).Strength(), 30.0);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,167 @@
+#include "core/game.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "belief/priors.h"
+#include "core/candidates.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+// Integration fixture: a dirty OMDB instance with a 38-FD space.
+class GameTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeOmdb(300, 61);
+    ET_ASSERT_OK(data.status());
+    rel_ = std::move(data->rel);
+    std::vector<FD> clean;
+    for (const std::string& text : data->clean_fds) {
+      clean.push_back(MustParseFD(text, rel_.schema()));
+    }
+    ErrorGenerator gen(&rel_, 62);
+    ET_ASSERT_OK(gen.InjectToDegree(clean, 0.10));
+    auto capped = HypothesisSpace::BuildCapped(rel_, 4, 38, clean);
+    ET_ASSERT_OK(capped.status());
+    space_ = std::make_shared<const HypothesisSpace>(std::move(*capped));
+  }
+
+  Game MakeGame(PolicyKind kind, uint64_t seed,
+                GameOptions options = GameOptions{}) {
+    Rng rng(seed);
+    auto trainer_prior = RandomPrior(space_, rng, 30.0);
+    auto learner_prior = DataEstimatePrior(space_, rel_, 30.0);
+    auto pool =
+        BuildCandidatePairs(rel_, *space_, CandidateOptions{}, rng);
+    EXPECT_TRUE(trainer_prior.ok() && learner_prior.ok() && pool.ok());
+    Trainer trainer(std::move(*trainer_prior), TrainerOptions{},
+                    seed + 1);
+    Learner learner(std::move(*learner_prior), MakePolicy(kind),
+                    std::move(*pool), LearnerOptions{}, seed + 2);
+    return Game(&rel_, std::move(trainer), std::move(learner), options);
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+};
+
+TEST_F(GameTest, RunsRequestedIterations) {
+  Game game = MakeGame(PolicyKind::kStochasticUncertainty, 1);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations.size(), 30u);
+  EXPECT_FALSE(result->pool_exhausted);
+  for (size_t t = 0; t < result->iterations.size(); ++t) {
+    EXPECT_EQ(result->iterations[t].t, t + 1);
+    EXPECT_EQ(result->iterations[t].labels.size(), 5u);
+  }
+}
+
+TEST_F(GameTest, MaeDecreasesSubstantially) {
+  // The headline dynamic: agents' beliefs converge toward each other.
+  Game game = MakeGame(PolicyKind::kStochasticUncertainty, 2);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  const double final_mae = result->iterations.back().mae;
+  EXPECT_LT(final_mae, 0.7 * result->initial_mae);
+}
+
+TEST_F(GameTest, MaeSeriesMatchesIterations) {
+  Game game = MakeGame(PolicyKind::kRandom, 3);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  const auto series = result->MaeSeries();
+  ASSERT_EQ(series.size(), result->iterations.size());
+  for (size_t i = 0; i < series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(series[i], result->iterations[i].mae);
+  }
+}
+
+TEST_F(GameTest, FreshExamplesAcrossWholeGame) {
+  std::set<RowPair> seen;
+  Game game = MakeGame(PolicyKind::kRandom, 4);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  for (const IterationRecord& it : result->iterations) {
+    for (const LabeledPair& lp : it.labels) {
+      EXPECT_TRUE(seen.insert(lp.pair).second)
+          << "pair repeated at t=" << it.t;
+    }
+  }
+}
+
+TEST_F(GameTest, CallbackInvokedPerIteration) {
+  Game game = MakeGame(PolicyKind::kRandom, 5);
+  size_t calls = 0;
+  auto result = game.Run([&](const IterationRecord& rec) {
+    ++calls;
+    EXPECT_EQ(rec.t, calls);
+  });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, 30u);
+}
+
+TEST_F(GameTest, DeterministicInSeeds) {
+  auto run = [&](uint64_t seed) {
+    Game game = MakeGame(PolicyKind::kStochasticBestResponse, seed);
+    auto result = game.Run();
+    EXPECT_TRUE(result.ok());
+    return result->MaeSeries();
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST_F(GameTest, PoolExhaustionStopsEarlyWhenAllowed) {
+  GameOptions options;
+  options.iterations = 10000;  // far beyond the pool
+  options.pairs_per_iteration = 50;
+  Game game = MakeGame(PolicyKind::kRandom, 9, options);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->pool_exhausted);
+  EXPECT_LT(result->iterations.size(), 10000u);
+}
+
+TEST_F(GameTest, PoolExhaustionFailsWhenDisallowed) {
+  GameOptions options;
+  options.iterations = 10000;
+  options.pairs_per_iteration = 50;
+  options.allow_early_exhaustion = false;
+  Game game = MakeGame(PolicyKind::kRandom, 10, options);
+  EXPECT_TRUE(game.Run().status().IsFailedPrecondition());
+}
+
+TEST_F(GameTest, PayoffsArePositiveAndBounded) {
+  Game game = MakeGame(PolicyKind::kStochasticUncertainty, 11);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  for (const IterationRecord& it : result->iterations) {
+    EXPECT_GE(it.trainer_payoff, 0.0);
+    EXPECT_LE(it.trainer_payoff, 10.0 + 1e-9);  // 2 tuples x 5 pairs
+    EXPECT_GE(it.learner_payoff, 0.0);
+    EXPECT_LE(it.learner_payoff, 5.0 + 1e-9);
+  }
+}
+
+TEST_F(GameTest, EmpiricalBehaviourStabilizes) {
+  // Numerical face of Proposition 1: the trainer's empirical action
+  // distribution drift dies out over the run.
+  Game game = MakeGame(PolicyKind::kStochasticBestResponse, 12);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  const double first = result->iterations.front().trainer_drift;
+  const double late = result->iterations.back().trainer_drift;
+  EXPECT_LE(late, first);  // drift never exceeds the initial jump
+  EXPECT_LT(late, 0.1);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,113 @@
+// Tests for the hypothesis-testing trainer (TrainerPrediction::
+// kHypothesisTesting) — the §3 alternative human model in the game
+// trainer seat.
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "core/game.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class HtTrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    team_apps_ = *space_->IndexOf(MustParseFD("Team->Apps", rel_.schema()));
+  }
+
+  BeliefModel PriorOn(size_t idx) {
+    auto prior = UserPrior(space_, space_->fd(idx));
+    EXPECT_TRUE(prior.ok());
+    return std::move(*prior);
+  }
+
+  TrainerOptions HtOptions() {
+    TrainerOptions options;
+    options.prediction = TrainerPrediction::kHypothesisTesting;
+    return options;
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  size_t team_apps_ = 0;
+};
+
+TEST_F(HtTrainerTest, StartsAtPriorTopWithProxyBelief) {
+  Trainer trainer(PriorOn(team_city_), HtOptions(), 1);
+  EXPECT_EQ(trainer.current_hypothesis(), team_city_);
+  EXPECT_NEAR(trainer.belief().Confidence(team_city_), 0.95, 1e-9);
+  // Everything else sits at the dismissive level.
+  EXPECT_NEAR(trainer.belief().Confidence(team_apps_), 0.10, 1e-9);
+}
+
+TEST_F(HtTrainerTest, KeepsHypothesisThatExplainsWindow) {
+  Trainer trainer(PriorOn(team_apps_), HtOptions(), 2);
+  trainer.Observe(rel_, {RowPair(0, 1)});  // satisfies Team->Apps
+  EXPECT_EQ(trainer.current_hypothesis(), team_apps_);
+}
+
+TEST_F(HtTrainerTest, RejectsFailingHypothesis) {
+  Trainer trainer(PriorOn(team_city_), HtOptions(), 3);
+  trainer.Observe(rel_, {RowPair(0, 1)});  // violates Team->City
+  EXPECT_NE(trainer.current_hypothesis(), team_city_);
+  // Proxy belief moved with it.
+  EXPECT_LT(trainer.belief().Confidence(team_city_), 0.5);
+  EXPECT_NEAR(
+      trainer.belief().Confidence(trainer.current_hypothesis()), 0.95,
+      1e-9);
+}
+
+TEST_F(HtTrainerTest, LabelsFollowWorkingHypothesis) {
+  Trainer trainer(PriorOn(team_city_), HtOptions(), 4);
+  // Before any observation the working hypothesis is Team->City: its
+  // violating pair is labeled dirty.
+  auto labels = trainer.Label(rel_, {RowPair(0, 1)});
+  EXPECT_TRUE(labels[0].first_dirty);
+  // After observing the violation, the hypothesis is rejected and the
+  // same pair is now labeled clean — non-stationarity, HT style.
+  trainer.Observe(rel_, {RowPair(0, 1)});
+  labels = trainer.Label(rel_, {RowPair(0, 1)});
+  EXPECT_FALSE(labels[0].first_dirty);
+}
+
+TEST_F(HtTrainerTest, StationaryFlagSuppressesHtUpdates) {
+  TrainerOptions options = HtOptions();
+  options.learns = false;
+  Trainer trainer(PriorOn(team_city_), options, 5);
+  trainer.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_EQ(trainer.current_hypothesis(), team_city_);
+}
+
+TEST_F(HtTrainerTest, GameRunsWithHtTrainer) {
+  // Integration: the full game loop works with an HT trainer and the
+  // learner still converges toward the proxy belief.
+  std::vector<RowPair> pool = {RowPair(0, 1), RowPair(2, 3),
+                               RowPair(0, 4), RowPair(1, 2),
+                               RowPair(3, 4), RowPair(1, 3),
+                               RowPair(2, 4), RowPair(0, 2),
+                               RowPair(0, 3), RowPair(1, 4)};
+  Trainer trainer(PriorOn(team_city_), HtOptions(), 6);
+  Learner learner(BeliefModel(space_),
+                  MakePolicy(PolicyKind::kStochasticUncertainty),
+                  std::move(pool), LearnerOptions{}, 7);
+  GameOptions options;
+  options.iterations = 5;
+  options.pairs_per_iteration = 2;
+  Game game(&rel_, std::move(trainer), std::move(learner), options);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->iterations.size(), 5u);
+}
+
+}  // namespace
+}  // namespace et

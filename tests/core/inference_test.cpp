@@ -1,0 +1,107 @@
+#include "core/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class InferenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    team_apps_ = *space_->IndexOf(MustParseFD("Team->Apps", rel_.schema()));
+  }
+
+  /// Belief with every FD at `low` except one boosted to `high`.
+  BeliefModel BeliefWith(size_t idx, double high, double low = 0.2) {
+    std::vector<Beta> betas;
+    for (size_t i = 0; i < space_->size(); ++i) {
+      const double mean = (i == idx) ? high : low;
+      betas.push_back(Beta(mean * 20, (1 - mean) * 20));
+    }
+    return BeliefModel(space_, std::move(betas));
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  size_t team_apps_ = 0;
+};
+
+TEST_F(InferenceTest, ViolatingPairOfEndorsedFdPredictsDirty) {
+  const BeliefModel belief = BeliefWith(team_city_, 0.9);
+  const PairPrediction p = PredictPair(belief, rel_, RowPair(0, 1));
+  EXPECT_NEAR(p.first_dirty, 0.9, 1e-9);
+  EXPECT_NEAR(p.second_dirty, 0.9, 1e-9);
+}
+
+TEST_F(InferenceTest, SatisfyingPairOfEndorsedFdPredictsClean) {
+  const BeliefModel belief = BeliefWith(team_city_, 0.9);
+  const PairPrediction p = PredictPair(belief, rel_, RowPair(2, 3));
+  EXPECT_NEAR(p.first_dirty, 0.1, 1e-9);
+}
+
+TEST_F(InferenceTest, InapplicablePairPredictsClean) {
+  const BeliefModel belief = BeliefWith(team_city_, 0.9);
+  const PairPrediction p = PredictPair(belief, rel_, RowPair(0, 4));
+  EXPECT_DOUBLE_EQ(p.first_dirty, 0.0);
+  EXPECT_DOUBLE_EQ(p.second_dirty, 0.0);
+}
+
+TEST_F(InferenceTest, UnendorsedFdsStaySilent) {
+  // All FDs at 0.2 < min_confidence: nothing fires.
+  const BeliefModel belief = BeliefWith(team_city_, 0.2);
+  const PairPrediction p = PredictPair(belief, rel_, RowPair(0, 1));
+  EXPECT_DOUBLE_EQ(p.first_dirty, 0.0);
+}
+
+TEST_F(InferenceTest, ConflictingEndorsedFdsMix) {
+  // Pair (0,1): violates Team->City (conf 0.9), satisfies Team->Apps
+  // (conf 0.9). Equal weights -> mean of 0.9 and 0.1.
+  BeliefModel belief = BeliefWith(team_city_, 0.9);
+  belief.beta(team_apps_) = Beta(18, 2);  // 0.9
+  const PairPrediction p = PredictPair(belief, rel_, RowPair(0, 1));
+  EXPECT_NEAR(p.first_dirty, 0.5, 1e-9);
+}
+
+TEST_F(InferenceTest, StrongerBeliefDominatesMixture) {
+  BeliefModel belief = BeliefWith(team_city_, 0.95);
+  belief.beta(team_apps_) = Beta(0.6 * 20, 0.4 * 20);  // weak endorse
+  const PairPrediction p = PredictPair(belief, rel_, RowPair(0, 1));
+  EXPECT_GT(p.first_dirty, 0.5);
+}
+
+TEST_F(InferenceTest, TopKRestrictsEvidence) {
+  BeliefModel belief = BeliefWith(team_city_, 0.9);
+  belief.beta(team_apps_) = Beta(0.8 * 20, 0.2 * 20);
+  InferenceOptions options;
+  options.top_k = 1;  // only Team->City fires
+  const PairPrediction p =
+      PredictPair(belief, rel_, RowPair(0, 1), options);
+  EXPECT_NEAR(p.first_dirty, 0.9, 1e-9);
+}
+
+TEST_F(InferenceTest, MinConfidenceThresholdConfigurable) {
+  const BeliefModel belief = BeliefWith(team_city_, 0.4);
+  InferenceOptions options;
+  options.min_confidence = 0.3;
+  const PairPrediction p =
+      PredictPair(belief, rel_, RowPair(0, 1), options);
+  EXPECT_GT(p.first_dirty, 0.0);
+}
+
+TEST(LabelProbabilityTest, Complementary) {
+  EXPECT_DOUBLE_EQ(LabelProbability(0.7, true), 0.7);
+  EXPECT_DOUBLE_EQ(LabelProbability(0.7, false), 0.3);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,121 @@
+#include "core/learner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class LearnerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    pool_ = {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4), RowPair(1, 2),
+             RowPair(3, 4)};
+  }
+
+  Learner MakeLearner(PolicyKind kind = PolicyKind::kRandom,
+                      uint64_t seed = 1) {
+    return Learner(BeliefModel(space_), MakePolicy(kind), pool_,
+                   LearnerOptions{}, seed);
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  std::vector<RowPair> pool_;
+};
+
+TEST_F(LearnerTest, SelectsRequestedCount) {
+  Learner learner = MakeLearner();
+  auto picked = learner.SelectExamples(rel_, 3);
+  ASSERT_TRUE(picked.ok());
+  EXPECT_EQ(picked->size(), 3u);
+  EXPECT_EQ(learner.fresh_pool_size(), 2u);
+}
+
+TEST_F(LearnerTest, NeverRepeatsPairs) {
+  Learner learner = MakeLearner();
+  std::set<RowPair> seen;
+  for (int round = 0; round < 2; ++round) {
+    auto picked = learner.SelectExamples(rel_, 2);
+    ASSERT_TRUE(picked.ok());
+    for (const RowPair& p : *picked) {
+      EXPECT_TRUE(seen.insert(p).second) << "repeated pair";
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST_F(LearnerTest, FailsWhenPoolExhausted) {
+  Learner learner = MakeLearner();
+  ASSERT_TRUE(learner.SelectExamples(rel_, 5).ok());
+  auto extra = learner.SelectExamples(rel_, 1);
+  EXPECT_TRUE(extra.status().IsFailedPrecondition());
+}
+
+TEST_F(LearnerTest, ConsumeUpdatesBelief) {
+  Learner learner = MakeLearner();
+  const double before = learner.belief().Confidence(team_city_);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);  // violates Team->City, labeled clean
+  learner.Consume(rel_, {lp});
+  EXPECT_LT(learner.belief().Confidence(team_city_), before);
+}
+
+TEST_F(LearnerTest, DirtyLabelRaisesBelief) {
+  Learner learner = MakeLearner();
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);
+  lp.first_dirty = true;
+  learner.Consume(rel_, {lp});
+  EXPECT_GT(learner.belief().Confidence(team_city_), 0.5);
+}
+
+TEST_F(LearnerTest, CustomUpdateWeights) {
+  LearnerOptions options;
+  options.update_weights.clean_violates = 0.0;  // ignore clean violations
+  Learner learner(BeliefModel(space_), MakePolicy(PolicyKind::kRandom),
+                  pool_, options, 1);
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);
+  learner.Consume(rel_, {lp});
+  EXPECT_DOUBLE_EQ(learner.belief().Confidence(team_city_), 0.5);
+}
+
+TEST_F(LearnerTest, CurrentDistributionOverFreshPool) {
+  Learner learner = MakeLearner();
+  ASSERT_TRUE(learner.SelectExamples(rel_, 2).ok());
+  const auto dist = learner.CurrentDistribution(rel_);
+  EXPECT_EQ(dist.size(), 3u);  // only fresh pairs
+  double sum = 0.0;
+  for (double p : dist) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_F(LearnerTest, PolicyAccessor) {
+  Learner learner = MakeLearner(PolicyKind::kStochasticUncertainty);
+  EXPECT_EQ(learner.policy().kind(),
+            PolicyKind::kStochasticUncertainty);
+}
+
+TEST_F(LearnerTest, DeterministicSelectionInSeed) {
+  Learner a = MakeLearner(PolicyKind::kStochasticUncertainty, 9);
+  Learner b = MakeLearner(PolicyKind::kStochasticUncertainty, 9);
+  auto pa = a.SelectExamples(rel_, 3);
+  auto pb = b.SelectExamples(rel_, 3);
+  ASSERT_TRUE(pa.ok() && pb.ok());
+  EXPECT_EQ(*pa, *pb);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,129 @@
+#include "core/payoff.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class PayoffTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+  }
+
+  BeliefModel EndorsingBelief(double conf) {
+    std::vector<Beta> betas(space_->size(), Beta(0.2 * 20, 0.8 * 20));
+    betas[team_city_] = Beta(conf * 20, (1 - conf) * 20);
+    return BeliefModel(space_, std::move(betas));
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+};
+
+TEST_F(PayoffTest, TrainerPayoffRewardsConsistentLabels) {
+  const BeliefModel belief = EndorsingBelief(0.9);
+  LabeledPair consistent;
+  consistent.pair = RowPair(0, 1);  // violating pair
+  consistent.first_dirty = true;
+  consistent.second_dirty = true;
+  LabeledPair inconsistent = consistent;
+  inconsistent.first_dirty = false;
+  inconsistent.second_dirty = false;
+  const double hi = TrainerPayoff(belief, rel_, {consistent});
+  const double lo = TrainerPayoff(belief, rel_, {inconsistent});
+  EXPECT_NEAR(hi, 1.8, 1e-9);  // 0.9 per tuple
+  EXPECT_NEAR(lo, 0.2, 1e-9);
+  EXPECT_GT(hi, lo);
+}
+
+TEST_F(PayoffTest, TrainerPayoffSumsOverPairs) {
+  const BeliefModel belief = EndorsingBelief(0.9);
+  LabeledPair a;
+  a.pair = RowPair(0, 1);
+  a.first_dirty = true;
+  a.second_dirty = true;
+  const double one = TrainerPayoff(belief, rel_, {a});
+  const double two = TrainerPayoff(belief, rel_, {a, a});
+  EXPECT_NEAR(two, 2 * one, 1e-9);
+}
+
+TEST_F(PayoffTest, ExamplePayoffIsPredictionConfidence) {
+  const BeliefModel belief = EndorsingBelief(0.9);
+  // Violating pair: p_dirty 0.9 -> confidence max(0.9, 0.1) = 0.9.
+  EXPECT_NEAR(LearnerExamplePayoff(belief, rel_, RowPair(0, 1)), 0.9,
+              1e-9);
+  // Inapplicable pair: p_dirty 0 -> confidence 1.0 (certain clean).
+  EXPECT_NEAR(LearnerExamplePayoff(belief, rel_, RowPair(0, 4)), 1.0,
+              1e-9);
+}
+
+TEST_F(PayoffTest, ExamplePayoffMinimalAtMaxUncertainty) {
+  // A belief whose predictions sit at 0.5 yields payoff 0.5 — the
+  // minimum of max(p, 1-p).
+  BeliefModel belief = EndorsingBelief(0.9);
+  // Make two conflicting endorsements (see inference test).
+  const size_t team_apps =
+      *space_->IndexOf(MustParseFD("Team->Apps", rel_.schema()));
+  belief.beta(team_apps) = Beta(18, 2);
+  EXPECT_NEAR(LearnerExamplePayoff(belief, rel_, RowPair(0, 1)), 0.5,
+              1e-9);
+}
+
+TEST_F(PayoffTest, RealizedPayoffMatchesLabels) {
+  const BeliefModel belief = EndorsingBelief(0.9);
+  LabeledPair right;
+  right.pair = RowPair(0, 1);
+  right.first_dirty = true;
+  right.second_dirty = true;
+  LabeledPair wrong = right;
+  wrong.first_dirty = false;
+  wrong.second_dirty = false;
+  EXPECT_NEAR(LearnerRealizedPayoff(belief, rel_, {right}), 0.9, 1e-9);
+  EXPECT_NEAR(LearnerRealizedPayoff(belief, rel_, {wrong}), 0.1, 1e-9);
+}
+
+TEST(LearnerPolicyPayoffTest, EntropyBonus) {
+  const std::vector<double> uniform = {0.25, 0.25, 0.25, 0.25};
+  const std::vector<double> peaked = {1.0, 0.0, 0.0, 0.0};
+  const std::vector<double> payoffs = {1.0, 1.0, 1.0, 1.0};
+  // Same expected payoff; uniform wins via the entropy bonus.
+  EXPECT_GT(LearnerPolicyPayoff(uniform, payoffs, 0.5),
+            LearnerPolicyPayoff(peaked, payoffs, 0.5));
+  // gamma = 0 removes the bonus.
+  EXPECT_DOUBLE_EQ(LearnerPolicyPayoff(uniform, payoffs, 0.0),
+                   LearnerPolicyPayoff(peaked, payoffs, 0.0));
+}
+
+TEST(LearnerPolicyPayoffTest, KnownValue) {
+  const std::vector<double> pi = {0.5, 0.5};
+  const std::vector<double> u = {1.0, 0.0};
+  EXPECT_NEAR(LearnerPolicyPayoff(pi, u, 1.0), 0.5 + std::log(2.0),
+              1e-12);
+}
+
+TEST(LearnerPolicyPayoffTest, GammaTradesOffPayoffAndEntropy) {
+  // Peaked on the high-payoff example vs uniform: low gamma prefers
+  // the peak, high gamma prefers spread.
+  const std::vector<double> peaked = {1.0, 0.0};
+  const std::vector<double> uniform = {0.5, 0.5};
+  const std::vector<double> u = {1.0, 0.0};
+  EXPECT_GT(LearnerPolicyPayoff(peaked, u, 0.1),
+            LearnerPolicyPayoff(uniform, u, 0.1));
+  EXPECT_LT(LearnerPolicyPayoff(peaked, u, 2.0),
+            LearnerPolicyPayoff(uniform, u, 2.0));
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,203 @@
+#include "core/policies.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/math.h"
+#include "core/payoff.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class PoliciesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    // Candidates: the two Team pairs plus an inapplicable pair.
+    candidates_ = {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4)};
+  }
+
+  BeliefModel MidBelief() {
+    // Team->City endorsed at 0.7 (uncertain); everything else at 0.2.
+    std::vector<Beta> betas(space_->size(), Beta(4, 16));
+    betas[team_city_] = Beta(14, 6);
+    return BeliefModel(space_, std::move(betas));
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  std::vector<RowPair> candidates_;
+};
+
+TEST(PolicyKindTest, NamesAndFactory) {
+  EXPECT_STREQ(PolicyKindToString(PolicyKind::kRandom), "Random");
+  EXPECT_STREQ(PolicyKindToString(PolicyKind::kUncertainty), "US");
+  EXPECT_STREQ(
+      PolicyKindToString(PolicyKind::kStochasticBestResponse),
+      "StochasticBR");
+  EXPECT_STREQ(
+      PolicyKindToString(PolicyKind::kStochasticUncertainty),
+      "StochasticUS");
+  EXPECT_EQ(AllPolicyKinds().size(), 4u);
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    ASSERT_NE(policy, nullptr);
+    EXPECT_EQ(policy->kind(), kind);
+  }
+}
+
+class PolicyDistributionSweep
+    : public PoliciesTest,
+      public ::testing::WithParamInterface<PolicyKind> {};
+
+TEST_P(PolicyDistributionSweep, DistributionIsProper) {
+  auto policy = MakePolicy(GetParam());
+  const BeliefModel belief = MidBelief();
+  const auto dist = policy->Distribution(belief, rel_, candidates_);
+  ASSERT_EQ(dist.size(), candidates_.size());
+  double sum = 0.0;
+  for (double p : dist) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0 + 1e-12);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST_P(PolicyDistributionSweep, SelectsDistinctFreshPairs) {
+  auto policy = MakePolicy(GetParam());
+  const BeliefModel belief = MidBelief();
+  Rng rng(3);
+  auto picked =
+      policy->SelectPairs(belief, rel_, candidates_, 2, rng);
+  ASSERT_TRUE(picked.ok());
+  ASSERT_EQ(picked->size(), 2u);
+  EXPECT_NE((*picked)[0], (*picked)[1]);
+  for (const RowPair& p : *picked) {
+    EXPECT_NE(std::find(candidates_.begin(), candidates_.end(), p),
+              candidates_.end());
+  }
+}
+
+TEST_P(PolicyDistributionSweep, RejectsOverdraw) {
+  auto policy = MakePolicy(GetParam());
+  const BeliefModel belief = MidBelief();
+  Rng rng(4);
+  EXPECT_FALSE(
+      policy->SelectPairs(belief, rel_, candidates_, 4, rng).ok());
+}
+
+TEST_P(PolicyDistributionSweep, EmptyCandidatesGiveEmptyDistribution) {
+  auto policy = MakePolicy(GetParam());
+  const BeliefModel belief = MidBelief();
+  EXPECT_TRUE(policy->Distribution(belief, rel_, {}).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyDistributionSweep,
+    ::testing::ValuesIn(AllPolicyKinds()),
+    [](const ::testing::TestParamInfo<PolicyKind>& info) {
+      return PolicyKindToString(info.param);
+    });
+
+TEST_F(PoliciesTest, RandomIsUniform) {
+  auto policy = MakePolicy(PolicyKind::kRandom);
+  const auto dist =
+      policy->Distribution(MidBelief(), rel_, candidates_);
+  for (double p : dist) EXPECT_NEAR(p, 1.0 / 3.0, 1e-12);
+}
+
+TEST_F(PoliciesTest, UncertaintyPicksMaxEntropyPair) {
+  // Under MidBelief (0.7 on Team->City), the applicable pairs have
+  // p_dirty 0.7 / 0.3 (entropy ~0.61); the inapplicable pair has
+  // p_dirty 0 (entropy 0). US must put no mass on the inapplicable one.
+  auto policy = MakePolicy(PolicyKind::kUncertainty);
+  const auto dist =
+      policy->Distribution(MidBelief(), rel_, candidates_);
+  EXPECT_DOUBLE_EQ(dist[2], 0.0);
+  EXPECT_NEAR(dist[0] + dist[1], 1.0, 1e-12);
+}
+
+TEST_F(PoliciesTest, UncertaintySelectionIsDeterministic) {
+  auto policy = MakePolicy(PolicyKind::kUncertainty);
+  Rng r1(5);
+  Rng r2(99);  // different rng must not matter
+  auto a = policy->SelectPairs(MidBelief(), rel_, candidates_, 2, r1);
+  auto b = policy->SelectPairs(MidBelief(), rel_, candidates_, 2, r2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(PoliciesTest, StochasticBRFavorsConfidentPairs) {
+  // The inapplicable pair (0,4) is the most confidently-predicted
+  // (clean, payoff 1.0) -> SBR gives it the highest probability.
+  PolicyOptions options;
+  options.gamma = 0.2;
+  auto policy = MakePolicy(PolicyKind::kStochasticBestResponse, options);
+  const auto dist =
+      policy->Distribution(MidBelief(), rel_, candidates_);
+  EXPECT_GT(dist[2], dist[0]);
+  EXPECT_GT(dist[2], dist[1]);
+}
+
+TEST_F(PoliciesTest, StochasticUSFavorsUncertainPairs) {
+  PolicyOptions options;
+  options.gamma = 0.2;
+  auto policy = MakePolicy(PolicyKind::kStochasticUncertainty, options);
+  const auto dist =
+      policy->Distribution(MidBelief(), rel_, candidates_);
+  EXPECT_GT(dist[0], dist[2]);
+  EXPECT_GT(dist[1], dist[2]);
+}
+
+TEST_F(PoliciesTest, GammaControlsSharpness) {
+  // Lower gamma concentrates the softmax (less exploratory), per the
+  // paper's description of the parameter.
+  PolicyOptions sharp;
+  sharp.gamma = 0.05;
+  PolicyOptions soft;
+  soft.gamma = 5.0;
+  auto p_sharp =
+      MakePolicy(PolicyKind::kStochasticUncertainty, sharp);
+  auto p_soft = MakePolicy(PolicyKind::kStochasticUncertainty, soft);
+  const auto d_sharp =
+      p_sharp->Distribution(MidBelief(), rel_, candidates_);
+  const auto d_soft =
+      p_soft->Distribution(MidBelief(), rel_, candidates_);
+  EXPECT_LT(Entropy(d_sharp), Entropy(d_soft));
+}
+
+TEST_F(PoliciesTest, StochasticSelectionFollowsDistribution) {
+  // Empirical selection frequencies track Distribution() (the policy's
+  // pi really is its sampling law).
+  PolicyOptions options;
+  options.gamma = 0.5;
+  auto policy = MakePolicy(PolicyKind::kStochasticUncertainty, options);
+  const BeliefModel belief = MidBelief();
+  const auto dist = policy->Distribution(belief, rel_, candidates_);
+  Rng rng(7);
+  std::vector<int> counts(candidates_.size(), 0);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    auto picked = policy->SelectPairs(belief, rel_, candidates_, 1, rng);
+    ASSERT_TRUE(picked.ok());
+    for (size_t c = 0; c < candidates_.size(); ++c) {
+      if (candidates_[c] == (*picked)[0]) ++counts[c];
+    }
+  }
+  for (size_t c = 0; c < candidates_.size(); ++c) {
+    EXPECT_NEAR(static_cast<double>(counts[c]) / n, dist[c], 0.02);
+  }
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,147 @@
+// Tests for the relabeling extension (LearnerOptions::revisit_fraction):
+// re-presenting previously shown pairs so a trainer whose belief moved
+// can revise earlier labels.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "belief/priors.h"
+#include "core/game.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class RelabelingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    pool_ = {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4), RowPair(1, 2),
+             RowPair(3, 4), RowPair(1, 3), RowPair(2, 4), RowPair(0, 2)};
+  }
+
+  Learner MakeLearner(double revisit_fraction, uint64_t seed = 1) {
+    LearnerOptions options;
+    options.revisit_fraction = revisit_fraction;
+    return Learner(BeliefModel(space_), MakePolicy(PolicyKind::kRandom),
+                   pool_, options, seed);
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  std::vector<RowPair> pool_;
+};
+
+TEST_F(RelabelingTest, ZeroFractionNeverRepeats) {
+  Learner learner = MakeLearner(0.0);
+  std::set<RowPair> seen;
+  for (int round = 0; round < 4; ++round) {
+    auto picked = learner.SelectExamples(rel_, 2);
+    ASSERT_TRUE(picked.ok());
+    for (const RowPair& p : *picked) {
+      EXPECT_TRUE(seen.insert(p).second);
+    }
+  }
+}
+
+TEST_F(RelabelingTest, RevisitsComeFromShownPairs) {
+  Learner learner = MakeLearner(0.5, 3);
+  auto first = learner.SelectExamples(rel_, 4);
+  ASSERT_TRUE(first.ok());
+  // Round 1 has nothing to revisit beyond this round's picks, so all 4
+  // must be distinct; record them.
+  std::set<RowPair> shown(first->begin(), first->end());
+  EXPECT_EQ(shown.size(), 4u);
+
+  auto second = learner.SelectExamples(rel_, 4);
+  ASSERT_TRUE(second.ok());
+  size_t revisits = 0;
+  for (const RowPair& p : *second) revisits += shown.count(p);
+  EXPECT_EQ(revisits, 2u);  // 0.5 * 4
+}
+
+TEST_F(RelabelingTest, CanSelectAccountsForRevisits) {
+  // Pool of 8; k=4 with 50% revisit needs only 2 fresh per round after
+  // warm-up, so 5 rounds are feasible (8 fresh consumed at 4+2+2... ).
+  Learner learner = MakeLearner(0.5, 5);
+  ASSERT_TRUE(learner.SelectExamples(rel_, 4).ok());  // 4 fresh
+  ASSERT_TRUE(learner.SelectExamples(rel_, 4).ok());  // 2 fresh
+  ASSERT_TRUE(learner.SelectExamples(rel_, 4).ok());  // 2 fresh -> 8 used
+  EXPECT_EQ(learner.fresh_pool_size(), 0u);
+  EXPECT_TRUE(learner.CanSelect(0));
+  EXPECT_FALSE(learner.CanSelect(4));  // only 2 revisit slots for k=4
+
+  Learner no_revisit = MakeLearner(0.0, 5);
+  ASSERT_TRUE(no_revisit.SelectExamples(rel_, 8).ok());
+  EXPECT_FALSE(no_revisit.CanSelect(1));
+}
+
+TEST_F(RelabelingTest, RevisitedLabelsWeighHeavier) {
+  // Two learners consume the same violating pair labeled clean; for
+  // one it is a revisit (weight 2) -> its belief moves further.
+  LabeledPair lp;
+  lp.pair = RowPair(0, 1);  // violates Team->City
+
+  Learner fresh_learner = MakeLearner(0.0, 7);
+  fresh_learner.Consume(rel_, {lp});
+
+  Learner revisit_learner = MakeLearner(1.0, 7);
+  // Make (0,1) shown, then re-presented.
+  auto r1 = revisit_learner.SelectExamples(rel_, 8);  // all fresh
+  ASSERT_TRUE(r1.ok());
+  auto r2 = revisit_learner.SelectExamples(rel_, 8);  // all revisits
+  ASSERT_TRUE(r2.ok());
+  revisit_learner.Consume(rel_, {lp});
+
+  EXPECT_LT(revisit_learner.belief().Confidence(team_city_),
+            fresh_learner.belief().Confidence(team_city_));
+}
+
+TEST_F(RelabelingTest, GameRunsLongerWithRevisits) {
+  // With a tiny pool, revisiting extends the feasible horizon.
+  GameOptions options;
+  options.iterations = 10;
+  options.pairs_per_iteration = 4;
+
+  auto run = [&](double fraction) {
+    LearnerOptions learner_options;
+    learner_options.revisit_fraction = fraction;
+    Learner learner(BeliefModel(space_), MakePolicy(PolicyKind::kRandom),
+                    pool_, learner_options, 11);
+    Trainer trainer(BeliefModel(space_), TrainerOptions{}, 12);
+    Game game(&rel_, std::move(trainer), std::move(learner), options);
+    auto result = game.Run();
+    EXPECT_TRUE(result.ok());
+    return result->iterations.size();
+  };
+
+  EXPECT_EQ(run(0.0), 2u);   // 8 pairs / 4 per round
+  EXPECT_GT(run(0.5), 2u);
+}
+
+TEST_F(RelabelingTest, RevisitedTrainerLabelsReflectNewBelief) {
+  // End-to-end: a trainer that flips its opinion relabels a revisited
+  // pair differently, and the learner follows the newer label.
+  auto prior = UserPrior(space_, space_->fd(team_city_));
+  ASSERT_TRUE(prior.ok());
+  Trainer trainer(std::move(*prior), TrainerOptions{}, 13);
+
+  const std::vector<RowPair> sample = {RowPair(0, 1)};
+  auto labels1 = trainer.Label(rel_, sample);
+  EXPECT_TRUE(labels1[0].first_dirty);  // believes Team->City: dirty
+
+  for (int i = 0; i < 40; ++i) trainer.Observe(rel_, sample);
+  auto labels2 = trainer.Label(rel_, sample);
+  EXPECT_FALSE(labels2[0].first_dirty);  // revised: exception accepted
+}
+
+}  // namespace
+}  // namespace et

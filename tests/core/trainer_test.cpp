@@ -1,0 +1,111 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+  }
+
+  BeliefModel Endorsing(double conf) {
+    std::vector<Beta> betas(space_->size(), Beta(0.2 * 20, 0.8 * 20));
+    betas[team_city_] = Beta(conf * 20, (1 - conf) * 20);
+    return BeliefModel(space_, std::move(betas));
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+};
+
+TEST_F(TrainerTest, LabelsViolationsOfEndorsedFdDirty) {
+  Trainer trainer(Endorsing(0.9), TrainerOptions{}, 1);
+  const auto labels =
+      trainer.Label(rel_, {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4)});
+  ASSERT_EQ(labels.size(), 3u);
+  EXPECT_TRUE(labels[0].first_dirty);   // violating pair
+  EXPECT_TRUE(labels[0].second_dirty);
+  EXPECT_FALSE(labels[1].first_dirty);  // satisfying pair
+  EXPECT_FALSE(labels[2].first_dirty);  // inapplicable pair
+}
+
+TEST_F(TrainerTest, LabelingIsBeliefDriven) {
+  // A trainer that does NOT endorse Team->City labels its violation
+  // clean.
+  Trainer trainer(Endorsing(0.3), TrainerOptions{}, 2);
+  const auto labels = trainer.Label(rel_, {RowPair(0, 1)});
+  EXPECT_FALSE(labels[0].first_dirty);
+}
+
+TEST_F(TrainerTest, ObserveUpdatesBelief) {
+  Trainer trainer(Endorsing(0.9), TrainerOptions{}, 3);
+  const double before = trainer.belief().Confidence(team_city_);
+  trainer.Observe(rel_, {RowPair(0, 1)});  // violation observed
+  EXPECT_LT(trainer.belief().Confidence(team_city_), before);
+}
+
+TEST_F(TrainerTest, StationaryTrainerNeverLearns) {
+  TrainerOptions options;
+  options.learns = false;
+  Trainer trainer(Endorsing(0.9), options, 4);
+  const double before = trainer.belief().Confidence(team_city_);
+  for (int i = 0; i < 10; ++i) trainer.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_DOUBLE_EQ(trainer.belief().Confidence(team_city_), before);
+}
+
+TEST_F(TrainerTest, NonStationarityFlipsLabels) {
+  // The paper's core phenomenon: after enough observations of the same
+  // legitimate violation, the trainer revises its belief and stops
+  // calling it an error.
+  Trainer trainer(Endorsing(0.75), TrainerOptions{}, 5);
+  EXPECT_TRUE(trainer.Label(rel_, {RowPair(0, 1)})[0].first_dirty);
+  for (int i = 0; i < 30; ++i) trainer.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_FALSE(trainer.Label(rel_, {RowPair(0, 1)})[0].first_dirty);
+}
+
+TEST_F(TrainerTest, LabelDoesNotMutateBelief) {
+  Trainer trainer(Endorsing(0.9), TrainerOptions{}, 6);
+  const auto before = trainer.belief().Confidences();
+  trainer.Label(rel_, {RowPair(0, 1), RowPair(2, 3)});
+  EXPECT_EQ(trainer.belief().Confidences(), before);
+}
+
+TEST_F(TrainerTest, LabelNoiseFlipsSomeLabels) {
+  TrainerOptions noisy;
+  noisy.label_noise = 1.0;  // always flip
+  Trainer trainer(Endorsing(0.9), noisy, 7);
+  const auto labels = trainer.Label(rel_, {RowPair(0, 1)});
+  EXPECT_FALSE(labels[0].first_dirty);  // flipped from dirty
+  EXPECT_FALSE(labels[0].second_dirty);
+}
+
+TEST_F(TrainerTest, DeterministicInSeed) {
+  TrainerOptions noisy;
+  noisy.label_noise = 0.5;
+  Trainer a(Endorsing(0.9), noisy, 42);
+  Trainer b(Endorsing(0.9), noisy, 42);
+  for (int i = 0; i < 5; ++i) {
+    const auto la = a.Label(rel_, {RowPair(0, 1), RowPair(2, 3)});
+    const auto lb = b.Label(rel_, {RowPair(0, 1), RowPair(2, 3)});
+    for (size_t j = 0; j < la.size(); ++j) {
+      EXPECT_EQ(la[j].first_dirty, lb[j].first_dirty);
+      EXPECT_EQ(la[j].second_dirty, lb[j].second_dirty);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,137 @@
+#include "data/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+TEST(CsvTest, ParsesSimpleInput) {
+  auto rel = ReadCsvString("a,b\n1,2\n3,4\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 2u);
+  EXPECT_EQ(rel->schema().names(),
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rel->cell(0, 0), "1");
+  EXPECT_EQ(rel->cell(1, 1), "4");
+}
+
+TEST(CsvTest, HandlesMissingTrailingNewline) {
+  auto rel = ReadCsvString("a,b\n1,2");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 1u);
+}
+
+TEST(CsvTest, HandlesCrlf) {
+  auto rel = ReadCsvString("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 1u);
+  EXPECT_EQ(rel->cell(0, 1), "2");
+}
+
+TEST(CsvTest, QuotedFieldWithSeparator) {
+  auto rel = ReadCsvString("a,b\n\"x,y\",2\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->cell(0, 0), "x,y");
+}
+
+TEST(CsvTest, EscapedQuotes) {
+  auto rel = ReadCsvString("a\n\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->cell(0, 0), "say \"hi\"");
+}
+
+TEST(CsvTest, QuotedNewline) {
+  auto rel = ReadCsvString("a,b\n\"line1\nline2\",2\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 1u);
+  EXPECT_EQ(rel->cell(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, EmptyFields) {
+  auto rel = ReadCsvString("a,b,c\n,,\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->cell(0, 0), "");
+  EXPECT_EQ(rel->cell(0, 2), "");
+}
+
+TEST(CsvTest, RejectsEmptyInput) {
+  EXPECT_TRUE(ReadCsvString("").status().IsIOError());
+}
+
+TEST(CsvTest, RejectsFieldCountMismatchWhenStrict) {
+  auto rel = ReadCsvString("a,b\n1\n");
+  EXPECT_TRUE(rel.status().IsIOError());
+}
+
+TEST(CsvTest, PadsWhenLenient) {
+  CsvOptions options;
+  options.strict_field_count = false;
+  auto rel = ReadCsvString("a,b\n1\n1,2,3\n", options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 2u);
+  EXPECT_EQ(rel->cell(0, 1), "");
+  EXPECT_EQ(rel->cell(1, 1), "2");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_TRUE(ReadCsvString("a\n\"oops\n").status().IsIOError());
+}
+
+TEST(CsvTest, SkipsTrailingBlankLine) {
+  auto rel = ReadCsvString("a,b\n1,2\n\n");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->num_rows(), 1u);
+}
+
+TEST(CsvTest, CustomSeparator) {
+  CsvOptions options;
+  options.separator = ';';
+  auto rel = ReadCsvString("a;b\n1;2\n", options);
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ(rel->cell(0, 1), "2");
+}
+
+TEST(CsvTest, WriteQuotesOnlyWhenNeeded) {
+  Relation rel = testing::MakeRelation(
+      {"a", "b"}, {{"plain", "has,comma"}, {"has\"quote", "has\nnewline"}});
+  const std::string csv = WriteCsvString(rel);
+  EXPECT_NE(csv.find("plain"), std::string::npos);
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTripPreservesContent) {
+  Relation original = testing::MakeRelation(
+      {"name", "note"},
+      {{"a,b", "x"}, {"q\"q", "multi\nline"}, {"", "plain"}});
+  auto parsed = ReadCsvString(WriteCsvString(original));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->num_rows(), original.num_rows());
+  for (RowId r = 0; r < original.num_rows(); ++r) {
+    EXPECT_EQ(parsed->Row(r), original.Row(r)) << "row " << r;
+  }
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Relation original = testing::Table1Relation();
+  const std::string path = ::testing::TempDir() + "/et_csv_test.csv";
+  ET_ASSERT_OK(WriteCsvFile(original, path));
+  auto parsed = ReadCsvFile(path);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->num_rows(), 5u);
+  EXPECT_EQ(parsed->cell(4, 0), "Miller");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReadCsvFile("/nonexistent/dir/file.csv").status().IsIOError());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,222 @@
+#include "data/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+TEST(GenerateFromSpecTest, ValidatesSpec) {
+  DatasetSpec empty;
+  empty.name = "x";
+  EXPECT_FALSE(GenerateFromSpec(empty, 10, 1).ok());
+
+  DatasetSpec dup;
+  dup.name = "x";
+  dup.attrs = {{"a", AttrSpec::Kind::kFree, 3, {}, "", 0.0},
+               {"a", AttrSpec::Kind::kFree, 3, {}, "", 0.0}};
+  EXPECT_FALSE(GenerateFromSpec(dup, 10, 1).ok());
+}
+
+TEST(GenerateFromSpecTest, RejectsForwardDeps) {
+  DatasetSpec spec;
+  spec.name = "x";
+  spec.attrs = {
+      {"b", AttrSpec::Kind::kDerived, 3, {"a"}, "", 0.0},
+      {"a", AttrSpec::Kind::kFree, 3, {}, "", 0.0},
+  };
+  EXPECT_FALSE(GenerateFromSpec(spec, 10, 1).ok());
+}
+
+TEST(GenerateFromSpecTest, RejectsFreeWithDeps) {
+  DatasetSpec spec;
+  spec.name = "x";
+  spec.attrs = {
+      {"a", AttrSpec::Kind::kFree, 3, {}, "", 0.0},
+      {"b", AttrSpec::Kind::kFree, 3, {"a"}, "", 0.0},
+  };
+  EXPECT_FALSE(GenerateFromSpec(spec, 10, 1).ok());
+}
+
+TEST(GenerateFromSpecTest, RejectsZeroDomain) {
+  DatasetSpec spec;
+  spec.name = "x";
+  spec.attrs = {{"a", AttrSpec::Kind::kFree, 0, {}, "", 0.0}};
+  EXPECT_FALSE(GenerateFromSpec(spec, 10, 1).ok());
+}
+
+TEST(GenerateFromSpecTest, RejectsBadNoise) {
+  DatasetSpec spec;
+  spec.name = "x";
+  spec.attrs = {
+      {"a", AttrSpec::Kind::kFree, 3, {}, "", 0.0},
+      {"b", AttrSpec::Kind::kDerived, 3, {"a"}, "", 1.0},
+  };
+  EXPECT_FALSE(GenerateFromSpec(spec, 10, 1).ok());
+}
+
+TEST(GenerateFromSpecTest, DerivedFDsHoldExactly) {
+  DatasetSpec spec;
+  spec.name = "t";
+  spec.attrs = {
+      {"k", AttrSpec::Kind::kFree, 8, {}, "k", 0.0},
+      {"v", AttrSpec::Kind::kDerived, 4, {"k"}, "v", 0.0},
+      {"w", AttrSpec::Kind::kDerived, 4, {"k", "v"}, "w", 0.0},
+  };
+  auto data = GenerateFromSpec(spec, 200, 5);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->clean_fds,
+            (std::vector<std::string>{"k->v", "k,v->w"}));
+  for (const std::string& text : data->clean_fds) {
+    const FD fd = MustParseFD(text, data->rel.schema());
+    EXPECT_EQ(G1(data->rel, fd), 0.0) << text;
+  }
+}
+
+TEST(GenerateFromSpecTest, NoisyDerivationViolatesApproximately) {
+  DatasetSpec spec;
+  spec.name = "t";
+  spec.attrs = {
+      {"k", AttrSpec::Kind::kFree, 5, {}, "k", 0.0},
+      {"v", AttrSpec::Kind::kDerived, 4, {"k"}, "v", 0.3},
+  };
+  auto data = GenerateFromSpec(spec, 300, 6);
+  ASSERT_TRUE(data.ok());
+  // Noisy FDs are not reported as clean.
+  EXPECT_TRUE(data->clean_fds.empty());
+  const FD fd = MustParseFD("k->v", data->rel.schema());
+  EXPECT_GT(G1(data->rel, fd), 0.0);
+  // But the FD still mostly holds.
+  EXPECT_GT(PairwiseConfidence(data->rel, fd), 0.4);
+}
+
+TEST(GenerateFromSpecTest, DeterministicInSeed) {
+  auto a = MakeOmdb(100, 42);
+  auto b = MakeOmdb(100, 42);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (RowId r = 0; r < a->rel.num_rows(); ++r) {
+    EXPECT_EQ(a->rel.Row(r), b->rel.Row(r));
+  }
+}
+
+TEST(GenerateFromSpecTest, DifferentSeedsDiffer) {
+  auto a = MakeOmdb(100, 1);
+  auto b = MakeOmdb(100, 2);
+  ASSERT_TRUE(a.ok() && b.ok());
+  bool any_diff = false;
+  for (RowId r = 0; r < a->rel.num_rows() && !any_diff; ++r) {
+    any_diff = a->rel.Row(r) != b->rel.Row(r);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+struct DatasetShape {
+  const char* name;
+  int attrs;
+  size_t min_clean_fds;
+};
+
+class DatasetSweep : public ::testing::TestWithParam<DatasetShape> {};
+
+TEST_P(DatasetSweep, MatchesDocumentedShape) {
+  const DatasetShape& shape = GetParam();
+  auto data = MakeDatasetByName(shape.name, 250, 11);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rel.num_rows(), 250u);
+  EXPECT_EQ(data->rel.num_columns(), shape.attrs);
+  EXPECT_GE(data->clean_fds.size(), shape.min_clean_fds);
+}
+
+TEST_P(DatasetSweep, CleanFdsHoldExactly) {
+  const DatasetShape& shape = GetParam();
+  auto data = MakeDatasetByName(shape.name, 250, 12);
+  ASSERT_TRUE(data.ok());
+  for (const std::string& text : data->clean_fds) {
+    const FD fd = MustParseFD(text, data->rel.schema());
+    EXPECT_EQ(ViolatingPairCount(data->rel, fd), 0u)
+        << shape.name << ": " << text;
+  }
+}
+
+TEST_P(DatasetSweep, CleanFdsHaveAgreeingPairs) {
+  // FDs that never fire carry no signal; generators must produce
+  // duplicate LHS values.
+  const DatasetShape& shape = GetParam();
+  auto data = MakeDatasetByName(shape.name, 400, 13);
+  ASSERT_TRUE(data.ok());
+  size_t with_pairs = 0;
+  for (const std::string& text : data->clean_fds) {
+    const FD fd = MustParseFD(text, data->rel.schema());
+    const Partition part = Partition::Build(data->rel, fd.lhs);
+    if (part.AgreeingPairCount() > 0) ++with_pairs;
+  }
+  EXPECT_GE(with_pairs, data->clean_fds.size() / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetSweep,
+    ::testing::Values(DatasetShape{"omdb", 6, 4},
+                      DatasetShape{"airport", 6, 5},
+                      DatasetShape{"hospital", 19, 6},
+                      DatasetShape{"tax", 15, 4}),
+    [](const ::testing::TestParamInfo<DatasetShape>& info) {
+      return info.param.name;
+    });
+
+TEST(MakeDatasetByNameTest, UnknownNameFails) {
+  EXPECT_TRUE(MakeDatasetByName("mystery", 10, 1).status().IsNotFound());
+}
+
+TEST(MakeDatasetByNameTest, CaseInsensitive) {
+  EXPECT_TRUE(MakeDatasetByName("OMDB", 10, 1).ok());
+}
+
+TEST(MakeDatasetByNameTest, ListsAllDatasets) {
+  const auto names = AvailableDatasets();
+  EXPECT_EQ(names.size(), 4u);
+  for (const std::string& name : names) {
+    EXPECT_TRUE(MakeDatasetByName(name, 20, 1).ok()) << name;
+  }
+}
+
+TEST(HospitalTest, Has19AttributesAnd6DocumentedFds) {
+  auto data = MakeHospital(150, 3);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rel.num_columns(), 19);
+  // The 6 documented FDs must be among the construction FDs.
+  const std::vector<std::string> documented = {
+      "ProviderNumber->HospitalName", "ZipCode->City", "ZipCode->State",
+      "PhoneNumber->ZipCode", "MeasureCode->MeasureName",
+      "MeasureCode->Condition"};
+  for (const std::string& fd : documented) {
+    EXPECT_NE(std::find(data->clean_fds.begin(), data->clean_fds.end(),
+                        fd),
+              data->clean_fds.end())
+        << fd;
+  }
+}
+
+TEST(TaxTest, Has15AttributesAndDocumentedFds) {
+  auto data = MakeTax(150, 3);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->rel.num_columns(), 15);
+  const std::vector<std::string> documented = {
+      "Zip->AreaCode", "AreaCode->State", "Zip->City",
+      "State->SingleExemp"};
+  for (const std::string& fd : documented) {
+    EXPECT_NE(std::find(data->clean_fds.begin(), data->clean_fds.end(),
+                        fd),
+              data->clean_fds.end())
+        << fd;
+  }
+  // Zip->State holds transitively through AreaCode.
+  const FD zip_state = MustParseFD("Zip->State", data->rel.schema());
+  EXPECT_EQ(ViolatingPairCount(data->rel, zip_state), 0u);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,61 @@
+#include "data/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(DictionaryTest, AssignsSequentialCodes) {
+  Dictionary d;
+  EXPECT_EQ(d.GetOrAdd("a"), 0u);
+  EXPECT_EQ(d.GetOrAdd("b"), 1u);
+  EXPECT_EQ(d.GetOrAdd("c"), 2u);
+  EXPECT_EQ(d.size(), 3u);
+}
+
+TEST(DictionaryTest, CodesAreStable) {
+  Dictionary d;
+  const auto a = d.GetOrAdd("a");
+  d.GetOrAdd("b");
+  EXPECT_EQ(d.GetOrAdd("a"), a);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupRoundTrips) {
+  Dictionary d;
+  const auto code = d.GetOrAdd("hello");
+  EXPECT_EQ(d.Lookup(code), "hello");
+}
+
+TEST(DictionaryTest, FindMissingReturnsInvalid) {
+  Dictionary d;
+  d.GetOrAdd("x");
+  EXPECT_EQ(d.Find("y"), Dictionary::kInvalidCode);
+  EXPECT_EQ(d.Find("x"), 0u);
+}
+
+TEST(DictionaryTest, EmptyStringIsAValue) {
+  Dictionary d;
+  const auto code = d.GetOrAdd("");
+  EXPECT_EQ(d.Lookup(code), "");
+  EXPECT_EQ(d.Find(""), code);
+}
+
+TEST(DictionaryTest, EmptyDictionary) {
+  Dictionary d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+TEST(DictionaryTest, ManyValues) {
+  Dictionary d;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(d.GetOrAdd("v" + std::to_string(i)),
+              static_cast<Dictionary::Code>(i));
+  }
+  EXPECT_EQ(d.size(), 1000u);
+  EXPECT_EQ(d.Lookup(577), "v577");
+}
+
+}  // namespace
+}  // namespace et

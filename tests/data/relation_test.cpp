@@ -1,0 +1,112 @@
+#include "data/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+
+TEST(RelationTest, EmptyRelation) {
+  Relation rel(*Schema::Make({"a", "b"}));
+  EXPECT_EQ(rel.num_rows(), 0u);
+  EXPECT_EQ(rel.num_columns(), 2);
+}
+
+TEST(RelationTest, AppendAndRead) {
+  Relation rel(*Schema::Make({"a", "b"}));
+  ET_ASSERT_OK(rel.AppendRow({"x", "y"}));
+  ET_ASSERT_OK(rel.AppendRow({"x", "z"}));
+  EXPECT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.cell(0, 0), "x");
+  EXPECT_EQ(rel.cell(1, 1), "z");
+}
+
+TEST(RelationTest, SharedValuesShareCodes) {
+  Relation rel = MakeRelation({"a"}, {{"v"}, {"v"}, {"w"}});
+  EXPECT_EQ(rel.code(0, 0), rel.code(1, 0));
+  EXPECT_NE(rel.code(0, 0), rel.code(2, 0));
+}
+
+TEST(RelationTest, CodesAreColumnLocal) {
+  // The same string in different columns may get different codes;
+  // equality is only ever tested within a column.
+  Relation rel = MakeRelation({"a", "b"}, {{"x", "x"}});
+  EXPECT_EQ(rel.cell(0, 0), rel.cell(0, 1));
+}
+
+TEST(RelationTest, AppendRejectsWrongWidth) {
+  Relation rel(*Schema::Make({"a", "b"}));
+  EXPECT_TRUE(rel.AppendRow({"only one"}).IsInvalidArgument());
+  EXPECT_TRUE(rel.AppendRow({"1", "2", "3"}).IsInvalidArgument());
+  EXPECT_EQ(rel.num_rows(), 0u);
+}
+
+TEST(RelationTest, SetCellOverwrites) {
+  Relation rel = MakeRelation({"a", "b"}, {{"x", "y"}});
+  ET_ASSERT_OK(rel.SetCell(0, 1, "new"));
+  EXPECT_EQ(rel.cell(0, 1), "new");
+  EXPECT_EQ(rel.cell(0, 0), "x");
+}
+
+TEST(RelationTest, SetCellChecksBounds) {
+  Relation rel = MakeRelation({"a"}, {{"x"}});
+  EXPECT_TRUE(rel.SetCell(5, 0, "v").IsOutOfRange());
+  EXPECT_TRUE(rel.SetCell(0, 3, "v").IsOutOfRange());
+  EXPECT_TRUE(rel.SetCell(0, -1, "v").IsOutOfRange());
+}
+
+TEST(RelationTest, RowReturnsAllCells) {
+  Relation rel = MakeRelation({"a", "b", "c"}, {{"1", "2", "3"}});
+  EXPECT_EQ(rel.Row(0), (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(RelationTest, DistinctCount) {
+  Relation rel = MakeRelation({"a"}, {{"x"}, {"y"}, {"x"}, {"z"}});
+  EXPECT_EQ(rel.DistinctCount(0), 3u);
+}
+
+TEST(RelationTest, SelectSubset) {
+  Relation rel =
+      MakeRelation({"a"}, {{"r0"}, {"r1"}, {"r2"}, {"r3"}});
+  auto sub = rel.Select({3, 1});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_rows(), 2u);
+  EXPECT_EQ(sub->cell(0, 0), "r3");
+  EXPECT_EQ(sub->cell(1, 0), "r1");
+}
+
+TEST(RelationTest, SelectOutOfRangeFails) {
+  Relation rel = MakeRelation({"a"}, {{"x"}});
+  EXPECT_TRUE(rel.Select({0, 9}).status().IsOutOfRange());
+}
+
+TEST(RelationTest, SelectEmpty) {
+  Relation rel = MakeRelation({"a"}, {{"x"}});
+  auto sub = rel.Select({});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_rows(), 0u);
+}
+
+TEST(RelationTest, RowsEqualOn) {
+  Relation rel = MakeRelation({"a", "b", "c"},
+                              {{"x", "1", "p"}, {"x", "2", "p"}});
+  EXPECT_TRUE(rel.RowsEqualOn(0, 1, {0}));
+  EXPECT_TRUE(rel.RowsEqualOn(0, 1, {0, 2}));
+  EXPECT_FALSE(rel.RowsEqualOn(0, 1, {1}));
+  EXPECT_FALSE(rel.RowsEqualOn(0, 1, {0, 1}));
+  EXPECT_TRUE(rel.RowsEqualOn(0, 1, {}));
+}
+
+TEST(RelationTest, Table1Shape) {
+  Relation rel = testing::Table1Relation();
+  EXPECT_EQ(rel.num_rows(), 5u);
+  EXPECT_EQ(rel.num_columns(), 5);
+  EXPECT_EQ(rel.cell(1, 1), "Lakers");
+  EXPECT_EQ(rel.DistinctCount(1), 3u);  // Lakers, Bulls, Clippers
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,66 @@
+#include "data/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+TEST(SchemaTest, MakeValid) {
+  auto s = Schema::Make({"a", "b", "c"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_attributes(), 3);
+  EXPECT_EQ(s->name(0), "a");
+  EXPECT_EQ(s->name(2), "c");
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_TRUE(Schema::Make({}).status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({"a", ""}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicates) {
+  auto s = Schema::Make({"a", "b", "a"});
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsTooManyAttributes) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kMaxAttributes + 1; ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  EXPECT_FALSE(Schema::Make(names).ok());
+}
+
+TEST(SchemaTest, AcceptsExactlyMaxAttributes) {
+  std::vector<std::string> names;
+  for (int i = 0; i < kMaxAttributes; ++i) {
+    names.push_back("a" + std::to_string(i));
+  }
+  EXPECT_TRUE(Schema::Make(names).ok());
+}
+
+TEST(SchemaTest, IndexOf) {
+  auto s = Schema::Make({"x", "y"});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(*s->IndexOf("y"), 1);
+  EXPECT_TRUE(s->IndexOf("z").status().IsNotFound());
+  EXPECT_TRUE(s->Contains("x"));
+  EXPECT_FALSE(s->Contains("z"));
+}
+
+TEST(SchemaTest, Equality) {
+  auto a = Schema::Make({"x", "y"});
+  auto b = Schema::Make({"x", "y"});
+  auto c = Schema::Make({"y", "x"});
+  EXPECT_EQ(*a, *b);
+  EXPECT_NE(*a, *c);
+}
+
+}  // namespace
+}  // namespace et

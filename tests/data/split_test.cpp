@@ -1,0 +1,94 @@
+#include "data/split.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+TEST(SplitTest, PartitionsAllRows) {
+  Rng rng(1);
+  auto split = TrainTestSplit(100, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train.size() + split->test.size(), 100u);
+  std::set<RowId> all(split->train.begin(), split->train.end());
+  all.insert(split->test.begin(), split->test.end());
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitTest, TestFractionRespected) {
+  Rng rng(2);
+  auto split = TrainTestSplit(200, 0.3, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->test.size(), 60u);
+}
+
+TEST(SplitTest, RejectsBadFraction) {
+  Rng rng(3);
+  EXPECT_FALSE(TrainTestSplit(10, -0.1, rng).ok());
+  EXPECT_FALSE(TrainTestSplit(10, 1.5, rng).ok());
+}
+
+TEST(SplitTest, ZeroFraction) {
+  Rng rng(4);
+  auto split = TrainTestSplit(10, 0.0, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(split->test.empty());
+  EXPECT_EQ(split->train.size(), 10u);
+}
+
+TEST(SplitTest, BothSidesNonEmptyForPositiveFraction) {
+  Rng rng(5);
+  // Fraction small enough to round to zero: still at least one test row.
+  auto split = TrainTestSplit(10, 0.01, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GE(split->test.size(), 1u);
+  EXPECT_GE(split->train.size(), 1u);
+}
+
+TEST(SplitTest, FullFractionKeepsOneTrainRow) {
+  Rng rng(6);
+  auto split = TrainTestSplit(10, 1.0, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_GE(split->train.size(), 1u);
+}
+
+TEST(SplitTest, OutputSorted) {
+  Rng rng(7);
+  auto split = TrainTestSplit(50, 0.4, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_TRUE(std::is_sorted(split->train.begin(), split->train.end()));
+  EXPECT_TRUE(std::is_sorted(split->test.begin(), split->test.end()));
+}
+
+TEST(SplitTest, DeterministicInSeed) {
+  Rng a(9);
+  Rng b(9);
+  auto s1 = TrainTestSplit(80, 0.25, a);
+  auto s2 = TrainTestSplit(80, 0.25, b);
+  EXPECT_EQ(s1->test, s2->test);
+  EXPECT_EQ(s1->train, s2->train);
+}
+
+TEST(SampleRowsTest, DistinctWithinRange) {
+  Relation rel = testing::MakeRelation(
+      {"a"}, {{"1"}, {"2"}, {"3"}, {"4"}, {"5"}});
+  Rng rng(10);
+  auto rows = SampleRows(rel, 3, rng);
+  ASSERT_TRUE(rows.ok());
+  std::set<RowId> uniq(rows->begin(), rows->end());
+  EXPECT_EQ(uniq.size(), 3u);
+  for (RowId r : *rows) EXPECT_LT(r, 5u);
+}
+
+TEST(SampleRowsTest, RejectsOversample) {
+  Relation rel = testing::MakeRelation({"a"}, {{"1"}});
+  Rng rng(11);
+  EXPECT_FALSE(SampleRows(rel, 2, rng).ok());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,187 @@
+#include "errgen/error_generator.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+class ErrorGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeOmdb(300, 31);
+    ET_ASSERT_OK(data.status());
+    rel_ = std::move(data->rel);
+    for (const std::string& text : data->clean_fds) {
+      clean_fds_.push_back(MustParseFD(text, rel_.schema()));
+    }
+  }
+  Relation rel_;
+  std::vector<FD> clean_fds_;
+};
+
+TEST_F(ErrorGeneratorTest, StartsClean) {
+  ErrorGenerator gen(&rel_, 1);
+  EXPECT_EQ(gen.ground_truth().NumDirtyRows(), 0u);
+  EXPECT_EQ(gen.MeasureDegree(clean_fds_), 0.0);
+}
+
+TEST_F(ErrorGeneratorTest, InjectViolationCreatesViolatingPair) {
+  const FD fd = clean_fds_.front();
+  ASSERT_EQ(ViolatingPairCount(rel_, fd), 0u);
+  ErrorGenerator gen(&rel_, 2);
+  auto ok = gen.InjectViolation(fd);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(*ok);
+  EXPECT_GT(ViolatingPairCount(rel_, fd), 0u);
+  EXPECT_EQ(gen.ground_truth().NumDirtyRows(), 1u);
+  ASSERT_EQ(gen.ground_truth().dirty_cells.size(), 1u);
+  EXPECT_EQ(gen.ground_truth().dirty_cells[0].col, fd.rhs);
+}
+
+TEST_F(ErrorGeneratorTest, DirtyCellHoldsFreshValue) {
+  const FD fd = clean_fds_.front();
+  ErrorGenerator gen(&rel_, 3);
+  ASSERT_TRUE(gen.InjectViolation(fd).ok());
+  const Cell cell = gen.ground_truth().dirty_cells[0];
+  EXPECT_EQ(rel_.cell(cell.row, cell.col).rfind("ERR_", 0), 0u);
+}
+
+TEST_F(ErrorGeneratorTest, InjectViolationsCountsInjected) {
+  const FD fd = clean_fds_.front();
+  ErrorGenerator gen(&rel_, 4);
+  auto n = gen.InjectViolations(fd, 10);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 10u);
+  EXPECT_EQ(gen.ground_truth().NumDirtyRows(), 10u);
+  EXPECT_GE(ViolatingPairCount(rel_, fd), 10u);
+}
+
+TEST_F(ErrorGeneratorTest, RejectsForeignFd) {
+  ErrorGenerator gen(&rel_, 5);
+  // RHS out of range for this schema.
+  EXPECT_FALSE(gen.InjectViolation(FD(AttrSet::Single(0), 25)).ok());
+}
+
+TEST_F(ErrorGeneratorTest, DegreeIncreasesMonotonically) {
+  ErrorGenerator gen(&rel_, 6);
+  double last = gen.MeasureDegree(clean_fds_);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(gen.InjectViolation(clean_fds_[i % clean_fds_.size()]).ok());
+    const double now = gen.MeasureDegree(clean_fds_);
+    EXPECT_GE(now, last);
+    last = now;
+  }
+}
+
+TEST_F(ErrorGeneratorTest, InjectToDegreeReachesTarget) {
+  ErrorGenerator gen(&rel_, 7);
+  ET_ASSERT_OK(gen.InjectToDegree(clean_fds_, 0.15));
+  EXPECT_GE(gen.MeasureDegree(clean_fds_), 0.15);
+  // And does not wildly overshoot.
+  EXPECT_LT(gen.MeasureDegree(clean_fds_), 0.30);
+}
+
+TEST_F(ErrorGeneratorTest, InjectToDegreeValidatesArgs) {
+  ErrorGenerator gen(&rel_, 8);
+  EXPECT_FALSE(gen.InjectToDegree(clean_fds_, -0.1).ok());
+  EXPECT_FALSE(gen.InjectToDegree(clean_fds_, 1.0).ok());
+  EXPECT_FALSE(gen.InjectToDegree({}, 0.1).ok());
+}
+
+TEST_F(ErrorGeneratorTest, ZeroDegreeIsNoOp) {
+  ErrorGenerator gen(&rel_, 9);
+  ET_ASSERT_OK(gen.InjectToDegree(clean_fds_, 0.0));
+  EXPECT_EQ(gen.ground_truth().NumDirtyRows(), 0u);
+}
+
+TEST_F(ErrorGeneratorTest, RatioInjectsMoreAlternativeViolations) {
+  const FD target = MustParseFD("rating->type", rel_.schema());
+  const FD alt = MustParseFD("title->year", rel_.schema());
+  ErrorGenerator gen(&rel_, 10);
+  // Ratio 1/3: 3 alternative violations per target violation. Each
+  // injection scrambles one RHS cell, so count dirty cells per column.
+  ET_ASSERT_OK(gen.InjectWithRatio({target}, {alt}, 8, 1, 3));
+  size_t target_errs = 0;
+  size_t alt_errs = 0;
+  for (const Cell& cell : gen.ground_truth().dirty_cells) {
+    if (cell.col == target.rhs) ++target_errs;
+    if (cell.col == alt.rhs) ++alt_errs;
+  }
+  EXPECT_EQ(target_errs, 8u);
+  EXPECT_EQ(alt_errs, 24u);
+  EXPECT_GE(ViolatingPairCount(rel_, target), 1u);
+  EXPECT_GE(ViolatingPairCount(rel_, alt), 1u);
+}
+
+TEST_F(ErrorGeneratorTest, RatioValidatesArgs) {
+  const FD target = clean_fds_.front();
+  ErrorGenerator gen(&rel_, 11);
+  EXPECT_FALSE(gen.InjectWithRatio({target}, {}, 5, 0, 3).ok());
+  EXPECT_FALSE(gen.InjectWithRatio({target}, {}, 5, 1, 0).ok());
+  EXPECT_FALSE(gen.InjectWithRatio({}, {target}, 5, 1, 3).ok());
+}
+
+TEST_F(ErrorGeneratorTest, GroundTruthMatchesMutatedCells) {
+  auto pristine = MakeOmdb(300, 31);  // same seed as SetUp
+  ASSERT_TRUE(pristine.ok());
+  ErrorGenerator gen(&rel_, 12);
+  ET_ASSERT_OK(gen.InjectToDegree(clean_fds_, 0.10));
+  const DirtyGroundTruth& truth = gen.ground_truth();
+  // Every cell that differs from the pristine copy is flagged dirty.
+  for (RowId r = 0; r < rel_.num_rows(); ++r) {
+    bool differs = false;
+    for (int c = 0; c < rel_.num_columns(); ++c) {
+      if (rel_.cell(r, c) != pristine->rel.cell(r, c)) differs = true;
+    }
+    EXPECT_EQ(differs, static_cast<bool>(truth.dirty_rows[r]))
+        << "row " << r;
+  }
+}
+
+TEST_F(ErrorGeneratorTest, DeterministicInSeed) {
+  auto data2 = MakeOmdb(300, 31);
+  ASSERT_TRUE(data2.ok());
+  Relation rel2 = std::move(data2->rel);
+
+  ErrorGenerator g1(&rel_, 55);
+  ErrorGenerator g2(&rel2, 55);
+  ET_ASSERT_OK(g1.InjectToDegree(clean_fds_, 0.08));
+  ET_ASSERT_OK(g2.InjectToDegree(clean_fds_, 0.08));
+  for (RowId r = 0; r < rel_.num_rows(); ++r) {
+    EXPECT_EQ(rel_.Row(r), rel2.Row(r));
+  }
+}
+
+TEST(ErrorGeneratorEdgeTest, ExhaustsTinyRelation) {
+  // 2 identical rows: one injection possible, then no satisfied pair
+  // remains.
+  Relation rel = testing::MakeRelation(
+      {"k", "v"}, {{"a", "x"}, {"a", "x"}});
+  const FD fd = testing::MustParseFD("k->v", rel.schema());
+  ErrorGenerator gen(&rel, 13);
+  auto first = gen.InjectViolation(fd);
+  ASSERT_TRUE(first.ok());
+  EXPECT_TRUE(*first);
+  auto second = gen.InjectViolation(fd);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(*second);
+}
+
+TEST(ErrorGeneratorEdgeTest, InjectViolationsStopsEarlyGracefully) {
+  Relation rel = testing::MakeRelation(
+      {"k", "v"}, {{"a", "x"}, {"a", "x"}});
+  const FD fd = testing::MustParseFD("k->v", rel.schema());
+  ErrorGenerator gen(&rel, 14);
+  auto n = gen.InjectViolations(fd, 100);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1u);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,123 @@
+#include "exp/convergence_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+ConvergenceConfig SmallConfig() {
+  ConvergenceConfig config;
+  config.dataset = "omdb";
+  config.rows = 150;
+  config.iterations = 8;
+  config.repetitions = 2;
+  config.violation_degree = 0.10;
+  return config;
+}
+
+TEST(ConvergenceExperimentTest, RunsAllFourPoliciesByDefault) {
+  auto result = RunConvergenceExperiment(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->methods.size(), 4u);
+  for (const MethodSeries& m : result->methods) {
+    EXPECT_EQ(m.mae.size(), 8u);
+    EXPECT_TRUE(m.f1.empty());
+    EXPECT_GT(m.initial_mae, 0.0);
+    for (double mae : m.mae) {
+      EXPECT_GE(mae, 0.0);
+      EXPECT_LE(mae, 1.0);
+    }
+  }
+}
+
+TEST(ConvergenceExperimentTest, AchievedDegreeNearTarget) {
+  auto result = RunConvergenceExperiment(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->achieved_degree, 0.10);
+  EXPECT_LT(result->achieved_degree, 0.30);
+}
+
+TEST(ConvergenceExperimentTest, MaeDecreasesOverTheRun) {
+  ConvergenceConfig config = SmallConfig();
+  config.iterations = 20;
+  auto result = RunConvergenceExperiment(config);
+  ASSERT_TRUE(result.ok());
+  for (const MethodSeries& m : result->methods) {
+    EXPECT_LT(m.mae.back(), m.mae.front())
+        << PolicyKindToString(m.policy);
+  }
+}
+
+TEST(ConvergenceExperimentTest, PolicySubsetHonored) {
+  ConvergenceConfig config = SmallConfig();
+  config.policies = {PolicyKind::kRandom};
+  auto result = RunConvergenceExperiment(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->methods.size(), 1u);
+  EXPECT_EQ(result->methods[0].policy, PolicyKind::kRandom);
+}
+
+TEST(ConvergenceExperimentTest, F1SeriesWhenRequested) {
+  ConvergenceConfig config = SmallConfig();
+  config.compute_f1 = true;
+  auto result = RunConvergenceExperiment(config);
+  ASSERT_TRUE(result.ok());
+  for (const MethodSeries& m : result->methods) {
+    ASSERT_EQ(m.f1.size(), config.iterations);
+    for (double f1 : m.f1) {
+      EXPECT_GE(f1, 0.0);
+      EXPECT_LE(f1, 1.0);
+    }
+  }
+}
+
+TEST(ConvergenceExperimentTest, DeterministicInSeed) {
+  auto a = RunConvergenceExperiment(SmallConfig());
+  auto b = RunConvergenceExperiment(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t m = 0; m < a->methods.size(); ++m) {
+    EXPECT_EQ(a->methods[m].mae, b->methods[m].mae);
+  }
+}
+
+TEST(ConvergenceExperimentTest, SeedChangesResults) {
+  ConvergenceConfig config = SmallConfig();
+  auto a = RunConvergenceExperiment(config);
+  config.seed = 777;
+  auto b = RunConvergenceExperiment(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->methods[0].mae, b->methods[0].mae);
+}
+
+TEST(ConvergenceExperimentTest, AllDatasetsRun) {
+  for (const char* dataset : {"omdb", "airport", "hospital", "tax"}) {
+    ConvergenceConfig config = SmallConfig();
+    config.dataset = dataset;
+    config.iterations = 4;
+    config.repetitions = 1;
+    config.policies = {PolicyKind::kStochasticUncertainty};
+    auto result = RunConvergenceExperiment(config);
+    ET_EXPECT_OK(result.status());
+  }
+}
+
+TEST(ConvergenceExperimentTest, ValidatesConfig) {
+  ConvergenceConfig config = SmallConfig();
+  config.repetitions = 0;
+  EXPECT_FALSE(RunConvergenceExperiment(config).ok());
+  config = SmallConfig();
+  config.dataset = "unknown";
+  EXPECT_FALSE(RunConvergenceExperiment(config).ok());
+}
+
+TEST(PriorKindTest, Names) {
+  EXPECT_STREQ(PriorKindToString(PriorKind::kUniform), "Uniform");
+  EXPECT_STREQ(PriorKindToString(PriorKind::kRandom), "Random");
+  EXPECT_STREQ(PriorKindToString(PriorKind::kDataEstimate),
+               "Data-estimate");
+}
+
+}  // namespace
+}  // namespace et

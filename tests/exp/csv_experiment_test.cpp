@@ -1,0 +1,92 @@
+// The "csv:<path>" dataset path of the convergence experiment: running
+// the exploratory-training harness on user-supplied CSV data.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "exp/convergence_experiment.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+class CsvExperimentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test process: ctest runs each TEST in parallel and
+    // they must not race on the file.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
+    path_ = ::testing::TempDir() + "/et_csv_experiment_" +
+            std::to_string(getpid()) + "_" + info->name() + ".csv";
+    // Materialize a synthetic OMDB extract as the "user's CSV".
+    auto data = MakeOmdb(200, 77);
+    ET_ASSERT_OK(data.status());
+    ET_ASSERT_OK(WriteCsvFile(data->rel, path_));
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  ConvergenceConfig BaseConfig() {
+    ConvergenceConfig config;
+    config.dataset = "csv:" + path_;
+    config.iterations = 6;
+    config.repetitions = 2;
+    config.violation_degree = 0.08;
+    config.policies = {PolicyKind::kStochasticUncertainty};
+    return config;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvExperimentTest, RunsOnCsvData) {
+  auto result = RunConvergenceExperiment(BaseConfig());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->methods.size(), 1u);
+  EXPECT_EQ(result->methods[0].mae.size(), 6u);
+  EXPECT_GE(result->achieved_degree, 0.08);
+}
+
+TEST_F(CsvExperimentTest, ZeroDegreeRunsOnDataAsIs) {
+  ConvergenceConfig config = BaseConfig();
+  config.violation_degree = 0.0;
+  auto result = RunConvergenceExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Clean planted data: no violations among watched discovered FDs.
+  EXPECT_EQ(result->achieved_degree, 0.0);
+}
+
+TEST_F(CsvExperimentTest, F1PathWorksOnCsv) {
+  ConvergenceConfig config = BaseConfig();
+  config.compute_f1 = true;
+  auto result = RunConvergenceExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->methods[0].f1.size(), 6u);
+}
+
+TEST_F(CsvExperimentTest, MissingFileFails) {
+  ConvergenceConfig config = BaseConfig();
+  config.dataset = "csv:/nonexistent/file.csv";
+  EXPECT_FALSE(RunConvergenceExperiment(config).ok());
+}
+
+TEST_F(CsvExperimentTest, TinyCsvFails) {
+  const std::string tiny = ::testing::TempDir() + "/et_tiny.csv";
+  std::ofstream out(tiny);
+  out << "a,b\n1,2\n";
+  out.close();
+  ConvergenceConfig config = BaseConfig();
+  config.dataset = "csv:" + tiny;
+  EXPECT_FALSE(RunConvergenceExperiment(config).ok());
+  std::remove(tiny.c_str());
+}
+
+}  // namespace
+}  // namespace et

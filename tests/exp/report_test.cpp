@@ -1,0 +1,65 @@
+#include "exp/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+TEST(TableReporterTest, FormatsAlignedTable) {
+  TableReporter table({"name", "value"});
+  ET_ASSERT_OK(table.AddRow({"alpha", "1"}));
+  ET_ASSERT_OK(table.AddRow({"b", "12345"}));
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| name  | value |"), std::string::npos);
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 12345 |"), std::string::npos);
+  // Separators present.
+  EXPECT_NE(out.find("+-------+-------+"), std::string::npos);
+}
+
+TEST(TableReporterTest, RejectsWidthMismatch) {
+  TableReporter table({"a", "b"});
+  EXPECT_FALSE(table.AddRow({"only one"}).ok());
+}
+
+TEST(TableReporterTest, EmptyTableStillRendersHeader) {
+  TableReporter table({"x"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| x |"), std::string::npos);
+}
+
+TEST(TableReporterTest, NumFormatting) {
+  EXPECT_EQ(TableReporter::Num(0.123456), "0.1235");
+  EXPECT_EQ(TableReporter::Num(2.0, 1), "2.0");
+  EXPECT_EQ(TableReporter::Num(10, 0), "10");
+}
+
+TEST(WriteCsvTest, WritesHeaderAndRows) {
+  const std::string path = ::testing::TempDir() + "/et_report_test.csv";
+  ET_ASSERT_OK(WriteCsv(path, {"a", "b"}, {{"1", "2"}, {"3", "4"}}));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_EQ(ss.str(), "a,b\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, RejectsRowWidthMismatch) {
+  const std::string path = ::testing::TempDir() + "/et_report_bad.csv";
+  EXPECT_FALSE(WriteCsv(path, {"a", "b"}, {{"1"}}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WriteCsvTest, BadPathIsIOError) {
+  EXPECT_TRUE(
+      WriteCsv("/nonexistent/x/y.csv", {"a"}, {}).IsIOError());
+}
+
+}  // namespace
+}  // namespace et

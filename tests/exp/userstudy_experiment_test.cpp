@@ -1,0 +1,90 @@
+#include "exp/userstudy_experiment.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+UserStudyConfig SmallConfig() {
+  UserStudyConfig config;
+  config.participants = 6;
+  config.instance.rows = 120;
+  config.instance.target_violations = 12;
+  return config;
+}
+
+TEST(UserStudyExperimentTest, ProducesAllScenarioModelScores) {
+  auto result = RunUserStudy(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  // 5 scenarios x 2 models (Bayesian, HT).
+  EXPECT_EQ(result->fig2.size(), 10u);
+  EXPECT_EQ(result->table3.size(), 5u);
+  for (const ModelScenarioScore& s : result->fig2) {
+    EXPECT_GE(s.mrr, 0.0);
+    EXPECT_LE(s.mrr, 1.0);
+    EXPECT_GE(s.mrr_plus, 0.0);
+    EXPECT_LE(s.mrr_plus, 1.0);
+    EXPECT_EQ(s.sessions, 6u);
+  }
+}
+
+TEST(UserStudyExperimentTest, ModelFreeOptIn) {
+  UserStudyConfig config = SmallConfig();
+  config.include_model_free = true;
+  auto result = RunUserStudy(config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->fig2.size(), 15u);
+}
+
+TEST(UserStudyExperimentTest, BayesianBeatsHypothesisTesting) {
+  // The paper's headline user-study finding, on average across
+  // scenarios.
+  auto result = RunUserStudy(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  double bayes = 0.0;
+  double ht = 0.0;
+  for (const ModelScenarioScore& s : result->fig2) {
+    if (s.model == "Bayesian(FP)") bayes += s.mrr;
+    if (s.model == "HypothesisTesting") ht += s.mrr;
+  }
+  EXPECT_GT(bayes, ht);
+}
+
+TEST(UserStudyExperimentTest, Table3ChangesAreMeaningful) {
+  auto result = RunUserStudy(SmallConfig());
+  ASSERT_TRUE(result.ok());
+  for (const ScenarioF1Change& row : result->table3) {
+    EXPECT_GE(row.avg_f1_change, 0.0);
+    EXPECT_LE(row.avg_f1_change, 1.0);
+  }
+  // At least some scenarios show substantial belief revision.
+  size_t large = 0;
+  for (const ScenarioF1Change& row : result->table3) {
+    large += (row.avg_f1_change > 0.03);
+  }
+  EXPECT_GE(large, 3u);
+}
+
+TEST(UserStudyExperimentTest, DeterministicInSeed) {
+  auto a = RunUserStudy(SmallConfig());
+  auto b = RunUserStudy(SmallConfig());
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (size_t i = 0; i < a->fig2.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->fig2[i].mrr, b->fig2[i].mrr);
+  }
+  for (size_t i = 0; i < a->table3.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->table3[i].avg_f1_change,
+                     b->table3[i].avg_f1_change);
+  }
+}
+
+TEST(UserStudyExperimentTest, ValidatesConfig) {
+  UserStudyConfig config = SmallConfig();
+  config.participants = 0;
+  EXPECT_FALSE(RunUserStudy(config).ok());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,117 @@
+#include "fd/attrset.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(AttrSetTest, EmptySet) {
+  AttrSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0);
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(AttrSetTest, SingleAndOf) {
+  const AttrSet a = AttrSet::Single(3);
+  EXPECT_EQ(a.size(), 1);
+  EXPECT_TRUE(a.Contains(3));
+  EXPECT_FALSE(a.Contains(2));
+
+  const AttrSet b = AttrSet::Of({0, 2, 5});
+  EXPECT_EQ(b.size(), 3);
+  EXPECT_TRUE(b.Contains(0));
+  EXPECT_TRUE(b.Contains(2));
+  EXPECT_TRUE(b.Contains(5));
+  EXPECT_FALSE(b.Contains(1));
+}
+
+TEST(AttrSetTest, FullSet) {
+  EXPECT_EQ(AttrSet::FullSet(5).size(), 5);
+  EXPECT_EQ(AttrSet::FullSet(32).size(), 32);
+  EXPECT_EQ(AttrSet::FullSet(0).size(), 0);
+}
+
+TEST(AttrSetTest, SetAlgebra) {
+  const AttrSet a = AttrSet::Of({0, 1});
+  const AttrSet b = AttrSet::Of({1, 2});
+  EXPECT_EQ(a.Union(b), AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(a.Intersect(b), AttrSet::Single(1));
+  EXPECT_EQ(a.Without(b), AttrSet::Single(0));
+  EXPECT_EQ(a.With(4), AttrSet::Of({0, 1, 4}));
+  EXPECT_EQ(a.WithoutAttr(0), AttrSet::Single(1));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_FALSE(a.Intersects(AttrSet::Single(7)));
+}
+
+TEST(AttrSetTest, SubsetRelations) {
+  const AttrSet small = AttrSet::Of({1});
+  const AttrSet big = AttrSet::Of({0, 1, 2});
+  EXPECT_TRUE(big.ContainsAll(small));
+  EXPECT_FALSE(small.ContainsAll(big));
+  EXPECT_TRUE(small.IsProperSubsetOf(big));
+  EXPECT_FALSE(big.IsProperSubsetOf(small));
+  EXPECT_FALSE(big.IsProperSubsetOf(big));
+  EXPECT_TRUE(big.ContainsAll(big));
+  // Empty set is a subset of everything.
+  EXPECT_TRUE(AttrSet().IsProperSubsetOf(small));
+  EXPECT_TRUE(small.ContainsAll(AttrSet()));
+}
+
+TEST(AttrSetTest, ToIndicesAscending) {
+  EXPECT_EQ(AttrSet::Of({5, 0, 3}).ToIndices(),
+            (std::vector<int>{0, 3, 5}));
+  EXPECT_TRUE(AttrSet().ToIndices().empty());
+}
+
+TEST(AttrSetTest, ToStringUsesSchemaNames) {
+  const Schema schema = *Schema::Make({"x", "y", "z"});
+  EXPECT_EQ(AttrSet::Of({0, 2}).ToString(schema), "x,z");
+  EXPECT_EQ(AttrSet().ToString(schema), "{}");
+}
+
+TEST(AttrSetTest, Ordering) {
+  EXPECT_LT(AttrSet::Single(0), AttrSet::Single(1));
+  EXPECT_LT(AttrSet::Single(1), AttrSet::Of({0, 1}));
+}
+
+TEST(EnumerateSubsetsTest, CountsMatchBinomials) {
+  const AttrSet u = AttrSet::FullSet(5);
+  EXPECT_EQ(EnumerateSubsets(u, 1, 1).size(), 5u);
+  EXPECT_EQ(EnumerateSubsets(u, 2, 2).size(), 10u);
+  EXPECT_EQ(EnumerateSubsets(u, 1, 5).size(), 31u);  // 2^5 - 1
+  EXPECT_EQ(EnumerateSubsets(u, 3, 3).size(), 10u);
+}
+
+TEST(EnumerateSubsetsTest, RespectsUniverse) {
+  const AttrSet u = AttrSet::Of({1, 4, 6});
+  const auto subsets = EnumerateSubsets(u, 1, 3);
+  EXPECT_EQ(subsets.size(), 7u);
+  for (const AttrSet& s : subsets) {
+    EXPECT_TRUE(u.ContainsAll(s));
+    EXPECT_FALSE(s.empty());
+  }
+}
+
+TEST(EnumerateSubsetsTest, AscendingOrder) {
+  const auto subsets = EnumerateSubsets(AttrSet::FullSet(4), 1, 4);
+  for (size_t i = 1; i < subsets.size(); ++i) {
+    EXPECT_LT(subsets[i - 1], subsets[i]);
+  }
+}
+
+TEST(EnumerateSubsetsTest, EmptyUniverse) {
+  EXPECT_TRUE(EnumerateSubsets(AttrSet(), 1, 3).empty());
+}
+
+TEST(EnumerateSubsetsTest, SizeWindowExcludes) {
+  const auto subsets = EnumerateSubsets(AttrSet::FullSet(4), 2, 3);
+  for (const AttrSet& s : subsets) {
+    EXPECT_GE(s.size(), 2);
+    EXPECT_LE(s.size(), 3);
+  }
+  EXPECT_EQ(subsets.size(), 6u + 4u);
+}
+
+}  // namespace
+}  // namespace et

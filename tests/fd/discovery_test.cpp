@@ -1,0 +1,168 @@
+#include "fd/discovery.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::MustParseFD;
+
+TEST(DiscoveryTest, FindsPlantedExactFds) {
+  auto data = MakeOmdb(300, 21);
+  ASSERT_TRUE(data.ok());
+  DiscoveryOptions options;
+  auto found = DiscoverFDs(data->rel, options);
+  ASSERT_TRUE(found.ok());
+  // Every construction FD (or a minimal subset of it) must be found.
+  for (const std::string& text : data->clean_fds) {
+    const FD fd = MustParseFD(text, data->rel.schema());
+    bool covered = false;
+    for (const DiscoveredFD& d : *found) {
+      if (d.fd == fd || d.fd.IsSupersetOf(fd)) {
+        covered = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(covered) << text;
+  }
+}
+
+TEST(DiscoveryTest, AllReportedFdsMeetThreshold) {
+  auto data = MakeAirport(200, 23);
+  ASSERT_TRUE(data.ok());
+  DiscoveryOptions options;
+  options.g1_threshold = 0.001;
+  auto found = DiscoverFDs(data->rel, options);
+  ASSERT_TRUE(found.ok());
+  for (const DiscoveredFD& d : *found) {
+    EXPECT_LE(d.g1, options.g1_threshold);
+    EXPECT_DOUBLE_EQ(d.g1, G1(data->rel, d.fd));
+  }
+}
+
+TEST(DiscoveryTest, MinimalityPruning) {
+  // k -> v holds; k,x -> v must not be reported as minimal.
+  const Relation rel = MakeRelation(
+      {"k", "x", "v"},
+      {{"a", "1", "p"}, {"a", "2", "p"}, {"b", "1", "q"}, {"b", "2", "q"}});
+  DiscoveryOptions options;
+  auto found = DiscoverFDs(rel, options);
+  ASSERT_TRUE(found.ok());
+  const FD minimal = MustParseFD("k->v", rel.schema());
+  const FD non_minimal = MustParseFD("k,x->v", rel.schema());
+  bool has_minimal = false;
+  for (const DiscoveredFD& d : *found) {
+    if (d.fd == minimal) has_minimal = true;
+    EXPECT_NE(d.fd, non_minimal);
+  }
+  EXPECT_TRUE(has_minimal);
+}
+
+TEST(DiscoveryTest, NonMinimalReportedWhenAskedFor) {
+  const Relation rel = MakeRelation(
+      {"k", "x", "v"},
+      {{"a", "1", "p"}, {"a", "2", "p"}, {"b", "1", "q"}, {"b", "2", "q"}});
+  DiscoveryOptions options;
+  options.minimal_only = false;
+  auto found = DiscoverFDs(rel, options);
+  ASSERT_TRUE(found.ok());
+  const FD non_minimal = MustParseFD("k,x->v", rel.schema());
+  bool present = false;
+  for (const DiscoveredFD& d : *found) present |= (d.fd == non_minimal);
+  EXPECT_TRUE(present);
+}
+
+TEST(DiscoveryTest, ApproximateThresholdAdmitsDirtyFds) {
+  auto data = MakeOmdb(200, 25);
+  ASSERT_TRUE(data.ok());
+  const FD title_year =
+      MustParseFD("title->year", data->rel.schema());
+  ErrorGenerator gen(&data->rel, 7);
+  ET_ASSERT_OK(gen.InjectViolations(title_year, 5).status());
+  ASSERT_GT(G1(data->rel, title_year), 0.0);
+
+  // Exact discovery misses it now...
+  DiscoveryOptions exact;
+  auto strict = DiscoverFDs(data->rel, exact);
+  ASSERT_TRUE(strict.ok());
+  for (const DiscoveredFD& d : *strict) EXPECT_NE(d.fd, title_year);
+
+  // ...approximate discovery readmits it.
+  DiscoveryOptions approx;
+  approx.g1_threshold = 0.01;
+  auto loose = DiscoverFDs(data->rel, approx);
+  ASSERT_TRUE(loose.ok());
+  bool present = false;
+  for (const DiscoveredFD& d : *loose) present |= (d.fd == title_year);
+  EXPECT_TRUE(present);
+}
+
+TEST(DiscoveryTest, RejectsBadOptions) {
+  const Relation rel = MakeRelation({"a", "b"}, {{"x", "y"}});
+  DiscoveryOptions bad_threshold;
+  bad_threshold.g1_threshold = 1.0;
+  EXPECT_FALSE(DiscoverFDs(rel, bad_threshold).ok());
+  DiscoveryOptions bad_lhs;
+  bad_lhs.max_lhs_size = 0;
+  EXPECT_FALSE(DiscoverFDs(rel, bad_lhs).ok());
+}
+
+TEST(DiscoveryTest, MaxLhsSizeRespected) {
+  auto data = MakeOmdb(150, 27);
+  ASSERT_TRUE(data.ok());
+  DiscoveryOptions options;
+  options.max_lhs_size = 1;
+  auto found = DiscoverFDs(data->rel, options);
+  ASSERT_TRUE(found.ok());
+  for (const DiscoveredFD& d : *found) {
+    EXPECT_EQ(d.fd.lhs.size(), 1);
+  }
+}
+
+TEST(DiscoveryTest, PartitionCacheMatchesDirectComputation) {
+  // The TANE-product fast path must be result-identical to direct
+  // per-candidate partitioning.
+  for (const char* name : {"omdb", "airport", "tax"}) {
+    auto data = MakeDatasetByName(name, 150, 33);
+    ASSERT_TRUE(data.ok());
+    ErrorGenerator gen(&data->rel, 34);
+    std::vector<FD> clean;
+    for (const auto& text : data->clean_fds) {
+      clean.push_back(MustParseFD(text, data->rel.schema()));
+    }
+    ET_ASSERT_OK(gen.InjectToDegree(clean, 0.08));
+    DiscoveryOptions cached;
+    cached.g1_threshold = 0.005;
+    DiscoveryOptions direct = cached;
+    direct.use_partition_cache = false;
+    auto a = DiscoverFDs(data->rel, cached);
+    auto b = DiscoverFDs(data->rel, direct);
+    ASSERT_TRUE(a.ok() && b.ok());
+    ASSERT_EQ(a->size(), b->size()) << name;
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].fd, (*b)[i].fd) << name;
+      EXPECT_NEAR((*a)[i].g1, (*b)[i].g1, 1e-12) << name;
+    }
+  }
+}
+
+TEST(DiscoveryTest, DeterministicOrder) {
+  auto data = MakeTax(120, 29);
+  ASSERT_TRUE(data.ok());
+  auto a = DiscoverFDs(data->rel);
+  auto b = DiscoverFDs(data->rel);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_EQ((*a)[i].fd, (*b)[i].fd);
+  }
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,109 @@
+#include "fd/error_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+std::vector<RowId> AllRows(const Relation& rel) {
+  std::vector<RowId> rows(rel.num_rows());
+  for (RowId r = 0; r < rel.num_rows(); ++r) rows[r] = r;
+  return rows;
+}
+
+TEST(DirtyProbabilitiesForFDTest, PaperExample2) {
+  // f1 = Team -> City with confidence 0.96: the violating Lakers pair's
+  // tuples are dirty with probability 0.96; the satisfying Bulls pair's
+  // tuples with 0.04; Miller (no partner) gets 0.
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const auto p = DirtyProbabilitiesForFD(rel, AllRows(rel), f1, 0.96);
+  ASSERT_EQ(p.size(), 5u);
+  EXPECT_NEAR(p[0], 0.96, 1e-12);
+  EXPECT_NEAR(p[1], 0.96, 1e-12);
+  EXPECT_NEAR(p[2], 0.04, 1e-12);
+  EXPECT_NEAR(p[3], 0.04, 1e-12);
+  EXPECT_DOUBLE_EQ(p[4], 0.0);
+}
+
+TEST(DirtyProbabilitiesForFDTest, ConfidenceClamped) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const auto p = DirtyProbabilitiesForFD(rel, AllRows(rel), f1, 1.5);
+  EXPECT_DOUBLE_EQ(p[0], 1.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+}
+
+TEST(DirtyProbabilitiesForFDTest, RowSubset) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  // Only rows {0, 4}: no agreeing pair within the subset -> all zero.
+  const auto p = DirtyProbabilitiesForFD(rel, {0, 4}, f1, 0.9);
+  EXPECT_DOUBLE_EQ(p[0], 0.0);
+  EXPECT_DOUBLE_EQ(p[1], 0.0);
+}
+
+TEST(DirtyProbabilitiesForFDTest, MixedClassMarksAllMembers) {
+  // k-class {a,a,b}: every row participates in a violating pair.
+  const Relation rel = MakeRelation(
+      {"k", "v"}, {{"x", "a"}, {"x", "a"}, {"x", "b"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  const auto p = DirtyProbabilitiesForFD(rel, AllRows(rel), fd, 0.8);
+  EXPECT_DOUBLE_EQ(p[0], 0.8);
+  EXPECT_DOUBLE_EQ(p[1], 0.8);
+  EXPECT_DOUBLE_EQ(p[2], 0.8);
+}
+
+TEST(DirtyProbabilitiesTest, WeightedMixtureOfFds) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const FD f2 = MustParseFD("Team->Apps", rel.schema());
+  // f1: rows 0,1 violate; rows 2,3 satisfy. f2: rows 0,1 satisfy
+  // (4=4); rows 2,3 violate (4 vs 3).
+  const std::vector<WeightedFD> fds = {{f1, 0.9, 1.0}, {f2, 0.7, 1.0}};
+  const auto p = DirtyProbabilities(rel, AllRows(rel), fds);
+  // Row 0: (0.9 + (1-0.7))/2 = 0.6.
+  EXPECT_NEAR(p[0], 0.6, 1e-12);
+  // Row 2: ((1-0.9) + 0.7)/2 = 0.4.
+  EXPECT_NEAR(p[2], 0.4, 1e-12);
+  // Row 4: inapplicable to both.
+  EXPECT_DOUBLE_EQ(p[4], 0.0);
+}
+
+TEST(DirtyProbabilitiesTest, ZeroWeightFdIgnored) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const FD f2 = MustParseFD("Team->Apps", rel.schema());
+  const std::vector<WeightedFD> fds = {{f1, 0.9, 1.0}, {f2, 0.7, 0.0}};
+  const auto p = DirtyProbabilities(rel, AllRows(rel), fds);
+  EXPECT_NEAR(p[0], 0.9, 1e-12);
+}
+
+TEST(DirtyProbabilitiesTest, EmptyFdList) {
+  const Relation rel = Table1Relation();
+  const auto p = DirtyProbabilities(rel, AllRows(rel), {});
+  for (double v : p) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(PredictDirtyTest, Thresholding) {
+  const auto flags = PredictDirty({0.2, 0.5, 0.8}, 0.5);
+  EXPECT_FALSE(flags[0]);
+  EXPECT_FALSE(flags[1]);  // strictly greater
+  EXPECT_TRUE(flags[2]);
+}
+
+TEST(PredictDirtyTest, CustomThreshold) {
+  const auto flags = PredictDirty({0.2, 0.5, 0.8}, 0.1);
+  EXPECT_TRUE(flags[0]);
+  EXPECT_TRUE(flags[1]);
+  EXPECT_TRUE(flags[2]);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,104 @@
+#include "fd/fd.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+class FDTest : public ::testing::Test {
+ protected:
+  Schema schema_ = *Schema::Make({"A", "B", "C", "D"});
+};
+
+TEST_F(FDTest, ValidityRules) {
+  EXPECT_TRUE(FD(AttrSet::Single(0), 1).IsValid(schema_));
+  // Empty LHS.
+  EXPECT_FALSE(FD(AttrSet(), 1).IsValid(schema_));
+  // RHS inside LHS (trivial).
+  EXPECT_FALSE(FD(AttrSet::Of({0, 1}), 1).IsValid(schema_));
+  // RHS out of range.
+  EXPECT_FALSE(FD(AttrSet::Single(0), 9).IsValid(schema_));
+  EXPECT_FALSE(FD(AttrSet::Single(0), -1).IsValid(schema_));
+}
+
+TEST_F(FDTest, NumAttributes) {
+  EXPECT_EQ(FD(AttrSet::Of({0, 1, 2}), 3).NumAttributes(), 4);
+  EXPECT_EQ(FD(AttrSet::Single(0), 1).NumAttributes(), 2);
+}
+
+TEST_F(FDTest, SupersetSubsetLattice) {
+  // Paper's convention: X -> Z is a *superset* of XY -> Z.
+  const FD strong(AttrSet::Single(0), 2);       // A -> C
+  const FD weak(AttrSet::Of({0, 1}), 2);        // A,B -> C
+  const FD other_rhs(AttrSet::Single(0), 3);    // A -> D
+  const FD disjoint(AttrSet::Single(1), 2);     // B -> C
+
+  EXPECT_TRUE(strong.IsSupersetOf(weak));
+  EXPECT_FALSE(weak.IsSupersetOf(strong));
+  EXPECT_TRUE(weak.IsSubsetOf(strong));
+  EXPECT_FALSE(strong.IsSupersetOf(other_rhs));
+  EXPECT_FALSE(strong.IsSupersetOf(disjoint));
+  EXPECT_FALSE(strong.IsSupersetOf(strong));  // proper relation
+
+  EXPECT_TRUE(strong.IsRelatedTo(weak));
+  EXPECT_TRUE(weak.IsRelatedTo(strong));
+  EXPECT_TRUE(strong.IsRelatedTo(strong));  // related includes equality
+  EXPECT_FALSE(strong.IsRelatedTo(disjoint));
+}
+
+TEST_F(FDTest, ToString) {
+  EXPECT_EQ(FD(AttrSet::Of({0, 2}), 1).ToString(schema_), "A,C->B");
+}
+
+TEST_F(FDTest, ParseSimple) {
+  const FD fd = testing::MustParseFD("A->B", schema_);
+  EXPECT_EQ(fd.lhs, AttrSet::Single(0));
+  EXPECT_EQ(fd.rhs, 1);
+}
+
+TEST_F(FDTest, ParseMultiAttributeLhs) {
+  const FD fd = testing::MustParseFD("A,C->D", schema_);
+  EXPECT_EQ(fd.lhs, AttrSet::Of({0, 2}));
+  EXPECT_EQ(fd.rhs, 3);
+}
+
+TEST_F(FDTest, ParseToleratesSpaces) {
+  const FD fd = testing::MustParseFD(" A , B -> C ", schema_);
+  EXPECT_EQ(fd.lhs, AttrSet::Of({0, 1}));
+  EXPECT_EQ(fd.rhs, 2);
+}
+
+TEST_F(FDTest, ParseRoundTripsToString) {
+  const FD fd = testing::MustParseFD("A,B->C", schema_);
+  EXPECT_EQ(testing::MustParseFD(fd.ToString(schema_), schema_), fd);
+}
+
+TEST_F(FDTest, ParseRejectsMalformed) {
+  EXPECT_FALSE(ParseFD("A,B", schema_).ok());        // no arrow
+  EXPECT_FALSE(ParseFD("->B", schema_).ok());        // empty LHS
+  EXPECT_FALSE(ParseFD("A->", schema_).ok());        // empty RHS
+  EXPECT_FALSE(ParseFD("A,->B", schema_).ok());      // empty LHS attr
+  EXPECT_FALSE(ParseFD("Z->B", schema_).ok());       // unknown attr
+  EXPECT_FALSE(ParseFD("A->Z", schema_).ok());       // unknown RHS
+  EXPECT_FALSE(ParseFD("A->A", schema_).ok());       // trivial
+  EXPECT_FALSE(ParseFD("A,B->A", schema_).ok());     // RHS in LHS
+}
+
+TEST_F(FDTest, OrderingDeterministic) {
+  const FD a(AttrSet::Single(0), 1);
+  const FD b(AttrSet::Single(0), 2);
+  const FD c(AttrSet::Single(1), 1);
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);  // same rhs, smaller lhs mask... rhs differs first
+}
+
+TEST_F(FDTest, HashDistinguishes) {
+  FDHash h;
+  EXPECT_NE(h(FD(AttrSet::Single(0), 1)), h(FD(AttrSet::Single(0), 2)));
+  EXPECT_EQ(h(FD(AttrSet::Single(0), 1)), h(FD(AttrSet::Single(0), 1)));
+}
+
+}  // namespace
+}  // namespace et

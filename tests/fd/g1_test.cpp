@@ -1,0 +1,149 @@
+#include "fd/g1.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+// The paper's worked example (Example 1): g1(Team -> City) over Table 1
+// is 1/25 = 0.04.
+TEST(G1Test, PaperExample1) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  EXPECT_DOUBLE_EQ(G1(rel, f1), 0.04);
+  EXPECT_EQ(ViolatingPairCount(rel, f1), 1u);
+}
+
+TEST(G1Test, PaperExample2Pair) {
+  // t1,t2 (Lakers) violate Team->City; t3,t4 (Bulls) satisfy it.
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  EXPECT_EQ(CheckPair(rel, f1, 0, 1), PairCompliance::kViolates);
+  EXPECT_EQ(CheckPair(rel, f1, 2, 3), PairCompliance::kSatisfies);
+  EXPECT_EQ(CheckPair(rel, f1, 0, 4), PairCompliance::kInapplicable);
+}
+
+TEST(G1Test, ExactFdHasZeroG1) {
+  const Relation rel = Table1Relation();
+  // City determines... check Team->Apps instead: Lakers {4,4} ok,
+  // Bulls {4,3} violates -> not exact. Use Player->anything (key).
+  const FD key = MustParseFD("Player->Team", rel.schema());
+  EXPECT_EQ(G1(rel, key), 0.0);
+  EXPECT_EQ(PairwiseConfidence(rel, key), 1.0);
+}
+
+TEST(G1Test, FullyViolatedFd) {
+  const Relation rel = MakeRelation(
+      {"k", "v"}, {{"a", "1"}, {"a", "2"}, {"a", "3"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  EXPECT_EQ(ViolatingPairCount(rel, fd), 3u);  // all C(3,2) pairs
+  EXPECT_DOUBLE_EQ(G1(rel, fd), 3.0 / 9.0);
+  EXPECT_EQ(PairwiseConfidence(rel, fd), 0.0);
+}
+
+TEST(G1Test, TinyRelations) {
+  const Relation one = MakeRelation({"k", "v"}, {{"a", "1"}});
+  const FD fd = MustParseFD("k->v", one.schema());
+  EXPECT_EQ(G1(one, fd), 0.0);
+
+  const Relation zero = MakeRelation({"k", "v"}, {});
+  EXPECT_EQ(G1(zero, fd), 0.0);
+  EXPECT_EQ(PairwiseConfidence(zero, fd), 1.0);  // vacuous
+}
+
+TEST(G1Test, RowSubsetChangesMeasure) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  // Without t2 (the violator), g1 is 0.
+  EXPECT_EQ(G1(rel, f1, {0, 2, 3, 4}), 0.0);
+  // Restricted to the violating pair alone: 1 violating pair / 4.
+  EXPECT_DOUBLE_EQ(G1(rel, f1, {0, 1}), 0.25);
+}
+
+TEST(G1Test, MultiAttributeLhs) {
+  const Relation rel = Table1Relation();
+  // (City, Role) -> Team: the Chicago+PF pair {t2,t3} has teams
+  // Lakers/Bulls -> violation.
+  const FD fd = MustParseFD("City,Role->Team", rel.schema());
+  EXPECT_EQ(ViolatingPairCount(rel, fd), 1u);
+  EXPECT_DOUBLE_EQ(G1(rel, fd), 0.04);
+}
+
+TEST(G1Test, PairwiseConfidenceNormalizesByAgreeingPairs) {
+  // Team partition: Lakers pair violates, Bulls pair satisfies ->
+  // confidence = 1 - 1/2.
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  EXPECT_DOUBLE_EQ(PairwiseConfidence(rel, f1), 0.5);
+}
+
+TEST(G1Test, ViolatingPairCountConsistentWithG1) {
+  Rng rng(99);
+  // Random relation: g1 == violating pairs / n^2 by definition.
+  Relation rel(*Schema::Make({"a", "b", "c"}));
+  for (int i = 0; i < 60; ++i) {
+    ET_ASSERT_OK(rel.AppendRow({"v" + std::to_string(rng.NextUint64(5)),
+                                "w" + std::to_string(rng.NextUint64(4)),
+                                "u" + std::to_string(rng.NextUint64(3))}));
+  }
+  for (const char* text : {"a->b", "b->c", "a,b->c", "c->a"}) {
+    const FD fd = MustParseFD(text, rel.schema());
+    const double n = 60.0;
+    EXPECT_DOUBLE_EQ(G1(rel, fd),
+                     static_cast<double>(ViolatingPairCount(rel, fd)) /
+                         (n * n))
+        << text;
+  }
+}
+
+TEST(G1Test, BruteForceAgreement) {
+  // Cross-check the partition-based counting against an O(n^2) loop.
+  Rng rng(7);
+  Relation rel(*Schema::Make({"x", "y"}));
+  for (int i = 0; i < 40; ++i) {
+    ET_ASSERT_OK(rel.AppendRow({"x" + std::to_string(rng.NextUint64(6)),
+                                "y" + std::to_string(rng.NextUint64(4))}));
+  }
+  const FD fd = MustParseFD("x->y", rel.schema());
+  uint64_t brute = 0;
+  for (RowId i = 0; i < rel.num_rows(); ++i) {
+    for (RowId j = i + 1; j < rel.num_rows(); ++j) {
+      if (CheckPair(rel, fd, i, j) == PairCompliance::kViolates) ++brute;
+    }
+  }
+  EXPECT_EQ(ViolatingPairCount(rel, fd), brute);
+}
+
+// Monotonicity property: adding an attribute to the LHS cannot create
+// new violations (XY -> Z has g1 <= X -> Z).
+class G1MonotonicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(G1MonotonicityTest, LhsExtensionNeverIncreasesG1) {
+  Rng rng(GetParam());
+  Relation rel(*Schema::Make({"a", "b", "c", "d"}));
+  for (int i = 0; i < 50; ++i) {
+    ET_ASSERT_OK(
+        rel.AppendRow({"a" + std::to_string(rng.NextUint64(4)),
+                       "b" + std::to_string(rng.NextUint64(3)),
+                       "c" + std::to_string(rng.NextUint64(3)),
+                       "d" + std::to_string(rng.NextUint64(5))}));
+  }
+  const FD base(AttrSet::Single(0), 3);           // a -> d
+  const FD extended(AttrSet::Of({0, 1}), 3);      // a,b -> d
+  const FD extended2(AttrSet::Of({0, 1, 2}), 3);  // a,b,c -> d
+  EXPECT_LE(G1(rel, extended), G1(rel, base));
+  EXPECT_LE(G1(rel, extended2), G1(rel, extended));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, G1MonotonicityTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,175 @@
+#include "fd/hypothesis_space.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+TEST(HypothesisSpaceTest, MakeRejectsDuplicatesAndInvalid) {
+  const Schema schema = *Schema::Make({"A", "B"});
+  const FD fd(AttrSet::Single(0), 1);
+  EXPECT_FALSE(HypothesisSpace::Make(schema, {fd, fd}).ok());
+  EXPECT_FALSE(
+      HypothesisSpace::Make(schema, {FD(AttrSet(), 1)}).ok());
+  EXPECT_FALSE(HypothesisSpace::Make(schema, {}).ok());
+}
+
+TEST(HypothesisSpaceTest, EnumerateAllCountsForThreeAttrs) {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  // Per RHS: LHS subsets of remaining 2 attrs, size 1..2 -> 3 each.
+  const auto space = HypothesisSpace::EnumerateAll(schema, 3);
+  EXPECT_EQ(space.size(), 9u);
+}
+
+TEST(HypothesisSpaceTest, EnumerateAllRespectsWidthCap) {
+  const Schema schema = *Schema::Make({"A", "B", "C", "D", "E"});
+  const auto space = HypothesisSpace::EnumerateAll(schema, 2);
+  // Only single-attribute LHS: 5 * 4 = 20.
+  EXPECT_EQ(space.size(), 20u);
+  for (const FD& fd : space.fds()) {
+    EXPECT_LE(fd.NumAttributes(), 2);
+  }
+}
+
+TEST(HypothesisSpaceTest, IndexOfRoundTrips) {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  const auto space = HypothesisSpace::EnumerateAll(schema, 3);
+  for (size_t i = 0; i < space.size(); ++i) {
+    EXPECT_EQ(*space.IndexOf(space.fd(i)), i);
+  }
+  EXPECT_TRUE(
+      space.IndexOf(FD(AttrSet::Of({0, 1}), 2)).ok());
+}
+
+TEST(HypothesisSpaceTest, IndexOfMissing) {
+  const Schema schema = *Schema::Make({"A", "B", "C", "D"});
+  const auto space = HypothesisSpace::EnumerateAll(schema, 2);
+  EXPECT_TRUE(space.IndexOf(FD(AttrSet::Of({0, 1}), 2))
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(HypothesisSpaceTest, RelatedIndices) {
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  const auto space = HypothesisSpace::EnumerateAll(schema, 3);
+  const size_t a_to_c = *space.IndexOf(MustParseFD("A->C", schema));
+  const size_t ab_to_c = *space.IndexOf(MustParseFD("A,B->C", schema));
+  const size_t b_to_c = *space.IndexOf(MustParseFD("B->C", schema));
+
+  const auto related = space.RelatedIndices(a_to_c);
+  EXPECT_NE(std::find(related.begin(), related.end(), ab_to_c),
+            related.end());
+  // B->C is neither subset nor superset of A->C.
+  EXPECT_EQ(std::find(related.begin(), related.end(), b_to_c),
+            related.end());
+  // Never contains itself.
+  EXPECT_EQ(std::find(related.begin(), related.end(), a_to_c),
+            related.end());
+}
+
+class BuildCappedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto data = MakeOmdb(300, 17);
+    ET_ASSERT_OK(data.status());
+    rel_ = std::move(data->rel);
+    for (const std::string& text : data->clean_fds) {
+      must_.push_back(MustParseFD(text, rel_.schema()));
+    }
+  }
+  Relation rel_;
+  std::vector<FD> must_;
+};
+
+TEST_F(BuildCappedTest, RespectsCapAndMustInclude) {
+  auto space = HypothesisSpace::BuildCapped(rel_, 4, 38, must_);
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->size(), 38u);
+  for (const FD& fd : must_) {
+    EXPECT_TRUE(space->Contains(fd)) << fd.ToString(rel_.schema());
+  }
+}
+
+TEST_F(BuildCappedTest, ContainsAConfidenceSpread) {
+  // The space must mix plausible and implausible FDs, otherwise
+  // data-informed priors degenerate to uniform ones (DESIGN.md §2).
+  auto space = HypothesisSpace::BuildCapped(rel_, 4, 38, must_);
+  ASSERT_TRUE(space.ok());
+  size_t low_g1 = 0;
+  size_t high_g1 = 0;
+  for (const FD& fd : space->fds()) {
+    const double conf = PairwiseConfidence(rel_, fd);
+    if (conf > 0.9) ++low_g1;
+    if (conf < 0.5) ++high_g1;
+  }
+  EXPECT_GE(low_g1, 5u);
+  EXPECT_GE(high_g1, 5u);
+}
+
+TEST_F(BuildCappedTest, WidthCapHolds) {
+  auto space = HypothesisSpace::BuildCapped(rel_, 3, 20, {});
+  ASSERT_TRUE(space.ok());
+  for (const FD& fd : space->fds()) {
+    EXPECT_LE(fd.NumAttributes(), 3);
+  }
+}
+
+TEST_F(BuildCappedTest, RejectsBadArgs) {
+  EXPECT_FALSE(HypothesisSpace::BuildCapped(rel_, 4, 0, {}).ok());
+  // must_include larger than cap.
+  EXPECT_FALSE(HypothesisSpace::BuildCapped(rel_, 4, 2, must_).ok());
+  // must_include outside the enumerable width.
+  std::vector<FD> wide = {
+      FD(AttrSet::Of({0, 1, 2, 3}), 4)};
+  EXPECT_FALSE(HypothesisSpace::BuildCapped(rel_, 3, 38, wide).ok());
+}
+
+TEST_F(BuildCappedTest, DeterministicOutput) {
+  auto a = HypothesisSpace::BuildCapped(rel_, 4, 38, must_);
+  auto b = HypothesisSpace::BuildCapped(rel_, 4, 38, must_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->fds(), b->fds());
+}
+
+TEST_F(BuildCappedTest, SmallCapStillWorks) {
+  auto space = HypothesisSpace::BuildCapped(rel_, 4, 5, {});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->size(), 5u);
+}
+
+TEST_F(BuildCappedTest, CapLargerThanUniverseYieldsUniverse) {
+  const Schema schema = *Schema::Make({"A", "B"});
+  Relation tiny(schema);
+  ET_ASSERT_OK(tiny.AppendRow({"x", "y"}));
+  ET_ASSERT_OK(tiny.AppendRow({"x", "z"}));
+  ET_ASSERT_OK(tiny.AppendRow({"w", "y"}));
+  auto space = HypothesisSpace::BuildCapped(tiny, 2, 100, {});
+  ASSERT_TRUE(space.ok());
+  EXPECT_EQ(space->size(), 2u);  // A->B and B->A
+}
+
+TEST_F(BuildCappedTest, ExcludesConstantColumnFds) {
+  // A constant column must appear in no selected FD (neither side)
+  // unless explicitly forced via must_include.
+  const Schema schema = *Schema::Make({"A", "B", "C"});
+  Relation rel(schema);
+  ET_ASSERT_OK(rel.AppendRow({"x", "1", ""}));
+  ET_ASSERT_OK(rel.AppendRow({"x", "2", ""}));
+  ET_ASSERT_OK(rel.AppendRow({"y", "1", ""}));
+  auto space = HypothesisSpace::BuildCapped(rel, 3, 100, {});
+  ASSERT_TRUE(space.ok());
+  auto c = *schema.IndexOf("C");
+  for (const FD& fd : space->fds()) {
+    EXPECT_NE(fd.rhs, c) << fd.ToString(schema);
+    EXPECT_FALSE(fd.lhs.Contains(c)) << fd.ToString(schema);
+  }
+}
+
+}  // namespace
+}  // namespace et

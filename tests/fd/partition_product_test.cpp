@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "fd/partition.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::Table1Relation;
+
+TEST(PartitionProductTest, MatchesDirectBuildOnTable1) {
+  const Relation rel = Table1Relation();
+  const Partition city = Partition::Build(rel, AttrSet::Single(2));
+  const Partition role = Partition::Build(rel, AttrSet::Single(3));
+  const Partition product =
+      Partition::Product(city, role, rel.num_rows());
+  const Partition direct = Partition::Build(rel, AttrSet::Of({2, 3}));
+  EXPECT_EQ(product.classes(), direct.classes());
+  EXPECT_EQ(product.num_singletons(), direct.num_singletons());
+  EXPECT_EQ(product.AgreeingPairCount(), direct.AgreeingPairCount());
+}
+
+TEST(PartitionProductTest, ProductWithSelfIsIdentity) {
+  const Relation rel = Table1Relation();
+  const Partition team = Partition::Build(rel, AttrSet::Single(1));
+  const Partition product =
+      Partition::Product(team, team, rel.num_rows());
+  EXPECT_EQ(product.classes(), team.classes());
+}
+
+TEST(PartitionProductTest, EmptyIntersection) {
+  // Player is a key: its stripped partition is empty, so any product
+  // with it is empty.
+  const Relation rel = Table1Relation();
+  const Partition player = Partition::Build(rel, AttrSet::Single(0));
+  const Partition team = Partition::Build(rel, AttrSet::Single(1));
+  const Partition product =
+      Partition::Product(player, team, rel.num_rows());
+  EXPECT_TRUE(product.classes().empty());
+  EXPECT_EQ(product.num_singletons(), rel.num_rows());
+}
+
+class PartitionProductSweep : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PartitionProductSweep, EquivalentToDirectBuild) {
+  Rng rng(GetParam());
+  Relation rel(*Schema::Make({"a", "b", "c", "d"}));
+  const size_t rows = 60 + rng.NextUint64(60);
+  for (size_t i = 0; i < rows; ++i) {
+    ET_ASSERT_OK(
+        rel.AppendRow({"a" + std::to_string(rng.NextUint64(4)),
+                       "b" + std::to_string(rng.NextUint64(5)),
+                       "c" + std::to_string(rng.NextUint64(3)),
+                       "d" + std::to_string(rng.NextUint64(6))}));
+  }
+  // All pairs of single-attribute partitions.
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      if (i == j) continue;
+      const Partition pi = Partition::Build(rel, AttrSet::Single(i));
+      const Partition pj = Partition::Build(rel, AttrSet::Single(j));
+      const Partition product =
+          Partition::Product(pi, pj, rel.num_rows());
+      const Partition direct =
+          Partition::Build(rel, AttrSet::Of({i, j}));
+      EXPECT_EQ(product.classes(), direct.classes())
+          << "attrs " << i << "," << j;
+      EXPECT_EQ(product.num_singletons(), direct.num_singletons());
+    }
+  }
+  // Three-way: ((a x b) x c) == build({a,b,c}).
+  const Partition ab = Partition::Product(
+      Partition::Build(rel, AttrSet::Single(0)),
+      Partition::Build(rel, AttrSet::Single(1)), rel.num_rows());
+  const Partition abc = Partition::Product(
+      ab, Partition::Build(rel, AttrSet::Single(2)), rel.num_rows());
+  const Partition direct =
+      Partition::Build(rel, AttrSet::Of({0, 1, 2}));
+  EXPECT_EQ(abc.classes(), direct.classes());
+}
+
+TEST_P(PartitionProductSweep, Commutative) {
+  Rng rng(GetParam() ^ 0xAB);
+  Relation rel(*Schema::Make({"x", "y"}));
+  for (int i = 0; i < 50; ++i) {
+    ET_ASSERT_OK(rel.AppendRow({"x" + std::to_string(rng.NextUint64(4)),
+                                "y" + std::to_string(rng.NextUint64(4))}));
+  }
+  const Partition px = Partition::Build(rel, AttrSet::Single(0));
+  const Partition py = Partition::Build(rel, AttrSet::Single(1));
+  const Partition xy = Partition::Product(px, py, rel.num_rows());
+  const Partition yx = Partition::Product(py, px, rel.num_rows());
+  EXPECT_EQ(xy.classes(), yx.classes());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProductSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,106 @@
+#include "fd/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::Table1Relation;
+
+TEST(PartitionTest, GroupsByOneAttribute) {
+  const Relation rel = Table1Relation();
+  const Partition p = Partition::Build(rel, AttrSet::Single(1));  // Team
+  // Lakers {0,1}, Bulls {2,3}; Clippers is a stripped singleton.
+  ASSERT_EQ(p.classes().size(), 2u);
+  EXPECT_EQ(p.num_singletons(), 1u);
+  EXPECT_EQ(p.classes()[0], (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(p.classes()[1], (std::vector<RowId>{2, 3}));
+}
+
+TEST(PartitionTest, GroupsByMultipleAttributes) {
+  const Relation rel = Table1Relation();
+  // (City, Role): Chicago+PF = {1,2}; everything else singleton.
+  const Partition p = Partition::Build(rel, AttrSet::Of({2, 3}));
+  ASSERT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.classes()[0], (std::vector<RowId>{1, 2}));
+  EXPECT_EQ(p.num_singletons(), 3u);
+}
+
+TEST(PartitionTest, AllDistinct) {
+  const Relation rel = Table1Relation();
+  const Partition p = Partition::Build(rel, AttrSet::Single(0));  // Player
+  EXPECT_TRUE(p.classes().empty());
+  EXPECT_EQ(p.num_singletons(), 5u);
+  EXPECT_EQ(p.AgreeingPairCount(), 0u);
+  EXPECT_EQ(p.TaneError(), 0u);
+}
+
+TEST(PartitionTest, AllEqual) {
+  const Relation rel =
+      MakeRelation({"a"}, {{"v"}, {"v"}, {"v"}, {"v"}});
+  const Partition p = Partition::Build(rel, AttrSet::Single(0));
+  ASSERT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.AgreeingPairCount(), 6u);  // C(4,2)
+  EXPECT_EQ(p.TaneError(), 3u);
+}
+
+TEST(PartitionTest, RestrictedRows) {
+  const Relation rel = Table1Relation();
+  const Partition p =
+      Partition::Build(rel, AttrSet::Single(1), {0, 1, 4});
+  ASSERT_EQ(p.classes().size(), 1u);
+  EXPECT_EQ(p.classes()[0], (std::vector<RowId>{0, 1}));
+  EXPECT_EQ(p.num_rows(), 3u);
+}
+
+TEST(PartitionTest, EmptyRowSet) {
+  const Relation rel = Table1Relation();
+  const Partition p = Partition::Build(rel, AttrSet::Single(1), {});
+  EXPECT_TRUE(p.classes().empty());
+  EXPECT_EQ(p.num_rows(), 0u);
+}
+
+TEST(PartitionTest, AgreeingPairCountSums) {
+  // Apps column: "4" x3, "3" x2 -> C(3,2)+C(2,2)=3+1=4.
+  const Relation rel = Table1Relation();
+  const Partition p = Partition::Build(rel, AttrSet::Single(4));
+  EXPECT_EQ(p.AgreeingPairCount(), 4u);
+}
+
+TEST(PartitionTest, DeterministicClassOrder) {
+  const Relation rel = Table1Relation();
+  const Partition a = Partition::Build(rel, AttrSet::Single(2));
+  const Partition b = Partition::Build(rel, AttrSet::Single(2));
+  EXPECT_EQ(a.classes(), b.classes());
+  // Classes ordered by smallest member.
+  for (size_t i = 1; i < a.classes().size(); ++i) {
+    EXPECT_LT(a.classes()[i - 1][0], a.classes()[i][0]);
+  }
+}
+
+TEST(PartitionTest, MultiColumnKeysAreNotConcatenationConfused) {
+  // ("ab","c") vs ("a","bc") must land in different classes.
+  const Relation rel =
+      MakeRelation({"x", "y"}, {{"ab", "c"}, {"a", "bc"}});
+  const Partition p = Partition::Build(rel, AttrSet::Of({0, 1}));
+  EXPECT_TRUE(p.classes().empty());
+  EXPECT_EQ(p.num_singletons(), 2u);
+}
+
+TEST(PartitionTest, LargeRelationGrouping) {
+  // 1000 rows over 10 key values: each class has 100 rows.
+  Relation rel(*Schema::Make({"k"}));
+  for (int i = 0; i < 1000; ++i) {
+    ET_ASSERT_OK(rel.AppendRow({"k" + std::to_string(i % 10)}));
+  }
+  const Partition p = Partition::Build(rel, AttrSet::Single(0));
+  ASSERT_EQ(p.classes().size(), 10u);
+  for (const auto& cls : p.classes()) EXPECT_EQ(cls.size(), 100u);
+  EXPECT_EQ(p.AgreeingPairCount(), 10ull * (100 * 99 / 2));
+}
+
+}  // namespace
+}  // namespace et

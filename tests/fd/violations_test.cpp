@@ -1,0 +1,93 @@
+#include "fd/violations.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+TEST(RowPairTest, NormalizesOrder) {
+  const RowPair p(7, 3);
+  EXPECT_EQ(p.first, 3u);
+  EXPECT_EQ(p.second, 7u);
+  EXPECT_EQ(RowPair(3, 7), p);
+}
+
+TEST(RowPairTest, OrderingAndHash) {
+  EXPECT_LT(RowPair(0, 1), RowPair(0, 2));
+  EXPECT_LT(RowPair(0, 9), RowPair(1, 2));
+  RowPairHash h;
+  EXPECT_EQ(h(RowPair(2, 5)), h(RowPair(5, 2)));
+  EXPECT_NE(h(RowPair(2, 5)), h(RowPair(2, 6)));
+}
+
+TEST(ViolatingPairsTest, FindsTable1Violation) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const auto pairs = ViolatingPairs(rel, f1);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0], RowPair(0, 1));
+}
+
+TEST(ViolatingPairsTest, RespectsLimit) {
+  const Relation rel = MakeRelation(
+      {"k", "v"},
+      {{"a", "1"}, {"a", "2"}, {"a", "3"}, {"a", "4"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  EXPECT_EQ(ViolatingPairs(rel, fd).size(), 6u);
+  EXPECT_EQ(ViolatingPairs(rel, fd, 2).size(), 2u);
+}
+
+TEST(AgreeingPairsTest, IncludesSatisfyingAndViolating) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const auto pairs = AgreeingPairs(rel, f1);
+  ASSERT_EQ(pairs.size(), 2u);  // Lakers pair + Bulls pair
+  EXPECT_EQ(pairs[0], RowPair(0, 1));
+  EXPECT_EQ(pairs[1], RowPair(2, 3));
+}
+
+TEST(ViolationCellsTest, CoversLhsAndRhsOfBothTuples) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const auto cells = ViolationCells(f1, RowPair(0, 1));
+  // LHS col 1 and RHS col 2 for rows 0 and 1 -> 4 cells.
+  ASSERT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], (Cell{0, 1}));
+  EXPECT_EQ(cells[1], (Cell{0, 2}));
+  EXPECT_EQ(cells[2], (Cell{1, 1}));
+  EXPECT_EQ(cells[3], (Cell{1, 2}));
+}
+
+TEST(ViolationCellsTest, MultiAttributeLhs) {
+  const Relation rel = Table1Relation();
+  const FD fd = MustParseFD("City,Role->Team", rel.schema());
+  const auto cells = ViolationCells(fd, RowPair(1, 2));
+  EXPECT_EQ(cells.size(), 6u);  // 2 LHS cols + 1 RHS col, 2 rows
+}
+
+TEST(AllViolationCellsTest, DeduplicatesAcrossFds) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const FD f2 = MustParseFD("Team->Apps", rel.schema());
+  // f1's violation: rows {0,1}; f2's: Bulls rows {2,3} (4 vs 3).
+  const auto cells = AllViolationCells(rel, {f1, f2});
+  EXPECT_FALSE(cells.empty());
+  for (size_t i = 1; i < cells.size(); ++i) {
+    EXPECT_TRUE(cells[i - 1] < cells[i]);  // sorted, no duplicates
+  }
+}
+
+TEST(AllViolationCellsTest, EmptyForExactFds) {
+  const Relation rel = Table1Relation();
+  const FD key = MustParseFD("Player->Team", rel.schema());
+  EXPECT_TRUE(AllViolationCells(rel, {key}).empty());
+}
+
+}  // namespace
+}  // namespace et

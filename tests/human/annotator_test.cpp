@@ -1,0 +1,173 @@
+#include "human/annotator.h"
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "fd/g1.h"
+#include "human/scenarios.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+class AnnotatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = Table1Relation();
+    space_ = std::make_shared<const HypothesisSpace>(
+        HypothesisSpace::EnumerateAll(rel_.schema(), 2));
+    team_city_ = *space_->IndexOf(MustParseFD("Team->City", rel_.schema()));
+    team_apps_ = *space_->IndexOf(MustParseFD("Team->Apps", rel_.schema()));
+  }
+
+  BeliefModel PriorOn(size_t idx) {
+    auto prior = UserPrior(space_, space_->fd(idx));
+    EXPECT_TRUE(prior.ok());
+    return std::move(prior).value();
+  }
+
+  Relation rel_;
+  std::shared_ptr<const HypothesisSpace> space_;
+  size_t team_city_ = 0;
+  size_t team_apps_ = 0;
+};
+
+TEST_F(AnnotatorTest, BayesianStartsAtPriorTop) {
+  BayesianAnnotator a(PriorOn(team_city_), {}, 1);
+  EXPECT_EQ(a.CurrentHypothesis(), team_city_);
+  EXPECT_EQ(a.name(), "Bayesian(FP)");
+}
+
+TEST_F(AnnotatorTest, BayesianRevisesAfterContradiction) {
+  // Repeatedly observing the Lakers violation of Team->City while
+  // Team->Apps keeps being satisfied flips the declared hypothesis.
+  BayesianAnnotator a(PriorOn(team_city_), {}, 2);
+  for (int i = 0; i < 60; ++i) a.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_NE(a.CurrentHypothesis(), team_city_);
+}
+
+TEST_F(AnnotatorTest, LearningWeightControlsSpeed) {
+  BayesianAnnotatorOptions slow_opts;
+  slow_opts.learning_weight = 0.1;
+  BayesianAnnotator fast(PriorOn(team_city_), {}, 3);
+  BayesianAnnotator slow(PriorOn(team_city_), slow_opts, 3);
+  for (int i = 0; i < 5; ++i) {
+    fast.Observe(rel_, {RowPair(0, 1)});
+    slow.Observe(rel_, {RowPair(0, 1)});
+  }
+  EXPECT_LT(fast.belief().Confidence(team_city_),
+            slow.belief().Confidence(team_city_));
+}
+
+TEST_F(AnnotatorTest, LabelsFollowDeclaredHypothesis) {
+  BayesianAnnotator a(PriorOn(team_city_), {}, 4);
+  const auto labels =
+      a.Label(rel_, {RowPair(0, 1), RowPair(2, 3), RowPair(0, 4)});
+  EXPECT_TRUE(labels[0].first_dirty);    // violates hypothesis
+  EXPECT_FALSE(labels[1].first_dirty);   // satisfies
+  EXPECT_FALSE(labels[2].first_dirty);   // inapplicable
+}
+
+TEST_F(AnnotatorTest, RegressionDrawsFromTopPool) {
+  BayesianAnnotatorOptions opts;
+  opts.regression_prob = 1.0;  // always regress
+  opts.regression_pool = 3;
+  BayesianAnnotator a(PriorOn(team_city_), opts, 5);
+  a.Observe(rel_, {RowPair(2, 3)});
+  const auto top3 = a.TopK(3);
+  EXPECT_NE(std::find(top3.begin(), top3.end(), a.CurrentHypothesis()),
+            top3.end());
+}
+
+TEST_F(AnnotatorTest, DecisionNoiseCanEscapeTop1) {
+  BayesianAnnotatorOptions opts;
+  opts.decision_noise = 5.0;  // very noisy softmax
+  BayesianAnnotator a(PriorOn(team_city_), opts, 6);
+  bool escaped = false;
+  for (int i = 0; i < 30 && !escaped; ++i) {
+    a.Observe(rel_, {RowPair(2, 3)});
+    escaped = a.CurrentHypothesis() != a.TopK(1)[0];
+  }
+  EXPECT_TRUE(escaped);
+}
+
+TEST_F(AnnotatorTest, HypothesisTestingKeepsGoodHypothesis) {
+  HypothesisTestingAnnotator a(space_, team_apps_, {}, 7);
+  // Lakers pair satisfies Team->Apps: no rejection.
+  a.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_EQ(a.CurrentHypothesis(), team_apps_);
+  EXPECT_EQ(a.name(), "HypothesisTesting");
+}
+
+TEST_F(AnnotatorTest, HypothesisTestingRejectsFailingHypothesis) {
+  HypothesisTestingAnnotator a(space_, team_city_, {}, 8);
+  // The Lakers pair violates Team->City (rate 1 > tolerance 0.2).
+  a.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_NE(a.CurrentHypothesis(), team_city_);
+  // The replacement must explain the window at least as well.
+  const FD& adopted = space_->fd(a.CurrentHypothesis());
+  EXPECT_NE(CheckPair(rel_, adopted, 0, 1), PairCompliance::kViolates);
+}
+
+TEST_F(AnnotatorTest, HypothesisTestingWindowSlides) {
+  HypothesisTestingOptions opts;
+  opts.window = 1;  // paper: test on the preceding interaction
+  HypothesisTestingAnnotator a(space_, team_city_, opts, 9);
+  // A violating sample triggers rejection; the adopted hypothesis
+  // explains that window, so re-observing the same sample keeps it
+  // (hypothesis only changes when the current one fails on the
+  // current window).
+  a.Observe(rel_, {RowPair(0, 1)});
+  const size_t after_reject = a.CurrentHypothesis();
+  ASSERT_NE(after_reject, team_city_);
+  a.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_EQ(a.CurrentHypothesis(), after_reject);
+}
+
+TEST_F(AnnotatorTest, HypothesisTestingTopKLeadsWithCurrent) {
+  HypothesisTestingAnnotator a(space_, team_apps_, {}, 10);
+  a.Observe(rel_, {RowPair(0, 1)});
+  EXPECT_EQ(a.TopK(5)[0], a.CurrentHypothesis());
+}
+
+TEST_F(AnnotatorTest, HypothesisTestingFrequencyGatesTests) {
+  HypothesisTestingOptions opts;
+  opts.frequency = 2;  // test every other interaction
+  HypothesisTestingAnnotator a(space_, team_city_, opts, 11);
+  a.Observe(rel_, {RowPair(0, 1)});  // observation 1: no test yet
+  EXPECT_EQ(a.CurrentHypothesis(), team_city_);
+  a.Observe(rel_, {RowPair(0, 1)});  // observation 2: test fires
+  EXPECT_NE(a.CurrentHypothesis(), team_city_);
+}
+
+TEST_F(AnnotatorTest, ModelFreeReinforcesExplainedHypotheses) {
+  ModelFreeOptions opts;
+  opts.temperature = 0.02;  // near-greedy
+  ModelFreeAnnotator a(space_, opts, 12);
+  for (int i = 0; i < 200; ++i) {
+    a.Observe(rel_, {RowPair(0, 1), RowPair(2, 3)});
+  }
+  // Whatever it converged to, its hypothesis shouldn't be one that is
+  // always violated by the shown pairs. Team->City is violated by
+  // (0,1) and satisfied by (2,3): reward 0.5. Team->Apps: satisfied by
+  // (0,1), violated by (2,3): reward 0.5. A key FD gets no applicable
+  // pair (propensity stays 0.5). So we only check the mechanism ran.
+  EXPECT_EQ(a.TopK(1)[0], a.CurrentHypothesis());
+  EXPECT_EQ(a.name(), "ModelFree");
+}
+
+TEST_F(AnnotatorTest, ModelFreeDeterministicInSeed) {
+  ModelFreeAnnotator a(space_, {}, 13);
+  ModelFreeAnnotator b(space_, {}, 13);
+  for (int i = 0; i < 20; ++i) {
+    a.Observe(rel_, {RowPair(0, 1)});
+    b.Observe(rel_, {RowPair(0, 1)});
+    EXPECT_EQ(a.CurrentHypothesis(), b.CurrentHypothesis());
+  }
+}
+
+}  // namespace
+}  // namespace et

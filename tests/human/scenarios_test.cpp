@@ -1,0 +1,102 @@
+#include "human/scenarios.h"
+
+#include <gtest/gtest.h>
+
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+TEST(ScenariosTest, FiveScenariosMatchTable2) {
+  const auto scenarios = UserStudyScenarios();
+  ASSERT_EQ(scenarios.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(scenarios[i].id, static_cast<int>(i + 1));
+    EXPECT_FALSE(scenarios[i].target_fds.empty());
+    EXPECT_FALSE(scenarios[i].alternative_fds.empty());
+  }
+  // Domains and ratios per Table 2.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(scenarios[i].domain, "Airport");
+    EXPECT_EQ(scenarios[i].ratio_m, 1);
+    EXPECT_EQ(scenarios[i].ratio_n, 3);
+  }
+  for (int i = 3; i < 5; ++i) {
+    EXPECT_EQ(scenarios[i].domain, "OMDB");
+    EXPECT_EQ(scenarios[i].ratio_m, 2);
+    EXPECT_EQ(scenarios[i].ratio_n, 3);
+  }
+}
+
+TEST(ScenariosTest, ScenarioFdsMatchPaper) {
+  const auto scenarios = UserStudyScenarios();
+  EXPECT_EQ(scenarios[0].target_fds,
+            (std::vector<std::string>{"facilityname,type->manager"}));
+  EXPECT_EQ(scenarios[2].target_fds,
+            (std::vector<std::string>{"manager->owner"}));
+  EXPECT_EQ(scenarios[4].target_fds,
+            (std::vector<std::string>{"rating->type"}));
+}
+
+class ScenarioInstanceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScenarioInstanceSweep, InstantiatesConsistently) {
+  const auto scenarios = UserStudyScenarios();
+  const Scenario& scenario = scenarios[GetParam() - 1];
+  ScenarioInstanceOptions options;
+  auto inst = InstantiateScenario(scenario, options, 77);
+  ASSERT_TRUE(inst.ok());
+
+  EXPECT_EQ(inst->rel.num_rows(), options.rows);
+  EXPECT_EQ(inst->targets.size(), scenario.target_fds.size());
+  EXPECT_EQ(inst->alternatives.size(),
+            scenario.alternative_fds.size());
+  EXPECT_GT(inst->space->size(), 0u);
+  EXPECT_TRUE(inst->space->Contains(inst->targets.front()));
+  EXPECT_EQ(inst->space->fd(inst->primary_target),
+            inst->targets.front());
+
+  // Ground truth is sized and non-trivial.
+  EXPECT_EQ(inst->truth.dirty_rows.size(), options.rows);
+  EXPECT_GT(inst->truth.NumDirtyRows(), 0u);
+  const auto clean = inst->clean_rows();
+  for (size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_EQ(clean[i], !inst->truth.dirty_rows[i]);
+  }
+}
+
+TEST_P(ScenarioInstanceSweep, TargetHasFewerViolationsThanAlternatives) {
+  // The defining property of the study design: the target FD holds
+  // with the fewest exceptions.
+  const auto scenarios = UserStudyScenarios();
+  const Scenario& scenario = scenarios[GetParam() - 1];
+  auto inst = InstantiateScenario(scenario, ScenarioInstanceOptions{}, 78);
+  ASSERT_TRUE(inst.ok());
+  double target_conf = 1.0;
+  for (const FD& fd : inst->targets) {
+    target_conf =
+        std::min(target_conf, PairwiseConfidence(inst->rel, fd));
+  }
+  double alt_conf = 1.0;
+  for (const FD& fd : inst->alternatives) {
+    alt_conf = std::min(alt_conf, PairwiseConfidence(inst->rel, fd));
+  }
+  EXPECT_GT(target_conf, alt_conf) << "scenario " << scenario.id;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioInstanceSweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ScenarioInstanceTest, DeterministicInSeed) {
+  const auto scenario = UserStudyScenarios()[0];
+  auto a = InstantiateScenario(scenario, ScenarioInstanceOptions{}, 5);
+  auto b = InstantiateScenario(scenario, ScenarioInstanceOptions{}, 5);
+  ASSERT_TRUE(a.ok() && b.ok());
+  for (RowId r = 0; r < a->rel.num_rows(); ++r) {
+    EXPECT_EQ(a->rel.Row(r), b->rel.Row(r));
+  }
+}
+
+}  // namespace
+}  // namespace et

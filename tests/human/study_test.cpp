@@ -1,0 +1,192 @@
+#include "human/study.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto scenario = UserStudyScenarios()[0];
+    auto inst = InstantiateScenario(scenario, ScenarioInstanceOptions{}, 91);
+    ET_ASSERT_OK(inst.status());
+    instance_ = std::move(*inst);
+  }
+  ScenarioInstance instance_;
+};
+
+TEST(DefaultCohortTest, SizeAndDeterminism) {
+  const auto a = DefaultCohort(20, 3);
+  const auto b = DefaultCohort(20, 3);
+  ASSERT_EQ(a.size(), 20u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].learning_weight, b[i].learning_weight);
+    EXPECT_DOUBLE_EQ(a[i].regression_prob, b[i].regression_prob);
+    EXPECT_EQ(a[i].prior_kind, b[i].prior_kind);
+  }
+}
+
+TEST(DefaultCohortTest, HeterogeneousPriors) {
+  const auto cohort = DefaultCohort(40, 5);
+  std::set<int> kinds;
+  for (const auto& p : cohort) kinds.insert(p.prior_kind);
+  EXPECT_GE(kinds.size(), 2u);
+}
+
+TEST_F(StudyTest, MakeSimulatedParticipantForAllPriorKinds) {
+  for (int kind : {0, 1, 2}) {
+    ParticipantProfile profile;
+    profile.prior_kind = kind;
+    auto participant = MakeSimulatedParticipant(instance_, profile, 7);
+    ET_ASSERT_OK(participant.status());
+    EXPECT_LT((*participant)->CurrentHypothesis(),
+              instance_.space->size());
+  }
+}
+
+TEST_F(StudyTest, SessionHasPaperShape) {
+  ParticipantProfile profile;
+  auto participant = MakeSimulatedParticipant(instance_, profile, 8);
+  ET_ASSERT_OK(participant.status());
+  Rng rng(9);
+  auto session = RunStudySession(instance_, **participant, 4,
+                                 StudyOptions{}, rng);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->participant, 4);
+  EXPECT_EQ(session->scenario_id, instance_.scenario.id);
+  EXPECT_GE(session->rounds.size(), 9u);
+  EXPECT_LE(session->rounds.size(), 15u);
+  for (const StudyRound& round : session->rounds) {
+    EXPECT_LE(round.shown.size(), 5u);
+    EXPECT_EQ(round.labels.size(), round.shown.size());
+    EXPECT_LT(round.declared, instance_.space->size());
+  }
+}
+
+TEST_F(StudyTest, SessionShowsFreshPairsOnly) {
+  ParticipantProfile profile;
+  auto participant = MakeSimulatedParticipant(instance_, profile, 10);
+  ET_ASSERT_OK(participant.status());
+  Rng rng(11);
+  auto session = RunStudySession(instance_, **participant, 0,
+                                 StudyOptions{}, rng);
+  ASSERT_TRUE(session.ok());
+  std::set<RowPair> seen;
+  for (const StudyRound& round : session->rounds) {
+    for (const RowPair& p : round.shown) {
+      EXPECT_TRUE(seen.insert(p).second);
+    }
+  }
+}
+
+TEST_F(StudyTest, RunStudySessionValidatesOptions) {
+  ParticipantProfile profile;
+  auto participant = MakeSimulatedParticipant(instance_, profile, 12);
+  ET_ASSERT_OK(participant.status());
+  Rng rng(13);
+  StudyOptions bad;
+  bad.min_rounds = 5;
+  bad.max_rounds = 3;
+  EXPECT_FALSE(
+      RunStudySession(instance_, **participant, 0, bad, rng).ok());
+}
+
+TEST_F(StudyTest, SpaceF1TableParallelsSpace) {
+  auto table = SpaceF1Table(instance_);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->size(), instance_.space->size());
+  for (double f1 : *table) {
+    EXPECT_GE(f1, 0.0);
+    EXPECT_LE(f1, 1.0);
+  }
+  // The target FD should score above the space median (it holds with
+  // the fewest exceptions by design; vacuously-compliant FDs can still
+  // edge it out on tiny scenario schemas).
+  const double target_f1 = (*table)[instance_.primary_target];
+  size_t better = 0;
+  for (double f1 : *table) better += (f1 > target_f1);
+  EXPECT_LT(better, instance_.space->size() / 2);
+}
+
+TEST_F(StudyTest, PredictorRRSeriesScoresEveryRound) {
+  ParticipantProfile profile;
+  auto participant = MakeSimulatedParticipant(instance_, profile, 14);
+  ET_ASSERT_OK(participant.status());
+  Rng rng(15);
+  auto session = RunStudySession(instance_, **participant, 0,
+                                 StudyOptions{}, rng);
+  ASSERT_TRUE(session.ok());
+
+  auto fd_f1 = SpaceF1Table(instance_);
+  ASSERT_TRUE(fd_f1.ok());
+  auto predictor = MakeSimulatedParticipant(instance_, profile, 14);
+  ET_ASSERT_OK(predictor.status());
+  auto series = PredictorRRSeries(instance_, *session, **predictor, 5,
+                                  false, *fd_f1);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->size(), session->rounds.size());
+  for (double rr : *series) {
+    EXPECT_GE(rr, 0.0);
+    EXPECT_LE(rr, 1.0);
+  }
+}
+
+TEST_F(StudyTest, IdenticalPredictorScoresPerfectMrr) {
+  // A deterministic participant replayed by an identical predictor is
+  // predicted perfectly (sanity bound for Figure 2).
+  ParticipantProfile profile;  // deterministic (no noise/regression)
+  auto participant = MakeSimulatedParticipant(instance_, profile, 16);
+  ET_ASSERT_OK(participant.status());
+  Rng rng(17);
+  auto session = RunStudySession(instance_, **participant, 0,
+                                 StudyOptions{}, rng);
+  ASSERT_TRUE(session.ok());
+
+  auto fd_f1 = SpaceF1Table(instance_);
+  auto twin = MakeSimulatedParticipant(instance_, profile, 16);
+  ET_ASSERT_OK(twin.status());
+  auto series = PredictorRRSeries(instance_, *session, **twin, 5, false,
+                                  *fd_f1);
+  ASSERT_TRUE(series.ok());
+  for (double rr : *series) EXPECT_DOUBLE_EQ(rr, 1.0);
+}
+
+TEST_F(StudyTest, SessionF1ChangeNonNegative) {
+  ParticipantProfile profile;
+  profile.regression_prob = 0.3;  // force some hypothesis churn
+  auto participant = MakeSimulatedParticipant(instance_, profile, 18);
+  ET_ASSERT_OK(participant.status());
+  Rng rng(19);
+  auto session = RunStudySession(instance_, **participant, 0,
+                                 StudyOptions{}, rng);
+  ASSERT_TRUE(session.ok());
+  auto change = SessionF1Change(instance_, *session);
+  ASSERT_TRUE(change.ok());
+  EXPECT_GE(*change, 0.0);
+  EXPECT_LE(*change, 1.0);
+}
+
+TEST_F(StudyTest, StableSessionHasZeroF1Change) {
+  StudySession session;
+  session.rounds.resize(3);
+  for (auto& round : session.rounds) round.declared = 0;
+  auto change = SessionF1Change(instance_, session);
+  ASSERT_TRUE(change.ok());
+  EXPECT_DOUBLE_EQ(*change, 0.0);
+}
+
+TEST_F(StudyTest, SingleRoundSessionHasZeroF1Change) {
+  StudySession session;
+  session.rounds.resize(1);
+  auto change = SessionF1Change(instance_, session);
+  ASSERT_TRUE(change.ok());
+  EXPECT_DOUBLE_EQ(*change, 0.0);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,190 @@
+// End-to-end integration: the full pipeline (generate -> inject ->
+// hypothesis space -> game -> error detection) on every dataset, plus
+// cross-module consistency checks.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "belief/priors.h"
+#include "core/candidates.h"
+#include "core/game.h"
+#include "data/datasets.h"
+#include "data/split.h"
+#include "errgen/error_generator.h"
+#include "fd/error_detector.h"
+#include "metrics/classification.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+struct Pipeline {
+  Relation rel;
+  std::shared_ptr<const HypothesisSpace> space;
+  DirtyGroundTruth truth;
+  Split split;
+  std::vector<FD> clean_fds;
+};
+
+Pipeline BuildPipeline(const std::string& dataset, uint64_t seed) {
+  Pipeline p;
+  auto data = MakeDatasetByName(dataset, 250, seed);
+  EXPECT_TRUE(data.ok());
+  p.rel = std::move(data->rel);
+  for (const std::string& text : data->clean_fds) {
+    const FD fd = testing::MustParseFD(text, p.rel.schema());
+    if (fd.NumAttributes() <= 4) p.clean_fds.push_back(fd);
+  }
+  std::vector<FD> watched;
+  for (const std::string& text : data->documented_fds) {
+    const FD fd = testing::MustParseFD(text, p.rel.schema());
+    if (fd.NumAttributes() <= 4) watched.push_back(fd);
+  }
+  if (watched.empty()) watched = p.clean_fds;
+  ErrorGenerator gen(&p.rel, seed ^ 0x1234);
+  EXPECT_TRUE(gen.InjectToDegree(watched, 0.12).ok());
+  p.truth = gen.ground_truth();
+  auto capped = HypothesisSpace::BuildCapped(p.rel, 4, 38, p.clean_fds);
+  EXPECT_TRUE(capped.ok());
+  p.space = std::make_shared<const HypothesisSpace>(std::move(*capped));
+  Rng rng(seed ^ 0x5678);
+  auto split = TrainTestSplit(p.rel.num_rows(), 0.3, rng);
+  EXPECT_TRUE(split.ok());
+  p.split = std::move(*split);
+  return p;
+}
+
+struct PlayedGame {
+  std::unique_ptr<Game> game;
+  GameResult result;
+};
+
+PlayedGame RunPipelineGame(Pipeline& p, PolicyKind kind, uint64_t seed) {
+  Rng rng(seed);
+  auto trainer_prior = RandomPrior(p.space, rng);
+  auto learner_prior = DataEstimatePrior(p.space, p.rel);
+  EXPECT_TRUE(trainer_prior.ok() && learner_prior.ok());
+  CandidateOptions pool_options;
+  pool_options.restrict_to = p.split.train;
+  auto pool = BuildCandidatePairs(p.rel, *p.space, pool_options, rng);
+  EXPECT_TRUE(pool.ok());
+  Trainer trainer(std::move(*trainer_prior), TrainerOptions{}, seed + 1);
+  Learner learner(std::move(*learner_prior), MakePolicy(kind),
+                  std::move(*pool), LearnerOptions{}, seed + 2);
+  PlayedGame out;
+  out.game = std::make_unique<Game>(&p.rel, std::move(trainer),
+                                    std::move(learner), GameOptions{});
+  auto result = out.game->Run();
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  out.result = std::move(*result);
+  return out;
+}
+
+class EndToEndSweep : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EndToEndSweep, GameConvergesOnEveryDataset) {
+  Pipeline p = BuildPipeline(GetParam(), 101);
+  PlayedGame played =
+      RunPipelineGame(p, PolicyKind::kStochasticUncertainty, 7);
+  ASSERT_FALSE(played.result.iterations.empty());
+  EXPECT_LT(played.result.iterations.back().mae,
+            played.result.initial_mae);
+}
+
+TEST_P(EndToEndSweep, DetectionBeatsCoinFlipPrecision) {
+  Pipeline p = BuildPipeline(GetParam(), 103);
+  PlayedGame played =
+      RunPipelineGame(p, PolicyKind::kStochasticBestResponse, 9);
+  const Game* game = played.game.get();
+
+  std::vector<WeightedFD> model;
+  for (size_t i = 0; i < game->learner().belief().size(); ++i) {
+    const double mu = game->learner().belief().Confidence(i);
+    if (mu > 0.5) {
+      model.push_back({p.space->fd(i), mu, (mu - 0.5) * 2});
+    }
+  }
+  const auto probs = DirtyProbabilities(p.rel, p.split.test, model);
+  const auto predicted = PredictDirty(probs);
+  std::vector<bool> actual(p.split.test.size());
+  size_t positives = 0;
+  for (size_t i = 0; i < p.split.test.size(); ++i) {
+    actual[i] = p.truth.dirty_rows[p.split.test[i]];
+    positives += actual[i];
+  }
+  auto scores = DetectionScores(predicted, actual);
+  ASSERT_TRUE(scores.ok());
+  const double base_rate =
+      static_cast<double>(positives) /
+      static_cast<double>(p.split.test.size());
+  // Predicting dirty at random would have precision == base rate; the
+  // learned model must do better whenever it predicts anything.
+  size_t predicted_any = 0;
+  for (bool b : predicted) predicted_any += b;
+  if (predicted_any > 0) {
+    EXPECT_GT(scores->precision, base_rate) << GetParam();
+  }
+}
+
+TEST_P(EndToEndSweep, WholePipelineIsDeterministic) {
+  Pipeline p1 = BuildPipeline(GetParam(), 107);
+  Pipeline p2 = BuildPipeline(GetParam(), 107);
+  GameResult r1 =
+      std::move(RunPipelineGame(p1, PolicyKind::kRandom, 11).result);
+  GameResult r2 =
+      std::move(RunPipelineGame(p2, PolicyKind::kRandom, 11).result);
+  ASSERT_EQ(r1.iterations.size(), r2.iterations.size());
+  for (size_t t = 0; t < r1.iterations.size(); ++t) {
+    EXPECT_DOUBLE_EQ(r1.iterations[t].mae, r2.iterations[t].mae);
+    EXPECT_EQ(r1.iterations[t].trainer_top_fd,
+              r2.iterations[t].trainer_top_fd);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDatasets, EndToEndSweep,
+                         ::testing::Values("omdb", "airport", "hospital",
+                                           "tax"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(EndToEndTest, LearnerOnlySeesTrainRows) {
+  Pipeline p = BuildPipeline("omdb", 109);
+  PlayedGame played = RunPipelineGame(p, PolicyKind::kRandom, 13);
+  std::vector<bool> is_train(p.rel.num_rows(), false);
+  for (RowId r : p.split.train) is_train[r] = true;
+  for (const IterationRecord& it : played.result.iterations) {
+    for (const LabeledPair& lp : it.labels) {
+      EXPECT_TRUE(is_train[lp.pair.first]);
+      EXPECT_TRUE(is_train[lp.pair.second]);
+    }
+  }
+}
+
+TEST(EndToEndTest, StationaryTrainerKeepsItsBelief) {
+  // The baseline current systems assume: a non-learning trainer's
+  // labels stay consistent with its prior forever.
+  Pipeline p = BuildPipeline("omdb", 113);
+  Rng rng(15);
+  auto trainer_prior = RandomPrior(p.space, rng);
+  auto learner_prior = DataEstimatePrior(p.space, p.rel);
+  ASSERT_TRUE(trainer_prior.ok() && learner_prior.ok());
+  const std::vector<double> prior_conf = trainer_prior->Confidences();
+  auto pool = BuildCandidatePairs(p.rel, *p.space, CandidateOptions{}, rng);
+  ASSERT_TRUE(pool.ok());
+  TrainerOptions stationary;
+  stationary.learns = false;
+  Trainer trainer(std::move(*trainer_prior), stationary, 16);
+  Learner learner(std::move(*learner_prior),
+                  MakePolicy(PolicyKind::kRandom), std::move(*pool),
+                  LearnerOptions{}, 17);
+  Game game(&p.rel, std::move(trainer), std::move(learner),
+            GameOptions{});
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(game.trainer().belief().Confidences(), prior_conf);
+}
+
+}  // namespace
+}  // namespace et

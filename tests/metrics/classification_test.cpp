@@ -1,0 +1,70 @@
+#include "metrics/classification.h"
+
+#include <gtest/gtest.h>
+
+namespace et {
+namespace {
+
+TEST(ConfusionTest, CountsAllQuadrants) {
+  const std::vector<bool> pred = {true, true, false, false};
+  const std::vector<bool> actual = {true, false, true, false};
+  auto c = Confusion(pred, actual);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->tp, 1u);
+  EXPECT_EQ(c->fp, 1u);
+  EXPECT_EQ(c->fn, 1u);
+  EXPECT_EQ(c->tn, 1u);
+  EXPECT_EQ(c->total(), 4u);
+}
+
+TEST(ConfusionTest, SizeMismatchFails) {
+  EXPECT_FALSE(Confusion({true}, {true, false}).ok());
+}
+
+TEST(ConfusionTest, EmptyVectors) {
+  auto c = Confusion({}, {});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->total(), 0u);
+}
+
+TEST(ScoresTest, PerfectPrediction) {
+  ConfusionCounts c{.tp = 10, .fp = 0, .tn = 5, .fn = 0};
+  const PRF1 s = ScoresFromCounts(c);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f1, 1.0);
+}
+
+TEST(ScoresTest, KnownValues) {
+  ConfusionCounts c{.tp = 6, .fp = 2, .tn = 0, .fn = 4};
+  const PRF1 s = ScoresFromCounts(c);
+  EXPECT_DOUBLE_EQ(s.precision, 0.75);
+  EXPECT_DOUBLE_EQ(s.recall, 0.6);
+  EXPECT_NEAR(s.f1, 2 * 0.75 * 0.6 / 1.35, 1e-12);
+}
+
+TEST(ScoresTest, DegenerateDenominators) {
+  // No predicted positives.
+  EXPECT_DOUBLE_EQ(
+      ScoresFromCounts({.tp = 0, .fp = 0, .tn = 5, .fn = 3}).precision,
+      0.0);
+  // No actual positives.
+  EXPECT_DOUBLE_EQ(
+      ScoresFromCounts({.tp = 0, .fp = 2, .tn = 5, .fn = 0}).recall,
+      0.0);
+  // Both zero -> f1 zero, no NaN.
+  const PRF1 s = ScoresFromCounts({.tp = 0, .fp = 0, .tn = 1, .fn = 0});
+  EXPECT_DOUBLE_EQ(s.f1, 0.0);
+}
+
+TEST(DetectionScoresTest, EndToEnd) {
+  const std::vector<bool> pred = {true, false, true, true};
+  const std::vector<bool> actual = {true, false, false, true};
+  auto s = DetectionScores(pred, actual);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(s->precision, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s->recall, 1.0);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,98 @@
+#include "metrics/fd_f1.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+using testing::Table1Relation;
+
+TEST(CompliantRowsTest, ViolatingPairMembersAreNonCompliant) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const auto compliant = CompliantRows(rel, f1);
+  // Lakers rows 0,1 violate; Bulls rows 2,3 satisfy; Miller 4 has no
+  // partner (vacuously compliant).
+  EXPECT_FALSE(compliant[0]);
+  EXPECT_FALSE(compliant[1]);
+  EXPECT_TRUE(compliant[2]);
+  EXPECT_TRUE(compliant[3]);
+  EXPECT_TRUE(compliant[4]);
+}
+
+TEST(CompliantRowsTest, ExactFdAllCompliant) {
+  const Relation rel = Table1Relation();
+  const FD key = MustParseFD("Player->Team", rel.schema());
+  for (bool c : CompliantRows(rel, key)) EXPECT_TRUE(c);
+}
+
+TEST(CompliantRowsTest, MixedClassAllViolating) {
+  const Relation rel = testing::MakeRelation(
+      {"k", "v"}, {{"a", "1"}, {"a", "1"}, {"a", "2"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  const auto compliant = CompliantRows(rel, fd);
+  EXPECT_FALSE(compliant[0]);
+  EXPECT_FALSE(compliant[1]);
+  EXPECT_FALSE(compliant[2]);
+}
+
+TEST(FdCleanF1Test, PerfectWhenComplianceMatchesCleanliness) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  // Ground truth: exactly the compliant rows are clean.
+  const std::vector<bool> clean = {false, false, true, true, true};
+  auto s = FdCleanF1(rel, f1, clean);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->precision, 1.0);
+  EXPECT_DOUBLE_EQ(s->recall, 1.0);
+  EXPECT_DOUBLE_EQ(s->f1, 1.0);
+}
+
+TEST(FdCleanF1Test, PenalizesOverclaiming) {
+  const Relation rel = Table1Relation();
+  // Player->Team is exact: claims all 5 rows compliant. If only 3 rows
+  // are actually clean, precision = 3/5, recall = 1.
+  const FD key = MustParseFD("Player->Team", rel.schema());
+  const std::vector<bool> clean = {true, false, true, false, true};
+  auto s = FdCleanF1(rel, key, clean);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->precision, 0.6);
+  EXPECT_DOUBLE_EQ(s->recall, 1.0);
+}
+
+TEST(FdCleanF1Test, PenalizesUnderclaiming) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  // Everything is actually clean: f1's two non-compliant rows cost
+  // recall.
+  const std::vector<bool> clean(5, true);
+  auto s = FdCleanF1(rel, f1, clean);
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->precision, 1.0);
+  EXPECT_DOUBLE_EQ(s->recall, 0.6);
+}
+
+TEST(FdCleanF1Test, SizeMismatchFails) {
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  EXPECT_FALSE(FdCleanF1(rel, f1, {true, false}).ok());
+}
+
+TEST(FdCleanF1Test, DistinguishesCompetingFds) {
+  // The Table 3 mechanism: two hypotheses differ in F1 against the
+  // same ground truth.
+  const Relation rel = Table1Relation();
+  const FD f1 = MustParseFD("Team->City", rel.schema());
+  const FD f2 = MustParseFD("Team->Apps", rel.schema());
+  const std::vector<bool> clean = {false, false, true, true, true};
+  auto s1 = FdCleanF1(rel, f1, clean);
+  auto s2 = FdCleanF1(rel, f2, clean);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_GT(s1->f1, s2->f1);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,101 @@
+#include "metrics/mrr.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+TEST(ReciprocalRankTest, PositionalValues) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({7, 3, 9}, 7), 1.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({7, 3, 9}, 3), 0.5);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({7, 3, 9}, 9), 1.0 / 3.0);
+}
+
+TEST(ReciprocalRankTest, AbsentTargetScoresZero) {
+  EXPECT_DOUBLE_EQ(ReciprocalRank({7, 3, 9}, 42), 0.0);
+  EXPECT_DOUBLE_EQ(ReciprocalRank({}, 1), 0.0);
+}
+
+TEST(MeanReciprocalRankTest, Averages) {
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({1.0, 0.5, 0.0}), 0.5);
+  EXPECT_DOUBLE_EQ(MeanReciprocalRank({}), 0.0);
+}
+
+class RRPlusTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = *Schema::Make({"A", "B", "C"});
+    space_ = HypothesisSpace::EnumerateAll(schema_, 3);
+    target_ = *space_.IndexOf(MustParseFD("A,B->C", schema_));
+    superset_ = *space_.IndexOf(MustParseFD("A->C", schema_));
+    unrelated_ = *space_.IndexOf(MustParseFD("A->B", schema_));
+    f1_.assign(space_.size(), 0.5);
+  }
+  Schema schema_;
+  HypothesisSpace space_;
+  size_t target_ = 0;
+  size_t superset_ = 0;
+  size_t unrelated_ = 0;
+  std::vector<double> f1_;
+};
+
+TEST_F(RRPlusTest, ExactMatchEarnsFullCredit) {
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRankPlus(space_, {unrelated_, target_}, target_, f1_),
+      0.5);
+}
+
+TEST_F(RRPlusTest, RelatedMatchEarnsDiscountedCredit) {
+  // Superset at rank 1; F1 gap of 0.3 -> credit 0.7.
+  f1_[target_] = 0.9;
+  f1_[superset_] = 0.6;
+  EXPECT_NEAR(
+      ReciprocalRankPlus(space_, {superset_, unrelated_}, target_, f1_),
+      0.7, 1e-12);
+}
+
+TEST_F(RRPlusTest, EqualF1RelatedMatchEarnsFullPositionCredit) {
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRankPlus(space_, {superset_}, target_, f1_), 1.0);
+}
+
+TEST_F(RRPlusTest, FirstQualifyingPositionWins) {
+  // Related at rank 1 beats exact at rank 2 (first match scores).
+  f1_[target_] = 0.9;
+  f1_[superset_] = 0.8;
+  EXPECT_NEAR(
+      ReciprocalRankPlus(space_, {superset_, target_}, target_, f1_),
+      0.9, 1e-12);
+}
+
+TEST_F(RRPlusTest, UnrelatedOnlyScoresZero) {
+  EXPECT_DOUBLE_EQ(
+      ReciprocalRankPlus(space_, {unrelated_}, target_, f1_), 0.0);
+}
+
+TEST_F(RRPlusTest, PlusAtLeastExactWhenNoRelatedOutranksTarget) {
+  // RR+ >= RR whenever no related FD sits above the exact match (a
+  // related FD outranking the target scores first and may be
+  // discounted below the exact credit — that is the paper's intended
+  // penalty).
+  const std::vector<std::vector<size_t>> rankings = {
+      {target_}, {superset_}, {unrelated_, target_}, {unrelated_}};
+  for (const auto& ranked : rankings) {
+    EXPECT_GE(ReciprocalRankPlus(space_, ranked, target_, f1_),
+              ReciprocalRank(ranked, target_));
+  }
+  // And with a heavy discount, a related FD above the target can pull
+  // RR+ below RR.
+  f1_[target_] = 1.0;
+  f1_[superset_] = 0.1;
+  EXPECT_LT(
+      ReciprocalRankPlus(space_, {superset_, target_}, target_, f1_),
+      ReciprocalRank({superset_, target_}, target_));
+}
+
+}  // namespace
+}  // namespace et

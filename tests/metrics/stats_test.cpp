@@ -1,0 +1,97 @@
+#include "metrics/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math.h"
+
+namespace et {
+namespace {
+
+TEST(BootstrapMeanCITest, CoversSampleMean) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0, 5.0};
+  auto ci = BootstrapMeanCI(samples);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->mean, 3.0);
+  EXPECT_LE(ci->lower, 3.0);
+  EXPECT_GE(ci->upper, 3.0);
+  EXPECT_GT(ci->half_width(), 0.0);
+}
+
+TEST(BootstrapMeanCITest, DegenerateSamplesGiveZeroWidth) {
+  const std::vector<double> samples = {2.5, 2.5, 2.5, 2.5};
+  auto ci = BootstrapMeanCI(samples);
+  ASSERT_TRUE(ci.ok());
+  EXPECT_DOUBLE_EQ(ci->lower, 2.5);
+  EXPECT_DOUBLE_EQ(ci->upper, 2.5);
+}
+
+TEST(BootstrapMeanCITest, WiderSpreadWiderInterval) {
+  const std::vector<double> tight = {1.0, 1.1, 0.9, 1.05, 0.95};
+  const std::vector<double> wide = {0.0, 2.0, -1.0, 3.0, 1.0};
+  auto tight_ci = BootstrapMeanCI(tight);
+  auto wide_ci = BootstrapMeanCI(wide);
+  ASSERT_TRUE(tight_ci.ok() && wide_ci.ok());
+  EXPECT_LT(tight_ci->half_width(), wide_ci->half_width());
+}
+
+TEST(BootstrapMeanCITest, HigherConfidenceWiderInterval) {
+  const std::vector<double> samples = {1.0, 3.0, 2.0, 5.0, 4.0, 2.5};
+  BootstrapOptions c90;
+  c90.confidence = 0.90;
+  BootstrapOptions c99;
+  c99.confidence = 0.99;
+  auto lo = BootstrapMeanCI(samples, c90);
+  auto hi = BootstrapMeanCI(samples, c99);
+  ASSERT_TRUE(lo.ok() && hi.ok());
+  EXPECT_LE(lo->half_width(), hi->half_width());
+}
+
+TEST(BootstrapMeanCITest, DeterministicInSeed) {
+  const std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  auto a = BootstrapMeanCI(samples);
+  auto b = BootstrapMeanCI(samples);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->lower, b->lower);
+  EXPECT_DOUBLE_EQ(a->upper, b->upper);
+}
+
+TEST(BootstrapMeanCITest, ValidatesInputs) {
+  EXPECT_FALSE(BootstrapMeanCI({1.0}).ok());
+  BootstrapOptions bad;
+  bad.confidence = 1.0;
+  EXPECT_FALSE(BootstrapMeanCI({1.0, 2.0}, bad).ok());
+  bad = BootstrapOptions{};
+  bad.resamples = 3;
+  EXPECT_FALSE(BootstrapMeanCI({1.0, 2.0}, bad).ok());
+}
+
+TEST(PairedBootstrapTest, DetectsClearWinner) {
+  // a consistently below b: prob_a_below_b ~ 1.
+  const std::vector<double> a = {0.10, 0.12, 0.09, 0.11, 0.10};
+  const std::vector<double> b = {0.30, 0.28, 0.33, 0.29, 0.31};
+  auto cmp = PairedBootstrap(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_LT(cmp->mean_difference, 0.0);
+  EXPECT_GT(cmp->prob_a_below_b, 0.99);
+  EXPECT_LT(cmp->difference_ci.upper, 0.0);  // CI excludes zero
+}
+
+TEST(PairedBootstrapTest, NoDifferenceIsUncertain) {
+  const std::vector<double> a = {0.2, 0.3, 0.25, 0.35, 0.28, 0.31};
+  const std::vector<double> b = {0.3, 0.2, 0.35, 0.25, 0.31, 0.28};
+  auto cmp = PairedBootstrap(a, b);
+  ASSERT_TRUE(cmp.ok());
+  EXPECT_NEAR(cmp->mean_difference, 0.0, 1e-12);
+  EXPECT_GT(cmp->prob_a_below_b, 0.2);
+  EXPECT_LT(cmp->prob_a_below_b, 0.8);
+  EXPECT_LE(cmp->difference_ci.lower, 0.0);
+  EXPECT_GE(cmp->difference_ci.upper, 0.0);
+}
+
+TEST(PairedBootstrapTest, ValidatesInputs) {
+  EXPECT_FALSE(PairedBootstrap({1.0, 2.0}, {1.0}).ok());
+  EXPECT_FALSE(PairedBootstrap({1.0}, {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace et

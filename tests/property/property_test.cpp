@@ -1,0 +1,214 @@
+// Property-based suites: invariants checked over randomized relations,
+// beliefs, and parameter sweeps (parameterized gtest over seeds).
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "belief/update.h"
+#include "common/math.h"
+#include "core/candidates.h"
+#include "core/policies.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "fd/g1.h"
+#include "fd/partition.h"
+#include "metrics/fd_f1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+/// A random relation with controlled duplication structure.
+Relation RandomRelation(uint64_t seed, size_t rows = 80, int cols = 4,
+                        size_t domain = 5) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  for (int c = 0; c < cols; ++c) names.push_back("a" + std::to_string(c));
+  Relation rel(*Schema::Make(names));
+  std::vector<std::string> row(cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      row[c] = "v" + std::to_string(rng.NextUint64(domain));
+    }
+    EXPECT_TRUE(rel.AppendRow(row).ok());
+  }
+  return rel;
+}
+
+class SeededProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeededProperty, G1BoundedByAgreeingPairFraction) {
+  const Relation rel = RandomRelation(GetParam());
+  const auto space = HypothesisSpace::EnumerateAll(rel.schema(), 3);
+  const double n = static_cast<double>(rel.num_rows());
+  for (const FD& fd : space.fds()) {
+    const Partition part = Partition::Build(rel, fd.lhs);
+    const double agree_frac =
+        static_cast<double>(part.AgreeingPairCount()) / (n * n);
+    const double g1 = G1(rel, fd);
+    EXPECT_GE(g1, 0.0);
+    EXPECT_LE(g1, agree_frac + 1e-12);
+  }
+}
+
+TEST_P(SeededProperty, ConfidenceConsistentWithViolationCounts) {
+  // (1 - PairwiseConfidence) * agreeing == violating, exactly.
+  const Relation rel = RandomRelation(GetParam() ^ 0x11);
+  const auto space = HypothesisSpace::EnumerateAll(rel.schema(), 3);
+  for (const FD& fd : space.fds()) {
+    const Partition part = Partition::Build(rel, fd.lhs);
+    const double agreeing =
+        static_cast<double>(part.AgreeingPairCount());
+    const double violating =
+        static_cast<double>(ViolatingPairCount(rel, fd));
+    const double conf = PairwiseConfidence(rel, fd);
+    if (agreeing == 0) {
+      EXPECT_EQ(conf, 1.0);
+    } else {
+      EXPECT_NEAR((1.0 - conf) * agreeing, violating, 1e-6);
+    }
+  }
+}
+
+TEST_P(SeededProperty, PartitionRefinement) {
+  // The partition of X ∪ Y refines the partition of X: agreeing pairs
+  // can only shrink.
+  const Relation rel = RandomRelation(GetParam() ^ 0x22);
+  const AttrSet x = AttrSet::Of({0});
+  const AttrSet xy = AttrSet::Of({0, 1});
+  const AttrSet xyz = AttrSet::Of({0, 1, 2});
+  const auto pairs = [&](AttrSet s) {
+    return Partition::Build(rel, s).AgreeingPairCount();
+  };
+  EXPECT_GE(pairs(x), pairs(xy));
+  EXPECT_GE(pairs(xy), pairs(xyz));
+}
+
+TEST_P(SeededProperty, PartitionCoversAllRows) {
+  const Relation rel = RandomRelation(GetParam() ^ 0x33);
+  const Partition part = Partition::Build(rel, AttrSet::Of({0, 1}));
+  size_t covered = part.num_singletons();
+  for (const auto& cls : part.classes()) covered += cls.size();
+  EXPECT_EQ(covered, rel.num_rows());
+}
+
+TEST_P(SeededProperty, CompliantRowsMatchViolatingPairMembership) {
+  const Relation rel = RandomRelation(GetParam() ^ 0x44);
+  const auto space = HypothesisSpace::EnumerateAll(rel.schema(), 2);
+  for (const FD& fd : space.fds()) {
+    const auto compliant = CompliantRows(rel, fd);
+    std::vector<bool> in_violation(rel.num_rows(), false);
+    for (const RowPair& p : ViolatingPairs(rel, fd)) {
+      in_violation[p.first] = true;
+      in_violation[p.second] = true;
+    }
+    for (RowId r = 0; r < rel.num_rows(); ++r) {
+      EXPECT_EQ(compliant[r], !in_violation[r])
+          << fd.ToString(rel.schema()) << " row " << r;
+    }
+  }
+}
+
+TEST_P(SeededProperty, ErrorInjectionOnlyTouchesReportedCells) {
+  auto before = MakeOmdb(120, GetParam());
+  auto after = MakeOmdb(120, GetParam());
+  ASSERT_TRUE(before.ok() && after.ok());
+  std::vector<FD> clean;
+  for (const auto& text : after->clean_fds) {
+    clean.push_back(testing::MustParseFD(text, after->rel.schema()));
+  }
+  ErrorGenerator gen(&after->rel, GetParam() ^ 0x55);
+  ASSERT_TRUE(gen.InjectToDegree(clean, 0.08).ok());
+  std::set<std::pair<RowId, int>> dirty;
+  for (const Cell& c : gen.ground_truth().dirty_cells) {
+    dirty.insert({c.row, c.col});
+  }
+  for (RowId r = 0; r < after->rel.num_rows(); ++r) {
+    for (int c = 0; c < after->rel.num_columns(); ++c) {
+      if (dirty.count({r, c})) {
+        EXPECT_NE(after->rel.cell(r, c), before->rel.cell(r, c));
+      } else {
+        EXPECT_EQ(after->rel.cell(r, c), before->rel.cell(r, c));
+      }
+    }
+  }
+}
+
+TEST_P(SeededProperty, BeliefUpdatesKeepConfidencesInUnitInterval) {
+  const Relation rel = RandomRelation(GetParam() ^ 0x66);
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(rel.schema(), 3));
+  Rng rng(GetParam());
+  auto belief = RandomPrior(space, rng);
+  ASSERT_TRUE(belief.ok());
+  // Slam it with random labeled pairs.
+  for (int i = 0; i < 50; ++i) {
+    LabeledPair lp;
+    const RowId a = rng.NextUint64(rel.num_rows());
+    RowId b = rng.NextUint64(rel.num_rows());
+    if (a == b) continue;
+    lp.pair = RowPair(a, b);
+    lp.first_dirty = rng.NextBernoulli(0.3);
+    lp.second_dirty = rng.NextBernoulli(0.3);
+    UpdateFromLabels(&*belief, rel, {lp});
+  }
+  for (size_t i = 0; i < belief->size(); ++i) {
+    EXPECT_GT(belief->Confidence(i), 0.0);
+    EXPECT_LT(belief->Confidence(i), 1.0);
+  }
+}
+
+TEST_P(SeededProperty, PolicyDistributionsAreProperOnRandomBeliefs) {
+  const Relation rel = RandomRelation(GetParam() ^ 0x77);
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(rel.schema(), 2));
+  Rng rng(GetParam() ^ 0x88);
+  auto belief = RandomPrior(space, rng);
+  ASSERT_TRUE(belief.ok());
+  auto pool = BuildCandidatePairs(rel, *space, CandidateOptions{}, rng);
+  ASSERT_TRUE(pool.ok());
+  for (PolicyKind kind : AllPolicyKinds()) {
+    auto policy = MakePolicy(kind);
+    const auto dist = policy->Distribution(*belief, rel, *pool);
+    double sum = 0.0;
+    for (double p : dist) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << PolicyKindToString(kind);
+  }
+}
+
+TEST_P(SeededProperty, ObservationUpdateTracksEmpiricalComplianceRate) {
+  // After many observations with a weak prior, an FD's confidence
+  // approaches its empirical satisfied/(satisfied+violated) rate.
+  const Relation rel = RandomRelation(GetParam() ^ 0x99, 60, 3, 3);
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(rel.schema(), 2));
+  BeliefModel belief(space);  // Beta(1,1) everywhere
+  std::vector<RowPair> all_pairs;
+  for (RowId i = 0; i < rel.num_rows(); ++i) {
+    for (RowId j = i + 1; j < rel.num_rows(); ++j) {
+      all_pairs.emplace_back(i, j);
+    }
+  }
+  UpdateFromObservation(&belief, rel, all_pairs);
+  for (size_t i = 0; i < space->size(); ++i) {
+    const FD& fd = space->fd(i);
+    const Partition part = Partition::Build(rel, fd.lhs);
+    const double agreeing =
+        static_cast<double>(part.AgreeingPairCount());
+    if (agreeing < 20) continue;  // prior still dominates
+    const double violating =
+        static_cast<double>(ViolatingPairCount(rel, fd));
+    const double empirical = 1.0 - violating / agreeing;
+    EXPECT_NEAR(belief.Confidence(i), empirical, 0.1)
+        << fd.ToString(rel.schema());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,103 @@
+// Property suites for the repair engine: invariants over randomized
+// dirty datasets.
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "fd/g1.h"
+#include "repair/repair.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MustParseFD;
+
+class RepairPropertySweep : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  struct Setup {
+    Dataset pristine;
+    Dataset dirty;
+    std::vector<FD> fds;
+    std::vector<WeightedFD> weighted;
+    DirtyGroundTruth truth;
+  };
+
+  Setup Build(const char* dataset) {
+    Setup s;
+    auto pristine = MakeDatasetByName(dataset, 200, GetParam());
+    auto dirty = MakeDatasetByName(dataset, 200, GetParam());
+    EXPECT_TRUE(pristine.ok() && dirty.ok());
+    s.pristine = std::move(*pristine);
+    s.dirty = std::move(*dirty);
+    for (const auto& text : s.dirty.documented_fds) {
+      const FD fd = MustParseFD(text, s.dirty.rel.schema());
+      s.fds.push_back(fd);
+      s.weighted.push_back({fd, 0.95, 1.0});
+    }
+    ErrorGenerator gen(&s.dirty.rel, GetParam() ^ 0xD1127);
+    EXPECT_TRUE(gen.InjectToDegree(s.fds, 0.12).ok());
+    s.truth = gen.ground_truth();
+    return s;
+  }
+};
+
+TEST_P(RepairPropertySweep, NeverIncreasesViolations) {
+  for (const char* dataset : {"omdb", "airport"}) {
+    Setup s = Build(dataset);
+    auto result = RepairRelation(&s.dirty.rel, s.weighted);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->violations_after, result->violations_before)
+        << dataset;
+  }
+}
+
+TEST_P(RepairPropertySweep, ActionsMatchRelationDiff) {
+  // Every cell that differs from the pre-repair state is covered by an
+  // action, and old/new values in the actions are faithful.
+  Setup s = Build("omdb");
+  Dataset before_copy = s.dirty;  // snapshot of the dirty state
+  auto result = RepairRelation(&s.dirty.rel, s.weighted);
+  ASSERT_TRUE(result.ok());
+  // Apply the action list to the snapshot: must land on the repaired
+  // relation.
+  for (const RepairAction& action : result->actions) {
+    EXPECT_EQ(before_copy.rel.cell(action.cell.row, action.cell.col),
+              action.old_value);
+    ET_ASSERT_OK(before_copy.rel.SetCell(
+        action.cell.row, action.cell.col, action.new_value));
+  }
+  for (RowId r = 0; r < s.dirty.rel.num_rows(); ++r) {
+    EXPECT_EQ(before_copy.rel.Row(r), s.dirty.rel.Row(r));
+  }
+}
+
+TEST_P(RepairPropertySweep, RepairIsIdempotent) {
+  Setup s = Build("airport");
+  auto first = RepairRelation(&s.dirty.rel, s.weighted);
+  ASSERT_TRUE(first.ok());
+  auto second = RepairRelation(&s.dirty.rel, s.weighted);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->cost(), 0u);
+}
+
+TEST_P(RepairPropertySweep, PrecisionStaysHighOnFreshErrors) {
+  // Injected values are globally fresh, so minority-rewrites should
+  // rarely touch clean cells.
+  Setup s = Build("omdb");
+  auto result = RepairRelation(&s.dirty.rel, s.weighted);
+  ASSERT_TRUE(result.ok());
+  auto score = ScoreRepair(s.pristine.rel, s.dirty.rel,
+                           s.truth.dirty_cells, result->actions);
+  ASSERT_TRUE(score.ok());
+  if (score->changed >= 5) {
+    EXPECT_GT(score->precision(), 0.7) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepairPropertySweep,
+                         ::testing::Values(501, 502, 503, 504));
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,122 @@
+// Cross-cutting round-trip and knob properties: serialization over
+// randomized beliefs, the scenario-2 difficulty knob, and game-result
+// edge cases.
+
+#include <gtest/gtest.h>
+
+#include "belief/priors.h"
+#include "belief/serialize.h"
+#include "core/game.h"
+#include "data/datasets.h"
+#include "exp/userstudy_experiment.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+class SerializeRoundTripSweep : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(SerializeRoundTripSweep, RandomBeliefsSurviveExactly) {
+  // Random schema width, random space, random priors, random evidence:
+  // serialize -> parse must be lossless.
+  Rng rng(GetParam());
+  const int attrs = 2 + static_cast<int>(rng.NextUint64(5));
+  std::vector<std::string> names;
+  for (int i = 0; i < attrs; ++i) names.push_back("a" + std::to_string(i));
+  const Schema schema = *Schema::Make(names);
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(schema, 3));
+  auto belief = RandomPrior(space, rng);
+  ASSERT_TRUE(belief.ok());
+  for (int i = 0; i < 30; ++i) {
+    const size_t idx = rng.NextUint64(belief->size());
+    if (rng.NextBernoulli(0.5)) {
+      belief->beta(idx).ObserveSuccess(rng.NextDouble(0.1, 3.0));
+    } else {
+      belief->beta(idx).ObserveFailure(rng.NextDouble(0.1, 3.0));
+    }
+  }
+  auto restored =
+      DeserializeBeliefModel(SerializeBeliefModel(*belief));
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->size(), belief->size());
+  for (size_t i = 0; i < belief->size(); ++i) {
+    EXPECT_EQ(restored->space().fd(i), belief->space().fd(i));
+    EXPECT_DOUBLE_EQ(restored->beta(i).alpha(), belief->beta(i).alpha());
+    EXPECT_DOUBLE_EQ(restored->beta(i).beta(), belief->beta(i).beta());
+  }
+  // Double round-trip is a fixed point.
+  EXPECT_EQ(SerializeBeliefModel(*restored),
+            SerializeBeliefModel(*belief));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTripSweep,
+                         ::testing::Values(71, 72, 73, 74, 75, 76));
+
+TEST(Scenario2KnobTest, ExtraRegressionLowersBayesianMrr) {
+  // The scenario-2 difficulty knob must actually produce the paper's
+  // "no model predicts scenario 2" effect: cranking it down should
+  // raise Bayesian MRR there.
+  UserStudyConfig hard;
+  hard.participants = 8;
+  hard.instance.rows = 120;
+  hard.scenario2_extra_regression = 0.5;
+  UserStudyConfig easy = hard;
+  easy.scenario2_extra_regression = 0.0;
+
+  auto hard_result = RunUserStudy(hard);
+  auto easy_result = RunUserStudy(easy);
+  ASSERT_TRUE(hard_result.ok() && easy_result.ok());
+  auto bayes_s2 = [](const UserStudyResult& r) {
+    for (const ModelScenarioScore& s : r.fig2) {
+      if (s.scenario_id == 2 && s.model == "Bayesian(FP)") return s.mrr;
+    }
+    return -1.0;
+  };
+  EXPECT_LT(bayes_s2(*hard_result), bayes_s2(*easy_result));
+}
+
+TEST(GameEdgeTest, ZeroIterationGame) {
+  auto data = MakeOmdb(60, 81);
+  ASSERT_TRUE(data.ok());
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(data->rel.schema(), 2));
+  std::vector<RowPair> pool = {RowPair(0, 1), RowPair(1, 2)};
+  Trainer trainer(BeliefModel(space), TrainerOptions{}, 1);
+  Learner learner(BeliefModel(space), MakePolicy(PolicyKind::kRandom),
+                  pool, LearnerOptions{}, 2);
+  GameOptions options;
+  options.iterations = 0;
+  Game game(&data->rel, std::move(trainer), std::move(learner), options);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->iterations.empty());
+  EXPECT_TRUE(result->MaeSeries().empty());
+  EXPECT_GE(result->initial_mae, 0.0);
+}
+
+TEST(GameEdgeTest, SinglePairPerIteration) {
+  auto data = MakeOmdb(60, 83);
+  ASSERT_TRUE(data.ok());
+  auto space = std::make_shared<const HypothesisSpace>(
+      HypothesisSpace::EnumerateAll(data->rel.schema(), 2));
+  std::vector<RowPair> pool;
+  for (RowId r = 0; r + 1 < 20; r += 2) pool.emplace_back(r, r + 1);
+  Trainer trainer(BeliefModel(space), TrainerOptions{}, 3);
+  Learner learner(BeliefModel(space), MakePolicy(PolicyKind::kRandom),
+                  pool, LearnerOptions{}, 4);
+  GameOptions options;
+  options.iterations = 5;
+  options.pairs_per_iteration = 1;
+  Game game(&data->rel, std::move(trainer), std::move(learner), options);
+  auto result = game.Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->iterations.size(), 5u);
+  for (const IterationRecord& it : result->iterations) {
+    EXPECT_EQ(it.labels.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace et

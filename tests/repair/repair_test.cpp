@@ -1,0 +1,178 @@
+#include "repair/repair.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "fd/g1.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::MustParseFD;
+
+TEST(SuggestRepairsTest, ProposesMinorityRewrites) {
+  // k-class {a: v,v,w}: w is the minority and gets rewritten to v.
+  Relation rel = MakeRelation(
+      {"k", "v"}, {{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "z"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  const auto actions = SuggestRepairs(rel, {{fd, 0.95, 1.0}});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].cell, (Cell{2, 1}));
+  EXPECT_EQ(actions[0].old_value, "y");
+  EXPECT_EQ(actions[0].new_value, "x");
+  EXPECT_EQ(actions[0].cause, fd);
+}
+
+TEST(SuggestRepairsTest, UntrustedFdsIgnored) {
+  Relation rel = MakeRelation(
+      {"k", "v"}, {{"a", "x"}, {"a", "x"}, {"a", "y"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  EXPECT_TRUE(SuggestRepairs(rel, {{fd, 0.5, 1.0}}).empty());
+}
+
+TEST(SuggestRepairsTest, RespectsMinMajority) {
+  // 50/50 class: no rewrite at min_majority 0.6.
+  Relation rel = MakeRelation(
+      {"k", "v"}, {{"a", "x"}, {"a", "y"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  RepairOptions options;
+  options.min_majority = 0.6;
+  EXPECT_TRUE(SuggestRepairs(rel, {{fd, 0.95, 1.0}}, options).empty());
+  options.min_majority = 0.5;
+  EXPECT_EQ(SuggestRepairs(rel, {{fd, 0.95, 1.0}}, options).size(), 1u);
+}
+
+TEST(RepairRelationTest, EliminatesViolations) {
+  Relation rel = MakeRelation(
+      {"k", "v"},
+      {{"a", "x"}, {"a", "x"}, {"a", "y"}, {"b", "p"}, {"b", "q"},
+       {"b", "p"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  ASSERT_GT(ViolatingPairCount(rel, fd), 0u);
+  auto result = RepairRelation(&rel, {{fd, 0.95, 1.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->violations_before, 0u);
+  EXPECT_EQ(result->violations_after, 0u);
+  EXPECT_EQ(ViolatingPairCount(rel, fd), 0u);
+  EXPECT_EQ(result->cost(), 2u);  // one fix per class
+  EXPECT_EQ(rel.cell(2, 1), "x");
+  EXPECT_EQ(rel.cell(4, 1), "p");
+}
+
+TEST(RepairRelationTest, HigherConfidenceFdWinsConflicts) {
+  // Two FDs over the same RHS; the confident one is applied first and
+  // its fix sticks (the second sees a consistent class).
+  Relation rel = MakeRelation(
+      {"k1", "k2", "v"},
+      {{"a", "m", "x"}, {"a", "m", "x"}, {"a", "m", "y"}});
+  const FD strong = MustParseFD("k1->v", rel.schema());
+  const FD weak = MustParseFD("k2->v", rel.schema());
+  auto result =
+      RepairRelation(&rel, {{weak, 0.85, 1.0}, {strong, 0.99, 1.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(rel.cell(2, 2), "x");
+  ASSERT_FALSE(result->actions.empty());
+  EXPECT_EQ(result->actions[0].cause, strong);
+}
+
+TEST(RepairRelationTest, MultiPassFixesCascades) {
+  // Fixing v via k can expose a violation of w via v (w = f(v)).
+  Relation rel = MakeRelation(
+      {"k", "v", "w"},
+      {{"a", "x", "1"}, {"a", "x", "1"}, {"a", "y", "2"}});
+  const FD kv = MustParseFD("k->v", rel.schema());
+  const FD vw = MustParseFD("v->w", rel.schema());
+  auto result =
+      RepairRelation(&rel, {{kv, 0.99, 1.0}, {vw, 0.95, 1.0}});
+  ASSERT_TRUE(result.ok());
+  // After k->v fixes row 2's v to x, v->w sees {x:1,1,2} and fixes w.
+  EXPECT_EQ(rel.cell(2, 1), "x");
+  EXPECT_EQ(rel.cell(2, 2), "1");
+  EXPECT_EQ(result->violations_after, 0u);
+}
+
+TEST(RepairRelationTest, ValidatesArguments) {
+  Relation rel = MakeRelation({"k", "v"}, {{"a", "x"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  EXPECT_FALSE(RepairRelation(nullptr, {{fd, 0.9, 1.0}}).ok());
+  RepairOptions bad;
+  bad.min_majority = 1.5;
+  EXPECT_FALSE(RepairRelation(&rel, {{fd, 0.9, 1.0}}, bad).ok());
+  EXPECT_FALSE(
+      RepairRelation(&rel, {{FD(AttrSet::Single(0), 9), 0.9, 1.0}})
+          .ok());
+}
+
+TEST(RepairRelationTest, NoTrustedFdsIsNoOp) {
+  Relation rel = MakeRelation(
+      {"k", "v"}, {{"a", "x"}, {"a", "y"}});
+  const FD fd = MustParseFD("k->v", rel.schema());
+  auto result = RepairRelation(&rel, {{fd, 0.2, 1.0}});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cost(), 0u);
+  EXPECT_EQ(rel.cell(1, 1), "y");
+}
+
+TEST(RepairEndToEndTest, RestoresInjectedErrors) {
+  // The full story: scramble a clean dataset, repair with the true
+  // FDs, measure how many scrambled cells return to their original
+  // values.
+  auto pristine = MakeOmdb(300, 401);
+  auto dirty = MakeOmdb(300, 401);
+  ASSERT_TRUE(pristine.ok() && dirty.ok());
+  std::vector<FD> fds;
+  std::vector<WeightedFD> weighted;
+  for (const auto& text : dirty->clean_fds) {
+    const FD fd = MustParseFD(text, dirty->rel.schema());
+    fds.push_back(fd);
+    weighted.push_back({fd, 0.95, 1.0});
+  }
+  ErrorGenerator gen(&dirty->rel, 402);
+  ET_ASSERT_OK(gen.InjectToDegree(fds, 0.10));
+  const size_t dirty_cells = gen.ground_truth().dirty_cells.size();
+  ASSERT_GT(dirty_cells, 5u);
+
+  auto result = RepairRelation(&dirty->rel, weighted);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->violations_after, result->violations_before / 4);
+
+  auto score = ScoreRepair(pristine->rel, dirty->rel,
+                           gen.ground_truth().dirty_cells,
+                           result->actions);
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->dirty_total, dirty_cells);
+  // Most scrambled cells are restored exactly (fresh ERR_ values are
+  // always the minority in their class).
+  EXPECT_GT(score->correction_rate(), 0.6);
+  // And the repair rarely touches clean cells.
+  EXPECT_GT(score->precision(), 0.8);
+}
+
+TEST(ScoreRepairTest, ValidatesShapes) {
+  Relation a = MakeRelation({"k"}, {{"x"}});
+  Relation b = MakeRelation({"k"}, {{"x"}, {"y"}});
+  EXPECT_FALSE(ScoreRepair(a, b, {}, {}).ok());
+}
+
+TEST(ScoreRepairTest, CountsExactly) {
+  Relation pristine = MakeRelation({"k", "v"}, {{"a", "x"}, {"a", "x"}});
+  Relation repaired = MakeRelation({"k", "v"}, {{"a", "x"}, {"a", "x"}});
+  std::vector<Cell> dirty = {{1, 1}};
+  RepairAction good;
+  good.cell = {1, 1};
+  RepairAction wasted;
+  wasted.cell = {0, 0};
+  auto score = ScoreRepair(pristine, repaired, dirty, {good, wasted});
+  ASSERT_TRUE(score.ok());
+  EXPECT_EQ(score->changed, 2u);
+  EXPECT_EQ(score->changed_dirty, 1u);
+  EXPECT_EQ(score->changed_correctly, 1u);
+  EXPECT_DOUBLE_EQ(score->precision(), 0.5);
+  EXPECT_DOUBLE_EQ(score->correction_rate(), 1.0);
+}
+
+}  // namespace
+}  // namespace et

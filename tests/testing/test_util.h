@@ -1,0 +1,78 @@
+// Shared fixtures/helpers for the test suite.
+
+#ifndef ET_TESTS_TESTING_TEST_UTIL_H_
+#define ET_TESTS_TESTING_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "fd/fd.h"
+
+namespace et {
+namespace testing {
+
+/// gtest glue: assert a Status/Result is OK with a useful message.
+#define ET_ASSERT_OK(expr)                                       \
+  do {                                                           \
+    const auto& _st = (expr);                                    \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+#define ET_EXPECT_OK(expr)                                       \
+  do {                                                           \
+    const auto& _st = (expr);                                    \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                     \
+  } while (0)
+
+/// Unwraps a Result in a test, failing fatally on error.
+template <typename T>
+T Unwrap(Result<T> result) {
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  if (!result.ok()) {
+    // Tests must not proceed with a moved-from/invalid value; abort.
+    ADD_FAILURE() << "Unwrap on error Result";
+  }
+  return std::move(result).value();
+}
+
+/// Builds a relation from a header and rows of string cells.
+inline Relation MakeRelation(const std::vector<std::string>& attrs,
+                             const std::vector<std::vector<std::string>>& rows) {
+  auto schema = Schema::Make(attrs);
+  EXPECT_TRUE(schema.ok()) << schema.status().ToString();
+  Relation rel(std::move(schema).value());
+  for (const auto& row : rows) {
+    auto st = rel.AppendRow(row);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+  }
+  return rel;
+}
+
+/// The paper's Table 1 instance (Player, Team, City, Role, Apps).
+inline Relation Table1Relation() {
+  return MakeRelation(
+      {"Player", "Team", "City", "Role", "Apps"},
+      {
+          {"Carter", "Lakers", "L.A.", "C", "4"},
+          {"Jordan", "Lakers", "Chicago", "PF", "4"},
+          {"Smith", "Bulls", "Chicago", "PF", "4"},
+          {"Black", "Bulls", "Chicago", "C", "3"},
+          {"Miller", "Clippers", "L.A.", "PG", "3"},
+      });
+}
+
+/// Parses an FD or fails the test.
+inline FD MustParseFD(const std::string& text, const Schema& schema) {
+  auto fd = ParseFD(text, schema);
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+  return std::move(fd).value();
+}
+
+}  // namespace testing
+}  // namespace et
+
+#endif  // ET_TESTS_TESTING_TEST_UTIL_H_

@@ -1,0 +1,230 @@
+// et_experiment: command-line front end to the experiment harness.
+//
+//   et_experiment convergence [--dataset=omdb] [--rows=400]
+//       [--degree=0.10] [--trainer-prior=random]
+//       [--learner-prior=data|uniform:0.9|random] [--iterations=30]
+//       [--pairs=5] [--reps=5] [--gamma=0.5] [--seed=42] [--f1]
+//       [--policies=random,us,sbr,sus] [--csv=path]
+//
+//   et_experiment userstudy [--participants=20] [--rows=200]
+//       [--violations=25] [--seed=7] [--model-free]
+//
+// Prints the same tables the bench binaries do, but fully
+// parameterized — the harness a downstream user drives their own
+// sweeps with.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "exp/convergence_experiment.h"
+#include "exp/report.h"
+#include "exp/userstudy_experiment.h"
+
+namespace {
+
+using namespace et;
+
+/// Minimal --key=value parser over argv (after the subcommand).
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  long long GetInt(const std::string& key, long long def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    auto v = ParseInt(it->second);
+    ET_CHECK(v.ok()) << "--" << key << ": " << v.status().ToString();
+    return *v;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    auto v = ParseDouble(it->second);
+    ET_CHECK(v.ok()) << "--" << key << ": " << v.status().ToString();
+    return *v;
+  }
+  bool GetBool(const std::string& key) const {
+    return GetString(key, "false") == "true";
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+PriorSpec ParsePrior(const std::string& text) {
+  PriorSpec spec;
+  const std::string lower = ToLower(text);
+  if (lower == "random") {
+    spec.kind = PriorKind::kRandom;
+  } else if (lower == "data" || lower == "data-estimate") {
+    spec.kind = PriorKind::kDataEstimate;
+  } else if (StartsWith(lower, "uniform")) {
+    spec.kind = PriorKind::kUniform;
+    const size_t colon = lower.find(':');
+    if (colon != std::string::npos) {
+      auto d = ParseDouble(lower.substr(colon + 1));
+      ET_CHECK(d.ok()) << "bad uniform prior: " << text;
+      spec.uniform_d = *d;
+    }
+  } else {
+    ET_CHECK(false) << "unknown prior: " << text
+                    << " (use random|data|uniform[:d])";
+  }
+  return spec;
+}
+
+std::vector<PolicyKind> ParsePolicies(const std::string& text) {
+  if (ToLower(text) == "all") return AllPolicyKinds();
+  std::vector<PolicyKind> out;
+  for (const std::string& part : Split(text, ',')) {
+    const std::string p = ToLower(std::string(Trim(part)));
+    if (p == "random") {
+      out.push_back(PolicyKind::kRandom);
+    } else if (p == "us") {
+      out.push_back(PolicyKind::kUncertainty);
+    } else if (p == "sbr") {
+      out.push_back(PolicyKind::kStochasticBestResponse);
+    } else if (p == "sus") {
+      out.push_back(PolicyKind::kStochasticUncertainty);
+    } else {
+      ET_CHECK(false) << "unknown policy: " << p
+                      << " (use random|us|sbr|sus|all)";
+    }
+  }
+  return out;
+}
+
+int RunConvergence(const Flags& flags) {
+  ConvergenceConfig config;
+  config.dataset = flags.GetString("dataset", "omdb");
+  config.rows = static_cast<size_t>(flags.GetInt("rows", 400));
+  config.violation_degree = flags.GetDouble("degree", 0.10);
+  config.trainer_prior =
+      ParsePrior(flags.GetString("trainer-prior", "random"));
+  config.learner_prior =
+      ParsePrior(flags.GetString("learner-prior", "data"));
+  config.iterations =
+      static_cast<size_t>(flags.GetInt("iterations", 30));
+  config.pairs_per_iteration =
+      static_cast<size_t>(flags.GetInt("pairs", 5));
+  config.repetitions = static_cast<size_t>(flags.GetInt("reps", 5));
+  config.gamma = flags.GetDouble("gamma", 0.5);
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.compute_f1 = flags.GetBool("f1");
+  config.policies = ParsePolicies(flags.GetString("policies", "all"));
+  config.hypothesis_cap =
+      static_cast<size_t>(flags.GetInt("hypotheses", 38));
+
+  auto result = RunConvergenceExperiment(config);
+  ET_CHECK_OK(result.status());
+
+  std::vector<std::string> headers = {"iter"};
+  for (const MethodSeries& m : result->methods) {
+    headers.push_back(PolicyKindToString(m.policy));
+  }
+  const bool use_f1 = config.compute_f1;
+  TableReporter table(headers);
+  std::vector<std::vector<std::string>> csv_rows;
+  const size_t n = result->methods.front().mae.size();
+  for (size_t t = 0; t < n; ++t) {
+    std::vector<std::string> row = {std::to_string(t + 1)};
+    for (const MethodSeries& m : result->methods) {
+      row.push_back(
+          TableReporter::Num(use_f1 ? m.f1.at(t) : m.mae.at(t)));
+    }
+    csv_rows.push_back(row);
+    ET_CHECK_OK(table.AddRow(row));
+  }
+  std::printf("dataset=%s degree=%.2f (achieved %.3f) metric=%s\n",
+              config.dataset.c_str(), config.violation_degree,
+              result->achieved_degree, use_f1 ? "F1" : "MAE");
+  std::printf("%s", table.ToString().c_str());
+
+  const std::string csv_path = flags.GetString("csv", "");
+  if (!csv_path.empty()) {
+    ET_CHECK_OK(WriteCsv(csv_path, headers, csv_rows));
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}
+
+int RunUserStudyCmd(const Flags& flags) {
+  UserStudyConfig config;
+  config.participants =
+      static_cast<size_t>(flags.GetInt("participants", 20));
+  config.instance.rows = static_cast<size_t>(flags.GetInt("rows", 200));
+  config.instance.target_violations =
+      static_cast<size_t>(flags.GetInt("violations", 25));
+  config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  config.include_model_free = flags.GetBool("model-free");
+
+  auto result = RunUserStudy(config);
+  ET_CHECK_OK(result.status());
+
+  TableReporter fig2({"scenario", "model", "MRR", "MRR+"});
+  for (const ModelScenarioScore& s : result->fig2) {
+    ET_CHECK_OK(fig2.AddRow({std::to_string(s.scenario_id), s.model,
+                             TableReporter::Num(s.mrr),
+                             TableReporter::Num(s.mrr_plus)}));
+  }
+  std::printf("Figure 2 (MRR, k=5):\n%s\n", fig2.ToString().c_str());
+
+  TableReporter table3({"scenario", "avg f1-change"});
+  for (const ScenarioF1Change& row : result->table3) {
+    ET_CHECK_OK(
+        table3.AddRow({std::to_string(row.scenario_id),
+                       TableReporter::Num(row.avg_f1_change)}));
+  }
+  std::printf("Table 3:\n%s", table3.ToString().c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: et_experiment <convergence|userstudy> [--flags]\n"
+      "  convergence: --dataset --rows --degree --trainer-prior\n"
+      "               --learner-prior --iterations --pairs --reps\n"
+      "               --gamma --seed --f1 --policies --csv\n"
+      "  userstudy:   --participants --rows --violations --seed\n"
+      "               --model-free\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "convergence") return RunConvergence(flags);
+  if (command == "userstudy") return RunUserStudyCmd(flags);
+  Usage();
+  return 2;
+}

@@ -1,0 +1,201 @@
+// et_label: interactive exploratory training with YOU as the trainer.
+//
+//   et_label --csv=path/to/data.csv [--policy=sus] [--pairs=3]
+//            [--hypotheses=38] [--rounds=10]
+//   et_label --dataset=omdb --rows=300 --degree=0.1   # demo mode
+//
+// Each round the learner picks tuple pairs under its current belief
+// and shows them; you mark which tuples look erroneous. The system
+// updates its model of the rules governing your data and prints its
+// current top hypotheses. This is the paper's trainer/learner loop
+// with a human in the trainer seat.
+//
+// Input per pair: 'n' (both clean), '1' (first dirty), '2' (second
+// dirty), 'b' (both dirty), 's' (skip), 'q' (quit).
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "belief/priors.h"
+#include "common/logging.h"
+#include "common/strings.h"
+#include "core/candidates.h"
+#include "core/learner.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "fd/g1.h"
+
+namespace {
+
+using namespace et;
+
+struct Args {
+  std::string csv;
+  std::string dataset;
+  size_t rows = 300;
+  double degree = 0.1;
+  std::string policy = "sus";
+  size_t pairs = 3;
+  size_t hypotheses = 38;
+  size_t rounds = 10;
+  uint64_t seed = 1;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* key) -> const char* {
+      const std::string prefix = std::string("--") + key + "=";
+      return StartsWith(arg, prefix) ? arg.c_str() + prefix.size()
+                                     : nullptr;
+    };
+    if (const char* v = value("csv")) {
+      args.csv = v;
+    } else if (const char* v = value("dataset")) {
+      args.dataset = v;
+    } else if (const char* v = value("rows")) {
+      args.rows = static_cast<size_t>(*ParseInt(v));
+    } else if (const char* v = value("degree")) {
+      args.degree = *ParseDouble(v);
+    } else if (const char* v = value("policy")) {
+      args.policy = v;
+    } else if (const char* v = value("pairs")) {
+      args.pairs = static_cast<size_t>(*ParseInt(v));
+    } else if (const char* v = value("hypotheses")) {
+      args.hypotheses = static_cast<size_t>(*ParseInt(v));
+    } else if (const char* v = value("rounds")) {
+      args.rounds = static_cast<size_t>(*ParseInt(v));
+    } else if (const char* v = value("seed")) {
+      args.seed = static_cast<uint64_t>(*ParseInt(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+PolicyKind ParsePolicy(const std::string& name) {
+  const std::string p = ToLower(name);
+  if (p == "random") return PolicyKind::kRandom;
+  if (p == "us") return PolicyKind::kUncertainty;
+  if (p == "sbr") return PolicyKind::kStochasticBestResponse;
+  if (p == "sus") return PolicyKind::kStochasticUncertainty;
+  if (p == "qbc") return PolicyKind::kQueryByCommittee;
+  if (p == "density") return PolicyKind::kDensityWeightedUncertainty;
+  std::fprintf(stderr,
+               "unknown policy %s (random|us|sbr|sus|qbc|density)\n",
+               name.c_str());
+  std::exit(2);
+}
+
+void PrintRow(const Relation& rel, RowId row) {
+  std::printf("    row %-5u", row);
+  for (int c = 0; c < rel.num_columns(); ++c) {
+    std::printf(" %s=%s", rel.schema().name(c).c_str(),
+                rel.cell(row, c).c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintTopHypotheses(const BeliefModel& belief, const Relation& rel,
+                        size_t k) {
+  std::printf("  system's current top rules:\n");
+  for (size_t idx : belief.TopK(k)) {
+    std::printf("    %-40s confidence %.3f\n",
+                belief.space().fd(idx).ToString(rel.schema()).c_str(),
+                belief.Confidence(idx));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  Relation rel;
+  if (!args.csv.empty()) {
+    auto loaded = ReadCsvFile(args.csv);
+    ET_CHECK_OK(loaded.status());
+    rel = std::move(*loaded);
+    std::printf("loaded %s: %zu rows, %d attributes\n",
+                args.csv.c_str(), rel.num_rows(), rel.num_columns());
+  } else {
+    const std::string name =
+        args.dataset.empty() ? "omdb" : args.dataset;
+    auto data = MakeDatasetByName(name, args.rows, args.seed);
+    ET_CHECK_OK(data.status());
+    rel = std::move(data->rel);
+    std::vector<FD> clean;
+    for (const auto& text : data->documented_fds) {
+      clean.push_back(*ParseFD(text, rel.schema()));
+    }
+    ErrorGenerator gen(&rel, args.seed ^ 0xD1);
+    ET_CHECK_OK(gen.InjectToDegree(clean, args.degree));
+    std::printf("demo dataset '%s': %zu rows, %zu dirtied (find the "
+                "broken rules!)\n",
+                name.c_str(), rel.num_rows(),
+                gen.ground_truth().NumDirtyRows());
+  }
+
+  auto capped =
+      HypothesisSpace::BuildCapped(rel, 4, args.hypotheses, {});
+  ET_CHECK_OK(capped.status());
+  auto space = std::make_shared<const HypothesisSpace>(std::move(*capped));
+  std::printf("reasoning over %zu candidate rules\n\n", space->size());
+
+  Rng rng(args.seed ^ 0xE7);
+  auto prior = DataEstimatePrior(space, rel);
+  ET_CHECK_OK(prior.status());
+  auto pool = BuildCandidatePairs(rel, *space, CandidateOptions{}, rng);
+  ET_CHECK_OK(pool.status());
+  Learner learner(std::move(*prior), MakePolicy(ParsePolicy(args.policy)),
+                  std::move(*pool), LearnerOptions{}, args.seed ^ 0xF2);
+
+  for (size_t round = 1; round <= args.rounds; ++round) {
+    if (!learner.CanSelect(args.pairs)) {
+      std::printf("candidate pool exhausted — stopping.\n");
+      break;
+    }
+    auto pairs = learner.SelectExamples(rel, args.pairs);
+    ET_CHECK_OK(pairs.status());
+    std::printf("== round %zu/%zu ==\n", round, args.rounds);
+    std::vector<LabeledPair> labels;
+    bool quit = false;
+    for (const RowPair& pair : *pairs) {
+      std::printf("  pair:\n");
+      PrintRow(rel, pair.first);
+      PrintRow(rel, pair.second);
+      std::printf("  erroneous tuples? [n]one / [1]st / [2]nd / "
+                  "[b]oth / [s]kip / [q]uit: ");
+      std::fflush(stdout);
+      std::string line;
+      if (!std::getline(std::cin, line)) {
+        quit = true;
+        break;
+      }
+      const std::string answer = ToLower(std::string(Trim(line)));
+      if (answer == "q") {
+        quit = true;
+        break;
+      }
+      if (answer == "s") continue;
+      LabeledPair lp;
+      lp.pair = pair;
+      lp.first_dirty = (answer == "1" || answer == "b");
+      lp.second_dirty = (answer == "2" || answer == "b");
+      labels.push_back(lp);
+    }
+    learner.Consume(rel, labels);
+    PrintTopHypotheses(learner.belief(), rel, 5);
+    std::printf("\n");
+    if (quit) break;
+  }
+
+  std::printf("final model:\n");
+  PrintTopHypotheses(learner.belief(), rel, 10);
+  return 0;
+}

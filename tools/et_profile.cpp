@@ -1,0 +1,131 @@
+// et_profile: dataset profiler — per-column statistics and the
+// approximate FDs discoverable without supervision, i.e. the raw
+// material exploratory training starts from.
+//
+//   et_profile --csv=path [--g1=0.01] [--max-lhs=2]
+//   et_profile --dataset=hospital --rows=300 [--degree=0.1]
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "data/csv.h"
+#include "data/datasets.h"
+#include "errgen/error_generator.h"
+#include "exp/report.h"
+#include "fd/discovery.h"
+#include "fd/g1.h"
+
+namespace {
+
+using namespace et;
+
+struct Args {
+  std::string csv;
+  std::string dataset = "omdb";
+  size_t rows = 300;
+  double degree = 0.0;
+  double g1 = 0.01;
+  int max_lhs = 2;
+  uint64_t seed = 1;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* key) -> const char* {
+      const std::string prefix = std::string("--") + key + "=";
+      return StartsWith(arg, prefix) ? arg.c_str() + prefix.size()
+                                     : nullptr;
+    };
+    if (const char* v = value("csv")) {
+      args.csv = v;
+    } else if (const char* v = value("dataset")) {
+      args.dataset = v;
+    } else if (const char* v = value("rows")) {
+      args.rows = static_cast<size_t>(*ParseInt(v));
+    } else if (const char* v = value("degree")) {
+      args.degree = *ParseDouble(v);
+    } else if (const char* v = value("g1")) {
+      args.g1 = *ParseDouble(v);
+    } else if (const char* v = value("max-lhs")) {
+      args.max_lhs = static_cast<int>(*ParseInt(v));
+    } else if (const char* v = value("seed")) {
+      args.seed = static_cast<uint64_t>(*ParseInt(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = ParseArgs(argc, argv);
+
+  Relation rel;
+  if (!args.csv.empty()) {
+    auto loaded = ReadCsvFile(args.csv);
+    ET_CHECK_OK(loaded.status());
+    rel = std::move(*loaded);
+  } else {
+    auto data = MakeDatasetByName(args.dataset, args.rows, args.seed);
+    ET_CHECK_OK(data.status());
+    rel = std::move(data->rel);
+    if (args.degree > 0.0) {
+      std::vector<FD> clean;
+      for (const auto& text : data->documented_fds) {
+        clean.push_back(*ParseFD(text, rel.schema()));
+      }
+      ErrorGenerator gen(&rel, args.seed ^ 0xCAFE);
+      ET_CHECK_OK(gen.InjectToDegree(clean, args.degree));
+    }
+  }
+
+  std::printf("rows: %zu   attributes: %d\n\n", rel.num_rows(),
+              rel.num_columns());
+
+  TableReporter columns({"attribute", "distinct", "distinct %",
+                         "example value"});
+  for (int c = 0; c < rel.num_columns(); ++c) {
+    const size_t distinct = rel.DistinctCount(c);
+    const double pct =
+        rel.num_rows() == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(distinct) /
+                  static_cast<double>(rel.num_rows());
+    ET_CHECK_OK(columns.AddRow(
+        {rel.schema().name(c), std::to_string(distinct),
+         TableReporter::Num(pct, 1),
+         rel.num_rows() ? rel.cell(0, c) : ""}));
+  }
+  std::printf("%s\n", columns.ToString().c_str());
+
+  DiscoveryOptions options;
+  options.g1_threshold = args.g1;
+  options.max_lhs_size = args.max_lhs;
+  auto found = DiscoverFDs(rel, options);
+  ET_CHECK_OK(found.status());
+
+  std::printf("approximate FDs (g1 <= %.4g, LHS <= %d): %zu\n", args.g1,
+              args.max_lhs, found->size());
+  TableReporter fds({"FD", "g1", "pairwise confidence"});
+  size_t shown = 0;
+  for (const DiscoveredFD& d : *found) {
+    if (shown++ >= 25) break;
+    ET_CHECK_OK(
+        fds.AddRow({d.fd.ToString(rel.schema()),
+                    TableReporter::Num(d.g1, 5),
+                    TableReporter::Num(
+                        PairwiseConfidence(rel, d.fd), 4)}));
+  }
+  std::printf("%s", fds.ToString().c_str());
+  if (found->size() > 25) {
+    std::printf("(%zu more not shown)\n", found->size() - 25);
+  }
+  return 0;
+}
