@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_forgetting.dir/bench_ablation_forgetting.cpp.o"
+  "CMakeFiles/bench_ablation_forgetting.dir/bench_ablation_forgetting.cpp.o.d"
+  "bench_ablation_forgetting"
+  "bench_ablation_forgetting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_forgetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_relabeling.dir/bench_ablation_relabeling.cpp.o"
+  "CMakeFiles/bench_ablation_relabeling.dir/bench_ablation_relabeling.cpp.o.d"
+  "bench_ablation_relabeling"
+  "bench_ablation_relabeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_relabeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

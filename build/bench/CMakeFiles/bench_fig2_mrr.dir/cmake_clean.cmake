@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_mrr.dir/bench_fig2_mrr.cpp.o"
+  "CMakeFiles/bench_fig2_mrr.dir/bench_fig2_mrr.cpp.o.d"
+  "bench_fig2_mrr"
+  "bench_fig2_mrr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_mrr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_mae_all.dir/bench_fig4_mae_all.cpp.o"
+  "CMakeFiles/bench_fig4_mae_all.dir/bench_fig4_mae_all.cpp.o.d"
+  "bench_fig4_mae_all"
+  "bench_fig4_mae_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_mae_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

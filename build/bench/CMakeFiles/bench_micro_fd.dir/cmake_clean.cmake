@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_fd.dir/bench_micro_fd.cpp.o"
+  "CMakeFiles/bench_micro_fd.dir/bench_micro_fd.cpp.o.d"
+  "bench_micro_fd"
+  "bench_micro_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_f1change.dir/bench_table3_f1change.cpp.o"
+  "CMakeFiles/bench_table3_f1change.dir/bench_table3_f1change.cpp.o.d"
+  "bench_table3_f1change"
+  "bench_table3_f1change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_f1change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cleaning_session.dir/data_cleaning_session.cpp.o"
+  "CMakeFiles/data_cleaning_session.dir/data_cleaning_session.cpp.o.d"
+  "data_cleaning_session"
+  "data_cleaning_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cleaning_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

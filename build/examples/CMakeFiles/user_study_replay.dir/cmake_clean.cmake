@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_study_replay.dir/user_study_replay.cpp.o"
+  "CMakeFiles/user_study_replay.dir/user_study_replay.cpp.o.d"
+  "user_study_replay"
+  "user_study_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_study_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

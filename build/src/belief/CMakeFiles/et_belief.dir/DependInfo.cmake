@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/belief/belief_model.cpp" "src/belief/CMakeFiles/et_belief.dir/belief_model.cpp.o" "gcc" "src/belief/CMakeFiles/et_belief.dir/belief_model.cpp.o.d"
+  "/root/repo/src/belief/beta.cpp" "src/belief/CMakeFiles/et_belief.dir/beta.cpp.o" "gcc" "src/belief/CMakeFiles/et_belief.dir/beta.cpp.o.d"
+  "/root/repo/src/belief/priors.cpp" "src/belief/CMakeFiles/et_belief.dir/priors.cpp.o" "gcc" "src/belief/CMakeFiles/et_belief.dir/priors.cpp.o.d"
+  "/root/repo/src/belief/serialize.cpp" "src/belief/CMakeFiles/et_belief.dir/serialize.cpp.o" "gcc" "src/belief/CMakeFiles/et_belief.dir/serialize.cpp.o.d"
+  "/root/repo/src/belief/update.cpp" "src/belief/CMakeFiles/et_belief.dir/update.cpp.o" "gcc" "src/belief/CMakeFiles/et_belief.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/et_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/et_fd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

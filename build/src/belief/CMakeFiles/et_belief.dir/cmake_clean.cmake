@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_belief.dir/belief_model.cpp.o"
+  "CMakeFiles/et_belief.dir/belief_model.cpp.o.d"
+  "CMakeFiles/et_belief.dir/beta.cpp.o"
+  "CMakeFiles/et_belief.dir/beta.cpp.o.d"
+  "CMakeFiles/et_belief.dir/priors.cpp.o"
+  "CMakeFiles/et_belief.dir/priors.cpp.o.d"
+  "CMakeFiles/et_belief.dir/serialize.cpp.o"
+  "CMakeFiles/et_belief.dir/serialize.cpp.o.d"
+  "CMakeFiles/et_belief.dir/update.cpp.o"
+  "CMakeFiles/et_belief.dir/update.cpp.o.d"
+  "libet_belief.a"
+  "libet_belief.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_belief.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_common.dir/logging.cpp.o"
+  "CMakeFiles/et_common.dir/logging.cpp.o.d"
+  "CMakeFiles/et_common.dir/math.cpp.o"
+  "CMakeFiles/et_common.dir/math.cpp.o.d"
+  "CMakeFiles/et_common.dir/rng.cpp.o"
+  "CMakeFiles/et_common.dir/rng.cpp.o.d"
+  "CMakeFiles/et_common.dir/status.cpp.o"
+  "CMakeFiles/et_common.dir/status.cpp.o.d"
+  "CMakeFiles/et_common.dir/strings.cpp.o"
+  "CMakeFiles/et_common.dir/strings.cpp.o.d"
+  "libet_common.a"
+  "libet_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/candidates.cpp" "src/core/CMakeFiles/et_core.dir/candidates.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/candidates.cpp.o.d"
+  "/root/repo/src/core/convergence.cpp" "src/core/CMakeFiles/et_core.dir/convergence.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/convergence.cpp.o.d"
+  "/root/repo/src/core/equilibrium.cpp" "src/core/CMakeFiles/et_core.dir/equilibrium.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/equilibrium.cpp.o.d"
+  "/root/repo/src/core/game.cpp" "src/core/CMakeFiles/et_core.dir/game.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/game.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/core/CMakeFiles/et_core.dir/inference.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/inference.cpp.o.d"
+  "/root/repo/src/core/learner.cpp" "src/core/CMakeFiles/et_core.dir/learner.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/learner.cpp.o.d"
+  "/root/repo/src/core/payoff.cpp" "src/core/CMakeFiles/et_core.dir/payoff.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/payoff.cpp.o.d"
+  "/root/repo/src/core/policies.cpp" "src/core/CMakeFiles/et_core.dir/policies.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/policies.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/et_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/et_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/et_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/et_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/belief/CMakeFiles/et_belief.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

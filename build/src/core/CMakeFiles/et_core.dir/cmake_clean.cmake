@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_core.dir/candidates.cpp.o"
+  "CMakeFiles/et_core.dir/candidates.cpp.o.d"
+  "CMakeFiles/et_core.dir/convergence.cpp.o"
+  "CMakeFiles/et_core.dir/convergence.cpp.o.d"
+  "CMakeFiles/et_core.dir/equilibrium.cpp.o"
+  "CMakeFiles/et_core.dir/equilibrium.cpp.o.d"
+  "CMakeFiles/et_core.dir/game.cpp.o"
+  "CMakeFiles/et_core.dir/game.cpp.o.d"
+  "CMakeFiles/et_core.dir/inference.cpp.o"
+  "CMakeFiles/et_core.dir/inference.cpp.o.d"
+  "CMakeFiles/et_core.dir/learner.cpp.o"
+  "CMakeFiles/et_core.dir/learner.cpp.o.d"
+  "CMakeFiles/et_core.dir/payoff.cpp.o"
+  "CMakeFiles/et_core.dir/payoff.cpp.o.d"
+  "CMakeFiles/et_core.dir/policies.cpp.o"
+  "CMakeFiles/et_core.dir/policies.cpp.o.d"
+  "CMakeFiles/et_core.dir/trainer.cpp.o"
+  "CMakeFiles/et_core.dir/trainer.cpp.o.d"
+  "libet_core.a"
+  "libet_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/csv.cpp" "src/data/CMakeFiles/et_data.dir/csv.cpp.o" "gcc" "src/data/CMakeFiles/et_data.dir/csv.cpp.o.d"
+  "/root/repo/src/data/datasets.cpp" "src/data/CMakeFiles/et_data.dir/datasets.cpp.o" "gcc" "src/data/CMakeFiles/et_data.dir/datasets.cpp.o.d"
+  "/root/repo/src/data/dictionary.cpp" "src/data/CMakeFiles/et_data.dir/dictionary.cpp.o" "gcc" "src/data/CMakeFiles/et_data.dir/dictionary.cpp.o.d"
+  "/root/repo/src/data/relation.cpp" "src/data/CMakeFiles/et_data.dir/relation.cpp.o" "gcc" "src/data/CMakeFiles/et_data.dir/relation.cpp.o.d"
+  "/root/repo/src/data/schema.cpp" "src/data/CMakeFiles/et_data.dir/schema.cpp.o" "gcc" "src/data/CMakeFiles/et_data.dir/schema.cpp.o.d"
+  "/root/repo/src/data/split.cpp" "src/data/CMakeFiles/et_data.dir/split.cpp.o" "gcc" "src/data/CMakeFiles/et_data.dir/split.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_data.dir/csv.cpp.o"
+  "CMakeFiles/et_data.dir/csv.cpp.o.d"
+  "CMakeFiles/et_data.dir/datasets.cpp.o"
+  "CMakeFiles/et_data.dir/datasets.cpp.o.d"
+  "CMakeFiles/et_data.dir/dictionary.cpp.o"
+  "CMakeFiles/et_data.dir/dictionary.cpp.o.d"
+  "CMakeFiles/et_data.dir/relation.cpp.o"
+  "CMakeFiles/et_data.dir/relation.cpp.o.d"
+  "CMakeFiles/et_data.dir/schema.cpp.o"
+  "CMakeFiles/et_data.dir/schema.cpp.o.d"
+  "CMakeFiles/et_data.dir/split.cpp.o"
+  "CMakeFiles/et_data.dir/split.cpp.o.d"
+  "libet_data.a"
+  "libet_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

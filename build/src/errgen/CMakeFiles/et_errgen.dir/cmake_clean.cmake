@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_errgen.dir/error_generator.cpp.o"
+  "CMakeFiles/et_errgen.dir/error_generator.cpp.o.d"
+  "libet_errgen.a"
+  "libet_errgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_errgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

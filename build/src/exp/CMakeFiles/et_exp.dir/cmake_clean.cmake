@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_exp.dir/convergence_experiment.cpp.o"
+  "CMakeFiles/et_exp.dir/convergence_experiment.cpp.o.d"
+  "CMakeFiles/et_exp.dir/report.cpp.o"
+  "CMakeFiles/et_exp.dir/report.cpp.o.d"
+  "CMakeFiles/et_exp.dir/userstudy_experiment.cpp.o"
+  "CMakeFiles/et_exp.dir/userstudy_experiment.cpp.o.d"
+  "libet_exp.a"
+  "libet_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fd/attrset.cpp" "src/fd/CMakeFiles/et_fd.dir/attrset.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/attrset.cpp.o.d"
+  "/root/repo/src/fd/discovery.cpp" "src/fd/CMakeFiles/et_fd.dir/discovery.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/discovery.cpp.o.d"
+  "/root/repo/src/fd/error_detector.cpp" "src/fd/CMakeFiles/et_fd.dir/error_detector.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/error_detector.cpp.o.d"
+  "/root/repo/src/fd/fd.cpp" "src/fd/CMakeFiles/et_fd.dir/fd.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/fd.cpp.o.d"
+  "/root/repo/src/fd/g1.cpp" "src/fd/CMakeFiles/et_fd.dir/g1.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/g1.cpp.o.d"
+  "/root/repo/src/fd/hypothesis_space.cpp" "src/fd/CMakeFiles/et_fd.dir/hypothesis_space.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/hypothesis_space.cpp.o.d"
+  "/root/repo/src/fd/partition.cpp" "src/fd/CMakeFiles/et_fd.dir/partition.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/partition.cpp.o.d"
+  "/root/repo/src/fd/violations.cpp" "src/fd/CMakeFiles/et_fd.dir/violations.cpp.o" "gcc" "src/fd/CMakeFiles/et_fd.dir/violations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/et_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_fd.dir/attrset.cpp.o"
+  "CMakeFiles/et_fd.dir/attrset.cpp.o.d"
+  "CMakeFiles/et_fd.dir/discovery.cpp.o"
+  "CMakeFiles/et_fd.dir/discovery.cpp.o.d"
+  "CMakeFiles/et_fd.dir/error_detector.cpp.o"
+  "CMakeFiles/et_fd.dir/error_detector.cpp.o.d"
+  "CMakeFiles/et_fd.dir/fd.cpp.o"
+  "CMakeFiles/et_fd.dir/fd.cpp.o.d"
+  "CMakeFiles/et_fd.dir/g1.cpp.o"
+  "CMakeFiles/et_fd.dir/g1.cpp.o.d"
+  "CMakeFiles/et_fd.dir/hypothesis_space.cpp.o"
+  "CMakeFiles/et_fd.dir/hypothesis_space.cpp.o.d"
+  "CMakeFiles/et_fd.dir/partition.cpp.o"
+  "CMakeFiles/et_fd.dir/partition.cpp.o.d"
+  "CMakeFiles/et_fd.dir/violations.cpp.o"
+  "CMakeFiles/et_fd.dir/violations.cpp.o.d"
+  "libet_fd.a"
+  "libet_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

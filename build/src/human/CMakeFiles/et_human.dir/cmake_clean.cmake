@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_human.dir/annotator.cpp.o"
+  "CMakeFiles/et_human.dir/annotator.cpp.o.d"
+  "CMakeFiles/et_human.dir/scenarios.cpp.o"
+  "CMakeFiles/et_human.dir/scenarios.cpp.o.d"
+  "CMakeFiles/et_human.dir/study.cpp.o"
+  "CMakeFiles/et_human.dir/study.cpp.o.d"
+  "libet_human.a"
+  "libet_human.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_human.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

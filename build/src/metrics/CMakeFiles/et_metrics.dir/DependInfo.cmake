@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/classification.cpp" "src/metrics/CMakeFiles/et_metrics.dir/classification.cpp.o" "gcc" "src/metrics/CMakeFiles/et_metrics.dir/classification.cpp.o.d"
+  "/root/repo/src/metrics/fd_f1.cpp" "src/metrics/CMakeFiles/et_metrics.dir/fd_f1.cpp.o" "gcc" "src/metrics/CMakeFiles/et_metrics.dir/fd_f1.cpp.o.d"
+  "/root/repo/src/metrics/mrr.cpp" "src/metrics/CMakeFiles/et_metrics.dir/mrr.cpp.o" "gcc" "src/metrics/CMakeFiles/et_metrics.dir/mrr.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/et_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/et_metrics.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/et_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/et_fd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_metrics.dir/classification.cpp.o"
+  "CMakeFiles/et_metrics.dir/classification.cpp.o.d"
+  "CMakeFiles/et_metrics.dir/fd_f1.cpp.o"
+  "CMakeFiles/et_metrics.dir/fd_f1.cpp.o.d"
+  "CMakeFiles/et_metrics.dir/mrr.cpp.o"
+  "CMakeFiles/et_metrics.dir/mrr.cpp.o.d"
+  "CMakeFiles/et_metrics.dir/stats.cpp.o"
+  "CMakeFiles/et_metrics.dir/stats.cpp.o.d"
+  "libet_metrics.a"
+  "libet_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_repair.dir/repair.cpp.o"
+  "CMakeFiles/et_repair.dir/repair.cpp.o.d"
+  "libet_repair.a"
+  "libet_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attrset_test.dir/fd/attrset_test.cpp.o"
+  "CMakeFiles/attrset_test.dir/fd/attrset_test.cpp.o.d"
+  "attrset_test"
+  "attrset_test.pdb"
+  "attrset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attrset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

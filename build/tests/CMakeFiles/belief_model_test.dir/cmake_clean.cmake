@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/belief_model_test.dir/belief/belief_model_test.cpp.o"
+  "CMakeFiles/belief_model_test.dir/belief/belief_model_test.cpp.o.d"
+  "belief_model_test"
+  "belief_model_test.pdb"
+  "belief_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/belief_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convergence_experiment_test.dir/exp/convergence_experiment_test.cpp.o"
+  "CMakeFiles/convergence_experiment_test.dir/exp/convergence_experiment_test.cpp.o.d"
+  "convergence_experiment_test"
+  "convergence_experiment_test.pdb"
+  "convergence_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convergence_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_experiment_test.dir/exp/csv_experiment_test.cpp.o"
+  "CMakeFiles/csv_experiment_test.dir/exp/csv_experiment_test.cpp.o.d"
+  "csv_experiment_test"
+  "csv_experiment_test.pdb"
+  "csv_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

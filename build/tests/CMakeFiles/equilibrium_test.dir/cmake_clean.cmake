@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/equilibrium_test.dir/core/equilibrium_test.cpp.o"
+  "CMakeFiles/equilibrium_test.dir/core/equilibrium_test.cpp.o.d"
+  "equilibrium_test"
+  "equilibrium_test.pdb"
+  "equilibrium_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/equilibrium_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

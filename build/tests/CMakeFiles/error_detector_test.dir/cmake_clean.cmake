@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_detector_test.dir/fd/error_detector_test.cpp.o"
+  "CMakeFiles/error_detector_test.dir/fd/error_detector_test.cpp.o.d"
+  "error_detector_test"
+  "error_detector_test.pdb"
+  "error_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

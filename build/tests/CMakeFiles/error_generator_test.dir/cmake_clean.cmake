@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/error_generator_test.dir/errgen/error_generator_test.cpp.o"
+  "CMakeFiles/error_generator_test.dir/errgen/error_generator_test.cpp.o.d"
+  "error_generator_test"
+  "error_generator_test.pdb"
+  "error_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/error_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_f1_test.dir/metrics/fd_f1_test.cpp.o"
+  "CMakeFiles/fd_f1_test.dir/metrics/fd_f1_test.cpp.o.d"
+  "fd_f1_test"
+  "fd_f1_test.pdb"
+  "fd_f1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_f1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

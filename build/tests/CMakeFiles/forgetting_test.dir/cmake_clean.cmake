@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forgetting_test.dir/core/forgetting_test.cpp.o"
+  "CMakeFiles/forgetting_test.dir/core/forgetting_test.cpp.o.d"
+  "forgetting_test"
+  "forgetting_test.pdb"
+  "forgetting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forgetting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

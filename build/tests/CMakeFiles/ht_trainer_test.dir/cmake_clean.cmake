@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ht_trainer_test.dir/core/ht_trainer_test.cpp.o"
+  "CMakeFiles/ht_trainer_test.dir/core/ht_trainer_test.cpp.o.d"
+  "ht_trainer_test"
+  "ht_trainer_test.pdb"
+  "ht_trainer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ht_trainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypothesis_space_test.dir/fd/hypothesis_space_test.cpp.o"
+  "CMakeFiles/hypothesis_space_test.dir/fd/hypothesis_space_test.cpp.o.d"
+  "hypothesis_space_test"
+  "hypothesis_space_test.pdb"
+  "hypothesis_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypothesis_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/learner_test.dir/core/learner_test.cpp.o"
+  "CMakeFiles/learner_test.dir/core/learner_test.cpp.o.d"
+  "learner_test"
+  "learner_test.pdb"
+  "learner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/learner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/method_series_test.dir/exp/method_series_test.cpp.o"
+  "CMakeFiles/method_series_test.dir/exp/method_series_test.cpp.o.d"
+  "method_series_test"
+  "method_series_test.pdb"
+  "method_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/method_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mrr_test.dir/metrics/mrr_test.cpp.o"
+  "CMakeFiles/mrr_test.dir/metrics/mrr_test.cpp.o.d"
+  "mrr_test"
+  "mrr_test.pdb"
+  "mrr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mrr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_product_test.dir/fd/partition_product_test.cpp.o"
+  "CMakeFiles/partition_product_test.dir/fd/partition_product_test.cpp.o.d"
+  "partition_product_test"
+  "partition_product_test.pdb"
+  "partition_product_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_product_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/priors_test.dir/belief/priors_test.cpp.o"
+  "CMakeFiles/priors_test.dir/belief/priors_test.cpp.o.d"
+  "priors_test"
+  "priors_test.pdb"
+  "priors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/priors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/proposition1_test.cpp" "tests/CMakeFiles/proposition1_test.dir/integration/proposition1_test.cpp.o" "gcc" "tests/CMakeFiles/proposition1_test.dir/integration/proposition1_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/et_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/repair/CMakeFiles/et_repair.dir/DependInfo.cmake"
+  "/root/repo/build/src/human/CMakeFiles/et_human.dir/DependInfo.cmake"
+  "/root/repo/build/src/errgen/CMakeFiles/et_errgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/et_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/belief/CMakeFiles/et_belief.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/et_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/fd/CMakeFiles/et_fd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/et_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/et_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

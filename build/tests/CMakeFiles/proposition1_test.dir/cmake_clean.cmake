@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proposition1_test.dir/integration/proposition1_test.cpp.o"
+  "CMakeFiles/proposition1_test.dir/integration/proposition1_test.cpp.o.d"
+  "proposition1_test"
+  "proposition1_test.pdb"
+  "proposition1_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proposition1_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relabeling_test.dir/core/relabeling_test.cpp.o"
+  "CMakeFiles/relabeling_test.dir/core/relabeling_test.cpp.o.d"
+  "relabeling_test"
+  "relabeling_test.pdb"
+  "relabeling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relabeling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

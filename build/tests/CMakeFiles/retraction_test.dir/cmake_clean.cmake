@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retraction_test.dir/belief/retraction_test.cpp.o"
+  "CMakeFiles/retraction_test.dir/belief/retraction_test.cpp.o.d"
+  "retraction_test"
+  "retraction_test.pdb"
+  "retraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

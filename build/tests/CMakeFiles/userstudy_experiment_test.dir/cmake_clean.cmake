@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/userstudy_experiment_test.dir/exp/userstudy_experiment_test.cpp.o"
+  "CMakeFiles/userstudy_experiment_test.dir/exp/userstudy_experiment_test.cpp.o.d"
+  "userstudy_experiment_test"
+  "userstudy_experiment_test.pdb"
+  "userstudy_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/userstudy_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

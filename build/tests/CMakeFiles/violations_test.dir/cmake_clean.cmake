@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/violations_test.dir/fd/violations_test.cpp.o"
+  "CMakeFiles/violations_test.dir/fd/violations_test.cpp.o.d"
+  "violations_test"
+  "violations_test.pdb"
+  "violations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/violations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_experiment.dir/et_experiment.cpp.o"
+  "CMakeFiles/et_experiment.dir/et_experiment.cpp.o.d"
+  "et_experiment"
+  "et_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_label.dir/et_label.cpp.o"
+  "CMakeFiles/et_label.dir/et_label.cpp.o.d"
+  "et_label"
+  "et_label.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_label.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

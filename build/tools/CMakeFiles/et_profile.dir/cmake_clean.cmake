@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_profile.dir/et_profile.cpp.o"
+  "CMakeFiles/et_profile.dir/et_profile.cpp.o.d"
+  "et_profile"
+  "et_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

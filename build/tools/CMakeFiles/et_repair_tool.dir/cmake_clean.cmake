@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/et_repair_tool.dir/et_repair.cpp.o"
+  "CMakeFiles/et_repair_tool.dir/et_repair.cpp.o.d"
+  "et_repair"
+  "et_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/et_repair_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
