@@ -9,6 +9,7 @@
 
 int main() {
   using namespace et;
+  bench::ObsEnvSession obs_session("bench_fig1_mae");
   ConvergenceConfig config;
   config.dataset = "omdb";
   config.rows = 400;

@@ -8,12 +8,14 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "exp/report.h"
 #include "exp/userstudy_experiment.h"
 
 int main() {
   using namespace et;
+  bench::ObsEnvSession obs_session("bench_fig2_mrr");
   UserStudyConfig config;
   config.include_model_free = true;  // extension beyond the paper's bars
   auto result = RunUserStudy(config);

@@ -10,6 +10,7 @@
 
 int main() {
   using namespace et;
+  bench::ObsEnvSession obs_session("bench_fig7_f1");
   for (const std::string& dataset :
        {std::string("omdb"), std::string("hospital"), std::string("tax")}) {
     ConvergenceConfig config;

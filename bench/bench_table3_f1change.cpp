@@ -7,12 +7,14 @@
 
 #include <cstdio>
 
+#include "bench_util.h"
 #include "common/logging.h"
 #include "exp/report.h"
 #include "exp/userstudy_experiment.h"
 
 int main() {
   using namespace et;
+  bench::ObsEnvSession obs_session("bench_table3_f1change");
   UserStudyConfig config;
   auto result = RunUserStudy(config);
   ET_CHECK_OK(result.status());

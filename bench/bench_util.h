@@ -14,9 +14,49 @@
 #include "exp/convergence_experiment.h"
 #include "metrics/stats.h"
 #include "exp/report.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 
 namespace et {
 namespace bench {
+
+/// Env-driven observability for the figure/table binaries (which take
+/// no flags): ET_TRACE_OUT=FILE captures a Chrome-trace of the whole
+/// run, ET_METRICS_OUT=FILE writes the metrics manifest at exit.
+/// Instantiate at the top of main().
+class ObsEnvSession {
+ public:
+  explicit ObsEnvSession(std::string tool) : tool_(std::move(tool)) {
+    if (const char* path = std::getenv("ET_TRACE_OUT")) {
+      trace_out_ = path;
+      ET_CHECK_OK(obs::StartTracing());
+    }
+    if (const char* path = std::getenv("ET_METRICS_OUT")) {
+      metrics_out_ = path;
+    }
+  }
+
+  ObsEnvSession(const ObsEnvSession&) = delete;
+  ObsEnvSession& operator=(const ObsEnvSession&) = delete;
+
+  ~ObsEnvSession() {
+    if (!trace_out_.empty()) {
+      ET_CHECK_OK(obs::StopTracingAndWrite(trace_out_));
+      std::printf("wrote %s\n", trace_out_.c_str());
+    }
+    if (!metrics_out_.empty()) {
+      obs::RunInfo info;
+      info.tool = tool_;
+      ET_CHECK_OK(obs::WriteRunManifest(metrics_out_, info));
+      std::printf("wrote %s\n", metrics_out_.c_str());
+    }
+  }
+
+ private:
+  std::string tool_;
+  std::string trace_out_;
+  std::string metrics_out_;
+};
 
 /// Prints one experiment's per-iteration series as a table: rows =
 /// iterations (subsampled), columns = methods.

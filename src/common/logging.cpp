@@ -1,11 +1,32 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 
 namespace et {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+
+// "HH:MM:SS.mmm" local wall-clock, for correlating log lines with trace
+// spans and external tooling.
+std::string FormatTimestamp() {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  using std::chrono::system_clock;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int ms = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm_buf{};
+  localtime_r(&secs, &tm_buf);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, ms);
+  return buf;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -26,11 +47,19 @@ const char* LevelName(LogLevel level) {
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 
+uint32_t CurrentThreadId() {
+  static std::atomic<uint32_t> next_id{1};
+  thread_local const uint32_t id =
+      next_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level) {
-  ss_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
+  ss_ << "[" << LevelName(level) << " " << FormatTimestamp() << " T"
+      << CurrentThreadId() << " " << file << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
@@ -40,8 +69,8 @@ LogMessage::~LogMessage() {
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
-  ss_ << "[FATAL " << file << ":" << line << "] Check failed: " << expr
-      << " ";
+  ss_ << "[FATAL " << FormatTimestamp() << " T" << CurrentThreadId() << " "
+      << file << ":" << line << "] Check failed: " << expr << " ";
 }
 
 FatalMessage::~FatalMessage() {

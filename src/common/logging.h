@@ -7,6 +7,7 @@
 #ifndef ET_COMMON_LOGGING_H_
 #define ET_COMMON_LOGGING_H_
 
+#include <cstdint>
 #include <cstdlib>
 #include <iostream>
 #include <sstream>
@@ -18,6 +19,11 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// Global log threshold; messages below it are dropped. Default: Info.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
+
+/// Small sequential id (1, 2, ...) for the calling thread, stable for
+/// the thread's lifetime. Emitted in log lines and trace events so the
+/// two can be correlated.
+uint32_t CurrentThreadId();
 
 namespace internal {
 

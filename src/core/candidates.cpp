@@ -4,12 +4,14 @@
 #include <unordered_set>
 
 #include "fd/partition.h"
+#include "obs/trace.h"
 
 namespace et {
 
 Result<std::vector<RowPair>> BuildCandidatePairs(
     const Relation& rel, const HypothesisSpace& space,
     const CandidateOptions& options, Rng& rng) {
+  ET_TRACE_SCOPE("core.candidates.build");
   std::vector<RowId> rows = options.restrict_to;
   if (rows.empty()) {
     rows.resize(rel.num_rows());

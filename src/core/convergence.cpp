@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace et {
 
 void EmpiricalFrequency::Record(size_t action_id) {
@@ -55,6 +57,8 @@ double ConvergenceTracker::RecordIteration(
   for (size_t id : action_ids) freq_.Record(id);
   const double d = freq_.L1Distance(before);
   drift_.push_back(d);
+  ET_COUNTER_INC("core.convergence.records");
+  ET_GAUGE_SET("core.convergence.last_drift", d);
   return d;
 }
 

@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "core/payoff.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace et {
 
@@ -22,6 +24,7 @@ Game::Game(const Relation* rel, Trainer trainer, Learner learner,
 }
 
 Result<GameResult> Game::Run(const IterationCallback& callback) {
+  ET_TRACE_SCOPE("core.game.run");
   GameResult result;
   {
     ET_ASSIGN_OR_RETURN(double mae,
@@ -32,6 +35,8 @@ Result<GameResult> Game::Run(const IterationCallback& callback) {
   ConvergenceTracker learner_track;
 
   for (size_t t = 1; t <= options_.iterations; ++t) {
+    ET_TRACE_SCOPE("core.game.iteration");
+    ET_COUNTER_INC("core.game.iterations");
     if (!learner_.CanSelect(options_.pairs_per_iteration)) {
       if (options_.allow_early_exhaustion) {
         result.pool_exhausted = true;
@@ -51,11 +56,14 @@ Result<GameResult> Game::Run(const IterationCallback& callback) {
     // Learner learns from the labels.
     learner_.Consume(*rel_, labels);
 
+    ET_COUNTER_ADD("core.game.labels", labels.size());
+
     IterationRecord rec;
     rec.t = t;
     rec.labels = labels;
     ET_ASSIGN_OR_RETURN(rec.mae,
                         trainer_.belief().MAE(learner_.belief()));
+    ET_GAUGE_SET("core.game.last_mae", rec.mae);
     rec.trainer_payoff = TrainerPayoff(trainer_.belief(), *rel_, labels,
                                        trainer_.options().inference);
     rec.learner_payoff =

@@ -3,12 +3,16 @@
 #include <algorithm>
 
 #include "fd/g1.h"
+#include "obs/metrics.h"
 
 namespace et {
 
 PairPrediction PredictPair(const BeliefModel& belief, const Relation& rel,
                            const RowPair& pair,
                            const InferenceOptions& options) {
+  // Counter only: PredictPair runs per candidate pair per iteration and
+  // is too hot for a timed span.
+  ET_COUNTER_INC("core.inference.predictions");
   const HypothesisSpace& space = belief.space();
   std::vector<size_t> indices;
   if (options.top_k == 0 || options.top_k >= space.size()) {

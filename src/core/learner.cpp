@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace et {
 
@@ -44,6 +45,7 @@ bool Learner::CanSelect(size_t k) const {
 
 Result<std::vector<RowPair>> Learner::SelectExamples(const Relation& rel,
                                                      size_t k) {
+  ET_TRACE_SCOPE("core.learner.select");
   last_revisited_.clear();
   const size_t revisit = RevisitSlots(k);
   const size_t fresh_needed = k - revisit;
@@ -83,6 +85,7 @@ Result<std::vector<RowPair>> Learner::SelectExamples(const Relation& rel,
 
 void Learner::Consume(const Relation& rel,
                       const std::vector<LabeledPair>& labels) {
+  ET_TRACE_SCOPE("core.learner.consume");
   if (options_.forgetting_factor < 1.0) {
     for (size_t i = 0; i < belief_.size(); ++i) {
       belief_.beta(i).Decay(options_.forgetting_factor);

@@ -1,6 +1,7 @@
 #include "core/trainer.h"
 
 #include "fd/g1.h"
+#include "obs/trace.h"
 
 namespace et {
 
@@ -79,6 +80,7 @@ void Trainer::Observe(const Relation& rel,
 
 std::vector<LabeledPair> Trainer::Label(
     const Relation& rel, const std::vector<RowPair>& pairs) {
+  ET_TRACE_SCOPE("core.trainer.label");
   std::vector<LabeledPair> out;
   out.reserve(pairs.size());
   for (const RowPair& pair : pairs) {

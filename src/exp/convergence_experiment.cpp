@@ -13,6 +13,8 @@
 #include "fd/g1.h"
 #include "fd/error_detector.h"
 #include "metrics/classification.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace et {
 namespace {
@@ -98,6 +100,7 @@ const char* PriorKindToString(PriorKind kind) {
 
 Result<ConvergenceResult> RunConvergenceExperiment(
     const ConvergenceConfig& config) {
+  ET_TRACE_SCOPE("exp.convergence.run");
   if (config.repetitions == 0) {
     return Status::InvalidArgument("repetitions must be positive");
   }
@@ -117,12 +120,15 @@ Result<ConvergenceResult> RunConvergenceExperiment(
   double degree_sum = 0.0;
 
   for (size_t rep = 0; rep < config.repetitions; ++rep) {
+    ET_TRACE_SCOPE("exp.convergence.rep");
+    ET_COUNTER_INC("exp.convergence.reps");
     const uint64_t rep_seed = config.seed + 1000003ULL * rep;
     Rng rng(rep_seed);
 
     // Data: a built-in generator (clean, then dirtied to the requested
     // degree) or a user CSV ("csv:<path>"; FDs discovered from the
     // data).
+    obs::ManualSpan prep_span("exp.dataset.prepare");
     Dataset data;
     if (config.dataset.rfind("csv:", 0) == 0) {
       const std::string path = config.dataset.substr(4);
@@ -203,7 +209,10 @@ Result<ConvergenceResult> RunConvergenceExperiment(
       for (RowId r = 0; r < data.rel.num_rows(); ++r) split.train[r] = r;
     }
 
+    prep_span.End();
+
     for (size_t pi = 0; pi < policies.size(); ++pi) {
+      ET_TRACE_SCOPE("exp.policy.run");
       // Same per-rep seeds across policies so they face the same
       // trainer and priors; only the response policy differs.
       Rng agent_rng(rep_seed ^ 0xA6EA75EEDULL);

@@ -50,17 +50,43 @@ std::string TableReporter::ToString() const {
   return out;
 }
 
+std::string CsvEscapeCell(const std::string& cell) {
+  if (cell.find_first_of(",\"\n\r") == std::string::npos) return cell;
+  std::string out;
+  out.reserve(cell.size() + 2);
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+std::string CsvLine(const std::vector<std::string>& cells) {
+  std::vector<std::string> escaped;
+  escaped.reserve(cells.size());
+  for (const std::string& cell : cells) {
+    escaped.push_back(CsvEscapeCell(cell));
+  }
+  return Join(escaped, ",");
+}
+
+}  // namespace
+
 Status WriteCsv(const std::string& path,
                 const std::vector<std::string>& headers,
                 const std::vector<std::vector<std::string>>& rows) {
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);
-  out << Join(headers, ",") << "\n";
+  out << CsvLine(headers) << "\n";
   for (const auto& row : rows) {
     if (row.size() != headers.size()) {
       return Status::InvalidArgument("csv row width mismatch");
     }
-    out << Join(row, ",") << "\n";
+    out << CsvLine(row) << "\n";
   }
   if (!out) return Status::IOError("write failed: " + path);
   return Status::OK();

@@ -29,8 +29,13 @@ class TableReporter {
   std::vector<std::vector<std::string>> rows_;
 };
 
-/// Writes a CSV file (headers + rows); cells are written verbatim, so
-/// callers must not embed separators.
+/// RFC-4180 cell quoting: cells containing a comma, double quote, or
+/// line break are wrapped in double quotes with embedded quotes
+/// doubled; all other cells pass through verbatim.
+std::string CsvEscapeCell(const std::string& cell);
+
+/// Writes a CSV file (headers + rows); cells are escaped per RFC 4180,
+/// so arbitrary content (commas, quotes, newlines) round-trips.
 Status WriteCsv(const std::string& path,
                 const std::vector<std::string>& headers,
                 const std::vector<std::vector<std::string>>& rows);

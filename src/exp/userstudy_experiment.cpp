@@ -5,6 +5,7 @@
 #include "belief/priors.h"
 #include "common/math.h"
 #include "metrics/mrr.h"
+#include "obs/trace.h"
 
 namespace et {
 namespace {
@@ -48,6 +49,7 @@ struct PredictorSpec {
 }  // namespace
 
 Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
+  ET_TRACE_SCOPE("exp.userstudy.run");
   if (config.participants == 0) {
     return Status::InvalidArgument("need at least one participant");
   }

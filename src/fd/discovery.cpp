@@ -6,6 +6,8 @@
 #include "fd/attrset.h"
 #include "fd/g1.h"
 #include "fd/partition.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace et {
 namespace {
@@ -62,6 +64,7 @@ class PartitionCache {
 
 Result<std::vector<DiscoveredFD>> DiscoverFDs(
     const Relation& rel, const DiscoveryOptions& options) {
+  ET_TRACE_SCOPE("fd.discovery.run");
   if (options.g1_threshold < 0.0 || options.g1_threshold >= 1.0) {
     return Status::InvalidArgument("g1_threshold must be in [0,1)");
   }
@@ -96,6 +99,7 @@ Result<std::vector<DiscoveredFD>> DiscoverFDs(
           if (dominated) continue;
         }
         const FD fd(lhs, rhs);
+        ET_COUNTER_INC("fd.discovery.candidates");
         double g1;
         if (options.use_partition_cache) {
           // Violating pairs = pairs agreeing on LHS but not on
@@ -112,6 +116,7 @@ Result<std::vector<DiscoveredFD>> DiscoverFDs(
           g1 = G1(rel, fd);
         }
         if (g1 <= options.g1_threshold) {
+          ET_COUNTER_INC("fd.discovery.found");
           found.push_back({fd, g1});
           holding[rhs].push_back(lhs);
         }

@@ -2,6 +2,8 @@
 
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace et {
 namespace {
 
@@ -12,6 +14,7 @@ struct PairCounts {
 
 PairCounts CountPairs(const Relation& rel, const FD& fd,
                       const std::vector<RowId>& rows) {
+  ET_TRACE_SCOPE("fd.g1.eval");
   PairCounts out;
   const Partition part = Partition::Build(rel, fd.lhs, rows);
   for (const auto& cls : part.classes()) {

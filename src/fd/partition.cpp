@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
+
 namespace et {
 namespace {
 
@@ -30,6 +32,7 @@ Partition Partition::Build(const Relation& rel, AttrSet attrs) {
 
 Partition Partition::Build(const Relation& rel, AttrSet attrs,
                            const std::vector<RowId>& rows) {
+  ET_TRACE_SCOPE("fd.partition.build");
   Partition p;
   p.num_rows_ = rows.size();
   const std::vector<int> cols = attrs.ToIndices();
@@ -75,6 +78,7 @@ size_t Partition::TaneError() const {
 
 Partition Partition::Product(const Partition& x, const Partition& y,
                              size_t num_rows) {
+  ET_TRACE_SCOPE("fd.partition.product");
   // Standard TANE product over stripped partitions: a row pair agrees
   // on X ∪ Y iff it agrees on X and on Y, so product classes are the
   // size->=2 intersections of x-classes with y-classes. Rows stripped

@@ -1,0 +1,83 @@
+// Minimal JSON support for the observability subsystem: a streaming
+// writer (trace + manifest emission) and a small recursive-descent
+// parser (round-trip validation in tests, manifest re-reading). Not a
+// general-purpose JSON library: numbers are doubles, no \uXXXX escape
+// emission beyond control characters, inputs are trusted local files.
+
+#ifndef ET_OBS_JSON_H_
+#define ET_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+namespace obs {
+
+/// Appends JSON tokens to an internal buffer, inserting commas
+/// automatically. Keys and values must alternate correctly inside
+/// objects; the writer does not validate nesting beyond comma placement.
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void Uint(uint64_t value);
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  const std::string& str() const { return out_; }
+  std::string Release() { return std::move(out_); }
+
+  static std::string Escape(std::string_view s);
+
+ private:
+  void Comma();
+
+  std::string out_;
+  /// One entry per open container: true when the next element needs a
+  /// leading comma.
+  std::vector<bool> need_comma_;
+  bool pending_key_ = false;
+};
+
+/// Parsed JSON value. Objects preserve key order via sorted map (order
+/// is irrelevant to our consumers; lookup matters).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  /// Object member access; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+};
+
+/// Parses a complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace obs
+}  // namespace et
+
+#endif  // ET_OBS_JSON_H_

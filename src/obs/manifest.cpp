@@ -1,0 +1,103 @@
+#include "obs/manifest.h"
+
+#include <chrono>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+#ifndef ET_GIT_DESCRIBE
+#define ET_GIT_DESCRIBE "unknown"
+#endif
+
+namespace et {
+namespace obs {
+
+std::string GitDescribe() { return ET_GIT_DESCRIBE; }
+
+std::string ManifestToJson(const RunInfo& info) {
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tool");
+  w.String(info.tool);
+  w.Key("git_describe");
+  w.String(GitDescribe());
+  w.Key("created_unix_ms");
+  w.Int(std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+
+  w.Key("config");
+  w.BeginObject();
+  for (const auto& [key, value] : info.config) {
+    w.Key(key);
+    w.String(value);
+  }
+  w.EndObject();
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.counters) {
+    w.Key(name);
+    w.Uint(value);
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.gauges) {
+    w.Key(name);
+    w.Double(value);
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const HistogramSnapshot& h : snap.histograms) {
+    w.Key(h.name);
+    w.BeginObject();
+    w.Key("count");
+    w.Uint(h.count);
+    w.Key("sum_ns");
+    w.Uint(h.sum_ns);
+    w.Key("min_ns");
+    w.Uint(h.min_ns);
+    w.Key("max_ns");
+    w.Uint(h.max_ns);
+    w.Key("mean_ns");
+    w.Double(h.mean_ns());
+    w.Key("p50_ns");
+    w.Uint(h.ApproxQuantileNanos(0.5));
+    w.Key("p99_ns");
+    w.Uint(h.ApproxQuantileNanos(0.99));
+    w.Key("buckets");
+    w.BeginArray();
+    for (const auto& [upper, count] : h.buckets) {
+      w.BeginObject();
+      w.Key("le_ns");
+      w.Uint(upper);
+      w.Key("count");
+      w.Uint(count);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+
+  w.EndObject();
+  return w.Release();
+}
+
+Status WriteRunManifest(const std::string& path, const RunInfo& info) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << ManifestToJson(info) << "\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace et

@@ -1,0 +1,40 @@
+// Run manifest: a JSON snapshot of every registered metric plus the run
+// configuration (tool, flags, git version, wall-clock), written at the
+// end of an experiment so a result file is always accompanied by the
+// exact conditions and costs that produced it.
+
+#ifndef ET_OBS_MANIFEST_H_
+#define ET_OBS_MANIFEST_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace et {
+namespace obs {
+
+/// Identity and configuration of the producing run.
+struct RunInfo {
+  /// Producing binary ("et_profile", "bench_fig1_mae", ...).
+  std::string tool;
+  /// Flat key/value run configuration (dataset, seed, policy, ...).
+  /// Emitted in the given order.
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// The version baked in at build time (`git describe --always --dirty`),
+/// or "unknown" outside a git checkout.
+std::string GitDescribe();
+
+/// Serializes `info` plus a full MetricsRegistry snapshot to JSON.
+std::string ManifestToJson(const RunInfo& info);
+
+/// Writes ManifestToJson(info) to `path`.
+Status WriteRunManifest(const std::string& path, const RunInfo& info);
+
+}  // namespace obs
+}  // namespace et
+
+#endif  // ET_OBS_MANIFEST_H_

@@ -1,0 +1,106 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+
+namespace et {
+namespace obs {
+
+void Histogram::ResetForTest() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t HistogramSnapshot::ApproxQuantileNanos(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * (count - 1)) + 1;
+  uint64_t seen = 0;
+  for (const auto& [upper, cnt] : buckets) {
+    seen += cnt;
+    if (seen >= rank) return upper;
+  }
+  return max_ns;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+template <typename Vec, typename Entry>
+auto& FindOrCreate(Vec& entries, std::string_view name) {
+  for (const auto& e : entries) {
+    if (e->name == name) return e->metric;
+  }
+  entries.push_back(std::make_unique<Entry>());
+  entries.back()->name = std::string(name);
+  return entries.back()->metric;
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate<decltype(counters_), Entry<Counter>>(counters_,
+                                                           name);
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate<decltype(gauges_), Entry<Gauge>>(gauges_, name);
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindOrCreate<decltype(histograms_), Entry<Histogram>>(histograms_,
+                                                               name);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& e : counters_) {
+    snap.counters.emplace_back(e->name, e->metric.value());
+  }
+  for (const auto& e : gauges_) {
+    snap.gauges.emplace_back(e->name, e->metric.value());
+  }
+  for (const auto& e : histograms_) {
+    HistogramSnapshot h;
+    h.name = e->name;
+    h.count = e->metric.count();
+    h.sum_ns = e->metric.sum_nanos();
+    h.min_ns = e->metric.min_nanos();
+    h.max_ns = e->metric.max_nanos();
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const uint64_t c = e->metric.bucket_count(i);
+      if (c > 0) h.buckets.emplace_back(Histogram::BucketUpperBound(i), c);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  auto by_name = [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void MetricsRegistry::ResetAllForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& e : counters_) e->metric.ResetForTest();
+  for (const auto& e : gauges_) e->metric.ResetForTest();
+  for (const auto& e : histograms_) e->metric.ResetForTest();
+}
+
+}  // namespace obs
+}  // namespace et

@@ -1,0 +1,205 @@
+// Process-wide metrics: counters, gauges, and fixed-bucket latency
+// histograms. Updates are lock-free (std::atomic, relaxed ordering);
+// only registration and snapshotting take a mutex. Metric objects are
+// never destroyed or moved once registered, so call sites may cache the
+// returned reference in a function-local static and update it with no
+// name lookup on the hot path (ET_COUNTER_INC below, ET_TRACE_SCOPE in
+// trace.h).
+//
+// Naming scheme: dot-separated "<layer>.<component>.<event>", e.g.
+// "fd.partition.build", "core.game.iterations". See DESIGN.md §
+// Observability.
+
+#ifndef ET_OBS_METRICS_H_
+#define ET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace et {
+namespace obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-written level (a quantity that can go up and down).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double delta) {
+    // fetch_add on atomic<double> is C++20; a CAS loop keeps us portable
+    // to standard libraries that lack the specialization.
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency histogram over power-of-two nanosecond buckets: bucket i
+/// holds durations whose bit width is i (bucket 0 = 0ns, bucket i =
+/// [2^(i-1), 2^i - 1] ns). Indexing is a single bit-scan, no search.
+class Histogram {
+ public:
+  static constexpr int kNumBuckets = 44;  // last bucket ~ >2.4 hours
+
+  void RecordNanos(uint64_t ns) {
+    buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(ns, std::memory_order_relaxed);
+    AtomicMin(min_, ns);
+    AtomicMax(max_, ns);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum_nanos() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// 0 when empty.
+  uint64_t min_nanos() const {
+    const uint64_t m = min_.load(std::memory_order_relaxed);
+    return m == UINT64_MAX ? 0 : m;
+  }
+  uint64_t max_nanos() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+  uint64_t bucket_count(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i in nanoseconds.
+  static uint64_t BucketUpperBound(int i) {
+    return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+  }
+  static int BucketIndex(uint64_t ns) {
+    int w = 0;
+    for (uint64_t v = ns; v != 0; v >>= 1) ++w;  // bit_width
+    return w < kNumBuckets ? w : kNumBuckets - 1;
+  }
+
+  void ResetForTest();
+
+ private:
+  static void AtomicMin(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  static void AtomicMax(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time copy of one histogram, for reporting.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  /// (inclusive upper bound ns, count) for buckets with count > 0.
+  std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) /
+                            static_cast<double>(count);
+  }
+  /// Approximate quantile (q in [0,1]) from bucket upper bounds.
+  uint64_t ApproxQuantileNanos(double q) const;
+};
+
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Name -> metric registry. Lookup registers on first use and returns a
+/// reference that stays valid for the life of the process.
+class MetricsRegistry {
+ public:
+  /// The process-wide registry (leaked singleton: metric references
+  /// cached in function-local statics must outlive all other statics).
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  /// Copies every metric, names sorted lexicographically.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all metrics in place. Registered references stay valid (the
+  /// maps are not cleared); for test isolation only.
+  void ResetAllForTest();
+
+ private:
+  struct Named {
+    std::string name;
+  };
+  template <typename M>
+  struct Entry : Named {
+    M metric;
+  };
+
+  mutable std::mutex mu_;
+  // Entries are heap-allocated and never erased so references are stable.
+  std::vector<std::unique_ptr<Entry<Counter>>> counters_;
+  std::vector<std::unique_ptr<Entry<Gauge>>> gauges_;
+  std::vector<std::unique_ptr<Entry<Histogram>>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace et
+
+#define ET_OBS_CONCAT_INNER_(a, b) a##b
+#define ET_OBS_CONCAT_(a, b) ET_OBS_CONCAT_INNER_(a, b)
+
+/// Bumps the named counter; the name is resolved once per call site.
+#define ET_COUNTER_ADD(name, n)                                       \
+  do {                                                                \
+    static ::et::obs::Counter& ET_OBS_CONCAT_(_et_ctr_, __LINE__) =   \
+        ::et::obs::MetricsRegistry::Global().GetCounter(name);        \
+    ET_OBS_CONCAT_(_et_ctr_, __LINE__).Increment(n);                  \
+  } while (0)
+#define ET_COUNTER_INC(name) ET_COUNTER_ADD(name, 1)
+
+/// Sets the named gauge; the name is resolved once per call site.
+#define ET_GAUGE_SET(name, v)                                         \
+  do {                                                                \
+    static ::et::obs::Gauge& ET_OBS_CONCAT_(_et_gauge_, __LINE__) =   \
+        ::et::obs::MetricsRegistry::Global().GetGauge(name);          \
+    ET_OBS_CONCAT_(_et_gauge_, __LINE__).Set(v);                      \
+  } while (0)
+
+#endif  // ET_OBS_METRICS_H_

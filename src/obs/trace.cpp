@@ -1,0 +1,155 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace et {
+namespace obs {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace internal {
+
+std::atomic<bool> g_tracing_active{false};
+
+namespace {
+
+// Hard cap on buffered events so a forgotten session cannot grow
+// unboundedly; overflow is visible as obs.trace.dropped_events.
+constexpr size_t kMaxEvents = 4u << 20;
+
+struct TraceSession {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  uint64_t start_ns = 0;
+  uint64_t dropped = 0;
+};
+
+// Leaked: spans in static destructors may still consult the flag.
+TraceSession* Session() {
+  static TraceSession* session = new TraceSession();
+  return session;
+}
+
+}  // namespace
+
+void AppendTraceEvent(const TraceEvent& event) {
+  TraceSession* s = Session();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (!g_tracing_active.load(std::memory_order_relaxed)) return;
+  if (s->events.size() >= kMaxEvents) {
+    ++s->dropped;
+    return;
+  }
+  s->events.push_back(event);
+}
+
+}  // namespace internal
+
+Status StartTracing() {
+  internal::TraceSession* s = internal::Session();
+  std::lock_guard<std::mutex> lock(s->mu);
+  if (internal::g_tracing_active.load(std::memory_order_relaxed)) {
+    return Status::FailedPrecondition("a trace session is already active");
+  }
+  s->events.clear();
+  s->dropped = 0;
+  s->start_ns = NowNanos();
+  internal::g_tracing_active.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void AbortTracing() {
+  internal::TraceSession* s = internal::Session();
+  std::lock_guard<std::mutex> lock(s->mu);
+  internal::g_tracing_active.store(false, std::memory_order_relaxed);
+  s->events.clear();
+  s->dropped = 0;
+}
+
+Status StopTracingAndWrite(const std::string& path) {
+  internal::TraceSession* s = internal::Session();
+  std::vector<internal::TraceEvent> events;
+  uint64_t start_ns = 0;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!internal::g_tracing_active.load(std::memory_order_relaxed)) {
+      return Status::FailedPrecondition("no active trace session");
+    }
+    internal::g_tracing_active.store(false, std::memory_order_relaxed);
+    events.swap(s->events);
+    start_ns = s->start_ns;
+    dropped = s->dropped;
+    s->dropped = 0;
+  }
+  if (dropped > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("obs.trace.dropped_events")
+        .Increment(dropped);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit");
+  w.String("ms");
+  w.Key("traceEvents");
+  w.BeginArray();
+  // Process metadata so Perfetto shows a readable track name.
+  w.BeginObject();
+  w.Key("name");
+  w.String("process_name");
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Int(1);
+  w.Key("tid");
+  w.Int(0);
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String("exploratory_training");
+  w.EndObject();
+  w.EndObject();
+  for (const internal::TraceEvent& e : events) {
+    // Chrome-trace "X" complete event; ts/dur in microseconds relative
+    // to session start. Spans that began before StartTracing clamp to 0.
+    const uint64_t rel_ns = e.start_ns > start_ns ? e.start_ns - start_ns : 0;
+    w.BeginObject();
+    w.Key("name");
+    w.String(e.name);
+    w.Key("cat");
+    w.String("et");
+    w.Key("ph");
+    w.String("X");
+    w.Key("ts");
+    w.Double(static_cast<double>(rel_ns) / 1000.0);
+    w.Key("dur");
+    w.Double(static_cast<double>(e.dur_ns) / 1000.0);
+    w.Key("pid");
+    w.Int(1);
+    w.Key("tid");
+    w.Uint(e.tid);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open " + path);
+  out << w.str() << "\n";
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace et

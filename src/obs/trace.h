@@ -1,0 +1,141 @@
+// RAII trace spans feeding the metrics registry and (optionally) a
+// Chrome-trace exporter.
+//
+//   void Partition::Build(...) {
+//     ET_TRACE_SCOPE("fd.partition.build");
+//     ...
+//   }
+//
+// Every span always records its duration into the latency histogram of
+// the same name (lock-free, ~two clock reads + a few relaxed atomics).
+// When a trace session is active (StartTracing), spans additionally
+// append a `trace_events` entry, and StopTracingAndWrite emits a JSON
+// file loadable in chrome://tracing or https://ui.perfetto.dev.
+//
+// Span names must be string literals (the sink stores the pointer).
+
+#ifndef ET_OBS_TRACE_H_
+#define ET_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace et {
+namespace obs {
+
+/// Monotonic clock, nanoseconds. Epoch is unspecified (steady clock);
+/// only differences are meaningful.
+uint64_t NowNanos();
+
+namespace internal {
+
+extern std::atomic<bool> g_tracing_active;
+
+struct TraceEvent {
+  const char* name;   // static string (span name)
+  uint64_t start_ns;  // NowNanos() at span entry
+  uint64_t dur_ns;
+  uint32_t tid;
+};
+
+/// Appends to the active session's buffer; drops (and counts) events
+/// past the buffer cap. No-op when no session is active.
+void AppendTraceEvent(const TraceEvent& event);
+
+}  // namespace internal
+
+inline bool TracingActive() {
+  return internal::g_tracing_active.load(std::memory_order_relaxed);
+}
+
+/// Starts buffering trace events. Fails if a session is already active.
+Status StartTracing();
+
+/// Stops the active session and writes its events as Chrome-trace JSON
+/// ({"traceEvents": [...]}, "X" complete events, microsecond
+/// timestamps relative to session start). Fails if no session is
+/// active or the file cannot be written.
+Status StopTracingAndWrite(const std::string& path);
+
+/// Stops and discards the active session (test cleanup / error paths).
+void AbortTracing();
+
+/// Times a scope; destructor feeds `histogram` and, when a session is
+/// active, the trace buffer. Prefer the ET_TRACE_SCOPE macro, which
+/// resolves the histogram once per call site.
+class ScopedTimer {
+ public:
+  ScopedTimer(const char* name, Histogram* histogram)
+      : name_(name), histogram_(histogram), start_ns_(NowNanos()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() {
+    const uint64_t dur = NowNanos() - start_ns_;
+    if (histogram_ != nullptr) histogram_->RecordNanos(dur);
+    if (TracingActive()) {
+      internal::AppendTraceEvent(
+          {name_, start_ns_, dur, ::et::CurrentThreadId()});
+    }
+  }
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  uint64_t start_ns_;
+};
+
+/// Explicitly-ended span for regions that do not align with a C++
+/// scope (e.g. a setup phase inside a longer function). Ends at End()
+/// or destruction, whichever comes first. Resolves its histogram per
+/// construction — use for coarse phases, not per-item hot paths.
+class ManualSpan {
+ public:
+  explicit ManualSpan(const char* name)
+      : name_(name),
+        histogram_(&MetricsRegistry::Global().GetHistogram(name)),
+        start_ns_(NowNanos()) {}
+
+  ManualSpan(const ManualSpan&) = delete;
+  ManualSpan& operator=(const ManualSpan&) = delete;
+
+  void End() {
+    if (!active_) return;
+    active_ = false;
+    const uint64_t dur = NowNanos() - start_ns_;
+    histogram_->RecordNanos(dur);
+    if (TracingActive()) {
+      internal::AppendTraceEvent(
+          {name_, start_ns_, dur, ::et::CurrentThreadId()});
+    }
+  }
+
+  ~ManualSpan() { End(); }
+
+ private:
+  const char* name_;
+  Histogram* histogram_;
+  uint64_t start_ns_;
+  bool active_ = true;
+};
+
+}  // namespace obs
+}  // namespace et
+
+/// Times the enclosing scope under `name` (a string literal): always
+/// feeds the same-named latency histogram, and the trace buffer when a
+/// session is active.
+#define ET_TRACE_SCOPE(name)                                            \
+  static ::et::obs::Histogram& ET_OBS_CONCAT_(_et_trace_hist_,          \
+                                              __LINE__) =               \
+      ::et::obs::MetricsRegistry::Global().GetHistogram(name);          \
+  ::et::obs::ScopedTimer ET_OBS_CONCAT_(_et_trace_span_, __LINE__)(     \
+      name, &ET_OBS_CONCAT_(_et_trace_hist_, __LINE__))
+
+#endif  // ET_OBS_TRACE_H_

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "data/csv.h"
 #include "testing/test_util.h"
 
 namespace et {
@@ -47,6 +48,37 @@ TEST(WriteCsvTest, WritesHeaderAndRows) {
   std::stringstream ss;
   ss << in.rdbuf();
   EXPECT_EQ(ss.str(), "a,b\n1,2\n3,4\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvEscapeCellTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(CsvEscapeCell("plain"), "plain");
+  EXPECT_EQ(CsvEscapeCell(""), "");
+  EXPECT_EQ(CsvEscapeCell("has space"), "has space");
+  EXPECT_EQ(CsvEscapeCell("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscapeCell("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscapeCell("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(CsvEscapeCell("cr\rhere"), "\"cr\rhere\"");
+}
+
+// Regression: cells with commas/quotes/newlines used to be written raw,
+// corrupting the column structure. They must now round-trip through the
+// RFC-4180 reader in data/csv.h.
+TEST(WriteCsvTest, EscapedCellsRoundTripThroughCsvReader) {
+  const std::string path = ::testing::TempDir() + "/et_report_escape.csv";
+  const std::vector<std::string> headers = {"policy,variant", "note"};
+  const std::vector<std::vector<std::string>> rows = {
+      {"rr", "said \"ok\""},
+      {"ucb", "multi\nline"},
+  };
+  ET_ASSERT_OK(WriteCsv(path, headers, rows));
+
+  const Relation rel = testing::Unwrap(ReadCsvFile(path));
+  ASSERT_EQ(rel.schema().num_attributes(), 2);
+  EXPECT_EQ(rel.schema().name(0), "policy,variant");
+  ASSERT_EQ(rel.num_rows(), 2u);
+  EXPECT_EQ(rel.cell(0, 1), "said \"ok\"");
+  EXPECT_EQ(rel.cell(1, 1), "multi\nline");
   std::remove(path.c_str());
 }
 

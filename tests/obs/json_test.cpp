@@ -1,0 +1,110 @@
+#include "obs/json.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace obs {
+namespace {
+
+TEST(JsonWriterTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s");
+  w.String("hi");
+  w.Key("i");
+  w.Int(-3);
+  w.Key("u");
+  w.Uint(18446744073709551615ull);
+  w.Key("b");
+  w.Bool(true);
+  w.Key("n");
+  w.Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"hi\",\"i\":-3,\"u\":18446744073709551615,"
+            "\"b\":true,\"n\":null}");
+}
+
+TEST(JsonWriterTest, NestedArraysAndObjectsGetCommasRight) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.BeginArray();
+  w.Int(1);
+  w.BeginObject();
+  w.Key("x");
+  w.Int(2);
+  w.EndObject();
+  w.BeginArray();
+  w.EndArray();
+  w.EndArray();
+  w.Key("b");
+  w.Int(3);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":[1,{\"x\":2},[]],\"b\":3}");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonWriter::Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(JsonWriter::Escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonParserTest, ParsesScalars) {
+  EXPECT_DOUBLE_EQ(testing::Unwrap(ParseJson("42")).number, 42.0);
+  EXPECT_DOUBLE_EQ(testing::Unwrap(ParseJson("-1.5e2")).number, -150.0);
+  EXPECT_TRUE(testing::Unwrap(ParseJson("true")).bool_value);
+  EXPECT_EQ(testing::Unwrap(ParseJson("null")).kind,
+            JsonValue::Kind::kNull);
+  EXPECT_EQ(testing::Unwrap(ParseJson("\"a\\nb\"")).string_value, "a\nb");
+}
+
+TEST(JsonParserTest, ParsesNestedStructure) {
+  const JsonValue v = testing::Unwrap(
+      ParseJson(R"({"xs": [1, 2, {"k": "v"}], "flag": false})"));
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* xs = v.Find("xs");
+  ASSERT_NE(xs, nullptr);
+  ASSERT_TRUE(xs->is_array());
+  ASSERT_EQ(xs->array.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs->array[0].number, 1.0);
+  const JsonValue* k = xs->array[2].Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->string_value, "v");
+  EXPECT_FALSE(v.Find("flag")->bool_value);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonParserTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("1 trailing").ok());
+}
+
+TEST(JsonRoundTripTest, WriterOutputParsesBack) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("tricky \"key\"");
+  w.String("value,with\nnewline");
+  w.Key("nums");
+  w.BeginArray();
+  w.Double(0.125);
+  w.Uint(1u << 30);
+  w.EndArray();
+  w.EndObject();
+
+  const JsonValue v = testing::Unwrap(ParseJson(w.str()));
+  EXPECT_EQ(v.Find("tricky \"key\"")->string_value, "value,with\nnewline");
+  EXPECT_DOUBLE_EQ(v.Find("nums")->array[0].number, 0.125);
+  EXPECT_DOUBLE_EQ(v.Find("nums")->array[1].number, 1073741824.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace et

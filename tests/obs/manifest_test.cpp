@@ -1,0 +1,99 @@
+#include "obs/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(ManifestTest, RoundTripsConfigAndMetrics) {
+  MetricsRegistry::Global().GetCounter("test.manifest.counter")
+      .Increment(7);
+  MetricsRegistry::Global().GetGauge("test.manifest.gauge").Set(0.5);
+  MetricsRegistry::Global()
+      .GetHistogram("test.manifest.hist")
+      .RecordNanos(1500);
+
+  RunInfo info;
+  info.tool = "manifest_test";
+  info.config = {{"dataset", "hospital"},
+                 {"seed", "42"},
+                 {"note", "has,comma and \"quotes\""}};
+
+  const std::string path =
+      ::testing::TempDir() + "/et_manifest_test.metrics.json";
+  ET_ASSERT_OK(WriteRunManifest(path, info));
+
+  const JsonValue doc = testing::Unwrap(ParseJson(ReadFile(path)));
+  EXPECT_EQ(doc.Find("tool")->string_value, "manifest_test");
+  EXPECT_FALSE(doc.Find("git_describe")->string_value.empty());
+  EXPECT_GT(doc.Find("created_unix_ms")->number, 0.0);
+
+  const JsonValue* config = doc.Find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->Find("dataset")->string_value, "hospital");
+  EXPECT_EQ(config->Find("note")->string_value,
+            "has,comma and \"quotes\"");
+
+  const JsonValue* counters = doc.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("test.manifest.counter"), nullptr);
+  EXPECT_GE(counters->Find("test.manifest.counter")->number, 7.0);
+
+  const JsonValue* gauges = doc.Find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->Find("test.manifest.gauge")->number, 0.5);
+
+  const JsonValue* hist =
+      doc.Find("histograms")->Find("test.manifest.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->Find("count")->number, 1.0);
+  EXPECT_GE(hist->Find("sum_ns")->number, 1500.0);
+  EXPECT_GE(hist->Find("p99_ns")->number, hist->Find("p50_ns")->number);
+  ASSERT_TRUE(hist->Find("buckets")->is_array());
+  double bucket_total = 0.0;
+  for (const JsonValue& b : hist->Find("buckets")->array) {
+    bucket_total += b.Find("count")->number;
+  }
+  EXPECT_DOUBLE_EQ(bucket_total, hist->Find("count")->number);
+
+  std::remove(path.c_str());
+}
+
+TEST(ManifestTest, SpansShowUpInManifestHistograms) {
+  {
+    ET_TRACE_SCOPE("test.manifest.span");
+  }
+  const std::string json = ManifestToJson(RunInfo{"t", {}});
+  const JsonValue doc = testing::Unwrap(ParseJson(json));
+  const JsonValue* hist =
+      doc.Find("histograms")->Find("test.manifest.span");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->Find("count")->number, 1.0);
+}
+
+TEST(ManifestTest, BadPathIsIOError) {
+  EXPECT_TRUE(
+      WriteRunManifest("/nonexistent/x/y.json", RunInfo{"t", {}})
+          .IsIOError());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace et

@@ -1,0 +1,173 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace et {
+namespace obs {
+namespace {
+
+TEST(CounterTest, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.Set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Add(-0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.0);
+  g.Set(0.25);  // Set overrides accumulated state
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+}
+
+TEST(HistogramTest, BucketIndexIsBitWidth) {
+  EXPECT_EQ(Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(1), 1);
+  EXPECT_EQ(Histogram::BucketIndex(2), 2);
+  EXPECT_EQ(Histogram::BucketIndex(3), 2);
+  EXPECT_EQ(Histogram::BucketIndex(4), 3);
+  EXPECT_EQ(Histogram::BucketIndex(1023), 10);
+  EXPECT_EQ(Histogram::BucketIndex(1024), 11);
+  // Everything huge lands in the final bucket instead of overflowing.
+  EXPECT_EQ(Histogram::BucketIndex(UINT64_MAX),
+            Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketBoundsBracketTheirValues) {
+  for (uint64_t v : {0ull, 1ull, 7ull, 100ull, 4096ull, 1234567ull}) {
+    const int idx = Histogram::BucketIndex(v);
+    EXPECT_LE(v, Histogram::BucketUpperBound(idx)) << v;
+    if (idx > 0) {
+      EXPECT_GT(v, Histogram::BucketUpperBound(idx - 1)) << v;
+    }
+  }
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_nanos(), 0u);  // empty => 0, not UINT64_MAX
+  h.RecordNanos(100);
+  h.RecordNanos(7);
+  h.RecordNanos(100000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum_nanos(), 100107u);
+  EXPECT_EQ(h.min_nanos(), 7u);
+  EXPECT_EQ(h.max_nanos(), 100000u);
+  EXPECT_EQ(h.bucket_count(Histogram::BucketIndex(7)), 1u);
+  EXPECT_EQ(h.bucket_count(Histogram::BucketIndex(100)), 1u);
+}
+
+TEST(HistogramSnapshotTest, QuantilesFromBuckets) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.RecordNanos(10);
+  h.RecordNanos(1000000);
+
+  HistogramSnapshot snap;
+  snap.count = h.count();
+  snap.sum_ns = h.sum_nanos();
+  snap.max_ns = h.max_nanos();
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    if (h.bucket_count(i) > 0) {
+      snap.buckets.emplace_back(Histogram::BucketUpperBound(i),
+                                h.bucket_count(i));
+    }
+  }
+  // p50 falls in the bucket holding the 10ns mass; the max quantile in
+  // the outlier's bucket.
+  EXPECT_LE(snap.ApproxQuantileNanos(0.5), 15u);
+  EXPECT_GE(snap.ApproxQuantileNanos(1.0), 1000000u / 2);
+  EXPECT_DOUBLE_EQ(snap.mean_ns(), (99 * 10.0 + 1000000.0) / 100.0);
+}
+
+TEST(MetricsRegistryTest, SameNameReturnsSameMetric) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& a = reg.GetCounter("test.registry.same");
+  Counter& b = reg.GetCounter("test.registry.same");
+  EXPECT_EQ(&a, &b);
+  // Different kinds with the same name are distinct objects.
+  Gauge& g = reg.GetGauge("test.registry.same");
+  EXPECT_NE(static_cast<void*>(&a), static_cast<void*>(&g));
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  reg.GetCounter("test.snap.b").Increment(2);
+  reg.GetCounter("test.snap.a").Increment(1);
+  reg.GetHistogram("test.snap.hist").RecordNanos(500);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].first, snap.counters[i].first);
+  }
+  auto find_counter = [&](const std::string& name) -> const uint64_t* {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find_counter("test.snap.a"), nullptr);
+  ASSERT_NE(find_counter("test.snap.b"), nullptr);
+  EXPECT_GE(*find_counter("test.snap.b"), 2u);
+
+  bool found_hist = false;
+  for (const HistogramSnapshot& h : snap.histograms) {
+    if (h.name == "test.snap.hist") {
+      found_hist = true;
+      EXPECT_GE(h.count, 1u);
+      EXPECT_GE(h.sum_ns, 500u);
+    }
+  }
+  EXPECT_TRUE(found_hist);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsReferencesValid) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& c = reg.GetCounter("test.reset.counter");
+  Histogram& h = reg.GetHistogram("test.reset.hist");
+  c.Increment(5);
+  h.RecordNanos(123);
+  reg.ResetAllForTest();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min_nanos(), 0u);
+  c.Increment();  // reference still usable
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST(MetricsMacrosTest, CounterAndGaugeMacros) {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t before = reg.GetCounter("test.macro.counter").value();
+  for (int i = 0; i < 3; ++i) ET_COUNTER_INC("test.macro.counter");
+  ET_COUNTER_ADD("test.macro.counter", 10);
+  EXPECT_EQ(reg.GetCounter("test.macro.counter").value(), before + 13);
+
+  ET_GAUGE_SET("test.macro.gauge", 2.5);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("test.macro.gauge").value(), 2.5);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace et

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace obs {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void Inner() { ET_TRACE_SCOPE("test.trace.inner"); }
+
+void Outer() {
+  ET_TRACE_SCOPE("test.trace.outer");
+  Inner();
+  Inner();
+}
+
+TEST(ScopedTimerTest, FeedsSameNamedHistogramWithoutTracing) {
+  ASSERT_FALSE(TracingActive());
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.trace.outer");
+  const uint64_t before = h.count();
+  Outer();
+  EXPECT_EQ(h.count(), before + 1);
+  EXPECT_EQ(
+      MetricsRegistry::Global().GetHistogram("test.trace.inner").count() >=
+          2,
+      true);
+}
+
+TEST(ScopedTimerTest, NestedSpansAreContainedInTraceOutput) {
+  const std::string path =
+      ::testing::TempDir() + "/et_trace_test.trace.json";
+  ET_ASSERT_OK(StartTracing());
+  Outer();
+  ET_ASSERT_OK(StopTracingAndWrite(path));
+
+  const JsonValue doc = testing::Unwrap(ParseJson(ReadFile(path)));
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  const JsonValue* outer = nullptr;
+  std::vector<const JsonValue*> inners;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* name = e.Find("name");
+    ASSERT_NE(name, nullptr);
+    if (name->string_value == "test.trace.outer") outer = &e;
+    if (name->string_value == "test.trace.inner") inners.push_back(&e);
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_EQ(inners.size(), 2u);
+
+  // Chrome-trace complete events with microsecond ts/dur.
+  EXPECT_EQ(outer->Find("ph")->string_value, "X");
+  const double outer_start = outer->Find("ts")->number;
+  const double outer_end = outer_start + outer->Find("dur")->number;
+  for (const JsonValue* inner : inners) {
+    const double start = inner->Find("ts")->number;
+    const double end = start + inner->Find("dur")->number;
+    EXPECT_GE(start, outer_start);
+    EXPECT_LE(end, outer_end + 1e-6);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSessionTest, EventsOutsideSessionAreDropped) {
+  const std::string path =
+      ::testing::TempDir() + "/et_trace_empty.trace.json";
+  Outer();  // no session active: histogram only
+  ET_ASSERT_OK(StartTracing());
+  ET_ASSERT_OK(StopTracingAndWrite(path));
+
+  const JsonValue doc = testing::Unwrap(ParseJson(ReadFile(path)));
+  for (const JsonValue& e : doc.Find("traceEvents")->array) {
+    // Only the process_name metadata record, no spans.
+    EXPECT_EQ(e.Find("ph")->string_value, "M");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceSessionTest, DoubleStartAndStopWithoutStartFail) {
+  EXPECT_TRUE(StopTracingAndWrite("/dev/null").IsFailedPrecondition());
+  ET_ASSERT_OK(StartTracing());
+  EXPECT_TRUE(StartTracing().IsFailedPrecondition());
+  AbortTracing();
+  EXPECT_FALSE(TracingActive());
+}
+
+TEST(ManualSpanTest, EndStopsTheClockOnce) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test.trace.manual");
+  const uint64_t before = h.count();
+  {
+    ManualSpan span("test.trace.manual");
+    span.End();
+    span.End();  // idempotent
+  }  // destructor must not double-record
+  EXPECT_EQ(h.count(), before + 1);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace et

@@ -13,9 +13,11 @@
 // parameterized — the harness a downstream user drives their own
 // sweeps with.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -23,6 +25,8 @@
 #include "exp/convergence_experiment.h"
 #include "exp/report.h"
 #include "exp/userstudy_experiment.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -69,6 +73,14 @@ class Flags {
   }
   bool GetBool(const std::string& key) const {
     return GetString(key, "false") == "true";
+  }
+
+  /// All parsed flags, sorted by key (for the run manifest).
+  std::vector<std::pair<std::string, std::string>> Items() const {
+    std::vector<std::pair<std::string, std::string>> out(values_.begin(),
+                                                         values_.end());
+    std::sort(out.begin(), out.end());
+    return out;
   }
 
  private:
@@ -211,7 +223,9 @@ void Usage() {
       "               --learner-prior --iterations --pairs --reps\n"
       "               --gamma --seed --f1 --policies --csv\n"
       "  userstudy:   --participants --rows --violations --seed\n"
-      "               --model-free\n");
+      "               --model-free\n"
+      "  both:        --trace-out=FILE (Chrome-trace JSON)\n"
+      "               --metrics-out=FILE (metrics manifest JSON)\n");
 }
 
 }  // namespace
@@ -223,8 +237,32 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
-  if (command == "convergence") return RunConvergence(flags);
-  if (command == "userstudy") return RunUserStudyCmd(flags);
-  Usage();
-  return 2;
+  const std::string trace_out = flags.GetString("trace-out", "");
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  if (!trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
+
+  int rc;
+  if (command == "convergence") {
+    rc = RunConvergence(flags);
+  } else if (command == "userstudy") {
+    rc = RunUserStudyCmd(flags);
+  } else {
+    if (!trace_out.empty()) obs::AbortTracing();
+    Usage();
+    return 2;
+  }
+
+  if (!trace_out.empty()) {
+    ET_CHECK_OK(obs::StopTracingAndWrite(trace_out));
+    std::printf("wrote %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    obs::RunInfo info;
+    info.tool = "et_experiment";
+    info.config.emplace_back("command", command);
+    for (auto& kv : flags.Items()) info.config.push_back(std::move(kv));
+    ET_CHECK_OK(obs::WriteRunManifest(metrics_out, info));
+    std::printf("wrote %s\n", metrics_out.c_str());
+  }
+  return rc;
 }

@@ -4,6 +4,11 @@
 //
 //   et_profile --csv=path [--g1=0.01] [--max-lhs=2]
 //   et_profile --dataset=hospital --rows=300 [--degree=0.1]
+//
+// Observability: --trace-out=run.trace.json captures a Chrome-trace of
+// the whole run (open in chrome://tracing or ui.perfetto.dev);
+// --metrics-out=run.metrics.json writes the run manifest (config +
+// all counters/gauges/latency histograms).
 
 #include <cstdio>
 #include <string>
@@ -16,6 +21,8 @@
 #include "exp/report.h"
 #include "fd/discovery.h"
 #include "fd/g1.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
 
 namespace {
 
@@ -29,6 +36,8 @@ struct Args {
   double g1 = 0.01;
   int max_lhs = 2;
   uint64_t seed = 1;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 Args ParseArgs(int argc, char** argv) {
@@ -54,6 +63,10 @@ Args ParseArgs(int argc, char** argv) {
       args.max_lhs = static_cast<int>(*ParseInt(v));
     } else if (const char* v = value("seed")) {
       args.seed = static_cast<uint64_t>(*ParseInt(v));
+    } else if (const char* v = value("trace-out")) {
+      args.trace_out = v;
+    } else if (const char* v = value("metrics-out")) {
+      args.metrics_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       std::exit(2);
@@ -66,6 +79,7 @@ Args ParseArgs(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   const Args args = ParseArgs(argc, argv);
+  if (!args.trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
 
   Relation rel;
   if (!args.csv.empty()) {
@@ -126,6 +140,26 @@ int main(int argc, char** argv) {
   std::printf("%s", fds.ToString().c_str());
   if (found->size() > 25) {
     std::printf("(%zu more not shown)\n", found->size() - 25);
+  }
+
+  if (!args.trace_out.empty()) {
+    ET_CHECK_OK(obs::StopTracingAndWrite(args.trace_out));
+    std::printf("wrote %s\n", args.trace_out.c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    obs::RunInfo info;
+    info.tool = "et_profile";
+    info.config = {
+        {"csv", args.csv},
+        {"dataset", args.dataset},
+        {"rows", std::to_string(args.rows)},
+        {"degree", StrFormat("%g", args.degree)},
+        {"g1", StrFormat("%g", args.g1)},
+        {"max_lhs", std::to_string(args.max_lhs)},
+        {"seed", std::to_string(args.seed)},
+    };
+    ET_CHECK_OK(obs::WriteRunManifest(args.metrics_out, info));
+    std::printf("wrote %s\n", args.metrics_out.c_str());
   }
   return 0;
 }
