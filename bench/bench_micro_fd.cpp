@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "data/datasets.h"
 #include "fd/discovery.h"
+#include "fd/eval_cache.h"
 #include "fd/g1.h"
 #include "fd/hypothesis_space.h"
 #include "fd/violations.h"
@@ -100,6 +101,68 @@ void BM_BuildCappedSpace(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BuildCappedSpace)->Arg(200)->Arg(1000);
+
+// Hypothesis-space-wide g1: score every FD in a capped space, the way
+// priors and per-round rankings do. Uncached rebuilds each partition
+// from scratch; cached shares LHS partitions across FDs and rounds.
+HypothesisSpace MakeSpace(const Relation& rel) {
+  auto space = HypothesisSpace::BuildCapped(rel, 4, 38, {});
+  ET_CHECK_OK(space.status());
+  return std::move(*space);
+}
+
+void BM_SpaceG1Uncached(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const HypothesisSpace space = MakeSpace(data.rel);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const FD& fd : space.fds()) sum += G1(data.rel, fd);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * space.size());
+}
+BENCHMARK(BM_SpaceG1Uncached)->Arg(1000)->Arg(4000);
+
+// Steady state: the cache persists across iterations, mirroring the
+// repeated per-round scoring of a fixed space during a game.
+void BM_SpaceG1Cached(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const HypothesisSpace space = MakeSpace(data.rel);
+  EvalCache cache(data.rel);
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const FD& fd : space.fds()) sum += cache.G1(fd);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * space.size());
+}
+BENCHMARK(BM_SpaceG1Cached)->Arg(1000)->Arg(4000);
+
+// Cold: a fresh cache every iteration. Gains come only from LHS
+// sharing between FDs and LHS -> LHS ∪ {RHS} product builds.
+void BM_SpaceG1CachedCold(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const HypothesisSpace space = MakeSpace(data.rel);
+  for (auto _ : state) {
+    EvalCache cache(data.rel);
+    double sum = 0.0;
+    for (const FD& fd : space.fds()) sum += cache.G1(fd);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * space.size());
+}
+BENCHMARK(BM_SpaceG1CachedCold)->Arg(1000)->Arg(4000);
+
+void BM_G1Cached(benchmark::State& state) {
+  const Dataset data = MakeData(state.range(0));
+  const FD fd = TitleYear(data.rel.schema());
+  EvalCache cache(data.rel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.G1(fd));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_G1Cached)->Arg(100)->Arg(1000)->Arg(10000);
 
 }  // namespace
 

@@ -11,10 +11,13 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
 #include "exp/convergence_experiment.h"
 #include "metrics/stats.h"
 #include "exp/report.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace et {
@@ -47,6 +50,21 @@ class ObsEnvSession {
     if (!metrics_out_.empty()) {
       obs::RunInfo info;
       info.tool = tool_;
+      info.config.emplace_back("threads_used",
+                               std::to_string(Parallelism()));
+      const uint64_t hits = obs::MetricsRegistry::Global()
+                                .GetCounter("fd.cache.hits")
+                                .value();
+      const uint64_t misses = obs::MetricsRegistry::Global()
+                                  .GetCounter("fd.cache.misses")
+                                  .value();
+      info.config.emplace_back(
+          "fd_cache_hit_rate",
+          hits + misses == 0
+              ? "n/a"
+              : StrFormat("%.4f",
+                          static_cast<double>(hits) /
+                              static_cast<double>(hits + misses)));
       ET_CHECK_OK(obs::WriteRunManifest(metrics_out_, info));
       std::printf("wrote %s\n", metrics_out_.c_str());
     }

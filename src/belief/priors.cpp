@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "fd/eval_cache.h"
 #include "fd/g1.h"
 
 namespace et {
@@ -58,7 +59,7 @@ Result<BeliefModel> RandomPrior(
 
 Result<BeliefModel> DataEstimatePrior(
     std::shared_ptr<const HypothesisSpace> space, const Relation& rel,
-    double strength) {
+    double strength, EvalCache* cache) {
   ET_RETURN_NOT_OK(CheckSpace(space));
   if (rel.schema() != space->schema()) {
     return Status::InvalidArgument(
@@ -70,8 +71,10 @@ Result<BeliefModel> DataEstimatePrior(
   std::vector<Beta> betas;
   betas.reserve(space->size());
   for (const FD& fd : space->fds()) {
-    betas.push_back(
-        BetaFromMeanStrength(PairwiseConfidence(rel, fd), strength));
+    const double confidence = cache != nullptr
+                                  ? cache->PairwiseConfidence(fd)
+                                  : PairwiseConfidence(rel, fd);
+    betas.push_back(BetaFromMeanStrength(confidence, strength));
   }
   return BeliefModel(std::move(space), std::move(betas));
 }

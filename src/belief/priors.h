@@ -17,6 +17,8 @@
 
 namespace et {
 
+class EvalCache;
+
 /// Configuration constants from App. A.2.
 struct UserPriorConfig {
   double stated_mean = 0.85;    // epsilon
@@ -43,9 +45,11 @@ Result<BeliefModel> RandomPrior(
 /// Each FD's prior confidence is its PairwiseConfidence on the given
 /// (unlabeled, possibly dirty) relation — "the learner computes its
 /// prior by treating the unlabeled dataset to be completely clean".
+/// When `cache` is non-null it must wrap `rel`; the space-wide
+/// confidence scan then reuses (and populates) its shared partitions.
 Result<BeliefModel> DataEstimatePrior(
     std::shared_ptr<const HypothesisSpace> space, const Relation& rel,
-    double strength = 10.0);
+    double strength = 10.0, EvalCache* cache = nullptr);
 
 /// The user-study prior: `stated` is the FD the user declared most
 /// accurate (must be inside the space).

@@ -1,0 +1,148 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <utility>
+
+namespace et {
+namespace {
+
+/// Nonzero while this thread is executing a ParallelFor chunk; nested
+/// loops detect it and run inline instead of re-entering the pool.
+thread_local int g_parallel_depth = 0;
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int DefaultParallelism() {
+  if (const char* env = std::getenv("ET_THREADS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return HardwareThreads();
+}
+
+std::atomic<int>& ParallelismOverride() {
+  static std::atomic<int> value{0};  // 0 = use the default
+  return value;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool =
+      new ThreadPool(static_cast<size_t>(HardwareThreads()));
+  return *pool;
+}
+
+int Parallelism() {
+  const int n = ParallelismOverride().load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  static const int def = DefaultParallelism();
+  return def;
+}
+
+void SetParallelism(int n) {
+  ParallelismOverride().store(n > 0 ? n : 0, std::memory_order_relaxed);
+}
+
+void ParallelFor(size_t n,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t threads = static_cast<size_t>(Parallelism());
+  if (threads <= 1 || n < 2 || g_parallel_depth > 0) {
+    ++g_parallel_depth;
+    try {
+      fn(0, n);
+    } catch (...) {
+      --g_parallel_depth;
+      throw;
+    }
+    --g_parallel_depth;
+    return;
+  }
+  const size_t chunks = threads < n ? threads : n;
+
+  struct SharedState {
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t pending;
+    std::vector<std::exception_ptr> errors;
+  };
+  auto state = std::make_shared<SharedState>();
+  state->pending = chunks - 1;
+  state->errors.assign(chunks, nullptr);
+
+  auto run_chunk = [&fn](SharedState& s, size_t i, size_t begin,
+                         size_t end) {
+    ++g_parallel_depth;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      s.errors[i] = std::current_exception();
+    }
+    --g_parallel_depth;
+  };
+
+  for (size_t i = 1; i < chunks; ++i) {
+    const size_t begin = i * n / chunks;
+    const size_t end = (i + 1) * n / chunks;
+    ThreadPool::Global().Submit([state, i, begin, end, run_chunk] {
+      run_chunk(*state, i, begin, end);
+      std::lock_guard<std::mutex> lock(state->mu);
+      if (--state->pending == 0) state->cv.notify_one();
+    });
+  }
+  run_chunk(*state, 0, 0, n / chunks);
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->cv.wait(lock, [&] { return state->pending == 0; });
+  }
+  for (const std::exception_ptr& e : state->errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace et

@@ -1,0 +1,83 @@
+// Fixed-size worker pool and a deterministic ParallelFor.
+//
+// The evaluation layer re-scores the full FD hypothesis space every
+// game round and the experiment harness runs independent repetitions;
+// both are embarrassingly parallel. ParallelFor splits an index range
+// into contiguous chunks — one per configured thread, boundaries a
+// pure function of (n, Parallelism()) — so callers that write only to
+// per-index slots produce bit-identical output at any thread count.
+// Reductions with order-dependent arithmetic (floating-point sums)
+// must happen serially over the per-index results afterwards.
+//
+// Parallelism is process-wide: ET_THREADS in the environment (0 =
+// hardware concurrency) or SetParallelism() from tool flags
+// (--threads=N). The default, with neither, is hardware concurrency.
+// Nested ParallelFor calls run inline on the calling thread, so
+// parallel repetitions may freely call parallel scoring underneath.
+
+#ifndef ET_COMMON_THREAD_POOL_H_
+#define ET_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace et {
+
+/// Fixed set of worker threads draining a shared task queue. Tasks must
+/// not block on other tasks (ParallelFor keeps chunk 0 on the caller
+/// and runs nested loops inline, so it never self-deadlocks).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for any worker. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// The process-wide pool, created on first use with one worker per
+  /// hardware thread (leaked singleton, same rationale as the metrics
+  /// registry: tasks may touch function-local statics at exit).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Number of chunks ParallelFor splits work into. Resolution order:
+/// last SetParallelism() value, else ET_THREADS (0 = hardware), else
+/// hardware concurrency. Always >= 1.
+int Parallelism();
+
+/// Overrides the process-wide parallelism; n <= 0 restores the
+/// hardware-concurrency default.
+void SetParallelism(int n);
+
+/// Invokes fn(begin, end) over a deterministic partition of [0, n)
+/// into Parallelism() contiguous chunks: chunk i = [i*n/T, (i+1)*n/T).
+/// Chunk 0 runs on the calling thread; the rest on the global pool.
+/// Blocks until every chunk finishes. The first exception (by chunk
+/// index) is rethrown on the caller. Runs inline when T == 1, when
+/// n < 2, or when already inside a ParallelFor chunk.
+void ParallelFor(size_t n,
+                 const std::function<void(size_t begin, size_t end)>& fn);
+
+}  // namespace et
+
+#endif  // ET_COMMON_THREAD_POOL_H_

@@ -1,8 +1,10 @@
 #include "core/candidates.h"
 
 #include <algorithm>
+#include <memory>
 #include <unordered_set>
 
+#include "fd/eval_cache.h"
 #include "fd/partition.h"
 #include "obs/trace.h"
 
@@ -28,9 +30,15 @@ Result<std::vector<RowPair>> BuildCandidatePairs(
   std::unordered_set<uint32_t> done_lhs;
   for (const FD& fd : space.fds()) {
     if (!done_lhs.insert(fd.lhs.mask()).second) continue;
-    const Partition part = Partition::Build(rel, fd.lhs, rows);
+    std::shared_ptr<const Partition> part;
+    if (options.cache != nullptr) {
+      part = options.cache->Get(fd.lhs, rows);
+    } else {
+      part = std::make_shared<Partition>(
+          Partition::Build(rel, fd.lhs, rows));
+    }
     size_t taken = 0;
-    for (const auto& cls : part.classes()) {
+    for (const auto& cls : part->classes()) {
       for (size_t i = 0; i < cls.size() &&
                          (options.per_fd_limit == 0 ||
                           taken < options.per_fd_limit);

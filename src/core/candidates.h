@@ -19,6 +19,8 @@
 
 namespace et {
 
+class EvalCache;
+
 struct CandidateOptions {
   /// Cap on LHS-agreeing pairs gathered per FD (0 = unlimited).
   size_t per_fd_limit = 200;
@@ -29,6 +31,10 @@ struct CandidateOptions {
   /// When set, restrict all pairs to these rows (the training side of a
   /// split). Empty = all rows.
   std::vector<RowId> restrict_to;
+  /// Optional shared partition cache wrapping the same relation; LHS
+  /// partitions then come from (and are shared through) it instead of
+  /// being rebuilt per distinct LHS.
+  EvalCache* cache = nullptr;
 };
 
 /// Builds the deduplicated candidate pool. Requires a relation with at

@@ -14,21 +14,14 @@ PairPrediction PredictPair(const BeliefModel& belief, const Relation& rel,
   // is too hot for a timed span.
   ET_COUNTER_INC("core.inference.predictions");
   const HypothesisSpace& space = belief.space();
-  std::vector<size_t> indices;
-  if (options.top_k == 0 || options.top_k >= space.size()) {
-    indices.resize(space.size());
-    for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
-  } else {
-    indices = belief.TopK(options.top_k);
-  }
   double num = 0.0;
   double den = 0.0;
-  for (size_t idx : indices) {
+  auto accumulate = [&](size_t idx) {
     const double mu = belief.Confidence(idx);
-    if (mu < options.min_confidence) continue;
+    if (mu < options.min_confidence) return;
     const PairCompliance c =
         CheckPair(rel, space.fd(idx), pair.first, pair.second);
-    if (c == PairCompliance::kInapplicable) continue;
+    if (c == PairCompliance::kInapplicable) return;
     // Endorsement weight: how far above indifference the belief sits.
     const double w = (mu - options.min_confidence) /
                      (1.0 - options.min_confidence);
@@ -36,6 +29,13 @@ PairPrediction PredictPair(const BeliefModel& belief, const Relation& rel,
         (c == PairCompliance::kViolates) ? mu : 1.0 - mu;
     num += w * evidence;
     den += w;
+  };
+  if (options.top_k == 0 || options.top_k >= space.size()) {
+    // Full space: iterate directly instead of materializing an index
+    // vector — PredictPair runs per candidate pair per iteration.
+    for (size_t idx = 0; idx < space.size(); ++idx) accumulate(idx);
+  } else {
+    for (size_t idx : belief.TopK(options.top_k)) accumulate(idx);
   }
   PairPrediction out;
   if (den > 0.0) {

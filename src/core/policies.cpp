@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/math.h"
+#include "common/thread_pool.h"
 #include "core/payoff.h"
 #include "fd/g1.h"
 
@@ -75,15 +76,19 @@ class RandomPolicy final : public ResponsePolicy {
   }
 };
 
-// Shared scoring helpers.
+// Shared scoring helpers. Each candidate's score is independent
+// (hypothesis-space-wide prediction per pair) and written to its own
+// slot, so the parallel scan is bit-identical to a serial one.
 std::vector<double> PayoffScores(const BeliefModel& belief,
                                  const Relation& rel,
                                  const std::vector<RowPair>& candidates,
                                  const InferenceOptions& inference) {
   std::vector<double> s(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    s[i] = LearnerExamplePayoff(belief, rel, candidates[i], inference);
-  }
+  ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      s[i] = LearnerExamplePayoff(belief, rel, candidates[i], inference);
+    }
+  });
   return s;
 }
 
@@ -92,12 +97,14 @@ std::vector<double> EntropyScores(const BeliefModel& belief,
                                   const std::vector<RowPair>& candidates,
                                   const InferenceOptions& inference) {
   std::vector<double> s(candidates.size());
-  for (size_t i = 0; i < candidates.size(); ++i) {
-    const PairPrediction p =
-        PredictPair(belief, rel, candidates[i], inference);
-    s[i] = 0.5 * (BinaryEntropy(p.first_dirty) +
-                  BinaryEntropy(p.second_dirty));
-  }
+  ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const PairPrediction p =
+          PredictPair(belief, rel, candidates[i], inference);
+      s[i] = 0.5 * (BinaryEntropy(p.first_dirty) +
+                    BinaryEntropy(p.second_dirty));
+    }
+  });
   return s;
 }
 
@@ -241,18 +248,22 @@ class QueryByCommitteePolicy final : public SoftmaxPolicy {
       }
       committee.emplace_back(belief.space_ptr(), std::move(betas));
     }
+    // The committee is drawn serially above (mutable rng_); scoring it
+    // over the pool is read-only and parallel.
     std::vector<double> scores(candidates.size(), 0.0);
-    for (size_t c = 0; c < candidates.size(); ++c) {
-      size_t dirty_votes = 0;
-      for (const BeliefModel& member : committee) {
-        const PairPrediction p =
-            PredictPair(member, rel, candidates[c], inference_);
-        dirty_votes += p.first_dirty > 0.5;
+    ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) {
+        size_t dirty_votes = 0;
+        for (const BeliefModel& member : committee) {
+          const PairPrediction p =
+              PredictPair(member, rel, candidates[c], inference_);
+          dirty_votes += p.first_dirty > 0.5;
+        }
+        const double share = static_cast<double>(dirty_votes) /
+                             static_cast<double>(committee_size_);
+        scores[c] = BinaryEntropy(share);
       }
-      const double share = static_cast<double>(dirty_votes) /
-                           static_cast<double>(committee_size_);
-      scores[c] = BinaryEntropy(share);
-    }
+    });
     return scores;
   }
 
@@ -279,19 +290,21 @@ class DensityWeightedUncertaintyPolicy final : public SoftmaxPolicy {
     const HypothesisSpace& space = belief.space();
     std::vector<double> entropy =
         EntropyScores(belief, rel, candidates, inference_);
-    for (size_t c = 0; c < candidates.size(); ++c) {
-      size_t applicable = 0;
-      for (const FD& fd : space.fds()) {
-        if (CheckPair(rel, fd, candidates[c].first,
-                      candidates[c].second) !=
-            PairCompliance::kInapplicable) {
-          ++applicable;
+    ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
+      for (size_t c = begin; c < end; ++c) {
+        size_t applicable = 0;
+        for (const FD& fd : space.fds()) {
+          if (CheckPair(rel, fd, candidates[c].first,
+                        candidates[c].second) !=
+              PairCompliance::kInapplicable) {
+            ++applicable;
+          }
         }
+        const double density = static_cast<double>(applicable) /
+                               static_cast<double>(space.size());
+        entropy[c] *= density;
       }
-      const double density = static_cast<double>(applicable) /
-                             static_cast<double>(space.size());
-      entropy[c] *= density;
-    }
+    });
     return entropy;
   }
 };

@@ -1,8 +1,10 @@
 #include "exp/convergence_experiment.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "belief/priors.h"
+#include "common/thread_pool.h"
 #include "core/candidates.h"
 #include "core/game.h"
 #include "data/csv.h"
@@ -10,8 +12,9 @@
 #include "data/split.h"
 #include "errgen/error_generator.h"
 #include "fd/discovery.h"
-#include "fd/g1.h"
 #include "fd/error_detector.h"
+#include "fd/eval_cache.h"
+#include "fd/g1.h"
 #include "metrics/classification.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -21,14 +24,16 @@ namespace {
 
 Result<BeliefModel> BuildPrior(const PriorSpec& spec,
                                std::shared_ptr<const HypothesisSpace> space,
-                               const Relation& rel, Rng& rng) {
+                               const Relation& rel, Rng& rng,
+                               EvalCache* cache) {
   switch (spec.kind) {
     case PriorKind::kUniform:
       return UniformPrior(std::move(space), spec.uniform_d, spec.strength);
     case PriorKind::kRandom:
       return RandomPrior(std::move(space), rng, spec.strength);
     case PriorKind::kDataEstimate:
-      return DataEstimatePrior(std::move(space), rel, spec.strength);
+      return DataEstimatePrior(std::move(space), rel, spec.strength,
+                               cache);
   }
   return Status::InvalidArgument("unknown prior kind");
 }
@@ -37,7 +42,8 @@ Result<BeliefModel> BuildPrior(const PriorSpec& spec,
 /// the belief's endorsed FDs, thresholded, scored against ground truth.
 Result<double> HeldOutF1(const BeliefModel& belief, const Relation& rel,
                          const std::vector<RowId>& test_rows,
-                         const DirtyGroundTruth& truth) {
+                         const DirtyGroundTruth& truth,
+                         EvalCache* cache) {
   std::vector<WeightedFD> wfds;
   for (size_t i = 0; i < belief.size(); ++i) {
     const double mu = belief.Confidence(i);
@@ -45,7 +51,7 @@ Result<double> HeldOutF1(const BeliefModel& belief, const Relation& rel,
     wfds.push_back({belief.space().fd(i), mu, (mu - 0.5) * 2.0});
   }
   std::vector<double> probs =
-      DirtyProbabilities(rel, test_rows, wfds);
+      DirtyProbabilities(rel, test_rows, wfds, cache);
   const std::vector<bool> predicted = PredictDirty(probs);
   std::vector<bool> actual(test_rows.size());
   for (size_t i = 0; i < test_rows.size(); ++i) {
@@ -84,6 +90,193 @@ class SeriesAccumulator {
   size_t count_ = 0;
 };
 
+/// Everything one repetition produces, stored per policy. Merging into
+/// the cross-repetition accumulators happens serially in repetition
+/// order, so floating-point reduction order — and therefore the final
+/// result — is identical at any thread count.
+struct RepOutcome {
+  double degree = 0.0;
+  std::vector<std::vector<double>> mae_series;  // per policy
+  std::vector<std::vector<double>> f1_series;   // per policy
+  std::vector<double> initial_mae;              // per policy
+  std::vector<double> final_mae;  // per policy; NaN = no iterations
+  std::vector<double> final_f1;   // per policy; NaN = no F1 samples
+};
+
+Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
+                             const std::vector<PolicyKind>& policies,
+                             size_t rep) {
+  ET_TRACE_SCOPE("exp.convergence.rep");
+  ET_COUNTER_INC("exp.convergence.reps");
+  // Each repetition owns a SplitMix64-derived seed (Rng::Seed expands
+  // it), so repetitions are independent streams and parallel execution
+  // is bit-identical to serial.
+  const uint64_t rep_seed = config.seed + 1000003ULL * rep;
+  Rng rng(rep_seed);
+
+  const double nan = std::nan("");
+  RepOutcome out;
+  out.mae_series.resize(policies.size());
+  out.f1_series.resize(policies.size());
+  out.initial_mae.assign(policies.size(), 0.0);
+  out.final_mae.assign(policies.size(), nan);
+  out.final_f1.assign(policies.size(), nan);
+
+  // Data: a built-in generator (clean, then dirtied to the requested
+  // degree) or a user CSV ("csv:<path>"; FDs discovered from the
+  // data).
+  obs::ManualSpan prep_span("exp.dataset.prepare");
+  Dataset data;
+  if (config.dataset.rfind("csv:", 0) == 0) {
+    const std::string path = config.dataset.substr(4);
+    ET_ASSIGN_OR_RETURN(data.rel, ReadCsvFile(path));
+    data.name = path;
+    DiscoveryOptions discovery;
+    discovery.g1_threshold = config.csv_discovery_threshold;
+    discovery.max_lhs_size = config.max_fd_attrs - 1;
+    ET_ASSIGN_OR_RETURN(std::vector<DiscoveredFD> found,
+                        DiscoverFDs(data.rel, discovery));
+    EvalCache clean_cache(data.rel);
+    for (const DiscoveredFD& d : found) {
+      // g1 normalizes by n^2, so an FD can pass the threshold while
+      // violating a large share of its LHS-agreeing pairs; gate on
+      // pairwise confidence so injection watches rules that actually
+      // hold.
+      if (clean_cache.PairwiseConfidence(d.fd) < 0.9) continue;
+      data.clean_fds.push_back(d.fd.ToString(data.rel.schema()));
+    }
+    data.documented_fds = data.clean_fds;
+    if (data.rel.num_rows() < 4) {
+      return Status::InvalidArgument("CSV dataset too small: " + path);
+    }
+  } else {
+    ET_ASSIGN_OR_RETURN(
+        data, MakeDatasetByName(config.dataset, config.rows, rep_seed));
+  }
+  std::vector<FD> clean_fds;
+  for (const std::string& text : data.clean_fds) {
+    ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, data.rel.schema()));
+    if (fd.NumAttributes() <= config.max_fd_attrs) {
+      clean_fds.push_back(fd);
+    }
+  }
+  // Injection watches the *documented* FDs of the dataset (App. C.1
+  // lists 6 for Hospital and 4 for Tax); watching every construction
+  // FD would demand far more scrambling than the paper's degrees
+  // imply.
+  std::vector<FD> watched;
+  for (const std::string& text : data.documented_fds) {
+    ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, data.rel.schema()));
+    if (fd.NumAttributes() <= config.max_fd_attrs) {
+      watched.push_back(fd);
+    }
+  }
+  if (watched.empty()) watched = clean_fds;
+  ErrorGenerator gen(&data.rel, rng.NextUint64());
+  if (config.violation_degree > 0.0) {
+    ET_RETURN_NOT_OK(gen.InjectToDegree(watched, config.violation_degree));
+  }
+  out.degree = gen.MeasureDegree(watched);
+  const DirtyGroundTruth truth = gen.ground_truth();
+
+  // Shared partition cache over the final (dirty) relation: priors,
+  // candidate pools, and per-iteration F1 scans all reuse it. Created
+  // only after injection — the cache assumes an immutable relation.
+  EvalCache cache(data.rel);
+
+  // Hypothesis space over the dirty data (what agents can see). The
+  // must-include list is truncated for CSV datasets whose discovery
+  // pass may return more FDs than the cap.
+  std::vector<FD> must_include = clean_fds;
+  if (must_include.size() > config.hypothesis_cap / 2) {
+    must_include.resize(config.hypothesis_cap / 2);
+  }
+  ET_ASSIGN_OR_RETURN(
+      HypothesisSpace capped,
+      HypothesisSpace::BuildCapped(data.rel, config.max_fd_attrs,
+                                   config.hypothesis_cap, must_include));
+  auto space = std::make_shared<const HypothesisSpace>(std::move(capped));
+
+  // Train/test split for the F1 metric.
+  Split split;
+  if (config.compute_f1) {
+    ET_ASSIGN_OR_RETURN(
+        split,
+        TrainTestSplit(data.rel.num_rows(), config.test_fraction, rng));
+  } else {
+    split.train.resize(data.rel.num_rows());
+    for (RowId r = 0; r < data.rel.num_rows(); ++r) split.train[r] = r;
+  }
+
+  prep_span.End();
+
+  for (size_t pi = 0; pi < policies.size(); ++pi) {
+    ET_TRACE_SCOPE("exp.policy.run");
+    // Same per-rep seeds across policies so they face the same
+    // trainer and priors; only the response policy differs.
+    Rng agent_rng(rep_seed ^ 0xA6EA75EEDULL);
+    ET_ASSIGN_OR_RETURN(BeliefModel trainer_prior,
+                        BuildPrior(config.trainer_prior, space, data.rel,
+                                   agent_rng, &cache));
+    ET_ASSIGN_OR_RETURN(BeliefModel learner_prior,
+                        BuildPrior(config.learner_prior, space, data.rel,
+                                   agent_rng, &cache));
+
+    CandidateOptions pool_options;
+    pool_options.restrict_to = split.train;
+    pool_options.cache = &cache;
+    Rng pool_rng(rep_seed ^ 0xB00AULL);
+    ET_ASSIGN_OR_RETURN(
+        std::vector<RowPair> pool,
+        BuildCandidatePairs(data.rel, *space, pool_options, pool_rng));
+
+    PolicyOptions policy_options;
+    policy_options.gamma = config.gamma;
+    Trainer trainer(std::move(trainer_prior), TrainerOptions{},
+                    rep_seed ^ 0x77ULL);
+    Learner learner(std::move(learner_prior),
+                    MakePolicy(policies[pi], policy_options),
+                    std::move(pool), LearnerOptions{},
+                    (rep_seed ^ 0x1E42ULL) + pi);
+
+    GameOptions game_options;
+    game_options.iterations = config.iterations;
+    game_options.pairs_per_iteration = config.pairs_per_iteration;
+    Game game(&data.rel, std::move(trainer), std::move(learner),
+              game_options);
+
+    std::vector<double> f1_series;
+    Status f1_status = Status::OK();
+    IterationCallback callback = nullptr;
+    if (config.compute_f1) {
+      callback = [&](const IterationRecord&) {
+        auto f1 = HeldOutF1(game.learner().belief(), data.rel, split.test,
+                            truth, &cache);
+        if (f1.ok()) {
+          f1_series.push_back(*f1);
+        } else if (f1_status.ok()) {
+          f1_status = f1.status();
+        }
+      };
+    }
+    ET_ASSIGN_OR_RETURN(GameResult game_result, game.Run(callback));
+    ET_RETURN_NOT_OK(f1_status);
+
+    out.mae_series[pi] = game_result.MaeSeries();
+    out.initial_mae[pi] = game_result.initial_mae;
+    if (!game_result.iterations.empty()) {
+      out.final_mae[pi] = game_result.iterations.back().mae;
+    }
+    if (config.compute_f1) {
+      out.f1_series[pi] = std::move(f1_series);
+      if (!out.f1_series[pi].empty()) {
+        out.final_f1[pi] = out.f1_series[pi].back();
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 const char* PriorKindToString(PriorKind kind) {
@@ -110,6 +303,17 @@ Result<ConvergenceResult> RunConvergenceExperiment(
   ConvergenceResult result;
   result.config = config;
 
+  // Repetitions are independent given their derived seeds: run them in
+  // parallel, each writing its own outcome slot, then reduce serially
+  // in repetition order below.
+  std::vector<Result<RepOutcome>> outcomes(
+      config.repetitions, Result<RepOutcome>(Status::Internal("not run")));
+  ParallelFor(config.repetitions, [&](size_t begin, size_t end) {
+    for (size_t rep = begin; rep < end; ++rep) {
+      outcomes[rep] = RunOneRep(config, policies, rep);
+    }
+  });
+
   std::vector<SeriesAccumulator> mae_acc(
       policies.size(), SeriesAccumulator(config.iterations));
   std::vector<SeriesAccumulator> f1_acc(
@@ -120,156 +324,18 @@ Result<ConvergenceResult> RunConvergenceExperiment(
   double degree_sum = 0.0;
 
   for (size_t rep = 0; rep < config.repetitions; ++rep) {
-    ET_TRACE_SCOPE("exp.convergence.rep");
-    ET_COUNTER_INC("exp.convergence.reps");
-    const uint64_t rep_seed = config.seed + 1000003ULL * rep;
-    Rng rng(rep_seed);
-
-    // Data: a built-in generator (clean, then dirtied to the requested
-    // degree) or a user CSV ("csv:<path>"; FDs discovered from the
-    // data).
-    obs::ManualSpan prep_span("exp.dataset.prepare");
-    Dataset data;
-    if (config.dataset.rfind("csv:", 0) == 0) {
-      const std::string path = config.dataset.substr(4);
-      ET_ASSIGN_OR_RETURN(data.rel, ReadCsvFile(path));
-      data.name = path;
-      DiscoveryOptions discovery;
-      discovery.g1_threshold = config.csv_discovery_threshold;
-      discovery.max_lhs_size = config.max_fd_attrs - 1;
-      ET_ASSIGN_OR_RETURN(std::vector<DiscoveredFD> found,
-                          DiscoverFDs(data.rel, discovery));
-      for (const DiscoveredFD& d : found) {
-        // g1 normalizes by n^2, so an FD can pass the threshold while
-        // violating a large share of its LHS-agreeing pairs; gate on
-        // pairwise confidence so injection watches rules that actually
-        // hold.
-        if (PairwiseConfidence(data.rel, d.fd) < 0.9) continue;
-        data.clean_fds.push_back(d.fd.ToString(data.rel.schema()));
-      }
-      data.documented_fds = data.clean_fds;
-      if (data.rel.num_rows() < 4) {
-        return Status::InvalidArgument(
-            "CSV dataset too small: " + path);
-      }
-    } else {
-      ET_ASSIGN_OR_RETURN(
-          data, MakeDatasetByName(config.dataset, config.rows, rep_seed));
-    }
-    std::vector<FD> clean_fds;
-    for (const std::string& text : data.clean_fds) {
-      ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, data.rel.schema()));
-      if (fd.NumAttributes() <= config.max_fd_attrs) {
-        clean_fds.push_back(fd);
-      }
-    }
-    // Injection watches the *documented* FDs of the dataset (App. C.1
-    // lists 6 for Hospital and 4 for Tax); watching every construction
-    // FD would demand far more scrambling than the paper's degrees
-    // imply.
-    std::vector<FD> watched;
-    for (const std::string& text : data.documented_fds) {
-      ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, data.rel.schema()));
-      if (fd.NumAttributes() <= config.max_fd_attrs) {
-        watched.push_back(fd);
-      }
-    }
-    if (watched.empty()) watched = clean_fds;
-    ErrorGenerator gen(&data.rel, rng.NextUint64());
-    if (config.violation_degree > 0.0) {
-      ET_RETURN_NOT_OK(
-          gen.InjectToDegree(watched, config.violation_degree));
-    }
-    degree_sum += gen.MeasureDegree(watched);
-    const DirtyGroundTruth truth = gen.ground_truth();
-
-    // Hypothesis space over the dirty data (what agents can see). The
-    // must-include list is truncated for CSV datasets whose discovery
-    // pass may return more FDs than the cap.
-    std::vector<FD> must_include = clean_fds;
-    if (must_include.size() > config.hypothesis_cap / 2) {
-      must_include.resize(config.hypothesis_cap / 2);
-    }
-    ET_ASSIGN_OR_RETURN(
-        HypothesisSpace capped,
-        HypothesisSpace::BuildCapped(data.rel, config.max_fd_attrs,
-                                     config.hypothesis_cap,
-                                     must_include));
-    auto space =
-        std::make_shared<const HypothesisSpace>(std::move(capped));
-
-    // Train/test split for the F1 metric.
-    Split split;
-    if (config.compute_f1) {
-      ET_ASSIGN_OR_RETURN(
-          split,
-          TrainTestSplit(data.rel.num_rows(), config.test_fraction, rng));
-    } else {
-      split.train.resize(data.rel.num_rows());
-      for (RowId r = 0; r < data.rel.num_rows(); ++r) split.train[r] = r;
-    }
-
-    prep_span.End();
-
+    ET_RETURN_NOT_OK(outcomes[rep].status());
+    const RepOutcome& out = *outcomes[rep];
+    degree_sum += out.degree;
     for (size_t pi = 0; pi < policies.size(); ++pi) {
-      ET_TRACE_SCOPE("exp.policy.run");
-      // Same per-rep seeds across policies so they face the same
-      // trainer and priors; only the response policy differs.
-      Rng agent_rng(rep_seed ^ 0xA6EA75EEDULL);
-      ET_ASSIGN_OR_RETURN(
-          BeliefModel trainer_prior,
-          BuildPrior(config.trainer_prior, space, data.rel, agent_rng));
-      ET_ASSIGN_OR_RETURN(
-          BeliefModel learner_prior,
-          BuildPrior(config.learner_prior, space, data.rel, agent_rng));
-
-      CandidateOptions pool_options;
-      pool_options.restrict_to = split.train;
-      Rng pool_rng(rep_seed ^ 0xB00AULL);
-      ET_ASSIGN_OR_RETURN(
-          std::vector<RowPair> pool,
-          BuildCandidatePairs(data.rel, *space, pool_options, pool_rng));
-
-      PolicyOptions policy_options;
-      policy_options.gamma = config.gamma;
-      Trainer trainer(std::move(trainer_prior), TrainerOptions{},
-                      rep_seed ^ 0x77ULL);
-      Learner learner(std::move(learner_prior),
-                      MakePolicy(policies[pi], policy_options),
-                      std::move(pool), LearnerOptions{},
-                      (rep_seed ^ 0x1E42ULL) + pi);
-
-      GameOptions game_options;
-      game_options.iterations = config.iterations;
-      game_options.pairs_per_iteration = config.pairs_per_iteration;
-      Game game(&data.rel, std::move(trainer), std::move(learner),
-                game_options);
-
-      std::vector<double> f1_series;
-      Status f1_status = Status::OK();
-      IterationCallback callback = nullptr;
-      if (config.compute_f1) {
-        callback = [&](const IterationRecord&) {
-          auto f1 = HeldOutF1(game.learner().belief(), data.rel,
-                              split.test, truth);
-          if (f1.ok()) {
-            f1_series.push_back(*f1);
-          } else if (f1_status.ok()) {
-            f1_status = f1.status();
-          }
-        };
+      mae_acc[pi].Add(out.mae_series[pi]);
+      if (config.compute_f1) f1_acc[pi].Add(out.f1_series[pi]);
+      initial_mae_sum[pi] += out.initial_mae[pi];
+      if (!std::isnan(out.final_mae[pi])) {
+        final_mae[pi].push_back(out.final_mae[pi]);
       }
-      ET_ASSIGN_OR_RETURN(GameResult game_result, game.Run(callback));
-      ET_RETURN_NOT_OK(f1_status);
-
-      mae_acc[pi].Add(game_result.MaeSeries());
-      if (config.compute_f1) f1_acc[pi].Add(f1_series);
-      initial_mae_sum[pi] += game_result.initial_mae;
-      if (!game_result.iterations.empty()) {
-        final_mae[pi].push_back(game_result.iterations.back().mae);
-      }
-      if (config.compute_f1 && !f1_series.empty()) {
-        final_f1[pi].push_back(f1_series.back());
+      if (config.compute_f1 && !std::isnan(out.final_f1[pi])) {
+        final_f1[pi].push_back(out.final_f1[pi]);
       }
     }
   }

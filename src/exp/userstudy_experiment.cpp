@@ -1,9 +1,11 @@
 #include "exp/userstudy_experiment.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "belief/priors.h"
 #include "common/math.h"
+#include "common/thread_pool.h"
 #include "metrics/mrr.h"
 #include "obs/trace.h"
 
@@ -76,60 +78,98 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
                         SpaceF1Table(instance));
 
     // Run every participant, collecting sessions and Table 3 stats.
+    // Participants are seeded independently, so sessions run in
+    // parallel into per-participant slots; the merge below walks them
+    // in participant order, keeping output identical to a serial run.
+    using ParticipantOutcome = std::pair<StudySession, double>;
+    std::vector<Result<ParticipantOutcome>> runs(
+        cohort.size(),
+        Result<ParticipantOutcome>(Status::Internal("not run")));
+    ParallelFor(cohort.size(), [&](size_t begin, size_t end) {
+      for (size_t p = begin; p < end; ++p) {
+        runs[p] = [&, p]() -> Result<ParticipantOutcome> {
+          ParticipantProfile profile = cohort[p];
+          if (scenario.id == 2) {
+            // Scenario 2 was markedly harder: more regressions, noisier
+            // declarations (App. A.3).
+            profile.regression_prob += config.scenario2_extra_regression;
+            profile.regression_pool = 12;
+            profile.decision_noise =
+                std::max(profile.decision_noise, 0.05);
+          }
+          const uint64_t part_seed = scenario_seed + 7919ULL * (p + 1);
+          ET_ASSIGN_OR_RETURN(
+              std::unique_ptr<AnnotatorModel> participant,
+              MakeSimulatedParticipant(instance, profile, part_seed));
+          Rng session_rng(part_seed ^ 0xFACEULL);
+          ET_ASSIGN_OR_RETURN(
+              StudySession session,
+              RunStudySession(instance, *participant,
+                              static_cast<int>(p), config.study,
+                              session_rng));
+          ET_ASSIGN_OR_RETURN(double change,
+                              SessionF1Change(instance, session));
+          return ParticipantOutcome(std::move(session), change);
+        }();
+      }
+    });
     std::vector<StudySession> sessions;
     std::vector<double> f1_changes;
     for (size_t p = 0; p < cohort.size(); ++p) {
-      ParticipantProfile profile = cohort[p];
-      if (scenario.id == 2) {
-        // Scenario 2 was markedly harder: more regressions, noisier
-        // declarations (App. A.3).
-        profile.regression_prob += config.scenario2_extra_regression;
-        profile.regression_pool = 12;
-        profile.decision_noise = std::max(profile.decision_noise, 0.05);
-      }
-      const uint64_t part_seed = scenario_seed + 7919ULL * (p + 1);
-      ET_ASSIGN_OR_RETURN(
-          std::unique_ptr<AnnotatorModel> participant,
-          MakeSimulatedParticipant(instance, profile, part_seed));
-      Rng session_rng(part_seed ^ 0xFACEULL);
-      ET_ASSIGN_OR_RETURN(
-          StudySession session,
-          RunStudySession(instance, *participant, static_cast<int>(p),
-                          config.study, session_rng));
-      ET_ASSIGN_OR_RETURN(double change,
-                          SessionF1Change(instance, session));
-      f1_changes.push_back(change);
-      sessions.push_back(std::move(session));
+      ET_RETURN_NOT_OK(runs[p].status());
+      f1_changes.push_back(runs[p]->second);
+      sessions.push_back(std::move(runs[p]->first));
     }
     result.table3.push_back({scenario.id, Mean(f1_changes)});
 
-    // Score every predictor over all sessions.
+    // Score every predictor over all sessions. Each session's RR
+    // series lands in its own slot; concatenation happens serially in
+    // session order so the MRR reduction order never changes.
     for (const PredictorSpec& spec : predictors) {
+      using SeriesPair =
+          std::pair<std::vector<double>, std::vector<double>>;
+      std::vector<Result<SeriesPair>> scored(
+          sessions.size(),
+          Result<SeriesPair>(Status::Internal("not run")));
+      ParallelFor(sessions.size(), [&](size_t begin, size_t end) {
+        for (size_t s = begin; s < end; ++s) {
+          scored[s] = [&, s]() -> Result<SeriesPair> {
+            const StudySession& session = sessions[s];
+            const uint64_t pred_seed =
+                scenario_seed ^ (0xABCDULL + session.participant);
+            SeriesPair pair;
+            {
+              ET_ASSIGN_OR_RETURN(
+                  std::unique_ptr<AnnotatorModel> predictor,
+                  spec.make(instance, session, pred_seed));
+              ET_ASSIGN_OR_RETURN(
+                  pair.first,
+                  PredictorRRSeries(instance, session, *predictor,
+                                    config.top_k, /*plus=*/false,
+                                    fd_f1));
+            }
+            {
+              ET_ASSIGN_OR_RETURN(
+                  std::unique_ptr<AnnotatorModel> predictor,
+                  spec.make(instance, session, pred_seed));
+              ET_ASSIGN_OR_RETURN(
+                  pair.second,
+                  PredictorRRSeries(instance, session, *predictor,
+                                    config.top_k, /*plus=*/true,
+                                    fd_f1));
+            }
+            return pair;
+          }();
+        }
+      });
       std::vector<double> rrs;
       std::vector<double> rrs_plus;
-      for (const StudySession& session : sessions) {
-        const uint64_t pred_seed =
-            scenario_seed ^ (0xABCDULL + session.participant);
-        {
-          ET_ASSIGN_OR_RETURN(
-              std::unique_ptr<AnnotatorModel> predictor,
-              spec.make(instance, session, pred_seed));
-          ET_ASSIGN_OR_RETURN(
-              std::vector<double> series,
-              PredictorRRSeries(instance, session, *predictor,
-                                config.top_k, /*plus=*/false, fd_f1));
-          rrs.insert(rrs.end(), series.begin(), series.end());
-        }
-        {
-          ET_ASSIGN_OR_RETURN(
-              std::unique_ptr<AnnotatorModel> predictor,
-              spec.make(instance, session, pred_seed));
-          ET_ASSIGN_OR_RETURN(
-              std::vector<double> series,
-              PredictorRRSeries(instance, session, *predictor,
-                                config.top_k, /*plus=*/true, fd_f1));
-          rrs_plus.insert(rrs_plus.end(), series.begin(), series.end());
-        }
+      for (size_t s = 0; s < sessions.size(); ++s) {
+        ET_RETURN_NOT_OK(scored[s].status());
+        rrs.insert(rrs.end(), scored[s]->first.begin(),
+                   scored[s]->first.end());
+        rrs_plus.insert(rrs_plus.end(), scored[s]->second.begin(),
+                        scored[s]->second.end());
       }
       ModelScenarioScore score;
       score.scenario_id = scenario.id;

@@ -1,66 +1,15 @@
 #include "fd/discovery.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "fd/attrset.h"
+#include "fd/eval_cache.h"
 #include "fd/g1.h"
 #include "fd/partition.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace et {
-namespace {
-
-/// Levelwise partition cache: partitions for every explored LHS mask,
-/// computed via TANE's partition product from the previous level.
-class PartitionCache {
- public:
-  PartitionCache(const Relation& rel, bool enabled)
-      : rel_(rel), enabled_(enabled) {
-    if (!enabled_) return;
-    for (int a = 0; a < rel.schema().num_attributes(); ++a) {
-      cache_.emplace(AttrSet::Single(a).mask(),
-                     Partition::Build(rel, AttrSet::Single(a)));
-    }
-  }
-
-  /// Partition for `attrs`, from the cache (computing and caching via
-  /// the product when missing) or by direct build when disabled.
-  const Partition& Get(AttrSet attrs) {
-    auto it = cache_.find(attrs.mask());
-    if (it != cache_.end()) return it->second;
-    Partition part;
-    if (enabled_ && attrs.size() >= 2) {
-      const int low = attrs.ToIndices().front();
-      const AttrSet rest = attrs.WithoutAttr(low);
-      part = Partition::Product(Get(rest), Get(AttrSet::Single(low)),
-                                rel_.num_rows());
-    } else {
-      part = Partition::Build(rel_, attrs);
-    }
-    return cache_.emplace(attrs.mask(), std::move(part)).first->second;
-  }
-
-  /// Drops cached partitions with more attributes than `level` would
-  /// need again (memory control between levels).
-  void EvictAbove(int max_size) {
-    for (auto it = cache_.begin(); it != cache_.end();) {
-      if (std::popcount(it->first) > max_size) {
-        it = cache_.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  }
-
- private:
-  const Relation& rel_;
-  bool enabled_;
-  std::unordered_map<uint32_t, Partition> cache_;
-};
-
-}  // namespace
 
 Result<std::vector<DiscoveredFD>> DiscoverFDs(
     const Relation& rel, const DiscoveryOptions& options) {
@@ -75,7 +24,11 @@ Result<std::vector<DiscoveredFD>> DiscoverFDs(
   const int n = schema.num_attributes();
   const double n_rows = static_cast<double>(rel.num_rows());
 
-  PartitionCache cache(rel, options.use_partition_cache);
+  // Shared evaluation cache (replaces the levelwise cache this file
+  // used to own): multi-attribute partitions derive from cached
+  // sub-partitions via TANE's product, and the LRU byte budget takes
+  // over the old explicit between-level eviction.
+  EvalCache cache(rel);
 
   std::vector<DiscoveredFD> found;
   // Per RHS attribute, the set of LHS masks already known to determine
@@ -100,21 +53,13 @@ Result<std::vector<DiscoveredFD>> DiscoverFDs(
         }
         const FD fd(lhs, rhs);
         ET_COUNTER_INC("fd.discovery.candidates");
-        double g1;
-        if (options.use_partition_cache) {
-          // Violating pairs = pairs agreeing on LHS but not on
-          // LHS ∪ {RHS}; both counts come from cached partitions.
-          const uint64_t lhs_pairs =
-              cache.Get(lhs).AgreeingPairCount();
-          const uint64_t full_pairs =
-              cache.Get(lhs.With(rhs)).AgreeingPairCount();
-          g1 = rel.num_rows() < 2
-                   ? 0.0
-                   : static_cast<double>(lhs_pairs - full_pairs) /
-                         (n_rows * n_rows);
-        } else {
-          g1 = G1(rel, fd);
-        }
+        const double g1 = options.use_partition_cache
+                              ? (rel.num_rows() < 2
+                                     ? 0.0
+                                     : static_cast<double>(
+                                           cache.ViolatingPairCount(fd)) /
+                                           (n_rows * n_rows))
+                              : G1(rel, fd);
         if (g1 <= options.g1_threshold) {
           ET_COUNTER_INC("fd.discovery.found");
           found.push_back({fd, g1});
@@ -122,8 +67,6 @@ Result<std::vector<DiscoveredFD>> DiscoverFDs(
         }
       }
     }
-    // Partitions wider than the next level's LHS ∪ RHS are dead.
-    cache.EvictAbove(level + 1);
   }
   std::sort(found.begin(), found.end(),
             [](const DiscoveredFD& a, const DiscoveredFD& b) {

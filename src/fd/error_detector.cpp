@@ -1,30 +1,49 @@
 #include "fd/error_detector.h"
 
 #include <algorithm>
+#include <memory>
 
+#include "fd/eval_cache.h"
 #include "fd/partition.h"
 
 namespace et {
+namespace {
+
+/// Partition of fd.lhs over `rows`: from the cache when provided,
+/// freshly built otherwise. The shared_ptr keeps cache entries alive
+/// across evictions.
+std::shared_ptr<const Partition> LhsPartition(
+    const Relation& rel, const std::vector<RowId>& rows, AttrSet lhs,
+    EvalCache* cache) {
+  if (cache != nullptr) return cache->Get(lhs, rows);
+  return std::make_shared<Partition>(Partition::Build(rel, lhs, rows));
+}
+
+/// Map RowId -> position within `rows` (SIZE_MAX for absent rows).
+std::vector<size_t> PositionIndex(const std::vector<RowId>& rows) {
+  RowId max_row = 0;
+  for (RowId r : rows) max_row = std::max(max_row, r);
+  std::vector<size_t> pos_of(static_cast<size_t>(max_row) + 1, SIZE_MAX);
+  for (size_t i = 0; i < rows.size(); ++i) pos_of[rows[i]] = i;
+  return pos_of;
+}
+
+}  // namespace
 
 std::vector<double> DirtyProbabilitiesForFD(const Relation& rel,
                                             const std::vector<RowId>& rows,
                                             const FD& fd,
-                                            double confidence) {
+                                            double confidence,
+                                            EvalCache* cache) {
   confidence = std::clamp(confidence, 0.0, 1.0);
   // Classify every row in `rows` as violating / satisfying-only /
   // inapplicable using the LHS partition restricted to these rows.
   enum : uint8_t { kNone = 0, kSat = 1, kViol = 2 };
   std::vector<uint8_t> state(rows.size(), kNone);
-  // Map RowId -> position within `rows`.
-  std::vector<size_t> pos_of;  // sized lazily to max row id + 1
-  {
-    RowId max_row = 0;
-    for (RowId r : rows) max_row = std::max(max_row, r);
-    pos_of.assign(static_cast<size_t>(max_row) + 1, SIZE_MAX);
-    for (size_t i = 0; i < rows.size(); ++i) pos_of[rows[i]] = i;
-  }
-  const Partition part = Partition::Build(rel, fd.lhs, rows);
-  for (const auto& cls : part.classes()) {
+  const std::vector<size_t> pos_of = PositionIndex(rows);
+  const std::shared_ptr<const Partition> part =
+      LhsPartition(rel, rows, fd.lhs, cache);
+  for (const auto& cls : part->classes()) {
     // A row violates if any same-class row differs on the RHS; it
     // satisfies (only) if all same-class rows agree. With the class's
     // RHS-value census this is O(|class|).
@@ -63,23 +82,21 @@ std::vector<double> DirtyProbabilitiesForFD(const Relation& rel,
 
 std::vector<double> DirtyProbabilities(const Relation& rel,
                                        const std::vector<RowId>& rows,
-                                       const std::vector<WeightedFD>& fds) {
+                                       const std::vector<WeightedFD>& fds,
+                                       EvalCache* cache) {
   std::vector<double> num(rows.size(), 0.0);
   std::vector<double> den(rows.size(), 0.0);
   for (const WeightedFD& wfd : fds) {
     if (wfd.weight <= 0.0) continue;
     // Applicability: rows in some LHS class of size >= 2.
     const std::vector<double> p =
-        DirtyProbabilitiesForFD(rel, rows, wfd.fd, wfd.confidence);
-    const Partition part = Partition::Build(rel, wfd.fd.lhs, rows);
+        DirtyProbabilitiesForFD(rel, rows, wfd.fd, wfd.confidence, cache);
+    const std::shared_ptr<const Partition> part =
+        LhsPartition(rel, rows, wfd.fd.lhs, cache);
     std::vector<bool> applicable(rows.size(), false);
     {
-      std::vector<size_t> pos_of;
-      RowId max_row = 0;
-      for (RowId r : rows) max_row = std::max(max_row, r);
-      pos_of.assign(static_cast<size_t>(max_row) + 1, SIZE_MAX);
-      for (size_t i = 0; i < rows.size(); ++i) pos_of[rows[i]] = i;
-      for (const auto& cls : part.classes()) {
+      const std::vector<size_t> pos_of = PositionIndex(rows);
+      for (const auto& cls : part->classes()) {
         for (RowId r : cls) applicable[pos_of[r]] = true;
       }
     }

@@ -16,6 +16,8 @@
 
 namespace et {
 
+class EvalCache;
+
 /// An FD paired with the detector's confidence that it holds (in [0,1];
 /// confidence = 1 - violation measure) and a mixing weight used when
 /// aggregating evidence from several FDs.
@@ -28,18 +30,22 @@ struct WeightedFD {
 /// Per-tuple dirty probability from a single FD over the given rows:
 /// confidence for tuples in a violating pair, 1 - confidence for tuples
 /// only in satisfying pairs, 0 for tuples whose LHS never matches.
-/// Output is indexed parallel to `rows`.
+/// Output is indexed parallel to `rows`. When `cache` is non-null it
+/// must wrap `rel`; LHS partitions over `rows` then come from (and are
+/// shared through) the cache instead of being rebuilt per call.
 std::vector<double> DirtyProbabilitiesForFD(const Relation& rel,
                                             const std::vector<RowId>& rows,
                                             const FD& fd,
-                                            double confidence);
+                                            double confidence,
+                                            EvalCache* cache = nullptr);
 
 /// Weighted mean of per-FD dirty probabilities; FDs inapplicable to a
 /// tuple do not contribute to that tuple's mixture. Tuples with no
-/// applicable FD get probability 0.
+/// applicable FD get probability 0. `cache` as above.
 std::vector<double> DirtyProbabilities(const Relation& rel,
                                        const std::vector<RowId>& rows,
-                                       const std::vector<WeightedFD>& fds);
+                                       const std::vector<WeightedFD>& fds,
+                                       EvalCache* cache = nullptr);
 
 /// Thresholds probabilities into dirty flags (p > threshold).
 std::vector<bool> PredictDirty(const std::vector<double>& probabilities,

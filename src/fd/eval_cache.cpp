@@ -1,0 +1,185 @@
+#include "fd/eval_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace et {
+namespace {
+
+uint64_t SquareCount(const Partition& part) {
+  return part.AgreeingPairCount();
+}
+
+}  // namespace
+
+EvalCache::EvalCache(const Relation& rel, EvalCacheOptions options)
+    : rel_(&rel), options_(options) {}
+
+uint64_t EvalCache::FingerprintRows(const std::vector<RowId>& rows) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(rows.size());
+  for (RowId r : rows) mix(r);
+  return h == 0 ? 1 : h;  // 0 is reserved for the whole relation
+}
+
+std::shared_ptr<const Partition> EvalCache::Get(AttrSet attrs) {
+  return GetImpl(attrs, /*rows_fp=*/0, /*rows=*/nullptr);
+}
+
+std::shared_ptr<const Partition> EvalCache::Get(
+    AttrSet attrs, const std::vector<RowId>& rows) {
+  return GetImpl(attrs, FingerprintRows(rows), &rows);
+}
+
+std::shared_ptr<const Partition> EvalCache::GetImpl(
+    AttrSet attrs, uint64_t rows_fp, const std::vector<RowId>* rows) {
+  const Key key{attrs.mask(), rows_fp};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      ET_COUNTER_INC("fd.cache.hits");
+      lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+      return it->second.partition;
+    }
+    ++stats_.misses;
+    ET_COUNTER_INC("fd.cache.misses");
+  }
+  // Build outside the lock; concurrent misses on the same key may
+  // duplicate work but stay correct (first insert wins).
+  std::shared_ptr<const Partition> built =
+      BuildUncached(attrs, rows_fp, rows);
+  const size_t bytes = built->ApproxBytes();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) return it->second.partition;
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{built, bytes, lru_.begin()});
+  stats_.bytes += bytes;
+  // Evict least-recently-used entries past the budget, always keeping
+  // the entry just inserted.
+  while (stats_.bytes > options_.byte_budget && entries_.size() > 1) {
+    const Key victim = lru_.back();
+    lru_.pop_back();
+    auto vit = entries_.find(victim);
+    stats_.bytes -= vit->second.bytes;
+    entries_.erase(vit);
+    ++stats_.evictions;
+    ET_COUNTER_INC("fd.cache.evictions");
+  }
+  ET_GAUGE_SET("fd.cache.bytes", static_cast<double>(stats_.bytes));
+  return built;
+}
+
+std::shared_ptr<const Partition> EvalCache::Peek(AttrSet attrs,
+                                                 uint64_t rows_fp) {
+  const Key key{attrs.mask(), rows_fp};
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second.lru_pos);
+  return it->second.partition;
+}
+
+std::shared_ptr<const Partition> EvalCache::BuildUncached(
+    AttrSet attrs, uint64_t rows_fp, const std::vector<RowId>* rows) {
+  if (options_.use_product && attrs.size() >= 2) {
+    // TANE's product: when some one-attribute-smaller subset is already
+    // resident — the common case, since scoring an FD partitions the
+    // LHS right before LHS ∪ {RHS} — peel that attribute and combine
+    // the two partitions in O(|classes|) instead of rescanning the
+    // relation. With no resident subset a direct scan is cheaper than
+    // building the product chain from single columns.
+    for (const int attr : attrs.ToIndices()) {
+      std::shared_ptr<const Partition> rest =
+          Peek(attrs.WithoutAttr(attr), rows_fp);
+      if (rest == nullptr) continue;
+      std::shared_ptr<const Partition> single =
+          GetImpl(AttrSet::Single(attr), rows_fp, rows);
+      const size_t universe = rows ? rows->size() : rel_->num_rows();
+      return std::make_shared<Partition>(
+          Partition::Product(*rest, *single, universe));
+    }
+  }
+  if (rows == nullptr) {
+    return std::make_shared<Partition>(Partition::Build(*rel_, attrs));
+  }
+  return std::make_shared<Partition>(Partition::Build(*rel_, attrs, *rows));
+}
+
+uint64_t EvalCache::ViolatingImpl(const FD& fd, uint64_t rows_fp,
+                                  const std::vector<RowId>* rows) {
+  ET_TRACE_SCOPE("fd.cache.violating_pairs");
+  const uint64_t lhs_pairs =
+      SquareCount(*GetImpl(fd.lhs, rows_fp, rows));
+  const uint64_t full_pairs =
+      SquareCount(*GetImpl(fd.lhs.With(fd.rhs), rows_fp, rows));
+  return lhs_pairs - full_pairs;
+}
+
+uint64_t EvalCache::ViolatingPairCount(const FD& fd) {
+  return ViolatingImpl(fd, 0, nullptr);
+}
+
+uint64_t EvalCache::ViolatingPairCount(const FD& fd,
+                                       const std::vector<RowId>& rows) {
+  return ViolatingImpl(fd, FingerprintRows(rows), &rows);
+}
+
+double EvalCache::G1(const FD& fd) {
+  const size_t n = rel_->num_rows();
+  if (n < 2) return 0.0;
+  return static_cast<double>(ViolatingImpl(fd, 0, nullptr)) /
+         (static_cast<double>(n) * static_cast<double>(n));
+}
+
+double EvalCache::G1(const FD& fd, const std::vector<RowId>& rows) {
+  if (rows.size() < 2) return 0.0;
+  const double n = static_cast<double>(rows.size());
+  return static_cast<double>(
+             ViolatingImpl(fd, FingerprintRows(rows), &rows)) /
+         (n * n);
+}
+
+double EvalCache::PairwiseConfidence(const FD& fd) {
+  const uint64_t lhs_pairs = SquareCount(*GetImpl(fd.lhs, 0, nullptr));
+  if (lhs_pairs == 0) return 1.0;
+  const uint64_t full_pairs =
+      SquareCount(*GetImpl(fd.lhs.With(fd.rhs), 0, nullptr));
+  return 1.0 - static_cast<double>(lhs_pairs - full_pairs) /
+                   static_cast<double>(lhs_pairs);
+}
+
+double EvalCache::PairwiseConfidence(const FD& fd,
+                                     const std::vector<RowId>& rows) {
+  const uint64_t fp = FingerprintRows(rows);
+  const uint64_t lhs_pairs = SquareCount(*GetImpl(fd.lhs, fp, &rows));
+  if (lhs_pairs == 0) return 1.0;
+  const uint64_t full_pairs =
+      SquareCount(*GetImpl(fd.lhs.With(fd.rhs), fp, &rows));
+  return 1.0 - static_cast<double>(lhs_pairs - full_pairs) /
+                   static_cast<double>(lhs_pairs);
+}
+
+void EvalCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  lru_.clear();
+  stats_.bytes = 0;
+  ET_GAUGE_SET("fd.cache.bytes", 0.0);
+}
+
+EvalCacheStats EvalCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace et

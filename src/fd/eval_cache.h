@@ -1,0 +1,145 @@
+// Shared, thread-safe partition cache for the FD evaluation layer.
+//
+// Every g1 score, violation scan, error-detection pass, and candidate
+// generation step starts from the stripped partition of some LHS
+// attribute set, and hypothesis-space FDs heavily share LHS sets: the
+// paper's evaluation re-scores all 38 FDs every round, but only a
+// handful of distinct partitions exist. EvalCache builds each
+// partition once — multi-attribute sets via TANE's partition product
+// from cached sub-partitions — and hands out shared_ptrs, so scoring a
+// whole hypothesis space costs a few relation scans instead of one per
+// FD per round.
+//
+// Entries are keyed by (attribute mask, row-universe fingerprint);
+// fingerprint 0 is the whole relation, subsets are identified by a
+// 64-bit FNV-1a hash of their row ids (collisions are astronomically
+// unlikely for the handful of universes — train/test splits — a run
+// touches). An LRU byte budget bounds memory; eviction never
+// invalidates a handed-out partition because entries are shared_ptrs.
+//
+// The cache holds a pointer to the relation and assumes it does not
+// change; after mutating cells (error injection, repair), call Clear()
+// or build a fresh cache.
+//
+// Observability: every instance feeds the process-wide counters
+// fd.cache.{hits,misses,evictions} and the gauge fd.cache.bytes.
+
+#ifndef ET_FD_EVAL_CACHE_H_
+#define ET_FD_EVAL_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "data/relation.h"
+#include "fd/fd.h"
+#include "fd/partition.h"
+
+namespace et {
+
+struct EvalCacheOptions {
+  /// Approximate cap on resident partition bytes; the most recently
+  /// used entry is always retained regardless.
+  size_t byte_budget = size_t{64} << 20;
+  /// Derive partitions of >= 2 attributes from an already-resident
+  /// one-attribute-smaller partition via Partition::Product instead of
+  /// scanning the relation. Identical results; disable to cross-check.
+  bool use_product = true;
+};
+
+struct EvalCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  size_t bytes = 0;
+};
+
+class EvalCache {
+ public:
+  explicit EvalCache(const Relation& rel, EvalCacheOptions options = {});
+
+  EvalCache(const EvalCache&) = delete;
+  EvalCache& operator=(const EvalCache&) = delete;
+
+  const Relation& relation() const { return *rel_; }
+
+  /// Partition of `attrs` over the whole relation.
+  std::shared_ptr<const Partition> Get(AttrSet attrs);
+
+  /// Partition over a row subset. `rows` must be ascending (partition
+  /// class invariants rely on it) and identical vectors must be passed
+  /// for the same logical universe.
+  std::shared_ptr<const Partition> Get(AttrSet attrs,
+                                       const std::vector<RowId>& rows);
+
+  /// Violating pairs of `fd`: pairs agreeing on the LHS minus pairs
+  /// agreeing on LHS ∪ {RHS}, both from cached partitions.
+  uint64_t ViolatingPairCount(const FD& fd);
+  uint64_t ViolatingPairCount(const FD& fd, const std::vector<RowId>& rows);
+
+  /// Scaled g1 (violating pairs / n^2), matching et::G1 exactly.
+  double G1(const FD& fd);
+  double G1(const FD& fd, const std::vector<RowId>& rows);
+
+  /// 1 - violating/LHS-agreeing pairs, matching et::PairwiseConfidence.
+  double PairwiseConfidence(const FD& fd);
+  double PairwiseConfidence(const FD& fd, const std::vector<RowId>& rows);
+
+  /// Drops every entry (use after mutating the relation).
+  void Clear();
+
+  EvalCacheStats stats() const;
+
+  /// FNV-1a fingerprint of a row universe (never 0, which tags the
+  /// whole relation).
+  static uint64_t FingerprintRows(const std::vector<RowId>& rows);
+
+ private:
+  struct Key {
+    uint32_t mask;
+    uint64_t rows_fp;
+    bool operator==(const Key& o) const {
+      return mask == o.mask && rows_fp == o.rows_fp;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      uint64_t h = k.rows_fp ^ (uint64_t{k.mask} * 0x9E3779B97F4A7C15ULL);
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+  struct Entry {
+    std::shared_ptr<const Partition> partition;
+    size_t bytes = 0;
+    std::list<Key>::iterator lru_pos;
+  };
+
+  /// `rows` is nullptr for the whole relation.
+  std::shared_ptr<const Partition> GetImpl(AttrSet attrs, uint64_t rows_fp,
+                                           const std::vector<RowId>* rows);
+  /// Returns the resident partition for (attrs, rows_fp) or nullptr;
+  /// never builds and never counts a hit or miss.
+  std::shared_ptr<const Partition> Peek(AttrSet attrs, uint64_t rows_fp);
+  std::shared_ptr<const Partition> BuildUncached(
+      AttrSet attrs, uint64_t rows_fp, const std::vector<RowId>* rows);
+  uint64_t ViolatingImpl(const FD& fd, uint64_t rows_fp,
+                         const std::vector<RowId>* rows);
+
+  const Relation* rel_;
+  EvalCacheOptions options_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::list<Key> lru_;  // front = most recently used
+  EvalCacheStats stats_;
+};
+
+}  // namespace et
+
+#endif  // ET_FD_EVAL_CACHE_H_

@@ -1,6 +1,7 @@
 #include "fd/g1.h"
 
-#include <unordered_map>
+#include <algorithm>
+#include <bit>
 
 #include "obs/trace.h"
 
@@ -12,40 +13,57 @@ struct PairCounts {
   uint64_t violating = 0;  // of those, pairs differing on RHS
 };
 
+/// Pairs within `cls` that agree on the RHS, via sort-and-run-length
+/// over a reused scratch buffer. A hash census (the previous
+/// implementation) dominated the inner loop: classes are small and
+/// sorting a flat code array beats per-class hash-map churn.
+uint64_t SatisfiedPairs(const Relation& rel, int rhs,
+                        const std::vector<RowId>& cls) {
+  static thread_local std::vector<Dictionary::Code> scratch;
+  scratch.clear();
+  scratch.reserve(cls.size());
+  for (RowId r : cls) scratch.push_back(rel.code(r, rhs));
+  std::sort(scratch.begin(), scratch.end());
+  uint64_t satisfied = 0;
+  for (size_t i = 0; i < scratch.size();) {
+    size_t j = i + 1;
+    while (j < scratch.size() && scratch[j] == scratch[i]) ++j;
+    const uint64_t run = j - i;
+    satisfied += run * (run - 1) / 2;
+    i = j;
+  }
+  return satisfied;
+}
+
 PairCounts CountPairs(const Relation& rel, const FD& fd,
-                      const std::vector<RowId>& rows) {
+                      const Partition& part) {
   ET_TRACE_SCOPE("fd.g1.eval");
   PairCounts out;
-  const Partition part = Partition::Build(rel, fd.lhs, rows);
   for (const auto& cls : part.classes()) {
     const uint64_t n = cls.size();
     out.agreeing += n * (n - 1) / 2;
-    // Within an LHS class, satisfied pairs are those agreeing on the
-    // RHS; count via RHS-value frequencies.
-    std::unordered_map<Dictionary::Code, uint64_t> freq;
-    freq.reserve(cls.size());
-    for (RowId r : cls) ++freq[rel.code(r, fd.rhs)];
-    uint64_t satisfied = 0;
-    for (const auto& [code, cnt] : freq) {
-      (void)code;
-      satisfied += cnt * (cnt - 1) / 2;
-    }
-    out.violating += n * (n - 1) / 2 - satisfied;
+    out.violating += n * (n - 1) / 2 - SatisfiedPairs(rel, fd.rhs, cls);
   }
   return out;
 }
 
-std::vector<RowId> AllRows(const Relation& rel) {
-  std::vector<RowId> rows(rel.num_rows());
-  for (RowId r = 0; r < rel.num_rows(); ++r) rows[r] = r;
-  return rows;
+PairCounts CountPairs(const Relation& rel, const FD& fd) {
+  return CountPairs(rel, fd, Partition::Build(rel, fd.lhs));
+}
+
+PairCounts CountPairs(const Relation& rel, const FD& fd,
+                      const std::vector<RowId>& rows) {
+  return CountPairs(rel, fd, Partition::Build(rel, fd.lhs, rows));
 }
 
 }  // namespace
 
 PairCompliance CheckPair(const Relation& rel, const FD& fd, RowId a,
                          RowId b) {
-  for (int col : fd.lhs.ToIndices()) {
+  // Walk the LHS mask directly; ToIndices() would allocate and this is
+  // the innermost loop of pair prediction.
+  for (uint32_t m = fd.lhs.mask(); m != 0; m &= m - 1) {
+    const int col = std::countr_zero(m);
     if (rel.code(a, col) != rel.code(b, col)) {
       return PairCompliance::kInapplicable;
     }
@@ -56,7 +74,7 @@ PairCompliance CheckPair(const Relation& rel, const FD& fd, RowId a,
 }
 
 uint64_t ViolatingPairCount(const Relation& rel, const FD& fd) {
-  return ViolatingPairCount(rel, fd, AllRows(rel));
+  return CountPairs(rel, fd).violating;
 }
 
 uint64_t ViolatingPairCount(const Relation& rel, const FD& fd,
@@ -65,7 +83,10 @@ uint64_t ViolatingPairCount(const Relation& rel, const FD& fd,
 }
 
 double G1(const Relation& rel, const FD& fd) {
-  return G1(rel, fd, AllRows(rel));
+  if (rel.num_rows() < 2) return 0.0;
+  const PairCounts counts = CountPairs(rel, fd);
+  const double n = static_cast<double>(rel.num_rows());
+  return static_cast<double>(counts.violating) / (n * n);
 }
 
 double G1(const Relation& rel, const FD& fd,
@@ -77,7 +98,10 @@ double G1(const Relation& rel, const FD& fd,
 }
 
 double PairwiseConfidence(const Relation& rel, const FD& fd) {
-  return PairwiseConfidence(rel, fd, AllRows(rel));
+  const PairCounts counts = CountPairs(rel, fd);
+  if (counts.agreeing == 0) return 1.0;
+  return 1.0 - static_cast<double>(counts.violating) /
+                   static_cast<double>(counts.agreeing);
 }
 
 double PairwiseConfidence(const Relation& rel, const FD& fd,

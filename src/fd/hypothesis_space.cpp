@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
+#include "fd/eval_cache.h"
 #include "fd/g1.h"
 
 namespace et {
@@ -90,8 +92,17 @@ Result<HypothesisSpace> HypothesisSpace::BuildCapped(
       }
     }
     if (degenerate_lhs) continue;
-    ranked.push_back({fd, G1(rel, fd)});
+    ranked.push_back({fd, 0.0});
   }
+  // Score the full candidate space: partitions shared across FDs with
+  // a common LHS via the cache, FDs scored in parallel (per-index
+  // writes, so the ranking is identical at any thread count).
+  EvalCache cache(rel);
+  ParallelFor(ranked.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ranked[i].g1 = cache.G1(ranked[i].fd);
+    }
+  });
   std::stable_sort(ranked.begin(), ranked.end(),
                    [](const Ranked& a, const Ranked& b) {
                      if (a.g1 != b.g1) return a.g1 < b.g1;

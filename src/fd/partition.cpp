@@ -22,12 +22,74 @@ struct KeyHash {
   }
 };
 
+/// Shared grouping core: `next_row(i)` maps the i-th position of the
+/// row universe to its RowId (identity for whole-relation builds).
+template <typename RowAt>
+void BuildGroups(const Relation& rel, const std::vector<int>& cols,
+                 size_t n, RowAt row_at,
+                 std::vector<std::vector<RowId>>& classes,
+                 size_t& num_singletons) {
+  if (cols.size() == 1) {
+    // Single attribute (the common case: FD LHSs are mostly one or two
+    // columns): group by the code directly, no composite key.
+    const int col = cols[0];
+    std::unordered_map<Dictionary::Code, std::vector<RowId>> groups;
+    groups.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      const RowId r = row_at(i);
+      groups[rel.code(r, col)].push_back(r);
+    }
+    for (auto& [code, members] : groups) {
+      (void)code;
+      if (members.size() >= 2) {
+        classes.push_back(std::move(members));
+      } else {
+        ++num_singletons;
+      }
+    }
+    return;
+  }
+  std::unordered_map<std::vector<Dictionary::Code>, std::vector<RowId>,
+                     KeyHash>
+      groups;
+  groups.reserve(n);
+  std::vector<Dictionary::Code> key(cols.size());
+  for (size_t i = 0; i < n; ++i) {
+    const RowId r = row_at(i);
+    for (size_t c = 0; c < cols.size(); ++c) key[c] = rel.code(r, cols[c]);
+    groups[key].push_back(r);
+  }
+  for (auto& [k, members] : groups) {
+    (void)k;
+    if (members.size() >= 2) {
+      classes.push_back(std::move(members));
+    } else {
+      ++num_singletons;
+    }
+  }
+}
+
+void SortClasses(std::vector<std::vector<RowId>>& classes) {
+  // Deterministic class order regardless of hash iteration order.
+  std::sort(classes.begin(), classes.end(),
+            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
+              return a[0] < b[0];
+            });
+}
+
 }  // namespace
 
 Partition Partition::Build(const Relation& rel, AttrSet attrs) {
-  std::vector<RowId> all(rel.num_rows());
-  for (RowId r = 0; r < rel.num_rows(); ++r) all[r] = r;
-  return Build(rel, attrs, all);
+  ET_TRACE_SCOPE("fd.partition.build");
+  Partition p;
+  p.num_rows_ = rel.num_rows();
+  const std::vector<int> cols = attrs.ToIndices();
+  BuildGroups(
+      rel, cols, rel.num_rows(),
+      [](size_t i) { return static_cast<RowId>(i); }, p.classes_,
+      p.num_singletons_);
+  SortClasses(p.classes_);
+  return p;
 }
 
 Partition Partition::Build(const Relation& rel, AttrSet attrs,
@@ -36,28 +98,10 @@ Partition Partition::Build(const Relation& rel, AttrSet attrs,
   Partition p;
   p.num_rows_ = rows.size();
   const std::vector<int> cols = attrs.ToIndices();
-  std::unordered_map<std::vector<Dictionary::Code>, std::vector<RowId>,
-                     KeyHash>
-      groups;
-  groups.reserve(rows.size());
-  std::vector<Dictionary::Code> key(cols.size());
-  for (RowId r : rows) {
-    for (size_t i = 0; i < cols.size(); ++i) key[i] = rel.code(r, cols[i]);
-    groups[key].push_back(r);
-  }
-  for (auto& [k, members] : groups) {
-    (void)k;
-    if (members.size() >= 2) {
-      p.classes_.push_back(std::move(members));
-    } else {
-      ++p.num_singletons_;
-    }
-  }
-  // Deterministic class order regardless of hash iteration order.
-  std::sort(p.classes_.begin(), p.classes_.end(),
-            [](const std::vector<RowId>& a, const std::vector<RowId>& b) {
-              return a[0] < b[0];
-            });
+  BuildGroups(rel, cols, rows.size(),
+              [&rows](size_t i) { return rows[i]; }, p.classes_,
+              p.num_singletons_);
+  SortClasses(p.classes_);
   return p;
 }
 
@@ -68,6 +112,15 @@ uint64_t Partition::AgreeingPairCount() const {
     pairs += n * (n - 1) / 2;
   }
   return pairs;
+}
+
+size_t Partition::ApproxBytes() const {
+  size_t bytes = sizeof(Partition) +
+                 classes_.capacity() * sizeof(std::vector<RowId>);
+  for (const auto& cls : classes_) {
+    bytes += cls.capacity() * sizeof(RowId);
+  }
+  return bytes;
 }
 
 size_t Partition::TaneError() const {

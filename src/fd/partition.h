@@ -20,7 +20,8 @@ namespace et {
 /// on an attribute set, over a given row universe.
 class Partition {
  public:
-  /// Builds the partition of `attrs` over all rows of `rel`.
+  /// Builds the partition of `attrs` over all rows of `rel` directly
+  /// from the column codes, without materializing a row-id vector.
   static Partition Build(const Relation& rel, AttrSet attrs);
 
   /// Builds the partition over a subset of rows (ids into `rel`).
@@ -41,6 +42,9 @@ class Partition {
   /// Total number of unordered row pairs that agree on the attribute
   /// set: sum over classes of C(|class|, 2).
   uint64_t AgreeingPairCount() const;
+
+  /// Approximate heap footprint (for cache byte budgets).
+  size_t ApproxBytes() const;
 
   /// Error measure used by TANE: rows minus number of classes (counting
   /// singletons), i.e. the minimum number of rows to delete for the

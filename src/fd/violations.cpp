@@ -1,20 +1,19 @@
 #include "fd/violations.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <unordered_set>
 
+#include "fd/eval_cache.h"
 #include "fd/partition.h"
 
 namespace et {
 namespace {
 
 // Walks LHS classes, invoking `emit(a, b)` on pairs until it returns
-// false. `want_violating` selects violating vs all agreeing pairs.
+// false. `violating_only` selects violating vs all agreeing pairs.
 template <typename Emit>
-void ForEachPair(const Relation& rel, const FD& fd, bool violating_only,
-                 Emit emit) {
-  const Partition part = Partition::Build(rel, fd.lhs);
+void ForEachPair(const Relation& rel, const FD& fd, const Partition& part,
+                 bool violating_only, Emit emit) {
   for (const auto& cls : part.classes()) {
     for (size_t i = 0; i < cls.size(); ++i) {
       for (size_t j = i + 1; j < cls.size(); ++j) {
@@ -28,9 +27,10 @@ void ForEachPair(const Relation& rel, const FD& fd, bool violating_only,
 }
 
 std::vector<RowPair> CollectPairs(const Relation& rel, const FD& fd,
+                                  const Partition& part,
                                   bool violating_only, size_t limit) {
   std::vector<RowPair> out;
-  ForEachPair(rel, fd, violating_only, [&](RowId a, RowId b) {
+  ForEachPair(rel, fd, part, violating_only, [&](RowId a, RowId b) {
     out.emplace_back(a, b);
     return limit == 0 || out.size() < limit;
   });
@@ -42,12 +42,26 @@ std::vector<RowPair> CollectPairs(const Relation& rel, const FD& fd,
 
 std::vector<RowPair> ViolatingPairs(const Relation& rel, const FD& fd,
                                     size_t limit) {
-  return CollectPairs(rel, fd, /*violating_only=*/true, limit);
+  return CollectPairs(rel, fd, Partition::Build(rel, fd.lhs),
+                      /*violating_only=*/true, limit);
 }
 
 std::vector<RowPair> AgreeingPairs(const Relation& rel, const FD& fd,
                                    size_t limit) {
-  return CollectPairs(rel, fd, /*violating_only=*/false, limit);
+  return CollectPairs(rel, fd, Partition::Build(rel, fd.lhs),
+                      /*violating_only=*/false, limit);
+}
+
+std::vector<RowPair> ViolatingPairs(EvalCache& cache, const FD& fd,
+                                    size_t limit) {
+  return CollectPairs(cache.relation(), fd, *cache.Get(fd.lhs),
+                      /*violating_only=*/true, limit);
+}
+
+std::vector<RowPair> AgreeingPairs(EvalCache& cache, const FD& fd,
+                                   size_t limit) {
+  return CollectPairs(cache.relation(), fd, *cache.Get(fd.lhs),
+                      /*violating_only=*/false, limit);
 }
 
 std::vector<Cell> ViolationCells(const FD& fd, const RowPair& pair) {
@@ -60,17 +74,33 @@ std::vector<Cell> ViolationCells(const FD& fd, const RowPair& pair) {
   return out;
 }
 
-std::vector<Cell> AllViolationCells(const Relation& rel,
-                                    const std::vector<FD>& fds) {
+namespace {
+
+std::vector<Cell> CollectViolationCells(
+    const Relation& rel, const std::vector<FD>& fds, EvalCache* cache) {
   std::unordered_set<Cell, CellHash> seen;
   for (const FD& fd : fds) {
-    for (const RowPair& pair : ViolatingPairs(rel, fd)) {
+    const std::vector<RowPair> pairs =
+        cache ? ViolatingPairs(*cache, fd) : ViolatingPairs(rel, fd);
+    for (const RowPair& pair : pairs) {
       for (const Cell& c : ViolationCells(fd, pair)) seen.insert(c);
     }
   }
   std::vector<Cell> out(seen.begin(), seen.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+}  // namespace
+
+std::vector<Cell> AllViolationCells(const Relation& rel,
+                                    const std::vector<FD>& fds) {
+  return CollectViolationCells(rel, fds, nullptr);
+}
+
+std::vector<Cell> AllViolationCells(EvalCache& cache,
+                                    const std::vector<FD>& fds) {
+  return CollectViolationCells(cache.relation(), fds, &cache);
 }
 
 }  // namespace et

@@ -14,6 +14,8 @@
 
 namespace et {
 
+class EvalCache;
+
 /// An unordered pair of rows; first < second by construction.
 struct RowPair {
   RowId first = 0;
@@ -78,6 +80,17 @@ std::vector<Cell> ViolationCells(const FD& fd, const RowPair& pair);
 /// Union of ViolationCells over all violating pairs of all `fds`
 /// (deduplicated, sorted).
 std::vector<Cell> AllViolationCells(const Relation& rel,
+                                    const std::vector<FD>& fds);
+
+/// Cache-backed variants: the LHS partition comes from `cache` (built
+/// once, shared across FDs with the same LHS) instead of a fresh
+/// relation scan per call. Results are identical to the uncached
+/// functions over cache.relation().
+std::vector<RowPair> ViolatingPairs(EvalCache& cache, const FD& fd,
+                                    size_t limit = 0);
+std::vector<RowPair> AgreeingPairs(EvalCache& cache, const FD& fd,
+                                   size_t limit = 0);
+std::vector<Cell> AllViolationCells(EvalCache& cache,
                                     const std::vector<FD>& fds);
 
 }  // namespace et

@@ -1,0 +1,161 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace et {
+namespace {
+
+/// Restores the prior parallelism setting when the test ends.
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int n) : previous_(Parallelism()) {
+    SetParallelism(n);
+  }
+  ~ScopedParallelism() { SetParallelism(previous_); }
+
+ private:
+  int previous_;
+};
+
+TEST(ThreadPoolTest, SubmitRunsTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.num_threads(), 2u);
+  std::atomic<int> counter{0};
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&] {
+      counter.fetch_add(1);
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() < 100) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, NumThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ScopedParallelism threads(4);
+  for (size_t n : {0u, 1u, 2u, 3u, 7u, 64u, 1000u}) {
+    std::vector<int> visits(n, 0);
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) ++visits[i];
+    });
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(visits[i], 1) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(ParallelForTest, PerIndexWritesMatchSerialAtAnyThreadCount) {
+  const size_t n = 777;
+  std::vector<double> serial(n);
+  {
+    ScopedParallelism threads(1);
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        serial[i] = static_cast<double>(i) * 0.1 + 1.0 / (i + 1.0);
+      }
+    });
+  }
+  for (int t : {2, 3, 4, 8}) {
+    ScopedParallelism threads(t);
+    std::vector<double> parallel(n);
+    ParallelFor(n, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        parallel[i] = static_cast<double>(i) * 0.1 + 1.0 / (i + 1.0);
+      }
+    });
+    EXPECT_EQ(parallel, serial) << "threads=" << t;
+  }
+}
+
+TEST(ParallelForTest, ChunksAreContiguousAndOrdered) {
+  ScopedParallelism threads(4);
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> chunks;
+  ParallelFor(100, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(begin, end);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  ASSERT_FALSE(chunks.empty());
+  EXPECT_EQ(chunks.front().first, 0u);
+  EXPECT_EQ(chunks.back().second, 100u);
+  for (size_t i = 1; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].first, chunks[i - 1].second);
+  }
+}
+
+TEST(ParallelForTest, PropagatesException) {
+  ScopedParallelism threads(4);
+  EXPECT_THROW(
+      ParallelFor(100,
+                  [&](size_t begin, size_t) {
+                    if (begin >= 50) {
+                      throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, ExceptionOnCallerChunk) {
+  ScopedParallelism threads(4);
+  EXPECT_THROW(ParallelFor(100,
+                           [&](size_t begin, size_t) {
+                             if (begin == 0) {
+                               throw std::runtime_error("first");
+                             }
+                           }),
+               std::runtime_error);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  ScopedParallelism threads(4);
+  std::vector<int> outer_hits(8, 0);
+  std::vector<std::atomic<int>> inner_hits(64);
+  ParallelFor(8, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      ++outer_hits[i];
+      // Nested loop must complete inline without deadlocking even
+      // though every worker is already busy with an outer chunk.
+      ParallelFor(8, [&](size_t b, size_t e) {
+        for (size_t j = b; j < e; ++j) {
+          inner_hits[i * 8 + j].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (int h : outer_hits) EXPECT_EQ(h, 1);
+  for (auto& h : inner_hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, ZeroIterationsIsNoOp) {
+  ScopedParallelism threads(4);
+  bool called = false;
+  ParallelFor(0, [&](size_t, size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelismTest, SetAndRestore) {
+  const int original = Parallelism();
+  SetParallelism(3);
+  EXPECT_EQ(Parallelism(), 3);
+  SetParallelism(0);  // restores the default
+  EXPECT_GE(Parallelism(), 1);
+  SetParallelism(original);
+}
+
+}  // namespace
+}  // namespace et

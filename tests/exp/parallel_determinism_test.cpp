@@ -1,0 +1,101 @@
+// Serial-vs-parallel regression: every experiment must produce
+// bit-identical results at any thread count. Repetitions, participants,
+// and scoring loops write only per-index slots; all floating-point
+// reductions happen serially in a fixed order afterwards, so the thread
+// count can never leak into the output.
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "exp/convergence_experiment.h"
+#include "exp/userstudy_experiment.h"
+
+namespace et {
+namespace {
+
+class ScopedParallelism {
+ public:
+  explicit ScopedParallelism(int n) : previous_(Parallelism()) {
+    SetParallelism(n);
+  }
+  ~ScopedParallelism() { SetParallelism(previous_); }
+
+ private:
+  int previous_;
+};
+
+ConvergenceConfig SmallConvergence() {
+  ConvergenceConfig config;
+  config.dataset = "omdb";
+  config.rows = 120;
+  config.iterations = 6;
+  config.repetitions = 3;
+  config.violation_degree = 0.10;
+  config.compute_f1 = true;
+  return config;
+}
+
+void ExpectIdentical(const ConvergenceResult& a,
+                     const ConvergenceResult& b) {
+  EXPECT_EQ(a.achieved_degree, b.achieved_degree);
+  ASSERT_EQ(a.methods.size(), b.methods.size());
+  for (size_t m = 0; m < a.methods.size(); ++m) {
+    EXPECT_EQ(a.methods[m].mae, b.methods[m].mae);
+    EXPECT_EQ(a.methods[m].f1, b.methods[m].f1);
+    EXPECT_EQ(a.methods[m].initial_mae, b.methods[m].initial_mae);
+    EXPECT_EQ(a.methods[m].final_mae_per_rep,
+              b.methods[m].final_mae_per_rep);
+    EXPECT_EQ(a.methods[m].final_f1_per_rep,
+              b.methods[m].final_f1_per_rep);
+  }
+}
+
+TEST(ParallelDeterminismTest, ConvergenceBitIdenticalAcrossThreadCounts) {
+  Result<ConvergenceResult> serial = Status::Internal("not run");
+  {
+    ScopedParallelism threads(1);
+    serial = RunConvergenceExperiment(SmallConvergence());
+  }
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  for (int t : {2, 4}) {
+    ScopedParallelism threads(t);
+    auto parallel = RunConvergenceExperiment(SmallConvergence());
+    ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+    ExpectIdentical(*serial, *parallel);
+  }
+}
+
+UserStudyConfig SmallUserStudy() {
+  UserStudyConfig config;
+  config.participants = 4;
+  config.instance.rows = 80;
+  config.instance.target_violations = 10;
+  return config;
+}
+
+TEST(ParallelDeterminismTest, UserStudyBitIdenticalAcrossThreadCounts) {
+  Result<UserStudyResult> serial = Status::Internal("not run");
+  {
+    ScopedParallelism threads(1);
+    serial = RunUserStudy(SmallUserStudy());
+  }
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ScopedParallelism threads(4);
+  auto parallel = RunUserStudy(SmallUserStudy());
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  ASSERT_EQ(serial->fig2.size(), parallel->fig2.size());
+  for (size_t i = 0; i < serial->fig2.size(); ++i) {
+    EXPECT_EQ(serial->fig2[i].scenario_id, parallel->fig2[i].scenario_id);
+    EXPECT_EQ(serial->fig2[i].model, parallel->fig2[i].model);
+    EXPECT_EQ(serial->fig2[i].mrr, parallel->fig2[i].mrr);
+    EXPECT_EQ(serial->fig2[i].mrr_plus, parallel->fig2[i].mrr_plus);
+  }
+  ASSERT_EQ(serial->table3.size(), parallel->table3.size());
+  for (size_t i = 0; i < serial->table3.size(); ++i) {
+    EXPECT_EQ(serial->table3[i].avg_f1_change,
+              parallel->table3[i].avg_f1_change);
+  }
+}
+
+}  // namespace
+}  // namespace et

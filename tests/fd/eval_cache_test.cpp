@@ -1,0 +1,197 @@
+#include "fd/eval_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "data/datasets.h"
+#include "fd/g1.h"
+#include "fd/hypothesis_space.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+using testing::MakeRelation;
+using testing::Table1Relation;
+
+Dataset OmdbData(size_t rows) {
+  auto data = MakeOmdb(rows, 7);
+  ET_CHECK_OK(data.status());
+  return std::move(*data);
+}
+
+TEST(EvalCacheTest, WholeRelationMatchesDirectBuild) {
+  const Relation rel = Table1Relation();
+  EvalCache cache(rel);
+  for (int a = 0; a < rel.num_columns(); ++a) {
+    for (int b = 0; b < rel.num_columns(); ++b) {
+      const AttrSet attrs =
+          a == b ? AttrSet::Single(a) : AttrSet::Of({a, b});
+      const Partition direct = Partition::Build(rel, attrs);
+      auto cached = cache.Get(attrs);
+      ASSERT_NE(cached, nullptr);
+      EXPECT_EQ(cached->classes(), direct.classes())
+          << attrs.ToString(rel.schema());
+      EXPECT_EQ(cached->num_singletons(), direct.num_singletons());
+      EXPECT_EQ(cached->num_rows(), direct.num_rows());
+    }
+  }
+}
+
+TEST(EvalCacheTest, RowSubsetMatchesDirectBuild) {
+  const Relation rel = Table1Relation();
+  const std::vector<RowId> rows = {0, 1, 3, 4};
+  EvalCache cache(rel);
+  for (int a = 0; a < rel.num_columns(); ++a) {
+    const AttrSet attrs = AttrSet::Single(a);
+    const Partition direct = Partition::Build(rel, attrs, rows);
+    auto cached = cache.Get(attrs, rows);
+    EXPECT_EQ(cached->classes(), direct.classes());
+    EXPECT_EQ(cached->num_rows(), direct.num_rows());
+  }
+}
+
+TEST(EvalCacheTest, ProductPathMatchesScanPath) {
+  const Dataset data = OmdbData(300);
+  EvalCacheOptions scan_options;
+  scan_options.use_product = false;
+  EvalCache product_cache(data.rel);
+  EvalCache scan_cache(data.rel, scan_options);
+  const AttrSet attrs = AttrSet::Of({0, 1, 3});
+  auto via_product = product_cache.Get(attrs);
+  auto via_scan = scan_cache.Get(attrs);
+  EXPECT_EQ(via_product->classes(), via_scan->classes());
+  EXPECT_EQ(via_product->num_singletons(), via_scan->num_singletons());
+}
+
+TEST(EvalCacheTest, G1MatchesFreeFunctionBitForBit) {
+  const Dataset data = OmdbData(300);
+  auto space = HypothesisSpace::BuildCapped(data.rel, 4, 38, {});
+  ET_CHECK_OK(space.status());
+  EvalCache cache(data.rel);
+  for (const FD& fd : space->fds()) {
+    EXPECT_EQ(cache.G1(fd), G1(data.rel, fd))
+        << fd.ToString(data.rel.schema());
+    EXPECT_EQ(cache.PairwiseConfidence(fd),
+              PairwiseConfidence(data.rel, fd))
+        << fd.ToString(data.rel.schema());
+  }
+}
+
+TEST(EvalCacheTest, G1OnRowSubsetMatchesFreeFunction) {
+  const Dataset data = OmdbData(200);
+  std::vector<RowId> rows;
+  for (RowId r = 0; r < data.rel.num_rows(); r += 2) rows.push_back(r);
+  auto space = HypothesisSpace::BuildCapped(data.rel, 3, 20, {});
+  ET_CHECK_OK(space.status());
+  EvalCache cache(data.rel);
+  for (const FD& fd : space->fds()) {
+    EXPECT_EQ(cache.G1(fd, rows), G1(data.rel, fd, rows))
+        << fd.ToString(data.rel.schema());
+  }
+}
+
+TEST(EvalCacheTest, HitAndMissAccounting) {
+  const Relation rel = Table1Relation();
+  EvalCache cache(rel);
+  cache.Get(AttrSet::Single(1));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  cache.Get(AttrSet::Single(1));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_GT(cache.stats().bytes, 0u);
+}
+
+TEST(EvalCacheTest, SameMaskDifferentUniverseAreDistinctEntries) {
+  const Relation rel = Table1Relation();
+  EvalCache cache(rel);
+  const std::vector<RowId> some = {0, 1, 2};
+  auto whole = cache.Get(AttrSet::Single(1));
+  auto subset = cache.Get(AttrSet::Single(1), some);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(whole->num_rows(), subset->num_rows());
+}
+
+TEST(EvalCacheTest, EvictionUnderTinyBudget) {
+  const Dataset data = OmdbData(500);
+  EvalCacheOptions options;
+  options.byte_budget = 1;  // every insert evicts the rest
+  EvalCache cache(data.rel, options);
+  auto a = cache.Get(AttrSet::Single(0));
+  auto b = cache.Get(AttrSet::Single(1));
+  auto c = cache.Get(AttrSet::Single(2));
+  EXPECT_GT(cache.stats().evictions, 0u);
+  // Evicted partitions stay valid through their shared_ptrs.
+  EXPECT_EQ(a->num_rows(), data.rel.num_rows());
+  EXPECT_EQ(b->num_rows(), data.rel.num_rows());
+  EXPECT_EQ(c->num_rows(), data.rel.num_rows());
+  // Requests still served correctly, just without reuse.
+  const Partition direct = Partition::Build(data.rel, AttrSet::Single(0));
+  EXPECT_EQ(cache.Get(AttrSet::Single(0))->classes(), direct.classes());
+}
+
+TEST(EvalCacheTest, ClearDropsEntries) {
+  const Relation rel = Table1Relation();
+  EvalCache cache(rel);
+  cache.Get(AttrSet::Single(1));
+  cache.Clear();
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  cache.Get(AttrSet::Single(1));
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(EvalCacheTest, FingerprintNeverZeroAndOrderSensitive) {
+  EXPECT_NE(EvalCache::FingerprintRows({}), 0u);
+  EXPECT_NE(EvalCache::FingerprintRows({0, 1, 2}), 0u);
+  EXPECT_NE(EvalCache::FingerprintRows({0, 1, 2}),
+            EvalCache::FingerprintRows({0, 1, 3}));
+  EXPECT_NE(EvalCache::FingerprintRows({0, 1}),
+            EvalCache::FingerprintRows({0, 1, 2}));
+}
+
+TEST(EvalCacheTest, ConcurrentAccessIsSafeAndCorrect) {
+  const Dataset data = OmdbData(300);
+  auto space = HypothesisSpace::BuildCapped(data.rel, 4, 38, {});
+  ET_CHECK_OK(space.status());
+  std::vector<double> expected;
+  for (const FD& fd : space->fds()) {
+    expected.push_back(G1(data.rel, fd));
+  }
+  EvalCache cache(data.rel);
+  // Hammer the same FDs from several threads (TSan covers the rest).
+  std::vector<std::thread> threads;
+  std::vector<std::vector<double>> got(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      got[t].resize(space->size());
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < space->size(); ++i) {
+          got[t][i] = cache.G1(space->fd(i));
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(got[t], expected);
+}
+
+TEST(EvalCacheTest, ViolatingPairCountMatchesIdentity) {
+  const Relation rel = MakeRelation(
+      {"a", "b"},
+      {{"x", "1"}, {"x", "2"}, {"x", "1"}, {"y", "3"}, {"y", "3"}});
+  EvalCache cache(rel);
+  FD fd;
+  fd.lhs = AttrSet::Single(0);
+  fd.rhs = 1;
+  // "x" class: pairs (0,1),(0,2),(1,2); (0,2) agrees on b -> 2 ordered
+  // pair counts are unordered here: violating unordered pairs = 2.
+  EXPECT_EQ(cache.ViolatingPairCount(fd), 2u);
+}
+
+}  // namespace
+}  // namespace et

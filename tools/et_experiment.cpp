@@ -22,10 +22,12 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "exp/convergence_experiment.h"
 #include "exp/report.h"
 #include "exp/userstudy_experiment.h"
 #include "obs/manifest.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace {
@@ -224,7 +226,9 @@ void Usage() {
       "               --gamma --seed --f1 --policies --csv\n"
       "  userstudy:   --participants --rows --violations --seed\n"
       "               --model-free\n"
-      "  both:        --trace-out=FILE (Chrome-trace JSON)\n"
+      "  both:        --threads=N (worker threads; 0 = all cores;\n"
+      "               default: ET_THREADS env, else all cores)\n"
+      "               --trace-out=FILE (Chrome-trace JSON)\n"
       "               --metrics-out=FILE (metrics manifest JSON)\n");
 }
 
@@ -237,6 +241,8 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
+  const long long threads = flags.GetInt("threads", -1);
+  if (threads >= 0) SetParallelism(static_cast<int>(threads));
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string metrics_out = flags.GetString("metrics-out", "");
   if (!trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
@@ -261,6 +267,19 @@ int main(int argc, char** argv) {
     info.tool = "et_experiment";
     info.config.emplace_back("command", command);
     for (auto& kv : flags.Items()) info.config.push_back(std::move(kv));
+    info.config.emplace_back("threads_used",
+                             std::to_string(Parallelism()));
+    const uint64_t hits =
+        obs::MetricsRegistry::Global().GetCounter("fd.cache.hits").value();
+    const uint64_t misses = obs::MetricsRegistry::Global()
+                                .GetCounter("fd.cache.misses")
+                                .value();
+    info.config.emplace_back(
+        "fd_cache_hit_rate",
+        hits + misses == 0
+            ? "n/a"
+            : StrFormat("%.4f", static_cast<double>(hits) /
+                                    static_cast<double>(hits + misses)));
     ET_CHECK_OK(obs::WriteRunManifest(metrics_out, info));
     std::printf("wrote %s\n", metrics_out.c_str());
   }

@@ -4,6 +4,8 @@
 //
 //   et_profile --csv=path [--g1=0.01] [--max-lhs=2]
 //   et_profile --dataset=hospital --rows=300 [--degree=0.1]
+//   [--threads=N]  worker threads (0 = all cores; default: ET_THREADS
+//                  env, else all cores)
 //
 // Observability: --trace-out=run.trace.json captures a Chrome-trace of
 // the whole run (open in chrome://tracing or ui.perfetto.dev);
@@ -15,6 +17,7 @@
 
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "data/csv.h"
 #include "data/datasets.h"
 #include "errgen/error_generator.h"
@@ -63,6 +66,8 @@ Args ParseArgs(int argc, char** argv) {
       args.max_lhs = static_cast<int>(*ParseInt(v));
     } else if (const char* v = value("seed")) {
       args.seed = static_cast<uint64_t>(*ParseInt(v));
+    } else if (const char* v = value("threads")) {
+      SetParallelism(static_cast<int>(*ParseInt(v)));
     } else if (const char* v = value("trace-out")) {
       args.trace_out = v;
     } else if (const char* v = value("metrics-out")) {
@@ -157,6 +162,7 @@ int main(int argc, char** argv) {
         {"g1", StrFormat("%g", args.g1)},
         {"max_lhs", std::to_string(args.max_lhs)},
         {"seed", std::to_string(args.seed)},
+        {"threads_used", std::to_string(Parallelism())},
     };
     ET_CHECK_OK(obs::WriteRunManifest(args.metrics_out, info));
     std::printf("wrote %s\n", args.metrics_out.c_str());
