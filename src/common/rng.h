@@ -9,6 +9,7 @@
 #ifndef ET_COMMON_RNG_H_
 #define ET_COMMON_RNG_H_
 
+#include <array>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -81,6 +82,18 @@ class Rng {
   /// Derives an independent child generator; useful for giving each
   /// agent or repetition its own stream.
   Rng Fork();
+
+  /// Snapshot of the raw xoshiro256** state, for checkpointing a
+  /// stream mid-flight. RestoreState resumes exactly where SaveState
+  /// left off (an all-zero snapshot is rejected as degenerate and maps
+  /// to the same guarded state Seed would produce).
+  std::array<uint64_t, 4> SaveState() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) s_[i] = state[i];
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+  }
 
  private:
   uint64_t s_[4];

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kFailedPrecondition = 6,
   kInternal = 7,
   kNotImplemented = 8,
+  kDeadlineExceeded = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +69,9 @@ class Status {
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +87,9 @@ class Status {
     return code_ == StatusCode::kFailedPrecondition;
   }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -3,7 +3,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <memory>
+#include <new>
 #include <utility>
+
+#include "common/logging.h"
 
 namespace et {
 namespace {
@@ -11,6 +15,25 @@ namespace {
 /// Nonzero while this thread is executing a ParallelFor chunk; nested
 /// loops detect it and run inline instead of re-entering the pool.
 thread_local int g_parallel_depth = 0;
+
+std::atomic<uint64_t> g_uncaught_task_exceptions{0};
+
+std::mutex& ChunkHookMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+/// Shared_ptr so a chunk mid-flight keeps the hook it started with even
+/// if another thread swaps it.
+std::shared_ptr<const std::function<void()>>& ChunkHookSlot() {
+  static std::shared_ptr<const std::function<void()>> hook;
+  return hook;
+}
+
+std::shared_ptr<const std::function<void()>> CurrentChunkHook() {
+  std::lock_guard<std::mutex> lock(ChunkHookMutex());
+  return ChunkHookSlot();
+}
 
 int HardwareThreads() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -67,7 +90,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Contain task exceptions: a throw escaping here would terminate
+    // the process (std::thread), taking every other worker's queued
+    // work with it — including during the shutdown drain.
+    try {
+      task();
+    } catch (const std::exception& e) {
+      g_uncaught_task_exceptions.fetch_add(1, std::memory_order_relaxed);
+      ET_LOG(Error) << "thread pool: task threw: " << e.what();
+    } catch (...) {
+      g_uncaught_task_exceptions.fetch_add(1, std::memory_order_relaxed);
+      ET_LOG(Error) << "thread pool: task threw a non-std exception";
+    }
   }
 }
 
@@ -119,6 +153,7 @@ void ParallelFor(size_t n,
                          size_t end) {
     ++g_parallel_depth;
     try {
+      if (auto hook = CurrentChunkHook()) (*hook)();
       fn(begin, end);
     } catch (...) {
       s.errors[i] = std::current_exception();
@@ -143,6 +178,34 @@ void ParallelFor(size_t n,
   for (const std::exception_ptr& e : state->errors) {
     if (e) std::rethrow_exception(e);
   }
+}
+
+Status TryParallelFor(size_t n,
+                      const std::function<void(size_t, size_t)>& fn) {
+  try {
+    ParallelFor(n, fn);
+    return Status::OK();
+  } catch (const std::bad_alloc&) {
+    return Status::Internal("parallel chunk: out of memory");
+  } catch (const std::exception& e) {
+    return Status::Internal(std::string("parallel chunk: ") + e.what());
+  } catch (...) {
+    return Status::Internal("parallel chunk: non-std exception");
+  }
+}
+
+void SetParallelChunkHook(std::function<void()> hook) {
+  std::lock_guard<std::mutex> lock(ChunkHookMutex());
+  if (hook == nullptr) {
+    ChunkHookSlot() = nullptr;
+  } else {
+    ChunkHookSlot() =
+        std::make_shared<const std::function<void()>>(std::move(hook));
+  }
+}
+
+uint64_t PoolUncaughtTaskExceptions() {
+  return g_uncaught_task_exceptions.load(std::memory_order_relaxed);
 }
 
 }  // namespace et

@@ -20,11 +20,14 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/status.h"
 
 namespace et {
 
@@ -77,6 +80,27 @@ void SetParallelism(int n);
 /// n < 2, or when already inside a ParallelFor chunk.
 void ParallelFor(size_t n,
                  const std::function<void(size_t begin, size_t end)>& fn);
+
+/// ParallelFor that converts an exception escaping any chunk into a
+/// Status instead of rethrowing — the harness-boundary form: library
+/// exceptions (and injected pool faults) surface to experiment code as
+/// ordinary error Statuses, never as exceptions crossing the pool.
+Status TryParallelFor(size_t n,
+                      const std::function<void(size_t begin, size_t end)>& fn);
+
+/// Installs a hook invoked at the top of every ParallelFor chunk body
+/// (nullptr clears). Exceptions thrown by the hook are handled exactly
+/// like exceptions from the chunk itself: captured per chunk and
+/// rethrown on the calling thread (or converted to Status by
+/// TryParallelFor). Used by the fault-injection layer to simulate task
+/// failures; not a general extension point.
+void SetParallelChunkHook(std::function<void()> hook);
+
+/// Number of exceptions that have escaped directly-Submit()ed tasks.
+/// The pool contains such exceptions — a throwing task (even during
+/// shutdown drain) is logged and counted, never allowed to
+/// std::terminate the process.
+uint64_t PoolUncaughtTaskExceptions();
 
 }  // namespace et
 

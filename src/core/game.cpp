@@ -4,6 +4,7 @@
 #include "core/payoff.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robustness/fault.h"
 
 namespace et {
 
@@ -37,6 +38,7 @@ Result<GameResult> Game::Run(const IterationCallback& callback) {
   for (size_t t = 1; t <= options_.iterations; ++t) {
     ET_TRACE_SCOPE("core.game.iteration");
     ET_COUNTER_INC("core.game.iterations");
+    if (options_.abort_check) ET_RETURN_NOT_OK(options_.abort_check());
     if (!learner_.CanSelect(options_.pairs_per_iteration)) {
       if (options_.allow_early_exhaustion) {
         result.pool_exhausted = true;
@@ -49,7 +51,10 @@ Result<GameResult> Game::Run(const IterationCallback& callback) {
         std::vector<RowPair> pairs,
         learner_.SelectExamples(*rel_, options_.pairs_per_iteration));
 
-    // Trainer learns from what it sees, then labels.
+    // Trainer learns from what it sees, then labels. The trainer is the
+    // human annotator: a fired fault here models a dropped or timed-out
+    // response, surfaced like any other failed interaction.
+    ET_FAULT_POINT("annotator.respond");
     trainer_.Observe(*rel_, pairs);
     std::vector<LabeledPair> labels = trainer_.Label(*rel_, pairs);
 

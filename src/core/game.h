@@ -30,6 +30,10 @@ struct GameOptions {
   /// run fails). The paper's datasets are large enough to never hit
   /// this; small tests may.
   bool allow_early_exhaustion = true;
+  /// Cooperative cancellation, checked before every interaction: a
+  /// non-OK status aborts the run with that status (the harness wires a
+  /// repetition watchdog through this).
+  std::function<Status()> abort_check;
 };
 
 /// Everything measured in one interaction.

@@ -1,35 +1,61 @@
 #include "data/csv.h"
 
+#include <cstdint>
 #include <fstream>
 #include <sstream>
+
+#include "robustness/fault.h"
 
 namespace et {
 namespace {
 
-// Parses records incrementally, handling quotes per RFC 4180.
+/// Refuse to slurp files past this size: the reader materializes the
+/// whole text (plus a dictionary-encoded copy), so a runaway input
+/// would OOM-evict the process instead of failing cleanly.
+constexpr uintmax_t kMaxCsvBytes = uintmax_t{2} * 1024 * 1024 * 1024;
+
+// Parses records incrementally, handling quotes per RFC 4180. Tracks
+// line numbers so every error names where the malformed input is.
 class CsvParser {
  public:
   CsvParser(const std::string& text, char sep) : text_(text), sep_(sep) {}
 
+  /// Line (1-based) on which the most recent record started; records
+  /// with quoted embedded newlines span several lines, and errors
+  /// report the start.
+  size_t record_line() const { return record_line_; }
+
   /// Reads the next record. Returns false at end of input. On malformed
-  /// quoting, returns an error through `status`.
+  /// input (unterminated quote, embedded NUL), returns an error through
+  /// `status`.
   bool NextRecord(std::vector<std::string>* record, Status* status) {
     record->clear();
     *status = Status::OK();
     if (pos_ >= text_.size()) return false;
+    record_line_ = line_;
+    size_t quote_start_line = 0;
     std::string field;
     bool in_quotes = false;
     bool field_was_quoted = false;
     for (;;) {
       if (pos_ >= text_.size()) {
         if (in_quotes) {
-          *status = Status::IOError("unterminated quoted field");
+          *status = Status::IOError(
+              "unterminated quoted field (quote opened on line " +
+              std::to_string(quote_start_line) + ")");
           return false;
         }
         record->push_back(std::move(field));
         return true;
       }
       const char c = text_[pos_];
+      if (c == '\0') {
+        // NUL cannot appear in textual CSV; passing it through would
+        // silently truncate cells downstream (C string boundaries).
+        *status = Status::IOError("embedded NUL byte on line " +
+                                  std::to_string(line_));
+        return false;
+      }
       if (in_quotes) {
         if (c == '"') {
           if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '"') {
@@ -40,6 +66,7 @@ class CsvParser {
             ++pos_;
           }
         } else {
+          if (c == '\n') ++line_;
           field.push_back(c);
           ++pos_;
         }
@@ -48,6 +75,7 @@ class CsvParser {
       if (c == '"' && field.empty() && !field_was_quoted) {
         in_quotes = true;
         field_was_quoted = true;
+        quote_start_line = line_;
         ++pos_;
       } else if (c == sep_) {
         record->push_back(std::move(field));
@@ -59,6 +87,7 @@ class CsvParser {
         // Consume \n, \r, or \r\n.
         ++pos_;
         if (c == '\r' && pos_ < text_.size() && text_[pos_] == '\n') ++pos_;
+        ++line_;
         return true;
       } else {
         field.push_back(c);
@@ -71,6 +100,8 @@ class CsvParser {
   const std::string& text_;
   char sep_;
   size_t pos_ = 0;
+  size_t line_ = 1;
+  size_t record_line_ = 1;
 };
 
 bool NeedsQuoting(const std::string& field, char sep) {
@@ -97,6 +128,7 @@ void AppendField(std::string* out, const std::string& field, char sep) {
 
 Result<Relation> ReadCsvString(const std::string& text,
                                const CsvOptions& options) {
+  ET_FAULT_POINT("csv.read");
   CsvParser parser(text, options.separator);
   std::vector<std::string> record;
   Status st;
@@ -107,16 +139,14 @@ Result<Relation> ReadCsvString(const std::string& text,
   ET_ASSIGN_OR_RETURN(Schema schema, Schema::Make(record));
   Relation rel(schema);
   const size_t width = record.size();
-  size_t line = 1;
   while (parser.NextRecord(&record, &st)) {
-    ++line;
     // Skip a trailing blank line.
     if (record.size() == 1 && record[0].empty()) continue;
     if (record.size() != width) {
       if (options.strict_field_count) {
         return Status::IOError(
-            "record " + std::to_string(line) + " has " +
-            std::to_string(record.size()) + " fields, expected " +
+            "record on line " + std::to_string(parser.record_line()) +
+            " has " + std::to_string(record.size()) + " fields, expected " +
             std::to_string(width));
       }
       record.resize(width);
@@ -131,8 +161,17 @@ Result<Relation> ReadCsvFile(const std::string& path,
                              const CsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::IOError("cannot open " + path);
+  in.seekg(0, std::ios::end);
+  const std::streamoff size = in.tellg();
+  if (size >= 0 && static_cast<uintmax_t>(size) > kMaxCsvBytes) {
+    return Status::IOError("refusing to load " + path + ": " +
+                           std::to_string(size) +
+                           " bytes exceeds the 2 GiB CSV limit");
+  }
+  in.seekg(0, std::ios::beg);
   std::ostringstream ss;
   ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
   return ReadCsvString(ss.str(), options);
 }
 
@@ -156,6 +195,7 @@ std::string WriteCsvString(const Relation& rel, const CsvOptions& options) {
 
 Status WriteCsvFile(const Relation& rel, const std::string& path,
                     const CsvOptions& options) {
+  ET_FAULT_POINT("csv.write");
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IOError("cannot open " + path + " for write");
   out << WriteCsvString(rel, options);

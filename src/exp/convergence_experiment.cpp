@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <memory>
 
 #include "belief/priors.h"
 #include "common/thread_pool.h"
@@ -11,6 +13,7 @@
 #include "data/datasets.h"
 #include "data/split.h"
 #include "errgen/error_generator.h"
+#include "exp/exp_checkpoint.h"
 #include "fd/discovery.h"
 #include "fd/error_detector.h"
 #include "fd/eval_cache.h"
@@ -18,6 +21,10 @@
 #include "metrics/classification.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault.h"
+#include "robustness/retry.h"
+#include "robustness/watchdog.h"
 
 namespace et {
 namespace {
@@ -103,14 +110,89 @@ struct RepOutcome {
   std::vector<double> final_f1;   // per policy; NaN = no F1 samples
 };
 
+/// Canonical text form of every result-affecting config field (the
+/// resilience knobs — checkpoint_dir, resume, deadline — deliberately
+/// excluded: they must not invalidate checkpoints). Doubles render
+/// with %.17g so distinct configs never collide via rounding.
+std::string CanonicalConfig(const ConvergenceConfig& config,
+                            const std::vector<PolicyKind>& policies) {
+  std::string out = "convergence-v1";
+  auto num = [&out](const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%s=%.17g", key, v);
+    out += buf;
+  };
+  out += "|dataset=" + config.dataset;
+  num("csv_thresh", config.csv_discovery_threshold);
+  num("rows", static_cast<double>(config.rows));
+  num("degree", config.violation_degree);
+  auto prior = [&](const char* key, const PriorSpec& spec) {
+    out += std::string("|") + key + "=" + PriorKindToString(spec.kind);
+    num("d", spec.uniform_d);
+    num("strength", spec.strength);
+  };
+  prior("trainer_prior", config.trainer_prior);
+  prior("learner_prior", config.learner_prior);
+  num("cap", static_cast<double>(config.hypothesis_cap));
+  num("max_attrs", config.max_fd_attrs);
+  num("iters", static_cast<double>(config.iterations));
+  num("pairs", static_cast<double>(config.pairs_per_iteration));
+  num("gamma", config.gamma);
+  num("reps", static_cast<double>(config.repetitions));
+  out += "|seed=" + std::to_string(config.seed);
+  out += config.compute_f1 ? "|f1" : "|nof1";
+  num("test_frac", config.test_fraction);
+  for (PolicyKind p : policies) {
+    out += std::string("|policy=") + PolicyKindToString(p);
+  }
+  return out;
+}
+
+/// Loads rep `rep`'s journal (when resuming) and returns how many of
+/// its cells line up with the current policy list; mismatched or
+/// trailing cells are dropped so they are recomputed, not mislabeled.
+Result<size_t> LoadRepJournal(const ConvergenceConfig& config,
+                              const std::vector<PolicyKind>& policies,
+                              CheckpointStore* store,
+                              const std::string& fingerprint,
+                              const std::string& name, uint64_t rep_seed,
+                              ConvergenceRepCheckpoint* journal) {
+  if (store == nullptr || !config.resume) return 0;
+  Result<std::string> payload = store->Load(name);
+  if (payload.status().IsNotFound()) return 0;
+  ET_RETURN_NOT_OK(payload.status());
+  ET_ASSIGN_OR_RETURN(ConvergenceRepCheckpoint loaded,
+                      DecodeConvergenceRep(*payload, fingerprint));
+  if (loaded.rep_seed != rep_seed) {
+    return Status::InvalidArgument(
+        "checkpoint " + name + " has rep_seed " +
+        std::to_string(loaded.rep_seed) + ", expected " +
+        std::to_string(rep_seed));
+  }
+  size_t usable = 0;
+  while (usable < loaded.cells.size() && usable < policies.size() &&
+         loaded.cells[usable].policy ==
+             PolicyKindToString(policies[usable])) {
+    ++usable;
+  }
+  loaded.cells.resize(usable);
+  *journal = std::move(loaded);
+  ET_COUNTER_ADD("exp.convergence.cells_resumed", usable);
+  return usable;
+}
+
 Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
                              const std::vector<PolicyKind>& policies,
-                             size_t rep) {
+                             size_t rep, CheckpointStore* store,
+                             const std::string& fingerprint) {
   ET_TRACE_SCOPE("exp.convergence.rep");
   ET_COUNTER_INC("exp.convergence.reps");
+  ET_FAULT_POINT("exp.rep");
   // Each repetition owns a SplitMix64-derived seed (Rng::Seed expands
   // it), so repetitions are independent streams and parallel execution
-  // is bit-identical to serial.
+  // is bit-identical to serial. It also makes resume trivial to keep
+  // bit-identical: nothing a repetition computes depends on any other
+  // repetition's stream.
   const uint64_t rep_seed = config.seed + 1000003ULL * rep;
   Rng rng(rep_seed);
 
@@ -122,6 +204,35 @@ Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
   out.final_mae.assign(policies.size(), nan);
   out.final_f1.assign(policies.size(), nan);
 
+  const std::string ckpt_name = "rep-" + std::to_string(rep);
+  ConvergenceRepCheckpoint journal;
+  journal.rep = rep;
+  journal.rep_seed = rep_seed;
+  ET_ASSIGN_OR_RETURN(
+      const size_t resumed_cells,
+      LoadRepJournal(config, policies, store, fingerprint, ckpt_name,
+                     rep_seed, &journal));
+  for (size_t pi = 0; pi < resumed_cells; ++pi) {
+    const ConvergenceCellCheckpoint& cell = journal.cells[pi];
+    out.mae_series[pi] = cell.mae_series;
+    out.f1_series[pi] = cell.f1_series;
+    out.initial_mae[pi] = cell.initial_mae;
+    out.final_mae[pi] = cell.final_mae;
+    out.final_f1[pi] = cell.final_f1;
+  }
+  if (resumed_cells == policies.size()) {
+    // Fully journaled: skip dataset preparation entirely. The degree
+    // was measured by the original run of the same rep_seed.
+    out.degree = journal.degree;
+    return out;
+  }
+
+  // The watchdog covers the whole repetition — preparation included —
+  // and is polled cooperatively (between interactions and between
+  // policy cells): preempting mid-update would leave nothing
+  // checkpointable. Cells finished before expiry are already saved.
+  Watchdog watchdog(config.rep_deadline_ms);
+
   // Data: a built-in generator (clean, then dirtied to the requested
   // degree) or a user CSV ("csv:<path>"; FDs discovered from the
   // data).
@@ -129,7 +240,10 @@ Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
   Dataset data;
   if (config.dataset.rfind("csv:", 0) == 0) {
     const std::string path = config.dataset.substr(4);
-    ET_ASSIGN_OR_RETURN(data.rel, ReadCsvFile(path));
+    ET_ASSIGN_OR_RETURN(
+        data.rel,
+        RetryResultWithBackoff<Relation>(
+            "dataset csv read", [&] { return ReadCsvFile(path); }));
     data.name = path;
     DiscoveryOptions discovery;
     discovery.g1_threshold = config.csv_discovery_threshold;
@@ -177,6 +291,7 @@ Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
     ET_RETURN_NOT_OK(gen.InjectToDegree(watched, config.violation_degree));
   }
   out.degree = gen.MeasureDegree(watched);
+  journal.degree = out.degree;
   const DirtyGroundTruth truth = gen.ground_truth();
 
   // Shared partition cache over the final (dirty) relation: priors,
@@ -209,9 +324,12 @@ Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
   }
 
   prep_span.End();
+  journal.rng_state = rng.SaveState();
 
-  for (size_t pi = 0; pi < policies.size(); ++pi) {
+  for (size_t pi = resumed_cells; pi < policies.size(); ++pi) {
     ET_TRACE_SCOPE("exp.policy.run");
+    ET_RETURN_NOT_OK(watchdog.Check("convergence repetition " +
+                                    std::to_string(rep)));
     // Same per-rep seeds across policies so they face the same
     // trainer and priors; only the response policy differs.
     Rng agent_rng(rep_seed ^ 0xA6EA75EEDULL);
@@ -242,6 +360,10 @@ Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
     GameOptions game_options;
     game_options.iterations = config.iterations;
     game_options.pairs_per_iteration = config.pairs_per_iteration;
+    game_options.abort_check = [&watchdog, rep] {
+      return watchdog.Check("convergence repetition " +
+                            std::to_string(rep));
+    };
     Game game(&data.rel, std::move(trainer), std::move(learner),
               game_options);
 
@@ -273,6 +395,32 @@ Result<RepOutcome> RunOneRep(const ConvergenceConfig& config,
         out.final_f1[pi] = out.f1_series[pi].back();
       }
     }
+
+    if (store != nullptr) {
+      // Journal the finished cell. The re-save rewrites the whole rep
+      // file (cells are small), atomically, so a crash between cells
+      // loses at most the in-flight cell.
+      ConvergenceCellCheckpoint cell;
+      cell.policy = PolicyKindToString(policies[pi]);
+      cell.mae_series = out.mae_series[pi];
+      cell.f1_series = out.f1_series[pi];
+      cell.initial_mae = out.initial_mae[pi];
+      cell.final_mae = out.final_mae[pi];
+      cell.final_f1 = out.final_f1[pi];
+      const BeliefModel& tb = game.trainer().belief();
+      const BeliefModel& lb = game.learner().belief();
+      for (size_t i = 0; i < tb.size(); ++i) {
+        cell.trainer_alpha.push_back(tb.beta(i).alpha());
+        cell.trainer_beta.push_back(tb.beta(i).beta());
+      }
+      for (size_t i = 0; i < lb.size(); ++i) {
+        cell.learner_alpha.push_back(lb.beta(i).alpha());
+        cell.learner_beta.push_back(lb.beta(i).beta());
+      }
+      journal.cells.push_back(std::move(cell));
+      ET_RETURN_NOT_OK(store->Save(
+          ckpt_name, EncodeConvergenceRep(journal, fingerprint)));
+    }
   }
   return out;
 }
@@ -303,16 +451,31 @@ Result<ConvergenceResult> RunConvergenceExperiment(
   ConvergenceResult result;
   result.config = config;
 
+  // Checkpoints are namespaced by a fingerprint of the resolved
+  // config: a resume against a changed config finds no files (or
+  // rejects stale ones) instead of mixing incompatible results.
+  std::string fingerprint;
+  std::unique_ptr<CheckpointStore> store;
+  if (!config.checkpoint_dir.empty()) {
+    fingerprint = ConfigFingerprint(CanonicalConfig(config, policies));
+    store = std::make_unique<CheckpointStore>(config.checkpoint_dir,
+                                              "conv-" + fingerprint);
+  }
+
   // Repetitions are independent given their derived seeds: run them in
   // parallel, each writing its own outcome slot, then reduce serially
-  // in repetition order below.
+  // in repetition order below. TryParallelFor is the pool boundary:
+  // an exception escaping a repetition (including injected pool
+  // faults) surfaces here as a Status, never as a crash.
   std::vector<Result<RepOutcome>> outcomes(
       config.repetitions, Result<RepOutcome>(Status::Internal("not run")));
-  ParallelFor(config.repetitions, [&](size_t begin, size_t end) {
-    for (size_t rep = begin; rep < end; ++rep) {
-      outcomes[rep] = RunOneRep(config, policies, rep);
-    }
-  });
+  ET_RETURN_NOT_OK(
+      TryParallelFor(config.repetitions, [&](size_t begin, size_t end) {
+        for (size_t rep = begin; rep < end; ++rep) {
+          outcomes[rep] =
+              RunOneRep(config, policies, rep, store.get(), fingerprint);
+        }
+      }));
 
   std::vector<SeriesAccumulator> mae_acc(
       policies.size(), SeriesAccumulator(config.iterations));

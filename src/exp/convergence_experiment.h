@@ -59,6 +59,19 @@ struct ConvergenceConfig {
   double test_fraction = 0.3;
   /// Policies to run; empty = all four.
   std::vector<PolicyKind> policies;
+  /// When non-empty, each repetition journals a checkpoint file here
+  /// (re-saved after every completed policy cell, atomically).
+  std::string checkpoint_dir;
+  /// Load matching checkpoints from checkpoint_dir and recompute only
+  /// what is missing. Results are bit-identical to an uninterrupted
+  /// run at any thread count. Checkpoints are keyed to a fingerprint
+  /// of every result-affecting field above, so a config change makes
+  /// old checkpoints an error, never a silently mixed result.
+  bool resume = false;
+  /// Watchdog: a repetition running longer than this is aborted with
+  /// kDeadlineExceeded; its completed policy cells are already
+  /// checkpointed, so a resume continues from them. 0 disables.
+  double rep_deadline_ms = 0.0;
 };
 
 /// Averaged per-iteration series for one policy.

@@ -1,0 +1,274 @@
+#include "exp/exp_checkpoint.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "obs/json.h"
+
+namespace et {
+namespace {
+
+constexpr int kConvergenceVersion = 1;
+constexpr int kUserStudyVersion = 1;
+
+/// NaN is the "no samples" sentinel in rep outcomes; JSON has no NaN,
+/// so it travels as null.
+void WriteMaybeNan(obs::JsonWriter& w, double v) {
+  if (std::isnan(v)) {
+    w.Null();
+  } else {
+    w.Double(v);
+  }
+}
+
+void WriteDoubleArray(obs::JsonWriter& w, std::string_view key,
+                      const std::vector<double>& values) {
+  w.Key(key);
+  w.BeginArray();
+  for (double v : values) WriteMaybeNan(w, v);
+  w.EndArray();
+}
+
+void WriteU64String(obs::JsonWriter& w, std::string_view key, uint64_t v) {
+  w.Key(key);
+  w.String(std::to_string(v));
+}
+
+Status Malformed(const std::string& what) {
+  // A torn or garbled checkpoint is an I/O-layer problem (and is
+  // retried as such by the store before reaching the decoder).
+  return Status::IOError("malformed checkpoint: " + what);
+}
+
+Result<double> ReadMaybeNan(const obs::JsonValue& v,
+                            const std::string& what) {
+  if (v.kind == obs::JsonValue::Kind::kNull) return std::nan("");
+  if (!v.is_number()) return Malformed(what + " is not a number");
+  return v.number;
+}
+
+Result<double> ReadNumberField(const obs::JsonValue& obj,
+                               const std::string& key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return Malformed("missing field " + key);
+  return ReadMaybeNan(*v, key);
+}
+
+Result<std::string> ReadStringField(const obs::JsonValue& obj,
+                                    const std::string& key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Malformed("missing string field " + key);
+  }
+  return v->string_value;
+}
+
+Result<std::vector<double>> ReadDoubleArrayField(const obs::JsonValue& obj,
+                                                 const std::string& key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Malformed("missing array field " + key);
+  }
+  std::vector<double> out;
+  out.reserve(v->array.size());
+  for (const obs::JsonValue& elem : v->array) {
+    ET_ASSIGN_OR_RETURN(double d, ReadMaybeNan(elem, key + " element"));
+    out.push_back(d);
+  }
+  return out;
+}
+
+Result<uint64_t> ReadU64Field(const obs::JsonValue& obj,
+                              const std::string& key) {
+  ET_ASSIGN_OR_RETURN(std::string text, ReadStringField(obj, key));
+  if (text.empty()) return Malformed(key + " is empty");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return Malformed(key + " is not a u64: " + text);
+  }
+  return static_cast<uint64_t>(v);
+}
+
+/// Shared header check: version + fingerprint + kind tag.
+Status CheckHeader(const obs::JsonValue& root, const std::string& kind,
+                   int version, const std::string& expected_fingerprint) {
+  if (!root.is_object()) return Malformed("root is not an object");
+  ET_ASSIGN_OR_RETURN(std::string got_kind, ReadStringField(root, "kind"));
+  if (got_kind != kind) {
+    return Status::InvalidArgument("checkpoint kind mismatch: expected " +
+                                   kind + ", got " + got_kind);
+  }
+  ET_ASSIGN_OR_RETURN(double got_version,
+                      ReadNumberField(root, "version"));
+  if (got_version != static_cast<double>(version)) {
+    return Status::InvalidArgument("unsupported checkpoint version");
+  }
+  ET_ASSIGN_OR_RETURN(std::string fp, ReadStringField(root, "fingerprint"));
+  if (fp != expected_fingerprint) {
+    return Status::InvalidArgument(
+        "checkpoint was produced by a different configuration "
+        "(fingerprint " + fp + " != " + expected_fingerprint + ")");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeConvergenceRep(const ConvergenceRepCheckpoint& rep,
+                                 const std::string& fingerprint) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("kind");
+  w.String("convergence-rep");
+  w.Key("version");
+  w.Int(kConvergenceVersion);
+  w.Key("fingerprint");
+  w.String(fingerprint);
+  WriteU64String(w, "rep", rep.rep);
+  WriteU64String(w, "rep_seed", rep.rep_seed);
+  w.Key("degree");
+  WriteMaybeNan(w, rep.degree);
+  w.Key("rng_state");
+  w.BeginArray();
+  for (uint64_t word : rep.rng_state) w.String(std::to_string(word));
+  w.EndArray();
+  w.Key("cells");
+  w.BeginArray();
+  for (const ConvergenceCellCheckpoint& cell : rep.cells) {
+    w.BeginObject();
+    w.Key("policy");
+    w.String(cell.policy);
+    WriteDoubleArray(w, "mae", cell.mae_series);
+    WriteDoubleArray(w, "f1", cell.f1_series);
+    w.Key("initial_mae");
+    WriteMaybeNan(w, cell.initial_mae);
+    w.Key("final_mae");
+    WriteMaybeNan(w, cell.final_mae);
+    w.Key("final_f1");
+    WriteMaybeNan(w, cell.final_f1);
+    WriteDoubleArray(w, "trainer_alpha", cell.trainer_alpha);
+    WriteDoubleArray(w, "trainer_beta", cell.trainer_beta);
+    WriteDoubleArray(w, "learner_alpha", cell.learner_alpha);
+    WriteDoubleArray(w, "learner_beta", cell.learner_beta);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Release();
+}
+
+Result<ConvergenceRepCheckpoint> DecodeConvergenceRep(
+    const std::string& json, const std::string& expected_fingerprint) {
+  ET_ASSIGN_OR_RETURN(obs::JsonValue root, obs::ParseJson(json));
+  ET_RETURN_NOT_OK(CheckHeader(root, "convergence-rep",
+                               kConvergenceVersion, expected_fingerprint));
+  ConvergenceRepCheckpoint out;
+  ET_ASSIGN_OR_RETURN(out.rep, ReadU64Field(root, "rep"));
+  ET_ASSIGN_OR_RETURN(out.rep_seed, ReadU64Field(root, "rep_seed"));
+  ET_ASSIGN_OR_RETURN(out.degree, ReadNumberField(root, "degree"));
+  const obs::JsonValue* rng = root.Find("rng_state");
+  if (rng == nullptr || !rng->is_array() ||
+      rng->array.size() != out.rng_state.size()) {
+    return Malformed("rng_state must be 4 words");
+  }
+  for (size_t i = 0; i < out.rng_state.size(); ++i) {
+    const obs::JsonValue& word = rng->array[i];
+    if (!word.is_string()) return Malformed("rng_state word");
+    errno = 0;
+    char* end = nullptr;
+    const unsigned long long v =
+        std::strtoull(word.string_value.c_str(), &end, 10);
+    if (errno != 0 || end == nullptr || *end != '\0') {
+      return Malformed("rng_state word: " + word.string_value);
+    }
+    out.rng_state[i] = static_cast<uint64_t>(v);
+  }
+  const obs::JsonValue* cells = root.Find("cells");
+  if (cells == nullptr || !cells->is_array()) {
+    return Malformed("missing cells array");
+  }
+  for (const obs::JsonValue& c : cells->array) {
+    if (!c.is_object()) return Malformed("cell is not an object");
+    ConvergenceCellCheckpoint cell;
+    ET_ASSIGN_OR_RETURN(cell.policy, ReadStringField(c, "policy"));
+    ET_ASSIGN_OR_RETURN(cell.mae_series, ReadDoubleArrayField(c, "mae"));
+    ET_ASSIGN_OR_RETURN(cell.f1_series, ReadDoubleArrayField(c, "f1"));
+    ET_ASSIGN_OR_RETURN(cell.initial_mae,
+                        ReadNumberField(c, "initial_mae"));
+    ET_ASSIGN_OR_RETURN(cell.final_mae, ReadNumberField(c, "final_mae"));
+    ET_ASSIGN_OR_RETURN(cell.final_f1, ReadNumberField(c, "final_f1"));
+    ET_ASSIGN_OR_RETURN(cell.trainer_alpha,
+                        ReadDoubleArrayField(c, "trainer_alpha"));
+    ET_ASSIGN_OR_RETURN(cell.trainer_beta,
+                        ReadDoubleArrayField(c, "trainer_beta"));
+    ET_ASSIGN_OR_RETURN(cell.learner_alpha,
+                        ReadDoubleArrayField(c, "learner_alpha"));
+    ET_ASSIGN_OR_RETURN(cell.learner_beta,
+                        ReadDoubleArrayField(c, "learner_beta"));
+    out.cells.push_back(std::move(cell));
+  }
+  return out;
+}
+
+std::string EncodeUserStudyScenario(const UserStudyScenarioCheckpoint& sc,
+                                    const std::string& fingerprint) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("kind");
+  w.String("userstudy-scenario");
+  w.Key("version");
+  w.Int(kUserStudyVersion);
+  w.Key("fingerprint");
+  w.String(fingerprint);
+  w.Key("scenario_id");
+  w.Int(sc.scenario_id);
+  w.Key("avg_f1_change");
+  WriteMaybeNan(w, sc.avg_f1_change);
+  w.Key("scores");
+  w.BeginArray();
+  for (const auto& s : sc.scores) {
+    w.BeginObject();
+    w.Key("model");
+    w.String(s.model);
+    w.Key("mrr");
+    WriteMaybeNan(w, s.mrr);
+    w.Key("mrr_plus");
+    WriteMaybeNan(w, s.mrr_plus);
+    WriteU64String(w, "sessions", s.sessions);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Release();
+}
+
+Result<UserStudyScenarioCheckpoint> DecodeUserStudyScenario(
+    const std::string& json, const std::string& expected_fingerprint) {
+  ET_ASSIGN_OR_RETURN(obs::JsonValue root, obs::ParseJson(json));
+  ET_RETURN_NOT_OK(CheckHeader(root, "userstudy-scenario",
+                               kUserStudyVersion, expected_fingerprint));
+  UserStudyScenarioCheckpoint out;
+  ET_ASSIGN_OR_RETURN(double id, ReadNumberField(root, "scenario_id"));
+  out.scenario_id = static_cast<int>(id);
+  ET_ASSIGN_OR_RETURN(out.avg_f1_change,
+                      ReadNumberField(root, "avg_f1_change"));
+  const obs::JsonValue* scores = root.Find("scores");
+  if (scores == nullptr || !scores->is_array()) {
+    return Malformed("missing scores array");
+  }
+  for (const obs::JsonValue& s : scores->array) {
+    if (!s.is_object()) return Malformed("score is not an object");
+    UserStudyScenarioCheckpoint::PredictorScore score;
+    ET_ASSIGN_OR_RETURN(score.model, ReadStringField(s, "model"));
+    ET_ASSIGN_OR_RETURN(score.mrr, ReadNumberField(s, "mrr"));
+    ET_ASSIGN_OR_RETURN(score.mrr_plus, ReadNumberField(s, "mrr_plus"));
+    ET_ASSIGN_OR_RETURN(score.sessions, ReadU64Field(s, "sessions"));
+    out.scores.push_back(std::move(score));
+  }
+  return out;
+}
+
+}  // namespace et

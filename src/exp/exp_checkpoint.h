@@ -1,0 +1,93 @@
+// JSON codecs for experiment checkpoints.
+//
+// A convergence repetition checkpoints one file per repetition,
+// re-saved after every completed policy cell; a user-study run
+// checkpoints one file per scenario. Payloads are versioned and carry
+// the producing config's fingerprint, so a resume against a different
+// configuration is rejected instead of silently mixing results.
+//
+// Doubles round-trip exactly (the JSON layer emits %.17g and parses
+// with strtod), which is what makes a resumed run bit-identical to an
+// uninterrupted one. NaN — used as the "no samples" sentinel in rep
+// outcomes — is not representable in JSON and travels as null. 64-bit
+// seeds and RNG words exceed a double's integer range and travel as
+// decimal strings.
+
+#ifndef ET_EXP_EXP_CHECKPOINT_H_
+#define ET_EXP_EXP_CHECKPOINT_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+
+/// One completed (repetition, policy) cell of a convergence run:
+/// everything the cross-repetition reduction consumes, plus the final
+/// agent beliefs (Beta parameters) for forensics and warm restarts.
+struct ConvergenceCellCheckpoint {
+  /// PolicyKindToString of the cell's policy; matched on resume so a
+  /// reordered policy list invalidates the cell rather than mislabeling
+  /// its series.
+  std::string policy;
+  std::vector<double> mae_series;
+  std::vector<double> f1_series;
+  double initial_mae = 0.0;
+  double final_mae = 0.0;  // NaN = run produced no iterations
+  double final_f1 = 0.0;   // NaN = no F1 samples
+  std::vector<double> trainer_alpha;
+  std::vector<double> trainer_beta;
+  std::vector<double> learner_alpha;
+  std::vector<double> learner_beta;
+};
+
+/// One convergence repetition's journal: completed cells in policy
+/// order plus the repetition-level state needed to vouch for them.
+struct ConvergenceRepCheckpoint {
+  uint64_t rep = 0;
+  uint64_t rep_seed = 0;
+  /// Violation degree the dataset preparation achieved (prep is
+  /// deterministic in rep_seed, so a fully-checkpointed repetition can
+  /// skip it entirely and reuse this).
+  double degree = 0.0;
+  /// Repetition RNG state after dataset preparation (xoshiro256**
+  /// words). Informational for partial resumes — prep re-derives it
+  /// from rep_seed — but lets offline tooling continue the stream.
+  std::array<uint64_t, 4> rng_state{};
+  std::vector<ConvergenceCellCheckpoint> cells;
+};
+
+std::string EncodeConvergenceRep(const ConvergenceRepCheckpoint& rep,
+                                 const std::string& fingerprint);
+
+/// Rejects version or fingerprint mismatches with kInvalidArgument and
+/// malformed payloads with kIOError (a torn file is an I/O problem).
+Result<ConvergenceRepCheckpoint> DecodeConvergenceRep(
+    const std::string& json, const std::string& expected_fingerprint);
+
+/// One user-study scenario's finished outputs: the Table 3 row and the
+/// Figure 2 rows for every predictor.
+struct UserStudyScenarioCheckpoint {
+  int scenario_id = 0;
+  double avg_f1_change = 0.0;
+  struct PredictorScore {
+    std::string model;
+    double mrr = 0.0;
+    double mrr_plus = 0.0;
+    uint64_t sessions = 0;
+  };
+  std::vector<PredictorScore> scores;
+};
+
+std::string EncodeUserStudyScenario(const UserStudyScenarioCheckpoint& sc,
+                                    const std::string& fingerprint);
+
+Result<UserStudyScenarioCheckpoint> DecodeUserStudyScenario(
+    const std::string& json, const std::string& expected_fingerprint);
+
+}  // namespace et
+
+#endif  // ET_EXP_EXP_CHECKPOINT_H_

@@ -4,6 +4,7 @@
 #include <fstream>
 
 #include "common/strings.h"
+#include "robustness/fault.h"
 
 namespace et {
 
@@ -79,6 +80,7 @@ std::string CsvLine(const std::vector<std::string>& cells) {
 Status WriteCsv(const std::string& path,
                 const std::vector<std::string>& headers,
                 const std::vector<std::vector<std::string>>& rows) {
+  ET_FAULT_POINT("report.write");
   std::ofstream out(path);
   if (!out) return Status::IOError("cannot open " + path);
   out << CsvLine(headers) << "\n";

@@ -1,13 +1,19 @@
 #include "exp/userstudy_experiment.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <memory>
 #include <utility>
 
 #include "belief/priors.h"
 #include "common/math.h"
 #include "common/thread_pool.h"
+#include "exp/exp_checkpoint.h"
 #include "metrics/mrr.h"
 #include "obs/trace.h"
+#include "robustness/checkpoint.h"
+#include "robustness/fault.h"
+#include "robustness/watchdog.h"
 
 namespace et {
 namespace {
@@ -48,6 +54,31 @@ struct PredictorSpec {
                                                   uint64_t);
 };
 
+/// Canonical text form of every result-affecting config field (the
+/// resilience knobs are excluded — they must not invalidate
+/// checkpoints).
+std::string CanonicalConfig(const UserStudyConfig& config) {
+  std::string out = "userstudy-v1";
+  auto num = [&out](const char* key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "|%s=%.17g", key, v);
+    out += buf;
+  };
+  num("participants", static_cast<double>(config.participants));
+  num("min_rounds", static_cast<double>(config.study.min_rounds));
+  num("max_rounds", static_cast<double>(config.study.max_rounds));
+  num("pairs", static_cast<double>(config.study.pairs_per_round));
+  num("rows", static_cast<double>(config.instance.rows));
+  num("violations",
+      static_cast<double>(config.instance.target_violations));
+  num("max_attrs", config.instance.max_fd_attrs);
+  out += "|seed=" + std::to_string(config.seed);
+  num("top_k", static_cast<double>(config.top_k));
+  num("s2_regression", config.scenario2_extra_regression);
+  out += config.include_model_free ? "|mf" : "|nomf";
+  return out;
+}
+
 }  // namespace
 
 Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
@@ -68,7 +99,47 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
   const std::vector<ParticipantProfile> cohort =
       DefaultCohort(config.participants, config.seed);
 
+  std::string fingerprint;
+  std::unique_ptr<CheckpointStore> store;
+  if (!config.checkpoint_dir.empty()) {
+    fingerprint = ConfigFingerprint(CanonicalConfig(config));
+    store = std::make_unique<CheckpointStore>(config.checkpoint_dir,
+                                              "study-" + fingerprint);
+  }
+
   for (const Scenario& scenario : scenarios) {
+    const std::string ckpt_name =
+        "scenario-" + std::to_string(scenario.id);
+    if (store != nullptr && config.resume) {
+      Result<std::string> payload = store->Load(ckpt_name);
+      if (payload.ok()) {
+        ET_ASSIGN_OR_RETURN(
+            UserStudyScenarioCheckpoint saved,
+            DecodeUserStudyScenario(*payload, fingerprint));
+        if (saved.scenario_id != scenario.id) {
+          return Status::InvalidArgument(
+              "checkpoint " + ckpt_name + " holds scenario " +
+              std::to_string(saved.scenario_id));
+        }
+        result.table3.push_back({saved.scenario_id, saved.avg_f1_change});
+        for (const auto& s : saved.scores) {
+          result.fig2.push_back({saved.scenario_id, s.model, s.mrr,
+                                 s.mrr_plus,
+                                 static_cast<size_t>(s.sessions)});
+        }
+        ET_COUNTER_INC("exp.userstudy.scenarios_resumed");
+        continue;
+      }
+      if (!payload.status().IsNotFound()) return payload.status();
+    }
+
+    ET_FAULT_POINT("exp.scenario");
+    // Cooperative deadline over the whole scenario; polled at the top
+    // of every per-participant and per-predictor unit of work.
+    Watchdog watchdog(config.scenario_deadline_ms);
+    const std::string watched =
+        "user-study scenario " + std::to_string(scenario.id);
+
     const uint64_t scenario_seed =
         config.seed ^ (0x5CE9A210ULL * static_cast<uint64_t>(scenario.id));
     ET_ASSIGN_OR_RETURN(
@@ -85,9 +156,11 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
     std::vector<Result<ParticipantOutcome>> runs(
         cohort.size(),
         Result<ParticipantOutcome>(Status::Internal("not run")));
-    ParallelFor(cohort.size(), [&](size_t begin, size_t end) {
+    ET_RETURN_NOT_OK(
+        TryParallelFor(cohort.size(), [&](size_t begin, size_t end) {
       for (size_t p = begin; p < end; ++p) {
         runs[p] = [&, p]() -> Result<ParticipantOutcome> {
+          ET_RETURN_NOT_OK(watchdog.Check(watched));
           ParticipantProfile profile = cohort[p];
           if (scenario.id == 2) {
             // Scenario 2 was markedly harder: more regressions, noisier
@@ -112,7 +185,7 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
           return ParticipantOutcome(std::move(session), change);
         }();
       }
-    });
+    }));
     std::vector<StudySession> sessions;
     std::vector<double> f1_changes;
     for (size_t p = 0; p < cohort.size(); ++p) {
@@ -131,9 +204,11 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
       std::vector<Result<SeriesPair>> scored(
           sessions.size(),
           Result<SeriesPair>(Status::Internal("not run")));
-      ParallelFor(sessions.size(), [&](size_t begin, size_t end) {
+      ET_RETURN_NOT_OK(
+          TryParallelFor(sessions.size(), [&](size_t begin, size_t end) {
         for (size_t s = begin; s < end; ++s) {
           scored[s] = [&, s]() -> Result<SeriesPair> {
+            ET_RETURN_NOT_OK(watchdog.Check(watched));
             const StudySession& session = sessions[s];
             const uint64_t pred_seed =
                 scenario_seed ^ (0xABCDULL + session.participant);
@@ -161,7 +236,7 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
             return pair;
           }();
         }
-      });
+      }));
       std::vector<double> rrs;
       std::vector<double> rrs_plus;
       for (size_t s = 0; s < sessions.size(); ++s) {
@@ -178,6 +253,19 @@ Result<UserStudyResult> RunUserStudy(const UserStudyConfig& config) {
       score.mrr_plus = MeanReciprocalRank(rrs_plus);
       score.sessions = sessions.size();
       result.fig2.push_back(score);
+    }
+
+    if (store != nullptr) {
+      UserStudyScenarioCheckpoint saved;
+      saved.scenario_id = scenario.id;
+      saved.avg_f1_change = result.table3.back().avg_f1_change;
+      for (const ModelScenarioScore& s : result.fig2) {
+        if (s.scenario_id != scenario.id) continue;
+        saved.scores.push_back(
+            {s.model, s.mrr, s.mrr_plus, s.sessions});
+      }
+      ET_RETURN_NOT_OK(store->Save(
+          ckpt_name, EncodeUserStudyScenario(saved, fingerprint)));
     }
   }
   return result;

@@ -28,6 +28,17 @@ struct UserStudyConfig {
   /// Also evaluate the model-free (reinforcement) predictor — beyond
   /// the paper's Figure 2, which compares Bayesian vs HT.
   bool include_model_free = false;
+  /// When non-empty, each finished scenario journals its Figure 2 and
+  /// Table 3 rows to a checkpoint file here (atomically).
+  std::string checkpoint_dir;
+  /// Skip scenarios whose checkpoint (keyed to this config's
+  /// fingerprint) already exists; results are bit-identical to an
+  /// uninterrupted run.
+  bool resume = false;
+  /// Watchdog: a scenario running longer than this is aborted with
+  /// kDeadlineExceeded; earlier scenarios are already checkpointed.
+  /// 0 disables.
+  double scenario_deadline_ms = 0.0;
 };
 
 /// MRR of one model on one scenario (Figure 2 bar).

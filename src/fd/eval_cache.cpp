@@ -1,15 +1,31 @@
 #include "fd/eval_cache.h"
 
+#include <atomic>
+#include <new>
 #include <utility>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robustness/fault.h"
 
 namespace et {
 namespace {
 
 uint64_t SquareCount(const Partition& part) {
   return part.AgreeingPairCount();
+}
+
+/// A failed insert must never fail the query: the partition is already
+/// built, so the cache hands it out uncached. Logged once per process
+/// (degradation is a steady-state condition, not a per-query event).
+void NoteDegraded(const char* why) {
+  ET_COUNTER_INC("fd.cache.degraded");
+  static std::atomic<bool> logged{false};
+  if (!logged.exchange(true, std::memory_order_relaxed)) {
+    ET_LOG(Warn) << "eval cache degraded to uncached partition builds ("
+                 << why << "); subsequent degradations are silent";
+  }
 }
 
 }  // namespace
@@ -58,24 +74,49 @@ std::shared_ptr<const Partition> EvalCache::GetImpl(
       BuildUncached(attrs, rows_fp, rows);
   const size_t bytes = built->ApproxBytes();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = entries_.find(key);
-  if (it != entries_.end()) return it->second.partition;
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{built, bytes, lru_.begin()});
-  stats_.bytes += bytes;
-  // Evict least-recently-used entries past the budget, always keeping
-  // the entry just inserted.
-  while (stats_.bytes > options_.byte_budget && entries_.size() > 1) {
-    const Key victim = lru_.back();
-    lru_.pop_back();
-    auto vit = entries_.find(victim);
-    stats_.bytes -= vit->second.bytes;
-    entries_.erase(vit);
-    ++stats_.evictions;
-    ET_COUNTER_INC("fd.cache.evictions");
+  // Graceful degradation: inserting is an optimization, not a
+  // requirement. If the bookkeeping allocation fails (bad_alloc, real
+  // or injected) the caller still gets the freshly built partition —
+  // only future reuse is lost.
+  try {
+    if (FaultInjector::Global().enabled()) {
+      Status fault = FaultInjector::Global().Hit("cache.insert");
+      if (!fault.ok()) {
+        NoteDegraded("injected insert fault");
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.degraded;
+        }
+        return built;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) return it->second.partition;
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{built, bytes, lru_.begin()});
+    stats_.bytes += bytes;
+    // Evict least-recently-used entries past the budget, always keeping
+    // the entry just inserted.
+    while (stats_.bytes > options_.byte_budget && entries_.size() > 1) {
+      const Key victim = lru_.back();
+      lru_.pop_back();
+      auto vit = entries_.find(victim);
+      stats_.bytes -= vit->second.bytes;
+      entries_.erase(vit);
+      ++stats_.evictions;
+      ET_COUNTER_INC("fd.cache.evictions");
+    }
+    ET_GAUGE_SET("fd.cache.bytes", static_cast<double>(stats_.bytes));
+  } catch (const std::bad_alloc&) {
+    NoteDegraded("allocation failure during insert");
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.degraded;
+  } catch (const InjectedFault& e) {
+    NoteDegraded(e.what());
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.degraded;
   }
-  ET_GAUGE_SET("fd.cache.bytes", static_cast<double>(stats_.bytes));
   return built;
 }
 

@@ -54,6 +54,10 @@ struct EvalCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t evictions = 0;
+  /// Inserts abandoned by graceful degradation (allocation failure or
+  /// an injected cache.insert fault): the partition was handed out
+  /// uncached instead of failing the query.
+  uint64_t degraded = 0;
   size_t bytes = 0;
 };
 

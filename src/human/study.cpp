@@ -6,6 +6,7 @@
 #include "core/candidates.h"
 #include "metrics/fd_f1.h"
 #include "metrics/mrr.h"
+#include "robustness/fault.h"
 
 namespace et {
 
@@ -94,6 +95,9 @@ Result<StudySession> RunStudySession(const ScenarioInstance& instance,
       round.shown.push_back(pool[cursor++]);
     }
     if (round.shown.empty()) break;  // pool exhausted
+    // A fired fault models a participant dropping out mid-session or
+    // returning a garbage (timed-out) answer sheet.
+    ET_FAULT_POINT("annotator.respond");
     participant.Observe(instance.rel, round.shown);
     round.declared = participant.CurrentHypothesis();
     round.labels = participant.Label(instance.rel, round.shown);

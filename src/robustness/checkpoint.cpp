@@ -1,0 +1,136 @@
+#include "robustness/checkpoint.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <utility>
+
+#include "common/strings.h"
+#include "obs/metrics.h"
+#include "robustness/fault.h"
+
+namespace et {
+namespace fs = std::filesystem;
+
+Status AtomicWriteFile(const std::string& path, const std::string& payload) {
+  ET_FAULT_POINT("checkpoint.write");
+  std::error_code ec;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    fs::create_directories(target.parent_path(), ec);
+    if (ec) {
+      return Status::IOError("cannot create " +
+                             target.parent_path().string() + ": " +
+                             ec.message());
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::IOError("cannot open " + tmp + " for write");
+    out << payload;
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
+  }
+  // rename(2) is atomic within a filesystem: readers see the old file
+  // or the new one, never a prefix.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int err = errno;
+    std::remove(tmp.c_str());
+    return Status::IOError("rename " + tmp + " -> " + path + ": " +
+                           std::strerror(err));
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  ET_FAULT_POINT("checkpoint.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return ss.str();
+}
+
+std::string ConfigFingerprint(const std::string& canonical_config) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : canonical_config) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return StrFormat("%016llx", static_cast<unsigned long long>(h));
+}
+
+CheckpointStore::CheckpointStore(std::string dir, std::string run_id,
+                                 BackoffOptions backoff)
+    : dir_(std::move(dir)),
+      run_id_(std::move(run_id)),
+      backoff_(backoff) {}
+
+std::string CheckpointStore::PathFor(const std::string& name) const {
+  return (fs::path(dir_) / (run_id_ + "." + name + ".json")).string();
+}
+
+Status CheckpointStore::Save(const std::string& name,
+                             const std::string& payload) {
+  const std::string path = PathFor(name);
+  Status st = RetryWithBackoff(
+      "checkpoint save " + name,
+      [&] { return AtomicWriteFile(path, payload); }, backoff_);
+  if (st.ok()) ET_COUNTER_INC("robustness.checkpoint.saved");
+  return st;
+}
+
+Result<std::string> CheckpointStore::Load(const std::string& name) const {
+  const std::string path = PathFor(name);
+  std::error_code ec;
+  if (!fs::exists(path, ec)) {
+    return Status::NotFound("no checkpoint " + path);
+  }
+  Result<std::string> payload = RetryResultWithBackoff<std::string>(
+      "checkpoint load " + name,
+      [&] { return ReadFileToString(path); }, backoff_);
+  if (payload.ok()) ET_COUNTER_INC("robustness.checkpoint.loaded");
+  return payload;
+}
+
+bool CheckpointStore::Contains(const std::string& name) const {
+  std::error_code ec;
+  return fs::exists(PathFor(name), ec);
+}
+
+Status CheckpointStore::Remove(const std::string& name) {
+  std::error_code ec;
+  fs::remove(PathFor(name), ec);
+  if (ec) {
+    return Status::IOError("remove " + PathFor(name) + ": " + ec.message());
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> CheckpointStore::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  const std::string prefix = run_id_ + ".";
+  const std::string suffix = ".json";
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string file = entry.path().filename().string();
+    if (!StartsWith(file, prefix) || !EndsWith(file, suffix)) continue;
+    names.push_back(
+        file.substr(prefix.size(),
+                    file.size() - prefix.size() - suffix.size()));
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace et

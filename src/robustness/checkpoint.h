@@ -1,0 +1,72 @@
+// Journaled checkpoints for long experiment runs.
+//
+// A CheckpointStore is a directory of small JSON files, one per
+// completed unit of work (a convergence repetition, a user-study
+// scenario). Writes are atomic — payload goes to a ".tmp" sibling,
+// fsync'd, then renamed over the final name — so a crash mid-write
+// leaves either the old checkpoint or none, never a torn file. Reads
+// and writes retry transient I/O errors with exponential backoff.
+//
+// File layout: <dir>/<run_id>.<name>.json. The run id is derived from
+// a fingerprint of the experiment configuration, so resuming with a
+// different config simply finds no checkpoints instead of silently
+// mixing incompatible results.
+
+#ifndef ET_ROBUSTNESS_CHECKPOINT_H_
+#define ET_ROBUSTNESS_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "robustness/retry.h"
+
+namespace et {
+
+/// Writes `payload` to `path` atomically (tmp file + rename). Creates
+/// parent directories as needed.
+Status AtomicWriteFile(const std::string& path, const std::string& payload);
+
+/// Slurps a file; kIOError (retryable) when it cannot be opened or read.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Stable 64-bit FNV-1a fingerprint of a config string, rendered as hex
+/// (used to key checkpoints to the exact producing configuration).
+std::string ConfigFingerprint(const std::string& canonical_config);
+
+class CheckpointStore {
+ public:
+  /// `dir` is created lazily on first Save. `run_id` namespaces this
+  /// run's files within the directory.
+  CheckpointStore(std::string dir, std::string run_id,
+                  BackoffOptions backoff = BackoffOptions::FromEnv());
+
+  const std::string& dir() const { return dir_; }
+  const std::string& run_id() const { return run_id_; }
+
+  std::string PathFor(const std::string& name) const;
+
+  /// Atomically persists one checkpoint (retrying transient failures).
+  Status Save(const std::string& name, const std::string& payload);
+
+  /// Loads a checkpoint's payload; kNotFound when absent.
+  Result<std::string> Load(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// Removes one checkpoint; OK when it does not exist.
+  Status Remove(const std::string& name);
+
+  /// Names of this run's checkpoints currently on disk, sorted.
+  std::vector<std::string> List() const;
+
+ private:
+  std::string dir_;
+  std::string run_id_;
+  BackoffOptions backoff_;
+};
+
+}  // namespace et
+
+#endif  // ET_ROBUSTNESS_CHECKPOINT_H_

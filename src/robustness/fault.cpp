@@ -1,0 +1,256 @@
+#include "robustness/fault.h"
+
+#include <cstdlib>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace et {
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+uint64_t Mix(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform [0,1) decision for (seed, site, hit): independent of thread
+/// interleaving and of every other site's traffic.
+double DecisionDouble(uint64_t seed, uint64_t site_hash, uint64_t hit) {
+  return static_cast<double>(Mix(seed ^ site_hash ^ (hit * 0x2545F4914F6CDD1DULL)) >> 11) *
+         0x1.0p-53;
+}
+
+const char* ModeName(FaultMode mode) {
+  switch (mode) {
+    case FaultMode::kFail:
+      return "fail";
+    case FaultMode::kThrow:
+      return "throw";
+    case FaultMode::kOom:
+      return "oom";
+  }
+  return "?";
+}
+
+}  // namespace
+
+struct FaultInjector::Site {
+  FaultMode mode = FaultMode::kFail;
+  uint64_t at_hit = 0;       // > 0: fire exactly on this hit
+  double probability = 0.0;  // > 0: fire per hit with this probability
+  uint64_t site_hash = 0;
+  obs::Counter* fired_counter = nullptr;  // fault.injected.<site>
+  std::atomic<uint64_t> hits{0};
+  std::atomic<uint64_t> fired{0};
+};
+
+struct FaultInjector::Plan {
+  uint64_t seed = 0;
+  std::unordered_map<std::string, Site> sites;
+};
+
+FaultInjector& FaultInjector::Global() {
+  // Any binary that links the injector honors ET_FAULT from its first
+  // fault-point on; an unparsable plan is ignored rather than fatal so
+  // a bad env var cannot take down a production run.
+  static FaultInjector* injector = [] {
+    auto* made = new FaultInjector();
+    const char* env = std::getenv("ET_FAULT");
+    if (env != nullptr && env[0] != '\0') {
+      const Status status = made->Configure(env);
+      if (!status.ok()) {
+        ET_LOG(Warn) << "ignoring ET_FAULT plan: " << status.ToString();
+      }
+    }
+    return made;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& plan_text) {
+  const std::string trimmed(Trim(plan_text));
+  if (trimmed.empty()) {
+    Disable();
+    return Status::OK();
+  }
+  auto plan = std::make_shared<Plan>();
+  for (const std::string& part : Split(trimmed, ';')) {
+    const std::string entry(Trim(part));
+    if (entry.empty()) continue;
+    const size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault plan entry '" + entry +
+                                     "' is not site=trigger");
+    }
+    const std::string site(Trim(entry.substr(0, eq)));
+    const std::string trigger(Trim(entry.substr(eq + 1)));
+    if (site == "seed") {
+      ET_ASSIGN_OR_RETURN(long long seed, ParseInt(trigger));
+      plan->seed = static_cast<uint64_t>(seed);
+      continue;
+    }
+    Site spec;
+    spec.site_hash = Fnv1a(site);
+    std::string mode = trigger;
+    std::string arg;
+    bool probabilistic = false;
+    const size_t sep = trigger.find_first_of("@%");
+    if (sep != std::string::npos) {
+      mode = trigger.substr(0, sep);
+      arg = trigger.substr(sep + 1);
+      probabilistic = trigger[sep] == '%';
+    }
+    if (mode == "fail") {
+      spec.mode = FaultMode::kFail;
+    } else if (mode == "throw") {
+      spec.mode = FaultMode::kThrow;
+    } else if (mode == "oom") {
+      spec.mode = FaultMode::kOom;
+    } else {
+      return Status::InvalidArgument(
+          "fault plan site '" + site + "': unknown mode '" + mode +
+          "' (use fail|throw|oom)");
+    }
+    if (arg.empty()) {
+      // Bare mode: fire on the first hit.
+      spec.at_hit = 1;
+    } else if (probabilistic) {
+      ET_ASSIGN_OR_RETURN(spec.probability, ParseDouble(arg));
+      if (spec.probability < 0.0 || spec.probability > 1.0) {
+        return Status::InvalidArgument("fault plan site '" + site +
+                                       "': probability out of [0,1]");
+      }
+    } else {
+      ET_ASSIGN_OR_RETURN(long long n, ParseInt(arg));
+      if (n <= 0) {
+        return Status::InvalidArgument("fault plan site '" + site +
+                                       "': hit count must be positive");
+      }
+      spec.at_hit = static_cast<uint64_t>(n);
+    }
+    spec.fired_counter =
+        &obs::MetricsRegistry::Global().GetCounter("fault.injected." + site);
+    auto [it, inserted] = plan->sites.try_emplace(site);
+    if (!inserted) {
+      return Status::InvalidArgument("fault plan names site '" + site +
+                                     "' twice");
+    }
+    it->second.mode = spec.mode;
+    it->second.at_hit = spec.at_hit;
+    it->second.probability = spec.probability;
+    it->second.site_hash = spec.site_hash;
+    it->second.fired_counter = spec.fired_counter;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = plan;
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+  // Faults inside pool tasks must not kill workers or callers: the hook
+  // raises them inside the chunk body, where the pool's containment
+  // (and TryParallelFor at the harness boundary) turns them into Status.
+  SetParallelChunkHook([] {
+    Status st = FaultInjector::Global().Hit("pool.task");
+    if (!st.ok()) throw InjectedFault(st.message());
+  });
+  return Status::OK();
+}
+
+Status FaultInjector::ConfigureFromEnv() {
+  const char* env = std::getenv("ET_FAULT");
+  return Configure(env == nullptr ? "" : env);
+}
+
+void FaultInjector::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan_ = nullptr;
+  }
+  SetParallelChunkHook(nullptr);
+}
+
+Status FaultInjector::Hit(std::string_view site) {
+  if (!enabled()) return Status::OK();
+  std::shared_ptr<Plan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = plan_;
+  }
+  if (plan == nullptr) return Status::OK();
+  auto it = plan->sites.find(std::string(site));
+  if (it == plan->sites.end()) return Status::OK();
+  Site& s = it->second;
+  const uint64_t hit = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  bool fire = false;
+  if (s.at_hit > 0) {
+    fire = hit == s.at_hit;
+  } else if (s.probability > 0.0) {
+    fire = DecisionDouble(plan->seed, s.site_hash, hit) < s.probability;
+  }
+  if (!fire) return Status::OK();
+  s.fired.fetch_add(1, std::memory_order_relaxed);
+  s.fired_counter->Increment();
+  ET_COUNTER_INC("fault.injected.total");
+  const std::string what = "injected fault at " + std::string(site) +
+                           " (mode " + ModeName(s.mode) + ", hit " +
+                           std::to_string(hit) + ")";
+  ET_LOG(Warn) << what;
+  switch (s.mode) {
+    case FaultMode::kFail:
+      return Status::IOError(what);
+    case FaultMode::kThrow:
+      throw InjectedFault(what);
+    case FaultMode::kOom:
+      throw std::bad_alloc();
+  }
+  return Status::OK();
+}
+
+FaultSiteStats FaultInjector::SiteStats(const std::string& site) const {
+  std::shared_ptr<Plan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = plan_;
+  }
+  FaultSiteStats stats;
+  if (plan == nullptr) return stats;
+  auto it = plan->sites.find(site);
+  if (it == plan->sites.end()) return stats;
+  stats.hits = it->second.hits.load(std::memory_order_relaxed);
+  stats.fired = it->second.fired.load(std::memory_order_relaxed);
+  return stats;
+}
+
+uint64_t FaultInjector::TotalFired() const {
+  std::shared_ptr<Plan> plan;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    plan = plan_;
+  }
+  if (plan == nullptr) return 0;
+  uint64_t total = 0;
+  for (const auto& [name, site] : plan->sites) {
+    total += site.fired.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace et

@@ -1,0 +1,122 @@
+// Deterministic fault injection for the experiment harness.
+//
+// Production annotation pipelines fail in mundane ways — a truncated
+// CSV, an allocator hiccup mid-insert, a worker task that throws, a
+// human who stops answering. The harness proves it degrades gracefully
+// by *injecting* those failures on demand: named FAULT_POINT sites in
+// the I/O, cache, pool, and annotator layers consult a process-wide
+// FaultPlan and, when a site fires, fail exactly the way the real
+// failure would (an error Status, a thrown exception, or bad_alloc).
+//
+// A plan is a seeded, semicolon-separated list of per-site triggers:
+//
+//   csv.read=fail@3;pool.task=throw%0.01;cache.insert=oom%0.05;seed=7
+//
+//   <site>=<mode>@<n>   fire exactly on the n-th hit of the site
+//   <site>=<mode>%<p>   fire each hit with probability p
+//   seed=<n>            seed of the probabilistic-trigger stream
+//
+// Modes: `fail` (the site returns Status::IOError), `throw` (the site
+// throws et::InjectedFault), `oom` (the site throws std::bad_alloc).
+// Probabilistic triggers are a pure function of (seed, site, hit
+// index), so a plan replays identically at any thread count as long as
+// each site's hits happen in a deterministic order per thread — and
+// identically across runs regardless.
+//
+// The plan is read from the ET_FAULT environment variable (or a
+// --fault flag via Configure). Every fired fault increments the
+// metrics counters `fault.injected.<site>` and `fault.injected.total`,
+// which therefore appear in the run manifest.
+//
+// Overhead when no plan is configured: one relaxed atomic load per
+// site hit.
+
+#ifndef ET_ROBUSTNESS_FAULT_H_
+#define ET_ROBUSTNESS_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace et {
+
+/// Thrown by `throw`-mode faults (a stand-in for any exception escaping
+/// third-party code inside a pool task or library callback).
+class InjectedFault : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+enum class FaultMode { kFail, kThrow, kOom };
+
+struct FaultSiteStats {
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+};
+
+class FaultInjector {
+ public:
+  /// The process-wide injector (leaked singleton: fault sites live in
+  /// code that may run during static destruction).
+  static FaultInjector& Global();
+
+  /// Parses and installs a plan; an empty string disables injection.
+  /// Replaces any previous plan and resets all hit counters.
+  Status Configure(const std::string& plan);
+
+  /// Installs the plan in ET_FAULT (unset/empty = disabled).
+  Status ConfigureFromEnv();
+
+  /// Removes the plan; sites become no-ops again.
+  void Disable();
+
+  /// Fast path for call sites: false means Hit() cannot fire.
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Records one hit of `site`. Returns non-OK (kIOError) when a
+  /// `fail`-mode fault fires; throws InjectedFault / std::bad_alloc for
+  /// `throw` / `oom` modes. OK otherwise.
+  Status Hit(std::string_view site);
+
+  /// Hit/fired counts of a site under the current plan (zeros when the
+  /// site is not in the plan).
+  FaultSiteStats SiteStats(const std::string& site) const;
+
+  /// Total faults fired under the current plan.
+  uint64_t TotalFired() const;
+
+ private:
+  FaultInjector() = default;
+
+  struct Site;
+  struct Plan;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::shared_ptr<Plan> plan_;  // null when disabled
+};
+
+}  // namespace et
+
+/// Declares a named fault site in a function returning Status or
+/// Result<T>: a `fail`-mode fault becomes the function's error return,
+/// `throw`/`oom` modes propagate as exceptions for the enclosing
+/// containment layer (pool, cache) to absorb.
+#define ET_FAULT_POINT(site)                                          \
+  do {                                                                \
+    if (::et::FaultInjector::Global().enabled()) {                    \
+      ::et::Status _et_fault = ::et::FaultInjector::Global().Hit(site); \
+      if (!_et_fault.ok()) return _et_fault;                          \
+    }                                                                 \
+  } while (0)
+
+#endif  // ET_ROBUSTNESS_FAULT_H_

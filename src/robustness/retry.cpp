@@ -1,0 +1,96 @@
+#include "robustness/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace et {
+namespace {
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+double EnvDouble(const char* name, double def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return def;
+  auto v = ParseDouble(env);
+  return v.ok() ? *v : def;
+}
+
+long long EnvInt(const char* name, long long def) {
+  const char* env = std::getenv(name);
+  if (env == nullptr) return def;
+  auto v = ParseInt(env);
+  return v.ok() ? *v : def;
+}
+
+}  // namespace
+
+BackoffOptions BackoffOptions::FromEnv() {
+  BackoffOptions options;
+  options.max_attempts = static_cast<int>(
+      std::max(1LL, EnvInt("ET_RETRY_MAX_ATTEMPTS", options.max_attempts)));
+  options.initial_delay_ms =
+      EnvDouble("ET_RETRY_INITIAL_MS", options.initial_delay_ms);
+  options.max_delay_ms = EnvDouble("ET_RETRY_MAX_MS", options.max_delay_ms);
+  options.seed = static_cast<uint64_t>(EnvInt("ET_RETRY_SEED", 0));
+  return options;
+}
+
+bool IsRetryableStatus(const Status& status) {
+  return status.IsIOError();
+}
+
+Status RetryWithBackoff(std::string_view what,
+                        const std::function<Status()>& op,
+                        const BackoffOptions& options,
+                        std::vector<double>* delays_ms) {
+  const int attempts = std::max(1, options.max_attempts);
+  // One jitter stream per (seed, operation name): replayable, and two
+  // concurrently retrying operations never share delays.
+  Rng jitter_rng(options.seed ^ Fnv1a(what));
+  Status status;
+  bool failed_once = false;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    status = op();
+    if (status.ok()) {
+      if (failed_once) ET_COUNTER_INC("robustness.retry.recovered");
+      return status;
+    }
+    if (!IsRetryableStatus(status)) return status;
+    failed_once = true;
+    if (attempt == attempts) break;
+    ET_COUNTER_INC("robustness.retry.attempts");
+    double delay =
+        options.initial_delay_ms *
+        std::pow(options.multiplier, static_cast<double>(attempt - 1));
+    delay = std::min(delay, options.max_delay_ms);
+    const double jitter = std::clamp(options.jitter, 0.0, 1.0);
+    delay *= 1.0 - jitter + 2.0 * jitter * jitter_rng.NextDouble();
+    if (delays_ms != nullptr) delays_ms->push_back(delay);
+    ET_LOG(Warn) << what << " failed (attempt " << attempt << "/"
+                 << attempts << "): " << status.ToString() << "; retrying in "
+                 << delay << " ms";
+    if (options.sleep && delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(delay));
+    }
+  }
+  ET_COUNTER_INC("robustness.retry.exhausted");
+  return status;
+}
+
+}  // namespace et

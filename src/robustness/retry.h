@@ -1,0 +1,82 @@
+// Retry-with-exponential-backoff around transient failures.
+//
+// File I/O in the harness (dataset CSVs, report files, checkpoints) can
+// fail transiently — NFS hiccups, OOM-evicted page cache, an injected
+// fault. RetryWithBackoff re-runs an operation on retryable errors
+// (kIOError) with exponentially growing, jittered, capped delays. The
+// jitter stream is seeded, so a given (seed, operation name) produces
+// the same delay sequence every run; tests disable sleeping entirely
+// and assert on the recorded delays instead.
+//
+// Counters: robustness.retry.attempts (re-runs after a failure),
+// robustness.retry.recovered (ops that eventually succeeded after
+// failing at least once), robustness.retry.exhausted (ops that failed
+// every attempt).
+
+#ifndef ET_ROBUSTNESS_RETRY_H_
+#define ET_ROBUSTNESS_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+
+struct BackoffOptions {
+  /// Total tries, including the first (>= 1).
+  int max_attempts = 4;
+  double initial_delay_ms = 5.0;
+  double multiplier = 2.0;
+  double max_delay_ms = 1000.0;
+  /// Each delay is scaled by a uniform factor in [1 - jitter, 1 + jitter].
+  double jitter = 0.5;
+  /// Seed of the deterministic jitter stream (mixed with the op name).
+  uint64_t seed = 0;
+  /// When false, delays are computed and recorded but not slept —
+  /// deterministic, instant tests.
+  bool sleep = true;
+
+  /// Defaults overridden by ET_RETRY_MAX_ATTEMPTS, ET_RETRY_INITIAL_MS,
+  /// ET_RETRY_MAX_MS, ET_RETRY_SEED when set.
+  static BackoffOptions FromEnv();
+};
+
+/// True for errors worth retrying (I/O failures); logic errors
+/// (invalid argument, not found, ...) fail fast.
+bool IsRetryableStatus(const Status& status);
+
+/// Runs `op` until it succeeds, returns a non-retryable error, or
+/// `options.max_attempts` attempts are spent; returns the final status.
+/// `what` names the operation in logs and seeds the jitter stream.
+/// When `delays_ms` is non-null, every backoff delay is appended to it.
+Status RetryWithBackoff(std::string_view what,
+                        const std::function<Status()>& op,
+                        const BackoffOptions& options = BackoffOptions::FromEnv(),
+                        std::vector<double>* delays_ms = nullptr);
+
+/// Result<T>-returning flavour: retries on retryable error statuses and
+/// returns the value of the first successful attempt.
+template <typename T>
+Result<T> RetryResultWithBackoff(
+    std::string_view what, const std::function<Result<T>()>& op,
+    const BackoffOptions& options = BackoffOptions::FromEnv(),
+    std::vector<double>* delays_ms = nullptr) {
+  Result<T> last = Status::Internal("retry: operation never ran");
+  Status final_status = RetryWithBackoff(
+      what,
+      [&]() {
+        last = op();
+        return last.status();
+      },
+      options, delays_ms);
+  if (!final_status.ok()) return final_status;
+  return last;
+}
+
+}  // namespace et
+
+#endif  // ET_ROBUSTNESS_RETRY_H_

@@ -1,0 +1,39 @@
+#include "robustness/watchdog.h"
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "obs/metrics.h"
+
+namespace et {
+
+Watchdog::Watchdog(double deadline_ms)
+    : deadline_ms_(deadline_ms), start_(std::chrono::steady_clock::now()) {}
+
+double Watchdog::elapsed_ms() const {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+bool Watchdog::expired() const {
+  if (!enabled()) return false;
+  if (forced_.load(std::memory_order_relaxed)) return true;
+  return elapsed_ms() > deadline_ms_;
+}
+
+Status Watchdog::Check(std::string_view what) const {
+  if (!expired()) return Status::OK();
+  if (!reported_.exchange(true, std::memory_order_relaxed)) {
+    ET_COUNTER_INC("robustness.watchdog.expired");
+    ET_LOG(Warn) << "watchdog: " << what << " exceeded deadline of "
+                 << deadline_ms_ << " ms (elapsed " << elapsed_ms()
+                 << " ms), aborting";
+  }
+  return Status::DeadlineExceeded(
+      std::string(what) + " exceeded deadline of " +
+      StrFormat("%.0f", deadline_ms_) + " ms");
+}
+
+}  // namespace et

@@ -1,0 +1,56 @@
+// Cooperative deadline watchdog for experiment repetitions.
+//
+// A wedged repetition (adversarial input, pathological hypothesis
+// space, injected stall) must not hold the whole run hostage: the
+// harness arms a Watchdog per repetition and threads its Check() into
+// the game loop's cooperative abort hook. Past the deadline, Check()
+// returns kDeadlineExceeded, the repetition unwinds through the normal
+// Status path, and the harness keeps every already-checkpointed
+// repetition — so an aborted run resumes instead of restarting.
+//
+// The watchdog is deliberately cooperative (polled), not preemptive: a
+// preempted thread could die holding locks or half-written state,
+// which is exactly what checkpoint consistency forbids. Check() costs
+// one steady_clock read.
+
+#ifndef ET_ROBUSTNESS_WATCHDOG_H_
+#define ET_ROBUSTNESS_WATCHDOG_H_
+
+#include <atomic>
+#include <chrono>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace et {
+
+class Watchdog {
+ public:
+  /// deadline_ms <= 0 disables the watchdog (Check always OK).
+  explicit Watchdog(double deadline_ms);
+
+  bool enabled() const { return deadline_ms_ > 0.0; }
+
+  double elapsed_ms() const;
+
+  /// True once the deadline has passed (sticky).
+  bool expired() const;
+
+  /// OK while within the deadline; afterwards a kDeadlineExceeded
+  /// Status naming `what`. Increments robustness.watchdog.expired on
+  /// the first expired observation.
+  Status Check(std::string_view what) const;
+
+  /// Forces expiry regardless of wall-clock (deterministic tests).
+  void ForceExpireForTest() { forced_.store(true, std::memory_order_relaxed); }
+
+ private:
+  double deadline_ms_;
+  std::chrono::steady_clock::time_point start_;
+  std::atomic<bool> forced_{false};
+  mutable std::atomic<bool> reported_{false};
+};
+
+}  // namespace et
+
+#endif  // ET_ROBUSTNESS_WATCHDOG_H_

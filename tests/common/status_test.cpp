@@ -66,6 +66,18 @@ TEST(StatusTest, StatusCodeToStringCoversAllCodes) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotImplemented),
                "Not implemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+               "Deadline exceeded");
+}
+
+TEST(StatusTest, DeadlineExceededFactoryAndPredicate) {
+  const Status status = Status::DeadlineExceeded("rep 3 over budget");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsDeadlineExceeded());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(status.message(), "rep 3 over budget");
+  EXPECT_FALSE(Status::OK().IsDeadlineExceeded());
+  EXPECT_FALSE(Status::IOError("x").IsDeadlineExceeded());
 }
 
 Status FailsThrough() {

@@ -157,5 +157,66 @@ TEST(ParallelismTest, SetAndRestore) {
   SetParallelism(original);
 }
 
+TEST(ThreadPoolTest, ThrowingTaskIsContainedNotFatal) {
+  // Regression: a Submit()ed task that throws — including one still
+  // queued when the pool shuts down — must be absorbed by the worker,
+  // never reach std::terminate.
+  const uint64_t before = PoolUncaughtTaskExceptions();
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.Submit([&ran] {
+        ++ran;
+        throw std::runtime_error("task boom");
+      });
+    }
+    // Pool destructor drains the queue; throwing tasks during the
+    // shutdown drain exercise the same containment path.
+  }
+  EXPECT_EQ(ran.load(), 16);
+  EXPECT_EQ(PoolUncaughtTaskExceptions(), before + 16);
+}
+
+TEST(TryParallelForTest, OkWhenNoChunkThrows) {
+  ScopedParallelism threads(4);
+  std::vector<int> hits(32, 0);
+  const Status status = TryParallelFor(32, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) ++hits[i];
+  });
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(TryParallelForTest, ConvertsChunkExceptionToStatus) {
+  ScopedParallelism threads(4);
+  const Status status = TryParallelFor(100, [&](size_t begin, size_t) {
+    if (begin >= 50) throw std::runtime_error("late chunk boom");
+  });
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+  EXPECT_NE(status.message().find("late chunk boom"), std::string::npos);
+}
+
+TEST(TryParallelForTest, ConvertsBadAllocToStatus) {
+  ScopedParallelism threads(2);
+  const Status status = TryParallelFor(
+      8, [&](size_t, size_t) { throw std::bad_alloc(); });
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+}
+
+TEST(ParallelChunkHookTest, HookRunsPerChunkAndExceptionsSurface) {
+  ScopedParallelism threads(4);
+  std::atomic<int> hook_calls{0};
+  SetParallelChunkHook([&hook_calls] { ++hook_calls; });
+  ParallelFor(100, [](size_t, size_t) {});
+  SetParallelChunkHook(nullptr);
+  EXPECT_EQ(hook_calls.load(), 4);
+
+  SetParallelChunkHook([] { throw std::runtime_error("hook boom"); });
+  const Status status = TryParallelFor(100, [](size_t, size_t) {});
+  SetParallelChunkHook(nullptr);
+  EXPECT_TRUE(status.IsInternal()) << status.ToString();
+}
+
 }  // namespace
 }  // namespace et

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 
+#include "robustness/fault.h"
 #include "testing/test_util.h"
 
 namespace et {
@@ -131,6 +132,43 @@ TEST(CsvTest, FileRoundTrip) {
 TEST(CsvTest, MissingFileIsIOError) {
   EXPECT_TRUE(
       ReadCsvFile("/nonexistent/dir/file.csv").status().IsIOError());
+}
+
+TEST(CsvTest, EmbeddedNulNamesLine) {
+  std::string input = "a,b\n1,2\n3,";
+  input.push_back('\0');
+  input += "\n";
+  const Status status = ReadCsvString(input).status();
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.message().find("NUL"), std::string::npos);
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+}
+
+TEST(CsvTest, FieldCountErrorNamesLineAndWidths) {
+  const Status status = ReadCsvString("a,b,c\n1,2,3\n4,5\n").status();
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.message().find("line 3"), std::string::npos);
+  EXPECT_NE(status.message().find("has 2 fields, expected 3"),
+            std::string::npos);
+}
+
+TEST(CsvTest, UnterminatedQuoteNamesOpeningLine) {
+  const Status status = ReadCsvString("a,b\n1,\"open\n").status();
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_NE(status.message().find("quote opened on line 2"),
+            std::string::npos);
+}
+
+TEST(CsvTest, InjectedReadFaultSurfacesAsStatus) {
+  Relation original = testing::Table1Relation();
+  const std::string path = ::testing::TempDir() + "/et_csv_fault.csv";
+  ET_ASSERT_OK(WriteCsvFile(original, path));
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.read=fail@1"));
+  EXPECT_TRUE(ReadCsvFile(path).status().IsIOError());
+  FaultInjector::Global().Disable();
+  // The file is intact; only the injected fault made the read fail.
+  ET_ASSERT_OK(ReadCsvFile(path).status());
+  std::remove(path.c_str());
 }
 
 }  // namespace

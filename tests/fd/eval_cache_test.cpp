@@ -10,6 +10,7 @@
 #include "data/datasets.h"
 #include "fd/g1.h"
 #include "fd/hypothesis_space.h"
+#include "robustness/fault.h"
 #include "testing/test_util.h"
 
 namespace et {
@@ -133,6 +134,39 @@ TEST(EvalCacheTest, EvictionUnderTinyBudget) {
   // Requests still served correctly, just without reuse.
   const Partition direct = Partition::Build(data.rel, AttrSet::Single(0));
   EXPECT_EQ(cache.Get(AttrSet::Single(0))->classes(), direct.classes());
+}
+
+TEST(EvalCacheTest, DegradesGracefullyUnderInjectedInsertFaults) {
+  const Dataset data = OmdbData(200);
+  EvalCache cache(data.rel);
+  // Every insert fails: the cache degrades to uncached builds but
+  // every Get still returns a correct partition.
+  ET_ASSERT_OK(FaultInjector::Global().Configure("cache.insert=fail%1.0"));
+  auto a = cache.Get(AttrSet::Single(0));
+  auto b = cache.Get(AttrSet::Single(1));
+  FaultInjector::Global().Disable();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_GE(cache.stats().degraded, 2u);
+  EXPECT_EQ(cache.stats().bytes, 0u);  // nothing was retained
+  const Partition direct = Partition::Build(data.rel, AttrSet::Single(0));
+  EXPECT_EQ(a->classes(), direct.classes());
+  // With faults gone, inserts work again and hits resume.
+  auto c = cache.Get(AttrSet::Single(0));
+  auto d = cache.Get(AttrSet::Single(0));
+  EXPECT_EQ(c.get(), d.get());
+  EXPECT_GT(cache.stats().hits, 0u);
+}
+
+TEST(EvalCacheTest, DegradesGracefullyUnderInjectedOom) {
+  const Dataset data = OmdbData(100);
+  EvalCache cache(data.rel);
+  ET_ASSERT_OK(FaultInjector::Global().Configure("cache.insert=oom@1"));
+  auto a = cache.Get(AttrSet::Single(0));
+  FaultInjector::Global().Disable();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->num_rows(), data.rel.num_rows());
+  EXPECT_GE(cache.stats().degraded, 1u);
 }
 
 TEST(EvalCacheTest, ClearDropsEntries) {

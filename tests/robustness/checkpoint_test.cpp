@@ -1,0 +1,141 @@
+#include "robustness/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "robustness/fault.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+BackoffOptions NoSleep() {
+  BackoffOptions options;
+  options.sleep = false;
+  return options;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/et_checkpoint_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().Disable();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, SaveLoadRoundTrip) {
+  CheckpointStore store(dir_, "run1", NoSleep());
+  ET_ASSERT_OK(store.Save("rep-0", "{\"x\":1}"));
+  Result<std::string> loaded = store.Load("rep-0");
+  ET_ASSERT_OK(loaded.status());
+  EXPECT_EQ(*loaded, "{\"x\":1}");
+}
+
+TEST_F(CheckpointTest, LoadMissingIsNotFound) {
+  CheckpointStore store(dir_, "run1", NoSleep());
+  EXPECT_TRUE(store.Load("nope").status().IsNotFound());
+  EXPECT_FALSE(store.Contains("nope"));
+}
+
+TEST_F(CheckpointTest, SaveOverwritesAtomically) {
+  CheckpointStore store(dir_, "run1", NoSleep());
+  ET_ASSERT_OK(store.Save("rep-0", "old"));
+  ET_ASSERT_OK(store.Save("rep-0", "new"));
+  EXPECT_EQ(*store.Load("rep-0"), "new");
+  // No stray tmp files left behind.
+  size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST_F(CheckpointTest, RunIdNamespacesFiles) {
+  CheckpointStore a(dir_, "run-a", NoSleep());
+  CheckpointStore b(dir_, "run-b", NoSleep());
+  ET_ASSERT_OK(a.Save("rep-0", "from-a"));
+  EXPECT_TRUE(b.Load("rep-0").status().IsNotFound());
+  ET_ASSERT_OK(b.Save("rep-0", "from-b"));
+  EXPECT_EQ(*a.Load("rep-0"), "from-a");
+  EXPECT_EQ(*b.Load("rep-0"), "from-b");
+}
+
+TEST_F(CheckpointTest, ListReturnsSortedNames) {
+  CheckpointStore store(dir_, "run1", NoSleep());
+  ET_ASSERT_OK(store.Save("rep-2", "c"));
+  ET_ASSERT_OK(store.Save("rep-0", "a"));
+  ET_ASSERT_OK(store.Save("rep-1", "b"));
+  const std::vector<std::string> names = store.List();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "rep-0");
+  EXPECT_EQ(names[1], "rep-1");
+  EXPECT_EQ(names[2], "rep-2");
+}
+
+TEST_F(CheckpointTest, RemoveIsIdempotent) {
+  CheckpointStore store(dir_, "run1", NoSleep());
+  ET_ASSERT_OK(store.Save("rep-0", "x"));
+  ET_ASSERT_OK(store.Remove("rep-0"));
+  ET_ASSERT_OK(store.Remove("rep-0"));
+  EXPECT_FALSE(store.Contains("rep-0"));
+}
+
+TEST_F(CheckpointTest, SaveRetriesInjectedWriteFaults) {
+  // The first two write attempts fail; backoff retries succeed on the
+  // third without surfacing an error to the caller.
+  ET_ASSERT_OK(
+      FaultInjector::Global().Configure("checkpoint.write=fail@1"));
+  BackoffOptions backoff = NoSleep();
+  backoff.max_attempts = 3;
+  CheckpointStore store(dir_, "run1", backoff);
+  ET_ASSERT_OK(store.Save("rep-0", "survived"));
+  FaultInjector::Global().Disable();
+  EXPECT_EQ(*store.Load("rep-0"), "survived");
+}
+
+TEST_F(CheckpointTest, SaveSurfacesExhaustedRetriesAsStatus) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure(
+      "checkpoint.write=fail%1.0"));  // every attempt fails
+  BackoffOptions backoff = NoSleep();
+  backoff.max_attempts = 2;
+  CheckpointStore store(dir_, "run1", backoff);
+  const Status status = store.Save("rep-0", "doomed");
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+}
+
+TEST(ConfigFingerprintTest, StableAndDiscriminating) {
+  const std::string a = ConfigFingerprint("dataset=omdb|seed=42");
+  EXPECT_EQ(a, ConfigFingerprint("dataset=omdb|seed=42"));
+  EXPECT_NE(a, ConfigFingerprint("dataset=omdb|seed=43"));
+  EXPECT_EQ(a.size(), 16u);  // 64-bit hex
+}
+
+TEST(AtomicWriteFileTest, CreatesParentDirectories) {
+  const std::string dir = ::testing::TempDir() + "/et_atomic_write_test";
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/nested/deep/file.json";
+  ET_ASSERT_OK(AtomicWriteFile(path, "payload"));
+  Result<std::string> read = ReadFileToString(path);
+  ET_ASSERT_OK(read.status());
+  EXPECT_EQ(*read, "payload");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ReadFileToStringTest, MissingFileIsRetryableIOError) {
+  const Result<std::string> read =
+      ReadFileToString("/nonexistent/et/file.json");
+  EXPECT_TRUE(read.status().IsIOError());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,146 @@
+#include "robustness/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <new>
+#include <string>
+
+#include "obs/metrics.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+/// Every test starts from and leaves a disabled process-wide injector
+/// (an ET_FAULT env plan may have armed it at first use).
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::Global().Disable(); }
+  void TearDown() override { FaultInjector::Global().Disable(); }
+};
+
+TEST_F(FaultInjectorTest, DisabledByDefaultAndHitsAreFree) {
+  FaultInjector::Global().Disable();
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+  ET_EXPECT_OK(FaultInjector::Global().Hit("csv.read"));
+}
+
+TEST_F(FaultInjectorTest, EmptyPlanDisables) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.read=fail@1"));
+  EXPECT_TRUE(FaultInjector::Global().enabled());
+  ET_ASSERT_OK(FaultInjector::Global().Configure(""));
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(FaultInjectorTest, TriggerCountFiresExactlyOnNthHit) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.read=fail@3"));
+  ET_EXPECT_OK(FaultInjector::Global().Hit("csv.read"));
+  ET_EXPECT_OK(FaultInjector::Global().Hit("csv.read"));
+  const Status third = FaultInjector::Global().Hit("csv.read");
+  EXPECT_TRUE(third.IsIOError()) << third.ToString();
+  ET_EXPECT_OK(FaultInjector::Global().Hit("csv.read"));
+
+  const FaultSiteStats stats =
+      FaultInjector::Global().SiteStats("csv.read");
+  EXPECT_EQ(stats.hits, 4u);
+  EXPECT_EQ(stats.fired, 1u);
+  EXPECT_EQ(FaultInjector::Global().TotalFired(), 1u);
+}
+
+TEST_F(FaultInjectorTest, BareModeFiresOnFirstHit) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("report.write=fail"));
+  EXPECT_TRUE(FaultInjector::Global().Hit("report.write").IsIOError());
+  ET_EXPECT_OK(FaultInjector::Global().Hit("report.write"));
+}
+
+TEST_F(FaultInjectorTest, UnlistedSitesNeverFire) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.read=fail@1"));
+  for (int i = 0; i < 100; ++i) {
+    ET_EXPECT_OK(FaultInjector::Global().Hit("cache.insert"));
+  }
+  EXPECT_EQ(FaultInjector::Global().SiteStats("cache.insert").fired, 0u);
+}
+
+TEST_F(FaultInjectorTest, ThrowModeThrowsInjectedFault) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("pool.task=throw@1"));
+  EXPECT_THROW(FaultInjector::Global().Hit("pool.task"), InjectedFault);
+}
+
+TEST_F(FaultInjectorTest, OomModeThrowsBadAlloc) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("cache.insert=oom@1"));
+  EXPECT_THROW(FaultInjector::Global().Hit("cache.insert"),
+               std::bad_alloc);
+}
+
+TEST_F(FaultInjectorTest, ProbabilisticTriggerIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    std::string plan = "exp.rep=fail%0.25;seed=" + std::to_string(seed);
+    EXPECT_TRUE(FaultInjector::Global().Configure(plan).ok());
+    std::string pattern;
+    for (int i = 0; i < 200; ++i) {
+      pattern += FaultInjector::Global().Hit("exp.rep").ok() ? '.' : 'X';
+    }
+    return pattern;
+  };
+  const std::string a = run(7);
+  const std::string b = run(7);
+  const std::string c = run(8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // astronomically unlikely to collide over 200 hits
+  // p = 0.25 over 200 hits: some fire, most do not.
+  const size_t fired = std::count(a.begin(), a.end(), 'X');
+  EXPECT_GT(fired, 10u);
+  EXPECT_LT(fired, 120u);
+}
+
+TEST_F(FaultInjectorTest, FiredFaultsIncrementMetricsCounters) {
+  auto& registry = obs::MetricsRegistry::Global();
+  const uint64_t site_before =
+      registry.GetCounter("fault.injected.csv.write").value();
+  const uint64_t total_before =
+      registry.GetCounter("fault.injected.total").value();
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.write=fail@1"));
+  EXPECT_TRUE(FaultInjector::Global().Hit("csv.write").IsIOError());
+  EXPECT_EQ(registry.GetCounter("fault.injected.csv.write").value(),
+            site_before + 1);
+  EXPECT_EQ(registry.GetCounter("fault.injected.total").value(),
+            total_before + 1);
+}
+
+TEST_F(FaultInjectorTest, ConfigureRejectsMalformedPlans) {
+  EXPECT_TRUE(
+      FaultInjector::Global().Configure("csv.read=explode@1").IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjector::Global().Configure("csv.read=fail%1.5").IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjector::Global().Configure("csv.read=fail@0").IsInvalidArgument());
+  EXPECT_TRUE(FaultInjector::Global()
+                  .Configure("a=fail@1;a=fail@2")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      FaultInjector::Global().Configure("noequals").IsInvalidArgument());
+  // A failed Configure leaves injection disabled.
+  EXPECT_FALSE(FaultInjector::Global().enabled());
+}
+
+TEST_F(FaultInjectorTest, ConfigureResetsHitCounters) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.read=fail@2"));
+  ET_EXPECT_OK(FaultInjector::Global().Hit("csv.read"));
+  ET_ASSERT_OK(FaultInjector::Global().Configure("csv.read=fail@2"));
+  ET_EXPECT_OK(FaultInjector::Global().Hit("csv.read"));
+  EXPECT_TRUE(FaultInjector::Global().Hit("csv.read").IsIOError());
+}
+
+TEST_F(FaultInjectorTest, FaultPointMacroReturnsStatusFromFunction) {
+  ET_ASSERT_OK(FaultInjector::Global().Configure("macro.site=fail@1"));
+  auto fn = []() -> Status {
+    ET_FAULT_POINT("macro.site");
+    return Status::OK();
+  };
+  EXPECT_TRUE(fn().IsIOError());
+  ET_EXPECT_OK(fn());
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,263 @@
+// Resume bit-identity: a run killed by an injected fault and resumed
+// from its checkpoints must produce results byte-identical to an
+// uninterrupted run — serially and at --threads=4.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "exp/convergence_experiment.h"
+#include "exp/exp_checkpoint.h"
+#include "exp/userstudy_experiment.h"
+#include "robustness/fault.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+/// Exact double comparison that treats NaN == NaN (bit pattern).
+uint64_t Bits(double v) {
+  uint64_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+void ExpectSameSeries(const std::vector<double>& a,
+                      const std::vector<double>& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Bits(a[i]), Bits(b[i])) << what << "[" << i << "]";
+  }
+}
+
+void ExpectSameResult(const ConvergenceResult& a,
+                      const ConvergenceResult& b) {
+  EXPECT_EQ(Bits(a.achieved_degree), Bits(b.achieved_degree));
+  ASSERT_EQ(a.methods.size(), b.methods.size());
+  for (size_t m = 0; m < a.methods.size(); ++m) {
+    EXPECT_EQ(a.methods[m].policy, b.methods[m].policy);
+    EXPECT_EQ(Bits(a.methods[m].initial_mae),
+              Bits(b.methods[m].initial_mae));
+    ExpectSameSeries(a.methods[m].mae, b.methods[m].mae, "mae");
+    ExpectSameSeries(a.methods[m].f1, b.methods[m].f1, "f1");
+    ExpectSameSeries(a.methods[m].final_mae_per_rep,
+                     b.methods[m].final_mae_per_rep, "final_mae");
+    ExpectSameSeries(a.methods[m].final_f1_per_rep,
+                     b.methods[m].final_f1_per_rep, "final_f1");
+  }
+}
+
+ConvergenceConfig SmallConfig() {
+  ConvergenceConfig config;
+  config.dataset = "omdb";
+  config.rows = 80;
+  config.iterations = 4;
+  config.repetitions = 3;
+  config.violation_degree = 0.10;
+  config.compute_f1 = true;
+  config.policies = {PolicyKind::kRandom, PolicyKind::kUncertainty};
+  return config;
+}
+
+class ResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/et_resume_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    FaultInjector::Global().Disable();
+    SetParallelism(0);
+    std::filesystem::remove_all(dir_);
+  }
+
+  /// Kills a checkpointed run via an injected repetition fault, then
+  /// resumes it; the resumed result must be bit-identical to an
+  /// uninterrupted run at the given thread count.
+  void RunKillResumeCompare(int threads) {
+    SetParallelism(threads);
+    const ConvergenceConfig baseline_config = SmallConfig();
+    auto baseline = RunConvergenceExperiment(baseline_config);
+    ET_ASSERT_OK(baseline.status());
+
+    ConvergenceConfig ckpt_config = SmallConfig();
+    ckpt_config.checkpoint_dir = dir_;
+    ET_ASSERT_OK(FaultInjector::Global().Configure("exp.rep=fail@2"));
+    auto killed = RunConvergenceExperiment(ckpt_config);
+    FaultInjector::Global().Disable();
+    ASSERT_FALSE(killed.ok());
+    EXPECT_TRUE(killed.status().IsIOError()) << killed.status().ToString();
+
+    ckpt_config.resume = true;
+    auto resumed = RunConvergenceExperiment(ckpt_config);
+    ET_ASSERT_OK(resumed.status());
+    ExpectSameResult(*baseline, *resumed);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(ResumeTest, KilledRunResumesBitIdenticalSerially) {
+  RunKillResumeCompare(1);
+}
+
+TEST_F(ResumeTest, KilledRunResumesBitIdenticalAtFourThreads) {
+  RunKillResumeCompare(4);
+}
+
+TEST_F(ResumeTest, CheckpointedRunWithoutInterruptionIsBitIdentical) {
+  auto baseline = RunConvergenceExperiment(SmallConfig());
+  ET_ASSERT_OK(baseline.status());
+
+  // Checkpoints written but never read.
+  ConvergenceConfig ckpt_config = SmallConfig();
+  ckpt_config.checkpoint_dir = dir_;
+  auto journaled = RunConvergenceExperiment(ckpt_config);
+  ET_ASSERT_OK(journaled.status());
+  ExpectSameResult(*baseline, *journaled);
+
+  // Full resume: every repetition replayed from its journal.
+  ckpt_config.resume = true;
+  auto resumed = RunConvergenceExperiment(ckpt_config);
+  ET_ASSERT_OK(resumed.status());
+  ExpectSameResult(*baseline, *resumed);
+}
+
+TEST_F(ResumeTest, ChangedConfigFindsNoCheckpoints) {
+  ConvergenceConfig config = SmallConfig();
+  config.checkpoint_dir = dir_;
+  ET_ASSERT_OK(RunConvergenceExperiment(config).status());
+
+  // A different seed fingerprints to a different run id: resume
+  // recomputes everything rather than loading the old journals.
+  config.resume = true;
+  config.seed += 1;
+  auto other = RunConvergenceExperiment(config);
+  ET_ASSERT_OK(other.status());
+
+  ConvergenceConfig plain = SmallConfig();
+  plain.seed += 1;
+  auto baseline = RunConvergenceExperiment(plain);
+  ET_ASSERT_OK(baseline.status());
+  ExpectSameResult(*baseline, *other);
+}
+
+TEST_F(ResumeTest, UserStudyScenarioResumeIsBitIdentical) {
+  UserStudyConfig small;
+  small.participants = 3;
+  small.instance.rows = 60;
+  small.instance.target_violations = 8;
+  auto baseline = RunUserStudy(small);
+  ET_ASSERT_OK(baseline.status());
+
+  UserStudyConfig ckpt = small;
+  ckpt.checkpoint_dir = dir_;
+  ET_ASSERT_OK(FaultInjector::Global().Configure("exp.scenario=fail@3"));
+  auto killed = RunUserStudy(ckpt);
+  FaultInjector::Global().Disable();
+  ASSERT_FALSE(killed.ok());
+
+  ckpt.resume = true;
+  auto resumed = RunUserStudy(ckpt);
+  ET_ASSERT_OK(resumed.status());
+
+  ASSERT_EQ(baseline->fig2.size(), resumed->fig2.size());
+  for (size_t i = 0; i < baseline->fig2.size(); ++i) {
+    EXPECT_EQ(baseline->fig2[i].scenario_id, resumed->fig2[i].scenario_id);
+    EXPECT_EQ(baseline->fig2[i].model, resumed->fig2[i].model);
+    EXPECT_EQ(Bits(baseline->fig2[i].mrr), Bits(resumed->fig2[i].mrr));
+    EXPECT_EQ(Bits(baseline->fig2[i].mrr_plus),
+              Bits(resumed->fig2[i].mrr_plus));
+    EXPECT_EQ(baseline->fig2[i].sessions, resumed->fig2[i].sessions);
+  }
+  ASSERT_EQ(baseline->table3.size(), resumed->table3.size());
+  for (size_t i = 0; i < baseline->table3.size(); ++i) {
+    EXPECT_EQ(baseline->table3[i].scenario_id,
+              resumed->table3[i].scenario_id);
+    EXPECT_EQ(Bits(baseline->table3[i].avg_f1_change),
+              Bits(resumed->table3[i].avg_f1_change));
+  }
+}
+
+TEST(ExpCheckpointCodecTest, ConvergenceRepRoundTripsExactly) {
+  ConvergenceRepCheckpoint rep;
+  rep.rep = 7;
+  rep.rep_seed = 0xFFFFFFFFFFFFFFFFULL;  // beyond double's exact range
+  rep.degree = 0.1234567890123456789;
+  rep.rng_state = {1ULL, 0ULL, 0x8000000000000000ULL,
+                   0xDEADBEEFCAFEF00DULL};
+  ConvergenceCellCheckpoint cell;
+  cell.policy = "Random";
+  cell.mae_series = {0.25, 1.0 / 3.0, std::nan("")};
+  cell.f1_series = {};
+  cell.initial_mae = 0.75;
+  cell.final_mae = std::nan("");
+  cell.final_f1 = 0.5;
+  cell.trainer_alpha = {1.5, 2.25};
+  cell.trainer_beta = {3.125, 4.0625};
+  cell.learner_alpha = {5.0};
+  cell.learner_beta = {6.0};
+  rep.cells.push_back(cell);
+
+  const std::string json = EncodeConvergenceRep(rep, "fp16hexfp16hexfp");
+  Result<ConvergenceRepCheckpoint> decoded =
+      DecodeConvergenceRep(json, "fp16hexfp16hexfp");
+  ET_ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->rep, rep.rep);
+  EXPECT_EQ(decoded->rep_seed, rep.rep_seed);
+  EXPECT_EQ(Bits(decoded->degree), Bits(rep.degree));
+  EXPECT_EQ(decoded->rng_state, rep.rng_state);
+  ASSERT_EQ(decoded->cells.size(), 1u);
+  const ConvergenceCellCheckpoint& got = decoded->cells[0];
+  EXPECT_EQ(got.policy, "Random");
+  ExpectSameSeries(got.mae_series, cell.mae_series, "mae");
+  EXPECT_TRUE(got.f1_series.empty());
+  EXPECT_EQ(Bits(got.initial_mae), Bits(cell.initial_mae));
+  EXPECT_TRUE(std::isnan(got.final_mae));
+  EXPECT_EQ(Bits(got.final_f1), Bits(cell.final_f1));
+  ExpectSameSeries(got.trainer_alpha, cell.trainer_alpha, "ta");
+  ExpectSameSeries(got.learner_beta, cell.learner_beta, "lb");
+}
+
+TEST(ExpCheckpointCodecTest, FingerprintMismatchIsRejected) {
+  ConvergenceRepCheckpoint rep;
+  const std::string json = EncodeConvergenceRep(rep, "aaaa");
+  EXPECT_TRUE(
+      DecodeConvergenceRep(json, "bbbb").status().IsInvalidArgument());
+}
+
+TEST(ExpCheckpointCodecTest, TornPayloadIsIOError) {
+  ConvergenceRepCheckpoint rep;
+  std::string json = EncodeConvergenceRep(rep, "aaaa");
+  json.resize(json.size() / 2);
+  const Status status = DecodeConvergenceRep(json, "aaaa").status();
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(ExpCheckpointCodecTest, UserStudyScenarioRoundTrips) {
+  UserStudyScenarioCheckpoint sc;
+  sc.scenario_id = 3;
+  sc.avg_f1_change = 0.015625;
+  sc.scores.push_back({"Bayesian(FP)", 0.5, 2.0 / 3.0, 20});
+  sc.scores.push_back({"HypothesisTesting", std::nan(""), 0.25, 20});
+  const std::string json = EncodeUserStudyScenario(sc, "fp");
+  Result<UserStudyScenarioCheckpoint> decoded =
+      DecodeUserStudyScenario(json, "fp");
+  ET_ASSERT_OK(decoded.status());
+  EXPECT_EQ(decoded->scenario_id, 3);
+  EXPECT_EQ(Bits(decoded->avg_f1_change), Bits(sc.avg_f1_change));
+  ASSERT_EQ(decoded->scores.size(), 2u);
+  EXPECT_EQ(decoded->scores[0].model, "Bayesian(FP)");
+  EXPECT_EQ(Bits(decoded->scores[1].mrr), Bits(sc.scores[1].mrr));
+  EXPECT_EQ(decoded->scores[1].sessions, 20u);
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,148 @@
+#include "robustness/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+BackoffOptions NoSleep() {
+  BackoffOptions options;
+  options.sleep = false;
+  return options;
+}
+
+TEST(RetryTest, FirstTrySuccessDoesNotBackOff) {
+  int calls = 0;
+  std::vector<double> delays;
+  ET_EXPECT_OK(RetryWithBackoff(
+      "noop",
+      [&] {
+        ++calls;
+        return Status::OK();
+      },
+      NoSleep(), &delays));
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(delays.empty());
+}
+
+TEST(RetryTest, RecoversFromTransientFailures) {
+  int calls = 0;
+  std::vector<double> delays;
+  ET_EXPECT_OK(RetryWithBackoff(
+      "flaky",
+      [&] {
+        ++calls;
+        return calls < 3 ? Status::IOError("transient") : Status::OK();
+      },
+      NoSleep(), &delays));
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(delays.size(), 2u);
+}
+
+TEST(RetryTest, NonRetryableErrorFailsFast) {
+  int calls = 0;
+  const Status status = RetryWithBackoff(
+      "fatal",
+      [&] {
+        ++calls;
+        return Status::InvalidArgument("bad input");
+      },
+      NoSleep());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryTest, ExhaustsAfterMaxAttempts) {
+  BackoffOptions options = NoSleep();
+  options.max_attempts = 3;
+  int calls = 0;
+  const Status status = RetryWithBackoff(
+      "always-failing",
+      [&] {
+        ++calls;
+        return Status::IOError("still broken");
+      },
+      options);
+  EXPECT_TRUE(status.IsIOError());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, DelaysAreDeterministicPerSeedAndName) {
+  BackoffOptions options = NoSleep();
+  options.max_attempts = 4;
+  options.seed = 99;
+  auto record = [&options](std::string_view what) {
+    std::vector<double> delays;
+    const Status ignored = RetryWithBackoff(
+        what, [] { return Status::IOError("x"); }, options, &delays);
+    (void)ignored;
+    return delays;
+  };
+  EXPECT_EQ(record("op-a"), record("op-a"));
+  EXPECT_NE(record("op-a"), record("op-b"));
+}
+
+TEST(RetryTest, DelaysGrowExponentiallyAndAreCapped) {
+  BackoffOptions options = NoSleep();
+  options.max_attempts = 6;
+  options.initial_delay_ms = 10.0;
+  options.multiplier = 10.0;
+  options.max_delay_ms = 200.0;
+  options.jitter = 0.0;  // exact delays
+  std::vector<double> delays;
+  const Status ignored = RetryWithBackoff(
+      "capped", [] { return Status::IOError("x"); }, options, &delays);
+  (void)ignored;
+  ASSERT_EQ(delays.size(), 5u);
+  EXPECT_DOUBLE_EQ(delays[0], 10.0);
+  EXPECT_DOUBLE_EQ(delays[1], 100.0);
+  EXPECT_DOUBLE_EQ(delays[2], 200.0);  // capped from 1000
+  EXPECT_DOUBLE_EQ(delays[3], 200.0);
+  EXPECT_DOUBLE_EQ(delays[4], 200.0);
+}
+
+TEST(RetryTest, JitterStaysWithinConfiguredBand) {
+  BackoffOptions options = NoSleep();
+  options.max_attempts = 2;
+  options.initial_delay_ms = 100.0;
+  options.jitter = 0.5;
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    options.seed = seed;
+    std::vector<double> delays;
+    const Status ignored = RetryWithBackoff(
+        "jittered", [] { return Status::IOError("x"); }, options, &delays);
+    (void)ignored;
+    ASSERT_EQ(delays.size(), 1u);
+    EXPECT_GE(delays[0], 50.0);
+    EXPECT_LT(delays[0], 150.0);
+  }
+}
+
+TEST(RetryTest, ResultFlavourReturnsSuccessfulValue) {
+  int calls = 0;
+  Result<int> result = RetryResultWithBackoff<int>(
+      "value-op",
+      [&]() -> Result<int> {
+        ++calls;
+        if (calls < 2) return Status::IOError("transient");
+        return 42;
+      },
+      NoSleep());
+  ET_ASSERT_OK(result.status());
+  EXPECT_EQ(*result, 42);
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(RetryTest, IsRetryableStatusClassification) {
+  EXPECT_TRUE(IsRetryableStatus(Status::IOError("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::OK()));
+  EXPECT_FALSE(IsRetryableStatus(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetryableStatus(Status::DeadlineExceeded("x")));
+}
+
+}  // namespace
+}  // namespace et

@@ -1,0 +1,57 @@
+#include "robustness/watchdog.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace {
+
+TEST(WatchdogTest, DisabledWatchdogNeverExpires) {
+  Watchdog watchdog(0.0);
+  EXPECT_FALSE(watchdog.enabled());
+  watchdog.ForceExpireForTest();  // even forced expiry is ignored
+  EXPECT_FALSE(watchdog.expired());
+  ET_EXPECT_OK(watchdog.Check("disabled run"));
+}
+
+TEST(WatchdogTest, GenerousDeadlineStaysOk) {
+  Watchdog watchdog(1e9);
+  EXPECT_TRUE(watchdog.enabled());
+  EXPECT_FALSE(watchdog.expired());
+  ET_EXPECT_OK(watchdog.Check("fast run"));
+}
+
+TEST(WatchdogTest, ForcedExpiryReturnsDeadlineExceeded) {
+  Watchdog watchdog(1e9);
+  watchdog.ForceExpireForTest();
+  EXPECT_TRUE(watchdog.expired());
+  const Status status = watchdog.Check("stuck repetition");
+  EXPECT_TRUE(status.IsDeadlineExceeded()) << status.ToString();
+  EXPECT_NE(status.message().find("stuck repetition"), std::string::npos);
+}
+
+TEST(WatchdogTest, ExpiryIsStickyAndCountedOnce) {
+  auto& counter = obs::MetricsRegistry::Global().GetCounter(
+      "robustness.watchdog.expired");
+  const uint64_t before = counter.value();
+  Watchdog watchdog(1e9);
+  watchdog.ForceExpireForTest();
+  EXPECT_TRUE(watchdog.Check("rep").IsDeadlineExceeded());
+  EXPECT_TRUE(watchdog.Check("rep").IsDeadlineExceeded());
+  EXPECT_TRUE(watchdog.Check("rep").IsDeadlineExceeded());
+  EXPECT_EQ(counter.value(), before + 1);
+}
+
+TEST(WatchdogTest, TinyDeadlineExpiresByClock) {
+  Watchdog watchdog(1e-6);
+  // A sub-microsecond budget is over by the time we can poll it.
+  while (!watchdog.expired()) {
+  }
+  EXPECT_TRUE(watchdog.Check("tiny budget").IsDeadlineExceeded());
+  EXPECT_GT(watchdog.elapsed_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace et

@@ -29,6 +29,7 @@
 #include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "robustness/fault.h"
 
 namespace {
 
@@ -152,9 +153,19 @@ int RunConvergence(const Flags& flags) {
   config.policies = ParsePolicies(flags.GetString("policies", "all"));
   config.hypothesis_cap =
       static_cast<size_t>(flags.GetInt("hypotheses", 38));
+  config.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  config.resume = flags.GetBool("resume");
+  config.rep_deadline_ms = flags.GetDouble("rep-deadline-ms", 0.0);
 
   auto result = RunConvergenceExperiment(config);
-  ET_CHECK_OK(result.status());
+  if (!result.ok()) {
+    // Experiment failures (I/O, injected faults, deadlines) are
+    // expected operational outcomes, not programmer errors: report and
+    // exit nonzero so a wrapper can resume from the checkpoints.
+    std::fprintf(stderr, "convergence experiment failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
 
   std::vector<std::string> headers = {"iter"};
   for (const MethodSeries& m : result->methods) {
@@ -180,7 +191,12 @@ int RunConvergence(const Flags& flags) {
 
   const std::string csv_path = flags.GetString("csv", "");
   if (!csv_path.empty()) {
-    ET_CHECK_OK(WriteCsv(csv_path, headers, csv_rows));
+    const Status st = WriteCsv(csv_path, headers, csv_rows);
+    if (!st.ok()) {
+      std::fprintf(stderr, "report write failed: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
     std::printf("wrote %s\n", csv_path.c_str());
   }
   return 0;
@@ -195,9 +211,17 @@ int RunUserStudyCmd(const Flags& flags) {
       static_cast<size_t>(flags.GetInt("violations", 25));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
   config.include_model_free = flags.GetBool("model-free");
+  config.checkpoint_dir = flags.GetString("checkpoint-dir", "");
+  config.resume = flags.GetBool("resume");
+  config.scenario_deadline_ms =
+      flags.GetDouble("scenario-deadline-ms", 0.0);
 
   auto result = RunUserStudy(config);
-  ET_CHECK_OK(result.status());
+  if (!result.ok()) {
+    std::fprintf(stderr, "user study failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
 
   TableReporter fig2({"scenario", "model", "MRR", "MRR+"});
   for (const ModelScenarioScore& s : result->fig2) {
@@ -224,12 +248,19 @@ void Usage() {
       "  convergence: --dataset --rows --degree --trainer-prior\n"
       "               --learner-prior --iterations --pairs --reps\n"
       "               --gamma --seed --f1 --policies --csv\n"
+      "               --rep-deadline-ms=MS (per-repetition watchdog)\n"
       "  userstudy:   --participants --rows --violations --seed\n"
       "               --model-free\n"
+      "               --scenario-deadline-ms=MS (watchdog)\n"
       "  both:        --threads=N (worker threads; 0 = all cores;\n"
       "               default: ET_THREADS env, else all cores)\n"
       "               --trace-out=FILE (Chrome-trace JSON)\n"
-      "               --metrics-out=FILE (metrics manifest JSON)\n");
+      "               --metrics-out=FILE (metrics manifest JSON)\n"
+      "               --checkpoint-dir=DIR (journal per-unit results)\n"
+      "               --resume (reuse matching checkpoints in DIR)\n"
+      "               --fault=PLAN (fault injection, overrides the\n"
+      "               ET_FAULT env var; e.g. 'seed=1;csv.read=fail@3;\n"
+      "               pool.task=throw%%0.01')\n");
 }
 
 }  // namespace
@@ -243,6 +274,18 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 2);
   const long long threads = flags.GetInt("threads", -1);
   if (threads >= 0) SetParallelism(static_cast<int>(threads));
+  {
+    // --fault wins over ET_FAULT; both are parsed before any work so a
+    // bad plan is a usage error, not a mid-run surprise.
+    const std::string fault_plan = flags.GetString("fault", "");
+    const Status st = fault_plan.empty()
+                          ? FaultInjector::Global().ConfigureFromEnv()
+                          : FaultInjector::Global().Configure(fault_plan);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad fault plan: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
   const std::string trace_out = flags.GetString("trace-out", "");
   const std::string metrics_out = flags.GetString("metrics-out", "");
   if (!trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
