@@ -28,6 +28,10 @@ enum class StatusCode : int {
   kInternal = 7,
   kNotImplemented = 8,
   kDeadlineExceeded = 9,
+  /// Transient overload: the operation was rejected before doing any
+  /// work and is safe to retry (the serving layer's backpressure
+  /// signal, carried to clients with a retry-after hint).
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -72,6 +76,9 @@ class Status {
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -90,6 +97,7 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code_ == StatusCode::kDeadlineExceeded;
   }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

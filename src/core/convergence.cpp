@@ -1,6 +1,8 @@
 #include "core/convergence.h"
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -20,14 +22,26 @@ double EmpiricalFrequency::Frequency(size_t action_id) const {
 
 double EmpiricalFrequency::L1Distance(
     const EmpiricalFrequency& other) const {
-  double d = 0.0;
+  // Summed over the sorted union of supports: float addition is not
+  // associative, so summing in unordered_map iteration order would make
+  // the result depend on each map's insertion history — and a tracker
+  // restored from a snapshot (counts reinserted in sorted order) would
+  // drift from the original by ulps. Sorted order is layout-independent,
+  // which the session snapshot/restore bit-identity guarantee needs.
+  std::vector<size_t> ids;
+  ids.reserve(counts_.size() + other.counts_.size());
   for (const auto& [id, cnt] : counts_) {
     (void)cnt;
-    d += std::fabs(Frequency(id) - other.Frequency(id));
+    ids.push_back(id);
   }
   for (const auto& [id, cnt] : other.counts_) {
     (void)cnt;
-    if (!counts_.count(id)) d += other.Frequency(id);
+    if (!counts_.count(id)) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  double d = 0.0;
+  for (size_t id : ids) {
+    d += std::fabs(Frequency(id) - other.Frequency(id));
   }
   return d;
 }

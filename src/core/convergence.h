@@ -12,6 +12,7 @@
 
 #include <cstddef>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace et {
@@ -35,10 +36,31 @@ class EmpiricalFrequency {
   /// A copy of the current distribution (action -> frequency).
   std::unordered_map<size_t, double> Distribution() const;
 
+  /// Raw occurrence counts (action -> count); with total(), the full
+  /// state of the distribution — what session snapshots persist.
+  const std::unordered_map<size_t, size_t>& counts() const {
+    return counts_;
+  }
+
+  /// Replaces the distribution with previously captured counts.
+  void Restore(std::unordered_map<size_t, size_t> counts, size_t total) {
+    counts_ = std::move(counts);
+    total_ = total;
+  }
+
  private:
   std::unordered_map<size_t, size_t> counts_;
   size_t total_ = 0;
 };
+
+/// Action id of a labeled row pair, as recorded in the learner's
+/// empirical behaviour Phi_t^L. Row ids fit comfortably in 20 bits for
+/// every dataset the harness generates, so the xor-fold is injective in
+/// practice; the one id scheme is shared by the offline game loop and
+/// the serving layer so their drift series agree bit-for-bit.
+inline size_t PairActionId(int first, int second) {
+  return (static_cast<size_t>(first) << 20) ^ static_cast<size_t>(second);
+}
 
 /// Detects stabilization of a scalar series (e.g. the MAE curve or the
 /// drift of Phi_t): converged when every successive difference within
@@ -60,6 +82,14 @@ class ConvergenceTracker {
   /// Empirical behaviour converged: trailing drifts all below tol.
   bool Converged(size_t window, double tolerance) const {
     return SeriesConverged(drift_, window, tolerance);
+  }
+
+  /// Replaces the tracker's full state (frequency counts + drift
+  /// series), for session restore.
+  void Restore(std::unordered_map<size_t, size_t> counts, size_t total,
+               std::vector<double> drift) {
+    freq_.Restore(std::move(counts), total);
+    drift_ = std::move(drift);
   }
 
  private:

@@ -83,8 +83,7 @@ Result<GameResult> Game::Run(const IterationCallback& callback) {
     std::vector<size_t> pair_ids;
     pair_ids.reserve(pairs.size());
     for (const RowPair& p : pairs) {
-      pair_ids.push_back((static_cast<size_t>(p.first) << 20) ^
-                         static_cast<size_t>(p.second));
+      pair_ids.push_back(PairActionId(p.first, p.second));
     }
     rec.learner_drift = learner_track.RecordIteration(pair_ids);
 

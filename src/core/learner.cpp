@@ -124,6 +124,38 @@ void Learner::Consume(const Relation& rel,
   last_revisited_.clear();
 }
 
+LearnerMemento Learner::SaveMemento() const {
+  LearnerMemento m;
+  m.alpha.reserve(belief_.size());
+  m.beta.reserve(belief_.size());
+  for (size_t i = 0; i < belief_.size(); ++i) {
+    m.alpha.push_back(belief_.beta(i).alpha());
+    m.beta.push_back(belief_.beta(i).beta());
+  }
+  m.rng_state = rng_.SaveState();
+  m.shown.assign(shown_.begin(), shown_.end());
+  std::sort(m.shown.begin(), m.shown.end());
+  return m;
+}
+
+Status Learner::RestoreMemento(const LearnerMemento& memento) {
+  if (memento.alpha.size() != belief_.size() ||
+      memento.beta.size() != belief_.size()) {
+    return Status::InvalidArgument(
+        "learner memento holds " + std::to_string(memento.alpha.size()) +
+        " FDs, belief has " + std::to_string(belief_.size()));
+  }
+  for (size_t i = 0; i < belief_.size(); ++i) {
+    belief_.beta(i) = Beta(memento.alpha[i], memento.beta[i]);
+  }
+  rng_.RestoreState(memento.rng_state);
+  shown_.clear();
+  shown_.insert(memento.shown.begin(), memento.shown.end());
+  last_revisited_.clear();
+  previous_label_.clear();
+  return Status::OK();
+}
+
 std::vector<double> Learner::CurrentDistribution(
     const Relation& rel) const {
   return policy_->Distribution(belief_, rel, FreshCandidates());

@@ -8,6 +8,7 @@
 #ifndef ET_CORE_LEARNER_H_
 #define ET_CORE_LEARNER_H_
 
+#include <array>
 #include <memory>
 #include <unordered_map>
 #include <unordered_set>
@@ -43,6 +44,19 @@ struct LearnerOptions {
   double forgetting_factor = 1.0;
 };
 
+/// The learner's resumable state: belief pseudo-counts (space order),
+/// policy RNG stream, and the shown-pair set. Captures everything the
+/// fresh-examples-only protocol (revisit_fraction == 0, the serving
+/// configuration) evolves at runtime; the hypothesis space, pool, and
+/// options are reconstructed deterministically from the session config
+/// instead of being persisted.
+struct LearnerMemento {
+  std::vector<double> alpha;  // Beta alpha per FD, space order
+  std::vector<double> beta;   // Beta beta per FD, space order
+  std::array<uint64_t, 4> rng_state{};
+  std::vector<RowPair> shown;  // sorted for stable serialization
+};
+
 class Learner {
  public:
   Learner(BeliefModel prior, std::unique_ptr<ResponsePolicy> policy,
@@ -70,6 +84,17 @@ class Learner {
   const BeliefModel& belief() const { return belief_; }
   const ResponsePolicy& policy() const { return *policy_; }
   size_t fresh_pool_size() const;
+
+  /// Captures the resumable state (belief, RNG, shown pairs). Restoring
+  /// the memento into a freshly constructed Learner with the same
+  /// space/pool/policy resumes the stream bit-identically. Only valid
+  /// for the fresh-examples-only protocol (revisit_fraction == 0):
+  /// relabeling bookkeeping is not captured.
+  LearnerMemento SaveMemento() const;
+
+  /// Installs a memento captured by SaveMemento. Fails when the belief
+  /// sizes disagree (memento from a different hypothesis space).
+  Status RestoreMemento(const LearnerMemento& memento);
 
  private:
   std::vector<RowPair> FreshCandidates() const;

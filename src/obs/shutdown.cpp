@@ -1,0 +1,84 @@
+#include "obs/shutdown.h"
+
+#include <atomic>
+#include <csignal>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/manifest.h"
+#include "obs/trace.h"
+
+namespace et {
+namespace obs {
+namespace {
+
+/// Leaked: the handler may run during static destruction.
+struct ShutdownState {
+  std::mutex mu;
+  ShutdownFlushConfig config;
+  std::atomic<bool> installed{false};
+  std::atomic<bool> flushed{false};
+
+  static ShutdownState& Global() {
+    static ShutdownState* state = new ShutdownState();
+    return *state;
+  }
+};
+
+extern "C" void HandleShutdownSignal(int sig) {
+  FlushObsNow();
+  // Restore the default disposition and re-deliver so the parent sees
+  // an honest killed-by-signal exit status, not a fake success.
+  std::signal(sig, SIG_DFL);
+  std::raise(sig);
+}
+
+}  // namespace
+
+void InstallShutdownFlush(ShutdownFlushConfig config) {
+  ShutdownState& state = ShutdownState::Global();
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    state.config = std::move(config);
+  }
+  if (!state.installed.exchange(true)) {
+    std::signal(SIGINT, HandleShutdownSignal);
+    std::signal(SIGTERM, HandleShutdownSignal);
+  }
+}
+
+bool FlushObsNow() {
+  ShutdownState& state = ShutdownState::Global();
+  if (state.flushed.exchange(true)) return false;
+  ShutdownFlushConfig config;
+  {
+    std::lock_guard<std::mutex> lock(state.mu);
+    config = state.config;
+  }
+  if (!config.trace_path.empty() && TracingActive()) {
+    const Status st = StopTracingAndWrite(config.trace_path);
+    if (!st.ok()) {
+      ET_LOG(Warn) << "shutdown trace flush failed: " << st.ToString();
+    }
+  }
+  if (!config.metrics_path.empty()) {
+    RunInfo info;
+    info.tool = config.tool;
+    info.config = config.config;
+    const Status st = WriteRunManifest(config.metrics_path, info);
+    if (!st.ok()) {
+      ET_LOG(Warn) << "shutdown manifest flush failed: " << st.ToString();
+    }
+  }
+  return true;
+}
+
+void ResetShutdownFlushForTest() {
+  ShutdownState& state = ShutdownState::Global();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.config = ShutdownFlushConfig();
+  state.flushed.store(false);
+}
+
+}  // namespace obs
+}  // namespace et

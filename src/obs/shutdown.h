@@ -1,0 +1,58 @@
+// Flush-on-signal for long-running tools.
+//
+// Batch tools write their run manifest at the end of main(); a run
+// killed by SIGINT/SIGTERM (CI fault matrix, operator Ctrl-C, container
+// shutdown) used to die with an empty metrics file and a lost trace
+// buffer. InstallShutdownFlush registers handlers that drain the obs
+// registry — manifest to the metrics path, active trace session to the
+// trace path — exactly once, then re-raise the signal with its default
+// disposition so the exit status still reports death-by-signal.
+//
+// The flush allocates and takes locks, which is formally outside the
+// async-signal-safe set. That is a deliberate trade: the process is
+// about to die anyway, the once-guard prevents re-entry, and the
+// alternative is always losing the manifest. Tools that also flush on
+// the normal exit path share the same guard via FlushObsNow(), so a
+// signal racing a clean shutdown never writes twice.
+
+#ifndef ET_OBS_SHUTDOWN_H_
+#define ET_OBS_SHUTDOWN_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace et {
+namespace obs {
+
+/// What to drain when the process is told to die.
+struct ShutdownFlushConfig {
+  /// Producing binary, recorded in the manifest ("et_serve", ...).
+  std::string tool;
+  /// Manifest destination; empty skips the manifest.
+  std::string metrics_path;
+  /// Chrome-trace destination; empty (or no active trace session)
+  /// skips the trace.
+  std::string trace_path;
+  /// Flat run configuration echoed into the manifest.
+  std::vector<std::pair<std::string, std::string>> config;
+};
+
+/// Installs SIGINT/SIGTERM handlers that FlushObsNow() and re-raise.
+/// Call once, after flag parsing (the config snapshot is what the
+/// handler writes). Later calls replace the config.
+void InstallShutdownFlush(ShutdownFlushConfig config);
+
+/// Drains the registry per the installed config. Idempotent: the first
+/// caller (signal handler or normal exit path) wins; returns whether
+/// this call performed the flush.
+bool FlushObsNow();
+
+/// Re-arms the once-guard and clears the config (unit tests only;
+/// signal handlers stay installed).
+void ResetShutdownFlushForTest();
+
+}  // namespace obs
+}  // namespace et
+
+#endif  // ET_OBS_SHUTDOWN_H_

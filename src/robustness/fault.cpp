@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 #include <new>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -49,7 +50,34 @@ const char* ModeName(FaultMode mode) {
   return "?";
 }
 
+/// Site-name registry. A leaked singleton for the same reason as the
+/// injector: ET_FAULT_POINT statics may register during static init and
+/// sites may execute during static destruction.
+struct SiteRegistry {
+  std::mutex mu;
+  std::set<std::string> names;
+
+  static SiteRegistry& Global() {
+    static SiteRegistry* registry = new SiteRegistry();
+    return *registry;
+  }
+};
+
 }  // namespace
+
+const char* RegisterFaultSite(const char* site) {
+  SiteRegistry& registry = SiteRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.names.insert(site);
+  return site;
+}
+
+std::vector<std::string> KnownFaultSites() {
+  SiteRegistry& registry = SiteRegistry::Global();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  return std::vector<std::string>(registry.names.begin(),
+                                  registry.names.end());
+}
 
 struct FaultInjector::Site {
   FaultMode mode = FaultMode::kFail;
@@ -166,6 +194,7 @@ Status FaultInjector::Configure(const std::string& plan_text) {
   // Faults inside pool tasks must not kill workers or callers: the hook
   // raises them inside the chunk body, where the pool's containment
   // (and TryParallelFor at the harness boundary) turns them into Status.
+  RegisterFaultSite("pool.task");
   SetParallelChunkHook([] {
     Status st = FaultInjector::Global().Hit("pool.task");
     if (!st.ok()) throw InjectedFault(st.message());

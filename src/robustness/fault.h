@@ -42,6 +42,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 
@@ -60,6 +61,20 @@ struct FaultSiteStats {
   uint64_t hits = 0;
   uint64_t fired = 0;
 };
+
+/// Adds `site` to the process-wide site registry and returns it
+/// unchanged. Sites self-register the first time their ET_FAULT_POINT
+/// executes; subsystems that want their sites discoverable before any
+/// traffic (e.g. `et_serve --list-fault-sites`) call this eagerly at
+/// startup. Registering the same name twice is a no-op. The registry is
+/// purely informational — firing behavior depends only on the plan, so
+/// unregistered sites in a plan still work.
+const char* RegisterFaultSite(const char* site);
+
+/// All site names registered so far, sorted. A plan may also name sites
+/// that have not (yet) executed; this lists the ones the binary has
+/// declared, for discovery and plan validation by tools.
+std::vector<std::string> KnownFaultSites();
 
 class FaultInjector {
  public:
@@ -110,13 +125,17 @@ class FaultInjector {
 /// Declares a named fault site in a function returning Status or
 /// Result<T>: a `fail`-mode fault becomes the function's error return,
 /// `throw`/`oom` modes propagate as exceptions for the enclosing
-/// containment layer (pool, cache) to absorb.
-#define ET_FAULT_POINT(site)                                          \
-  do {                                                                \
-    if (::et::FaultInjector::Global().enabled()) {                    \
-      ::et::Status _et_fault = ::et::FaultInjector::Global().Hit(site); \
-      if (!_et_fault.ok()) return _et_fault;                          \
-    }                                                                 \
+/// containment layer (pool, cache) to absorb. The site name
+/// self-registers (once, on first execution) so tools can enumerate the
+/// binary's sites via KnownFaultSites().
+#define ET_FAULT_POINT(site)                                            \
+  do {                                                                  \
+    static const char* _et_fault_site = ::et::RegisterFaultSite(site);  \
+    if (::et::FaultInjector::Global().enabled()) {                      \
+      ::et::Status _et_fault =                                          \
+          ::et::FaultInjector::Global().Hit(_et_fault_site);            \
+      if (!_et_fault.ok()) return _et_fault;                            \
+    }                                                                   \
   } while (0)
 
 #endif  // ET_ROBUSTNESS_FAULT_H_

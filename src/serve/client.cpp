@@ -1,0 +1,114 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace et {
+namespace serve {
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, int port, const ClientOptions& options) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IOError(std::string("connect ") + host + ":" +
+                                      std::to_string(port) + ": " +
+                                      std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  const int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd, options));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::WriteAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("write: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::ReadResponse(uint64_t id) {
+  char buf[65536];
+  for (;;) {
+    // Drain already-buffered frames first (a previous request's
+    // abandoned late responses, if any, are skipped here).
+    while (!buffered_.empty()) {
+      const std::string payload = std::move(buffered_.front());
+      buffered_.erase(buffered_.begin());
+      ET_ASSIGN_OR_RETURN(Response response, ParseResponse(payload));
+      if (response.id == id) return response;
+    }
+    const ssize_t n = read(fd_, buf, sizeof(buf));
+    if (n > 0) {
+      ET_RETURN_NOT_OK(
+          parser_.Feed(buf, static_cast<size_t>(n), &buffered_));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("read: ") + std::strerror(errno));
+  }
+}
+
+Result<obs::JsonValue> Client::Call(const std::string& method,
+                                    const std::string& params_json) {
+  for (size_t attempt = 0;; ++attempt) {
+    const uint64_t id = next_id_++;
+    std::string payload = "{\"id\":" + std::to_string(id) +
+                          ",\"method\":\"" +
+                          obs::JsonWriter::Escape(method) + "\"";
+    if (!params_json.empty()) {
+      payload += ",\"params\":" + params_json;
+    }
+    payload += "}";
+    ET_RETURN_NOT_OK(WriteAll(EncodeFrame(payload)));
+    ET_ASSIGN_OR_RETURN(Response response, ReadResponse(id));
+    if (response.ok) return std::move(response.result);
+    if (response.code == StatusCode::kUnavailable &&
+        attempt < options_.max_unavailable_retries) {
+      ++unavailable_retries_;
+      const double backoff_ms =
+          std::max(response.retry_after_ms, options_.min_retry_backoff_ms);
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<int64_t>(backoff_ms * 1e3)));
+      continue;  // fresh id; the rejected request changed no state
+    }
+    return Status(response.code, response.message);
+  }
+}
+
+}  // namespace serve
+}  // namespace et

@@ -1,0 +1,72 @@
+// Blocking client for the annotation-session service.
+//
+// One connection, synchronous request/response: Call() frames the
+// request, writes it, and reads frames until the response with the
+// matching id arrives. kUnavailable responses (backpressure, injected
+// transient faults) are retried automatically with a fresh request id,
+// honoring the server's retry_after_ms hint — per the protocol contract
+// they were rejected before any state change, so the retry is safe.
+
+#ifndef ET_SERVE_CLIENT_H_
+#define ET_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace et {
+namespace serve {
+
+struct ClientOptions {
+  /// Give up on a request after this many kUnavailable rejections.
+  size_t max_unavailable_retries = 64;
+  /// Floor for the server's retry-after hint (and the fallback when the
+  /// hint is absent).
+  double min_retry_backoff_ms = 1.0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class Client {
+ public:
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, int port, const ClientOptions& options = {});
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// One request/response cycle. `params_json` must be a serialized
+  /// JSON object (empty = no params). Returns the result value of an
+  /// ok response; a server-side error response becomes the
+  /// corresponding error Status.
+  Result<obs::JsonValue> Call(const std::string& method,
+                              const std::string& params_json);
+
+  /// kUnavailable rejections absorbed by retries so far (the loadgen
+  /// reports these as degradation, not failure).
+  uint64_t unavailable_retries() const { return unavailable_retries_; }
+
+ private:
+  Client(int fd, const ClientOptions& options)
+      : fd_(fd), options_(options), parser_(options.max_frame_bytes) {}
+
+  Status WriteAll(const std::string& bytes);
+  /// Reads frames until the one whose response id matches `id`.
+  Result<Response> ReadResponse(uint64_t id);
+
+  int fd_;
+  ClientOptions options_;
+  FrameParser parser_;
+  std::vector<std::string> buffered_;
+  uint64_t next_id_ = 1;
+  uint64_t unavailable_retries_ = 0;
+};
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_CLIENT_H_

@@ -1,0 +1,245 @@
+#include "serve/protocol.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+namespace et {
+namespace serve {
+
+std::string EncodeFrame(std::string_view payload) {
+  char header[32];
+  const int n = std::snprintf(header, sizeof(header), "%zu\n",
+                              payload.size());
+  std::string out;
+  out.reserve(static_cast<size_t>(n) + payload.size() + 1);
+  out.append(header, static_cast<size_t>(n));
+  out.append(payload);
+  out.push_back('\n');
+  return out;
+}
+
+Status FrameParser::Feed(const char* data, size_t n,
+                         std::vector<std::string>* out) {
+  size_t i = 0;
+  while (i < n) {
+    switch (state_) {
+      case State::kPoisoned:
+        return Status::InvalidArgument("frame parser poisoned");
+      case State::kLength: {
+        const char c = data[i++];
+        if (c == '\n') {
+          if (length_digits_ == 0) {
+            state_ = State::kPoisoned;
+            return Status::InvalidArgument("frame has empty length");
+          }
+          payload_.clear();
+          payload_.reserve(length_);
+          state_ = length_ == 0 ? State::kTrailer : State::kPayload;
+          break;
+        }
+        if (c < '0' || c > '9') {
+          state_ = State::kPoisoned;
+          return Status::InvalidArgument(
+              "frame length contains non-digit byte");
+        }
+        length_ = length_ * 10 + static_cast<size_t>(c - '0');
+        ++length_digits_;
+        if (length_ > max_frame_bytes_) {
+          state_ = State::kPoisoned;
+          return Status::InvalidArgument(
+              "frame of " + std::to_string(length_) +
+              " bytes exceeds cap of " + std::to_string(max_frame_bytes_));
+        }
+        break;
+      }
+      case State::kPayload: {
+        const size_t take = std::min(n - i, length_ - payload_.size());
+        payload_.append(data + i, take);
+        i += take;
+        if (payload_.size() == length_) state_ = State::kTrailer;
+        break;
+      }
+      case State::kTrailer: {
+        const char c = data[i++];
+        if (c != '\n') {
+          state_ = State::kPoisoned;
+          return Status::InvalidArgument("frame missing trailing newline");
+        }
+        out->push_back(std::move(payload_));
+        payload_.clear();
+        length_ = 0;
+        length_digits_ = 0;
+        state_ = State::kLength;
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<Request> ParseRequest(const std::string& payload) {
+  ET_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::ParseJson(payload));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("request is not a JSON object");
+  }
+  Request req;
+  const obs::JsonValue* id = doc.Find("id");
+  if (id == nullptr || !id->is_number() || id->number < 0) {
+    return Status::InvalidArgument("request has no numeric id");
+  }
+  req.id = static_cast<uint64_t>(id->number);
+  const obs::JsonValue* method = doc.Find("method");
+  if (method == nullptr || !method->is_string()) {
+    return Status::InvalidArgument("request " + std::to_string(req.id) +
+                                   " has no method");
+  }
+  req.method = method->string_value;
+  const obs::JsonValue* params = doc.Find("params");
+  if (params != nullptr) {
+    if (!params->is_object()) {
+      return Status::InvalidArgument("request " + std::to_string(req.id) +
+                                     ": params is not an object");
+    }
+    req.params = *params;
+  } else {
+    req.params.kind = obs::JsonValue::Kind::kObject;
+  }
+  return req;
+}
+
+Result<Response> ParseResponse(const std::string& payload) {
+  ET_ASSIGN_OR_RETURN(obs::JsonValue doc, obs::ParseJson(payload));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("response is not a JSON object");
+  }
+  Response resp;
+  const obs::JsonValue* id = doc.Find("id");
+  if (id == nullptr || !id->is_number()) {
+    return Status::InvalidArgument("response has no numeric id");
+  }
+  resp.id = static_cast<uint64_t>(id->number);
+  const obs::JsonValue* ok = doc.Find("ok");
+  if (ok == nullptr || ok->kind != obs::JsonValue::Kind::kBool) {
+    return Status::InvalidArgument("response has no ok flag");
+  }
+  resp.ok = ok->bool_value;
+  if (resp.ok) {
+    const obs::JsonValue* result = doc.Find("result");
+    if (result == nullptr) {
+      return Status::InvalidArgument("ok response has no result");
+    }
+    resp.result = *result;
+    return resp;
+  }
+  const obs::JsonValue* error = doc.Find("error");
+  if (error == nullptr || !error->is_object()) {
+    return Status::InvalidArgument("error response has no error object");
+  }
+  const obs::JsonValue* code = error->Find("code");
+  resp.code = (code != nullptr && code->is_string())
+                  ? WireNameToStatusCode(code->string_value)
+                  : StatusCode::kInternal;
+  const obs::JsonValue* message = error->Find("message");
+  if (message != nullptr && message->is_string()) {
+    resp.message = message->string_value;
+  }
+  const obs::JsonValue* retry = error->Find("retry_after_ms");
+  if (retry != nullptr && retry->is_number()) {
+    resp.retry_after_ms = retry->number;
+  }
+  return resp;
+}
+
+const char* StatusCodeWireName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kIOError:
+      return "io_error";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kNotImplemented:
+      return "not_implemented";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+  }
+  return "internal";
+}
+
+StatusCode WireNameToStatusCode(std::string_view name) {
+  static const std::pair<const char*, StatusCode> kCodes[] = {
+      {"ok", StatusCode::kOk},
+      {"invalid_argument", StatusCode::kInvalidArgument},
+      {"not_found", StatusCode::kNotFound},
+      {"out_of_range", StatusCode::kOutOfRange},
+      {"already_exists", StatusCode::kAlreadyExists},
+      {"io_error", StatusCode::kIOError},
+      {"failed_precondition", StatusCode::kFailedPrecondition},
+      {"internal", StatusCode::kInternal},
+      {"not_implemented", StatusCode::kNotImplemented},
+      {"deadline_exceeded", StatusCode::kDeadlineExceeded},
+      {"unavailable", StatusCode::kUnavailable},
+  };
+  for (const auto& [text, code] : kCodes) {
+    if (name == text) return code;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string OkResponse(uint64_t id, const std::string& result_json) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.Uint(id);
+  w.Key("ok");
+  w.Bool(true);
+  w.EndObject();
+  // Splice the pre-serialized result in front of the closing brace:
+  // the writer API has no raw-value hook and re-parsing just to
+  // re-emit would double the cost of every response.
+  std::string out = w.Release();
+  out.pop_back();  // '}'
+  out += ",\"result\":";
+  out += result_json;
+  out += "}";
+  return out;
+}
+
+std::string ErrorResponse(uint64_t id, const Status& status,
+                          double retry_after_ms) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("id");
+  w.Uint(id);
+  w.Key("ok");
+  w.Bool(false);
+  w.Key("error");
+  w.BeginObject();
+  w.Key("code");
+  w.String(StatusCodeWireName(status.code()));
+  w.Key("message");
+  w.String(status.message());
+  if (retry_after_ms > 0.0) {
+    w.Key("retry_after_ms");
+    w.Double(retry_after_ms);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.Release();
+}
+
+}  // namespace serve
+}  // namespace et

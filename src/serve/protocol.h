@@ -1,0 +1,113 @@
+// Wire protocol of the annotation-session service.
+//
+// Transport framing: every message — request or response — is one
+// frame, `<decimal payload length>\n<payload>\n`. The explicit length
+// makes the stream self-describing (no payload scanning), the trailing
+// newline makes captures human-readable, and a FrameParser consumes
+// arbitrary byte chunks so the non-blocking server can feed it straight
+// from recv().
+//
+// Payloads are JSON. Requests:
+//
+//   {"id": 7, "method": "session.label", "params": {...}}
+//
+// Responses echo the id and carry either a result or an error:
+//
+//   {"id": 7, "ok": true,  "result": {...}}
+//   {"id": 7, "ok": false, "error": {"code": "unavailable",
+//       "message": "...", "retry_after_ms": 50}}
+//
+// Error codes are the wire names of et::StatusCode; `unavailable` is
+// the backpressure signal — the request was rejected *before any state
+// change*, so retrying it (with a fresh id) is always safe.
+//
+// Methods: session.create, session.label, session.snapshot,
+// session.restore, session.close, server.ping (see session.h for
+// parameter/result shapes, README.md "Serving" for the reference).
+
+#ifndef ET_SERVE_PROTOCOL_H_
+#define ET_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+
+namespace et {
+namespace serve {
+
+/// Hard cap on a single frame's payload; a peer announcing more is a
+/// protocol error (protects the server from unbounded buffering).
+constexpr size_t kDefaultMaxFrameBytes = 4u << 20;
+
+/// Encodes one payload as a frame: "<length>\n<payload>\n".
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental frame decoder. Feed() accepts arbitrary byte chunks and
+/// appends every completed payload to `out`; a protocol violation
+/// (non-digit length, oversized frame, missing trailer) poisons the
+/// parser — the connection should be dropped.
+class FrameParser {
+ public:
+  explicit FrameParser(size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  Status Feed(const char* data, size_t n, std::vector<std::string>* out);
+
+ private:
+  enum class State { kLength, kPayload, kTrailer, kPoisoned };
+
+  State state_ = State::kLength;
+  size_t max_frame_bytes_;
+  size_t length_ = 0;
+  size_t length_digits_ = 0;
+  std::string payload_;
+};
+
+/// A parsed request envelope.
+struct Request {
+  uint64_t id = 0;
+  std::string method;
+  obs::JsonValue params;  // object; empty object when absent
+};
+
+/// Parses a request payload. The id is recovered even from some
+/// malformed requests (missing method) so the error response can still
+/// be correlated; a payload with no parsable id fails outright.
+Result<Request> ParseRequest(const std::string& payload);
+
+/// A parsed response envelope (client side).
+struct Response {
+  uint64_t id = 0;
+  bool ok = false;
+  obs::JsonValue result;        // when ok
+  StatusCode code = StatusCode::kOk;  // when !ok
+  std::string message;
+  double retry_after_ms = 0.0;
+};
+
+Result<Response> ParseResponse(const std::string& payload);
+
+/// Stable wire name of a status code ("unavailable",
+/// "invalid_argument", ...). Unknown codes map to "internal".
+const char* StatusCodeWireName(StatusCode code);
+
+/// Inverse of StatusCodeWireName; unrecognized names map to kInternal.
+StatusCode WireNameToStatusCode(std::string_view name);
+
+/// Builds an ok-response payload around an already-serialized result
+/// value (must be valid JSON).
+std::string OkResponse(uint64_t id, const std::string& result_json);
+
+/// Builds an error-response payload from a Status. retry_after_ms > 0
+/// is included (the client backoff hint for kUnavailable).
+std::string ErrorResponse(uint64_t id, const Status& status,
+                          double retry_after_ms = 0.0);
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_PROTOCOL_H_

@@ -1,0 +1,385 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "robustness/fault.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Best-effort id recovery for pre-dispatch rejections, so the client
+/// can correlate the error with its request.
+uint64_t PeekRequestId(const std::string& payload) {
+  Result<Request> request = ParseRequest(payload);
+  return request.ok() ? request->id : 0;
+}
+
+}  // namespace
+
+struct Server::Impl {
+  ServerOptions options;
+  SessionManager manager;
+  int listen_fd = -1;
+  int port = 0;
+  int wake_read = -1;
+  int wake_write = -1;
+  std::thread io_thread;
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> stopped{false};
+
+  struct Conn {
+    int fd = -1;
+    FrameParser parser;
+    std::mutex out_mu;
+    std::string out;    // bytes awaiting the IO thread
+    bool dead = false;  // guarded by out_mu; set when the fd is closed
+    explicit Conn(size_t max_frame_bytes) : parser(max_frame_bytes) {}
+  };
+
+  std::mutex conns_mu;
+  std::unordered_map<int, std::shared_ptr<Conn>> conns;
+
+  explicit Impl(const ServerOptions& opts)
+      : options(opts), manager(opts.sessions) {}
+
+  ~Impl() {
+    // Runs when the last holder (server handle or in-flight worker)
+    // drops the Impl — nobody can touch the wake pipe any more.
+    if (wake_read >= 0) close(wake_read);
+    if (wake_write >= 0) close(wake_write);
+  }
+
+  void WakeIo() {
+    if (wake_write >= 0) {
+      const char b = 1;
+      // EAGAIN just means a wake-up is already pending.
+      (void)!write(wake_write, &b, 1);
+    }
+  }
+
+  /// Appends one framed response to the connection's output buffer and
+  /// nudges the IO thread. Safe from any thread; a no-op once the
+  /// connection is dead.
+  void EnqueueResponse(const std::shared_ptr<Conn>& conn,
+                       const std::string& response) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (conn->dead) return;
+      conn->out += EncodeFrame(response);
+    }
+    WakeIo();
+  }
+
+  void CloseConn(const std::shared_ptr<Conn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->out_mu);
+      if (conn->dead) return;
+      conn->dead = true;
+    }
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.erase(conn->fd);
+    }
+    close(conn->fd);
+    obs::MetricsRegistry::Global()
+        .GetGauge("serve.connections.active")
+        .Add(-1.0);
+  }
+
+  void HandleAccept() {
+    for (;;) {
+      sockaddr_in addr{};
+      socklen_t addr_len = sizeof(addr);
+      const int fd =
+          accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
+      if (fd < 0) {
+        // EAGAIN: accepted everything pending. Other errno values
+        // (ECONNABORTED etc.) are per-connection; keep serving.
+        return;
+      }
+      const Status fault = [] {
+        try {
+          ET_FAULT_POINT("serve.accept");
+        } catch (const std::exception& e) {
+          return Status::IOError(e.what());
+        }
+        return Status::OK();
+      }();
+      if (!fault.ok() || !SetNonBlocking(fd).ok()) {
+        ET_COUNTER_INC("serve.accept.dropped");
+        close(fd);
+        continue;
+      }
+      const int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      auto conn = std::make_shared<Conn>(options.max_frame_bytes);
+      conn->fd = fd;
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        conns.emplace(fd, std::move(conn));
+      }
+      ET_COUNTER_INC("serve.connections.total");
+      obs::MetricsRegistry::Global()
+          .GetGauge("serve.connections.active")
+          .Add(1.0);
+    }
+  }
+
+  /// One complete frame: fault-check, admit, dispatch. Runs on the IO
+  /// thread; the actual request work runs on the global pool.
+  void DispatchFrame(std::shared_ptr<Impl> self,
+                     const std::shared_ptr<Conn>& conn,
+                     std::string payload) {
+    const Status read_fault = [] {
+      try {
+        ET_FAULT_POINT("serve.read");
+      } catch (const std::exception& e) {
+        return Status::IOError(e.what());
+      }
+      return Status::OK();
+    }();
+    if (!read_fault.ok()) {
+      // The frame arrived intact but the server pretends the read
+      // failed *before* applying anything: honest answer is retry.
+      ET_COUNTER_INC("serve.requests.total");
+      ET_COUNTER_INC("serve.requests.unavailable");
+      EnqueueResponse(
+          conn,
+          ErrorResponse(PeekRequestId(payload),
+                        Status::Unavailable(read_fault.message()),
+                        manager.retry_after_ms()));
+      return;
+    }
+    if (!manager.TryBeginRequest()) {
+      ET_COUNTER_INC("serve.requests.total");
+      ET_COUNTER_INC("serve.requests.unavailable");
+      EnqueueResponse(
+          conn,
+          ErrorResponse(
+              PeekRequestId(payload),
+              Status::Unavailable("server at max in-flight requests"),
+              manager.retry_after_ms()));
+      return;
+    }
+    ThreadPool::Global().Submit(
+        [self = std::move(self), conn, payload = std::move(payload)] {
+          const std::string response = self->manager.Handle(payload);
+          self->manager.EndRequest();
+          self->EnqueueResponse(conn, response);
+        });
+  }
+
+  void HandleReadable(std::shared_ptr<Impl> self,
+                      const std::shared_ptr<Conn>& conn) {
+    char buf[65536];
+    for (;;) {
+      const ssize_t n = read(conn->fd, buf, sizeof(buf));
+      if (n > 0) {
+        std::vector<std::string> payloads;
+        const Status st = conn->parser.Feed(buf, static_cast<size_t>(n),
+                                            &payloads);
+        for (std::string& payload : payloads) {
+          DispatchFrame(self, conn, std::move(payload));
+        }
+        if (!st.ok()) {
+          // Protocol violation: the stream has no recoverable framing
+          // any more, drop the connection.
+          ET_COUNTER_INC("serve.protocol.errors");
+          CloseConn(conn);
+          return;
+        }
+        continue;
+      }
+      if (n == 0) {
+        CloseConn(conn);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      CloseConn(conn);
+      return;
+    }
+  }
+
+  void HandleWritable(const std::shared_ptr<Conn>& conn) {
+    std::lock_guard<std::mutex> lock(conn->out_mu);
+    while (!conn->out.empty()) {
+      const ssize_t n = write(conn->fd, conn->out.data(), conn->out.size());
+      if (n > 0) {
+        conn->out.erase(0, static_cast<size_t>(n));
+        continue;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      // Peer vanished mid-write; reads will observe it too, but close
+      // now rather than spin. CloseConn re-locks out_mu — mark dead
+      // inline instead.
+      conn->dead = true;
+      return;
+    }
+  }
+
+  void IoLoop(std::shared_ptr<Impl> self) {
+    while (!stopping.load(std::memory_order_acquire)) {
+      std::vector<pollfd> fds;
+      std::vector<std::shared_ptr<Conn>> polled;
+      fds.push_back({listen_fd, POLLIN, 0});
+      fds.push_back({wake_read, POLLIN, 0});
+      {
+        std::lock_guard<std::mutex> lock(conns_mu);
+        polled.reserve(conns.size());
+        for (auto& [fd, conn] : conns) {
+          short events = POLLIN;
+          {
+            std::lock_guard<std::mutex> out_lock(conn->out_mu);
+            if (!conn->out.empty()) events |= POLLOUT;
+          }
+          fds.push_back({fd, events, 0});
+          polled.push_back(conn);
+        }
+      }
+      const int rc = poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+      if (rc < 0 && errno != EINTR) break;
+      if (stopping.load(std::memory_order_acquire)) break;
+      if (rc <= 0) continue;
+
+      if (fds[1].revents & POLLIN) {
+        char drain[256];
+        while (read(wake_read, drain, sizeof(drain)) > 0) {
+        }
+      }
+      if (fds[0].revents & POLLIN) HandleAccept();
+      for (size_t i = 0; i < polled.size(); ++i) {
+        const short revents = fds[i + 2].revents;
+        const std::shared_ptr<Conn>& conn = polled[i];
+        bool dead;
+        {
+          std::lock_guard<std::mutex> lock(conn->out_mu);
+          dead = conn->dead;
+        }
+        if (dead) {
+          CloseConn(conn);  // finishes removal for write-side deaths
+          continue;
+        }
+        if (revents & (POLLERR | POLLHUP | POLLNVAL)) {
+          // Flush what we can (the peer may only have shut down its
+          // write side), then read until EOF closes it.
+          if (revents & POLLHUP) HandleReadable(self, conn);
+          else CloseConn(conn);
+          continue;
+        }
+        if (revents & POLLOUT) HandleWritable(conn);
+        if (revents & POLLIN) HandleReadable(self, conn);
+      }
+    }
+    // Shutdown: close every socket from the one thread that owns them.
+    std::vector<std::shared_ptr<Conn>> remaining;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      for (auto& [fd, conn] : conns) remaining.push_back(conn);
+    }
+    for (const auto& conn : remaining) CloseConn(conn);
+    if (listen_fd >= 0) {
+      close(listen_fd);
+      listen_fd = -1;
+    }
+  }
+};
+
+Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
+  RegisterFaultSite("serve.accept");
+  RegisterFaultSite("serve.read");
+
+  auto impl = std::make_shared<Impl>(options);
+
+  impl->listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (impl->listen_fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    close(impl->listen_fd);
+    return Status::InvalidArgument("bad host address: " + options.host);
+  }
+  if (bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    const Status st = Status::IOError(std::string("bind ") + options.host +
+                                      ":" + std::to_string(options.port) +
+                                      ": " + std::strerror(errno));
+    close(impl->listen_fd);
+    return st;
+  }
+  if (listen(impl->listen_fd, SOMAXCONN) < 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    close(impl->listen_fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    impl->port = ntohs(bound.sin_port);
+  }
+  ET_RETURN_NOT_OK(SetNonBlocking(impl->listen_fd));
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) < 0) {
+    close(impl->listen_fd);
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  impl->wake_read = pipe_fds[0];
+  impl->wake_write = pipe_fds[1];
+  ET_RETURN_NOT_OK(SetNonBlocking(impl->wake_read));
+  ET_RETURN_NOT_OK(SetNonBlocking(impl->wake_write));
+
+  impl->io_thread = std::thread([impl] { impl->IoLoop(impl); });
+  return std::unique_ptr<Server>(new Server(std::move(impl)));
+}
+
+void Server::Stop() {
+  if (impl_->stopped.exchange(true)) return;
+  impl_->stopping.store(true, std::memory_order_release);
+  impl_->WakeIo();
+  if (impl_->io_thread.joinable()) impl_->io_thread.join();
+}
+
+Server::~Server() { Stop(); }
+
+int Server::port() const { return impl_->port; }
+
+SessionManager& Server::sessions() { return impl_->manager; }
+
+}  // namespace serve
+}  // namespace et

@@ -1,0 +1,70 @@
+// Non-blocking TCP front end of the annotation-session service.
+//
+// One IO thread multiplexes every connection with poll(): it accepts,
+// reads bytes into per-connection FrameParsers, and flushes pending
+// output. Completed request frames are admitted through the session
+// manager's bounded in-flight budget and dispatched to the global
+// ThreadPool; rejected frames are answered inline with kUnavailable +
+// retry-after (backpressure never queues unboundedly). Workers never
+// touch sockets — they append the response to the connection's output
+// buffer and nudge the IO thread through a self-pipe, so all socket
+// writes stay on one thread.
+//
+// Fault sites (robustness/fault.h): `serve.accept` drops an accepted
+// connection before it is registered; `serve.read` rejects a fully
+// parsed frame with kUnavailable before dispatch (the request is never
+// applied, so a client retry with a fresh id is always safe);
+// `serve.session` fires inside SessionManager::Handle.
+
+#ifndef ET_SERVE_SERVER_H_
+#define ET_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "serve/session.h"
+
+namespace et {
+namespace serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back via port().
+  int port = 0;
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  SessionManagerOptions sessions;
+};
+
+/// A running server. Start() binds, listens, and spawns the IO thread;
+/// destruction (or Stop()) closes every connection and joins it. Worker
+/// tasks still in flight at Stop() finish against the detached state —
+/// their responses are discarded.
+class Server {
+ public:
+  static Result<std::unique_ptr<Server>> Start(const ServerOptions& options);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  /// The bound port (resolves ephemeral binds).
+  int port() const;
+
+  SessionManager& sessions();
+
+  /// Idempotent shutdown: stops accepting, closes connections, joins
+  /// the IO thread.
+  void Stop();
+
+ private:
+  struct Impl;
+  explicit Server(std::shared_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+  std::shared_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_SERVER_H_

@@ -1,0 +1,1160 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "belief/priors.h"
+#include "common/strings.h"
+#include "core/candidates.h"
+#include "errgen/error_generator.h"
+#include "fd/eval_cache.h"
+#include "fd/fd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "robustness/fault.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+constexpr const char* kSnapshotVersion = "serve-session-v1";
+
+/// Mirrors the prior construction of the convergence experiment (a
+/// file-local helper there); the call order against the shared
+/// agent_rng is part of the replayed stream, so trainer prior must be
+/// built before learner prior, exactly as RunOneRep does.
+Result<BeliefModel> BuildPrior(const PriorSpec& spec,
+                               std::shared_ptr<const HypothesisSpace> space,
+                               const Relation& rel, Rng& rng,
+                               EvalCache* cache) {
+  switch (spec.kind) {
+    case PriorKind::kUniform:
+      return UniformPrior(std::move(space), spec.uniform_d, spec.strength);
+    case PriorKind::kRandom:
+      return RandomPrior(std::move(space), rng, spec.strength);
+    case PriorKind::kDataEstimate:
+      return DataEstimatePrior(std::move(space), rel, spec.strength,
+                               cache);
+  }
+  return Status::InvalidArgument("unknown prior kind");
+}
+
+// --- JSON field helpers (params and snapshots share them) ------------
+
+Result<double> NumFieldOr(const obs::JsonValue& obj, const char* key,
+                          double def) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_number()) {
+    return Status::InvalidArgument(std::string(key) + " is not a number");
+  }
+  return v->number;
+}
+
+Result<double> NumField(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_number()) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " missing or not a number");
+  }
+  return v->number;
+}
+
+Result<std::string> StrFieldOr(const obs::JsonValue& obj, const char* key,
+                               std::string def) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_string()) {
+    return Status::InvalidArgument(std::string(key) + " is not a string");
+  }
+  return v->string_value;
+}
+
+Result<std::string> StrField(const obs::JsonValue& obj, const char* key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_string()) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " missing or not a string");
+  }
+  return v->string_value;
+}
+
+Result<bool> BoolFieldOr(const obs::JsonValue& obj, const char* key,
+                         bool def) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return def;
+  if (v->kind != obs::JsonValue::Kind::kBool) {
+    return Status::InvalidArgument(std::string(key) + " is not a bool");
+  }
+  return v->bool_value;
+}
+
+/// 64-bit integers do not survive the JSON number type (doubles), so
+/// seeds and RNG words travel as decimal strings; params additionally
+/// accept small numeric literals for hand-written requests.
+Result<uint64_t> U64FieldOr(const obs::JsonValue& obj, const char* key,
+                            uint64_t def) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr) return def;
+  if (v->is_number()) {
+    if (v->number < 0 || v->number > 9.007199254740992e15) {
+      return Status::InvalidArgument(
+          std::string(key) + " out of exact double range; pass a string");
+    }
+    return static_cast<uint64_t>(v->number);
+  }
+  if (v->is_string()) {
+    uint64_t out = 0;
+    for (const char c : v->string_value) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(std::string(key) +
+                                       " is not a decimal u64 string");
+      }
+      out = out * 10 + static_cast<uint64_t>(c - '0');
+    }
+    if (v->string_value.empty()) {
+      return Status::InvalidArgument(std::string(key) + " is empty");
+    }
+    return out;
+  }
+  return Status::InvalidArgument(std::string(key) +
+                                 " is neither number nor string");
+}
+
+void WritePairs(obs::JsonWriter* w, const std::vector<RowPair>& pairs) {
+  w->BeginArray();
+  for (const RowPair& p : pairs) {
+    w->BeginArray();
+    w->Uint(p.first);
+    w->Uint(p.second);
+    w->EndArray();
+  }
+  w->EndArray();
+}
+
+Result<std::vector<RowPair>> ReadPairs(const obs::JsonValue* v,
+                                       const char* what) {
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " missing or not an array");
+  }
+  std::vector<RowPair> out;
+  out.reserve(v->array.size());
+  for (const obs::JsonValue& e : v->array) {
+    if (!e.is_array() || e.array.size() < 2 || !e.array[0].is_number() ||
+        !e.array[1].is_number()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " entries must be [row, row]");
+    }
+    out.emplace_back(static_cast<RowId>(e.array[0].number),
+                     static_cast<RowId>(e.array[1].number));
+  }
+  return out;
+}
+
+void WriteDoubles(obs::JsonWriter* w, const std::vector<double>& values) {
+  w->BeginArray();
+  for (const double v : values) w->Double(v);
+  w->EndArray();
+}
+
+Result<std::vector<double>> ReadDoubles(const obs::JsonValue* v,
+                                        const char* what) {
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " missing or not an array");
+  }
+  std::vector<double> out;
+  out.reserve(v->array.size());
+  for (const obs::JsonValue& e : v->array) {
+    if (!e.is_number()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " entries must be numbers");
+    }
+    out.push_back(e.number);
+  }
+  return out;
+}
+
+// --- SessionConfig codec --------------------------------------------
+
+const char* PriorKindWireName(PriorKind kind) {
+  switch (kind) {
+    case PriorKind::kUniform:
+      return "uniform";
+    case PriorKind::kRandom:
+      return "random";
+    case PriorKind::kDataEstimate:
+      return "data";
+  }
+  return "?";
+}
+
+Result<PriorKind> ParsePriorKindName(const std::string& name) {
+  if (name == "uniform") return PriorKind::kUniform;
+  if (name == "random") return PriorKind::kRandom;
+  if (name == "data") return PriorKind::kDataEstimate;
+  return Status::InvalidArgument("unknown prior kind '" + name +
+                                 "' (use random|data|uniform)");
+}
+
+void EncodePrior(obs::JsonWriter* w, const PriorSpec& spec) {
+  w->BeginObject();
+  w->Key("kind");
+  w->String(PriorKindWireName(spec.kind));
+  w->Key("d");
+  w->Double(spec.uniform_d);
+  w->Key("strength");
+  w->Double(spec.strength);
+  w->EndObject();
+}
+
+Result<PriorSpec> DecodePrior(const obs::JsonValue& parent,
+                              const char* key, PriorSpec def) {
+  const obs::JsonValue* v = parent.Find(key);
+  if (v == nullptr) return def;
+  if (!v->is_object()) {
+    return Status::InvalidArgument(std::string(key) + " is not an object");
+  }
+  PriorSpec spec = def;
+  ET_ASSIGN_OR_RETURN(
+      const std::string kind,
+      StrFieldOr(*v, "kind", PriorKindWireName(def.kind)));
+  ET_ASSIGN_OR_RETURN(spec.kind, ParsePriorKindName(kind));
+  ET_ASSIGN_OR_RETURN(spec.uniform_d, NumFieldOr(*v, "d", def.uniform_d));
+  ET_ASSIGN_OR_RETURN(spec.strength,
+                      NumFieldOr(*v, "strength", def.strength));
+  return spec;
+}
+
+void EncodeConfig(obs::JsonWriter* w, const SessionConfig& config) {
+  w->BeginObject();
+  w->Key("dataset");
+  w->String(config.dataset);
+  w->Key("rows");
+  w->Uint(config.rows);
+  w->Key("degree");
+  w->Double(config.violation_degree);
+  w->Key("trainer_prior");
+  EncodePrior(w, config.trainer_prior);
+  w->Key("learner_prior");
+  EncodePrior(w, config.learner_prior);
+  w->Key("hypothesis_cap");
+  w->Uint(config.hypothesis_cap);
+  w->Key("max_fd_attrs");
+  w->Int(config.max_fd_attrs);
+  w->Key("pairs_per_round");
+  w->Uint(config.pairs_per_round);
+  w->Key("max_rounds");
+  w->Uint(config.max_rounds);
+  w->Key("policy");
+  w->String(config.policy);
+  w->Key("gamma");
+  w->Double(config.gamma);
+  w->Key("seed");
+  w->String(std::to_string(config.seed));
+  w->Key("deadline_ms");
+  w->Double(config.deadline_ms);
+  w->Key("conv_window");
+  w->Uint(config.conv_window);
+  w->Key("conv_tolerance");
+  w->Double(config.conv_tolerance);
+  w->Key("top_k");
+  w->Uint(config.top_k);
+  w->EndObject();
+}
+
+Result<SessionConfig> DecodeConfig(const obs::JsonValue& obj) {
+  const SessionConfig def;
+  SessionConfig config;
+  ET_ASSIGN_OR_RETURN(config.dataset,
+                      StrFieldOr(obj, "dataset", def.dataset));
+  ET_ASSIGN_OR_RETURN(
+      const double rows,
+      NumFieldOr(obj, "rows", static_cast<double>(def.rows)));
+  config.rows = static_cast<size_t>(rows);
+  ET_ASSIGN_OR_RETURN(config.violation_degree,
+                      NumFieldOr(obj, "degree", def.violation_degree));
+  ET_ASSIGN_OR_RETURN(
+      config.trainer_prior,
+      DecodePrior(obj, "trainer_prior", def.trainer_prior));
+  ET_ASSIGN_OR_RETURN(
+      config.learner_prior,
+      DecodePrior(obj, "learner_prior", def.learner_prior));
+  ET_ASSIGN_OR_RETURN(
+      const double cap,
+      NumFieldOr(obj, "hypothesis_cap",
+                 static_cast<double>(def.hypothesis_cap)));
+  config.hypothesis_cap = static_cast<size_t>(cap);
+  ET_ASSIGN_OR_RETURN(
+      const double attrs,
+      NumFieldOr(obj, "max_fd_attrs",
+                 static_cast<double>(def.max_fd_attrs)));
+  config.max_fd_attrs = static_cast<int>(attrs);
+  ET_ASSIGN_OR_RETURN(
+      const double pairs,
+      NumFieldOr(obj, "pairs_per_round",
+                 static_cast<double>(def.pairs_per_round)));
+  config.pairs_per_round = static_cast<size_t>(pairs);
+  ET_ASSIGN_OR_RETURN(
+      const double rounds,
+      NumFieldOr(obj, "max_rounds", static_cast<double>(def.max_rounds)));
+  config.max_rounds = static_cast<size_t>(rounds);
+  ET_ASSIGN_OR_RETURN(config.policy,
+                      StrFieldOr(obj, "policy", def.policy));
+  ET_ASSIGN_OR_RETURN(config.gamma, NumFieldOr(obj, "gamma", def.gamma));
+  ET_ASSIGN_OR_RETURN(config.seed, U64FieldOr(obj, "seed", def.seed));
+  ET_ASSIGN_OR_RETURN(config.deadline_ms,
+                      NumFieldOr(obj, "deadline_ms", def.deadline_ms));
+  ET_ASSIGN_OR_RETURN(
+      const double window,
+      NumFieldOr(obj, "conv_window",
+                 static_cast<double>(def.conv_window)));
+  config.conv_window = static_cast<size_t>(window);
+  ET_ASSIGN_OR_RETURN(
+      config.conv_tolerance,
+      NumFieldOr(obj, "conv_tolerance", def.conv_tolerance));
+  ET_ASSIGN_OR_RETURN(
+      const double top_k,
+      NumFieldOr(obj, "top_k", static_cast<double>(def.top_k)));
+  config.top_k = static_cast<size_t>(top_k);
+  return config;
+}
+
+// --- Tracker codec ---------------------------------------------------
+
+void EncodeTracker(obs::JsonWriter* w, const ConvergenceTracker& track) {
+  w->BeginObject();
+  w->Key("total");
+  w->Uint(track.frequencies().total());
+  w->Key("counts");
+  w->BeginArray();
+  // Sorted for deterministic snapshots (hash-map order is not).
+  std::vector<std::pair<size_t, size_t>> counts(
+      track.frequencies().counts().begin(),
+      track.frequencies().counts().end());
+  std::sort(counts.begin(), counts.end());
+  for (const auto& [action, count] : counts) {
+    w->BeginArray();
+    w->Uint(action);
+    w->Uint(count);
+    w->EndArray();
+  }
+  w->EndArray();
+  w->Key("drift");
+  WriteDoubles(w, track.drift_series());
+  w->EndObject();
+}
+
+Status DecodeTracker(const obs::JsonValue& parent, const char* key,
+                     ConvergenceTracker* track) {
+  const obs::JsonValue* v = parent.Find(key);
+  if (v == nullptr || !v->is_object()) {
+    return Status::InvalidArgument(std::string(key) +
+                                   " missing or not an object");
+  }
+  ET_ASSIGN_OR_RETURN(const double total, NumField(*v, "total"));
+  const obs::JsonValue* counts = v->Find("counts");
+  if (counts == nullptr || !counts->is_array()) {
+    return Status::InvalidArgument(std::string(key) + ".counts missing");
+  }
+  std::unordered_map<size_t, size_t> map;
+  map.reserve(counts->array.size());
+  for (const obs::JsonValue& e : counts->array) {
+    if (!e.is_array() || e.array.size() != 2 || !e.array[0].is_number() ||
+        !e.array[1].is_number()) {
+      return Status::InvalidArgument(std::string(key) +
+                                     ".counts entries must be [id, n]");
+    }
+    map[static_cast<size_t>(e.array[0].number)] =
+        static_cast<size_t>(e.array[1].number);
+  }
+  ET_ASSIGN_OR_RETURN(std::vector<double> drift,
+                      ReadDoubles(v->Find("drift"), "drift"));
+  track->Restore(std::move(map), static_cast<size_t>(total),
+                 std::move(drift));
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<PolicyKind> ParsePolicyName(const std::string& name) {
+  if (name == "random") return PolicyKind::kRandom;
+  if (name == "us") return PolicyKind::kUncertainty;
+  if (name == "sbr") return PolicyKind::kStochasticBestResponse;
+  if (name == "sus") return PolicyKind::kStochasticUncertainty;
+  return Status::InvalidArgument("unknown policy '" + name +
+                                 "' (use random|us|sbr|sus)");
+}
+
+std::string CanonicalSessionConfig(const SessionConfig& config) {
+  std::string out = kSnapshotVersion;
+  auto num = [&out](const char* key, double v) {
+    out += "|";
+    out += key;
+    out += "=";
+    out += StrFormat("%.17g", v);
+  };
+  out += "|dataset=" + config.dataset;
+  num("rows", static_cast<double>(config.rows));
+  num("degree", config.violation_degree);
+  auto prior = [&](const char* key, const PriorSpec& spec) {
+    out += std::string("|") + key + "=" + PriorKindWireName(spec.kind);
+    num("d", spec.uniform_d);
+    num("strength", spec.strength);
+  };
+  prior("trainer_prior", config.trainer_prior);
+  prior("learner_prior", config.learner_prior);
+  num("cap", static_cast<double>(config.hypothesis_cap));
+  num("max_attrs", config.max_fd_attrs);
+  num("pairs", static_cast<double>(config.pairs_per_round));
+  num("rounds", static_cast<double>(config.max_rounds));
+  out += "|policy=" + config.policy;
+  num("gamma", config.gamma);
+  out += "|seed=" + std::to_string(config.seed);
+  num("conv_window", static_cast<double>(config.conv_window));
+  num("conv_tol", config.conv_tolerance);
+  num("top_k", static_cast<double>(config.top_k));
+  return out;
+}
+
+Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
+  ET_TRACE_SCOPE("serve.session.build_world");
+  if (config.dataset.rfind("csv:", 0) == 0) {
+    return Status::InvalidArgument(
+        "serving supports the built-in generated datasets only");
+  }
+  if (config.pairs_per_round == 0) {
+    return Status::InvalidArgument("pairs_per_round must be positive");
+  }
+  // Repetition-0 seed derivation of the convergence experiment
+  // (rep_seed = seed + 1000003 * 0): a session with seed s replays the
+  // offline repetition with seed s bit-for-bit.
+  const uint64_t rep_seed = config.seed;
+  Rng rng(rep_seed);
+
+  SessionWorld world;
+  ET_ASSIGN_OR_RETURN(
+      world.data,
+      MakeDatasetByName(config.dataset, config.rows, rep_seed));
+  std::vector<FD> clean_fds;
+  for (const std::string& text : world.data.clean_fds) {
+    ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, world.data.rel.schema()));
+    if (fd.NumAttributes() <= config.max_fd_attrs) {
+      clean_fds.push_back(fd);
+    }
+  }
+  std::vector<FD> watched;
+  for (const std::string& text : world.data.documented_fds) {
+    ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, world.data.rel.schema()));
+    if (fd.NumAttributes() <= config.max_fd_attrs) {
+      watched.push_back(fd);
+    }
+  }
+  if (watched.empty()) watched = clean_fds;
+  ErrorGenerator gen(&world.data.rel, rng.NextUint64());
+  if (config.violation_degree > 0.0) {
+    ET_RETURN_NOT_OK(
+        gen.InjectToDegree(watched, config.violation_degree));
+  }
+  world.achieved_degree = gen.MeasureDegree(watched);
+
+  EvalCache cache(world.data.rel);
+
+  std::vector<FD> must_include = clean_fds;
+  if (must_include.size() > config.hypothesis_cap / 2) {
+    must_include.resize(config.hypothesis_cap / 2);
+  }
+  ET_ASSIGN_OR_RETURN(
+      HypothesisSpace capped,
+      HypothesisSpace::BuildCapped(world.data.rel, config.max_fd_attrs,
+                                   config.hypothesis_cap, must_include));
+  world.space =
+      std::make_shared<const HypothesisSpace>(std::move(capped));
+
+  // The serving path computes no held-out F1, so the candidate pool
+  // spans all rows — mirroring the experiment's compute_f1=false split.
+  std::vector<RowId> all_rows(world.data.rel.num_rows());
+  for (RowId r = 0; r < world.data.rel.num_rows(); ++r) all_rows[r] = r;
+
+  Rng agent_rng(rep_seed ^ 0xA6EA75EEDULL);
+  ET_ASSIGN_OR_RETURN(
+      world.trainer_prior,
+      BuildPrior(config.trainer_prior, world.space, world.data.rel,
+                 agent_rng, &cache));
+  ET_ASSIGN_OR_RETURN(
+      world.learner_prior,
+      BuildPrior(config.learner_prior, world.space, world.data.rel,
+                 agent_rng, &cache));
+
+  CandidateOptions pool_options;
+  pool_options.restrict_to = all_rows;
+  pool_options.cache = &cache;
+  Rng pool_rng(rep_seed ^ 0xB00AULL);
+  ET_ASSIGN_OR_RETURN(
+      world.pool,
+      BuildCandidatePairs(world.data.rel, *world.space, pool_options,
+                          pool_rng));
+
+  world.trainer_seed = rep_seed ^ 0x77ULL;
+  // Policy index 0: a session is policy cell 0 of its own
+  // single-policy experiment.
+  world.learner_seed = rep_seed ^ 0x1E42ULL;
+  return world;
+}
+
+// --- Session ---------------------------------------------------------
+
+Session::Session(SessionConfig config, SessionWorld world,
+                 Learner learner)
+    : config_(std::move(config)),
+      world_(std::move(world)),
+      learner_(std::move(learner)),
+      watchdog_(config_.deadline_ms) {}
+
+Result<std::unique_ptr<Session>> Session::Create(
+    const SessionConfig& config) {
+  ET_ASSIGN_OR_RETURN(const PolicyKind kind,
+                      ParsePolicyName(config.policy));
+  ET_ASSIGN_OR_RETURN(SessionWorld world, BuildSessionWorld(config));
+  PolicyOptions policy_options;
+  policy_options.gamma = config.gamma;
+  Learner learner(world.learner_prior, MakePolicy(kind, policy_options),
+                  world.pool, LearnerOptions{}, world.learner_seed);
+  std::unique_ptr<Session> session(new Session(
+      config, std::move(world), std::move(learner)));
+  ET_RETURN_NOT_OK(session->SelectNext());
+  return session;
+}
+
+Status Session::SelectNext() {
+  if (round_ >= config_.max_rounds) {
+    done_ = true;
+    done_reason_ = "max_rounds";
+    pending_.clear();
+    return Status::OK();
+  }
+  if (!learner_.CanSelect(config_.pairs_per_round)) {
+    done_ = true;
+    done_reason_ = "pool_exhausted";
+    pending_.clear();
+    return Status::OK();
+  }
+  ET_ASSIGN_OR_RETURN(
+      pending_,
+      learner_.SelectExamples(world_.data.rel, config_.pairs_per_round));
+  return Status::OK();
+}
+
+Status Session::CheckDeadline() const {
+  return watchdog_.Check("session (seed " +
+                         std::to_string(config_.seed) + ")");
+}
+
+Result<LabelOutcome> Session::Label(
+    const std::vector<LabeledPair>& labels, size_t trainer_top_fd) {
+  ET_RETURN_NOT_OK(CheckDeadline());
+  if (done_) {
+    return Status::FailedPrecondition("session is done (" + done_reason_ +
+                                      ")");
+  }
+  // Validate everything before touching state: a rejected request must
+  // leave the session exactly as it was (safe client retry).
+  if (labels.size() != pending_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(pending_.size()) + " labels, got " +
+        std::to_string(labels.size()));
+  }
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (!(labels[i].pair == pending_[i])) {
+      return Status::InvalidArgument(
+          "label " + std::to_string(i) +
+          " does not match the pending sample pair");
+    }
+  }
+  if (trainer_top_fd >= world_.space->size()) {
+    return Status::InvalidArgument("trainer_top_fd out of range");
+  }
+
+  learner_.Consume(world_.data.rel, labels);
+  labels_total_ += labels.size();
+
+  LabelOutcome out;
+  // Same tracker order and action ids as Game::Run: the trainer's
+  // realized action is its declared rule, the learner's the pairs it
+  // presented this round.
+  out.trainer_drift = trainer_track_.RecordIteration({trainer_top_fd});
+  std::vector<size_t> pair_ids;
+  pair_ids.reserve(pending_.size());
+  for (const RowPair& p : pending_) {
+    pair_ids.push_back(PairActionId(p.first, p.second));
+  }
+  out.learner_drift = learner_track_.RecordIteration(pair_ids);
+
+  ++round_;
+  ET_RETURN_NOT_OK(SelectNext());
+
+  out.round = round_;
+  out.labels_total = labels_total_;
+  out.learner_confidences = learner_.belief().Confidences();
+  out.top_fds = learner_.belief().TopK(config_.top_k);
+  out.trainer_converged =
+      trainer_track_.Converged(config_.conv_window, config_.conv_tolerance);
+  out.learner_converged =
+      learner_track_.Converged(config_.conv_window, config_.conv_tolerance);
+  out.next_pairs = pending_;
+  out.done = done_;
+  out.done_reason = done_reason_;
+  return out;
+}
+
+std::string Session::EncodeSnapshot() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("version");
+  w.String(kSnapshotVersion);
+  w.Key("fingerprint");
+  w.String(ConfigFingerprint(CanonicalSessionConfig(config_)));
+  w.Key("config");
+  EncodeConfig(&w, config_);
+  w.Key("round");
+  w.Uint(round_);
+  w.Key("labels_total");
+  w.Uint(labels_total_);
+  w.Key("done");
+  w.Bool(done_);
+  w.Key("done_reason");
+  w.String(done_reason_);
+  w.Key("pending");
+  WritePairs(&w, pending_);
+
+  const LearnerMemento memento = learner_.SaveMemento();
+  w.Key("learner");
+  w.BeginObject();
+  w.Key("alpha");
+  WriteDoubles(&w, memento.alpha);
+  w.Key("beta");
+  WriteDoubles(&w, memento.beta);
+  w.Key("rng");
+  w.BeginArray();
+  for (const uint64_t word : memento.rng_state) {
+    w.String(std::to_string(word));
+  }
+  w.EndArray();
+  w.Key("shown");
+  WritePairs(&w, memento.shown);
+  w.EndObject();
+
+  w.Key("trainer_track");
+  EncodeTracker(&w, trainer_track_);
+  w.Key("learner_track");
+  EncodeTracker(&w, learner_track_);
+  w.EndObject();
+  return w.Release();
+}
+
+Result<std::unique_ptr<Session>> Session::Restore(
+    const std::string& snapshot_json) {
+  ET_TRACE_SCOPE("serve.session.restore");
+  ET_ASSIGN_OR_RETURN(obs::JsonValue doc,
+                      obs::ParseJson(snapshot_json));
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("snapshot is not a JSON object");
+  }
+  ET_ASSIGN_OR_RETURN(const std::string version,
+                      StrField(doc, "version"));
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument("snapshot version '" + version +
+                                   "' is not " + kSnapshotVersion);
+  }
+  const obs::JsonValue* config_obj = doc.Find("config");
+  if (config_obj == nullptr || !config_obj->is_object()) {
+    return Status::InvalidArgument("snapshot has no config object");
+  }
+  ET_ASSIGN_OR_RETURN(SessionConfig config, DecodeConfig(*config_obj));
+  ET_ASSIGN_OR_RETURN(const std::string fingerprint,
+                      StrField(doc, "fingerprint"));
+  const std::string expected =
+      ConfigFingerprint(CanonicalSessionConfig(config));
+  if (fingerprint != expected) {
+    return Status::InvalidArgument(
+        "snapshot fingerprint " + fingerprint +
+        " does not match its config (" + expected + ")");
+  }
+
+  // Rebuild the world deterministically, then overlay the mutable
+  // state. Create() would select round 1's sample and advance the
+  // learner RNG; restoring the memento afterwards rewinds all of it.
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                      Session::Create(config));
+
+  const obs::JsonValue* learner = doc.Find("learner");
+  if (learner == nullptr || !learner->is_object()) {
+    return Status::InvalidArgument("snapshot has no learner object");
+  }
+  LearnerMemento memento;
+  ET_ASSIGN_OR_RETURN(memento.alpha,
+                      ReadDoubles(learner->Find("alpha"), "alpha"));
+  ET_ASSIGN_OR_RETURN(memento.beta,
+                      ReadDoubles(learner->Find("beta"), "beta"));
+  const obs::JsonValue* rng = learner->Find("rng");
+  if (rng == nullptr || !rng->is_array() || rng->array.size() != 4) {
+    return Status::InvalidArgument("snapshot rng must be 4 words");
+  }
+  for (size_t i = 0; i < 4; ++i) {
+    if (!rng->array[i].is_string()) {
+      return Status::InvalidArgument("snapshot rng words must be strings");
+    }
+    uint64_t word = 0;
+    for (const char c : rng->array[i].string_value) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("snapshot rng word is not decimal");
+      }
+      word = word * 10 + static_cast<uint64_t>(c - '0');
+    }
+    memento.rng_state[i] = word;
+  }
+  ET_ASSIGN_OR_RETURN(memento.shown,
+                      ReadPairs(learner->Find("shown"), "shown"));
+  ET_RETURN_NOT_OK(session->learner_.RestoreMemento(memento));
+
+  ET_RETURN_NOT_OK(
+      DecodeTracker(doc, "trainer_track", &session->trainer_track_));
+  ET_RETURN_NOT_OK(
+      DecodeTracker(doc, "learner_track", &session->learner_track_));
+  ET_ASSIGN_OR_RETURN(session->pending_,
+                      ReadPairs(doc.Find("pending"), "pending"));
+  ET_ASSIGN_OR_RETURN(const double round, NumField(doc, "round"));
+  session->round_ = static_cast<size_t>(round);
+  ET_ASSIGN_OR_RETURN(const double labels_total,
+                      NumField(doc, "labels_total"));
+  session->labels_total_ = static_cast<size_t>(labels_total);
+  ET_ASSIGN_OR_RETURN(session->done_, BoolFieldOr(doc, "done", false));
+  ET_ASSIGN_OR_RETURN(session->done_reason_,
+                      StrFieldOr(doc, "done_reason", ""));
+  return session;
+}
+
+// --- SessionManager --------------------------------------------------
+
+SessionManager::SessionManager(const SessionManagerOptions& options)
+    : options_(options) {
+  const size_t stripes = std::max<size_t>(1, options_.stripes);
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+  if (!options_.snapshot_dir.empty()) {
+    store_ = std::make_unique<CheckpointStore>(options_.snapshot_dir,
+                                               "serve");
+  }
+  RegisterFaultSite("serve.session");
+}
+
+SessionManager::Stripe& SessionManager::StripeFor(const std::string& id) {
+  return *stripes_[std::hash<std::string>()(id) % stripes_.size()];
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::FindEntry(
+    const std::string& id) {
+  Stripe& stripe = StripeFor(id);
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  auto it = stripe.sessions.find(id);
+  return it == stripe.sessions.end() ? nullptr : it->second;
+}
+
+bool SessionManager::TryBeginRequest() {
+  size_t cur = inflight_.load(std::memory_order_relaxed);
+  while (cur < options_.max_inflight) {
+    if (inflight_.compare_exchange_weak(cur, cur + 1,
+                                        std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void SessionManager::EndRequest() {
+  inflight_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+size_t SessionManager::ActiveSessions() const {
+  return session_count_.load(std::memory_order_relaxed);
+}
+
+Status SessionManager::Insert(const std::string& id,
+                              std::unique_ptr<Session> session) {
+  // Reserve a slot first so a create racing the cap cannot overshoot.
+  size_t count = session_count_.load(std::memory_order_relaxed);
+  do {
+    if (count >= options_.max_sessions) {
+      return Status::Unavailable(
+          "session table full (" + std::to_string(options_.max_sessions) +
+          " sessions)");
+    }
+  } while (!session_count_.compare_exchange_weak(
+      count, count + 1, std::memory_order_relaxed));
+
+  Stripe& stripe = StripeFor(id);
+  {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto [it, inserted] = stripe.sessions.try_emplace(id);
+    if (!inserted) {
+      session_count_.fetch_sub(1, std::memory_order_relaxed);
+      return Status::AlreadyExists("session " + id + " already exists");
+    }
+    it->second = std::make_shared<Entry>();
+    it->second->session = std::move(session);
+  }
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.sessions.active")
+      .Set(static_cast<double>(session_count_.load(std::memory_order_relaxed)));
+  return Status::OK();
+}
+
+std::string SessionManager::Handle(const std::string& request_payload) {
+  ET_TRACE_SCOPE("serve.request");
+  ET_COUNTER_INC("serve.requests.total");
+  uint64_t id = 0;
+  Status status = Status::OK();
+  std::string result_json;
+  try {
+    Result<Request> request = ParseRequest(request_payload);
+    if (!request.ok()) {
+      status = request.status();
+    } else {
+      id = request->id;
+      // Injected session faults model a scheduler/worker failure after
+      // admission but before dispatch: nothing has been applied, so
+      // the honest answer is "try again" — kUnavailable.
+      const Status fault = [] {
+        ET_FAULT_POINT("serve.session");
+        return Status::OK();
+      }();
+      if (!fault.ok()) {
+        status = Status::Unavailable(fault.message());
+      } else {
+        Result<std::string> result = Dispatch(*request);
+        if (result.ok()) {
+          result_json = std::move(*result);
+        } else {
+          status = result.status();
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    // Throw-mode faults (and any library exception) must degrade to an
+    // error response, never escape into the worker pool.
+    status = Status::Internal(std::string("uncaught exception: ") +
+                              e.what());
+  }
+  if (status.ok()) {
+    ET_COUNTER_INC("serve.requests.ok");
+    return OkResponse(id, result_json);
+  }
+  if (status.IsUnavailable()) {
+    ET_COUNTER_INC("serve.requests.unavailable");
+    return ErrorResponse(id, status, options_.retry_after_ms);
+  }
+  ET_COUNTER_INC("serve.requests.error");
+  return ErrorResponse(id, status);
+}
+
+Result<std::string> SessionManager::Dispatch(const Request& request) {
+  if (request.method == "session.create") {
+    ET_TRACE_SCOPE("serve.session.create");
+    return HandleCreate(request.params);
+  }
+  if (request.method == "session.label") {
+    ET_TRACE_SCOPE("serve.session.label");
+    return HandleLabel(request.params);
+  }
+  if (request.method == "session.snapshot") {
+    ET_TRACE_SCOPE("serve.session.snapshot");
+    return HandleSnapshot(request.params);
+  }
+  if (request.method == "session.restore") {
+    ET_TRACE_SCOPE("serve.session.restore_req");
+    return HandleRestore(request.params);
+  }
+  if (request.method == "session.close") {
+    ET_TRACE_SCOPE("serve.session.close");
+    return HandleClose(request.params);
+  }
+  if (request.method == "server.ping") {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("pong");
+    w.Bool(true);
+    w.Key("active_sessions");
+    w.Uint(ActiveSessions());
+    w.EndObject();
+    return w.Release();
+  }
+  return Status::NotFound("unknown method '" + request.method + "'");
+}
+
+namespace {
+
+/// Serializes the client-facing view of a session's current state
+/// (create and restore responses share it). Runs on an exclusively
+/// owned session — before it is published to the session table.
+std::string SessionStateJson(const std::string& id,
+                             const Session& session) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("session_id");
+  w.String(id);
+  w.Key("round");
+  w.Uint(session.round());
+  w.Key("labels_total");
+  w.Uint(session.labels_total());
+  w.Key("space_size");
+  w.Uint(session.world().space->size());
+  w.Key("pool_size");
+  w.Uint(session.world().pool.size());
+  w.Key("achieved_degree");
+  w.Double(session.world().achieved_degree);
+  w.Key("trainer_seed");
+  w.String(std::to_string(session.world().trainer_seed));
+  // The canonical trainer prior: the client seats its trainer on these
+  // exact pseudo-counts (doubles survive the wire via %.17g).
+  const BeliefModel& prior = session.world().trainer_prior;
+  std::vector<double> alpha(prior.size()), beta(prior.size());
+  for (size_t i = 0; i < prior.size(); ++i) {
+    alpha[i] = prior.beta(i).alpha();
+    beta[i] = prior.beta(i).beta();
+  }
+  w.Key("trainer_prior");
+  w.BeginObject();
+  w.Key("alpha");
+  WriteDoubles(&w, alpha);
+  w.Key("beta");
+  WriteDoubles(&w, beta);
+  w.EndObject();
+  w.Key("sample");
+  WritePairs(&w, session.pending());
+  w.Key("done");
+  w.Bool(session.done());
+  w.Key("done_reason");
+  w.String(session.done_reason());
+  w.EndObject();
+  return w.Release();
+}
+
+}  // namespace
+
+Result<std::string> SessionManager::HandleCreate(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(SessionConfig config, DecodeConfig(params));
+  if (config.deadline_ms <= 0.0) {
+    config.deadline_ms = options_.default_deadline_ms;
+  }
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                      Session::Create(config));
+  // Serialize the response before publishing the session: afterwards
+  // another worker may already be mutating it. Monotonic ids cannot
+  // collide within a server's lifetime.
+  const std::string id =
+      "s-" + std::to_string(
+                 next_session_.fetch_add(1, std::memory_order_relaxed));
+  const std::string result = SessionStateJson(id, *session);
+  ET_RETURN_NOT_OK(Insert(id, std::move(session)));
+  ET_COUNTER_INC("serve.sessions.created");
+  return result;
+}
+
+Result<std::string> SessionManager::HandleLabel(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  ET_ASSIGN_OR_RETURN(const double top_fd,
+                      NumField(params, "trainer_top_fd"));
+  const obs::JsonValue* labels_json = params.Find("labels");
+  if (labels_json == nullptr || !labels_json->is_array()) {
+    return Status::InvalidArgument("labels missing or not an array");
+  }
+  std::vector<LabeledPair> labels;
+  labels.reserve(labels_json->array.size());
+  for (const obs::JsonValue& e : labels_json->array) {
+    if (!e.is_array() || e.array.size() != 4 || !e.array[0].is_number() ||
+        !e.array[1].is_number() ||
+        e.array[2].kind != obs::JsonValue::Kind::kBool ||
+        e.array[3].kind != obs::JsonValue::Kind::kBool) {
+      return Status::InvalidArgument(
+          "labels entries must be [row, row, dirty, dirty]");
+    }
+    LabeledPair lp;
+    lp.pair = RowPair(static_cast<RowId>(e.array[0].number),
+                      static_cast<RowId>(e.array[1].number));
+    lp.first_dirty = e.array[2].bool_value;
+    lp.second_dirty = e.array[3].bool_value;
+    labels.push_back(lp);
+  }
+
+  std::shared_ptr<Entry> entry = FindEntry(id);
+  if (entry == nullptr) {
+    return Status::NotFound("session " + id + " not found");
+  }
+  LabelOutcome out;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->session == nullptr) {
+      return Status::NotFound("session " + id + " closed");
+    }
+    ET_ASSIGN_OR_RETURN(
+        out, entry->session->Label(labels, static_cast<size_t>(top_fd)));
+  }
+  ET_COUNTER_ADD("serve.labels.total", labels.size());
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("round");
+  w.Uint(out.round);
+  w.Key("labels_total");
+  w.Uint(out.labels_total);
+  w.Key("confidences");
+  WriteDoubles(&w, out.learner_confidences);
+  w.Key("top");
+  w.BeginArray();
+  for (const size_t fd : out.top_fds) {
+    w.BeginObject();
+    w.Key("fd");
+    w.Uint(fd);
+    w.Key("confidence");
+    w.Double(out.learner_confidences[fd]);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("trainer_drift");
+  w.Double(out.trainer_drift);
+  w.Key("learner_drift");
+  w.Double(out.learner_drift);
+  w.Key("trainer_converged");
+  w.Bool(out.trainer_converged);
+  w.Key("learner_converged");
+  w.Bool(out.learner_converged);
+  w.Key("next");
+  WritePairs(&w, out.next_pairs);
+  w.Key("done");
+  w.Bool(out.done);
+  w.Key("done_reason");
+  w.String(out.done_reason);
+  w.EndObject();
+  return w.Release();
+}
+
+Result<std::string> SessionManager::HandleSnapshot(
+    const obs::JsonValue& params) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "server started without --snapshot-dir");
+  }
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  std::shared_ptr<Entry> entry = FindEntry(id);
+  if (entry == nullptr) {
+    return Status::NotFound("session " + id + " not found");
+  }
+  std::string payload;
+  {
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->session == nullptr) {
+      return Status::NotFound("session " + id + " closed");
+    }
+    payload = entry->session->EncodeSnapshot();
+  }
+  const std::string name = "sess-" + id;
+  ET_RETURN_NOT_OK(store_->Save(name, payload));
+  ET_COUNTER_INC("serve.snapshots.total");
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("name");
+  w.String(name);
+  w.Key("path");
+  w.String(store_->PathFor(name));
+  w.EndObject();
+  return w.Release();
+}
+
+Result<std::string> SessionManager::HandleRestore(
+    const obs::JsonValue& params) {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition(
+        "server started without --snapshot-dir");
+  }
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  if (FindEntry(id) != nullptr) {
+    return Status::AlreadyExists("session " + id + " is live");
+  }
+  ET_ASSIGN_OR_RETURN(const std::string payload,
+                      store_->Load("sess-" + id));
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                      Session::Restore(payload));
+  const std::string result = SessionStateJson(id, *session);
+  ET_RETURN_NOT_OK(Insert(id, std::move(session)));
+  ET_COUNTER_INC("serve.sessions.restored");
+  return result;
+}
+
+Result<std::string> SessionManager::HandleClose(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  std::shared_ptr<Entry> entry;
+  {
+    Stripe& stripe = StripeFor(id);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.sessions.find(id);
+    if (it == stripe.sessions.end()) {
+      return Status::NotFound("session " + id + " not found");
+    }
+    entry = it->second;
+    stripe.sessions.erase(it);
+  }
+  session_count_.fetch_sub(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.sessions.active")
+      .Set(static_cast<double>(
+          session_count_.load(std::memory_order_relaxed)));
+  ET_COUNTER_INC("serve.sessions.closed");
+
+  size_t round = 0;
+  size_t labels_total = 0;
+  {
+    // An in-flight operation may still hold the entry; waiting for its
+    // lock (map entry already gone) serializes the close response
+    // after it.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    if (entry->session != nullptr) {
+      round = entry->session->round();
+      labels_total = entry->session->labels_total();
+      entry->session.reset();
+    }
+  }
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("closed");
+  w.Bool(true);
+  w.Key("round");
+  w.Uint(round);
+  w.Key("labels_total");
+  w.Uint(labels_total);
+  w.EndObject();
+  return w.Release();
+}
+
+Status SessionManager::ForceSessionDeadlineForTest(
+    const std::string& session_id) {
+  std::shared_ptr<Entry> entry = FindEntry(session_id);
+  if (entry == nullptr) {
+    return Status::NotFound("session " + session_id + " not found");
+  }
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->session == nullptr) {
+    return Status::NotFound("session " + session_id + " closed");
+  }
+  entry->session->ForceDeadlineForTest();
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace et

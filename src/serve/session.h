@@ -1,0 +1,255 @@
+// Annotation sessions: the exploratory-training game loop as a
+// long-lived, resumable service object.
+//
+// A session is one trainer/learner game (core/) whose trainer lives on
+// the other side of the wire: the server owns the learner, the
+// convergence trackers, and the pending sample; the client (a human
+// annotator UI, or a simulated annotator in et_loadgen) owns the
+// trainer. Each session.label round is exactly one Game iteration —
+// same seed derivation, same update order, same drift action ids — so
+// a session with seed s replays repetition 0 of a convergence
+// experiment with seed s bit-for-bit (tests/serve/ asserts this).
+//
+// Lifecycle state machine (DESIGN.md §10):
+//
+//   create ──► ACTIVE ──label*──► DONE (max_rounds | pool_exhausted)
+//                │  ▲                         │
+//            snapshot │ restore           close│
+//                ▼    │                        ▼
+//              (persisted JSON) ──────────► removed
+//
+// Locking discipline: SessionManager stripes the id→session map (N
+// mutexes, id-hashed); each session additionally owns a per-session
+// mutex serializing its game state. Map stripes are never held across
+// a game operation, so slow sessions only block their own callers.
+// Backpressure: a bounded in-flight request budget admits work before
+// it is scheduled; overflow is rejected with kUnavailable + a
+// retry-after hint, never queued unboundedly.
+
+#ifndef ET_SERVE_SESSION_H_
+#define ET_SERVE_SESSION_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/convergence.h"
+#include "core/learner.h"
+#include "data/datasets.h"
+#include "exp/convergence_experiment.h"
+#include "obs/json.h"
+#include "robustness/checkpoint.h"
+#include "robustness/watchdog.h"
+#include "serve/protocol.h"
+
+namespace et {
+namespace serve {
+
+/// Everything that determines a session's world and stream. The
+/// defaults mirror ConvergenceConfig so a default session replays a
+/// default convergence repetition.
+struct SessionConfig {
+  std::string dataset = "omdb";
+  size_t rows = 400;
+  double violation_degree = 0.10;
+  PriorSpec trainer_prior{PriorKind::kRandom, 0.9};
+  PriorSpec learner_prior{PriorKind::kDataEstimate, 0.9};
+  size_t hypothesis_cap = 38;
+  int max_fd_attrs = 4;
+  /// Pairs per session.label round (a Game iteration).
+  size_t pairs_per_round = 5;
+  /// Rounds before the session completes (Game iterations).
+  size_t max_rounds = 30;
+  /// Learner response policy: "random" | "us" | "sbr" | "sus".
+  std::string policy = "sbr";
+  double gamma = 0.5;
+  uint64_t seed = 42;
+  /// Per-session wall-clock budget (<= 0 disables): requests against a
+  /// session older than this fail with kDeadlineExceeded.
+  double deadline_ms = 0.0;
+  /// Convergence estimate reported with each label round.
+  size_t conv_window = 5;
+  double conv_tolerance = 0.05;
+  /// FDs returned in each round's learner top-k.
+  size_t top_k = 3;
+};
+
+/// The deterministically reconstructed game world of a config: dataset
+/// (dirtied to degree), hypothesis space, agent priors, candidate pool.
+/// Construction replicates the convergence experiment's repetition-0
+/// seed derivation exactly; the trainer prior and seed are returned for
+/// the *client* side, which owns the trainer.
+struct SessionWorld {
+  Dataset data;
+  std::shared_ptr<const HypothesisSpace> space;
+  BeliefModel trainer_prior;
+  BeliefModel learner_prior;
+  std::vector<RowPair> pool;
+  double achieved_degree = 0.0;
+  /// Seed the client-side trainer must use to replay the experiment's
+  /// trainer stream (rep_seed ^ 0x77).
+  uint64_t trainer_seed = 0;
+  /// Seed of the server-side learner ((rep_seed ^ 0x1E42) + 0 — the
+  /// session is policy cell 0 of its single-policy experiment).
+  uint64_t learner_seed = 0;
+};
+
+Result<PolicyKind> ParsePolicyName(const std::string& name);
+
+Result<SessionWorld> BuildSessionWorld(const SessionConfig& config);
+
+/// Canonical config text (every world-affecting field); its
+/// ConfigFingerprint keys snapshots so a restore against a different
+/// config is rejected, never silently mixed.
+std::string CanonicalSessionConfig(const SessionConfig& config);
+
+/// Result of one label round.
+struct LabelOutcome {
+  size_t round = 0;  // completed rounds, after this one
+  size_t labels_total = 0;
+  std::vector<double> learner_confidences;  // space order
+  std::vector<size_t> top_fds;              // indices, best first
+  double trainer_drift = 0.0;
+  double learner_drift = 0.0;
+  bool trainer_converged = false;
+  bool learner_converged = false;
+  /// Next round's sample; empty when the session is done.
+  std::vector<RowPair> next_pairs;
+  bool done = false;
+  std::string done_reason;  // "max_rounds" | "pool_exhausted" | ""
+};
+
+/// One live session. Not thread-safe: the manager serializes access
+/// through the per-session mutex.
+class Session {
+ public:
+  /// Builds the world, seats the learner, selects round 1's sample.
+  static Result<std::unique_ptr<Session>> Create(const SessionConfig& config);
+
+  const SessionConfig& config() const { return config_; }
+  const SessionWorld& world() const { return world_; }
+  const Learner& learner() const { return learner_; }
+  size_t round() const { return round_; }
+  size_t labels_total() const { return labels_total_; }
+  bool done() const { return done_; }
+  const std::string& done_reason() const { return done_reason_; }
+  const std::vector<RowPair>& pending() const { return pending_; }
+
+  /// Consumes one round of labels (must match the pending sample pair
+  /// for pair, in order), advances the trackers, selects the next
+  /// sample. `trainer_top_fd` is the client-declared current top FD —
+  /// the trainer's realized action for the drift series.
+  Result<LabelOutcome> Label(const std::vector<LabeledPair>& labels,
+                             size_t trainer_top_fd);
+
+  /// Per-session wall-clock budget; OK when within (or disabled).
+  Status CheckDeadline() const;
+  void ForceDeadlineForTest() { watchdog_.ForceExpireForTest(); }
+
+  /// Serializes the full resumable state (config + learner memento +
+  /// trackers + pending sample) as a versioned JSON document.
+  std::string EncodeSnapshot() const;
+
+  /// Rebuilds a session from EncodeSnapshot output: world reconstructed
+  /// from the embedded config, then mutable state restored; learner
+  /// posteriors and the RNG stream resume bit-identically.
+  static Result<std::unique_ptr<Session>> Restore(
+      const std::string& snapshot_json);
+
+ private:
+  Session(SessionConfig config, SessionWorld world, Learner learner);
+
+  /// Advances pending_ (or sets done_) for the next round.
+  Status SelectNext();
+
+  SessionConfig config_;
+  SessionWorld world_;
+  Learner learner_;
+  ConvergenceTracker trainer_track_;
+  ConvergenceTracker learner_track_;
+  std::vector<RowPair> pending_;
+  size_t round_ = 0;
+  size_t labels_total_ = 0;
+  bool done_ = false;
+  std::string done_reason_;
+  Watchdog watchdog_;
+};
+
+struct SessionManagerOptions {
+  /// Cap on concurrently live sessions; create past it is kUnavailable.
+  size_t max_sessions = 256;
+  /// Cap on admitted-but-unfinished requests (the bounded queue);
+  /// admission past it is kUnavailable with retry_after_ms.
+  size_t max_inflight = 64;
+  /// Retry-after hint attached to kUnavailable rejections.
+  double retry_after_ms = 25.0;
+  /// Deadline applied to sessions whose config leaves deadline_ms 0.
+  double default_deadline_ms = 0.0;
+  /// Stripes of the id→session map.
+  size_t stripes = 8;
+  /// Snapshot directory (CheckpointStore); empty disables
+  /// session.snapshot / session.restore.
+  std::string snapshot_dir;
+};
+
+/// Owns every live session and dispatches wire requests to them.
+/// Thread-safe: any number of workers may call Handle concurrently.
+class SessionManager {
+ public:
+  explicit SessionManager(const SessionManagerOptions& options);
+
+  /// Backpressure admission. TryBeginRequest reserves an in-flight
+  /// slot; every reservation must be paired with EndRequest.
+  bool TryBeginRequest();
+  void EndRequest();
+  double retry_after_ms() const { return options_.retry_after_ms; }
+
+  /// Full request cycle: parse → dispatch → serialize. Always returns
+  /// a well-formed response payload (never throws).
+  std::string Handle(const std::string& request_payload);
+
+  size_t ActiveSessions() const;
+
+  /// Expires a session's watchdog (deterministic deadline tests).
+  Status ForceSessionDeadlineForTest(const std::string& session_id);
+
+ private:
+  struct Entry {
+    std::mutex mu;
+    std::unique_ptr<Session> session;
+  };
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> sessions;
+  };
+
+  Stripe& StripeFor(const std::string& id);
+  std::shared_ptr<Entry> FindEntry(const std::string& id);
+
+  Result<std::string> Dispatch(const Request& request);
+  Result<std::string> HandleCreate(const obs::JsonValue& params);
+  Result<std::string> HandleLabel(const obs::JsonValue& params);
+  Result<std::string> HandleSnapshot(const obs::JsonValue& params);
+  Result<std::string> HandleRestore(const obs::JsonValue& params);
+  Result<std::string> HandleClose(const obs::JsonValue& params);
+
+  /// Inserts under the stripe lock; fails (kUnavailable) at
+  /// max_sessions, (kAlreadyExists) on id collision.
+  Status Insert(const std::string& id, std::unique_ptr<Session> session);
+
+  SessionManagerOptions options_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<size_t> session_count_{0};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> next_session_{1};
+  std::unique_ptr<CheckpointStore> store_;  // null when no snapshot_dir
+};
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_SESSION_H_

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -68,8 +70,13 @@ ConvergenceConfig SmallConfig() {
 class ResumeTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // Unique per test *and* per process: concurrent ctest invocations
+    // (or a crashed previous run) must not share checkpoint state.
+    const auto* info =
+        ::testing::UnitTest::GetInstance()->current_test_info();
     dir_ = ::testing::TempDir() + "/et_resume_test_" +
-           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+           std::string(info->test_suite_name()) + "_" +
+           std::string(info->name()) + "_" + std::to_string(getpid());
     std::filesystem::remove_all(dir_);
   }
   void TearDown() override {

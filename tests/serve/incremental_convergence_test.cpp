@@ -1,0 +1,147 @@
+// The session path IS the experiment path: a session driven one
+// session.label round at a time produces per-round trainer/learner MAE
+// bit-identical to repetition 0 of RunConvergenceExperiment on the same
+// config — serially and at --threads=4 (the batch path parallelizes
+// over repetitions/policies; bit-identity must not depend on that).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/trainer.h"
+#include "exp/convergence_experiment.h"
+#include "serve/session.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+ConvergenceConfig BatchConfig() {
+  ConvergenceConfig config;
+  config.dataset = "omdb";
+  config.rows = 150;
+  config.iterations = 8;
+  config.pairs_per_iteration = 4;
+  config.repetitions = 1;  // a session replays repetition 0
+  config.seed = 23;
+  config.policies = {PolicyKind::kStochasticBestResponse};
+  return config;
+}
+
+SessionConfig MatchingSessionConfig(const ConvergenceConfig& batch) {
+  SessionConfig config;
+  config.dataset = batch.dataset;
+  config.rows = batch.rows;
+  config.violation_degree = batch.violation_degree;
+  config.trainer_prior = batch.trainer_prior;
+  config.learner_prior = batch.learner_prior;
+  config.hypothesis_cap = batch.hypothesis_cap;
+  config.max_fd_attrs = batch.max_fd_attrs;
+  config.pairs_per_round = batch.pairs_per_iteration;
+  config.max_rounds = batch.iterations;
+  config.policy = "sbr";
+  config.gamma = batch.gamma;
+  config.seed = batch.seed;
+  return config;
+}
+
+/// Plays a full session with a client-side core::Trainer — exactly the
+/// wire division of labor — and returns the per-round MAE series
+/// computed the way Game computes it (after the learner consumes).
+std::vector<double> PlaySessionMae(const SessionConfig& config) {
+  auto session = testing::Unwrap(Session::Create(config));
+  const SessionWorld& world = session->world();
+  Trainer trainer(world.trainer_prior, TrainerOptions{},
+                  world.trainer_seed);
+  std::vector<double> mae;
+  while (!session->done()) {
+    const std::vector<RowPair> sample = session->pending();
+    trainer.Observe(world.data.rel, sample);
+    const std::vector<LabeledPair> labels =
+        trainer.Label(world.data.rel, sample);
+    testing::Unwrap(session->Label(labels, trainer.belief().Top1()));
+    mae.push_back(testing::Unwrap(
+        trainer.belief().MAE(session->learner().belief())));
+  }
+  return mae;
+}
+
+void CompareAtThreads(int threads) {
+  SetParallelism(threads);
+  const ConvergenceConfig batch_config = BatchConfig();
+  auto batch = RunConvergenceExperiment(batch_config);
+  ET_ASSERT_OK(batch.status());
+  ASSERT_EQ(batch->methods.size(), 1u);
+  const std::vector<double>& batch_mae = batch->methods[0].mae;
+
+  const std::vector<double> session_mae =
+      PlaySessionMae(MatchingSessionConfig(batch_config));
+
+  ASSERT_EQ(session_mae.size(), batch_mae.size());
+  for (size_t t = 0; t < batch_mae.size(); ++t) {
+    EXPECT_EQ(Bits(session_mae[t]), Bits(batch_mae[t]))
+        << "round " << (t + 1) << " at threads=" << threads;
+  }
+  SetParallelism(0);
+}
+
+TEST(IncrementalConvergenceTest, SessionMatchesBatchSerially) {
+  CompareAtThreads(1);
+}
+
+TEST(IncrementalConvergenceTest, SessionMatchesBatchAtFourThreads) {
+  CompareAtThreads(4);
+}
+
+TEST(IncrementalConvergenceTest, SnapshotMidRunDoesNotPerturbTheSeries) {
+  const ConvergenceConfig batch_config = BatchConfig();
+  SetParallelism(1);
+  auto batch = RunConvergenceExperiment(batch_config);
+  ET_ASSERT_OK(batch.status());
+  const std::vector<double>& batch_mae = batch->methods[0].mae;
+
+  // Same drive, but the session is snapshotted and *replaced by its
+  // restored self* halfway through.
+  const SessionConfig config = MatchingSessionConfig(batch_config);
+  auto session = testing::Unwrap(Session::Create(config));
+  Trainer trainer(session->world().trainer_prior, TrainerOptions{},
+                  session->world().trainer_seed);
+  std::vector<double> mae;
+  size_t round = 0;
+  while (!session->done()) {
+    if (round == batch_config.iterations / 2) {
+      // Replacing the session invalidates references into its world;
+      // the loop below always re-reads through the live session.
+      session = testing::Unwrap(Session::Restore(session->EncodeSnapshot()));
+    }
+    const Relation& rel = session->world().data.rel;
+    const std::vector<RowPair> sample = session->pending();
+    trainer.Observe(rel, sample);
+    const std::vector<LabeledPair> labels = trainer.Label(rel, sample);
+    ET_ASSERT_OK(
+        session->Label(labels, trainer.belief().Top1()).status());
+    auto round_mae = trainer.belief().MAE(session->learner().belief());
+    ET_ASSERT_OK(round_mae.status());
+    mae.push_back(*round_mae);
+    ++round;
+  }
+  ASSERT_EQ(mae.size(), batch_mae.size());
+  for (size_t t = 0; t < batch_mae.size(); ++t) {
+    EXPECT_EQ(Bits(mae[t]), Bits(batch_mae[t])) << "round " << (t + 1);
+  }
+  SetParallelism(0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

@@ -1,0 +1,146 @@
+// Wire protocol: framing round-trips under arbitrary chunking, poison
+// cases kill the parser, envelopes parse both ways.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+std::vector<std::string> FeedAll(FrameParser* parser,
+                                 const std::string& bytes,
+                                 size_t chunk) {
+  std::vector<std::string> out;
+  for (size_t i = 0; i < bytes.size(); i += chunk) {
+    const size_t n = std::min(chunk, bytes.size() - i);
+    EXPECT_TRUE(parser->Feed(bytes.data() + i, n, &out).ok());
+  }
+  return out;
+}
+
+TEST(FrameTest, EncodeIsLengthNewlinePayloadNewline) {
+  EXPECT_EQ(EncodeFrame("abc"), "3\nabc\n");
+  EXPECT_EQ(EncodeFrame(""), "0\n\n");
+}
+
+TEST(FrameTest, RoundTripsAtEveryChunkSize) {
+  const std::vector<std::string> payloads = {
+      "{\"id\":1}", "", std::string(1000, 'x'), "with\nnewline\nbytes"};
+  std::string stream;
+  for (const std::string& p : payloads) stream += EncodeFrame(p);
+  // Chunk 1 exercises every state transition byte-by-byte.
+  for (size_t chunk : {size_t{1}, size_t{3}, size_t{7}, stream.size()}) {
+    FrameParser parser;
+    EXPECT_EQ(FeedAll(&parser, stream, chunk), payloads)
+        << "chunk=" << chunk;
+  }
+}
+
+TEST(FrameTest, NonDigitLengthPoisons) {
+  FrameParser parser;
+  std::vector<std::string> out;
+  EXPECT_FALSE(parser.Feed("x\n", 2, &out).ok());
+  // Poisoned parsers stay dead even for valid input.
+  const std::string good = EncodeFrame("ok");
+  EXPECT_FALSE(parser.Feed(good.data(), good.size(), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(FrameTest, EmptyLengthLinePoisons) {
+  FrameParser parser;
+  std::vector<std::string> out;
+  EXPECT_FALSE(parser.Feed("\n", 1, &out).ok());
+}
+
+TEST(FrameTest, OversizedFramePoisons) {
+  FrameParser parser(/*max_frame_bytes=*/16);
+  std::vector<std::string> out;
+  const std::string frame = EncodeFrame(std::string(17, 'a'));
+  EXPECT_FALSE(parser.Feed(frame.data(), frame.size(), &out).ok());
+}
+
+TEST(FrameTest, MissingTrailerPoisons) {
+  FrameParser parser;
+  std::vector<std::string> out;
+  EXPECT_FALSE(parser.Feed("2\nabX", 5, &out).ok());
+}
+
+TEST(RequestTest, ParsesEnvelope) {
+  auto req = ParseRequest(
+      "{\"id\":7,\"method\":\"session.label\",\"params\":{\"k\":1}}");
+  ET_ASSERT_OK(req.status());
+  EXPECT_EQ(req->id, 7u);
+  EXPECT_EQ(req->method, "session.label");
+  const obs::JsonValue* k = req->params.Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number, 1.0);
+}
+
+TEST(RequestTest, MissingParamsIsEmptyObject) {
+  auto req = ParseRequest("{\"id\":2,\"method\":\"server.ping\"}");
+  ET_ASSERT_OK(req.status());
+  EXPECT_TRUE(req->params.is_object());
+  EXPECT_TRUE(req->params.object.empty());
+}
+
+TEST(RequestTest, NoIdFails) {
+  EXPECT_FALSE(ParseRequest("{\"method\":\"x\"}").ok());
+  EXPECT_FALSE(ParseRequest("not json").ok());
+}
+
+TEST(ResponseTest, OkResponseRoundTrips) {
+  const std::string payload = OkResponse(42, "{\"round\":3}");
+  auto resp = ParseResponse(payload);
+  ET_ASSERT_OK(resp.status());
+  EXPECT_EQ(resp->id, 42u);
+  EXPECT_TRUE(resp->ok);
+  const obs::JsonValue* round = resp->result.Find("round");
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->number, 3.0);
+}
+
+TEST(ResponseTest, ErrorResponseRoundTrips) {
+  const std::string payload = ErrorResponse(
+      9, Status::Unavailable("server busy"), /*retry_after_ms=*/25.0);
+  auto resp = ParseResponse(payload);
+  ET_ASSERT_OK(resp.status());
+  EXPECT_EQ(resp->id, 9u);
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, StatusCode::kUnavailable);
+  EXPECT_EQ(resp->message, "server busy");
+  EXPECT_EQ(resp->retry_after_ms, 25.0);
+}
+
+TEST(ResponseTest, ErrorWithoutRetryHintOmitsIt) {
+  const std::string payload =
+      ErrorResponse(1, Status::NotFound("no such session"));
+  EXPECT_EQ(payload.find("retry_after_ms"), std::string::npos);
+  auto resp = ParseResponse(payload);
+  ET_ASSERT_OK(resp.status());
+  EXPECT_EQ(resp->code, StatusCode::kNotFound);
+  EXPECT_EQ(resp->retry_after_ms, 0.0);
+}
+
+TEST(WireNameTest, RoundTripsEveryCode) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal,
+        StatusCode::kIOError, StatusCode::kDeadlineExceeded,
+        StatusCode::kNotImplemented, StatusCode::kUnavailable}) {
+    EXPECT_EQ(WireNameToStatusCode(StatusCodeWireName(code)), code)
+        << StatusCodeWireName(code);
+  }
+  EXPECT_EQ(WireNameToStatusCode("no_such_code"), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

@@ -1,0 +1,325 @@
+// Session objects and the SessionManager request paths: lifecycle,
+// label validation, snapshot/restore bit-identity, backpressure.
+
+#include "serve/session.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "serve/protocol.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+SessionConfig SmallConfig() {
+  SessionConfig config;
+  config.dataset = "omdb";
+  config.rows = 120;
+  config.max_rounds = 6;
+  config.pairs_per_round = 3;
+  config.seed = 17;
+  return config;
+}
+
+/// Plays the session's own trainer (same construction as the
+/// convergence experiment) for `rounds` label rounds.
+class TrainerDriver {
+ public:
+  explicit TrainerDriver(const SessionWorld& world)
+      : trainer_(world.trainer_prior, TrainerOptions{}, world.trainer_seed),
+        rel_(&world.data.rel) {}
+
+  Result<LabelOutcome> PlayRound(Session* session) {
+    const std::vector<RowPair> sample = session->pending();
+    trainer_.Observe(*rel_, sample);
+    const std::vector<LabeledPair> labels = trainer_.Label(*rel_, sample);
+    return session->Label(labels, trainer_.belief().Top1());
+  }
+
+ private:
+  Trainer trainer_;
+  const Relation* rel_;
+};
+
+TEST(SessionTest, CreateSelectsFirstSample) {
+  auto session = testing::Unwrap(Session::Create(SmallConfig()));
+  EXPECT_EQ(session->round(), 0u);
+  EXPECT_FALSE(session->done());
+  EXPECT_EQ(session->pending().size(), 3u);
+}
+
+TEST(SessionTest, BadDatasetAndZeroPairsAreRejected) {
+  SessionConfig config = SmallConfig();
+  config.dataset = "no_such_dataset";
+  EXPECT_FALSE(Session::Create(config).ok());
+  config = SmallConfig();
+  config.pairs_per_round = 0;
+  EXPECT_FALSE(Session::Create(config).ok());
+}
+
+TEST(SessionTest, LabelValidationLeavesStateUntouched) {
+  auto session = testing::Unwrap(Session::Create(SmallConfig()));
+  const std::vector<RowPair> sample = session->pending();
+
+  // Wrong batch size.
+  EXPECT_FALSE(session->Label({}, 0).ok());
+  // Right size, wrong pairs.
+  std::vector<LabeledPair> wrong;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    wrong.push_back({RowPair(100 + RowId(i), 200 + RowId(i)), false, false});
+  }
+  EXPECT_FALSE(session->Label(wrong, 0).ok());
+  // Right pairs, out-of-range declared FD.
+  std::vector<LabeledPair> right;
+  for (const RowPair& p : sample) right.push_back({p, false, false});
+  EXPECT_FALSE(session->Label(right, session->world().space->size()).ok());
+
+  EXPECT_EQ(session->round(), 0u);
+  EXPECT_EQ(session->labels_total(), 0u);
+  EXPECT_EQ(session->pending(), sample);
+}
+
+TEST(SessionTest, RunsToMaxRounds) {
+  const SessionConfig config = SmallConfig();
+  auto session = testing::Unwrap(Session::Create(config));
+  TrainerDriver driver(session->world());
+  LabelOutcome out;
+  for (size_t r = 0; r < config.max_rounds; ++r) {
+    out = testing::Unwrap(driver.PlayRound(session.get()));
+    EXPECT_EQ(out.round, r + 1);
+    EXPECT_EQ(out.labels_total, (r + 1) * config.pairs_per_round);
+    EXPECT_EQ(out.learner_confidences.size(),
+              session->world().space->size());
+    EXPECT_EQ(out.top_fds.size(), config.top_k);
+  }
+  EXPECT_TRUE(out.done);
+  EXPECT_EQ(out.done_reason, "max_rounds");
+  EXPECT_TRUE(out.next_pairs.empty());
+  // Labeling past done fails cleanly.
+  EXPECT_FALSE(session
+                   ->Label(std::vector<LabeledPair>(
+                               config.pairs_per_round,
+                               LabeledPair{RowPair(0, 1), false, false}),
+                           0)
+                   .ok());
+}
+
+TEST(SessionTest, SnapshotRestoreResumesBitIdentically) {
+  const SessionConfig config = SmallConfig();
+  auto original = testing::Unwrap(Session::Create(config));
+  TrainerDriver driver(original->world());
+  for (int r = 0; r < 3; ++r) {
+    ET_ASSERT_OK(driver.PlayRound(original.get()).status());
+  }
+
+  const std::string snapshot = original->EncodeSnapshot();
+  auto restored = testing::Unwrap(Session::Restore(snapshot));
+
+  // Restored learner posterior is bit-identical...
+  const BeliefModel& a = original->learner().belief();
+  const BeliefModel& b = restored->learner().belief();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(Bits(a.beta(i).alpha()), Bits(b.beta(i).alpha())) << i;
+    EXPECT_EQ(Bits(a.beta(i).beta()), Bits(b.beta(i).beta())) << i;
+  }
+  EXPECT_EQ(restored->round(), original->round());
+  EXPECT_EQ(restored->pending(), original->pending());
+
+  // ...and the two sessions continue in lockstep: same labels produce
+  // bit-identical outcomes (posterior, drift, sample selection — which
+  // exercises the restored RNG stream). The restored side's trainer is
+  // re-synced by replaying the first 3 rounds against a throwaway
+  // session (sessions are deterministic, so it sees the same samples).
+  TrainerDriver driver_b(restored->world());
+  {
+    auto replay = testing::Unwrap(Session::Create(config));
+    for (int r = 0; r < 3; ++r) {
+      ET_ASSERT_OK(driver_b.PlayRound(replay.get()).status());
+    }
+  }
+  for (size_t r = original->round(); r < config.max_rounds; ++r) {
+    auto out_a = testing::Unwrap(driver.PlayRound(original.get()));
+    auto out_b = testing::Unwrap(driver_b.PlayRound(restored.get()));
+    EXPECT_EQ(out_a.round, out_b.round);
+    EXPECT_EQ(out_a.next_pairs, out_b.next_pairs) << "round " << r;
+    EXPECT_EQ(Bits(out_a.trainer_drift), Bits(out_b.trainer_drift));
+    EXPECT_EQ(Bits(out_a.learner_drift), Bits(out_b.learner_drift));
+    ASSERT_EQ(out_a.learner_confidences.size(),
+              out_b.learner_confidences.size());
+    for (size_t i = 0; i < out_a.learner_confidences.size(); ++i) {
+      EXPECT_EQ(Bits(out_a.learner_confidences[i]),
+                Bits(out_b.learner_confidences[i]));
+    }
+  }
+}
+
+TEST(SessionTest, RestoreRejectsTamperedSnapshots) {
+  auto session = testing::Unwrap(Session::Create(SmallConfig()));
+  const std::string snapshot = session->EncodeSnapshot();
+
+  EXPECT_FALSE(Session::Restore("not json").ok());
+  // Config tampering breaks the fingerprint.
+  std::string tampered = snapshot;
+  const size_t pos = tampered.find("\"rows\":120");
+  ASSERT_NE(pos, std::string::npos);
+  tampered.replace(pos, 10, "\"rows\":121");
+  EXPECT_FALSE(Session::Restore(tampered).ok());
+}
+
+// ---- SessionManager wire paths ----
+
+std::string MakeRequest(uint64_t id, const std::string& method,
+                        const std::string& params) {
+  std::string payload = "{\"id\":" + std::to_string(id) + ",\"method\":\"" +
+                        method + "\"";
+  if (!params.empty()) payload += ",\"params\":" + params;
+  payload += "}";
+  return payload;
+}
+
+Response Call(SessionManager* manager, uint64_t id,
+              const std::string& method, const std::string& params = "") {
+  auto resp = ParseResponse(manager->Handle(MakeRequest(id, method, params)));
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+  return resp.ok() ? *resp : Response{};
+}
+
+std::string SmallCreateParams() {
+  return "{\"dataset\":\"omdb\",\"rows\":120,\"max_rounds\":6,"
+         "\"pairs_per_round\":3,\"seed\":\"17\"}";
+}
+
+TEST(SessionManagerTest, PingAndUnknownMethod) {
+  SessionManager manager(SessionManagerOptions{});
+  Response pong = Call(&manager, 1, "server.ping");
+  EXPECT_TRUE(pong.ok);
+  const obs::JsonValue* p = pong.result.Find("pong");
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(p->bool_value);
+
+  Response unknown = Call(&manager, 2, "no.such.method");
+  EXPECT_FALSE(unknown.ok);
+  EXPECT_EQ(unknown.code, StatusCode::kNotFound);
+  EXPECT_EQ(unknown.id, 2u);
+}
+
+TEST(SessionManagerTest, MalformedPayloadStillGetsResponse) {
+  SessionManager manager(SessionManagerOptions{});
+  auto resp = ParseResponse(manager.Handle("garbage"));
+  ET_ASSERT_OK(resp.status());
+  EXPECT_FALSE(resp->ok);
+  EXPECT_EQ(resp->code, StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, CreateLabelCloseCycle) {
+  SessionManager manager(SessionManagerOptions{});
+  Response created = Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok) << created.message;
+  const obs::JsonValue* sid = created.result.Find("session_id");
+  ASSERT_NE(sid, nullptr);
+  const std::string id = sid->string_value;
+  EXPECT_EQ(manager.ActiveSessions(), 1u);
+  const obs::JsonValue* sample = created.result.Find("sample");
+  ASSERT_NE(sample, nullptr);
+  ASSERT_EQ(sample->array.size(), 3u);
+
+  // Label with all-clean labels for the served sample.
+  std::string labels = "[";
+  for (size_t i = 0; i < sample->array.size(); ++i) {
+    if (i > 0) labels += ",";
+    labels += "[" + std::to_string(int(sample->array[i].array[0].number)) +
+              "," + std::to_string(int(sample->array[i].array[1].number)) +
+              ",false,false]";
+  }
+  labels += "]";
+  Response labeled = Call(&manager, 2, "session.label",
+                          "{\"session_id\":\"" + id +
+                              "\",\"trainer_top_fd\":0,\"labels\":" + labels +
+                              "}");
+  ASSERT_TRUE(labeled.ok) << labeled.message;
+  EXPECT_EQ(labeled.result.Find("round")->number, 1.0);
+  EXPECT_EQ(labeled.result.Find("labels_total")->number, 3.0);
+  ASSERT_NE(labeled.result.Find("next"), nullptr);
+  ASSERT_NE(labeled.result.Find("top"), nullptr);
+
+  Response closed = Call(&manager, 3, "session.close",
+                         "{\"session_id\":\"" + id + "\"}");
+  ASSERT_TRUE(closed.ok) << closed.message;
+  EXPECT_EQ(manager.ActiveSessions(), 0u);
+  // Operations on a closed session are kNotFound.
+  Response gone = Call(&manager, 4, "session.close",
+                       "{\"session_id\":\"" + id + "\"}");
+  EXPECT_EQ(gone.code, StatusCode::kNotFound);
+}
+
+TEST(SessionManagerTest, MaxSessionsIsUnavailableWithRetryHint) {
+  SessionManagerOptions options;
+  options.max_sessions = 1;
+  options.retry_after_ms = 40.0;
+  SessionManager manager(options);
+  Response first = Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(first.ok) << first.message;
+  Response second = Call(&manager, 2, "session.create", SmallCreateParams());
+  EXPECT_FALSE(second.ok);
+  EXPECT_EQ(second.code, StatusCode::kUnavailable);
+  EXPECT_EQ(second.retry_after_ms, 40.0);
+}
+
+TEST(SessionManagerTest, InflightBudgetAdmitsAndReleases) {
+  SessionManagerOptions options;
+  options.max_inflight = 2;
+  SessionManager manager(options);
+  EXPECT_TRUE(manager.TryBeginRequest());
+  EXPECT_TRUE(manager.TryBeginRequest());
+  EXPECT_FALSE(manager.TryBeginRequest());
+  manager.EndRequest();
+  EXPECT_TRUE(manager.TryBeginRequest());
+  manager.EndRequest();
+  manager.EndRequest();
+}
+
+TEST(SessionManagerTest, SnapshotWithoutDirIsFailedPrecondition) {
+  SessionManager manager(SessionManagerOptions{});
+  Response created = Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok);
+  const std::string id = created.result.Find("session_id")->string_value;
+  Response snap = Call(&manager, 2, "session.snapshot",
+                       "{\"session_id\":\"" + id + "\"}");
+  EXPECT_FALSE(snap.ok);
+  EXPECT_EQ(snap.code, StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionManagerTest, DeadlineExpiryIsDeadlineExceeded) {
+  SessionManagerOptions options;
+  // Enable per-session watchdogs (never reached in wall-clock; the test
+  // forces expiry deterministically).
+  options.default_deadline_ms = 1e9;
+  SessionManager manager(options);
+  Response created = Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok);
+  const std::string id = created.result.Find("session_id")->string_value;
+  ET_ASSERT_OK(manager.ForceSessionDeadlineForTest(id));
+  Response labeled = Call(&manager, 2, "session.label",
+                          "{\"session_id\":\"" + id +
+                              "\",\"trainer_top_fd\":0,\"labels\":[]}");
+  EXPECT_FALSE(labeled.ok);
+  EXPECT_EQ(labeled.code, StatusCode::kDeadlineExceeded);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

@@ -28,67 +28,15 @@
 #include "exp/userstudy_experiment.h"
 #include "obs/manifest.h"
 #include "obs/metrics.h"
+#include "obs/shutdown.h"
 #include "obs/trace.h"
 #include "robustness/fault.h"
+#include "tool_util.h"
 
 namespace {
 
 using namespace et;
-
-/// Minimal --key=value parser over argv (after the subcommand).
-class Flags {
- public:
-  Flags(int argc, char** argv, int start) {
-    for (int i = start; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (!StartsWith(arg, "--")) {
-        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-        std::exit(2);
-      }
-      arg = arg.substr(2);
-      const size_t eq = arg.find('=');
-      if (eq == std::string::npos) {
-        values_[arg] = "true";
-      } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
-      }
-    }
-  }
-
-  std::string GetString(const std::string& key,
-                        const std::string& def) const {
-    auto it = values_.find(key);
-    return it == values_.end() ? def : it->second;
-  }
-  long long GetInt(const std::string& key, long long def) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return def;
-    auto v = ParseInt(it->second);
-    ET_CHECK(v.ok()) << "--" << key << ": " << v.status().ToString();
-    return *v;
-  }
-  double GetDouble(const std::string& key, double def) const {
-    auto it = values_.find(key);
-    if (it == values_.end()) return def;
-    auto v = ParseDouble(it->second);
-    ET_CHECK(v.ok()) << "--" << key << ": " << v.status().ToString();
-    return *v;
-  }
-  bool GetBool(const std::string& key) const {
-    return GetString(key, "false") == "true";
-  }
-
-  /// All parsed flags, sorted by key (for the run manifest).
-  std::vector<std::pair<std::string, std::string>> Items() const {
-    std::vector<std::pair<std::string, std::string>> out(values_.begin(),
-                                                         values_.end());
-    std::sort(out.begin(), out.end());
-    return out;
-  }
-
- private:
-  std::unordered_map<std::string, std::string> values_;
-};
+using tools::Flags;
 
 PriorSpec ParsePrior(const std::string& text) {
   PriorSpec spec;
@@ -286,9 +234,24 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  const std::string trace_out = flags.GetString("trace-out", "");
-  const std::string metrics_out = flags.GetString("metrics-out", "");
+  // Flags win over the ET_TRACE_OUT / ET_METRICS_OUT env vars; the env
+  // form exists so CI can demand artifacts from runs it intends to kill.
+  const std::string trace_out = flags.GetOrEnv("trace-out", "ET_TRACE_OUT");
+  const std::string metrics_out =
+      flags.GetOrEnv("metrics-out", "ET_METRICS_OUT");
   if (!trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
+  {
+    // A SIGINT/SIGTERM mid-run still drains what the registry has so
+    // far; the normal exit path below replaces this config with the
+    // enriched one before flushing through the same once-guard.
+    obs::ShutdownFlushConfig shutdown;
+    shutdown.tool = "et_experiment";
+    shutdown.metrics_path = metrics_out;
+    shutdown.trace_path = trace_out;
+    shutdown.config.emplace_back("command", command);
+    for (auto& kv : flags.Items()) shutdown.config.push_back(kv);
+    obs::InstallShutdownFlush(std::move(shutdown));
+  }
 
   int rc;
   if (command == "convergence") {
@@ -301,30 +264,36 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (!trace_out.empty()) {
-    ET_CHECK_OK(obs::StopTracingAndWrite(trace_out));
-    std::printf("wrote %s\n", trace_out.c_str());
-  }
-  if (!metrics_out.empty()) {
-    obs::RunInfo info;
-    info.tool = "et_experiment";
-    info.config.emplace_back("command", command);
-    for (auto& kv : flags.Items()) info.config.push_back(std::move(kv));
-    info.config.emplace_back("threads_used",
-                             std::to_string(Parallelism()));
+  {
+    // Enrich the shutdown config with end-of-run facts, then flush
+    // through the shared once-guard (a signal that already flushed wins
+    // and this becomes a no-op).
+    obs::ShutdownFlushConfig shutdown;
+    shutdown.tool = "et_experiment";
+    shutdown.metrics_path = metrics_out;
+    shutdown.trace_path = trace_out;
+    shutdown.config.emplace_back("command", command);
+    for (auto& kv : flags.Items()) shutdown.config.push_back(std::move(kv));
+    shutdown.config.emplace_back("threads_used",
+                                 std::to_string(Parallelism()));
     const uint64_t hits =
         obs::MetricsRegistry::Global().GetCounter("fd.cache.hits").value();
     const uint64_t misses = obs::MetricsRegistry::Global()
                                 .GetCounter("fd.cache.misses")
                                 .value();
-    info.config.emplace_back(
+    shutdown.config.emplace_back(
         "fd_cache_hit_rate",
         hits + misses == 0
             ? "n/a"
             : StrFormat("%.4f", static_cast<double>(hits) /
                                     static_cast<double>(hits + misses)));
-    ET_CHECK_OK(obs::WriteRunManifest(metrics_out, info));
-    std::printf("wrote %s\n", metrics_out.c_str());
+    obs::InstallShutdownFlush(std::move(shutdown));
+    if (obs::FlushObsNow()) {
+      if (!trace_out.empty()) std::printf("wrote %s\n", trace_out.c_str());
+      if (!metrics_out.empty()) {
+        std::printf("wrote %s\n", metrics_out.c_str());
+      }
+    }
   }
   return rc;
 }

@@ -1,0 +1,347 @@
+// et_loadgen: load harness for et_serve.
+//
+//   et_loadgen --port=N [--host=127.0.0.1] [--sessions=8]
+//       [--concurrency=4] [--rounds=50] [--pairs=5] [--dataset=omdb]
+//       [--rows=400] [--degree=0.10] [--policy=sbr] [--gamma=0.5]
+//       [--seed=42] [--snapshot-every=0] [--out=BENCH_serve.json]
+//
+// Replays simulated annotators (human/annotator.h BayesianAnnotator)
+// against a running server: each session's client rebuilds the same
+// deterministic world the server does (BuildSessionWorld), checks the
+// server's canonical trainer prior byte-for-byte, then plays its rounds
+// — Observe, declare, label — over the wire. Every response is checked
+// for lost or duplicated state (round and label counters must advance
+// exactly once per request); kUnavailable rejections are retried by the
+// client library and reported as degradation, not failure. Emits
+// latency percentiles and throughput as BENCH_serve.json; exits
+// nonzero on any lost/duplicated/failed response.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "human/annotator.h"
+#include "obs/json.h"
+#include "robustness/checkpoint.h"
+#include "serve/client.h"
+#include "serve/session.h"
+#include "tool_util.h"
+
+namespace {
+
+using namespace et;
+using tools::Flags;
+
+struct WorkerStats {
+  std::vector<double> label_ms;
+  uint64_t labels = 0;
+  uint64_t sessions_done = 0;
+  uint64_t retries = 0;
+  std::vector<std::string> failures;
+};
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string ConfigParamsJson(const serve::SessionConfig& config) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("dataset");
+  w.String(config.dataset);
+  w.Key("rows");
+  w.Uint(config.rows);
+  w.Key("degree");
+  w.Double(config.violation_degree);
+  w.Key("pairs_per_round");
+  w.Uint(config.pairs_per_round);
+  w.Key("max_rounds");
+  w.Uint(config.max_rounds);
+  w.Key("policy");
+  w.String(config.policy);
+  w.Key("gamma");
+  w.Double(config.gamma);
+  w.Key("seed");
+  w.String(std::to_string(config.seed));
+  w.EndObject();
+  return w.Release();
+}
+
+Result<std::vector<RowPair>> PairsField(const obs::JsonValue& obj,
+                                        const char* key) {
+  const obs::JsonValue* v = obj.Find(key);
+  if (v == nullptr || !v->is_array()) {
+    return Status::InvalidArgument(std::string(key) + " missing");
+  }
+  std::vector<RowPair> out;
+  out.reserve(v->array.size());
+  for (const obs::JsonValue& e : v->array) {
+    if (!e.is_array() || e.array.size() != 2) {
+      return Status::InvalidArgument(std::string(key) + " malformed");
+    }
+    out.emplace_back(static_cast<RowId>(e.array[0].number),
+                     static_cast<RowId>(e.array[1].number));
+  }
+  return out;
+}
+
+/// The server's canonical trainer prior must equal the locally rebuilt
+/// one exactly — %.17g doubles round-trip, so any difference means the
+/// two sides disagree about the world.
+Status CheckTrainerPrior(const obs::JsonValue& result,
+                         const BeliefModel& local) {
+  const obs::JsonValue* prior = result.Find("trainer_prior");
+  if (prior == nullptr || !prior->is_object()) {
+    return Status::Internal("create result lacks trainer_prior");
+  }
+  const obs::JsonValue* alpha = prior->Find("alpha");
+  const obs::JsonValue* beta = prior->Find("beta");
+  if (alpha == nullptr || beta == nullptr ||
+      alpha->array.size() != local.size() ||
+      beta->array.size() != local.size()) {
+    return Status::Internal("trainer_prior size mismatch");
+  }
+  for (size_t i = 0; i < local.size(); ++i) {
+    if (alpha->array[i].number != local.beta(i).alpha() ||
+        beta->array[i].number != local.beta(i).beta()) {
+      return Status::Internal("trainer_prior diverges at FD " +
+                              std::to_string(i));
+    }
+  }
+  return Status::OK();
+}
+
+Status RunOneSession(const std::string& host, int port,
+                     serve::SessionConfig config, size_t snapshot_every,
+                     WorkerStats* stats) {
+  ET_ASSIGN_OR_RETURN(serve::SessionWorld world,
+                      serve::BuildSessionWorld(config));
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<serve::Client> client,
+                      serve::Client::Connect(host, port));
+
+  ET_ASSIGN_OR_RETURN(
+      obs::JsonValue created,
+      client->Call("session.create", ConfigParamsJson(config)));
+  ET_RETURN_NOT_OK(CheckTrainerPrior(created, world.trainer_prior));
+  const obs::JsonValue* sid = created.Find("session_id");
+  if (sid == nullptr || !sid->is_string()) {
+    return Status::Internal("create result lacks session_id");
+  }
+  const std::string session_id = sid->string_value;
+  ET_ASSIGN_OR_RETURN(std::vector<RowPair> sample,
+                      PairsField(created, "sample"));
+
+  BayesianAnnotator annotator(world.trainer_prior,
+                              BayesianAnnotatorOptions{},
+                              world.trainer_seed);
+  size_t expected_round = 0;
+  size_t expected_labels = 0;
+  bool done = false;
+  while (!done && !sample.empty()) {
+    annotator.Observe(world.data.rel, sample);
+    const std::vector<LabeledPair> labels =
+        annotator.Label(world.data.rel, sample);
+
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("session_id");
+    w.String(session_id);
+    w.Key("trainer_top_fd");
+    w.Uint(annotator.CurrentHypothesis());
+    w.Key("labels");
+    w.BeginArray();
+    for (const LabeledPair& lp : labels) {
+      w.BeginArray();
+      w.Uint(lp.pair.first);
+      w.Uint(lp.pair.second);
+      w.Bool(lp.first_dirty);
+      w.Bool(lp.second_dirty);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+
+    const double t0 = NowMs();
+    ET_ASSIGN_OR_RETURN(obs::JsonValue reply,
+                        client->Call("session.label", w.Release()));
+    stats->label_ms.push_back(NowMs() - t0);
+    stats->labels += labels.size();
+
+    // Exactly-once accounting: each request must advance the round by
+    // one and the label counter by exactly this batch.
+    ++expected_round;
+    expected_labels += labels.size();
+    const obs::JsonValue* round = reply.Find("round");
+    const obs::JsonValue* labels_total = reply.Find("labels_total");
+    if (round == nullptr ||
+        static_cast<size_t>(round->number) != expected_round) {
+      return Status::Internal(
+          session_id + ": lost/duplicated round (expected " +
+          std::to_string(expected_round) + ")");
+    }
+    if (labels_total == nullptr ||
+        static_cast<size_t>(labels_total->number) != expected_labels) {
+      return Status::Internal(session_id + ": label count skewed");
+    }
+    const obs::JsonValue* done_flag = reply.Find("done");
+    done = done_flag != nullptr && done_flag->bool_value;
+    ET_ASSIGN_OR_RETURN(sample, PairsField(reply, "next"));
+
+    if (snapshot_every > 0 && !done &&
+        expected_round % snapshot_every == 0) {
+      ET_RETURN_NOT_OK(
+          client
+              ->Call("session.snapshot",
+                     "{\"session_id\":\"" + session_id + "\"}")
+              .status());
+    }
+  }
+
+  ET_RETURN_NOT_OK(client
+                       ->Call("session.close",
+                              "{\"session_id\":\"" + session_id + "\"}")
+                       .status());
+  stats->retries += client->unavailable_retries();
+  ++stats->sessions_done;
+  return Status::OK();
+}
+
+double Percentile(std::vector<double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const size_t idx = std::min(
+      sorted.size() - 1,
+      static_cast<size_t>(q * static_cast<double>(sorted.size())));
+  return sorted[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "et_loadgen: --port is required\n");
+    return 2;
+  }
+  const size_t sessions = static_cast<size_t>(flags.GetInt("sessions", 8));
+  const size_t concurrency =
+      static_cast<size_t>(flags.GetInt("concurrency", 4));
+  const size_t snapshot_every =
+      static_cast<size_t>(flags.GetInt("snapshot-every", 0));
+
+  serve::SessionConfig base;
+  base.dataset = flags.GetString("dataset", "omdb");
+  base.rows = static_cast<size_t>(flags.GetInt("rows", 400));
+  base.violation_degree = flags.GetDouble("degree", 0.10);
+  base.pairs_per_round = static_cast<size_t>(flags.GetInt("pairs", 5));
+  base.max_rounds = static_cast<size_t>(flags.GetInt("rounds", 50));
+  base.policy = flags.GetString("policy", "sbr");
+  base.gamma = flags.GetDouble("gamma", 0.5);
+  const uint64_t base_seed =
+      static_cast<uint64_t>(flags.GetInt("seed", 42));
+
+  std::atomic<size_t> next_session{0};
+  std::vector<WorkerStats> stats(std::max<size_t>(1, concurrency));
+  const double wall_start = NowMs();
+
+  std::vector<std::thread> workers;
+  for (size_t w = 0; w < stats.size(); ++w) {
+    workers.emplace_back([&, w] {
+      for (;;) {
+        const size_t i =
+            next_session.fetch_add(1, std::memory_order_relaxed);
+        if (i >= sessions) return;
+        serve::SessionConfig config = base;
+        // Same derivation as experiment repetitions: session i replays
+        // repetition-0 of seed base+1000003*i.
+        config.seed = base_seed + 1000003ULL * i;
+        const Status st = RunOneSession(host, port, config,
+                                        snapshot_every, &stats[w]);
+        if (!st.ok()) {
+          stats[w].failures.push_back("session " + std::to_string(i) +
+                                      ": " + st.ToString());
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_ms = NowMs() - wall_start;
+
+  std::vector<double> latencies;
+  uint64_t labels = 0, done = 0, retries = 0;
+  std::vector<std::string> failures;
+  for (const WorkerStats& s : stats) {
+    latencies.insert(latencies.end(), s.label_ms.begin(),
+                     s.label_ms.end());
+    labels += s.labels;
+    done += s.sessions_done;
+    retries += s.retries;
+    failures.insert(failures.end(), s.failures.begin(), s.failures.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("sessions");
+  w.Uint(sessions);
+  w.Key("sessions_completed");
+  w.Uint(done);
+  w.Key("concurrency");
+  w.Uint(concurrency);
+  w.Key("rounds");
+  w.Uint(base.max_rounds);
+  w.Key("pairs_per_round");
+  w.Uint(base.pairs_per_round);
+  w.Key("labels_total");
+  w.Uint(labels);
+  w.Key("wall_ms");
+  w.Double(wall_ms);
+  w.Key("sessions_per_sec");
+  w.Double(wall_ms > 0 ? 1e3 * static_cast<double>(done) / wall_ms : 0.0);
+  w.Key("labels_per_sec");
+  w.Double(wall_ms > 0 ? 1e3 * static_cast<double>(labels) / wall_ms
+                       : 0.0);
+  w.Key("label_latency_ms");
+  w.BeginObject();
+  w.Key("count");
+  w.Uint(latencies.size());
+  w.Key("p50");
+  w.Double(Percentile(latencies, 0.50));
+  w.Key("p95");
+  w.Double(Percentile(latencies, 0.95));
+  w.Key("p99");
+  w.Double(Percentile(latencies, 0.99));
+  w.Key("max");
+  w.Double(latencies.empty() ? 0.0 : latencies.back());
+  w.EndObject();
+  w.Key("unavailable_retries");
+  w.Uint(retries);
+  w.Key("failures");
+  w.BeginArray();
+  for (const std::string& f : failures) w.String(f);
+  w.EndArray();
+  w.EndObject();
+
+  const std::string out_path =
+      flags.GetString("out", "BENCH_serve.json");
+  const std::string payload = w.Release();
+  const Status write = AtomicWriteFile(out_path, payload + "\n");
+  if (!write.ok()) {
+    std::fprintf(stderr, "write %s failed: %s\n", out_path.c_str(),
+                 write.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", payload.c_str());
+  std::printf("wrote %s\n", out_path.c_str());
+  for (const std::string& f : failures) {
+    std::fprintf(stderr, "FAILURE: %s\n", f.c_str());
+  }
+  return failures.empty() && done == sessions ? 0 : 1;
+}

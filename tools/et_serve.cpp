@@ -1,0 +1,125 @@
+// et_serve: the annotation-session service.
+//
+//   et_serve [--host=127.0.0.1] [--port=0] [--threads=N]
+//       [--max-sessions=256] [--max-inflight=64] [--retry-after-ms=25]
+//       [--deadline-ms=0] [--snapshot-dir=DIR]
+//       [--metrics-out=FILE] [--trace-out=FILE] [--fault=PLAN]
+//       [--list-fault-sites]
+//
+// Prints one "listening on <host>:<port>" line (port resolves --port=0
+// to the ephemeral bind) and serves until SIGINT/SIGTERM, which drains
+// the metrics registry and trace buffer to --metrics-out/--trace-out
+// (or ET_METRICS_OUT / ET_TRACE_OUT) before exiting. With
+// --snapshot-dir, sessions snapshotted by clients survive a restart:
+// start a new et_serve on the same directory and session.restore
+// resumes them bit-identically.
+
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "obs/shutdown.h"
+#include "obs/trace.h"
+#include "robustness/fault.h"
+#include "serve/server.h"
+#include "tool_util.h"
+
+namespace {
+
+using namespace et;
+using tools::Flags;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: et_serve [--flags]\n"
+      "  --host=ADDR --port=N (0 = ephemeral)\n"
+      "  --threads=N (worker threads; 0 = all cores)\n"
+      "  --max-sessions=N --max-inflight=N --retry-after-ms=MS\n"
+      "  --deadline-ms=MS (default per-session deadline; 0 = none)\n"
+      "  --snapshot-dir=DIR (enables session.snapshot/restore)\n"
+      "  --metrics-out=FILE --trace-out=FILE (or ET_METRICS_OUT /\n"
+      "  ET_TRACE_OUT) --fault=PLAN (or ET_FAULT)\n"
+      "  --list-fault-sites (print known sites and exit)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (flags.GetBool("help")) {
+    Usage();
+    return 2;
+  }
+  // Declare this binary's sites up front so --list-fault-sites (and
+  // plan validation by operators) sees them before any traffic.
+  RegisterFaultSite("serve.accept");
+  RegisterFaultSite("serve.read");
+  RegisterFaultSite("serve.session");
+  if (flags.GetBool("list-fault-sites")) {
+    for (const std::string& site : KnownFaultSites()) {
+      std::printf("%s\n", site.c_str());
+    }
+    return 0;
+  }
+
+  const long long threads = flags.GetInt("threads", -1);
+  if (threads >= 0) SetParallelism(static_cast<int>(threads));
+  {
+    const std::string fault_plan = flags.GetString("fault", "");
+    const Status st = fault_plan.empty()
+                          ? FaultInjector::Global().ConfigureFromEnv()
+                          : FaultInjector::Global().Configure(fault_plan);
+    if (!st.ok()) {
+      std::fprintf(stderr, "bad fault plan: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+  const std::string trace_out = flags.GetOrEnv("trace-out", "ET_TRACE_OUT");
+  const std::string metrics_out =
+      flags.GetOrEnv("metrics-out", "ET_METRICS_OUT");
+  if (!trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
+
+  serve::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  options.port = static_cast<int>(flags.GetInt("port", 0));
+  options.sessions.max_sessions =
+      static_cast<size_t>(flags.GetInt("max-sessions", 256));
+  options.sessions.max_inflight =
+      static_cast<size_t>(flags.GetInt("max-inflight", 64));
+  options.sessions.retry_after_ms = flags.GetDouble("retry-after-ms", 25.0);
+  options.sessions.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  options.sessions.snapshot_dir = flags.GetString("snapshot-dir", "");
+
+  auto server = serve::Server::Start(options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  {
+    // SIGINT/SIGTERM: drain metrics + trace to the configured outputs,
+    // then die by the signal's default disposition. Live sessions are
+    // lost unless a client snapshotted them (--snapshot-dir).
+    obs::ShutdownFlushConfig shutdown;
+    shutdown.tool = "et_serve";
+    shutdown.metrics_path = metrics_out;
+    shutdown.trace_path = trace_out;
+    for (auto& kv : flags.Items()) shutdown.config.push_back(kv);
+    shutdown.config.emplace_back("port",
+                                 std::to_string((*server)->port()));
+    obs::InstallShutdownFlush(std::move(shutdown));
+  }
+
+  std::printf("listening on %s:%d\n", options.host.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  // The IO thread owns all the work; park the main thread until a
+  // signal takes the process down through the shutdown flush.
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
+}

@@ -1,0 +1,92 @@
+// Shared command-line plumbing for the tools/ binaries: a minimal
+// --key=value flag parser and the flag-or-environment resolution used
+// for observability outputs.
+
+#ifndef ET_TOOLS_TOOL_UTIL_H_
+#define ET_TOOLS_TOOL_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace et {
+namespace tools {
+
+/// Minimal --key=value parser over argv (from index `start`). A bare
+/// --flag parses as "true". Unknown positional arguments abort.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        values_[arg] = "true";
+      } else {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  std::string GetString(const std::string& key,
+                        const std::string& def) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  long long GetInt(const std::string& key, long long def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    auto v = ParseInt(it->second);
+    ET_CHECK(v.ok()) << "--" << key << ": " << v.status().ToString();
+    return *v;
+  }
+  double GetDouble(const std::string& key, double def) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    auto v = ParseDouble(it->second);
+    ET_CHECK(v.ok()) << "--" << key << ": " << v.status().ToString();
+    return *v;
+  }
+  bool GetBool(const std::string& key) const {
+    return GetString(key, "false") == "true";
+  }
+
+  /// All parsed flags, sorted by key (for the run manifest).
+  std::vector<std::pair<std::string, std::string>> Items() const {
+    std::vector<std::pair<std::string, std::string>> out(values_.begin(),
+                                                         values_.end());
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  /// Flag value, else the environment variable, else "". Flags win so a
+  /// command line overrides CI-provided defaults.
+  std::string GetOrEnv(const std::string& key, const char* env) const {
+    std::string v = GetString(key, "");
+    if (v.empty()) {
+      const char* e = std::getenv(env);
+      if (e != nullptr) v = e;
+    }
+    return v;
+  }
+
+ private:
+  std::unordered_map<std::string, std::string> values_;
+};
+
+}  // namespace tools
+}  // namespace et
+
+#endif  // ET_TOOLS_TOOL_UTIL_H_
