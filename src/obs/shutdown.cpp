@@ -1,8 +1,13 @@
 #include "obs/shutdown.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <csignal>
+#include <cstring>
 #include <mutex>
+#include <thread>
 
 #include "common/logging.h"
 #include "obs/manifest.h"
@@ -12,7 +17,7 @@ namespace et {
 namespace obs {
 namespace {
 
-/// Leaked: the handler may run during static destruction.
+/// Leaked: the flush may run during static destruction.
 struct ShutdownState {
   std::mutex mu;
   ShutdownFlushConfig config;
@@ -25,10 +30,35 @@ struct ShutdownState {
   }
 };
 
+// Self-pipe: the handler stays within the async-signal-safe set (one
+// sig_atomic_t store, one write) and a dedicated watcher thread — a
+// normal thread, free to lock, allocate, and do file IO — performs the
+// flush and re-raises. Both are process-globals set once, before the
+// handlers are installed.
+int g_wake_fd = -1;
+volatile std::sig_atomic_t g_signal = 0;
+
 extern "C" void HandleShutdownSignal(int sig) {
+  if (g_signal != 0) {
+    // Second signal: the watcher is already flushing (or stuck in it).
+    // Give the operator an immediate exit instead of a hung process.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_signal = sig;
+  const char b = 1;
+  (void)!write(g_wake_fd, &b, 1);
+}
+
+void WatchShutdownSignals(int read_fd) {
+  char b;
+  while (read(read_fd, &b, 1) < 0 && errno == EINTR) {
+  }
   FlushObsNow();
   // Restore the default disposition and re-deliver so the parent sees
   // an honest killed-by-signal exit status, not a fake success.
+  const int sig = g_signal != 0 ? g_signal : SIGTERM;
   std::signal(sig, SIG_DFL);
   std::raise(sig);
 }
@@ -42,6 +72,14 @@ void InstallShutdownFlush(ShutdownFlushConfig config) {
     state.config = std::move(config);
   }
   if (!state.installed.exchange(true)) {
+    int pipe_fds[2];
+    if (pipe(pipe_fds) != 0) {
+      ET_LOG(Warn) << "shutdown flush disabled: pipe: "
+                   << std::strerror(errno);
+      return;
+    }
+    g_wake_fd = pipe_fds[1];
+    std::thread(WatchShutdownSignals, pipe_fds[0]).detach();
     std::signal(SIGINT, HandleShutdownSignal);
     std::signal(SIGTERM, HandleShutdownSignal);
   }

@@ -8,11 +8,15 @@
 // trace path — exactly once, then re-raise the signal with its default
 // disposition so the exit status still reports death-by-signal.
 //
-// The flush allocates and takes locks, which is formally outside the
-// async-signal-safe set. That is a deliberate trade: the process is
-// about to die anyway, the once-guard prevents re-entry, and the
-// alternative is always losing the manifest. Tools that also flush on
-// the normal exit path share the same guard via FlushObsNow(), so a
+// The flush allocates and takes locks, so it cannot run inside the
+// handler itself (a signal landing while another thread holds one of
+// those locks would deadlock the process instead of exiting). The
+// handler therefore only records the signal and writes one byte to a
+// self-pipe — both async-signal-safe — and a dedicated watcher thread
+// performs the flush, then re-raises the signal with its default
+// disposition. A second signal during the flush bypasses the watcher
+// and kills the process immediately. Tools that also flush on the
+// normal exit path share the same once-guard via FlushObsNow(), so a
 // signal racing a clean shutdown never writes twice.
 
 #ifndef ET_OBS_SHUTDOWN_H_

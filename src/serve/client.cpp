@@ -47,7 +47,10 @@ Client::~Client() {
 Status Client::WriteAll(const std::string& bytes) {
   size_t off = 0;
   while (off < bytes.size()) {
-    const ssize_t n = write(fd_, bytes.data() + off, bytes.size() - off);
+    // MSG_NOSIGNAL: a dead server surfaces as an EPIPE Status, not a
+    // process-killing SIGPIPE in the caller (et_loadgen, tests).
+    const ssize_t n =
+        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
     if (n > 0) {
       off += static_cast<size_t>(n);
       continue;

@@ -99,13 +99,18 @@ struct Server::Impl {
   void CloseConn(const std::shared_ptr<Conn>& conn) {
     {
       std::lock_guard<std::mutex> lock(conn->out_mu);
-      if (conn->dead) return;
       conn->dead = true;
     }
+    // HandleWritable marks dead without removing (it already holds
+    // out_mu), so removal must run even when dead is set: the erase is
+    // the idempotence guard — only the caller that takes the conn out
+    // of the table closes the fd and decrements the gauge.
+    bool erased;
     {
       std::lock_guard<std::mutex> lock(conns_mu);
-      conns.erase(conn->fd);
+      erased = conns.erase(conn->fd) > 0;
     }
+    if (!erased) return;
     close(conn->fd);
     obs::MetricsRegistry::Global()
         .GetGauge("serve.connections.active")
@@ -230,7 +235,10 @@ struct Server::Impl {
   void HandleWritable(const std::shared_ptr<Conn>& conn) {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     while (!conn->out.empty()) {
-      const ssize_t n = write(conn->fd, conn->out.data(), conn->out.size());
+      // MSG_NOSIGNAL: a peer that closed its read side must surface as
+      // EPIPE here, not as a process-killing SIGPIPE.
+      const ssize_t n = send(conn->fd, conn->out.data(), conn->out.size(),
+                             MSG_NOSIGNAL);
       if (n > 0) {
         conn->out.erase(0, static_cast<size_t>(n));
         continue;

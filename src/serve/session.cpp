@@ -1,6 +1,9 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <utility>
 
 #include "belief/priors.h"
@@ -89,6 +92,42 @@ Result<bool> BoolFieldOr(const obs::JsonValue& obj, const char* key,
   return v->bool_value;
 }
 
+/// Strict decimal-u64 parse: rejects non-digits, empty input, and —
+/// because the string encoding exists to carry values exactly —
+/// anything that would wrap modulo 2^64 instead of silently doing so.
+Result<uint64_t> ParseU64Decimal(const std::string& text,
+                                 const char* what) {
+  if (text.empty()) {
+    return Status::InvalidArgument(std::string(what) + " is empty");
+  }
+  uint64_t out = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(std::string(what) +
+                                     " is not a decimal u64 string");
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (out > (std::numeric_limits<uint64_t>::max() - digit) / 10) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " overflows u64");
+    }
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+/// A wire double that indexes something (row ids, FD indices, counts).
+/// Must be validated before any cast to an unsigned type: converting a
+/// negative (or huge) double to size_t/RowId is undefined behavior,
+/// not merely a bad value.
+Result<uint64_t> CheckedIndex(double v, const char* what) {
+  if (!(v >= 0.0) || v != std::floor(v) || v > 9.007199254740992e15) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be a non-negative integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
 /// 64-bit integers do not survive the JSON number type (doubles), so
 /// seeds and RNG words travel as decimal strings; params additionally
 /// accept small numeric literals for hand-written requests.
@@ -104,18 +143,7 @@ Result<uint64_t> U64FieldOr(const obs::JsonValue& obj, const char* key,
     return static_cast<uint64_t>(v->number);
   }
   if (v->is_string()) {
-    uint64_t out = 0;
-    for (const char c : v->string_value) {
-      if (c < '0' || c > '9') {
-        return Status::InvalidArgument(std::string(key) +
-                                       " is not a decimal u64 string");
-      }
-      out = out * 10 + static_cast<uint64_t>(c - '0');
-    }
-    if (v->string_value.empty()) {
-      return Status::InvalidArgument(std::string(key) + " is empty");
-    }
-    return out;
+    return ParseU64Decimal(v->string_value, key);
   }
   return Status::InvalidArgument(std::string(key) +
                                  " is neither number nor string");
@@ -146,8 +174,17 @@ Result<std::vector<RowPair>> ReadPairs(const obs::JsonValue* v,
       return Status::InvalidArgument(std::string(what) +
                                      " entries must be [row, row]");
     }
-    out.emplace_back(static_cast<RowId>(e.array[0].number),
-                     static_cast<RowId>(e.array[1].number));
+    ET_ASSIGN_OR_RETURN(const uint64_t first,
+                        CheckedIndex(e.array[0].number, what));
+    ET_ASSIGN_OR_RETURN(const uint64_t second,
+                        CheckedIndex(e.array[1].number, what));
+    if (first > std::numeric_limits<RowId>::max() ||
+        second > std::numeric_limits<RowId>::max()) {
+      return Status::InvalidArgument(std::string(what) +
+                                     " row id out of range");
+    }
+    out.emplace_back(static_cast<RowId>(first),
+                     static_cast<RowId>(second));
   }
   return out;
 }
@@ -272,7 +309,7 @@ Result<SessionConfig> DecodeConfig(const obs::JsonValue& obj) {
   ET_ASSIGN_OR_RETURN(
       const double rows,
       NumFieldOr(obj, "rows", static_cast<double>(def.rows)));
-  config.rows = static_cast<size_t>(rows);
+  ET_ASSIGN_OR_RETURN(config.rows, CheckedIndex(rows, "rows"));
   ET_ASSIGN_OR_RETURN(config.violation_degree,
                       NumFieldOr(obj, "degree", def.violation_degree));
   ET_ASSIGN_OR_RETURN(
@@ -285,21 +322,29 @@ Result<SessionConfig> DecodeConfig(const obs::JsonValue& obj) {
       const double cap,
       NumFieldOr(obj, "hypothesis_cap",
                  static_cast<double>(def.hypothesis_cap)));
-  config.hypothesis_cap = static_cast<size_t>(cap);
+  ET_ASSIGN_OR_RETURN(config.hypothesis_cap,
+                      CheckedIndex(cap, "hypothesis_cap"));
   ET_ASSIGN_OR_RETURN(
       const double attrs,
       NumFieldOr(obj, "max_fd_attrs",
                  static_cast<double>(def.max_fd_attrs)));
-  config.max_fd_attrs = static_cast<int>(attrs);
+  ET_ASSIGN_OR_RETURN(const uint64_t attrs_u,
+                      CheckedIndex(attrs, "max_fd_attrs"));
+  if (attrs_u > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return Status::InvalidArgument("max_fd_attrs out of range");
+  }
+  config.max_fd_attrs = static_cast<int>(attrs_u);
   ET_ASSIGN_OR_RETURN(
       const double pairs,
       NumFieldOr(obj, "pairs_per_round",
                  static_cast<double>(def.pairs_per_round)));
-  config.pairs_per_round = static_cast<size_t>(pairs);
+  ET_ASSIGN_OR_RETURN(config.pairs_per_round,
+                      CheckedIndex(pairs, "pairs_per_round"));
   ET_ASSIGN_OR_RETURN(
       const double rounds,
       NumFieldOr(obj, "max_rounds", static_cast<double>(def.max_rounds)));
-  config.max_rounds = static_cast<size_t>(rounds);
+  ET_ASSIGN_OR_RETURN(config.max_rounds,
+                      CheckedIndex(rounds, "max_rounds"));
   ET_ASSIGN_OR_RETURN(config.policy,
                       StrFieldOr(obj, "policy", def.policy));
   ET_ASSIGN_OR_RETURN(config.gamma, NumFieldOr(obj, "gamma", def.gamma));
@@ -310,14 +355,15 @@ Result<SessionConfig> DecodeConfig(const obs::JsonValue& obj) {
       const double window,
       NumFieldOr(obj, "conv_window",
                  static_cast<double>(def.conv_window)));
-  config.conv_window = static_cast<size_t>(window);
+  ET_ASSIGN_OR_RETURN(config.conv_window,
+                      CheckedIndex(window, "conv_window"));
   ET_ASSIGN_OR_RETURN(
       config.conv_tolerance,
       NumFieldOr(obj, "conv_tolerance", def.conv_tolerance));
   ET_ASSIGN_OR_RETURN(
       const double top_k,
       NumFieldOr(obj, "top_k", static_cast<double>(def.top_k)));
-  config.top_k = static_cast<size_t>(top_k);
+  ET_ASSIGN_OR_RETURN(config.top_k, CheckedIndex(top_k, "top_k"));
   return config;
 }
 
@@ -353,7 +399,9 @@ Status DecodeTracker(const obs::JsonValue& parent, const char* key,
     return Status::InvalidArgument(std::string(key) +
                                    " missing or not an object");
   }
-  ET_ASSIGN_OR_RETURN(const double total, NumField(*v, "total"));
+  ET_ASSIGN_OR_RETURN(const double total_num, NumField(*v, "total"));
+  ET_ASSIGN_OR_RETURN(const uint64_t total,
+                      CheckedIndex(total_num, "total"));
   const obs::JsonValue* counts = v->Find("counts");
   if (counts == nullptr || !counts->is_array()) {
     return Status::InvalidArgument(std::string(key) + ".counts missing");
@@ -366,8 +414,11 @@ Status DecodeTracker(const obs::JsonValue& parent, const char* key,
       return Status::InvalidArgument(std::string(key) +
                                      ".counts entries must be [id, n]");
     }
-    map[static_cast<size_t>(e.array[0].number)] =
-        static_cast<size_t>(e.array[1].number);
+    ET_ASSIGN_OR_RETURN(const uint64_t action,
+                        CheckedIndex(e.array[0].number, "counts id"));
+    ET_ASSIGN_OR_RETURN(const uint64_t count,
+                        CheckedIndex(e.array[1].number, "counts n"));
+    map[static_cast<size_t>(action)] = static_cast<size_t>(count);
   }
   ET_ASSIGN_OR_RETURN(std::vector<double> drift,
                       ReadDoubles(v->Find("drift"), "drift"));
@@ -705,14 +756,9 @@ Result<std::unique_ptr<Session>> Session::Restore(
     if (!rng->array[i].is_string()) {
       return Status::InvalidArgument("snapshot rng words must be strings");
     }
-    uint64_t word = 0;
-    for (const char c : rng->array[i].string_value) {
-      if (c < '0' || c > '9') {
-        return Status::InvalidArgument("snapshot rng word is not decimal");
-      }
-      word = word * 10 + static_cast<uint64_t>(c - '0');
-    }
-    memento.rng_state[i] = word;
+    ET_ASSIGN_OR_RETURN(
+        memento.rng_state[i],
+        ParseU64Decimal(rng->array[i].string_value, "snapshot rng word"));
   }
   ET_ASSIGN_OR_RETURN(memento.shown,
                       ReadPairs(learner->Find("shown"), "shown"));
@@ -725,10 +771,11 @@ Result<std::unique_ptr<Session>> Session::Restore(
   ET_ASSIGN_OR_RETURN(session->pending_,
                       ReadPairs(doc.Find("pending"), "pending"));
   ET_ASSIGN_OR_RETURN(const double round, NumField(doc, "round"));
-  session->round_ = static_cast<size_t>(round);
+  ET_ASSIGN_OR_RETURN(session->round_, CheckedIndex(round, "round"));
   ET_ASSIGN_OR_RETURN(const double labels_total,
                       NumField(doc, "labels_total"));
-  session->labels_total_ = static_cast<size_t>(labels_total);
+  ET_ASSIGN_OR_RETURN(session->labels_total_,
+                      CheckedIndex(labels_total, "labels_total"));
   ET_ASSIGN_OR_RETURN(session->done_, BoolFieldOr(doc, "done", false));
   ET_ASSIGN_OR_RETURN(session->done_reason_,
                       StrFieldOr(doc, "done_reason", ""));
@@ -810,6 +857,17 @@ Status SessionManager::Insert(const std::string& id,
       .GetGauge("serve.sessions.active")
       .Set(static_cast<double>(session_count_.load(std::memory_order_relaxed)));
   return Status::OK();
+}
+
+void SessionManager::ReserveGeneratedId(const std::string& id) {
+  if (id.rfind("s-", 0) != 0 || id.size() <= 2) return;
+  const Result<uint64_t> n = ParseU64Decimal(id.substr(2), "session id");
+  if (!n.ok() || *n == std::numeric_limits<uint64_t>::max()) return;
+  uint64_t cur = next_session_.load(std::memory_order_relaxed);
+  while (cur < *n + 1 &&
+         !next_session_.compare_exchange_weak(cur, *n + 1,
+                                              std::memory_order_relaxed)) {
+  }
 }
 
 std::string SessionManager::Handle(const std::string& request_payload) {
@@ -953,8 +1011,9 @@ Result<std::string> SessionManager::HandleCreate(
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
                       Session::Create(config));
   // Serialize the response before publishing the session: afterwards
-  // another worker may already be mutating it. Monotonic ids cannot
-  // collide within a server's lifetime.
+  // another worker may already be mutating it. The monotonic counter
+  // cannot collide with itself; restored ids are kept ahead of it by
+  // ReserveGeneratedId.
   const std::string id =
       "s-" + std::to_string(
                  next_session_.fetch_add(1, std::memory_order_relaxed));
@@ -967,8 +1026,10 @@ Result<std::string> SessionManager::HandleCreate(
 Result<std::string> SessionManager::HandleLabel(
     const obs::JsonValue& params) {
   ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
-  ET_ASSIGN_OR_RETURN(const double top_fd,
+  ET_ASSIGN_OR_RETURN(const double top_fd_num,
                       NumField(params, "trainer_top_fd"));
+  ET_ASSIGN_OR_RETURN(const uint64_t top_fd,
+                      CheckedIndex(top_fd_num, "trainer_top_fd"));
   const obs::JsonValue* labels_json = params.Find("labels");
   if (labels_json == nullptr || !labels_json->is_array()) {
     return Status::InvalidArgument("labels missing or not an array");
@@ -983,9 +1044,17 @@ Result<std::string> SessionManager::HandleLabel(
       return Status::InvalidArgument(
           "labels entries must be [row, row, dirty, dirty]");
     }
+    ET_ASSIGN_OR_RETURN(const uint64_t first,
+                        CheckedIndex(e.array[0].number, "labels row"));
+    ET_ASSIGN_OR_RETURN(const uint64_t second,
+                        CheckedIndex(e.array[1].number, "labels row"));
+    if (first > std::numeric_limits<RowId>::max() ||
+        second > std::numeric_limits<RowId>::max()) {
+      return Status::InvalidArgument("labels row id out of range");
+    }
     LabeledPair lp;
-    lp.pair = RowPair(static_cast<RowId>(e.array[0].number),
-                      static_cast<RowId>(e.array[1].number));
+    lp.pair = RowPair(static_cast<RowId>(first),
+                      static_cast<RowId>(second));
     lp.first_dirty = e.array[2].bool_value;
     lp.second_dirty = e.array[3].bool_value;
     labels.push_back(lp);
@@ -1090,6 +1159,9 @@ Result<std::string> SessionManager::HandleRestore(
                       store_->Load("sess-" + id));
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
                       Session::Restore(payload));
+  // Before publishing: once the counter is past this id, no concurrent
+  // create can mint it again.
+  ReserveGeneratedId(id);
   const std::string result = SessionStateJson(id, *session);
   ET_RETURN_NOT_OK(Insert(id, std::move(session)));
   ET_COUNTER_INC("serve.sessions.restored");

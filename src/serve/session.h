@@ -241,6 +241,11 @@ class SessionManager {
   /// max_sessions, (kAlreadyExists) on id collision.
   Status Insert(const std::string& id, std::unique_ptr<Session> session);
 
+  /// Restored ids land in the same "s-<n>" namespace the create
+  /// counter mints from; advance the counter past `id` so later
+  /// creates cannot collide with it. No-op for non-generated ids.
+  void ReserveGeneratedId(const std::string& id);
+
   SessionManagerOptions options_;
   std::vector<std::unique_ptr<Stripe>> stripes_;
   std::atomic<size_t> session_count_{0};

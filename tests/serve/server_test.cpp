@@ -4,11 +4,15 @@
 
 #include "serve/server.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -16,7 +20,9 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "robustness/fault.h"
+#include "serve/protocol.h"
 #include "serve/client.h"
 #include "testing/test_util.h"
 
@@ -95,6 +101,36 @@ TEST_F(ServerTest, PingOverTheWire) {
   auto client = testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
   auto pong = testing::Unwrap(client->Call("server.ping", ""));
   EXPECT_TRUE(pong.Find("pong")->bool_value);
+}
+
+TEST_F(ServerTest, AbruptDisconnectReapsConnection) {
+  auto server = StartServer();
+  obs::Gauge& active =
+      obs::MetricsRegistry::Global().GetGauge("serve.connections.active");
+  const double before = active.value();
+  {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(server->port()));
+    ASSERT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const std::string frame =
+        EncodeFrame("{\"id\":1,\"method\":\"server.ping\"}");
+    ASSERT_EQ(::send(fd, frame.data(), frame.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size()));
+    // Vanish without reading the response. Whichever side of the server
+    // observes the death first (failed write, EOF, or POLLERR from the
+    // RST), the connection must be closed and erased — not leaked in
+    // the poll set with its gauge slot held.
+    ::close(fd);
+  }
+  for (int i = 0; i < 500 && active.value() > before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(active.value(), before);
 }
 
 TEST_F(ServerTest, EightConcurrentSessionsExactlyOnce) {

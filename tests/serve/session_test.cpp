@@ -4,8 +4,10 @@
 #include "serve/session.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -290,6 +292,71 @@ TEST(SessionManagerTest, InflightBudgetAdmitsAndReleases) {
   EXPECT_TRUE(manager.TryBeginRequest());
   manager.EndRequest();
   manager.EndRequest();
+}
+
+TEST(SessionManagerTest, OverflowingSeedStringIsRejected) {
+  SessionManager manager(SessionManagerOptions{});
+  // 26 digits: wraps modulo 2^64 if parsed naively; must be rejected,
+  // not silently mapped to an unrelated seed.
+  Response r = Call(&manager, 1, "session.create",
+                    "{\"dataset\":\"omdb\",\"rows\":120,"
+                    "\"seed\":\"99999999999999999999999999\"}");
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.code, StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, NegativeIndicesAreInvalidArgument) {
+  SessionManager manager(SessionManagerOptions{});
+  Response created = Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok) << created.message;
+  const std::string id = created.result.Find("session_id")->string_value;
+
+  Response neg_fd = Call(&manager, 2, "session.label",
+                         "{\"session_id\":\"" + id +
+                             "\",\"trainer_top_fd\":-1,\"labels\":[]}");
+  EXPECT_FALSE(neg_fd.ok);
+  EXPECT_EQ(neg_fd.code, StatusCode::kInvalidArgument);
+
+  Response neg_row = Call(&manager, 3, "session.label",
+                          "{\"session_id\":\"" + id +
+                              "\",\"trainer_top_fd\":0,"
+                              "\"labels\":[[-3,-4,false,false],"
+                              "[0,1,false,false],[0,2,false,false]]}");
+  EXPECT_FALSE(neg_row.ok);
+  EXPECT_EQ(neg_row.code, StatusCode::kInvalidArgument);
+}
+
+TEST(SessionManagerTest, RestoredIdsAdvanceTheCreateCounter) {
+  const std::string dir = ::testing::TempDir() +
+                          "/et_session_restore_ids_" +
+                          std::to_string(getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  SessionManagerOptions options;
+  options.snapshot_dir = dir;
+  std::string id;
+  {
+    SessionManager first(options);
+    Response created =
+        Call(&first, 1, "session.create", SmallCreateParams());
+    ASSERT_TRUE(created.ok) << created.message;
+    id = created.result.Find("session_id")->string_value;
+    Response snap = Call(&first, 2, "session.snapshot",
+                         "{\"session_id\":\"" + id + "\"}");
+    ASSERT_TRUE(snap.ok) << snap.message;
+  }
+  // Fresh server process-equivalent: the restore publishes the old id
+  // back into the "s-<n>" namespace; the next create must mint a
+  // different id instead of colliding with kAlreadyExists.
+  SessionManager second(options);
+  Response restored = Call(&second, 3, "session.restore",
+                           "{\"session_id\":\"" + id + "\"}");
+  ASSERT_TRUE(restored.ok) << restored.message;
+  Response created =
+      Call(&second, 4, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok) << created.message;
+  EXPECT_NE(created.result.Find("session_id")->string_value, id);
+  std::filesystem::remove_all(dir);
 }
 
 TEST(SessionManagerTest, SnapshotWithoutDirIsFailedPrecondition) {
