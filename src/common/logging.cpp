@@ -4,6 +4,10 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
+#include <memory>
+#include <mutex>
+
+#include "common/task_context.h"
 
 namespace et {
 namespace {
@@ -28,7 +32,29 @@ std::string FormatTimestamp() {
   return buf;
 }
 
-const char* LevelName(LogLevel level) {
+std::mutex& SinkMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// Shared_ptr so a message mid-emission keeps the sink it started with
+// even if another thread swaps it.
+std::shared_ptr<const LogSink>& SinkSlot() {
+  static std::shared_ptr<const LogSink> sink;
+  return sink;
+}
+
+std::shared_ptr<const LogSink> CurrentSink() {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  return SinkSlot();
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
+
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -42,11 +68,6 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-}  // namespace
-
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
-void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
-
 uint32_t CurrentThreadId() {
   static std::atomic<uint32_t> next_id{1};
   thread_local const uint32_t id =
@@ -54,18 +75,42 @@ uint32_t CurrentThreadId() {
   return id;
 }
 
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(SinkMutex());
+  if (sink == nullptr) {
+    SinkSlot() = nullptr;
+  } else {
+    SinkSlot() = std::make_shared<const LogSink>(std::move(sink));
+  }
+}
+
+std::string FormatLogRecord(const LogRecord& record) {
+  std::ostringstream out;
+  out << "[" << LogLevelName(record.level) << " " << record.timestamp
+      << " T" << record.thread_id << " " << record.file << ":"
+      << record.line << "] " << record.message << "\n";
+  return out.str();
+}
+
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  ss_ << "[" << LevelName(level) << " " << FormatTimestamp() << " T"
-      << CurrentThreadId() << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  ss_ << "\n";
-  std::cerr << ss_.str();
-  (void)level_;
+  LogRecord record;
+  record.level = level_;
+  record.file = file_;
+  record.line = line_;
+  record.thread_id = CurrentThreadId();
+  record.request_id = CurrentRequestId();
+  record.timestamp = FormatTimestamp();
+  record.message = ss_.str();
+  if (auto sink = CurrentSink()) {
+    (*sink)(record);
+  } else {
+    std::cerr << FormatLogRecord(record);
+  }
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
@@ -74,6 +119,9 @@ FatalMessage::FatalMessage(const char* file, int line, const char* expr) {
 }
 
 FatalMessage::~FatalMessage() {
+  // The process is about to abort: bypass any installed sink and write
+  // straight to stderr — a sink that allocates or locks could swallow
+  // the one line that explains the death.
   ss_ << "\n";
   std::cerr << ss_.str();
   std::abort();

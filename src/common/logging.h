@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
+#include <string>
 
 namespace et {
 
@@ -20,10 +22,40 @@ enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// Stable name of a level ("DEBUG", "INFO", ...).
+const char* LogLevelName(LogLevel level);
+
 /// Small sequential id (1, 2, ...) for the calling thread, stable for
 /// the thread's lifetime. Emitted in log lines and trace events so the
 /// two can be correlated.
 uint32_t CurrentThreadId();
+
+/// One emitted log line, decomposed so alternative sinks (JSON-lines,
+/// obs/jsonlog.h) can re-serialize it without re-parsing text.
+struct LogRecord {
+  LogLevel level = LogLevel::kInfo;
+  const char* file = "";
+  int line = 0;
+  uint32_t thread_id = 0;
+  /// Request the emitting thread was working for (task_context.h);
+  /// 0 outside the serving path.
+  uint64_t request_id = 0;
+  /// "HH:MM:SS.mmm" local wall clock.
+  std::string timestamp;
+  std::string message;
+};
+
+using LogSink = std::function<void(const LogRecord&)>;
+
+/// Replaces where completed log lines go. nullptr restores the default
+/// human-readable stderr sink. The sink runs on the logging thread and
+/// must be internally synchronized.
+void SetLogSink(LogSink sink);
+
+/// Formats `record` as the default human-readable line
+/// ("[LEVEL HH:MM:SS.mmm Tn file:line] message\n") — exposed so custom
+/// sinks can mirror the stderr format while adding their own output.
+std::string FormatLogRecord(const LogRecord& record);
 
 namespace internal {
 
@@ -35,6 +67,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream ss_;
 };
 

@@ -1,0 +1,56 @@
+// Request-scoped task context: a thread-local request id that tags
+// everything a thread does on behalf of one wire request — trace spans,
+// log lines, slow-request events — so a live trace of the server can be
+// grouped by request across the IO thread and pool workers.
+//
+// The id is plain thread-local state, not a full context object: the
+// only cross-cutting datum the system needs today is "which request is
+// this work for", and a single u64 keeps propagation free of
+// allocation. ParallelFor captures the caller's id and installs it in
+// every chunk (thread_pool.cpp), so spans emitted inside parallel
+// scoring inherit the request that triggered them; explicitly-submitted
+// pool tasks install it themselves (serve/server.cpp).
+//
+// Id 0 means "no request" (batch tools, tests, background threads).
+
+#ifndef ET_COMMON_TASK_CONTEXT_H_
+#define ET_COMMON_TASK_CONTEXT_H_
+
+#include <cstdint>
+
+namespace et {
+namespace internal {
+
+inline thread_local uint64_t tls_request_id = 0;
+
+}  // namespace internal
+
+/// The request id attached to the calling thread (0 = none).
+inline uint64_t CurrentRequestId() { return internal::tls_request_id; }
+
+/// Overwrites the calling thread's request id. Prefer RequestIdScope.
+inline void SetCurrentRequestId(uint64_t id) {
+  internal::tls_request_id = id;
+}
+
+/// Installs `id` as the calling thread's request id for the scope's
+/// lifetime, restoring the previous id on exit (so nested scopes — a
+/// pool worker reused across requests, a chunk inside a request —
+/// unwind correctly).
+class RequestIdScope {
+ public:
+  explicit RequestIdScope(uint64_t id) : saved_(CurrentRequestId()) {
+    SetCurrentRequestId(id);
+  }
+  ~RequestIdScope() { SetCurrentRequestId(saved_); }
+
+  RequestIdScope(const RequestIdScope&) = delete;
+  RequestIdScope& operator=(const RequestIdScope&) = delete;
+
+ private:
+  uint64_t saved_;
+};
+
+}  // namespace et
+
+#endif  // ET_COMMON_TASK_CONTEXT_H_

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/task_context.h"
 
 namespace et {
 namespace {
@@ -149,8 +150,13 @@ void ParallelFor(size_t n,
   state->pending = chunks - 1;
   state->errors.assign(chunks, nullptr);
 
-  auto run_chunk = [&fn](SharedState& s, size_t i, size_t begin,
-                         size_t end) {
+  // Chunks run on pool workers but do this request's work: carry the
+  // caller's request id into each so trace spans emitted inside stay
+  // attributable to the originating wire request.
+  const uint64_t request_id = CurrentRequestId();
+  auto run_chunk = [&fn, request_id](SharedState& s, size_t i,
+                                     size_t begin, size_t end) {
+    RequestIdScope request_scope(request_id);
     ++g_parallel_depth;
     try {
       if (auto hook = CurrentChunkHook()) (*hook)();

@@ -7,6 +7,7 @@
 #include "common/thread_pool.h"
 #include "core/payoff.h"
 #include "fd/g1.h"
+#include "obs/trace.h"
 
 namespace et {
 
@@ -85,6 +86,9 @@ std::vector<double> PayoffScores(const BeliefModel& belief,
                                  const InferenceOptions& inference) {
   std::vector<double> s(candidates.size());
   ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
+    // Chunk-level span (not per-candidate): visible per pool worker in
+    // a trace, tagged with the originating request id when serving.
+    ET_TRACE_SCOPE("core.policy.score_chunk");
     for (size_t i = begin; i < end; ++i) {
       s[i] = LearnerExamplePayoff(belief, rel, candidates[i], inference);
     }
@@ -98,6 +102,7 @@ std::vector<double> EntropyScores(const BeliefModel& belief,
                                   const InferenceOptions& inference) {
   std::vector<double> s(candidates.size());
   ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
+    ET_TRACE_SCOPE("core.policy.score_chunk");
     for (size_t i = begin; i < end; ++i) {
       const PairPrediction p =
           PredictPair(belief, rel, candidates[i], inference);

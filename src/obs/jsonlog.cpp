@@ -1,0 +1,55 @@
+#include "obs/jsonlog.h"
+
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "obs/json.h"
+
+namespace et {
+namespace obs {
+
+std::string LogRecordJson(const LogRecord& record) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("ts");
+  w.String(record.timestamp);
+  w.Key("level");
+  w.String(LogLevelName(record.level));
+  w.Key("thread");
+  w.Uint(record.thread_id);
+  if (record.request_id != 0) {
+    w.Key("request_id");
+    w.Uint(record.request_id);
+  }
+  w.Key("file");
+  w.String(record.file);
+  w.Key("line");
+  w.Int(record.line);
+  w.Key("msg");
+  w.String(record.message);
+  w.EndObject();
+  return w.str();
+}
+
+Status InstallJsonLogSink(const std::string& path) {
+  auto out = std::make_shared<std::ofstream>(path, std::ios::app);
+  if (!*out) return Status::IOError("cannot open log file " + path);
+  auto mu = std::make_shared<std::mutex>();
+  SetLogSink([out, mu](const LogRecord& record) {
+    const std::string json = LogRecordJson(record);
+    const std::string human = FormatLogRecord(record);
+    std::lock_guard<std::mutex> lock(*mu);
+    *out << json << "\n";
+    out->flush();  // log lines are rare; durability over throughput
+    std::cerr << human;
+  });
+  return Status::OK();
+}
+
+void RemoveJsonLogSink() { SetLogSink(nullptr); }
+
+}  // namespace obs
+}  // namespace et

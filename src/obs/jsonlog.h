@@ -1,0 +1,36 @@
+// JSON-lines log sink.
+//
+// InstallJsonLogSink routes every completed log line to a file as one
+// JSON object per line (machine-parseable: level, ts, thread,
+// request_id, file:line, message) while still mirroring the default
+// human-readable line to stderr. The slow-request log (slowlog.h)
+// emits its events through ET_LOG, so installing this sink captures
+// them as structured records too.
+
+#ifndef ET_OBS_JSONLOG_H_
+#define ET_OBS_JSONLOG_H_
+
+#include <string>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace et {
+namespace obs {
+
+/// Serializes one record as a single-line JSON object (no trailing
+/// newline).
+std::string LogRecordJson(const LogRecord& record);
+
+/// Opens `path` for append and installs a process-wide sink writing
+/// JSON lines there (and mirroring the human format to stderr).
+/// Replaces any previously installed sink.
+Status InstallJsonLogSink(const std::string& path);
+
+/// Restores the default stderr sink and closes the JSON file.
+void RemoveJsonLogSink();
+
+}  // namespace obs
+}  // namespace et
+
+#endif  // ET_OBS_JSONLOG_H_

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace et {
 namespace obs {
@@ -13,16 +14,55 @@ void Histogram::ResetForTest() {
   max_.store(0, std::memory_order_relaxed);
 }
 
-uint64_t HistogramSnapshot::ApproxQuantileNanos(double q) const {
+uint64_t HistogramSnapshot::QuantileNanos(double q) const {
   if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
-  const uint64_t rank = static_cast<uint64_t>(q * (count - 1)) + 1;
+  const uint64_t rank = std::clamp<uint64_t>(
+      static_cast<uint64_t>(
+          std::ceil(q * static_cast<double>(count))),
+      1, count);
   uint64_t seen = 0;
   for (const auto& [upper, cnt] : buckets) {
     seen += cnt;
     if (seen >= rank) return upper;
   }
   return max_ns;
+}
+
+void Histogram::SnapshotInto(HistogramSnapshot* out) const {
+  uint64_t bucket_vals[kNumBuckets];
+  uint64_t total = 0;
+  // A writer bumps its bucket before count (release); re-reading an
+  // unchanged count whose value equals the bucket total proves no
+  // increment landed between the two reads.
+  constexpr int kRetries = 8;
+  for (int attempt = 0; attempt < kRetries; ++attempt) {
+    const uint64_t c0 = count_.load(std::memory_order_acquire);
+    total = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      bucket_vals[i] = buckets_[i].load(std::memory_order_relaxed);
+      total += bucket_vals[i];
+    }
+    out->sum_ns = sum_.load(std::memory_order_relaxed);
+    const uint64_t min = min_.load(std::memory_order_relaxed);
+    out->min_ns = min == UINT64_MAX ? 0 : min;
+    out->max_ns = max_.load(std::memory_order_relaxed);
+    const uint64_t c1 = count_.load(std::memory_order_acquire);
+    if (c0 == c1 && total == c0) {
+      out->count = c0;
+      break;
+    }
+    // Writers never paused long enough: the buckets we read are a
+    // valid (slightly stale) state on their own — take their total as
+    // the count so the snapshot stays internally consistent.
+    out->count = total;
+  }
+  out->buckets.clear();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    if (bucket_vals[i] > 0) {
+      out->buckets.emplace_back(BucketUpperBound(i), bucket_vals[i]);
+    }
+  }
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -73,14 +113,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
   for (const auto& e : histograms_) {
     HistogramSnapshot h;
     h.name = e->name;
-    h.count = e->metric.count();
-    h.sum_ns = e->metric.sum_nanos();
-    h.min_ns = e->metric.min_nanos();
-    h.max_ns = e->metric.max_nanos();
-    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-      const uint64_t c = e->metric.bucket_count(i);
-      if (c > 0) h.buckets.emplace_back(Histogram::BucketUpperBound(i), c);
-    }
+    e->metric.SnapshotInto(&h);
     snap.histograms.push_back(std::move(h));
   }
   auto by_name = [](const auto& a, const auto& b) {

@@ -56,6 +56,8 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+struct HistogramSnapshot;
+
 /// Latency histogram over power-of-two nanosecond buckets: bucket i
 /// holds durations whose bit width is i (bucket 0 = 0ns, bucket i =
 /// [2^(i-1), 2^i - 1] ns). Indexing is a single bit-scan, no search.
@@ -64,11 +66,15 @@ class Histogram {
   static constexpr int kNumBuckets = 44;  // last bucket ~ >2.4 hours
 
   void RecordNanos(uint64_t ns) {
+    // Bucket/sum/min/max first, count last with release: SnapshotInto
+    // validates a read by re-checking count and comparing it with the
+    // bucket total, so every increment counted must already be visible
+    // in its bucket.
     buckets_[BucketIndex(ns)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(ns, std::memory_order_relaxed);
     AtomicMin(min_, ns);
     AtomicMax(max_, ns);
+    count_.fetch_add(1, std::memory_order_release);
   }
 
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
@@ -95,6 +101,14 @@ class Histogram {
     for (uint64_t v = ns; v != 0; v >>= 1) ++w;  // bit_width
     return w < kNumBuckets ? w : kNumBuckets - 1;
   }
+
+  /// Fills `out` with a consistent point-in-time copy under concurrent
+  /// writers: count always equals the sum of the bucket counts, so
+  /// cumulative-bucket consumers (Prometheus rendering, quantiles)
+  /// never see a torn count. Retries while writers race; if contention
+  /// never pauses, reconciles count from the buckets read. Does not
+  /// touch `out->name`.
+  void SnapshotInto(HistogramSnapshot* out) const;
 
   void ResetForTest();
 
@@ -134,8 +148,19 @@ struct HistogramSnapshot {
                       : static_cast<double>(sum_ns) /
                             static_cast<double>(count);
   }
+
+  /// Quantile q in [0,1], exact with respect to the bucket layout: rank
+  /// r = clamp(ceil(q * count), 1, count), answer = the inclusive upper
+  /// bound of the bucket containing the r-th smallest recorded value
+  /// (so the true value is <= the answer, within one pow2 bucket).
+  /// 0 when empty.
+  uint64_t QuantileNanos(double q) const;
+
   /// Approximate quantile (q in [0,1]) from bucket upper bounds.
-  uint64_t ApproxQuantileNanos(double q) const;
+  /// Same bucket resolution as QuantileNanos; kept for older callers.
+  uint64_t ApproxQuantileNanos(double q) const {
+    return QuantileNanos(q);
+  }
 };
 
 struct MetricsSnapshot {

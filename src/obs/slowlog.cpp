@@ -1,0 +1,112 @@
+#include "obs/slowlog.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+
+namespace et {
+namespace obs {
+
+namespace {
+
+uint64_t UnixMillisNow() {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  using std::chrono::system_clock;
+  return static_cast<uint64_t>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::string SlowRequestEventJson(const SlowRequestEvent& event) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("event");
+  w.String("slow_request");
+  w.Key("op");
+  w.String(event.op);
+  w.Key("session");
+  w.String(event.session);
+  w.Key("request_id");
+  w.Uint(event.request_id);
+  w.Key("queue_wait_ms");
+  w.Double(event.queue_wait_ms);
+  w.Key("execute_ms");
+  w.Double(event.execute_ms);
+  w.Key("total_ms");
+  w.Double(event.total_ms);
+  w.Key("unix_ms");
+  w.Uint(event.unix_ms);
+  w.EndObject();
+  return w.str();
+}
+
+SlowRequestLog& SlowRequestLog::Global() {
+  static SlowRequestLog* log = new SlowRequestLog();
+  return *log;
+}
+
+void SlowRequestLog::SetThresholdMillis(double ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  threshold_ms_ = ms;
+}
+
+double SlowRequestLog::threshold_millis() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_ms_;
+}
+
+bool SlowRequestLog::ShouldRecord(double total_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return threshold_ms_ > 0.0 && total_ms >= threshold_ms_;
+}
+
+void SlowRequestLog::Record(SlowRequestEvent event) {
+  if (event.unix_ms == 0) event.unix_ms = UnixMillisNow();
+  const std::string json = SlowRequestEventJson(event);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ring_.size() < kCapacity) {
+      ring_.push_back(std::move(event));
+    } else {
+      ring_[next_] = std::move(event);
+      next_ = (next_ + 1) % kCapacity;
+    }
+    ++total_;
+  }
+  ET_COUNTER_INC("serve.request.slow");
+  ET_LOG(Warn) << json;
+}
+
+std::vector<SlowRequestEvent> SlowRequestLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SlowRequestEvent> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < kCapacity) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < kCapacity; ++i) {
+      out.push_back(ring_[(next_ + i) % kCapacity]);
+    }
+  }
+  return out;
+}
+
+uint64_t SlowRequestLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+void SlowRequestLog::ResetForTest() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace obs
+}  // namespace et

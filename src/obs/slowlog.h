@@ -1,0 +1,76 @@
+// Bounded ring of recent slow requests.
+//
+// The serving layer records one event per request whose total latency
+// crossed the configured threshold, split into queue wait (admit ->
+// worker pickup) and execute (worker run). The ring keeps the most
+// recent kCapacity events so stats.scrape can show *which* requests
+// were slow, not just that the tail moved; each Record also logs one
+// structured JSON line (so a JSON-lines log sink captures it).
+
+#ifndef ET_OBS_SLOWLOG_H_
+#define ET_OBS_SLOWLOG_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace et {
+namespace obs {
+
+struct SlowRequestEvent {
+  /// Wire method, e.g. "session.label".
+  std::string op;
+  /// Empty when the request carried no session (e.g. a malformed
+  /// frame or session.create before an id was minted).
+  std::string session;
+  uint64_t request_id = 0;
+  double queue_wait_ms = 0.0;
+  double execute_ms = 0.0;
+  double total_ms = 0.0;
+  /// Unix wall-clock milliseconds at completion.
+  uint64_t unix_ms = 0;
+};
+
+/// Renders `event` as a single-line JSON object (the same shape
+/// stats.scrape embeds).
+std::string SlowRequestEventJson(const SlowRequestEvent& event);
+
+class SlowRequestLog {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  static SlowRequestLog& Global();
+
+  /// Requests at or above this total latency are recorded; <= 0
+  /// disables recording. Default: disabled.
+  void SetThresholdMillis(double ms);
+  double threshold_millis() const;
+
+  /// True when `total_ms` qualifies under the current threshold.
+  bool ShouldRecord(double total_ms) const;
+
+  /// Appends (overwriting the oldest event when full), stamps unix_ms
+  /// if the caller left it 0, and logs the event as one JSON line.
+  void Record(SlowRequestEvent event);
+
+  /// Most recent events, oldest first.
+  std::vector<SlowRequestEvent> Snapshot() const;
+
+  /// Total events ever recorded (including overwritten ones).
+  uint64_t total_recorded() const;
+
+  void ResetForTest();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SlowRequestEvent> ring_;
+  size_t next_ = 0;        // write position once the ring is full
+  uint64_t total_ = 0;
+  double threshold_ms_ = 0.0;
+};
+
+}  // namespace obs
+}  // namespace et
+
+#endif  // ET_OBS_SLOWLOG_H_

@@ -1,0 +1,141 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "obs/trace.h"
+
+namespace et {
+namespace obs {
+
+MetricsDelta DiffSnapshots(const MetricsSnapshot& older,
+                           const MetricsSnapshot& newer,
+                           uint64_t interval_ns) {
+  MetricsDelta delta;
+  delta.valid = true;
+  delta.interval_ns = interval_ns;
+
+  std::map<std::string, uint64_t> old_counters(older.counters.begin(),
+                                               older.counters.end());
+  for (const auto& [name, value] : newer.counters) {
+    const auto it = old_counters.find(name);
+    const uint64_t before = it == old_counters.end() ? 0 : it->second;
+    // A reset (tests) can make the cumulative value go backwards; clamp
+    // rather than wrap.
+    delta.counters.emplace_back(name,
+                                value >= before ? value - before : value);
+  }
+
+  std::map<std::string, const HistogramSnapshot*> old_hists;
+  for (const HistogramSnapshot& h : older.histograms) {
+    old_hists[h.name] = &h;
+  }
+  for (const HistogramSnapshot& h : newer.histograms) {
+    const auto it = old_hists.find(h.name);
+    if (it == old_hists.end()) {
+      delta.histograms.push_back(h);
+      continue;
+    }
+    const HistogramSnapshot& prev = *it->second;
+    if (h.count < prev.count) {  // reset between samples
+      delta.histograms.push_back(h);
+      continue;
+    }
+    HistogramSnapshot d;
+    d.name = h.name;
+    d.count = h.count - prev.count;
+    d.sum_ns = h.sum_ns >= prev.sum_ns ? h.sum_ns - prev.sum_ns : 0;
+    d.max_ns = h.max_ns;  // max over the interval is not recoverable;
+    d.min_ns = 0;         // carry the cumulative max as an upper bound.
+    std::map<uint64_t, uint64_t> prev_buckets(prev.buckets.begin(),
+                                              prev.buckets.end());
+    for (const auto& [upper, cnt] : h.buckets) {
+      const auto bit = prev_buckets.find(upper);
+      const uint64_t before = bit == prev_buckets.end() ? 0 : bit->second;
+      if (cnt > before) d.buckets.emplace_back(upper, cnt - before);
+    }
+    delta.histograms.push_back(std::move(d));
+  }
+  return delta;
+}
+
+DeltaSnapshotter::DeltaSnapshotter(Options options) : options_(options) {
+  if (options_.interval_ms == 0) options_.interval_ms = 1000;
+}
+
+DeltaSnapshotter::~DeltaSnapshotter() { Stop(); }
+
+void DeltaSnapshotter::SampleNow() {
+  // Snapshot outside mu_ — the registry has its own lock and the copy
+  // can be large.
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  const uint64_t now = NowNanos();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (have_cur_) {
+    prev_ = std::move(cur_);
+    prev_ns_ = cur_ns_;
+    have_prev_ = true;
+  }
+  cur_ = std::move(snap);
+  cur_ns_ = now;
+  have_cur_ = true;
+}
+
+MetricsDelta DeltaSnapshotter::LatestDelta() const {
+  MetricsSnapshot older, newer;
+  uint64_t interval_ns = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!have_prev_ || !have_cur_) return {};
+    older = prev_;
+    newer = cur_;
+    interval_ns = cur_ns_ > prev_ns_ ? cur_ns_ - prev_ns_ : 0;
+  }
+  return DiffSnapshots(older, newer, interval_ns);
+}
+
+MetricsSnapshot DeltaSnapshotter::LatestSample() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return have_cur_ ? cur_ : MetricsSnapshot{};
+}
+
+void DeltaSnapshotter::Start() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (running_) return;
+    running_ = true;
+    stop_requested_ = false;
+  }
+  SampleNow();
+  thread_ = std::thread([this] { ThreadMain(); });
+}
+
+void DeltaSnapshotter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  running_ = false;
+}
+
+void DeltaSnapshotter::ThreadMain() {
+  const auto interval = std::chrono::milliseconds(options_.interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (cv_.wait_for(lock, interval,
+                       [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    SampleNow();
+  }
+}
+
+}  // namespace obs
+}  // namespace et

@@ -1,0 +1,111 @@
+// Periodic metrics sampling for delta (rate) views.
+//
+// A MetricsSnapshot is cumulative since process start; operators
+// watching a live server mostly want "what happened in the last few
+// seconds". DeltaSnapshotter keeps the two most recent registry
+// samples and derives per-interval counter deltas and histogram
+// delta-bucket distributions from them, so stats.scrape can serve a
+// `delta` view alongside the cumulative one without the scraper
+// having to diff snapshots itself.
+//
+// Sampling either runs on the owned background thread (Start/Stop) or
+// is driven explicitly with SampleNow() for deterministic tests.
+
+#ifndef ET_OBS_SNAPSHOT_H_
+#define ET_OBS_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace et {
+namespace obs {
+
+/// Difference between the two most recent registry samples.
+struct MetricsDelta {
+  /// False until two samples exist; all vectors empty while false.
+  bool valid = false;
+  /// Wall-clock span between the two samples, nanoseconds.
+  uint64_t interval_ns = 0;
+  /// Counter increments over the interval (name, delta). Counters that
+  /// first appeared in the newer sample contribute their full value.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Per-histogram delta distributions: count/sum/buckets are the
+  /// increments over the interval (min/max are interval-local only in
+  /// the sense that max_ns carries the newer sample's max). Quantiles
+  /// of these snapshots are interval quantiles.
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Samples MetricsRegistry::Global() on a cadence and exposes the
+/// latest cumulative sample plus the delta between the last two.
+class DeltaSnapshotter {
+ public:
+  struct Options {
+    /// Cadence of the background thread. Ignored by SampleNow().
+    uint64_t interval_ms = 1000;
+  };
+
+  DeltaSnapshotter() : DeltaSnapshotter(Options()) {}
+  explicit DeltaSnapshotter(Options options);
+  ~DeltaSnapshotter();
+
+  DeltaSnapshotter(const DeltaSnapshotter&) = delete;
+  DeltaSnapshotter& operator=(const DeltaSnapshotter&) = delete;
+
+  /// Spawns the sampling thread (takes an immediate first sample).
+  /// No-op if already running.
+  void Start();
+
+  /// Stops and joins the sampling thread. No-op if not running.
+  void Stop();
+
+  /// Takes one sample right now (also usable while the thread runs).
+  void SampleNow();
+
+  /// Delta between the two most recent samples; `valid` is false until
+  /// two samples have been taken.
+  MetricsDelta LatestDelta() const;
+
+  /// The most recent cumulative sample (empty until first SampleNow or
+  /// thread tick).
+  MetricsSnapshot LatestSample() const;
+
+  uint64_t interval_ms() const { return options_.interval_ms; }
+
+ private:
+  void ThreadMain();
+
+  Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool running_ = false;
+  bool stop_requested_ = false;
+  std::thread thread_;
+
+  // prev_/cur_ guarded by mu_; *_ns are NowNanos() at sample time.
+  bool have_prev_ = false;
+  bool have_cur_ = false;
+  MetricsSnapshot prev_;
+  MetricsSnapshot cur_;
+  uint64_t prev_ns_ = 0;
+  uint64_t cur_ns_ = 0;
+};
+
+/// Computes the delta between two cumulative snapshots (newer - older).
+/// Exposed for tests; DeltaSnapshotter::LatestDelta uses it.
+MetricsDelta DiffSnapshots(const MetricsSnapshot& older,
+                           const MetricsSnapshot& newer,
+                           uint64_t interval_ns);
+
+}  // namespace obs
+}  // namespace et
+
+#endif  // ET_OBS_SNAPSHOT_H_

@@ -76,6 +76,33 @@ void AbortTracing() {
   s->dropped = 0;
 }
 
+Result<std::vector<CollectedSpan>> StopTracingAndCollect() {
+  internal::TraceSession* s = internal::Session();
+  std::vector<internal::TraceEvent> events;
+  uint64_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(s->mu);
+    if (!internal::g_tracing_active.load(std::memory_order_relaxed)) {
+      return Status::FailedPrecondition("no active trace session");
+    }
+    internal::g_tracing_active.store(false, std::memory_order_relaxed);
+    events.swap(s->events);
+    dropped = s->dropped;
+    s->dropped = 0;
+  }
+  if (dropped > 0) {
+    MetricsRegistry::Global()
+        .GetCounter("obs.trace.dropped_events")
+        .Increment(dropped);
+  }
+  std::vector<CollectedSpan> spans;
+  spans.reserve(events.size());
+  for (const internal::TraceEvent& e : events) {
+    spans.push_back({e.name, e.start_ns, e.dur_ns, e.tid, e.request_id});
+  }
+  return spans;
+}
+
 Status StopTracingAndWrite(const std::string& path) {
   internal::TraceSession* s = internal::Session();
   std::vector<internal::TraceEvent> events;
@@ -139,6 +166,13 @@ Status StopTracingAndWrite(const std::string& path) {
     w.Int(1);
     w.Key("tid");
     w.Uint(e.tid);
+    if (e.request_id != 0) {
+      w.Key("args");
+      w.BeginObject();
+      w.Key("request_id");
+      w.Uint(e.request_id);
+      w.EndObject();
+    }
     w.EndObject();
   }
   w.EndArray();

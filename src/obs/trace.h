@@ -20,9 +20,12 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/result.h"
 #include "common/status.h"
+#include "common/task_context.h"
 #include "obs/metrics.h"
 
 namespace et {
@@ -41,6 +44,10 @@ struct TraceEvent {
   uint64_t start_ns;  // NowNanos() at span entry
   uint64_t dur_ns;
   uint32_t tid;
+  /// Request the emitting thread was working for (task_context.h);
+  /// 0 outside the serving path. Exported as args.request_id so a
+  /// Chrome trace can be filtered to one wire request across threads.
+  uint64_t request_id;
 };
 
 /// Appends to the active session's buffer; drops (and counts) events
@@ -62,6 +69,20 @@ Status StartTracing();
 /// active or the file cannot be written.
 Status StopTracingAndWrite(const std::string& path);
 
+/// One finished span, as collected by StopTracingAndCollect.
+struct CollectedSpan {
+  std::string name;
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;
+  uint64_t request_id = 0;
+};
+
+/// Stops the active session and returns its spans in emission order
+/// (for tests that assert on span structure without round-tripping
+/// through the JSON file). Fails if no session is active.
+Result<std::vector<CollectedSpan>> StopTracingAndCollect();
+
 /// Stops and discards the active session (test cleanup / error paths).
 void AbortTracing();
 
@@ -80,8 +101,9 @@ class ScopedTimer {
     const uint64_t dur = NowNanos() - start_ns_;
     if (histogram_ != nullptr) histogram_->RecordNanos(dur);
     if (TracingActive()) {
-      internal::AppendTraceEvent(
-          {name_, start_ns_, dur, ::et::CurrentThreadId()});
+      internal::AppendTraceEvent({name_, start_ns_, dur,
+                                  ::et::CurrentThreadId(),
+                                  ::et::CurrentRequestId()});
     }
   }
 
@@ -111,8 +133,9 @@ class ManualSpan {
     const uint64_t dur = NowNanos() - start_ns_;
     histogram_->RecordNanos(dur);
     if (TracingActive()) {
-      internal::AppendTraceEvent(
-          {name_, start_ns_, dur, ::et::CurrentThreadId()});
+      internal::AppendTraceEvent({name_, start_ns_, dur,
+                                  ::et::CurrentThreadId(),
+                                  ::et::CurrentRequestId()});
     }
   }
 

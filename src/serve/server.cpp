@@ -16,8 +16,11 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/task_context.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "obs/trace.h"
 #include "robustness/fault.h"
 
 namespace et {
@@ -52,6 +55,12 @@ struct Server::Impl {
   std::thread io_thread;
   std::atomic<bool> stopping{false};
   std::atomic<bool> stopped{false};
+  /// Monotonic per-request ids: 1, 2, ... for the server's lifetime
+  /// (0 is reserved for "no request" in the thread-local context).
+  std::atomic<uint64_t> next_request_id{1};
+  /// Feeds stats.scrape's delta view; started by Start() when
+  /// stats_interval_ms > 0, stopped with the server.
+  obs::DeltaSnapshotter snapshotter;
 
   struct Conn {
     int fd = -1;
@@ -66,7 +75,11 @@ struct Server::Impl {
   std::unordered_map<int, std::shared_ptr<Conn>> conns;
 
   explicit Impl(const ServerOptions& opts)
-      : options(opts), manager(opts.sessions) {}
+      : options(opts),
+        manager(opts.sessions),
+        snapshotter(obs::DeltaSnapshotter::Options{
+            opts.stats_interval_ms == 0 ? 1000 : opts.stats_interval_ms}) {
+  }
 
   ~Impl() {
     // Runs when the last holder (server handle or in-flight worker)
@@ -192,12 +205,49 @@ struct Server::Impl {
               manager.retry_after_ms()));
       return;
     }
-    ThreadPool::Global().Submit(
-        [self = std::move(self), conn, payload = std::move(payload)] {
-          const std::string response = self->manager.Handle(payload);
-          self->manager.EndRequest();
-          self->EnqueueResponse(conn, response);
-        });
+    // The request exists from here on: it has an id, and its life is
+    // measured as queue wait (admit -> worker pickup) + execute
+    // (worker run). The id rides the worker thread via a thread-local
+    // scope so every span and log line the request causes — including
+    // ParallelFor chunks on other pool threads — carries it.
+    const uint64_t request_id =
+        next_request_id.fetch_add(1, std::memory_order_relaxed);
+    const uint64_t t_admit = obs::NowNanos();
+    ThreadPool::Global().Submit([self = std::move(self), conn,
+                                 payload = std::move(payload), request_id,
+                                 t_admit] {
+      const uint64_t t_start = obs::NowNanos();
+      RequestInfo info;
+      std::string response;
+      {
+        RequestIdScope scope(request_id);
+        response = self->manager.Handle(payload, &info);
+      }
+      self->manager.EndRequest();
+      const uint64_t t_end = obs::NowNanos();
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetHistogram("serve.request.queue_wait")
+          .RecordNanos(t_start - t_admit);
+      registry.GetHistogram("serve.request.execute")
+          .RecordNanos(t_end - t_start);
+      registry.GetHistogram("serve.request.latency")
+          .RecordNanos(t_end - t_admit);
+      const double total_ms =
+          static_cast<double>(t_end - t_admit) / 1e6;
+      obs::SlowRequestLog& slow = obs::SlowRequestLog::Global();
+      if (slow.ShouldRecord(total_ms)) {
+        obs::SlowRequestEvent event;
+        event.op = info.method;
+        event.session = info.session_id;
+        event.request_id = request_id;
+        event.queue_wait_ms =
+            static_cast<double>(t_start - t_admit) / 1e6;
+        event.execute_ms = static_cast<double>(t_end - t_start) / 1e6;
+        event.total_ms = total_ms;
+        slow.Record(std::move(event));
+      }
+      self->EnqueueResponse(conn, response);
+    });
   }
 
   void HandleReadable(std::shared_ptr<Impl> self,
@@ -372,12 +422,21 @@ Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   ET_RETURN_NOT_OK(SetNonBlocking(impl->wake_read));
   ET_RETURN_NOT_OK(SetNonBlocking(impl->wake_write));
 
+  // Global by design: there is one slow-request ring per process, and
+  // one server per process in practice (tools/et_serve). The last
+  // Start wins for tests that run several servers.
+  obs::SlowRequestLog::Global().SetThresholdMillis(
+      options.slow_request_ms);
+  impl->manager.SetDeltaSnapshotter(&impl->snapshotter);
+  if (options.stats_interval_ms > 0) impl->snapshotter.Start();
+
   impl->io_thread = std::thread([impl] { impl->IoLoop(impl); });
   return std::unique_ptr<Server>(new Server(std::move(impl)));
 }
 
 void Server::Stop() {
   if (impl_->stopped.exchange(true)) return;
+  impl_->snapshotter.Stop();
   impl_->stopping.store(true, std::memory_order_release);
   impl_->WakeIo();
   if (impl_->io_thread.joinable()) impl_->io_thread.join();
@@ -388,6 +447,10 @@ Server::~Server() { Stop(); }
 int Server::port() const { return impl_->port; }
 
 SessionManager& Server::sessions() { return impl_->manager; }
+
+obs::DeltaSnapshotter& Server::snapshotter() {
+  return impl_->snapshotter;
+}
 
 }  // namespace serve
 }  // namespace et

@@ -34,6 +34,12 @@ struct ServerOptions {
   int port = 0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   SessionManagerOptions sessions;
+  /// Requests whose total latency (admit -> response enqueued) reaches
+  /// this are recorded in the slow-request log; <= 0 disables.
+  double slow_request_ms = 0.0;
+  /// Cadence of the owned delta snapshotter feeding stats.scrape's
+  /// delta view; 0 disables the background sampling thread.
+  uint64_t stats_interval_ms = 1000;
 };
 
 /// A running server. Start() binds, listens, and spawns the IO thread;
@@ -52,6 +58,10 @@ class Server {
   int port() const;
 
   SessionManager& sessions();
+
+  /// The owned snapshotter behind stats.scrape's delta view (running
+  /// only when options.stats_interval_ms > 0).
+  obs::DeltaSnapshotter& snapshotter();
 
   /// Idempotent shutdown: stops accepting, closes connections, joins
   /// the IO thread.

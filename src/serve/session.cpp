@@ -15,6 +15,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robustness/fault.h"
+#include "serve/stats.h"
 
 namespace et {
 namespace serve {
@@ -851,6 +852,12 @@ Status SessionManager::Insert(const std::string& id,
       return Status::AlreadyExists("session " + id + " already exists");
     }
     it->second = std::make_shared<Entry>();
+    it->second->round.store(session->round(), std::memory_order_relaxed);
+    it->second->labels.store(session->labels_total(),
+                             std::memory_order_relaxed);
+    it->second->done.store(session->done(), std::memory_order_relaxed);
+    it->second->last_activity_ns.store(obs::NowNanos(),
+                                       std::memory_order_relaxed);
     it->second->session = std::move(session);
   }
   obs::MetricsRegistry::Global()
@@ -870,7 +877,8 @@ void SessionManager::ReserveGeneratedId(const std::string& id) {
   }
 }
 
-std::string SessionManager::Handle(const std::string& request_payload) {
+std::string SessionManager::Handle(const std::string& request_payload,
+                                   RequestInfo* info) {
   ET_TRACE_SCOPE("serve.request");
   ET_COUNTER_INC("serve.requests.total");
   uint64_t id = 0;
@@ -882,6 +890,13 @@ std::string SessionManager::Handle(const std::string& request_payload) {
       status = request.status();
     } else {
       id = request->id;
+      if (info != nullptr) {
+        info->method = request->method;
+        const obs::JsonValue* sid = request->params.Find("session_id");
+        if (sid != nullptr && sid->is_string()) {
+          info->session_id = sid->string_value;
+        }
+      }
       // Injected session faults model a scheduler/worker failure after
       // admission but before dispatch: nothing has been applied, so
       // the honest answer is "try again" — kUnavailable.
@@ -906,6 +921,7 @@ std::string SessionManager::Handle(const std::string& request_payload) {
     status = Status::Internal(std::string("uncaught exception: ") +
                               e.what());
   }
+  if (info != nullptr) info->ok = status.ok();
   if (status.ok()) {
     ET_COUNTER_INC("serve.requests.ok");
     return OkResponse(id, result_json);
@@ -939,6 +955,10 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
     ET_TRACE_SCOPE("serve.session.close");
     return HandleClose(request.params);
   }
+  if (request.method == "stats.scrape") {
+    ET_TRACE_SCOPE("serve.stats.scrape");
+    return HandleStats(request.params);
+  }
   if (request.method == "server.ping") {
     obs::JsonWriter w;
     w.BeginObject();
@@ -953,6 +973,21 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
 }
 
 namespace {
+
+/// Counts a request as executing against its session for the
+/// duration of a scope (read lock-free by stats scrapes).
+class BusyGuard {
+ public:
+  explicit BusyGuard(std::atomic<uint32_t>& busy) : busy_(busy) {
+    busy_.fetch_add(1, std::memory_order_relaxed);
+  }
+  ~BusyGuard() { busy_.fetch_sub(1, std::memory_order_relaxed); }
+  BusyGuard(const BusyGuard&) = delete;
+  BusyGuard& operator=(const BusyGuard&) = delete;
+
+ private:
+  std::atomic<uint32_t>& busy_;
+};
 
 /// Serializes the client-facing view of a session's current state
 /// (create and restore responses share it). Runs on an exclusively
@@ -1066,6 +1101,7 @@ Result<std::string> SessionManager::HandleLabel(
   }
   LabelOutcome out;
   {
+    BusyGuard busy(entry->busy);
     std::lock_guard<std::mutex> lock(entry->mu);
     if (entry->session == nullptr) {
       return Status::NotFound("session " + id + " closed");
@@ -1073,6 +1109,11 @@ Result<std::string> SessionManager::HandleLabel(
     ET_ASSIGN_OR_RETURN(
         out, entry->session->Label(labels, static_cast<size_t>(top_fd)));
   }
+  entry->round.store(out.round, std::memory_order_relaxed);
+  entry->labels.store(out.labels_total, std::memory_order_relaxed);
+  entry->done.store(out.done, std::memory_order_relaxed);
+  entry->last_activity_ns.store(obs::NowNanos(),
+                                std::memory_order_relaxed);
   ET_COUNTER_ADD("serve.labels.total", labels.size());
 
   obs::JsonWriter w;
@@ -1125,12 +1166,15 @@ Result<std::string> SessionManager::HandleSnapshot(
   }
   std::string payload;
   {
+    BusyGuard busy(entry->busy);
     std::lock_guard<std::mutex> lock(entry->mu);
     if (entry->session == nullptr) {
       return Status::NotFound("session " + id + " closed");
     }
     payload = entry->session->EncodeSnapshot();
   }
+  entry->last_activity_ns.store(obs::NowNanos(),
+                                std::memory_order_relaxed);
   const std::string name = "sess-" + id;
   ET_RETURN_NOT_OK(store_->Save(name, payload));
   ET_COUNTER_INC("serve.snapshots.total");
@@ -1212,6 +1256,59 @@ Result<std::string> SessionManager::HandleClose(
   w.Uint(labels_total);
   w.EndObject();
   return w.Release();
+}
+
+std::vector<SessionStats> SessionManager::SnapshotSessionStats() const {
+  const uint64_t now = obs::NowNanos();
+  std::vector<SessionStats> out;
+  for (const auto& stripe : stripes_) {
+    std::vector<std::pair<std::string, std::shared_ptr<Entry>>> entries;
+    {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      entries.assign(stripe->sessions.begin(), stripe->sessions.end());
+    }
+    for (const auto& [id, entry] : entries) {
+      SessionStats s;
+      s.id = id;
+      s.round = entry->round.load(std::memory_order_relaxed);
+      s.labels_total = entry->labels.load(std::memory_order_relaxed);
+      s.done = entry->done.load(std::memory_order_relaxed);
+      s.busy = entry->busy.load(std::memory_order_relaxed);
+      const uint64_t last =
+          entry->last_activity_ns.load(std::memory_order_relaxed);
+      s.last_activity_age_ms =
+          (last == 0 || now <= last)
+              ? 0.0
+              : static_cast<double>(now - last) / 1e6;
+      out.push_back(std::move(s));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SessionStats& a, const SessionStats& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+Result<std::string> SessionManager::HandleStats(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string format,
+                      StrFieldOr(params, "format", "json"));
+  if (format == "json") {
+    return RenderStatsJson(*this, delta_snapshotter());
+  }
+  if (format == "prometheus") {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("format");
+    w.String("prometheus");
+    w.Key("text");
+    w.String(RenderPrometheusText(*this, delta_snapshotter()));
+    w.EndObject();
+    return w.Release();
+  }
+  return Status::InvalidArgument("unknown format '" + format +
+                                 "' (use json|prometheus)");
 }
 
 Status SessionManager::ForceSessionDeadlineForTest(

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/snapshot.h"
 #include "core/convergence.h"
 #include "core/learner.h"
 #include "data/datasets.h"
@@ -196,6 +197,31 @@ struct SessionManagerOptions {
   std::string snapshot_dir;
 };
 
+/// What a handled request turned out to be, reported back to the
+/// caller (the server) so it can label latency metrics and the
+/// slow-request log without re-parsing the payload.
+struct RequestInfo {
+  /// Wire method; "?" when the payload did not parse.
+  std::string method = "?";
+  /// The session the request addressed (params.session_id), if any.
+  std::string session_id;
+  bool ok = false;
+};
+
+/// One live session as seen by a stats scrape. Read from lock-free
+/// mirrors — a scrape never waits on a session mid-label.
+struct SessionStats {
+  std::string id;
+  uint64_t round = 0;
+  uint64_t labels_total = 0;
+  bool done = false;
+  /// Requests currently executing against this session.
+  uint32_t busy = 0;
+  /// Milliseconds since the session last made progress (created,
+  /// labeled, snapshotted, ...).
+  double last_activity_age_ms = 0.0;
+};
+
 /// Owns every live session and dispatches wire requests to them.
 /// Thread-safe: any number of workers may call Handle concurrently.
 class SessionManager {
@@ -209,10 +235,31 @@ class SessionManager {
   double retry_after_ms() const { return options_.retry_after_ms; }
 
   /// Full request cycle: parse → dispatch → serialize. Always returns
-  /// a well-formed response payload (never throws).
-  std::string Handle(const std::string& request_payload);
+  /// a well-formed response payload (never throws). When `info` is
+  /// non-null it is filled with the request's method/session for the
+  /// caller's metrics.
+  std::string Handle(const std::string& request_payload,
+                     RequestInfo* info = nullptr);
 
   size_t ActiveSessions() const;
+
+  /// Requests admitted but not yet finished (the bounded queue level).
+  size_t InflightRequests() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+  /// Per-session stat mirrors, id-sorted.
+  std::vector<SessionStats> SnapshotSessionStats() const;
+
+  /// Wires the delta snapshotter whose delta view stats.scrape embeds.
+  /// May be null (delta section reports valid=false). Set before
+  /// serving starts; not synchronized against in-flight scrapes.
+  void SetDeltaSnapshotter(obs::DeltaSnapshotter* snapshotter) {
+    delta_.store(snapshotter, std::memory_order_release);
+  }
+  obs::DeltaSnapshotter* delta_snapshotter() const {
+    return delta_.load(std::memory_order_acquire);
+  }
 
   /// Expires a session's watchdog (deterministic deadline tests).
   Status ForceSessionDeadlineForTest(const std::string& session_id);
@@ -221,9 +268,16 @@ class SessionManager {
   struct Entry {
     std::mutex mu;
     std::unique_ptr<Session> session;
+    // Lock-free mirrors of the session's progress, refreshed after
+    // each operation that held mu; stats scrapes read only these.
+    std::atomic<uint64_t> round{0};
+    std::atomic<uint64_t> labels{0};
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> last_activity_ns{0};
+    std::atomic<uint32_t> busy{0};
   };
   struct Stripe {
-    std::mutex mu;
+    mutable std::mutex mu;
     std::unordered_map<std::string, std::shared_ptr<Entry>> sessions;
   };
 
@@ -236,6 +290,7 @@ class SessionManager {
   Result<std::string> HandleSnapshot(const obs::JsonValue& params);
   Result<std::string> HandleRestore(const obs::JsonValue& params);
   Result<std::string> HandleClose(const obs::JsonValue& params);
+  Result<std::string> HandleStats(const obs::JsonValue& params);
 
   /// Inserts under the stripe lock; fails (kUnavailable) at
   /// max_sessions, (kAlreadyExists) on id collision.
@@ -251,6 +306,7 @@ class SessionManager {
   std::atomic<size_t> session_count_{0};
   std::atomic<size_t> inflight_{0};
   std::atomic<uint64_t> next_session_{1};
+  std::atomic<obs::DeltaSnapshotter*> delta_{nullptr};
   std::unique_ptr<CheckpointStore> store_;  // null when no snapshot_dir
 };
 

@@ -1,0 +1,485 @@
+#include "serve/stats.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "common/strings.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "serve/session.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+uint64_t UnixMillisNow() {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  using std::chrono::system_clock;
+  return static_cast<uint64_t>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+constexpr const char* kQuantileKeys[] = {"p50_ns", "p95_ns", "p99_ns"};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.95", "0.99"};
+
+void WriteHistogramSummary(obs::JsonWriter* w,
+                           const obs::HistogramSnapshot& h) {
+  w->BeginObject();
+  w->Key("count");
+  w->Uint(h.count);
+  w->Key("sum_ns");
+  w->Uint(h.sum_ns);
+  w->Key("min_ns");
+  w->Uint(h.min_ns);
+  w->Key("max_ns");
+  w->Uint(h.max_ns);
+  w->Key("mean_ns");
+  w->Double(h.mean_ns());
+  for (size_t i = 0; i < 3; ++i) {
+    w->Key(kQuantileKeys[i]);
+    w->Uint(h.QuantileNanos(kQuantiles[i]));
+  }
+  w->EndObject();
+}
+
+void WriteSlowEvent(obs::JsonWriter* w, const obs::SlowRequestEvent& e) {
+  w->BeginObject();
+  w->Key("op");
+  w->String(e.op);
+  w->Key("session");
+  w->String(e.session);
+  w->Key("request_id");
+  w->Uint(e.request_id);
+  w->Key("queue_wait_ms");
+  w->Double(e.queue_wait_ms);
+  w->Key("execute_ms");
+  w->Double(e.execute_ms);
+  w->Key("total_ms");
+  w->Double(e.total_ms);
+  w->Key("unix_ms");
+  w->Uint(e.unix_ms);
+  w->EndObject();
+}
+
+/// Prometheus label values allow backslash-escaped `\`, `"`, `\n`.
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) { return StrFormat("%.10g", v); }
+
+}  // namespace
+
+std::string SanitizeMetricName(std::string_view name) {
+  std::string out = "et_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderStatsJson(SessionManager& manager,
+                            obs::DeltaSnapshotter* delta) {
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Global().Snapshot();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("et-stats-v1");
+  w.Key("unix_ms");
+  w.Uint(UnixMillisNow());
+  w.Key("active_sessions");
+  w.Uint(manager.ActiveSessions());
+  w.Key("inflight_requests");
+  w.Uint(manager.InflightRequests());
+
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.counters) {
+    w.Key(name);
+    w.Uint(value);
+  }
+  w.EndObject();
+
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : snap.gauges) {
+    w.Key(name);
+    w.Double(value);
+  }
+  w.EndObject();
+
+  w.Key("histograms");
+  w.BeginObject();
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    w.Key(h.name);
+    WriteHistogramSummary(&w, h);
+  }
+  w.EndObject();
+
+  w.Key("sessions");
+  w.BeginArray();
+  for (const SessionStats& s : manager.SnapshotSessionStats()) {
+    w.BeginObject();
+    w.Key("id");
+    w.String(s.id);
+    w.Key("round");
+    w.Uint(s.round);
+    w.Key("labels_total");
+    w.Uint(s.labels_total);
+    w.Key("done");
+    w.Bool(s.done);
+    w.Key("busy");
+    w.Uint(s.busy);
+    w.Key("last_activity_age_ms");
+    w.Double(s.last_activity_age_ms);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  // The delta (rate) view from the background snapshotter: what moved
+  // over the last sampling interval. Zero-delta entries are elided.
+  w.Key("delta");
+  w.BeginObject();
+  const obs::MetricsDelta d =
+      delta != nullptr ? delta->LatestDelta() : obs::MetricsDelta{};
+  w.Key("valid");
+  w.Bool(d.valid);
+  if (d.valid) {
+    const double interval_s =
+        static_cast<double>(d.interval_ns) / 1e9;
+    w.Key("interval_ms");
+    w.Double(static_cast<double>(d.interval_ns) / 1e6);
+    w.Key("counters");
+    w.BeginObject();
+    for (const auto& [name, inc] : d.counters) {
+      if (inc == 0) continue;
+      w.Key(name);
+      w.BeginObject();
+      w.Key("delta");
+      w.Uint(inc);
+      w.Key("rate_per_s");
+      w.Double(interval_s > 0.0
+                   ? static_cast<double>(inc) / interval_s
+                   : 0.0);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.Key("histograms");
+    w.BeginObject();
+    for (const obs::HistogramSnapshot& h : d.histograms) {
+      if (h.count == 0) continue;
+      w.Key(h.name);
+      w.BeginObject();
+      w.Key("count");
+      w.Uint(h.count);
+      w.Key("rate_per_s");
+      w.Double(interval_s > 0.0
+                   ? static_cast<double>(h.count) / interval_s
+                   : 0.0);
+      w.Key("mean_ns");
+      w.Double(h.mean_ns());
+      for (size_t i = 0; i < 3; ++i) {
+        w.Key(kQuantileKeys[i]);
+        w.Uint(h.QuantileNanos(kQuantiles[i]));
+      }
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+  w.EndObject();
+
+  obs::SlowRequestLog& slow = obs::SlowRequestLog::Global();
+  w.Key("slow_requests");
+  w.BeginObject();
+  w.Key("threshold_ms");
+  w.Double(slow.threshold_millis());
+  w.Key("total");
+  w.Uint(slow.total_recorded());
+  w.Key("events");
+  w.BeginArray();
+  for (const obs::SlowRequestEvent& e : slow.Snapshot()) {
+    WriteSlowEvent(&w, e);
+  }
+  w.EndArray();
+  w.EndObject();
+
+  w.EndObject();
+  return w.Release();
+}
+
+std::string RenderPrometheusText(SessionManager& manager,
+                                 obs::DeltaSnapshotter* /*delta*/) {
+  const obs::MetricsSnapshot snap =
+      obs::MetricsRegistry::Global().Snapshot();
+  std::string out;
+  out.reserve(16384);
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = SanitizeMetricName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = SanitizeMetricName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + FormatDouble(value) + "\n";
+  }
+  for (const obs::HistogramSnapshot& h : snap.histograms) {
+    const std::string prom = SanitizeMetricName(h.name);
+    out += "# TYPE " + prom + " histogram\n";
+    uint64_t cumulative = 0;
+    for (const auto& [upper_ns, count] : h.buckets) {
+      cumulative += count;
+      out += prom + "_bucket{le=\"" +
+             FormatDouble(static_cast<double>(upper_ns) / 1e9) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(h.count) +
+           "\n";
+    out += prom + "_sum " +
+           FormatDouble(static_cast<double>(h.sum_ns) / 1e9) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+    out += "# TYPE " + prom + "_quantile gauge\n";
+    for (size_t i = 0; i < 3; ++i) {
+      out += prom + "_quantile{q=\"" + kQuantileLabels[i] + "\"} " +
+             FormatDouble(static_cast<double>(
+                              h.QuantileNanos(kQuantiles[i])) /
+                          1e9) +
+             "\n";
+    }
+  }
+
+  out += "# TYPE et_serve_inflight_requests gauge\n";
+  out += "et_serve_inflight_requests " +
+         std::to_string(manager.InflightRequests()) + "\n";
+
+  const std::vector<SessionStats> sessions =
+      manager.SnapshotSessionStats();
+  const struct {
+    const char* name;
+    double (*get)(const SessionStats&);
+  } kSessionGauges[] = {
+      {"et_serve_session_round",
+       [](const SessionStats& s) { return static_cast<double>(s.round); }},
+      {"et_serve_session_labels_total",
+       [](const SessionStats& s) {
+         return static_cast<double>(s.labels_total);
+       }},
+      {"et_serve_session_busy",
+       [](const SessionStats& s) { return static_cast<double>(s.busy); }},
+      {"et_serve_session_done",
+       [](const SessionStats& s) { return s.done ? 1.0 : 0.0; }},
+      {"et_serve_session_last_activity_age_seconds",
+       [](const SessionStats& s) {
+         return s.last_activity_age_ms / 1e3;
+       }},
+  };
+  for (const auto& g : kSessionGauges) {
+    out += std::string("# TYPE ") + g.name + " gauge\n";
+    for (const SessionStats& s : sessions) {
+      out += std::string(g.name) + "{session=\"" +
+             EscapeLabelValue(s.id) + "\"} " + FormatDouble(g.get(s)) +
+             "\n";
+    }
+  }
+
+  out += "# TYPE et_serve_slow_requests_total counter\n";
+  out += "et_serve_slow_requests_total " +
+         std::to_string(obs::SlowRequestLog::Global().total_recorded()) +
+         "\n";
+  return out;
+}
+
+// --- StatsServer -----------------------------------------------------
+
+struct StatsServer::Impl {
+  Options options;
+  SessionManager* manager = nullptr;
+  obs::DeltaSnapshotter* delta = nullptr;
+  int listen_fd = -1;
+  int port = 0;
+  std::thread thread;
+  std::atomic<bool> stopping{false};
+
+  static void WriteAll(int fd, std::string_view data) {
+    size_t off = 0;
+    while (off < data.size()) {
+      const ssize_t n = send(fd, data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+      if (n > 0) {
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer gone; nothing to salvage
+    }
+  }
+
+  void HandleConn(int fd) {
+    timeval tv{};
+    tv.tv_sec = 2;
+    setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    // One request line per connection; 4 KiB is far beyond any valid
+    // first line of either protocol.
+    std::string line;
+    char c;
+    while (line.size() < 4096) {
+      const ssize_t n = recv(fd, &c, 1, 0);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      if (c == '\n') break;
+      line += c;
+    }
+    while (!line.empty() &&
+           (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+
+    if (line.rfind("GET ", 0) == 0) {
+      // Minimal HTTP: enough for curl and a Prometheus scraper. The
+      // rest of the request (headers) is ignored; Connection: close.
+      const size_t path_start = 4;
+      const size_t path_end = line.find(' ', path_start);
+      const std::string path =
+          line.substr(path_start, path_end == std::string::npos
+                                      ? std::string::npos
+                                      : path_end - path_start);
+      std::string body;
+      std::string content_type;
+      std::string status = "200 OK";
+      if (path == "/metrics") {
+        body = RenderPrometheusText(*manager, delta);
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+      } else if (path == "/" || path == "/json" ||
+                 path == "/stats.json") {
+        body = RenderStatsJson(*manager, delta) + "\n";
+        content_type = "application/json";
+      } else {
+        status = "404 Not Found";
+        body = "not found\n";
+        content_type = "text/plain";
+      }
+      WriteAll(fd, "HTTP/1.0 " + status +
+                       "\r\nContent-Type: " + content_type +
+                       "\r\nContent-Length: " +
+                       std::to_string(body.size()) +
+                       "\r\nConnection: close\r\n\r\n" + body);
+    } else if (line == "prometheus") {
+      WriteAll(fd, RenderPrometheusText(*manager, delta));
+    } else {  // "json", empty line, EOF: default to the JSON snapshot
+      WriteAll(fd, RenderStatsJson(*manager, delta) + "\n");
+    }
+    close(fd);
+  }
+
+  void Serve() {
+    while (!stopping.load(std::memory_order_acquire)) {
+      const int fd = accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        // Listener shut down (Stop) or broken: exit the thread.
+        return;
+      }
+      if (stopping.load(std::memory_order_acquire)) {
+        close(fd);
+        return;
+      }
+      HandleConn(fd);
+    }
+  }
+};
+
+StatsServer::StatsServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+
+Result<std::unique_ptr<StatsServer>> StatsServer::Start(
+    const Options& options, SessionManager* manager,
+    obs::DeltaSnapshotter* delta) {
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->manager = manager;
+  impl->delta = delta;
+
+  impl->listen_fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (impl->listen_fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  setsockopt(impl->listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+             sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    close(impl->listen_fd);
+    return Status::InvalidArgument("bad host address: " + options.host);
+  }
+  if (bind(impl->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+           sizeof(addr)) < 0) {
+    const Status st = Status::IOError(
+        std::string("bind ") + options.host + ":" +
+        std::to_string(options.port) + ": " + std::strerror(errno));
+    close(impl->listen_fd);
+    return st;
+  }
+  if (listen(impl->listen_fd, 16) < 0) {
+    const Status st =
+        Status::IOError(std::string("listen: ") + std::strerror(errno));
+    close(impl->listen_fd);
+    return st;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(impl->listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                  &bound_len) == 0) {
+    impl->port = ntohs(bound.sin_port);
+  }
+  Impl* raw = impl.get();
+  impl->thread = std::thread([raw] { raw->Serve(); });
+  return std::unique_ptr<StatsServer>(new StatsServer(std::move(impl)));
+}
+
+int StatsServer::port() const { return impl_->port; }
+
+void StatsServer::Stop() {
+  if (impl_->stopping.exchange(true)) return;
+  // Unblocks accept(); the thread sees stopping and exits.
+  shutdown(impl_->listen_fd, SHUT_RDWR);
+  if (impl_->thread.joinable()) impl_->thread.join();
+  close(impl_->listen_fd);
+  impl_->listen_fd = -1;
+}
+
+StatsServer::~StatsServer() { Stop(); }
+
+}  // namespace serve
+}  // namespace et

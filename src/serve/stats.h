@@ -1,0 +1,84 @@
+// On-demand serialization of the server's live state, and the plain
+// TCP endpoint that serves it.
+//
+// Two render formats over the same sources (MetricsRegistry, the
+// session manager's per-session mirrors, the slow-request ring, and
+// the delta snapshotter):
+//
+//   JSON snapshot  — one object ("et-stats-v1"): counters, gauges,
+//     histograms with exact pow2-bucket p50/p95/p99, per-session
+//     stats, the cumulative-vs-delta view, and recent slow requests.
+//     This is what tools/et_top polls.
+//   Prometheus text exposition — "# TYPE" lines, et_-prefixed
+//     sanitized names, cumulative le buckets in seconds ending at
+//     +Inf, _sum/_count, and quantile gauges. curl-able straight
+//     into a Prometheus scrape config.
+//
+// Both are reachable in-band as the `stats.scrape` wire op and
+// out-of-band through StatsServer (et_serve --stats-port): a
+// line-oriented endpoint that answers "json\n" / "prometheus\n" and
+// also speaks enough HTTP for `curl http://host:port/metrics`.
+
+#ifndef ET_SERVE_STATS_H_
+#define ET_SERVE_STATS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "obs/snapshot.h"
+
+namespace et {
+namespace serve {
+
+class SessionManager;
+
+/// "serve.request.latency" -> "et_serve_request_latency" (Prometheus
+/// name charset; every non-[a-zA-Z0-9_] byte becomes '_').
+std::string SanitizeMetricName(std::string_view name);
+
+/// The full JSON snapshot. `delta` may be null (delta.valid=false).
+std::string RenderStatsJson(SessionManager& manager,
+                            obs::DeltaSnapshotter* delta);
+
+/// Prometheus text exposition (version 0.0.4) of the same sources.
+std::string RenderPrometheusText(SessionManager& manager,
+                                 obs::DeltaSnapshotter* delta);
+
+/// A tiny line/HTTP endpoint for the two formats. One thread,
+/// blocking accept, one request per connection — intended for a
+/// handful of scrapers, not as a data plane.
+class StatsServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    /// 0 binds an ephemeral port; read it back via port().
+    int port = 0;
+  };
+
+  /// Binds, listens, and spawns the serving thread. `manager` must
+  /// outlive the StatsServer; `delta` may be null.
+  static Result<std::unique_ptr<StatsServer>> Start(
+      const Options& options, SessionManager* manager,
+      obs::DeltaSnapshotter* delta);
+
+  StatsServer(const StatsServer&) = delete;
+  StatsServer& operator=(const StatsServer&) = delete;
+  ~StatsServer();
+
+  int port() const;
+
+  /// Idempotent: closes the listener and joins the thread.
+  void Stop();
+
+ private:
+  struct Impl;
+  explicit StatsServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_STATS_H_

@@ -157,6 +157,78 @@ TEST(MetricsRegistryTest, ResetZeroesButKeepsReferencesValid) {
   EXPECT_EQ(c.value(), 1u);
 }
 
+TEST(HistogramSnapshotTest, QuantileNanosPinnedValues) {
+  // 99 values in the 10ns bucket (upper bound 15ns) plus one outlier in
+  // the 1000000ns bucket (upper bound 2^20-1). rank = ceil(q * count),
+  // clamped to [1, count].
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.RecordNanos(10);
+  h.RecordNanos(1000000);
+  HistogramSnapshot snap;
+  h.SnapshotInto(&snap);
+  ASSERT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.QuantileNanos(0.0), 15u);    // rank clamps to 1
+  EXPECT_EQ(snap.QuantileNanos(0.5), 15u);    // rank 50
+  EXPECT_EQ(snap.QuantileNanos(0.99), 15u);   // rank 99: last 10ns value
+  EXPECT_EQ(snap.QuantileNanos(0.995), (1u << 20) - 1);  // rank 100
+  EXPECT_EQ(snap.QuantileNanos(1.0), (1u << 20) - 1);
+}
+
+TEST(HistogramSnapshotTest, QuantileNanosWalksBucketBoundaries) {
+  // Values 1..10 spread over buckets ub=1 (x1), ub=3 (x2), ub=7 (x4),
+  // ub=15 (x3); the rank walk must land on each inclusive upper bound.
+  Histogram h;
+  for (uint64_t v = 1; v <= 10; ++v) h.RecordNanos(v);
+  HistogramSnapshot snap;
+  h.SnapshotInto(&snap);
+  ASSERT_EQ(snap.count, 10u);
+  EXPECT_EQ(snap.QuantileNanos(0.1), 1u);   // rank 1
+  EXPECT_EQ(snap.QuantileNanos(0.3), 3u);   // rank 3
+  EXPECT_EQ(snap.QuantileNanos(0.7), 7u);   // rank 7
+  EXPECT_EQ(snap.QuantileNanos(0.8), 15u);  // rank 8
+  EXPECT_EQ(snap.QuantileNanos(1.0), 15u);
+}
+
+TEST(HistogramSnapshotTest, QuantileOfEmptyIsZero) {
+  HistogramSnapshot snap;
+  EXPECT_EQ(snap.QuantileNanos(0.5), 0u);
+  EXPECT_EQ(snap.QuantileNanos(1.0), 0u);
+}
+
+TEST(HistogramTest, SnapshotIsConsistentUnderConcurrentWriters) {
+  // The seqlock-style snapshot must never expose a torn read: in every
+  // snapshot, count == sum of bucket counts, so cumulative-bucket
+  // consumers (Prometheus buckets, quantile ranks) always add up.
+  Histogram h;
+  std::atomic<bool> stop{false};
+  constexpr int kWriters = 4;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&h, &stop, t] {
+      uint64_t v = 1 + static_cast<uint64_t>(t);
+      while (!stop.load(std::memory_order_relaxed)) {
+        h.RecordNanos(v);
+        v = v * 2862933555777941757ull + 3037000493ull;  // cheap lcg
+        v &= (1ull << 30) - 1;
+      }
+    });
+  }
+  while (h.count() == 0) std::this_thread::yield();
+  uint64_t last_count = 0;
+  for (int i = 0; i < 2000; ++i) {
+    HistogramSnapshot snap;
+    h.SnapshotInto(&snap);
+    uint64_t bucket_total = 0;
+    for (const auto& [ub, c] : snap.buckets) bucket_total += c;
+    ASSERT_EQ(snap.count, bucket_total) << "torn snapshot at iter " << i;
+    ASSERT_GE(snap.count, last_count) << "count went backwards";
+    last_count = snap.count;
+  }
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_GT(last_count, 0u);
+}
+
 TEST(MetricsMacrosTest, CounterAndGaugeMacros) {
   MetricsRegistry& reg = MetricsRegistry::Global();
   const uint64_t before = reg.GetCounter("test.macro.counter").value();

@@ -1,0 +1,154 @@
+// DeltaSnapshotter and DiffSnapshots: counter deltas, reset clamping,
+// histogram interval distributions, and the two-sample lifecycle.
+
+#include "obs/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace et {
+namespace obs {
+namespace {
+
+MetricsSnapshot MakeSnapshot(
+    std::vector<std::pair<std::string, uint64_t>> counters) {
+  MetricsSnapshot snap;
+  snap.counters = std::move(counters);
+  return snap;
+}
+
+HistogramSnapshot MakeHist(const std::string& name, uint64_t count,
+                           uint64_t sum_ns,
+                           std::vector<std::pair<uint64_t, uint64_t>> b) {
+  HistogramSnapshot h;
+  h.name = name;
+  h.count = count;
+  h.sum_ns = sum_ns;
+  h.max_ns = b.empty() ? 0 : b.back().first;
+  h.buckets = std::move(b);
+  return h;
+}
+
+TEST(DiffSnapshotsTest, CounterDeltasAndNewCounters) {
+  const MetricsSnapshot older = MakeSnapshot({{"a", 10}, {"b", 5}});
+  const MetricsSnapshot newer =
+      MakeSnapshot({{"a", 17}, {"b", 5}, {"c", 3}});
+  const MetricsDelta d = DiffSnapshots(older, newer, 2000000000ull);
+  ASSERT_TRUE(d.valid);
+  EXPECT_EQ(d.interval_ns, 2000000000ull);
+  // Sorted by name; "b" kept with delta 0, "c" counts fully.
+  ASSERT_EQ(d.counters.size(), 3u);
+  EXPECT_EQ(d.counters[0], (std::pair<std::string, uint64_t>("a", 7)));
+  EXPECT_EQ(d.counters[1], (std::pair<std::string, uint64_t>("b", 0)));
+  EXPECT_EQ(d.counters[2], (std::pair<std::string, uint64_t>("c", 3)));
+}
+
+TEST(DiffSnapshotsTest, CounterResetNeverWraps) {
+  // A registry reset between samples makes newer < older; the delta is
+  // the post-reset value (what provably happened since), never a
+  // wrapped ~2^64 difference.
+  const MetricsSnapshot older = MakeSnapshot({{"a", 100}});
+  const MetricsSnapshot newer = MakeSnapshot({{"a", 4}});
+  const MetricsDelta d = DiffSnapshots(older, newer, 1);
+  ASSERT_EQ(d.counters.size(), 1u);
+  EXPECT_EQ(d.counters[0].second, 4u);
+}
+
+TEST(DiffSnapshotsTest, HistogramDeltaIsIntervalDistribution) {
+  MetricsSnapshot older;
+  older.histograms.push_back(
+      MakeHist("h", 10, 1000, {{15, 8}, {31, 2}}));
+  MetricsSnapshot newer;
+  newer.histograms.push_back(
+      MakeHist("h", 16, 2200, {{15, 9}, {31, 2}, {63, 5}}));
+  const MetricsDelta d = DiffSnapshots(older, newer, 1000000000ull);
+  ASSERT_EQ(d.histograms.size(), 1u);
+  const HistogramSnapshot& h = d.histograms[0];
+  EXPECT_EQ(h.name, "h");
+  EXPECT_EQ(h.count, 6u);
+  EXPECT_EQ(h.sum_ns, 1200u);
+  // Bucket deltas: only buckets that grew remain; a zero-delta bucket
+  // (le=31) is dropped.
+  ASSERT_EQ(h.buckets.size(), 2u);
+  EXPECT_EQ(h.buckets[0], (std::pair<uint64_t, uint64_t>(15, 1)));
+  EXPECT_EQ(h.buckets[1], (std::pair<uint64_t, uint64_t>(63, 5)));
+  // Interval quantiles come from the delta distribution: 5 of 6 new
+  // values sit in the le=63 bucket.
+  EXPECT_EQ(h.QuantileNanos(0.5), 63u);
+  EXPECT_EQ(h.QuantileNanos(1.0 / 6.0), 15u);
+}
+
+TEST(DeltaSnapshotterTest, InvalidUntilTwoSamples) {
+  DeltaSnapshotter snapshotter;
+  EXPECT_FALSE(snapshotter.LatestDelta().valid);
+  snapshotter.SampleNow();
+  EXPECT_FALSE(snapshotter.LatestDelta().valid);
+  snapshotter.SampleNow();
+  EXPECT_TRUE(snapshotter.LatestDelta().valid);
+}
+
+TEST(DeltaSnapshotterTest, SampleNowBracketsIncrements) {
+  DeltaSnapshotter snapshotter;
+  Counter& c =
+      MetricsRegistry::Global().GetCounter("test.delta.bracketed");
+  c.Increment(5);  // before the first sample: invisible to the delta
+  snapshotter.SampleNow();
+  c.Increment(3);
+  snapshotter.SampleNow();
+  const MetricsDelta d = snapshotter.LatestDelta();
+  ASSERT_TRUE(d.valid);
+  EXPECT_GT(d.interval_ns, 0u);
+  bool found = false;
+  for (const auto& [name, delta] : d.counters) {
+    if (name == "test.delta.bracketed") {
+      found = true;
+      EXPECT_EQ(delta, 3u);
+    }
+  }
+  EXPECT_TRUE(found);
+  // The delta window slides: a third sample with no traffic zeroes it.
+  snapshotter.SampleNow();
+  for (const auto& [name, delta] : snapshotter.LatestDelta().counters) {
+    if (name == "test.delta.bracketed") EXPECT_EQ(delta, 0u);
+  }
+}
+
+TEST(DeltaSnapshotterTest, BackgroundThreadSamplesOnCadence) {
+  DeltaSnapshotter::Options options;
+  options.interval_ms = 10;
+  DeltaSnapshotter snapshotter(options);
+  Counter& c =
+      MetricsRegistry::Global().GetCounter("test.delta.background");
+  snapshotter.Start();
+  snapshotter.Start();  // idempotent
+  c.Increment(7);
+  // Within a few intervals the delta view must become valid; we cannot
+  // pin which window catches the increment, only that sampling runs.
+  bool valid = false;
+  for (int i = 0; i < 500 && !valid; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    valid = snapshotter.LatestDelta().valid;
+  }
+  EXPECT_TRUE(valid);
+  EXPECT_GE(snapshotter.LatestSample().counters.size(), 1u);
+  snapshotter.Stop();
+  snapshotter.Stop();  // idempotent
+}
+
+TEST(DeltaSnapshotterTest, StopWithoutStartIsSafe) {
+  DeltaSnapshotter snapshotter;
+  snapshotter.Stop();
+  // Destructor of a started-then-stopped instance must also be clean —
+  // covered implicitly by every test above going out of scope.
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace et

@@ -1,0 +1,345 @@
+// Live introspection: the stats.scrape wire op, the out-of-band
+// StatsServer (line protocol + minimal HTTP), Prometheus text
+// structure, per-session stat mirrors, the delta view, and the
+// slow-request log — all exercised against a real server with real
+// traffic.
+
+#include "serve/stats.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/slowlog.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+std::string CreateParams(uint64_t seed, size_t rounds = 4) {
+  return "{\"dataset\":\"omdb\",\"rows\":120,\"max_rounds\":" +
+         std::to_string(rounds) +
+         ",\"pairs_per_round\":3,\"seed\":\"" + std::to_string(seed) + "\"}";
+}
+
+std::string CleanLabelParams(const std::string& session_id,
+                             const obs::JsonValue& sample) {
+  std::string labels = "[";
+  for (size_t i = 0; i < sample.array.size(); ++i) {
+    if (i > 0) labels += ",";
+    labels += "[" + std::to_string(int(sample.array[i].array[0].number)) +
+              "," + std::to_string(int(sample.array[i].array[1].number)) +
+              ",false,false]";
+  }
+  labels += "]";
+  return "{\"session_id\":\"" + session_id +
+         "\",\"trainer_top_fd\":0,\"labels\":" + labels + "}";
+}
+
+/// Creates a session, labels `rounds` rounds, leaves it open. Returns
+/// the session id.
+std::string PlayRounds(Client* client, uint64_t seed, size_t rounds) {
+  auto created = testing::Unwrap(
+      client->Call("session.create", CreateParams(seed, rounds + 1)));
+  const std::string id = created.Find("session_id")->string_value;
+  obs::JsonValue sample = *created.Find("sample");
+  for (size_t r = 1; r <= rounds; ++r) {
+    auto reply = testing::Unwrap(
+        client->Call("session.label", CleanLabelParams(id, sample)));
+    sample = *reply.Find("next");
+  }
+  return id;
+}
+
+/// Raw TCP round trip against the stats endpoint: send `request`, read
+/// to EOF.
+std::string RawStatsRequest(int port, const std::string& request) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string body;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      body.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+  ::close(fd);
+  return body;
+}
+
+TEST(SanitizeMetricNameTest, PrefixesAndReplacesNonAlnum) {
+  EXPECT_EQ(SanitizeMetricName("serve.request.latency"),
+            "et_serve_request_latency");
+  EXPECT_EQ(SanitizeMetricName("fault.injected.serve-read"),
+            "et_fault_injected_serve_read");
+  EXPECT_EQ(SanitizeMetricName("already_ok_42"), "et_already_ok_42");
+}
+
+TEST(StatsScrapeTest, JsonScrapeReflectsLiveTraffic) {
+  auto server = testing::Unwrap(Server::Start(ServerOptions()));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+  const std::string id = PlayRounds(client.get(), 301, 2);
+
+  auto stats = testing::Unwrap(
+      client->Call("stats.scrape", "{\"format\":\"json\"}"));
+  EXPECT_EQ(stats.Find("schema")->string_value, "et-stats-v1");
+  EXPECT_GE(stats.Find("active_sessions")->number, 1.0);
+  // The scrape itself is in flight while it renders.
+  EXPECT_GE(stats.Find("inflight_requests")->number, 1.0);
+
+  const obs::JsonValue* counters = stats.Find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Find("serve.requests.total"), nullptr);
+  EXPECT_GE(counters->Find("serve.requests.total")->number, 3.0);
+  ASSERT_NE(counters->Find("serve.labels.total"), nullptr);
+  EXPECT_GE(counters->Find("serve.labels.total")->number, 6.0);
+
+  const obs::JsonValue* hists = stats.Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* latency = hists->Find("serve.request.latency");
+  ASSERT_NE(latency, nullptr) << "request latency histogram missing";
+  EXPECT_GE(latency->Find("count")->number, 3.0);
+  EXPECT_GT(latency->Find("p50_ns")->number, 0.0);
+  EXPECT_GE(latency->Find("p99_ns")->number,
+            latency->Find("p50_ns")->number);
+  // The queue-wait/execute split is recorded for every request.
+  ASSERT_NE(hists->Find("serve.request.queue_wait"), nullptr);
+  ASSERT_NE(hists->Find("serve.request.execute"), nullptr);
+
+  // Our session appears in the per-session table with its mirrors.
+  const obs::JsonValue* sessions = stats.Find("sessions");
+  ASSERT_NE(sessions, nullptr);
+  bool found = false;
+  for (const obs::JsonValue& s : sessions->array) {
+    if (s.Find("id")->string_value != id) continue;
+    found = true;
+    EXPECT_EQ(s.Find("round")->number, 2.0);
+    EXPECT_EQ(s.Find("labels_total")->number, 6.0);
+    EXPECT_FALSE(s.Find("done")->bool_value);
+    EXPECT_GE(s.Find("last_activity_age_ms")->number, 0.0);
+  }
+  EXPECT_TRUE(found) << "session " << id << " missing from scrape";
+
+  testing::Unwrap(
+      client->Call("session.close", "{\"session_id\":\"" + id + "\"}"));
+}
+
+TEST(StatsScrapeTest, UnknownFormatIsInvalidArgument) {
+  auto server = testing::Unwrap(Server::Start(ServerOptions()));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+  auto reply = client->Call("stats.scrape", "{\"format\":\"xml\"}");
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(reply.status().IsInvalidArgument())
+      << reply.status().ToString();
+}
+
+TEST(StatsScrapeTest, PrometheusTextIsWellFormed) {
+  auto server = testing::Unwrap(Server::Start(ServerOptions()));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+  const std::string id = PlayRounds(client.get(), 302, 1);
+  auto reply = testing::Unwrap(
+      client->Call("stats.scrape", "{\"format\":\"prometheus\"}"));
+  EXPECT_EQ(reply.Find("format")->string_value, "prometheus");
+  const std::string text = reply.Find("text")->string_value;
+
+  EXPECT_NE(text.find("# TYPE et_serve_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE et_serve_request_latency histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("et_serve_sessions_active "), std::string::npos);
+  EXPECT_NE(
+      text.find("et_serve_session_round{session=\"" + id + "\"} 1\n"),
+      std::string::npos)
+      << text;
+
+  // Cumulative le buckets: non-decreasing, ending at +Inf == _count.
+  std::istringstream lines(text);
+  std::string line;
+  double prev_bucket = -1.0;
+  double inf_bucket = -1.0;
+  double count = -1.0;
+  int bucket_lines = 0;
+  while (std::getline(lines, line)) {
+    const std::string bucket_prefix = "et_serve_request_latency_bucket{le=";
+    if (line.rfind(bucket_prefix, 0) == 0) {
+      ++bucket_lines;
+      const double v = std::stod(line.substr(line.rfind(' ') + 1));
+      EXPECT_GE(v, prev_bucket) << line;
+      prev_bucket = v;
+      if (line.find("le=\"+Inf\"") != std::string::npos) inf_bucket = v;
+    } else if (line.rfind("et_serve_request_latency_count ", 0) == 0) {
+      count = std::stod(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_GE(bucket_lines, 2);
+  EXPECT_GT(count, 0.0);
+  EXPECT_EQ(inf_bucket, count) << "+Inf bucket must equal _count";
+  // Quantile gauges ride along as <name>_quantile{q="..."}.
+  EXPECT_NE(text.find("et_serve_request_latency_quantile{q=\"0.99\"}"),
+            std::string::npos);
+
+  testing::Unwrap(
+      client->Call("session.close", "{\"session_id\":\"" + id + "\"}"));
+}
+
+TEST(StatsServerTest, LineProtocolServesBothFormats) {
+  auto server = testing::Unwrap(Server::Start(ServerOptions()));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+  const std::string id = PlayRounds(client.get(), 303, 1);
+
+  StatsServer::Options options;  // ephemeral port
+  auto stats = testing::Unwrap(StatsServer::Start(
+      options, &server->sessions(), &server->snapshotter()));
+  ASSERT_GT(stats->port(), 0);
+
+  const std::string json = RawStatsRequest(stats->port(), "json\n");
+  auto doc = testing::Unwrap(obs::ParseJson(json));
+  EXPECT_EQ(doc.Find("schema")->string_value, "et-stats-v1");
+  EXPECT_GE(doc.Find("active_sessions")->number, 1.0);
+
+  const std::string prom = RawStatsRequest(stats->port(), "prometheus\n");
+  EXPECT_EQ(prom.rfind("# TYPE ", 0), 0u) << prom.substr(0, 80);
+  EXPECT_NE(prom.find("et_serve_request_latency_bucket"),
+            std::string::npos);
+
+  stats->Stop();
+  stats->Stop();  // idempotent
+  testing::Unwrap(
+      client->Call("session.close", "{\"session_id\":\"" + id + "\"}"));
+}
+
+TEST(StatsServerTest, SpeaksEnoughHttpForCurl) {
+  auto server = testing::Unwrap(Server::Start(ServerOptions()));
+  StatsServer::Options options;
+  auto stats = testing::Unwrap(StatsServer::Start(
+      options, &server->sessions(), &server->snapshotter()));
+
+  const std::string metrics = RawStatsRequest(
+      stats->port(), "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n");
+  EXPECT_EQ(metrics.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("\r\n\r\n# TYPE "), std::string::npos);
+
+  const std::string json = RawStatsRequest(
+      stats->port(), "GET /stats.json HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(json.rfind("HTTP/1.0 200 OK\r\n", 0), 0u);
+  const size_t body_at = json.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  auto doc = testing::Unwrap(obs::ParseJson(
+      std::string(json.substr(body_at + 4))));
+  EXPECT_EQ(doc.Find("schema")->string_value, "et-stats-v1");
+
+  const std::string missing = RawStatsRequest(
+      stats->port(), "GET /nope HTTP/1.1\r\n\r\n");
+  EXPECT_EQ(missing.rfind("HTTP/1.0 404 Not Found\r\n", 0), 0u);
+}
+
+TEST(StatsScrapeTest, DeltaViewTracksIntervalIncrements) {
+  ServerOptions options;
+  options.stats_interval_ms = 0;  // drive the snapshotter by hand
+  auto server = testing::Unwrap(Server::Start(options));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+
+  server->snapshotter().SampleNow();
+  const std::string id = PlayRounds(client.get(), 304, 2);
+  server->snapshotter().SampleNow();
+
+  auto stats = testing::Unwrap(
+      client->Call("stats.scrape", "{\"format\":\"json\"}"));
+  const obs::JsonValue* delta = stats.Find("delta");
+  ASSERT_NE(delta, nullptr);
+  ASSERT_TRUE(delta->Find("valid")->bool_value);
+  EXPECT_GT(delta->Find("interval_ms")->number, 0.0);
+
+  // Only the traffic between the two samples counts: 3 requests
+  // (create + 2 labels) at minimum, 6 labels exactly.
+  const obs::JsonValue* counters = delta->Find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::JsonValue* labels = counters->Find("serve.labels.total");
+  ASSERT_NE(labels, nullptr) << "no label delta recorded";
+  EXPECT_EQ(labels->Find("delta")->number, 6.0);
+  EXPECT_GT(labels->Find("rate_per_s")->number, 0.0);
+
+  const obs::JsonValue* hists = delta->Find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const obs::JsonValue* latency = hists->Find("serve.request.latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_GE(latency->Find("count")->number, 3.0);
+  EXPECT_GT(latency->Find("p50_ns")->number, 0.0);
+
+  testing::Unwrap(
+      client->Call("session.close", "{\"session_id\":\"" + id + "\"}"));
+}
+
+TEST(StatsScrapeTest, SlowRequestLogCapturesOverThreshold) {
+  obs::SlowRequestLog::Global().ResetForTest();
+  ServerOptions options;
+  options.slow_request_ms = 1e-6;  // everything is "slow"
+  auto server = testing::Unwrap(Server::Start(options));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+  const std::string id = PlayRounds(client.get(), 305, 1);
+
+  auto stats = testing::Unwrap(
+      client->Call("stats.scrape", "{\"format\":\"json\"}"));
+  const obs::JsonValue* slow = stats.Find("slow_requests");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_DOUBLE_EQ(slow->Find("threshold_ms")->number, 1e-6);
+  ASSERT_GE(slow->Find("total")->number, 2.0);  // create + label at least
+  const obs::JsonValue* events = slow->Find("events");
+  ASSERT_NE(events, nullptr);
+  ASSERT_FALSE(events->array.empty());
+  bool saw_label = false;
+  for (const obs::JsonValue& e : events->array) {
+    EXPECT_GT(e.Find("request_id")->number, 0.0);
+    EXPECT_GE(e.Find("total_ms")->number, 0.0);
+    // total covers the queue-wait/execute split.
+    EXPECT_GE(e.Find("total_ms")->number,
+              e.Find("execute_ms")->number * 0.5);
+    if (e.Find("op")->string_value == "session.label") {
+      saw_label = true;
+      EXPECT_EQ(e.Find("session")->string_value, id);
+    }
+  }
+  EXPECT_TRUE(saw_label);
+
+  testing::Unwrap(
+      client->Call("session.close", "{\"session_id\":\"" + id + "\"}"));
+  obs::SlowRequestLog::Global().ResetForTest();
+  obs::SlowRequestLog::Global().SetThresholdMillis(0.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

@@ -1,0 +1,162 @@
+// Request-scoped tracing: every span emitted while serving a wire
+// request — including spans from pool workers running ParallelFor
+// chunks — carries the originating request id, so a Chrome trace can
+// be filtered to one request across threads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/task_context.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+TEST(TaskContextTest, RequestIdScopeIsThreadLocalAndRestoring) {
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  {
+    RequestIdScope outer(7);
+    EXPECT_EQ(CurrentRequestId(), 7u);
+    {
+      RequestIdScope inner(8);
+      EXPECT_EQ(CurrentRequestId(), 8u);
+    }
+    EXPECT_EQ(CurrentRequestId(), 7u);
+    std::thread other([] { EXPECT_EQ(CurrentRequestId(), 0u); });
+    other.join();
+  }
+  EXPECT_EQ(CurrentRequestId(), 0u);
+}
+
+TEST(TaskContextTest, ParallelForChunksInheritCallerRequestId) {
+  // Every chunk — whether it ran inline on the caller or on a pool
+  // worker — must observe the caller's request id, and pool workers
+  // must be back to 0 afterwards (scope discipline in run_chunk).
+  constexpr size_t kN = 512;
+  std::vector<uint64_t> seen_id(kN, 0);
+  std::vector<uint32_t> seen_tid(kN, 0);
+  {
+    RequestIdScope scope(42);
+    ParallelFor(kN, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        seen_id[i] = CurrentRequestId();
+        seen_tid[i] = CurrentThreadId();
+      }
+    });
+  }
+  for (size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(seen_id[i], 42u) << "index " << i;
+  }
+  EXPECT_EQ(CurrentRequestId(), 0u);
+  // A later ParallelFor with no scope must observe 0 everywhere, even
+  // on workers that just carried id 42.
+  std::atomic<uint64_t> leaked{0};
+  ParallelFor(kN, [&](size_t begin, size_t end) {
+    (void)begin;
+    (void)end;
+    leaked.fetch_add(CurrentRequestId(), std::memory_order_relaxed);
+  });
+  EXPECT_EQ(leaked.load(), 0u);
+  if (std::thread::hardware_concurrency() > 1 && Parallelism() > 1) {
+    EXPECT_GT(std::set<uint32_t>(seen_tid.begin(), seen_tid.end()).size(),
+              1u)
+        << "chunks never left the calling thread; pool propagation "
+           "untested";
+  }
+}
+
+std::string CreateParams(uint64_t seed, size_t rounds) {
+  return "{\"dataset\":\"omdb\",\"rows\":120,\"max_rounds\":" +
+         std::to_string(rounds) +
+         ",\"pairs_per_round\":3,\"seed\":\"" + std::to_string(seed) + "\"}";
+}
+
+std::string CleanLabelParams(const std::string& session_id,
+                             const obs::JsonValue& sample) {
+  std::string labels = "[";
+  for (size_t i = 0; i < sample.array.size(); ++i) {
+    if (i > 0) labels += ",";
+    labels += "[" + std::to_string(int(sample.array[i].array[0].number)) +
+              "," + std::to_string(int(sample.array[i].array[1].number)) +
+              ",false,false]";
+  }
+  labels += "]";
+  return "{\"session_id\":\"" + session_id +
+         "\",\"trainer_top_fd\":0,\"labels\":" + labels + "}";
+}
+
+TEST(RequestTracingTest, EverySpanOfAWireRequestCarriesItsId) {
+  auto server = testing::Unwrap(Server::Start(ServerOptions()));
+  auto client =
+      testing::Unwrap(Client::Connect("127.0.0.1", server->port()));
+
+  // Create outside the trace window so the trace holds exactly the
+  // label requests (plus whatever other spans the server emits with
+  // id 0 — none expected while idle).
+  auto created = testing::Unwrap(
+      client->Call("session.create", CreateParams(900, 4)));
+  const std::string id = created.Find("session_id")->string_value;
+  obs::JsonValue sample = *created.Find("sample");
+
+  ET_ASSERT_OK(obs::StartTracing());
+  for (int r = 0; r < 2; ++r) {
+    auto reply = testing::Unwrap(
+        client->Call("session.label", CleanLabelParams(id, sample)));
+    sample = *reply.Find("next");
+  }
+  auto spans = testing::Unwrap(obs::StopTracingAndCollect());
+
+  // Exactly the two label requests produced serve.session.label spans,
+  // each under a distinct nonzero request id.
+  std::vector<uint64_t> label_ids;
+  for (const obs::CollectedSpan& s : spans) {
+    if (s.name == "serve.session.label") label_ids.push_back(s.request_id);
+  }
+  ASSERT_EQ(label_ids.size(), 2u);
+  EXPECT_NE(label_ids[0], 0u);
+  EXPECT_NE(label_ids[1], 0u);
+  EXPECT_NE(label_ids[0], label_ids[1]);
+
+  for (const uint64_t rid : label_ids) {
+    // The request envelope span and the nested learner/trainer work all
+    // carry the same id.
+    std::set<std::string> names;
+    std::set<uint32_t> tids;
+    for (const obs::CollectedSpan& s : spans) {
+      if (s.request_id != rid) continue;
+      names.insert(s.name);
+      tids.insert(s.tid);
+    }
+    EXPECT_TRUE(names.count("serve.request")) << "rid " << rid;
+    EXPECT_TRUE(names.count("serve.session.label")) << "rid " << rid;
+    // The nested learner phases (consume the labels, select the next
+    // sample) carry the id across whatever threads they ran on.
+    EXPECT_TRUE(names.count("core.learner.consume")) << "rid " << rid;
+    EXPECT_TRUE(names.count("core.learner.select")) << "rid " << rid;
+  }
+
+  // No span emitted during the window is untagged: the server was
+  // serving only our requests, and everything it runs — IO-thread
+  // dispatch excepted (it emits no spans) — happens under a scope.
+  for (const obs::CollectedSpan& s : spans) {
+    EXPECT_NE(s.request_id, 0u) << "untagged span " << s.name;
+  }
+
+  testing::Unwrap(
+      client->Call("session.close", "{\"session_id\":\"" + id + "\"}"));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

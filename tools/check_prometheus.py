@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition (0.0.4) scrape.
+
+Usage: check_prometheus.py [file]   (reads stdin when no file given)
+
+Checks, for the subset of the format et_serve emits:
+  - every non-comment line parses as  name[{labels}] value
+  - metric names match [a-zA-Z_:][a-zA-Z0-9_:]*
+  - every sample's base name has a preceding  # TYPE  line
+  - histogram 'le' buckets are cumulative (non-decreasing) and end
+    with +Inf whose value equals the matching  _count  sample
+  - _sum / _count exist for every histogram
+
+Exits 0 on success; prints offending lines and exits 1 otherwise.
+"""
+
+import math
+import re
+import sys
+
+LINE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})?\s+(\S+)$")
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+TYPE_RE = re.compile(
+    r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$")
+
+
+def base_name(name):
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def main():
+    text = (open(sys.argv[1]) if len(sys.argv) > 1 else sys.stdin).read()
+    typed = {}
+    samples = []  # (lineno, name, labels, value)
+    errors = []
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            if line.startswith("# TYPE"):
+                m = TYPE_RE.match(line)
+                if not m:
+                    errors.append(f"line {lineno}: malformed TYPE: {line}")
+                else:
+                    typed[m.group(1)] = m.group(2)
+            continue
+        m = LINE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line}")
+            continue
+        name, _, labelstr, value = m.groups()
+        labels = dict(LABEL_RE.findall(labelstr)) if labelstr else {}
+        try:
+            fval = float(value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad value {value!r}: {line}")
+            continue
+        samples.append((lineno, name, labels, fval))
+
+    # Every sample must belong to a declared metric family.
+    for lineno, name, _, _ in samples:
+        candidates = {name, base_name(name)}
+        if not candidates & typed.keys():
+            errors.append(f"line {lineno}: sample {name} has no # TYPE line")
+
+    # Histogram bucket checks, keyed by (base name, non-le labels).
+    buckets = {}
+    counts = {}
+    sums = set()
+    for lineno, name, labels, fval in samples:
+        base = base_name(name)
+        if typed.get(base) != "histogram":
+            continue
+        key = (base, tuple(sorted(
+            (k, v) for k, v in labels.items() if k != "le")))
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                errors.append(f"line {lineno}: bucket without le: {name}")
+                continue
+            le = float(labels["le"].replace("+Inf", "inf"))
+            buckets.setdefault(key, []).append((lineno, le, fval))
+        elif name.endswith("_count"):
+            counts[key] = (lineno, fval)
+        elif name.endswith("_sum"):
+            sums.add(key)
+
+    for key, rows in sorted(buckets.items()):
+        base = key[0]
+        prev = -1.0
+        for lineno, le, fval in rows:  # emission order must be sorted by le
+            if fval < prev:
+                errors.append(
+                    f"line {lineno}: {base} bucket le={le} value {fval} "
+                    f"decreases from {prev}")
+            prev = fval
+        if not rows or not math.isinf(rows[-1][1]):
+            errors.append(f"{base}{key[1]}: buckets do not end with +Inf")
+            continue
+        if key not in counts:
+            errors.append(f"{base}{key[1]}: missing _count")
+        elif counts[key][1] != rows[-1][2]:
+            errors.append(
+                f"{base}{key[1]}: +Inf bucket {rows[-1][2]} != _count "
+                f"{counts[key][1]}")
+        if key not in sums:
+            errors.append(f"{base}{key[1]}: missing _sum")
+
+    if errors:
+        for e in errors:
+            print(e, file=sys.stderr)
+        print(f"check_prometheus: FAILED ({len(errors)} errors, "
+              f"{len(samples)} samples)", file=sys.stderr)
+        return 1
+    print(f"check_prometheus: OK ({len(samples)} samples, "
+          f"{len(typed)} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

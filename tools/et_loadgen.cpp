@@ -13,13 +13,17 @@
 // for lost or duplicated state (round and label counters must advance
 // exactly once per request); kUnavailable rejections are retried by the
 // client library and reported as degradation, not failure. Emits
-// latency percentiles and throughput as BENCH_serve.json; exits
-// nonzero on any lost/duplicated/failed response.
+// latency percentiles and throughput as BENCH_serve.json (schema v2:
+// per-op p50/p95/p99 under "ops", total completed requests under
+// "requests_total"), printing a one-line comparison against the
+// previous file before overwriting it; exits nonzero on any
+// lost/duplicated/failed response.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -38,6 +42,8 @@ using tools::Flags;
 
 struct WorkerStats {
   std::vector<double> label_ms;
+  /// Wire-op name ("session.create", ...) → per-request latencies.
+  std::map<std::string, std::vector<double>> op_ms;
   uint64_t labels = 0;
   uint64_t sessions_done = 0;
   uint64_t retries = 0;
@@ -125,9 +131,20 @@ Status RunOneSession(const std::string& host, int port,
   ET_ASSIGN_OR_RETURN(std::unique_ptr<serve::Client> client,
                       serve::Client::Connect(host, port));
 
+  // Every successful request's latency lands in its op bucket so the
+  // benchmark reports per-op percentiles, not just labels.
+  const auto timed_call =
+      [&](const char* method,
+          const std::string& params) -> Result<obs::JsonValue> {
+    const double t0 = NowMs();
+    Result<obs::JsonValue> r = client->Call(method, params);
+    if (r.ok()) stats->op_ms[method].push_back(NowMs() - t0);
+    return r;
+  };
+
   ET_ASSIGN_OR_RETURN(
       obs::JsonValue created,
-      client->Call("session.create", ConfigParamsJson(config)));
+      timed_call("session.create", ConfigParamsJson(config)));
   ET_RETURN_NOT_OK(CheckTrainerPrior(created, world.trainer_prior));
   const obs::JsonValue* sid = created.Find("session_id");
   if (sid == nullptr || !sid->is_string()) {
@@ -169,7 +186,7 @@ Status RunOneSession(const std::string& host, int port,
 
     const double t0 = NowMs();
     ET_ASSIGN_OR_RETURN(obs::JsonValue reply,
-                        client->Call("session.label", w.Release()));
+                        timed_call("session.label", w.Release()));
     stats->label_ms.push_back(NowMs() - t0);
     stats->labels += labels.size();
 
@@ -196,15 +213,13 @@ Status RunOneSession(const std::string& host, int port,
     if (snapshot_every > 0 && !done &&
         expected_round % snapshot_every == 0) {
       ET_RETURN_NOT_OK(
-          client
-              ->Call("session.snapshot",
+          timed_call("session.snapshot",
                      "{\"session_id\":\"" + session_id + "\"}")
               .status());
     }
   }
 
-  ET_RETURN_NOT_OK(client
-                       ->Call("session.close",
+  ET_RETURN_NOT_OK(timed_call("session.close",
                               "{\"session_id\":\"" + session_id + "\"}")
                        .status());
   stats->retries += client->unavailable_retries();
@@ -218,6 +233,49 @@ double Percentile(std::vector<double> sorted, double q) {
       sorted.size() - 1,
       static_cast<size_t>(q * static_cast<double>(sorted.size())));
   return sorted[idx];
+}
+
+void WriteLatencySummary(obs::JsonWriter* w,
+                         const std::vector<double>& sorted) {
+  w->BeginObject();
+  w->Key("count");
+  w->Uint(sorted.size());
+  w->Key("p50");
+  w->Double(Percentile(sorted, 0.50));
+  w->Key("p95");
+  w->Double(Percentile(sorted, 0.95));
+  w->Key("p99");
+  w->Double(Percentile(sorted, 0.99));
+  w->Key("max");
+  w->Double(sorted.empty() ? 0.0 : sorted.back());
+  w->EndObject();
+}
+
+/// One-line comparison against the previous run's file, printed before
+/// it is overwritten. Reads label_latency_ms percentiles — present in
+/// both schema v1 and v2 — and stays silent if the file is absent or
+/// unparseable (first run, or hand-edited).
+void PrintBaselineComparison(const std::string& path, double p50,
+                             double p95, double p99) {
+  const Result<std::string> prev = ReadFileToString(path);
+  if (!prev.ok()) return;
+  const Result<obs::JsonValue> doc = obs::ParseJson(*prev);
+  if (!doc.ok() || !doc->is_object()) return;
+  const obs::JsonValue* lat = doc->Find("label_latency_ms");
+  if (lat == nullptr || !lat->is_object()) return;
+  const obs::JsonValue* b50 = lat->Find("p50");
+  const obs::JsonValue* b95 = lat->Find("p95");
+  const obs::JsonValue* b99 = lat->Find("p99");
+  if (b50 == nullptr || b95 == nullptr || b99 == nullptr) return;
+  const auto pct = [](double now, double before) {
+    return before > 0.0 ? 100.0 * (now - before) / before : 0.0;
+  };
+  std::printf(
+      "baseline %s: label p50 %.2f->%.2f ms (%+.1f%%), "
+      "p95 %.2f->%.2f ms (%+.1f%%), p99 %.2f->%.2f ms (%+.1f%%)\n",
+      path.c_str(), b50->number, p50, pct(p50, b50->number),
+      b95->number, p95, pct(p95, b95->number), b99->number, p99,
+      pct(p99, b99->number));
 }
 
 }  // namespace
@@ -275,20 +333,32 @@ int main(int argc, char** argv) {
   const double wall_ms = NowMs() - wall_start;
 
   std::vector<double> latencies;
+  std::map<std::string, std::vector<double>> op_latencies;
   uint64_t labels = 0, done = 0, retries = 0;
   std::vector<std::string> failures;
   for (const WorkerStats& s : stats) {
     latencies.insert(latencies.end(), s.label_ms.begin(),
                      s.label_ms.end());
+    for (const auto& [op, ms] : s.op_ms) {
+      auto& dst = op_latencies[op];
+      dst.insert(dst.end(), ms.begin(), ms.end());
+    }
     labels += s.labels;
     done += s.sessions_done;
     retries += s.retries;
     failures.insert(failures.end(), s.failures.begin(), s.failures.end());
   }
   std::sort(latencies.begin(), latencies.end());
+  uint64_t requests_total = 0;
+  for (auto& [op, ms] : op_latencies) {
+    std::sort(ms.begin(), ms.end());
+    requests_total += ms.size();
+  }
 
   obs::JsonWriter w;
   w.BeginObject();
+  w.Key("schema_version");
+  w.Uint(2);
   w.Key("sessions");
   w.Uint(sessions);
   w.Key("sessions_completed");
@@ -309,17 +379,18 @@ int main(int argc, char** argv) {
   w.Double(wall_ms > 0 ? 1e3 * static_cast<double>(labels) / wall_ms
                        : 0.0);
   w.Key("label_latency_ms");
+  WriteLatencySummary(&w, latencies);
+  // v2: every wire op the harness issued, with its own percentiles,
+  // and the total completed-request count (what the server's
+  // serve.request.latency histogram must equal on a clean run).
+  w.Key("requests_total");
+  w.Uint(requests_total);
+  w.Key("ops");
   w.BeginObject();
-  w.Key("count");
-  w.Uint(latencies.size());
-  w.Key("p50");
-  w.Double(Percentile(latencies, 0.50));
-  w.Key("p95");
-  w.Double(Percentile(latencies, 0.95));
-  w.Key("p99");
-  w.Double(Percentile(latencies, 0.99));
-  w.Key("max");
-  w.Double(latencies.empty() ? 0.0 : latencies.back());
+  for (const auto& [op, ms] : op_latencies) {
+    w.Key(op);
+    WriteLatencySummary(&w, ms);
+  }
   w.EndObject();
   w.Key("unavailable_retries");
   w.Uint(retries);
@@ -332,6 +403,9 @@ int main(int argc, char** argv) {
   const std::string out_path =
       flags.GetString("out", "BENCH_serve.json");
   const std::string payload = w.Release();
+  PrintBaselineComparison(out_path, Percentile(latencies, 0.50),
+                          Percentile(latencies, 0.95),
+                          Percentile(latencies, 0.99));
   const Status write = AtomicWriteFile(out_path, payload + "\n");
   if (!write.ok()) {
     std::fprintf(stderr, "write %s failed: %s\n", out_path.c_str(),

@@ -3,6 +3,8 @@
 //   et_serve [--host=127.0.0.1] [--port=0] [--threads=N]
 //       [--max-sessions=256] [--max-inflight=64] [--retry-after-ms=25]
 //       [--deadline-ms=0] [--snapshot-dir=DIR]
+//       [--stats-port=N] [--stats-interval-ms=1000]
+//       [--slow-request-ms=0] [--log-json=FILE]
 //       [--metrics-out=FILE] [--trace-out=FILE] [--fault=PLAN]
 //       [--list-fault-sites]
 //
@@ -13,16 +15,26 @@
 // --snapshot-dir, sessions snapshotted by clients survive a restart:
 // start a new et_serve on the same directory and session.restore
 // resumes them bit-identically.
+//
+// Live introspection (DESIGN.md §11): --stats-port starts a plain-TCP
+// stats endpoint (send "json\n" or "prometheus\n", or curl
+// http://host:port/metrics) and prints one "stats on <host>:<port>"
+// line; the same data is served in-band as the stats.scrape wire op.
+// --slow-request-ms records requests over the threshold in a ring
+// readable via the scrape; --log-json mirrors every log line (slow
+// requests included) to FILE as JSON lines.
 
 #include <csignal>
 #include <cstdio>
 #include <thread>
 
 #include "common/thread_pool.h"
+#include "obs/jsonlog.h"
 #include "obs/shutdown.h"
 #include "obs/trace.h"
 #include "robustness/fault.h"
 #include "serve/server.h"
+#include "serve/stats.h"
 #include "tool_util.h"
 
 namespace {
@@ -39,6 +51,10 @@ void Usage() {
       "  --max-sessions=N --max-inflight=N --retry-after-ms=MS\n"
       "  --deadline-ms=MS (default per-session deadline; 0 = none)\n"
       "  --snapshot-dir=DIR (enables session.snapshot/restore)\n"
+      "  --stats-port=N (-1 = off; 0 = ephemeral; prints 'stats on')\n"
+      "  --stats-interval-ms=MS (delta snapshotter cadence)\n"
+      "  --slow-request-ms=MS (slow-request log threshold; 0 = off)\n"
+      "  --log-json=FILE (JSON-lines log sink, stderr still human)\n"
       "  --metrics-out=FILE --trace-out=FILE (or ET_METRICS_OUT /\n"
       "  ET_TRACE_OUT) --fault=PLAN (or ET_FAULT)\n"
       "  --list-fault-sites (print known sites and exit)\n");
@@ -91,12 +107,41 @@ int main(int argc, char** argv) {
   options.sessions.retry_after_ms = flags.GetDouble("retry-after-ms", 25.0);
   options.sessions.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   options.sessions.snapshot_dir = flags.GetString("snapshot-dir", "");
+  options.slow_request_ms = flags.GetDouble("slow-request-ms", 0.0);
+  options.stats_interval_ms =
+      static_cast<uint64_t>(flags.GetInt("stats-interval-ms", 1000));
+
+  const std::string log_json = flags.GetString("log-json", "");
+  if (!log_json.empty()) {
+    const Status st = obs::InstallJsonLogSink(log_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "log-json: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
 
   auto server = serve::Server::Start(options);
   if (!server.ok()) {
     std::fprintf(stderr, "server start failed: %s\n",
                  server.status().ToString().c_str());
     return 1;
+  }
+
+  // -1 (default) disables the out-of-band endpoint; 0 binds ephemeral.
+  const long long stats_port = flags.GetInt("stats-port", -1);
+  std::unique_ptr<serve::StatsServer> stats;
+  if (stats_port >= 0) {
+    serve::StatsServer::Options stats_options;
+    stats_options.host = options.host;
+    stats_options.port = static_cast<int>(stats_port);
+    auto started = serve::StatsServer::Start(
+        stats_options, &(*server)->sessions(), &(*server)->snapshotter());
+    if (!started.ok()) {
+      std::fprintf(stderr, "stats server start failed: %s\n",
+                   started.status().ToString().c_str());
+      return 1;
+    }
+    stats = std::move(*started);
   }
 
   {
@@ -115,6 +160,9 @@ int main(int argc, char** argv) {
 
   std::printf("listening on %s:%d\n", options.host.c_str(),
               (*server)->port());
+  if (stats != nullptr) {
+    std::printf("stats on %s:%d\n", options.host.c_str(), stats->port());
+  }
   std::fflush(stdout);
 
   // The IO thread owns all the work; park the main thread until a

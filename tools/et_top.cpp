@@ -1,0 +1,228 @@
+// et_top: live console for a running et_serve.
+//
+//   et_top --port=N [--host=127.0.0.1] [--interval-ms=1000]
+//       [--count=0] [--no-clear]
+//
+// Polls the server's stats endpoint (et_serve --stats-port) with a
+// "json\n" request each interval and renders, in place: per-op request
+// rates and latency percentiles, queue-wait vs execute split, session
+// table, fault-injection counters, and the slow-request ring. --count
+// renders N frames then exits (CI smoke); --no-clear appends frames
+// instead of redrawing (also automatic when stdout is not a tty).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/json.h"
+#include "tool_util.h"
+
+namespace {
+
+using namespace et;
+using tools::Flags;
+
+Result<std::string> FetchStats(const std::string& host, int port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status st = Status::IOError(std::string("connect ") + host +
+                                      ":" + std::to_string(port) + ": " +
+                                      std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  const char req[] = "json\n";
+  if (send(fd, req, sizeof(req) - 1, MSG_NOSIGNAL) < 0) {
+    const Status st =
+        Status::IOError(std::string("send: ") + std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  std::string body;
+  char buf[65536];
+  for (;;) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      body.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // EOF: the server closes after one response
+  }
+  close(fd);
+  if (body.empty()) return Status::IOError("empty stats response");
+  return body;
+}
+
+double NumAt(const obs::JsonValue* obj, const char* key, double def = 0) {
+  if (obj == nullptr) return def;
+  const obs::JsonValue* v = obj->Find(key);
+  return v != nullptr && v->is_number() ? v->number : def;
+}
+
+/// Histogram rows worth a line each, in display order.
+constexpr const char* kOps[] = {
+    "serve.request.latency", "serve.request.queue_wait",
+    "serve.request.execute", "serve.session.create",
+    "serve.session.label",   "serve.session.snapshot",
+    "serve.session.close",
+};
+
+void RenderFrame(const obs::JsonValue& doc) {
+  std::printf("et_top  sessions=%.0f  inflight=%.0f  slow_total=%.0f\n",
+              NumAt(&doc, "active_sessions"),
+              NumAt(&doc, "inflight_requests"),
+              NumAt(doc.Find("slow_requests"), "total"));
+
+  const obs::JsonValue* hists = doc.Find("histograms");
+  const obs::JsonValue* delta = doc.Find("delta");
+  const obs::JsonValue* delta_hists =
+      delta != nullptr ? delta->Find("histograms") : nullptr;
+  std::printf("%-28s %10s %8s %9s %9s %9s\n", "op", "count", "qps",
+              "p50ms", "p95ms", "p99ms");
+  for (const char* op : kOps) {
+    const obs::JsonValue* h =
+        hists != nullptr ? hists->Find(op) : nullptr;
+    if (h == nullptr) continue;
+    const obs::JsonValue* dh =
+        delta_hists != nullptr ? delta_hists->Find(op) : nullptr;
+    std::printf("%-28s %10.0f %8.1f %9.2f %9.2f %9.2f\n", op,
+                NumAt(h, "count"), NumAt(dh, "rate_per_s"),
+                NumAt(h, "p50_ns") / 1e6, NumAt(h, "p95_ns") / 1e6,
+                NumAt(h, "p99_ns") / 1e6);
+  }
+
+  const obs::JsonValue* counters = doc.Find("counters");
+  if (counters != nullptr && counters->is_object()) {
+    std::printf("requests: ok=%.0f unavailable=%.0f error=%.0f  "
+                "labels=%.0f  conns=%.0f\n",
+                NumAt(counters, "serve.requests.ok"),
+                NumAt(counters, "serve.requests.unavailable"),
+                NumAt(counters, "serve.requests.error"),
+                NumAt(counters, "serve.labels.total"),
+                NumAt(counters, "serve.connections.total"));
+    // Fault-injection counters appear only when a plan fired.
+    std::string faults;
+    for (const auto& [name, value] : counters->object) {
+      if (name.rfind("fault.injected.", 0) == 0 && value.is_number() &&
+          value.number > 0) {
+        faults += " " + name.substr(sizeof("fault.injected.") - 1) +
+                  "=" + std::to_string(
+                            static_cast<long long>(value.number));
+      }
+    }
+    if (!faults.empty()) std::printf("faults:%s\n", faults.c_str());
+  }
+
+  const obs::JsonValue* sessions = doc.Find("sessions");
+  if (sessions != nullptr && sessions->is_array() &&
+      !sessions->array.empty()) {
+    std::printf("%-10s %7s %8s %5s %5s %10s\n", "session", "round",
+                "labels", "busy", "done", "idle_ms");
+    size_t shown = 0;
+    for (const obs::JsonValue& s : sessions->array) {
+      if (++shown > 12) {
+        std::printf("  ... %zu more\n", sessions->array.size() - 12);
+        break;
+      }
+      const obs::JsonValue* id = s.Find("id");
+      const obs::JsonValue* done = s.Find("done");
+      std::printf("%-10s %7.0f %8.0f %5.0f %5s %10.0f\n",
+                  id != nullptr ? id->string_value.c_str() : "?",
+                  NumAt(&s, "round"), NumAt(&s, "labels_total"),
+                  NumAt(&s, "busy"),
+                  done != nullptr && done->bool_value ? "yes" : "no",
+                  NumAt(&s, "last_activity_age_ms"));
+    }
+  }
+
+  const obs::JsonValue* slow = doc.Find("slow_requests");
+  const obs::JsonValue* events =
+      slow != nullptr ? slow->Find("events") : nullptr;
+  if (events != nullptr && events->is_array() &&
+      !events->array.empty()) {
+    std::printf("slow (last %zu of %.0f, threshold %.1f ms):\n",
+                std::min<size_t>(events->array.size(), 5),
+                NumAt(slow, "total"), NumAt(slow, "threshold_ms"));
+    const size_t start =
+        events->array.size() > 5 ? events->array.size() - 5 : 0;
+    for (size_t i = start; i < events->array.size(); ++i) {
+      const obs::JsonValue& e = events->array[i];
+      const obs::JsonValue* op = e.Find("op");
+      const obs::JsonValue* sess = e.Find("session");
+      std::printf("  req=%.0f %s %s total=%.1fms (queue=%.1f exec=%.1f)\n",
+                  NumAt(&e, "request_id"),
+                  op != nullptr ? op->string_value.c_str() : "?",
+                  sess != nullptr ? sess->string_value.c_str() : "-",
+                  NumAt(&e, "total_ms"), NumAt(&e, "queue_wait_ms"),
+                  NumAt(&e, "execute_ms"));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (flags.GetBool("help")) {
+    std::fprintf(stderr,
+                 "usage: et_top --port=N [--host=ADDR] "
+                 "[--interval-ms=1000] [--count=0] [--no-clear]\n");
+    return 2;
+  }
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const int port = static_cast<int>(flags.GetInt("port", 0));
+  if (port <= 0) {
+    std::fprintf(stderr, "et_top: --port is required\n");
+    return 2;
+  }
+  const long long interval_ms = flags.GetInt("interval-ms", 1000);
+  const long long count = flags.GetInt("count", 0);
+  const bool clear = !flags.GetBool("no-clear") && isatty(1);
+
+  long long frames = 0;
+  int consecutive_errors = 0;
+  while (count <= 0 || frames < count) {
+    const Result<std::string> body = FetchStats(host, port);
+    if (!body.ok()) {
+      std::fprintf(stderr, "et_top: %s\n",
+                   body.status().ToString().c_str());
+      if (++consecutive_errors >= 3) return 1;
+    } else {
+      const Result<obs::JsonValue> doc = obs::ParseJson(*body);
+      if (!doc.ok() || !doc->is_object()) {
+        std::fprintf(stderr, "et_top: bad stats payload\n");
+        if (++consecutive_errors >= 3) return 1;
+      } else {
+        consecutive_errors = 0;
+        if (clear) std::printf("\x1b[H\x1b[2J");
+        RenderFrame(*doc);
+        std::fflush(stdout);
+        ++frames;
+      }
+    }
+    if (count > 0 && frames >= count) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
