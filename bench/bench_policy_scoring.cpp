@@ -1,0 +1,124 @@
+// Micro-benchmarks of candidate-pair scoring: the per-round hot path
+// of every non-random policy. Full rescoring predicts all pool pairs
+// from scratch (PredictPair: per-FD CheckPair walks); incremental
+// scoring serves unchanged pairs from a PairScoreCache over the pool's
+// compliance bit-matrix and recomputes only pairs touched by dirty
+// FDs. The JSON baseline lives at BENCH_policy_scoring.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "belief/priors.h"
+#include "core/candidates.h"
+#include "core/inference.h"
+#include "core/score_cache.h"
+#include "data/datasets.h"
+#include "fd/eval_cache.h"
+#include "fd/hypothesis_space.h"
+#include "fd/pair_compliance.h"
+
+namespace {
+
+using namespace et;
+
+/// A serving-shaped world: omdb at `rows`, the default capped space,
+/// the default candidate pool, a data-estimate belief.
+struct Fixture {
+  Dataset data;
+  std::shared_ptr<const HypothesisSpace> space;
+  BeliefModel belief;
+  std::vector<RowPair> pool;
+  std::shared_ptr<const PairComplianceMatrix> matrix;
+};
+
+Fixture MakeFixture(size_t rows) {
+  auto data = MakeDatasetByName("omdb", rows, 42);
+  ET_CHECK_OK(data.status());
+  EvalCache cache(data->rel);
+  auto capped = HypothesisSpace::BuildCapped(data->rel, 4, 38, {});
+  ET_CHECK_OK(capped.status());
+  auto space =
+      std::make_shared<const HypothesisSpace>(std::move(*capped));
+  auto belief = DataEstimatePrior(space, data->rel, 0.9, &cache);
+  ET_CHECK_OK(belief.status());
+  CandidateOptions options;
+  options.cache = &cache;
+  Rng pool_rng(7);
+  auto pool = BuildCandidatePairs(data->rel, *space, options, pool_rng);
+  ET_CHECK_OK(pool.status());
+  auto matrix = std::make_shared<const PairComplianceMatrix>(
+      PairComplianceMatrix::Build(data->rel, space, *pool, &cache));
+  return Fixture{std::move(*data), space, std::move(*belief),
+                 std::move(*pool), std::move(matrix)};
+}
+
+/// The baseline every policy paid per round before the cache: predict
+/// every pool pair from scratch.
+void BM_ScoreFullRescore(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  const InferenceOptions options;
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (const RowPair& pair : f.pool) {
+      sum += PredictPair(f.belief, f.data.rel, pair, options).first_dirty;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * f.pool.size());
+  state.counters["pool"] = static_cast<double>(f.pool.size());
+}
+BENCHMARK(BM_ScoreFullRescore)->Arg(100)->Arg(400);
+
+/// One warmed round: range(1) FDs are marked dirty between batches
+/// (the typical label round touches a handful), then every pool pair
+/// is scored — cached pairs return instantly, stale ones recompute.
+void BM_ScoreIncremental(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  const size_t dirty = static_cast<size_t>(state.range(1));
+  const InferenceOptions options;
+  PairScoreCache scorer(f.matrix);
+  scorer.BeginBatch(f.belief, options);
+  for (size_t row = 0; row < f.pool.size(); ++row) scorer.Predict(row);
+  for (auto _ : state) {
+    // Non-const beta() access bumps the FD's epoch — the same dirty
+    // signal a Consume() update leaves behind.
+    for (size_t idx = 0; idx < dirty; ++idx) {
+      benchmark::DoNotOptimize(f.belief.beta(idx));
+    }
+    scorer.BeginBatch(f.belief, options);
+    double sum = 0.0;
+    for (size_t row = 0; row < f.pool.size(); ++row) {
+      sum += scorer.Predict(row).first_dirty;
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * f.pool.size());
+  state.counters["pool"] = static_cast<double>(f.pool.size());
+}
+BENCHMARK(BM_ScoreIncremental)
+    ->Args({400, 0})
+    ->Args({400, 1})
+    ->Args({400, 4})
+    ->Args({400, 38})
+    ->Args({100, 1});
+
+/// The one-time cost a session world pays to enable the cache.
+void BM_ComplianceMatrixBuild(benchmark::State& state) {
+  Fixture f = MakeFixture(state.range(0));
+  EvalCache cache(f.data.rel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PairComplianceMatrix::Build(
+        f.data.rel, f.space, f.pool, &cache));
+  }
+  state.SetItemsProcessed(state.iterations() * f.pool.size() *
+                          f.space->size());
+}
+BENCHMARK(BM_ComplianceMatrixBuild)->Arg(100)->Arg(400);
+
+}  // namespace
+
+BENCHMARK_MAIN();

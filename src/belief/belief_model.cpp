@@ -12,6 +12,7 @@ BeliefModel::BeliefModel(std::shared_ptr<const HypothesisSpace> space)
     : space_(std::move(space)) {
   ET_CHECK(space_ != nullptr);
   betas_.assign(space_->size(), Beta());
+  fd_epochs_.assign(betas_.size(), 0);
 }
 
 BeliefModel::BeliefModel(std::shared_ptr<const HypothesisSpace> space,
@@ -19,6 +20,7 @@ BeliefModel::BeliefModel(std::shared_ptr<const HypothesisSpace> space,
     : space_(std::move(space)), betas_(std::move(betas)) {
   ET_CHECK(space_ != nullptr);
   ET_CHECK(betas_.size() == space_->size());
+  fd_epochs_.assign(betas_.size(), 0);
 }
 
 std::vector<double> BeliefModel::Confidences() const {

@@ -33,7 +33,20 @@ class BeliefModel {
   size_t size() const { return betas_.size(); }
 
   const Beta& beta(size_t idx) const { return betas_.at(idx); }
-  Beta& beta(size_t idx) { return betas_.at(idx); }
+  /// Mutable access marks FD `idx` dirty: the belief's epoch advances
+  /// and the FD records it, so incremental scorers (core/score_cache.h)
+  /// can tell which Betas changed since they last synced. Obtaining the
+  /// reference counts as a mutation even if the caller never writes.
+  Beta& beta(size_t idx) {
+    fd_epochs_.at(idx) = ++epoch_;
+    return betas_[idx];
+  }
+
+  /// Monotone counter advanced by every mutable beta() access.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Epoch of FD idx's last mutation (0 = never mutated).
+  uint64_t fd_epoch(size_t idx) const { return fd_epochs_.at(idx); }
 
   /// Mean confidence of FD idx.
   double Confidence(size_t idx) const { return betas_.at(idx).Mean(); }
@@ -55,6 +68,11 @@ class BeliefModel {
  private:
   std::shared_ptr<const HypothesisSpace> space_;
   std::vector<Beta> betas_;
+  /// Dirty-FD tracking for incremental policy scoring. Copies carry
+  /// the counters along, which keeps forked beliefs conservatively
+  /// "all changed" relative to a scorer synced against the original.
+  uint64_t epoch_ = 0;
+  std::vector<uint64_t> fd_epochs_;
 };
 
 }  // namespace et

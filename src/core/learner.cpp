@@ -17,20 +17,18 @@ Learner::Learner(BeliefModel prior, std::unique_ptr<ResponsePolicy> policy,
       rng_(seed) {
   ET_CHECK(policy_ != nullptr);
   ET_CHECK(!pool_.empty()) << "learner needs a non-empty candidate pool";
+  fresh_ = pool_;
 }
 
-std::vector<RowPair> Learner::FreshCandidates() const {
-  std::vector<RowPair> fresh;
-  fresh.reserve(pool_.size() - shown_.size());
+void Learner::RebuildFresh() {
+  fresh_.clear();
+  fresh_.reserve(pool_.size() - shown_.size());
   for (const RowPair& p : pool_) {
-    if (!shown_.count(p)) fresh.push_back(p);
+    if (!shown_.count(p)) fresh_.push_back(p);
   }
-  return fresh;
 }
 
-size_t Learner::fresh_pool_size() const {
-  return pool_.size() - shown_.size();
-}
+size_t Learner::fresh_pool_size() const { return fresh_.size(); }
 
 size_t Learner::RevisitSlots(size_t k) const {
   if (options_.revisit_fraction <= 0.0) return 0;
@@ -49,16 +47,27 @@ Result<std::vector<RowPair>> Learner::SelectExamples(const Relation& rel,
   last_revisited_.clear();
   const size_t revisit = RevisitSlots(k);
   const size_t fresh_needed = k - revisit;
-  const std::vector<RowPair> fresh = FreshCandidates();
-  if (fresh.size() < fresh_needed) {
+  if (fresh_.size() < fresh_needed) {
     return Status::FailedPrecondition(
-        "candidate pool exhausted: " + std::to_string(fresh.size()) +
+        "candidate pool exhausted: " + std::to_string(fresh_.size()) +
         " fresh pairs left, need " + std::to_string(fresh_needed));
   }
+  EnsureScorer(rel);
   ET_ASSIGN_OR_RETURN(
       std::vector<RowPair> picked,
-      policy_->SelectPairs(belief_, rel, fresh, fresh_needed, rng_));
+      policy_->SelectPairs(belief_, rel, fresh_, fresh_needed, rng_,
+                           scorer_.get()));
   for (const RowPair& p : picked) shown_.insert(p);
+  // Swap the picks out of the maintained fresh list (stable, so the
+  // next round's candidate order — and with it the policy's RNG
+  // consumption — is exactly what a from-scratch rebuild would give).
+  fresh_.erase(std::remove_if(fresh_.begin(), fresh_.end(),
+                              [&](const RowPair& p) {
+                                return std::find(picked.begin(),
+                                                 picked.end(),
+                                                 p) != picked.end();
+                              }),
+               fresh_.end());
   if (revisit > 0) {
     // Uniformly re-present previously shown pairs (sorted snapshot for
     // determinism across hash-set iteration orders).
@@ -151,14 +160,36 @@ Status Learner::RestoreMemento(const LearnerMemento& memento) {
   rng_.RestoreState(memento.rng_state);
   shown_.clear();
   shown_.insert(memento.shown.begin(), memento.shown.end());
+  RebuildFresh();
   last_revisited_.clear();
   previous_label_.clear();
   return Status::OK();
 }
 
+void Learner::SetComplianceMatrix(
+    std::shared_ptr<const PairComplianceMatrix> matrix) {
+  ET_CHECK(matrix != nullptr);
+  scorer_ = std::make_unique<PairScoreCache>(std::move(matrix));
+  scorer_rel_ = nullptr;
+  scorer_pinned_ = true;
+}
+
+void Learner::EnsureScorer(const Relation& rel) const {
+  if (!options_.incremental_scoring ||
+      policy_->kind() == PolicyKind::kRandom) {
+    return;
+  }
+  if (scorer_pinned_ || (scorer_ != nullptr && scorer_rel_ == &rel)) return;
+  auto matrix = std::make_shared<const PairComplianceMatrix>(
+      PairComplianceMatrix::Build(rel, belief_.space_ptr(), pool_));
+  scorer_ = std::make_unique<PairScoreCache>(std::move(matrix));
+  scorer_rel_ = &rel;
+}
+
 std::vector<double> Learner::CurrentDistribution(
     const Relation& rel) const {
-  return policy_->Distribution(belief_, rel, FreshCandidates());
+  EnsureScorer(rel);
+  return policy_->Distribution(belief_, rel, fresh_, scorer_.get());
 }
 
 }  // namespace et

@@ -19,6 +19,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "core/policies.h"
+#include "core/score_cache.h"
 
 namespace et {
 
@@ -42,6 +43,11 @@ struct LearnerOptions {
   /// non-stationary trainer, old labels reflect an old belief;
   /// discounting them lets the learner track the drift.
   double forgetting_factor = 1.0;
+  /// Score candidates through a PairScoreCache (bit-identical to full
+  /// rescoring; see core/score_cache.h). The pool's compliance matrix
+  /// is built lazily on first selection unless the serving layer
+  /// injects a shared one via SetComplianceMatrix.
+  bool incremental_scoring = true;
 };
 
 /// The learner's resumable state: belief pseudo-counts (space order),
@@ -96,13 +102,28 @@ class Learner {
   /// sizes disagree (memento from a different hypothesis space).
   Status RestoreMemento(const LearnerMemento& memento);
 
+  /// Installs a prebuilt compliance matrix of this learner's pool
+  /// (shared across sessions by the serving layer) for incremental
+  /// scoring, instead of building one lazily on first selection.
+  void SetComplianceMatrix(
+      std::shared_ptr<const PairComplianceMatrix> matrix);
+
  private:
-  std::vector<RowPair> FreshCandidates() const;
+  /// Recomputes fresh_ from pool_ minus shown_ (memento restore; the
+  /// steady state maintains it incrementally in SelectExamples).
+  void RebuildFresh();
   size_t RevisitSlots(size_t k) const;
+  /// Lazily builds the score cache when incremental scoring is on
+  /// (const: CurrentDistribution scores too). Skipped for the random
+  /// policy, which never looks at scores.
+  void EnsureScorer(const Relation& rel) const;
 
   BeliefModel belief_;
   std::unique_ptr<ResponsePolicy> policy_;
   std::vector<RowPair> pool_;
+  /// pool_ minus shown_, in pool order — maintained across rounds so
+  /// selection never rescans the pool against the shown set.
+  std::vector<RowPair> fresh_;
   std::unordered_set<RowPair, RowPairHash> shown_;
   /// Pairs re-presented in the latest SelectExamples call (consumed by
   /// the next Consume to weight relabeling evidence).
@@ -111,6 +132,12 @@ class Learner {
   std::unordered_map<RowPair, LabeledPair, RowPairHash> previous_label_;
   LearnerOptions options_;
   Rng rng_;
+  /// Incremental scoring state (caches, no behavioural effect).
+  /// scorer_rel_ guards against a relation swap mid-lifetime; a
+  /// serving-injected matrix (scorer_pinned_) is trusted as-is.
+  mutable std::unique_ptr<PairScoreCache> scorer_;
+  mutable const Relation* scorer_rel_ = nullptr;
+  bool scorer_pinned_ = false;
 };
 
 }  // namespace et

@@ -6,6 +6,7 @@
 #include "common/math.h"
 #include "common/thread_pool.h"
 #include "core/payoff.h"
+#include "core/score_cache.h"
 #include "fd/g1.h"
 #include "obs/trace.h"
 
@@ -31,32 +32,40 @@ const char* PolicyKindToString(PolicyKind kind) {
 
 Result<std::vector<RowPair>> ResponsePolicy::SelectPairs(
     const BeliefModel& belief, const Relation& rel,
-    const std::vector<RowPair>& candidates, size_t k, Rng& rng) const {
+    const std::vector<RowPair>& candidates, size_t k, Rng& rng,
+    PairScoreCache* scorer) const {
   if (k > candidates.size()) {
     return Status::InvalidArgument(
         "cannot select " + std::to_string(k) + " pairs from pool of " +
         std::to_string(candidates.size()));
   }
-  std::vector<double> weights = Distribution(belief, rel, candidates);
+  std::vector<double> weights = Distribution(belief, rel, candidates, scorer);
+  // Distribution weights are non-negative, so an IEEE sum of them only
+  // vanishes when no entry is positive: tracking the positive-entry
+  // count replaces the per-draw O(n) re-sum (and the chosen flags
+  // replace the per-pair std::find) without moving the rng stream —
+  // NextDiscrete sees the same weight vectors and totals as before.
+  std::vector<uint8_t> chosen(weights.size(), 0);
+  size_t positive = 0;
+  for (double w : weights) positive += w > 0.0;
   std::vector<RowPair> out;
   out.reserve(k);
   for (size_t draw = 0; draw < k; ++draw) {
-    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-    if (total <= 0.0) {
+    if (positive == 0) {
       // Remaining mass exhausted numerically: fall back to uniform over
       // the not-yet-chosen candidates.
+      size_t open = 0;
       for (size_t i = 0; i < weights.size(); ++i) {
-        weights[i] = (weights[i] < 0.0) ? 0.0 : 1.0;
+        weights[i] = chosen[i] ? 0.0 : 1.0;
+        open += !chosen[i];
       }
-      for (const RowPair& p : out) {
-        auto it = std::find(candidates.begin(), candidates.end(), p);
-        weights[static_cast<size_t>(it - candidates.begin())] = 0.0;
-      }
-      total = std::accumulate(weights.begin(), weights.end(), 0.0);
-      if (total <= 0.0) break;
+      if (open == 0) break;
+      positive = open;
     }
     const size_t idx = rng.NextDiscrete(weights);
     out.push_back(candidates[idx]);
+    chosen[idx] = 1;
+    if (weights[idx] > 0.0) --positive;
     weights[idx] = 0.0;
   }
   return out;
@@ -70,7 +79,8 @@ class RandomPolicy final : public ResponsePolicy {
 
   std::vector<double> Distribution(
       const BeliefModel&, const Relation&,
-      const std::vector<RowPair>& candidates) const override {
+      const std::vector<RowPair>& candidates,
+      PairScoreCache*) const override {
     if (candidates.empty()) return {};
     return std::vector<double>(candidates.size(),
                                1.0 / static_cast<double>(candidates.size()));
@@ -79,18 +89,39 @@ class RandomPolicy final : public ResponsePolicy {
 
 // Shared scoring helpers. Each candidate's score is independent
 // (hypothesis-space-wide prediction per pair) and written to its own
-// slot, so the parallel scan is bit-identical to a serial one.
+// slot, so the parallel scan is bit-identical to a serial one. With a
+// scorer the prediction comes from the incremental cache (synced
+// serially via BeginBatch before the fan-out); candidates outside the
+// scorer's pool — there should be none, but revisit extensions could
+// introduce them — fall back to the direct path.
+PairPrediction Predict(const BeliefModel& belief, const Relation& rel,
+                       const RowPair& pair, const InferenceOptions& inference,
+                       PairScoreCache* scorer) {
+  if (scorer != nullptr) {
+    const size_t row = scorer->matrix().IndexOf(pair);
+    if (row != PairComplianceMatrix::kNotInPool) return scorer->Predict(row);
+  }
+  return PredictPair(belief, rel, pair, inference);
+}
+
 std::vector<double> PayoffScores(const BeliefModel& belief,
                                  const Relation& rel,
                                  const std::vector<RowPair>& candidates,
-                                 const InferenceOptions& inference) {
+                                 const InferenceOptions& inference,
+                                 PairScoreCache* scorer) {
+  if (scorer != nullptr) scorer->BeginBatch(belief, inference);
   std::vector<double> s(candidates.size());
   ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
     // Chunk-level span (not per-candidate): visible per pool worker in
     // a trace, tagged with the originating request id when serving.
     ET_TRACE_SCOPE("core.policy.score_chunk");
     for (size_t i = begin; i < end; ++i) {
-      s[i] = LearnerExamplePayoff(belief, rel, candidates[i], inference);
+      const PairPrediction p =
+          Predict(belief, rel, candidates[i], inference, scorer);
+      // LearnerExamplePayoff's expression on the cached prediction.
+      const double c1 = std::max(p.first_dirty, 1.0 - p.first_dirty);
+      const double c2 = std::max(p.second_dirty, 1.0 - p.second_dirty);
+      s[i] = 0.5 * (c1 + c2);
     }
   });
   return s;
@@ -99,13 +130,15 @@ std::vector<double> PayoffScores(const BeliefModel& belief,
 std::vector<double> EntropyScores(const BeliefModel& belief,
                                   const Relation& rel,
                                   const std::vector<RowPair>& candidates,
-                                  const InferenceOptions& inference) {
+                                  const InferenceOptions& inference,
+                                  PairScoreCache* scorer) {
+  if (scorer != nullptr) scorer->BeginBatch(belief, inference);
   std::vector<double> s(candidates.size());
   ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
     ET_TRACE_SCOPE("core.policy.score_chunk");
     for (size_t i = begin; i < end; ++i) {
       const PairPrediction p =
-          PredictPair(belief, rel, candidates[i], inference);
+          Predict(belief, rel, candidates[i], inference, scorer);
       s[i] = 0.5 * (BinaryEntropy(p.first_dirty) +
                     BinaryEntropy(p.second_dirty));
     }
@@ -122,11 +155,12 @@ class UncertaintyPolicy final : public ResponsePolicy {
 
   std::vector<double> Distribution(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const override {
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const override {
     // Deterministic policy: all mass on the argmax (ties split evenly),
     // which is also what the empirical-frequency tracker should see.
     std::vector<double> s =
-        EntropyScores(belief, rel, candidates, inference_);
+        EntropyScores(belief, rel, candidates, inference_, scorer);
     std::vector<double> out(candidates.size(), 0.0);
     if (candidates.empty()) return out;
     const double best = *std::max_element(s.begin(), s.end());
@@ -140,8 +174,8 @@ class UncertaintyPolicy final : public ResponsePolicy {
 
   Result<std::vector<RowPair>> SelectPairs(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates, size_t k,
-      Rng& rng) const override {
+      const std::vector<RowPair>& candidates, size_t k, Rng& rng,
+      PairScoreCache* scorer) const override {
     if (k > candidates.size()) {
       return Status::InvalidArgument("pool smaller than k");
     }
@@ -149,7 +183,7 @@ class UncertaintyPolicy final : public ResponsePolicy {
     // determinism (rng unused).
     (void)rng;
     std::vector<double> s =
-        EntropyScores(belief, rel, candidates, inference_);
+        EntropyScores(belief, rel, candidates, inference_, scorer);
     std::vector<size_t> idx(candidates.size());
     std::iota(idx.begin(), idx.end(), 0);
     std::stable_sort(idx.begin(), idx.end(),
@@ -171,15 +205,17 @@ class SoftmaxPolicy : public ResponsePolicy {
 
   std::vector<double> Distribution(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const override {
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const override {
     if (candidates.empty()) return {};
-    return Softmax(Scores(belief, rel, candidates), gamma_);
+    return Softmax(Scores(belief, rel, candidates, scorer), gamma_);
   }
 
  protected:
   virtual std::vector<double> Scores(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const = 0;
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const = 0;
 
   double gamma_;
   InferenceOptions inference_;
@@ -196,8 +232,9 @@ class StochasticBestResponsePolicy final : public SoftmaxPolicy {
  protected:
   std::vector<double> Scores(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const override {
-    return PayoffScores(belief, rel, candidates, inference_);
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const override {
+    return PayoffScores(belief, rel, candidates, inference_, scorer);
   }
 };
 
@@ -212,8 +249,9 @@ class StochasticUncertaintyPolicy final : public SoftmaxPolicy {
  protected:
   std::vector<double> Scores(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const override {
-    return EntropyScores(belief, rel, candidates, inference_);
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const override {
+    return EntropyScores(belief, rel, candidates, inference_, scorer);
   }
 };
 
@@ -237,7 +275,8 @@ class QueryByCommitteePolicy final : public SoftmaxPolicy {
  protected:
   std::vector<double> Scores(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const override {
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const override {
     // Draw the committee: per member, a full confidence vector sampled
     // from the Beta posteriors, wrapped into a point-mass BeliefModel
     // (large pseudo-counts pin the means at the samples).
@@ -254,14 +293,23 @@ class QueryByCommitteePolicy final : public SoftmaxPolicy {
       committee.emplace_back(belief.space_ptr(), std::move(betas));
     }
     // The committee is drawn serially above (mutable rng_); scoring it
-    // over the pool is read-only and parallel.
+    // over the pool is read-only and parallel. Members change every
+    // draw so their predictions cannot be cached across rounds, but the
+    // compliance matrix still replaces the per-FD CheckPair walks.
+    const PairComplianceMatrix* matrix =
+        scorer != nullptr ? &scorer->matrix() : nullptr;
     std::vector<double> scores(candidates.size(), 0.0);
     ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
       for (size_t c = begin; c < end; ++c) {
+        const size_t row = matrix != nullptr
+                               ? matrix->IndexOf(candidates[c])
+                               : PairComplianceMatrix::kNotInPool;
         size_t dirty_votes = 0;
         for (const BeliefModel& member : committee) {
           const PairPrediction p =
-              PredictPair(member, rel, candidates[c], inference_);
+              row != PairComplianceMatrix::kNotInPool
+                  ? PredictPairWithMatrix(member, *matrix, row, inference_)
+                  : PredictPair(member, rel, candidates[c], inference_);
           dirty_votes += p.first_dirty > 0.5;
         }
         const double share = static_cast<double>(dirty_votes) /
@@ -291,18 +339,28 @@ class DensityWeightedUncertaintyPolicy final : public SoftmaxPolicy {
  protected:
   std::vector<double> Scores(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const override {
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const override {
     const HypothesisSpace& space = belief.space();
     std::vector<double> entropy =
-        EntropyScores(belief, rel, candidates, inference_);
+        EntropyScores(belief, rel, candidates, inference_, scorer);
+    const PairComplianceMatrix* matrix =
+        scorer != nullptr ? &scorer->matrix() : nullptr;
     ParallelFor(candidates.size(), [&](size_t begin, size_t end) {
       for (size_t c = begin; c < end; ++c) {
         size_t applicable = 0;
-        for (const FD& fd : space.fds()) {
-          if (CheckPair(rel, fd, candidates[c].first,
-                        candidates[c].second) !=
-              PairCompliance::kInapplicable) {
-            ++applicable;
+        const size_t row = matrix != nullptr
+                               ? matrix->IndexOf(candidates[c])
+                               : PairComplianceMatrix::kNotInPool;
+        if (row != PairComplianceMatrix::kNotInPool) {
+          applicable = matrix->ApplicableCount(row);
+        } else {
+          for (const FD& fd : space.fds()) {
+            if (CheckPair(rel, fd, candidates[c].first,
+                          candidates[c].second) !=
+                PairCompliance::kInapplicable) {
+              ++applicable;
+            }
           }
         }
         const double density = static_cast<double>(applicable) /

@@ -25,6 +25,8 @@
 
 namespace et {
 
+class PairScoreCache;
+
 /// The kind of response policy, for configs and reports.
 enum class PolicyKind {
   kRandom,
@@ -57,16 +59,35 @@ class ResponsePolicy {
 
   /// Selection distribution pi_t^L over `candidates` under `belief`
   /// (the per-interaction policy of Section 2). Sums to 1.
+  std::vector<double> Distribution(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates) const {
+    return Distribution(belief, rel, candidates, nullptr);
+  }
+
+  /// As above, with an optional incremental score cache (see
+  /// core/score_cache.h). A null `scorer` scores every candidate from
+  /// scratch; a non-null one serves unchanged candidates from cache —
+  /// the results are bit-identical either way.
   virtual std::vector<double> Distribution(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates) const = 0;
+      const std::vector<RowPair>& candidates,
+      PairScoreCache* scorer) const = 0;
 
   /// Draws `k` distinct pairs. Default: sequential draws from
   /// Distribution() with chosen entries zeroed out. Deterministic
   /// policies override. k must be <= candidates.size().
+  Result<std::vector<RowPair>> SelectPairs(
+      const BeliefModel& belief, const Relation& rel,
+      const std::vector<RowPair>& candidates, size_t k, Rng& rng) const {
+    return SelectPairs(belief, rel, candidates, k, rng, nullptr);
+  }
+
+  /// As above, with an optional incremental score cache.
   virtual Result<std::vector<RowPair>> SelectPairs(
       const BeliefModel& belief, const Relation& rel,
-      const std::vector<RowPair>& candidates, size_t k, Rng& rng) const;
+      const std::vector<RowPair>& candidates, size_t k, Rng& rng,
+      PairScoreCache* scorer) const;
 };
 
 /// Factory configuration.

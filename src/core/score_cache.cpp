@@ -1,0 +1,180 @@
+#include "core/score_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace et {
+
+PairPrediction PredictPairWithMatrix(const BeliefModel& belief,
+                                     const PairComplianceMatrix& matrix,
+                                     size_t row,
+                                     const InferenceOptions& options) {
+  ET_COUNTER_INC("core.inference.predictions");
+  double num = 0.0;
+  double den = 0.0;
+  // Mirrors PredictPair's accumulate lambda expression for expression;
+  // only the compliance lookup differs.
+  auto accumulate = [&](size_t idx) {
+    const double mu = belief.Confidence(idx);
+    if (mu < options.min_confidence) return;
+    const PairCompliance c = matrix.Compliance(row, idx);
+    if (c == PairCompliance::kInapplicable) return;
+    const double w = (mu - options.min_confidence) /
+                     (1.0 - options.min_confidence);
+    const double evidence =
+        (c == PairCompliance::kViolates) ? mu : 1.0 - mu;
+    num += w * evidence;
+    den += w;
+  };
+  const size_t size = matrix.num_fds();
+  if (options.top_k == 0 || options.top_k >= size) {
+    for (size_t idx = 0; idx < size; ++idx) accumulate(idx);
+  } else {
+    for (size_t idx : belief.TopK(options.top_k)) accumulate(idx);
+  }
+  PairPrediction out;
+  if (den > 0.0) {
+    const double p = std::clamp(num / den, 0.0, 1.0);
+    out.first_dirty = p;
+    out.second_dirty = p;
+  }
+  return out;
+}
+
+PairScoreCache::PairScoreCache(
+    std::shared_ptr<const PairComplianceMatrix> matrix)
+    : matrix_(std::move(matrix)) {
+  ET_CHECK(matrix_ != nullptr);
+  cached_.resize(matrix_->num_pairs());
+  valid_.assign(matrix_->num_pairs(), 0);
+}
+
+void PairScoreCache::BeginBatch(const BeliefModel& belief,
+                                const InferenceOptions& options) {
+  const size_t num_fds = matrix_->num_fds();
+  ET_CHECK(belief.size() == num_fds)
+      << "score cache matrix and belief disagree on hypothesis space size";
+
+  bool invalidate_all =
+      synced_belief_ != &belief ||
+      options.top_k != options_.top_k ||
+      options.min_confidence != options_.min_confidence;
+
+  // Snapshot confidences and endorsement weights; Predict reads these
+  // instead of the belief so workers never touch shared mutable state.
+  // The previous batch's endorsement bits survive in prev_endorsed:
+  // a dirty FD endorsed in neither batch contributed nothing to any
+  // cached value and contributes nothing to a recompute, so it need
+  // not invalidate the pairs it is applicable to.
+  std::vector<uint64_t> prev_endorsed;
+  prev_endorsed.swap(endorsed_words_);
+  mu_.resize(num_fds);
+  w_.resize(num_fds);
+  endorsed_.resize(num_fds);
+  endorsed_words_.assign(matrix_->words_per_pair(), 0);
+  for (size_t f = 0; f < num_fds; ++f) {
+    const double mu = belief.Confidence(f);
+    mu_[f] = mu;
+    endorsed_[f] = mu < options.min_confidence ? 0 : 1;
+    if (endorsed_[f]) endorsed_words_[f >> 6] |= uint64_t{1} << (f & 63);
+    w_[f] = (mu - options.min_confidence) / (1.0 - options.min_confidence);
+  }
+
+  const bool use_top_k = options.top_k != 0 && options.top_k < num_fds;
+  if (use_top_k) {
+    // The accumulation order is the top-k ranking, so a reshuffled
+    // ranking changes every sum: invalidate everything unless the
+    // ranked index sequence is exactly what it was last batch.
+    std::vector<size_t> ranked = belief.TopK(options.top_k);
+    if (!use_top_k_ || ranked != top_k_) invalidate_all = true;
+    top_k_ = std::move(ranked);
+  } else {
+    top_k_.clear();
+  }
+  use_top_k_ = use_top_k;
+
+  if (invalidate_all) {
+    std::fill(valid_.begin(), valid_.end(), uint8_t{0});
+  } else if (belief.epoch() > synced_epoch_) {
+    const size_t words = matrix_->words_per_pair();
+    std::vector<uint64_t> dirty(words, 0);
+    for (size_t f = 0; f < num_fds; ++f) {
+      if (belief.fd_epoch(f) > synced_epoch_) {
+        dirty[f >> 6] |= uint64_t{1} << (f & 63);
+      }
+    }
+    // Drop dirty FDs endorsed in neither batch: Predict skipped them
+    // before and skips them now, so their Beta moving cannot change
+    // any cached sum (bit-identity is untouched by keeping the slot).
+    for (size_t word = 0; word < words; ++word) {
+      dirty[word] &= prev_endorsed[word] | endorsed_words_[word];
+    }
+    for (size_t row = 0; row < valid_.size(); ++row) {
+      if (valid_[row] && matrix_->IntersectsDirty(row, dirty.data())) {
+        valid_[row] = 0;
+      }
+    }
+  }
+
+  synced_belief_ = &belief;
+  synced_epoch_ = belief.epoch();
+  options_ = options;
+}
+
+PairPrediction PairScoreCache::Predict(size_t row) {
+  if (valid_[row]) {
+    ET_COUNTER_INC("core.score.incremental");
+    return cached_[row];
+  }
+  ET_COUNTER_INC("core.score.full");
+  double num = 0.0;
+  double den = 0.0;
+  // The exact accumulation PredictPair runs — same ascending FD order,
+  // same expressions on the same confidence values — so a recomputed
+  // slot is bit-identical to the uncached path. The full-space loop
+  // walks set bits of applicable ∧ endorsed instead of branching per
+  // FD; the skipped FDs are exactly the ones PredictPair's `continue`s
+  // skip, so the float stream is unchanged.
+  if (use_top_k_) {
+    for (size_t idx : top_k_) {
+      if (!endorsed_[idx]) continue;
+      const PairCompliance c = matrix_->Compliance(row, idx);
+      if (c == PairCompliance::kInapplicable) continue;
+      const double evidence =
+          (c == PairCompliance::kViolates) ? mu_[idx] : 1.0 - mu_[idx];
+      num += w_[idx] * evidence;
+      den += w_[idx];
+    }
+  } else {
+    const uint64_t* applicable = matrix_->applicable_words(row);
+    const uint64_t* violates = matrix_->violates_words(row);
+    const size_t words = matrix_->words_per_pair();
+    for (size_t word = 0; word < words; ++word) {
+      uint64_t bits = applicable[word] & endorsed_words_[word];
+      while (bits != 0) {
+        const int bit = __builtin_ctzll(bits);
+        bits &= bits - 1;
+        const size_t idx = (word << 6) + static_cast<size_t>(bit);
+        const double evidence = ((violates[word] >> bit) & 1)
+                                    ? mu_[idx]
+                                    : 1.0 - mu_[idx];
+        num += w_[idx] * evidence;
+        den += w_[idx];
+      }
+    }
+  }
+  PairPrediction out;
+  if (den > 0.0) {
+    const double p = std::clamp(num / den, 0.0, 1.0);
+    out.first_dirty = p;
+    out.second_dirty = p;
+  }
+  cached_[row] = out;
+  valid_[row] = 1;
+  return out;
+}
+
+}  // namespace et

@@ -1,0 +1,113 @@
+#include "fd/pair_compliance.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "common/logging.h"
+#include "fd/eval_cache.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace et {
+namespace {
+
+// class_of[row] = index of the row's stripped-partition class, or -1
+// for stripped singletons. Two rows agree on the attribute set iff both
+// ids are equal and >= 0.
+std::vector<int32_t> ClassOfRow(const Relation& rel, AttrSet attrs,
+                                EvalCache* cache) {
+  std::shared_ptr<const Partition> owned;
+  const Partition* part;
+  if (cache != nullptr) {
+    owned = cache->Get(attrs);
+    part = owned.get();
+  } else {
+    owned = std::make_shared<const Partition>(Partition::Build(rel, attrs));
+    part = owned.get();
+  }
+  std::vector<int32_t> class_of(rel.num_rows(), -1);
+  const auto& classes = part->classes();
+  for (size_t c = 0; c < classes.size(); ++c) {
+    for (RowId row : classes[c]) class_of[row] = static_cast<int32_t>(c);
+  }
+  return class_of;
+}
+
+}  // namespace
+
+PairComplianceMatrix PairComplianceMatrix::Build(
+    const Relation& rel, std::shared_ptr<const HypothesisSpace> space,
+    const std::vector<RowPair>& pool, EvalCache* cache) {
+  ET_CHECK(space != nullptr);
+  ET_TRACE_SCOPE("fd.pair_compliance.build");
+
+  PairComplianceMatrix m;
+  m.space_ = std::move(space);
+  m.pairs_ = pool;
+  m.num_fds_ = m.space_->size();
+  m.words_per_pair_ = (m.num_fds_ + 63) / 64;
+  // Flat open-addressed index at <= 50% load; every pool pair packs to
+  // a nonzero key (distinct rows), so 0 marks empty slots.
+  size_t cap = 1;
+  while (cap < 2 * m.pairs_.size()) cap <<= 1;
+  m.index_keys_.assign(cap, 0);
+  m.index_rows_.assign(cap, 0);
+  const size_t mask = cap - 1;
+  for (size_t i = 0; i < m.pairs_.size(); ++i) {
+    const uint64_t key = PackPair(m.pairs_[i]);
+    size_t slot = MixKey(key) & mask;
+    while (m.index_keys_[slot] != 0) slot = (slot + 1) & mask;
+    m.index_keys_[slot] = key;
+    m.index_rows_[slot] = static_cast<uint32_t>(i);
+  }
+  m.applicable_.assign(m.pairs_.size() * m.words_per_pair_, 0);
+  m.violates_.assign(m.pairs_.size() * m.words_per_pair_, 0);
+  m.applicable_counts_.assign(m.pairs_.size(), 0);
+
+  // FDs heavily share LHS masks (and an LHS ∪ {RHS} of one FD is the
+  // LHS of others), so memoize class-id arrays by attribute mask.
+  std::unordered_map<uint32_t, std::vector<int32_t>> class_arrays;
+  auto classes_for = [&](AttrSet attrs) -> const std::vector<int32_t>& {
+    auto it = class_arrays.find(attrs.mask());
+    if (it == class_arrays.end()) {
+      it = class_arrays.emplace(attrs.mask(), ClassOfRow(rel, attrs, cache))
+               .first;
+    }
+    return it->second;
+  };
+
+  for (size_t f = 0; f < m.num_fds_; ++f) {
+    const FD& fd = m.space_->fd(f);
+    const std::vector<int32_t>& lhs_class = classes_for(fd.lhs);
+    const std::vector<int32_t>& all_class = classes_for(fd.lhs.With(fd.rhs));
+    const uint64_t bit = uint64_t{1} << (f & 63);
+    const size_t word = f >> 6;
+    for (size_t i = 0; i < m.pairs_.size(); ++i) {
+      const RowPair& p = m.pairs_[i];
+      const int32_t ca = lhs_class[p.first];
+      if (ca < 0 || ca != lhs_class[p.second]) continue;  // inapplicable
+      m.applicable_[i * m.words_per_pair_ + word] |= bit;
+      ++m.applicable_counts_[i];
+      const int32_t sa = all_class[p.first];
+      if (sa < 0 || sa != all_class[p.second]) {
+        m.violates_[i * m.words_per_pair_ + word] |= bit;
+      }
+    }
+  }
+
+  ET_COUNTER_ADD("fd.pair_compliance.cells",
+                 static_cast<uint64_t>(m.pairs_.size()) * m.num_fds_);
+  return m;
+}
+
+size_t PairComplianceMatrix::ApproxBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += pairs_.capacity() * sizeof(RowPair);
+  bytes += (applicable_.capacity() + violates_.capacity()) * sizeof(uint64_t);
+  bytes += applicable_counts_.capacity() * sizeof(uint32_t);
+  bytes += index_keys_.capacity() * sizeof(uint64_t);
+  bytes += index_rows_.capacity() * sizeof(uint32_t);
+  return bytes;
+}
+
+}  // namespace et

@@ -1,0 +1,144 @@
+// PairComplianceMatrix: packed per-pool compliance bits of every
+// (candidate pair, hypothesis-space FD) combination.
+//
+// The serving hot path re-scores the learner's whole candidate pool
+// every round, and every score bottoms out in CheckPair(rel, fd, a, b)
+// — a per-attribute cell-code walk — repeated pool × space times. The
+// compliance of a fixed pool against a fixed space over an immutable
+// relation never changes, so it is computed once per session from the
+// stripped partitions (shared through an EvalCache) and packed into two
+// bit rows per pair:
+//
+//   applicable[pair]  bit f set  <=>  CheckPair != kInapplicable
+//   violates[pair]    bit f set  <=>  CheckPair == kViolates
+//
+// Rows are pair-major (words_per_pair() consecutive uint64 words per
+// pair), so "is any FD of this dirty set relevant to this pair?" is a
+// word-wide AND — the staleness test of core/score_cache.h — and a
+// pair's full-space evidence scan reads bits instead of cell codes.
+//
+// Equivalence with CheckPair: rows a != b agree on an attribute set X
+// iff both sit in the same class of the stripped partition of X
+// (a row stripped as a singleton agrees with no other row), so
+// applicable = same LHS class, satisfies = same LHS ∪ {RHS} class.
+// fd/pair_compliance_test.cpp asserts bit-for-bit agreement.
+
+#ifndef ET_FD_PAIR_COMPLIANCE_H_
+#define ET_FD_PAIR_COMPLIANCE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "data/relation.h"
+#include "fd/g1.h"
+#include "fd/hypothesis_space.h"
+#include "fd/violations.h"
+
+namespace et {
+
+class EvalCache;
+
+class PairComplianceMatrix {
+ public:
+  static constexpr size_t kNotInPool = static_cast<size_t>(-1);
+
+  /// Builds the matrix of `pool` against `space` over `rel`. When
+  /// `cache` is non-null it must wrap `rel`; LHS partitions are then
+  /// shared with (and through) it instead of rebuilt per FD.
+  static PairComplianceMatrix Build(
+      const Relation& rel, std::shared_ptr<const HypothesisSpace> space,
+      const std::vector<RowPair>& pool, EvalCache* cache = nullptr);
+
+  const HypothesisSpace& space() const { return *space_; }
+  const std::shared_ptr<const HypothesisSpace>& space_ptr() const {
+    return space_;
+  }
+  size_t num_pairs() const { return pairs_.size(); }
+  size_t num_fds() const { return num_fds_; }
+  size_t words_per_pair() const { return words_per_pair_; }
+
+  /// Row index of `pair`, or kNotInPool for pairs outside the pool.
+  /// Flat open-addressed probe: the lookup runs once per candidate per
+  /// scoring pass, and a node-based map's pointer chase was measurable
+  /// on the serving hot path.
+  size_t IndexOf(const RowPair& pair) const {
+    const uint64_t key = PackPair(pair);
+    if (key == 0 || index_keys_.empty()) return kNotInPool;
+    const size_t mask = index_keys_.size() - 1;
+    size_t slot = MixKey(key) & mask;
+    for (;;) {
+      const uint64_t k = index_keys_[slot];
+      if (k == key) return index_rows_[slot];
+      if (k == 0) return kNotInPool;
+      slot = (slot + 1) & mask;
+    }
+  }
+
+  const RowPair& pair(size_t row) const { return pairs_[row]; }
+
+  /// Bit rows of one pair, words_per_pair() words each.
+  const uint64_t* applicable_words(size_t row) const {
+    return applicable_.data() + row * words_per_pair_;
+  }
+  const uint64_t* violates_words(size_t row) const {
+    return violates_.data() + row * words_per_pair_;
+  }
+
+  /// Compliance of pool pair `row` with FD `fd`; identical to
+  /// CheckPair(rel, space.fd(fd), pair.first, pair.second).
+  PairCompliance Compliance(size_t row, size_t fd) const {
+    const uint64_t bit = uint64_t{1} << (fd & 63);
+    const size_t word = row * words_per_pair_ + (fd >> 6);
+    if ((applicable_[word] & bit) == 0) return PairCompliance::kInapplicable;
+    return (violates_[word] & bit) != 0 ? PairCompliance::kViolates
+                                        : PairCompliance::kSatisfies;
+  }
+
+  /// Number of FDs the pair is applicable to (popcount of its row).
+  size_t ApplicableCount(size_t row) const {
+    return applicable_counts_[row];
+  }
+
+  /// True when any FD of `dirty` (words_per_pair() words) is applicable
+  /// to the pair — the incremental scorer's staleness test.
+  bool IntersectsDirty(size_t row, const uint64_t* dirty) const {
+    const uint64_t* app = applicable_words(row);
+    uint64_t any = 0;
+    for (size_t w = 0; w < words_per_pair_; ++w) any |= app[w] & dirty[w];
+    return any != 0;
+  }
+
+  size_t ApproxBytes() const;
+
+ private:
+  /// A pool pair joins two distinct rows, so its packed key is nonzero
+  /// ((0,0) packs to 0); key 0 therefore marks an empty table slot.
+  static uint64_t PackPair(const RowPair& p) {
+    return (static_cast<uint64_t>(p.first) << 32) | p.second;
+  }
+  static uint64_t MixKey(uint64_t key) {
+    // splitmix64 finalizer: spreads the low-entropy row ids across the
+    // table so linear probing stays short.
+    key ^= key >> 30;
+    key *= 0xBF58476D1CE4E5B9ULL;
+    key ^= key >> 27;
+    key *= 0x94D049BB133111EBULL;
+    key ^= key >> 31;
+    return key;
+  }
+
+  std::shared_ptr<const HypothesisSpace> space_;
+  std::vector<RowPair> pairs_;
+  std::vector<uint64_t> index_keys_;  // power-of-two sized, 0 = empty
+  std::vector<uint32_t> index_rows_;
+  size_t num_fds_ = 0;
+  size_t words_per_pair_ = 0;
+  std::vector<uint64_t> applicable_;  // pair-major bit rows
+  std::vector<uint64_t> violates_;
+  std::vector<uint32_t> applicable_counts_;
+};
+
+}  // namespace et
+
+#endif  // ET_FD_PAIR_COMPLIANCE_H_

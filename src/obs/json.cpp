@@ -1,6 +1,7 @@
 #include "obs/json.h"
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 
@@ -43,7 +44,7 @@ void JsonWriter::EndArray() {
 void JsonWriter::Key(std::string_view key) {
   Comma();
   out_ += '"';
-  out_ += Escape(key);
+  AppendEscaped(key);
   out_ += "\":";
   pending_key_ = true;
 }
@@ -51,8 +52,20 @@ void JsonWriter::Key(std::string_view key) {
 void JsonWriter::String(std::string_view value) {
   Comma();
   out_ += '"';
-  out_ += Escape(value);
+  AppendEscaped(value);
   out_ += '"';
+}
+
+void JsonWriter::AppendEscaped(std::string_view value) {
+  // Almost every string we emit is escape-free; append it wholesale
+  // and only pay the per-character Escape walk when needed.
+  for (char c : value) {
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      out_ += Escape(value);
+      return;
+    }
+  }
+  out_.append(value);
 }
 
 void JsonWriter::Int(int64_t value) {
@@ -122,7 +135,7 @@ std::string JsonWriter::Escape(std::string_view s) {
 
 const JsonValue* JsonValue::Find(std::string_view key) const {
   if (kind != Kind::kObject) return nullptr;
-  auto it = object.find(std::string(key));
+  auto it = object.find(key);
   return it == object.end() ? nullptr : &it->second;
 }
 
@@ -211,11 +224,15 @@ class Parser {
       ++pos_;
     }
     if (pos_ == start) return Error("invalid number");
-    const std::string token(text_.substr(start, pos_ - start));
-    char* end = nullptr;
-    const double v = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
-      return Error("invalid number '" + token + "'");
+    // from_chars parses in place (no token copy) and rounds exactly
+    // like strtod, so swapping it in changes no parsed value.
+    double v = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || ptr != last) {
+      return Error("invalid number '" +
+                   std::string(text_.substr(start, pos_ - start)) + "'");
     }
     out->kind = JsonValue::Kind::kNumber;
     out->number = v;
@@ -226,12 +243,14 @@ class Parser {
     if (!Consume('"')) return Error("expected '\"'");
     out->clear();
     while (pos_ < text_.size()) {
+      // Bulk-append the run up to the next quote or escape instead of
+      // growing the string a character at a time.
+      const size_t run_end = text_.find_first_of("\"\\", pos_);
+      if (run_end == std::string_view::npos) break;
+      out->append(text_.data() + pos_, run_end - pos_);
+      pos_ = run_end;
       const char c = text_[pos_++];
       if (c == '"') return Status::OK();
-      if (c != '\\') {
-        *out += c;
-        continue;
-      }
       if (pos_ >= text_.size()) break;
       const char esc = text_[pos_++];
       switch (esc) {

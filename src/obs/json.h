@@ -42,6 +42,9 @@ class JsonWriter {
   static std::string Escape(std::string_view s);
 
  private:
+  /// Appends `value` escaped, skipping the Escape() temporary for the
+  /// common escape-free case.
+  void AppendEscaped(std::string_view value);
   void Comma();
 
   std::string out_;
@@ -62,7 +65,9 @@ class JsonValue {
   double number = 0.0;
   std::string string_value;
   std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
+  // Transparent comparator: Find() looks up by string_view without
+  // materializing a key string.
+  std::map<std::string, JsonValue, std::less<>> object;
 
   bool is_object() const { return kind == Kind::kObject; }
   bool is_array() const { return kind == Kind::kArray; }

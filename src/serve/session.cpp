@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "robustness/fault.h"
 #include "serve/stats.h"
+#include "serve/world_cache.h"
 
 namespace et {
 namespace serve {
@@ -470,8 +471,7 @@ std::string CanonicalSessionConfig(const SessionConfig& config) {
   return out;
 }
 
-Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
-  ET_TRACE_SCOPE("serve.session.build_world");
+Status ValidateSessionConfig(const SessionConfig& config) {
   if (config.dataset.rfind("csv:", 0) == 0) {
     return Status::InvalidArgument(
         "serving supports the built-in generated datasets only");
@@ -479,6 +479,21 @@ Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
   if (config.pairs_per_round == 0) {
     return Status::InvalidArgument("pairs_per_round must be positive");
   }
+  return Status::OK();
+}
+
+Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
+  ET_RETURN_NOT_OK(ValidateSessionConfig(config));
+  ET_ASSIGN_OR_RETURN(
+      Dataset base,
+      MakeDatasetByName(config.dataset, config.rows, config.seed));
+  return BuildSessionWorldFrom(config, std::move(base));
+}
+
+Result<SessionWorld> BuildSessionWorldFrom(const SessionConfig& config,
+                                           Dataset base) {
+  ET_TRACE_SCOPE("serve.session.build_world");
+  ET_RETURN_NOT_OK(ValidateSessionConfig(config));
   // Repetition-0 seed derivation of the convergence experiment
   // (rep_seed = seed + 1000003 * 0): a session with seed s replays the
   // offline repetition with seed s bit-for-bit.
@@ -486,9 +501,7 @@ Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
   Rng rng(rep_seed);
 
   SessionWorld world;
-  ET_ASSIGN_OR_RETURN(
-      world.data,
-      MakeDatasetByName(config.dataset, config.rows, rep_seed));
+  world.data = std::move(base);
   std::vector<FD> clean_fds;
   for (const std::string& text : world.data.clean_fds) {
     ET_ASSIGN_OR_RETURN(FD fd, ParseFD(text, world.data.rel.schema()));
@@ -548,6 +561,12 @@ Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
       BuildCandidatePairs(world.data.rel, *world.space, pool_options,
                           pool_rng));
 
+  // Pool compliance bits against the space, shared by every session
+  // seated on this world (incremental scoring).
+  world.compliance = std::make_shared<const PairComplianceMatrix>(
+      PairComplianceMatrix::Build(world.data.rel, world.space, world.pool,
+                                  &cache));
+
   world.trainer_seed = rep_seed ^ 0x77ULL;
   // Policy index 0: a session is policy cell 0 of its own
   // single-policy experiment.
@@ -557,22 +576,31 @@ Result<SessionWorld> BuildSessionWorld(const SessionConfig& config) {
 
 // --- Session ---------------------------------------------------------
 
-Session::Session(SessionConfig config, SessionWorld world,
-                 Learner learner)
+Session::Session(SessionConfig config,
+                 std::shared_ptr<const SessionWorld> world, Learner learner)
     : config_(std::move(config)),
       world_(std::move(world)),
       learner_(std::move(learner)),
       watchdog_(config_.deadline_ms) {}
 
 Result<std::unique_ptr<Session>> Session::Create(
-    const SessionConfig& config) {
+    const SessionConfig& config, SessionWorldCache* worlds) {
   ET_ASSIGN_OR_RETURN(const PolicyKind kind,
                       ParsePolicyName(config.policy));
-  ET_ASSIGN_OR_RETURN(SessionWorld world, BuildSessionWorld(config));
+  std::shared_ptr<const SessionWorld> world;
+  if (worlds != nullptr) {
+    ET_ASSIGN_OR_RETURN(world, worlds->GetWorld(config));
+  } else {
+    ET_ASSIGN_OR_RETURN(SessionWorld built, BuildSessionWorld(config));
+    world = std::make_shared<const SessionWorld>(std::move(built));
+  }
   PolicyOptions policy_options;
   policy_options.gamma = config.gamma;
-  Learner learner(world.learner_prior, MakePolicy(kind, policy_options),
-                  world.pool, LearnerOptions{}, world.learner_seed);
+  Learner learner(world->learner_prior, MakePolicy(kind, policy_options),
+                  world->pool, LearnerOptions{}, world->learner_seed);
+  if (world->compliance != nullptr) {
+    learner.SetComplianceMatrix(world->compliance);
+  }
   std::unique_ptr<Session> session(new Session(
       config, std::move(world), std::move(learner)));
   ET_RETURN_NOT_OK(session->SelectNext());
@@ -594,7 +622,7 @@ Status Session::SelectNext() {
   }
   ET_ASSIGN_OR_RETURN(
       pending_,
-      learner_.SelectExamples(world_.data.rel, config_.pairs_per_round));
+      learner_.SelectExamples(world_->data.rel, config_.pairs_per_round));
   return Status::OK();
 }
 
@@ -624,11 +652,11 @@ Result<LabelOutcome> Session::Label(
           " does not match the pending sample pair");
     }
   }
-  if (trainer_top_fd >= world_.space->size()) {
+  if (trainer_top_fd >= world_->space->size()) {
     return Status::InvalidArgument("trainer_top_fd out of range");
   }
 
-  learner_.Consume(world_.data.rel, labels);
+  learner_.Consume(world_->data.rel, labels);
   labels_total_ += labels.size();
 
   LabelOutcome out;
@@ -706,7 +734,7 @@ std::string Session::EncodeSnapshot() const {
 }
 
 Result<std::unique_ptr<Session>> Session::Restore(
-    const std::string& snapshot_json) {
+    const std::string& snapshot_json, SessionWorldCache* worlds) {
   ET_TRACE_SCOPE("serve.session.restore");
   ET_ASSIGN_OR_RETURN(obs::JsonValue doc,
                       obs::ParseJson(snapshot_json));
@@ -734,11 +762,12 @@ Result<std::unique_ptr<Session>> Session::Restore(
         " does not match its config (" + expected + ")");
   }
 
-  // Rebuild the world deterministically, then overlay the mutable
-  // state. Create() would select round 1's sample and advance the
-  // learner RNG; restoring the memento afterwards rewinds all of it.
+  // Rebuild the world deterministically (shared from the cache when
+  // available), then overlay the mutable state. Create() would select
+  // round 1's sample and advance the learner RNG; restoring the
+  // memento afterwards rewinds all of it.
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                      Session::Create(config));
+                      Session::Create(config, worlds));
 
   const obs::JsonValue* learner = doc.Find("learner");
   if (learner == nullptr || !learner->is_object()) {
@@ -796,8 +825,15 @@ SessionManager::SessionManager(const SessionManagerOptions& options)
     store_ = std::make_unique<CheckpointStore>(options_.snapshot_dir,
                                                "serve");
   }
+  if (options_.world_cache_bytes > 0) {
+    WorldCacheOptions world_options;
+    world_options.byte_budget = options_.world_cache_bytes;
+    worlds_ = std::make_unique<SessionWorldCache>(world_options);
+  }
   RegisterFaultSite("serve.session");
 }
+
+SessionManager::~SessionManager() = default;
 
 SessionManager::Stripe& SessionManager::StripeFor(const std::string& id) {
   return *stripes_[std::hash<std::string>()(id) % stripes_.size()];
@@ -1044,7 +1080,7 @@ Result<std::string> SessionManager::HandleCreate(
     config.deadline_ms = options_.default_deadline_ms;
   }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                      Session::Create(config));
+                      Session::Create(config, worlds_.get()));
   // Serialize the response before publishing the session: afterwards
   // another worker may already be mutating it. The monotonic counter
   // cannot collide with itself; restored ids are kept ahead of it by
@@ -1202,7 +1238,7 @@ Result<std::string> SessionManager::HandleRestore(
   ET_ASSIGN_OR_RETURN(const std::string payload,
                       store_->Load("sess-" + id));
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                      Session::Restore(payload));
+                      Session::Restore(payload, worlds_.get()));
   // Before publishing: once the counter is past this id, no concurrent
   // create can mint it again.
   ReserveGeneratedId(id);

@@ -42,6 +42,7 @@
 #include "core/learner.h"
 #include "data/datasets.h"
 #include "exp/convergence_experiment.h"
+#include "fd/pair_compliance.h"
 #include "obs/json.h"
 #include "robustness/checkpoint.h"
 #include "robustness/watchdog.h"
@@ -49,6 +50,8 @@
 
 namespace et {
 namespace serve {
+
+class SessionWorldCache;
 
 /// Everything that determines a session's world and stream. The
 /// defaults mirror ConvergenceConfig so a default session replays a
@@ -90,6 +93,10 @@ struct SessionWorld {
   BeliefModel trainer_prior;
   BeliefModel learner_prior;
   std::vector<RowPair> pool;
+  /// Compliance bits of the pool against the space (incremental
+  /// scoring; immutable like everything else here, so shared sessions
+  /// share one matrix).
+  std::shared_ptr<const PairComplianceMatrix> compliance;
   double achieved_degree = 0.0;
   /// Seed the client-side trainer must use to replay the experiment's
   /// trainer stream (rep_seed ^ 0x77).
@@ -101,7 +108,19 @@ struct SessionWorld {
 
 Result<PolicyKind> ParsePolicyName(const std::string& name);
 
+/// Config checks BuildSessionWorld applies before any work. Exposed so
+/// SessionWorldCache can reject invalid configs even on what would be
+/// a cache hit (round-shape fields are not part of the world key).
+Status ValidateSessionConfig(const SessionConfig& config);
+
 Result<SessionWorld> BuildSessionWorld(const SessionConfig& config);
+
+/// BuildSessionWorld from an already-generated pristine dataset (the
+/// output of MakeDatasetByName for this config, *before* error
+/// injection). `base` is consumed; errors are injected into it. The
+/// cache's Tier B shares pristine datasets across degrees this way.
+Result<SessionWorld> BuildSessionWorldFrom(const SessionConfig& config,
+                                           Dataset base);
 
 /// Canonical config text (every world-affecting field); its
 /// ConfigFingerprint keys snapshots so a restore against a different
@@ -129,10 +148,13 @@ struct LabelOutcome {
 class Session {
  public:
   /// Builds the world, seats the learner, selects round 1's sample.
-  static Result<std::unique_ptr<Session>> Create(const SessionConfig& config);
+  /// With a non-null `worlds` cache the world is shared from it (or
+  /// built into it) instead of rebuilt — bit-identical either way.
+  static Result<std::unique_ptr<Session>> Create(
+      const SessionConfig& config, SessionWorldCache* worlds = nullptr);
 
   const SessionConfig& config() const { return config_; }
-  const SessionWorld& world() const { return world_; }
+  const SessionWorld& world() const { return *world_; }
   const Learner& learner() const { return learner_; }
   size_t round() const { return round_; }
   size_t labels_total() const { return labels_total_; }
@@ -156,19 +178,22 @@ class Session {
   std::string EncodeSnapshot() const;
 
   /// Rebuilds a session from EncodeSnapshot output: world reconstructed
-  /// from the embedded config, then mutable state restored; learner
-  /// posteriors and the RNG stream resume bit-identically.
+  /// from the embedded config (shared from `worlds` when non-null),
+  /// then mutable state restored; learner posteriors and the RNG
+  /// stream resume bit-identically.
   static Result<std::unique_ptr<Session>> Restore(
-      const std::string& snapshot_json);
+      const std::string& snapshot_json,
+      SessionWorldCache* worlds = nullptr);
 
  private:
-  Session(SessionConfig config, SessionWorld world, Learner learner);
+  Session(SessionConfig config, std::shared_ptr<const SessionWorld> world,
+          Learner learner);
 
   /// Advances pending_ (or sets done_) for the next round.
   Status SelectNext();
 
   SessionConfig config_;
-  SessionWorld world_;
+  std::shared_ptr<const SessionWorld> world_;
   Learner learner_;
   ConvergenceTracker trainer_track_;
   ConvergenceTracker learner_track_;
@@ -195,6 +220,9 @@ struct SessionManagerOptions {
   /// Snapshot directory (CheckpointStore); empty disables
   /// session.snapshot / session.restore.
   std::string snapshot_dir;
+  /// Byte budget of the shared session-world cache (serve/world_cache);
+  /// 0 disables caching and every create builds its world cold.
+  size_t world_cache_bytes = size_t{64} << 20;
 };
 
 /// What a handled request turned out to be, reported back to the
@@ -227,6 +255,7 @@ struct SessionStats {
 class SessionManager {
  public:
   explicit SessionManager(const SessionManagerOptions& options);
+  ~SessionManager();  // out-of-line: SessionWorldCache is incomplete here
 
   /// Backpressure admission. TryBeginRequest reserves an in-flight
   /// slot; every reservation must be paired with EndRequest.
@@ -308,6 +337,7 @@ class SessionManager {
   std::atomic<uint64_t> next_session_{1};
   std::atomic<obs::DeltaSnapshotter*> delta_{nullptr};
   std::unique_ptr<CheckpointStore> store_;  // null when no snapshot_dir
+  std::unique_ptr<SessionWorldCache> worlds_;  // null when budget is 0
 };
 
 }  // namespace serve

@@ -1,0 +1,210 @@
+#include "serve/world_cache.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "data/datasets.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+/// Tier-B key: the inputs MakeDatasetByName consumes. Error injection
+/// happens after generation, so every violation degree shares one
+/// pristine base at the same coordinates.
+std::string BaseFingerprint(const SessionConfig& config) {
+  return "base|" + config.dataset + "|" + std::to_string(config.rows) +
+         "|" + std::to_string(config.seed);
+}
+
+}  // namespace
+
+size_t ApproxDatasetBytes(const Dataset& data) {
+  const Relation& rel = data.rel;
+  size_t bytes = sizeof(Dataset);
+  for (int col = 0; col < rel.num_columns(); ++col) {
+    bytes += rel.num_rows() * sizeof(Dictionary::Code);
+    const Dictionary& dict = rel.dictionary(col);
+    for (Dictionary::Code c = 0; c < dict.size(); ++c) {
+      bytes += sizeof(std::string) + dict.Lookup(c).size();
+    }
+  }
+  for (const std::string& fd : data.clean_fds) {
+    bytes += sizeof(std::string) + fd.size();
+  }
+  for (const std::string& fd : data.documented_fds) {
+    bytes += sizeof(std::string) + fd.size();
+  }
+  return bytes;
+}
+
+size_t ApproxSessionWorldBytes(const SessionWorld& world) {
+  size_t bytes = sizeof(SessionWorld) + ApproxDatasetBytes(world.data);
+  if (world.space != nullptr) {
+    bytes += world.space->size() * sizeof(FD);
+  }
+  // Each prior holds one Beta (two doubles) per hypothesis.
+  bytes += world.trainer_prior.size() * 2 * sizeof(double);
+  bytes += world.learner_prior.size() * 2 * sizeof(double);
+  bytes += world.pool.size() * sizeof(RowPair);
+  if (world.compliance != nullptr) {
+    bytes += world.compliance->ApproxBytes();
+  }
+  return bytes;
+}
+
+std::string SessionWorldCache::WorldFingerprint(
+    const SessionConfig& config) {
+  std::string out = "world-v1";
+  auto num = [&out](const char* key, double v) {
+    out += "|";
+    out += key;
+    out += "=";
+    out += StrFormat("%.17g", v);
+  };
+  out += "|dataset=" + config.dataset;
+  num("rows", static_cast<double>(config.rows));
+  num("degree", config.violation_degree);
+  auto prior = [&](const char* key, const PriorSpec& spec) {
+    out += std::string("|") + key + "=" +
+           std::to_string(static_cast<int>(spec.kind));
+    num("d", spec.uniform_d);
+    num("strength", spec.strength);
+  };
+  prior("trainer_prior", config.trainer_prior);
+  prior("learner_prior", config.learner_prior);
+  num("cap", static_cast<double>(config.hypothesis_cap));
+  num("max_attrs", config.max_fd_attrs);
+  out += "|seed=" + std::to_string(config.seed);
+  return out;
+}
+
+SessionWorldCache::SessionWorldCache(WorldCacheOptions options)
+    : options_(options) {}
+
+Result<std::shared_ptr<const SessionWorld>> SessionWorldCache::GetWorld(
+    const SessionConfig& config) {
+  // Round-shape fields (pairs_per_round, dataset scheme, ...) are not
+  // part of the world key, so an invalid config could otherwise ride a
+  // hit past BuildSessionWorld's checks.
+  ET_RETURN_NOT_OK(ValidateSessionConfig(config));
+
+  const std::string key = WorldFingerprint(config);
+  const std::string base_key = BaseFingerprint(config);
+  std::shared_ptr<const Dataset> base;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = worlds_.find(key);
+    if (it != worlds_.end()) {
+      ++stats_.hits;
+      ET_COUNTER_INC("serve.world_cache.hit");
+      world_lru_.splice(world_lru_.begin(), world_lru_, it->second.lru_pos);
+      return it->second.world;
+    }
+    ++stats_.misses;
+    ET_COUNTER_INC("serve.world_cache.miss");
+    auto bit = bases_.find(base_key);
+    if (bit != bases_.end()) {
+      ++stats_.base_hits;
+      base_lru_.splice(base_lru_.begin(), base_lru_, bit->second.lru_pos);
+      base = bit->second.data;
+    }
+  }
+
+  // Build outside the lock: concurrent misses on the same key build
+  // identical worlds (everything is a pure function of the config), so
+  // duplicated work is wasted, not wrong, and the first insert wins.
+  ET_TRACE_SCOPE("serve.world_cache.build");
+  Dataset pristine;
+  if (base != nullptr) {
+    pristine = *base;
+  } else {
+    ET_ASSIGN_OR_RETURN(
+        pristine,
+        MakeDatasetByName(config.dataset, config.rows, config.seed));
+    base = std::make_shared<const Dataset>(pristine);
+  }
+  ET_ASSIGN_OR_RETURN(SessionWorld built,
+                      BuildSessionWorldFrom(config, std::move(pristine)));
+  auto world = std::make_shared<const SessionWorld>(std::move(built));
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = worlds_.find(key);
+    if (it != worlds_.end()) {
+      // Lost the race; the resident copy is identical — share it.
+      world_lru_.splice(world_lru_.begin(), world_lru_, it->second.lru_pos);
+      world = it->second.world;
+    } else {
+      WorldEntry entry;
+      entry.world = world;
+      entry.bytes = ApproxSessionWorldBytes(*world);
+      world_lru_.push_front(key);
+      entry.lru_pos = world_lru_.begin();
+      stats_.bytes += entry.bytes;
+      worlds_.emplace(key, std::move(entry));
+    }
+    if (bases_.find(base_key) == bases_.end()) {
+      BaseEntry entry;
+      entry.data = std::move(base);
+      entry.bytes = ApproxDatasetBytes(*entry.data);
+      base_lru_.push_front(base_key);
+      entry.lru_pos = base_lru_.begin();
+      stats_.bytes += entry.bytes;
+      bases_.emplace(base_key, std::move(entry));
+    }
+    EvictLocked();
+    PublishGauge();
+  }
+  return world;
+}
+
+void SessionWorldCache::EvictLocked() {
+  // Worlds dominate the footprint and are rebuildable from a resident
+  // base, so they go first; the most recent entry of each tier is
+  // always retained (it is the one the caller just touched).
+  while (stats_.bytes > options_.byte_budget && worlds_.size() > 1) {
+    auto it = worlds_.find(world_lru_.back());
+    ++stats_.evictions;
+    stats_.evicted_bytes += it->second.bytes;
+    ET_COUNTER_ADD("serve.world_cache.evict_bytes", it->second.bytes);
+    stats_.bytes -= it->second.bytes;
+    worlds_.erase(it);
+    world_lru_.pop_back();
+  }
+  while (stats_.bytes > options_.byte_budget && bases_.size() > 1) {
+    auto it = bases_.find(base_lru_.back());
+    ++stats_.evictions;
+    stats_.evicted_bytes += it->second.bytes;
+    ET_COUNTER_ADD("serve.world_cache.evict_bytes", it->second.bytes);
+    stats_.bytes -= it->second.bytes;
+    bases_.erase(it);
+    base_lru_.pop_back();
+  }
+}
+
+void SessionWorldCache::PublishGauge() const {
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.world_cache.bytes")
+      .Set(static_cast<double>(stats_.bytes));
+}
+
+void SessionWorldCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  worlds_.clear();
+  world_lru_.clear();
+  bases_.clear();
+  base_lru_.clear();
+  stats_.bytes = 0;
+  PublishGauge();
+}
+
+WorldCacheStats SessionWorldCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serve
+}  // namespace et

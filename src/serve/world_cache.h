@@ -1,0 +1,120 @@
+// SessionWorldCache: fingerprinted sharing of built session worlds.
+//
+// session.create pays dataset generation, error injection, hypothesis
+// space enumeration, prior construction, candidate pool build, and the
+// compliance matrix — all of it a pure function of the world-affecting
+// config fields. Loadgen's identical-config fan-out, create after a
+// snapshot restore, and any annotator rejoining the same world repeat
+// that work verbatim, so the cache memoizes it at two tiers:
+//
+//   Tier A — fully built worlds, keyed by every world-affecting field
+//     (dataset, rows, degree, both prior specs, hypothesis cap,
+//     max_fd_attrs, seed). Round-shape fields (pairs_per_round,
+//     max_rounds, policy, gamma, deadline, conv_*, top_k) do not enter
+//     the key: they configure the session around the world, not the
+//     world. A hit shares the immutable SessionWorld outright.
+//   Tier B — pristine pre-error-injection datasets, keyed by
+//     (dataset, rows, seed): MakeDatasetByName consumes only those, so
+//     a Tier-A miss that shares base coordinates (e.g. same seed at a
+//     different violation degree) copies the base and re-injects
+//     instead of regenerating.
+//
+// Shared worlds are immutable (sessions hold shared_ptr<const ...> and
+// copy the learner prior/pool into their Learner), so a hit is
+// bit-identical to a cold build — tests/serve/world_cache_test asserts
+// snapshot byte-equality. LRU with a byte budget like fd/eval_cache;
+// eviction never invalidates a handed-out world. Counters:
+// serve.world_cache.{hit,miss,evict_bytes} and gauge
+// serve.world_cache.bytes.
+
+#ifndef ET_SERVE_WORLD_CACHE_H_
+#define ET_SERVE_WORLD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "serve/session.h"
+
+namespace et {
+namespace serve {
+
+struct WorldCacheOptions {
+  /// Approximate cap on resident bytes (worlds + base datasets); the
+  /// most recently used entry of each tier is always retained.
+  size_t byte_budget = size_t{64} << 20;
+};
+
+struct WorldCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Tier-B hits: world rebuilt, but from a cached pristine dataset.
+  uint64_t base_hits = 0;
+  uint64_t evictions = 0;
+  uint64_t evicted_bytes = 0;
+  size_t bytes = 0;
+};
+
+class SessionWorldCache {
+ public:
+  explicit SessionWorldCache(WorldCacheOptions options = {});
+
+  SessionWorldCache(const SessionWorldCache&) = delete;
+  SessionWorldCache& operator=(const SessionWorldCache&) = delete;
+
+  /// The world of `config`, shared from cache or built (and cached).
+  /// Concurrent misses on the same key may build twice; the builds are
+  /// deterministic and identical, and the first insert wins.
+  Result<std::shared_ptr<const SessionWorld>> GetWorld(
+      const SessionConfig& config);
+
+  /// Drops every entry.
+  void Clear();
+
+  WorldCacheStats stats() const;
+
+  /// Canonical text of the world-affecting config fields (the Tier-A
+  /// key). Distinct from CanonicalSessionConfig, which fingerprints
+  /// the *whole* config for snapshot compatibility.
+  static std::string WorldFingerprint(const SessionConfig& config);
+
+ private:
+  struct WorldEntry {
+    std::shared_ptr<const SessionWorld> world;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+  struct BaseEntry {
+    std::shared_ptr<const Dataset> data;
+    size_t bytes = 0;
+    std::list<std::string>::iterator lru_pos;
+  };
+
+  /// Evicts LRU entries (never the most recent of either tier) until
+  /// bytes_ fits the budget. Caller holds mu_.
+  void EvictLocked();
+  void PublishGauge() const;
+
+  WorldCacheOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, WorldEntry> worlds_;
+  std::list<std::string> world_lru_;  // front = most recently used
+  std::unordered_map<std::string, BaseEntry> bases_;
+  std::list<std::string> base_lru_;
+  WorldCacheStats stats_;
+};
+
+/// Approximate heap footprint of a built world (cache accounting).
+size_t ApproxSessionWorldBytes(const SessionWorld& world);
+
+/// Approximate heap footprint of a dataset (cache accounting).
+size_t ApproxDatasetBytes(const Dataset& data);
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_WORLD_CACHE_H_

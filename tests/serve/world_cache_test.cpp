@@ -1,0 +1,147 @@
+// The session-world cache must be invisible except for speed: a
+// session seated on a cached world is byte-identical — snapshots and
+// all — to one built cold, across rounds of play. Tier B shares the
+// pristine dataset across violation degrees; eviction respects the
+// byte budget without invalidating shared worlds.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/trainer.h"
+#include "serve/session.h"
+#include "serve/world_cache.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+SessionConfig SmallConfig(uint64_t seed = 23) {
+  SessionConfig config;
+  config.dataset = "omdb";
+  config.rows = 120;
+  config.max_rounds = 6;
+  config.pairs_per_round = 3;
+  config.seed = seed;
+  return config;
+}
+
+/// Plays `rounds` labeled rounds with the canonical client-side
+/// trainer, then returns the session's snapshot bytes.
+std::string PlayAndSnapshot(Session* session, size_t rounds) {
+  const SessionWorld& world = session->world();
+  Trainer trainer(world.trainer_prior, TrainerOptions{},
+                  world.trainer_seed);
+  for (size_t r = 0; r < rounds && !session->done(); ++r) {
+    const std::vector<RowPair> sample = session->pending();
+    trainer.Observe(world.data.rel, sample);
+    const std::vector<LabeledPair> labels =
+        trainer.Label(world.data.rel, sample);
+    testing::Unwrap(session->Label(labels, trainer.belief().Top1()));
+  }
+  return session->EncodeSnapshot();
+}
+
+TEST(WorldCacheTest, WarmCreateIsByteIdenticalToCold) {
+  const SessionConfig config = SmallConfig();
+  auto cold = testing::Unwrap(Session::Create(config));
+
+  SessionWorldCache cache;
+  auto miss = testing::Unwrap(Session::Create(config, &cache));
+  auto hit = testing::Unwrap(Session::Create(config, &cache));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // Same world contents, same first sample, and — after identical
+  // labeled rounds — the same snapshot, byte for byte.
+  EXPECT_EQ(hit->world().pool.size(), cold->world().pool.size());
+  ASSERT_EQ(hit->pending().size(), cold->pending().size());
+  for (size_t i = 0; i < hit->pending().size(); ++i) {
+    EXPECT_TRUE(hit->pending()[i] == cold->pending()[i]);
+  }
+  const std::string cold_snap = PlayAndSnapshot(cold.get(), 3);
+  const std::string miss_snap = PlayAndSnapshot(miss.get(), 3);
+  const std::string hit_snap = PlayAndSnapshot(hit.get(), 3);
+  EXPECT_EQ(cold_snap, miss_snap);
+  EXPECT_EQ(cold_snap, hit_snap);
+}
+
+TEST(WorldCacheTest, RestoreSharesTheCachedWorld) {
+  SessionWorldCache cache;
+  const SessionConfig config = SmallConfig();
+  auto session = testing::Unwrap(Session::Create(config, &cache));
+  const std::string snap = PlayAndSnapshot(session.get(), 2);
+
+  // The restore rebuilds from the embedded config; with the cache it
+  // shares the already-built world (a hit, not a rebuild) and resumes
+  // to the identical snapshot.
+  auto restored = testing::Unwrap(Session::Restore(snap, &cache));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(restored->EncodeSnapshot(), snap);
+}
+
+TEST(WorldCacheTest, DegreeChangeReusesThePristineBase) {
+  SessionWorldCache cache;
+  SessionConfig a = SmallConfig();
+  a.violation_degree = 0.10;
+  SessionConfig b = SmallConfig();
+  b.violation_degree = 0.25;
+  testing::Unwrap(cache.GetWorld(a));
+  testing::Unwrap(cache.GetWorld(b));
+  // Different worlds (two misses), one shared generated dataset.
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().base_hits, 1u);
+  EXPECT_NE(SessionWorldCache::WorldFingerprint(a),
+            SessionWorldCache::WorldFingerprint(b));
+}
+
+TEST(WorldCacheTest, RoundShapeFieldsShareOneWorld) {
+  SessionWorldCache cache;
+  SessionConfig a = SmallConfig();
+  SessionConfig b = SmallConfig();
+  b.pairs_per_round = 5;
+  b.max_rounds = 12;
+  b.policy = "us";
+  b.gamma = 0.9;
+  // The world is the same; only the session around it differs.
+  EXPECT_EQ(SessionWorldCache::WorldFingerprint(a),
+            SessionWorldCache::WorldFingerprint(b));
+  auto first = testing::Unwrap(cache.GetWorld(a));
+  auto second = testing::Unwrap(cache.GetWorld(b));
+  EXPECT_EQ(first.get(), second.get());
+}
+
+TEST(WorldCacheTest, InvalidConfigRejectedEvenWhenWorldIsResident) {
+  SessionWorldCache cache;
+  testing::Unwrap(cache.GetWorld(SmallConfig()));
+  SessionConfig bad = SmallConfig();
+  bad.pairs_per_round = 0;  // not part of the world key
+  EXPECT_FALSE(cache.GetWorld(bad).ok());
+}
+
+TEST(WorldCacheTest, EvictsToBudgetButKeepsTheNewestWorld) {
+  WorldCacheOptions options;
+  options.byte_budget = 1;  // nothing fits; MRU entries still retained
+  SessionWorldCache cache(options);
+  auto a = testing::Unwrap(cache.GetWorld(SmallConfig(23)));
+  auto b = testing::Unwrap(cache.GetWorld(SmallConfig(24)));
+  const WorldCacheStats stats = cache.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  EXPECT_GT(stats.evicted_bytes, 0u);
+  // The newest world stayed resident...
+  testing::Unwrap(cache.GetWorld(SmallConfig(24)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // ...and the evicted one is rebuilt on demand (a miss, not an error).
+  testing::Unwrap(cache.GetWorld(SmallConfig(23)));
+  EXPECT_EQ(cache.stats().misses, 3u);
+  // Shared handles outlive eviction.
+  EXPECT_GT(a->pool.size(), 0u);
+  EXPECT_GT(b->pool.size(), 0u);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

@@ -9,7 +9,11 @@
 // against a running server: each session's client rebuilds the same
 // deterministic world the server does (BuildSessionWorld), checks the
 // server's canonical trainer prior byte-for-byte, then plays its rounds
-// — Observe, declare, label — over the wire. Every response is checked
+// — Observe, declare, label — over the wire. Client-side worlds are
+// built up front, before the wall-clock timer starts: world
+// construction is test fixture, not load, and interleaving those CPU
+// bursts with in-flight requests would perturb the very latencies
+// being measured. Every response is checked
 // for lost or duplicated state (round and label counters must advance
 // exactly once per request); kUnavailable rejections are retried by the
 // client library and reported as degradation, not failure. Emits
@@ -124,10 +128,9 @@ Status CheckTrainerPrior(const obs::JsonValue& result,
 }
 
 Status RunOneSession(const std::string& host, int port,
-                     serve::SessionConfig config, size_t snapshot_every,
-                     WorkerStats* stats) {
-  ET_ASSIGN_OR_RETURN(serve::SessionWorld world,
-                      serve::BuildSessionWorld(config));
+                     const serve::SessionConfig& config,
+                     const serve::SessionWorld& world,
+                     size_t snapshot_every, WorkerStats* stats) {
   ET_ASSIGN_OR_RETURN(std::unique_ptr<serve::Client> client,
                       serve::Client::Connect(host, port));
 
@@ -305,6 +308,28 @@ int main(int argc, char** argv) {
   const uint64_t base_seed =
       static_cast<uint64_t>(flags.GetInt("seed", 42));
 
+  // Build every session's client-side world before the clock starts:
+  // these are the annotators' fixtures, and constructing them mid-run
+  // would steal CPU from the requests whose latency we are measuring.
+  std::vector<serve::SessionConfig> configs;
+  std::vector<serve::SessionWorld> worlds;
+  configs.reserve(sessions);
+  worlds.reserve(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    serve::SessionConfig config = base;
+    // Same derivation as experiment repetitions: session i replays
+    // repetition-0 of seed base+1000003*i.
+    config.seed = base_seed + 1000003ULL * i;
+    Result<serve::SessionWorld> world = serve::BuildSessionWorld(config);
+    if (!world.ok()) {
+      std::fprintf(stderr, "et_loadgen: building world for session %zu: %s\n",
+                   i, world.status().ToString().c_str());
+      return 1;
+    }
+    configs.push_back(std::move(config));
+    worlds.push_back(std::move(*world));
+  }
+
   std::atomic<size_t> next_session{0};
   std::vector<WorkerStats> stats(std::max<size_t>(1, concurrency));
   const double wall_start = NowMs();
@@ -316,11 +341,7 @@ int main(int argc, char** argv) {
         const size_t i =
             next_session.fetch_add(1, std::memory_order_relaxed);
         if (i >= sessions) return;
-        serve::SessionConfig config = base;
-        // Same derivation as experiment repetitions: session i replays
-        // repetition-0 of seed base+1000003*i.
-        config.seed = base_seed + 1000003ULL * i;
-        const Status st = RunOneSession(host, port, config,
+        const Status st = RunOneSession(host, port, configs[i], worlds[i],
                                         snapshot_every, &stats[w]);
         if (!st.ok()) {
           stats[w].failures.push_back("session " + std::to_string(i) +

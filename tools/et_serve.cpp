@@ -26,6 +26,7 @@
 
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "common/thread_pool.h"
@@ -50,6 +51,8 @@ void Usage() {
       "  --threads=N (worker threads; 0 = all cores)\n"
       "  --max-sessions=N --max-inflight=N --retry-after-ms=MS\n"
       "  --deadline-ms=MS (default per-session deadline; 0 = none)\n"
+      "  --world-cache-mb=MB (or ET_WORLD_CACHE; shared session-world\n"
+      "  cache budget, 0 = off; default 64)\n"
       "  --snapshot-dir=DIR (enables session.snapshot/restore)\n"
       "  --stats-port=N (-1 = off; 0 = ephemeral; prints 'stats on')\n"
       "  --stats-interval-ms=MS (delta snapshotter cadence)\n"
@@ -107,6 +110,23 @@ int main(int argc, char** argv) {
   options.sessions.retry_after_ms = flags.GetDouble("retry-after-ms", 25.0);
   options.sessions.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   options.sessions.snapshot_dir = flags.GetString("snapshot-dir", "");
+  {
+    // Budget of the shared session-world cache, in MiB (0 disables).
+    const std::string world_mb =
+        flags.GetOrEnv("world-cache-mb", "ET_WORLD_CACHE");
+    double mb = 64.0;
+    if (!world_mb.empty()) {
+      char* end = nullptr;
+      mb = std::strtod(world_mb.c_str(), &end);
+      if (end == world_mb.c_str() || mb < 0.0) {
+        std::fprintf(stderr, "bad --world-cache-mb '%s'\n",
+                     world_mb.c_str());
+        return 2;
+      }
+    }
+    options.sessions.world_cache_bytes =
+        static_cast<size_t>(mb * 1024.0 * 1024.0);
+  }
   options.slow_request_ms = flags.GetDouble("slow-request-ms", 0.0);
   options.stats_interval_ms =
       static_cast<uint64_t>(flags.GetInt("stats-interval-ms", 1000));

@@ -132,6 +132,21 @@ void RenderFrame(const obs::JsonValue& doc) {
       }
     }
     if (!faults.empty()) std::printf("faults:%s\n", faults.c_str());
+    // Hot-path cache effectiveness: shared session worlds and
+    // incremental vs full candidate rescoring.
+    const double wc_hit = NumAt(counters, "serve.world_cache.hit");
+    const double wc_miss = NumAt(counters, "serve.world_cache.miss");
+    const double sc_full = NumAt(counters, "core.score.full");
+    const double sc_inc = NumAt(counters, "core.score.incremental");
+    if (wc_hit + wc_miss + sc_full + sc_inc > 0) {
+      const obs::JsonValue* gauges = doc.Find("gauges");
+      std::printf("caches: world hit=%.0f miss=%.0f evict_b=%.0f "
+                  "bytes=%.0f  score full=%.0f incr=%.0f\n",
+                  wc_hit, wc_miss,
+                  NumAt(counters, "serve.world_cache.evict_bytes"),
+                  NumAt(gauges, "serve.world_cache.bytes"), sc_full,
+                  sc_inc);
+    }
   }
 
   const obs::JsonValue* sessions = doc.Find("sessions");
