@@ -17,6 +17,16 @@ namespace {
 /// loops detect it and run inline instead of re-entering the pool.
 thread_local int g_parallel_depth = 0;
 
+/// True on threads owned by a ThreadPool. A ParallelFor on such a
+/// thread must not block on queued chunks: every other worker may be
+/// occupied by tasks doing the same (the serving layer runs whole
+/// request handlers on the global pool), and a pool smaller than
+/// Parallelism() — one hardware thread with --threads=4 — would
+/// deadlock on the very first loop. Inline execution is always safe:
+/// chunk boundaries are a pure function of (n, Parallelism()), so
+/// per-index output is bit-identical either way.
+thread_local bool g_pool_worker = false;
+
 std::atomic<uint64_t> g_uncaught_task_exceptions{0};
 
 std::mutex& ChunkHookMutex() {
@@ -82,6 +92,7 @@ void ThreadPool::Submit(std::function<void()> task) {
 }
 
 void ThreadPool::WorkerLoop() {
+  g_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -127,7 +138,7 @@ void ParallelFor(size_t n,
                  const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
   const size_t threads = static_cast<size_t>(Parallelism());
-  if (threads <= 1 || n < 2 || g_parallel_depth > 0) {
+  if (threads <= 1 || n < 2 || g_parallel_depth > 0 || g_pool_worker) {
     ++g_parallel_depth;
     try {
       fn(0, n);

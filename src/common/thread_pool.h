@@ -77,7 +77,11 @@ void SetParallelism(int n);
 /// Chunk 0 runs on the calling thread; the rest on the global pool.
 /// Blocks until every chunk finishes. The first exception (by chunk
 /// index) is rethrown on the caller. Runs inline when T == 1, when
-/// n < 2, or when already inside a ParallelFor chunk.
+/// n < 2, when already inside a ParallelFor chunk, or when called from
+/// a pool worker thread — a worker blocking on queued chunks can
+/// deadlock the pool (all workers waiting, nobody left to run the
+/// chunks), and the partition is boundary-deterministic so inline
+/// execution yields bit-identical per-index output.
 void ParallelFor(size_t n,
                  const std::function<void(size_t begin, size_t end)>& fn);
 

@@ -12,11 +12,14 @@
 #include <cstring>
 #include <thread>
 
+#include "robustness/retry.h"
+
 namespace et {
 namespace serve {
+namespace {
 
-Result<std::unique_ptr<Client>> Client::Connect(
-    const std::string& host, int port, const ClientOptions& options) {
+/// One connect attempt; returns the connected fd.
+Result<int> DialOnce(const std::string& host, int port) {
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
@@ -37,7 +40,59 @@ Result<std::unique_ptr<Client>> Client::Connect(
   }
   const int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return std::unique_ptr<Client>(new Client(fd, options));
+  return fd;
+}
+
+/// Dials with the capped-jitter retry policy until `deadline_ms` from
+/// now. The op lambda converts a passed deadline into the non-retryable
+/// kDeadlineExceeded so the retry loop stops on its own; max_attempts
+/// is effectively unbounded — the deadline is the budget.
+Result<int> DialWithDeadline(const std::string& host, int port,
+                             double deadline_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(deadline_ms));
+  BackoffOptions backoff;
+  backoff.max_attempts = 1000000;
+  backoff.initial_delay_ms = 5.0;
+  backoff.max_delay_ms = 250.0;
+  return RetryResultWithBackoff<int>(
+      "serve.client.dial",
+      [&]() -> Result<int> {
+        Result<int> fd = DialOnce(host, port);
+        if (!fd.ok() && std::chrono::steady_clock::now() >= deadline) {
+          return Status::DeadlineExceeded(
+              "reconnect deadline exceeded: " + fd.status().message());
+        }
+        return fd;
+      },
+      backoff);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, int port, const ClientOptions& options) {
+  Result<int> fd = options.reconnect_deadline_ms > 0.0
+                       ? DialWithDeadline(host, port,
+                                          options.reconnect_deadline_ms)
+                       : DialOnce(host, port);
+  if (!fd.ok()) return fd.status();
+  return std::unique_ptr<Client>(new Client(*fd, host, port, options));
+}
+
+Status Client::Reconnect() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  ET_ASSIGN_OR_RETURN(
+      fd_, DialWithDeadline(host_, port_, options_.reconnect_deadline_ms));
+  parser_ = FrameParser(options_.max_frame_bytes);
+  buffered_.clear();
+  ++reconnects_;
+  return Status::OK();
 }
 
 Client::~Client() {
@@ -88,6 +143,19 @@ Result<Response> Client::ReadResponse(uint64_t id) {
 
 Result<obs::JsonValue> Client::Call(const std::string& method,
                                     const std::string& params_json) {
+  // With restart tolerance on, kUnavailable is retried against the
+  // same wall-clock budget as reconnects instead of a fixed count: a
+  // recovering server answers kUnavailable for as long as journal
+  // replay takes, which can dwarf max_unavailable_retries worth of
+  // backoff.
+  const auto unavailable_deadline =
+      options_.reconnect_deadline_ms > 0.0
+          ? std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(
+                        options_.reconnect_deadline_ms))
+          : std::chrono::steady_clock::time_point::min();
   for (size_t attempt = 0;; ++attempt) {
     const uint64_t id = next_id_++;
     std::string payload = "{\"id\":" + std::to_string(id) +
@@ -97,11 +165,32 @@ Result<obs::JsonValue> Client::Call(const std::string& method,
       payload += ",\"params\":" + params_json;
     }
     payload += "}";
-    ET_RETURN_NOT_OK(WriteAll(EncodeFrame(payload)));
-    ET_ASSIGN_OR_RETURN(Response response, ReadResponse(id));
+    Status transport = WriteAll(EncodeFrame(payload));
+    Result<Response> read = Status::Internal("request never sent");
+    if (transport.ok()) {
+      read = ReadResponse(id);
+      transport = read.status();
+    }
+    if (!transport.ok()) {
+      if (options_.reconnect_deadline_ms <= 0.0 ||
+          !transport.IsIOError()) {
+        return transport;
+      }
+      // The connection died with this request in flight: the server
+      // may or may not have applied it (a restarted server replays its
+      // journal, so an acked-but-unread response IS applied). Re-dial
+      // so the next call works, but surface the ambiguity — the caller
+      // must resync (session.get) before resending.
+      ET_RETURN_NOT_OK(Reconnect());
+      return Status::IOError(
+          "outcome unknown: connection lost mid-call (reconnected): " +
+          transport.message());
+    }
+    Response response = std::move(*read);
     if (response.ok) return std::move(response.result);
     if (response.code == StatusCode::kUnavailable &&
-        attempt < options_.max_unavailable_retries) {
+        (attempt < options_.max_unavailable_retries ||
+         std::chrono::steady_clock::now() < unavailable_deadline)) {
       ++unavailable_retries_;
       const double backoff_ms =
           std::max(response.retry_after_ms, options_.min_retry_backoff_ms);

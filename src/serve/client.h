@@ -28,6 +28,13 @@ struct ClientOptions {
   /// hint is absent).
   double min_retry_backoff_ms = 1.0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Restart tolerance: when > 0, a refused connect or a connection
+  /// lost mid-call is re-dialed with the robustness/retry capped-jitter
+  /// backoff until this overall deadline. A call interrupted mid-flight
+  /// still fails (kIOError, "outcome unknown") after the reconnect —
+  /// the op may or may not have been applied, so the caller must
+  /// resync (session.get) before resending. <= 0 disables reconnects.
+  double reconnect_deadline_ms = 0.0;
 };
 
 class Client {
@@ -50,20 +57,35 @@ class Client {
   /// reports these as degradation, not failure).
   uint64_t unavailable_retries() const { return unavailable_retries_; }
 
+  /// Successful re-dials after a lost connection (restart survivals).
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
-  Client(int fd, const ClientOptions& options)
-      : fd_(fd), options_(options), parser_(options.max_frame_bytes) {}
+  Client(int fd, std::string host, int port, const ClientOptions& options)
+      : fd_(fd),
+        host_(std::move(host)),
+        port_(port),
+        options_(options),
+        parser_(options.max_frame_bytes) {}
 
   Status WriteAll(const std::string& bytes);
   /// Reads frames until the one whose response id matches `id`.
   Result<Response> ReadResponse(uint64_t id);
 
+  /// Re-dials host_:port_ with capped-jitter backoff until the
+  /// reconnect deadline, replacing fd_ and resetting the frame parser
+  /// (half-received frames from the dead connection are garbage).
+  Status Reconnect();
+
   int fd_;
+  std::string host_;
+  int port_;
   ClientOptions options_;
   FrameParser parser_;
   std::vector<std::string> buffered_;
   uint64_t next_id_ = 1;
   uint64_t unavailable_retries_ = 0;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace serve

@@ -1,0 +1,502 @@
+#include "serve/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "robustness/fault.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kJournalSuffix = ".journal";
+
+/// One-time table for the reflected IEEE polynomial.
+const uint32_t* Crc32Table() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void PutU32Le(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+  out->push_back(static_cast<char>((v >> 16) & 0xFF));
+  out->push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+uint32_t GetU32Le(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+Status WriteAllFd(int fd, const char* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = write(fd, data + off, n - off);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::IOError(std::string("journal write: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  const uint32_t* table = Crc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeJournalRecord(std::string_view payload) {
+  std::string out;
+  out.reserve(8 + payload.size());
+  PutU32Le(&out, static_cast<uint32_t>(payload.size()));
+  PutU32Le(&out, Crc32(payload.data(), payload.size()));
+  out.append(payload);
+  return out;
+}
+
+JournalScan ScanJournalBytes(std::string_view bytes,
+                             size_t max_record_bytes) {
+  JournalScan scan;
+  size_t off = 0;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < 8) {
+      scan.error = "torn record header (" +
+                   std::to_string(bytes.size() - off) + " bytes)";
+      break;
+    }
+    const uint32_t length = GetU32Le(bytes.data() + off);
+    const uint32_t crc = GetU32Le(bytes.data() + off + 4);
+    if (length > max_record_bytes) {
+      scan.error = "record length " + std::to_string(length) +
+                   " exceeds cap of " + std::to_string(max_record_bytes);
+      break;
+    }
+    if (bytes.size() - off - 8 < length) {
+      scan.error = "torn record payload (" + std::to_string(length) +
+                   " announced, " +
+                   std::to_string(bytes.size() - off - 8) + " present)";
+      break;
+    }
+    const char* payload = bytes.data() + off + 8;
+    if (Crc32(payload, length) != crc) {
+      scan.error = "CRC mismatch at offset " + std::to_string(off);
+      break;
+    }
+    scan.records.emplace_back(payload, length);
+    off += 8 + length;
+  }
+  scan.clean_bytes = off;
+  scan.torn = off < bytes.size();
+  return scan;
+}
+
+// --- SessionJournal --------------------------------------------------
+
+SessionJournal::SessionJournal(JournalManager* manager,
+                               std::string session_id, std::string path)
+    : manager_(manager),
+      session_id_(std::move(session_id)),
+      path_(std::move(path)) {}
+
+SessionJournal::~SessionJournal() { Close(); }
+
+void SessionJournal::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  synced_cv_.notify_all();
+}
+
+Status SessionJournal::Append(std::string_view payload) {
+  const std::string record = EncodeJournalRecord(payload);
+  uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!error_.ok()) return error_;
+    if (fd_ < 0) {
+      return Status::FailedPrecondition("journal " + path_ + " is closed");
+    }
+    ET_FAULT_POINT("journal.append");
+    ET_RETURN_NOT_OK(WriteAllFd(fd_, record.data(), record.size()));
+    seq = ++write_seq_;
+    ++appends_since_rewrite_;
+  }
+  ET_COUNTER_INC("serve.journal.append");
+
+  if (manager_->options().sync_ms <= 0.0) return Sync();
+
+  manager_->MarkDirty(shared_from_this());
+  std::unique_lock<std::mutex> lock(mu_);
+  synced_cv_.wait(lock, [&] {
+    return synced_seq_ >= seq || !error_.ok() || fd_ < 0;
+  });
+  if (!error_.ok()) return error_;
+  if (synced_seq_ < seq) {
+    return Status::IOError("journal " + path_ +
+                           " closed before the record was synced");
+  }
+  return Status::OK();
+}
+
+Status SessionJournal::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_.ok()) return error_;
+  if (fd_ < 0 || synced_seq_ == write_seq_) return Status::OK();
+  const Status st = [&] {
+    ET_FAULT_POINT("journal.sync");
+    if (fsync(fd_) != 0) {
+      return Status::IOError(std::string("journal fsync: ") +
+                             std::strerror(errno));
+    }
+    return Status::OK();
+  }();
+  if (!st.ok()) {
+    error_ = st;
+    synced_cv_.notify_all();
+    return st;
+  }
+  synced_seq_ = write_seq_;
+  ET_COUNTER_INC("serve.journal.sync");
+  synced_cv_.notify_all();
+  return Status::OK();
+}
+
+Status SessionJournal::Rewrite(std::string_view payload) {
+  const std::string record = EncodeJournalRecord(payload);
+  const std::string tmp = path_ + ".tmp";
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!error_.ok()) return error_;
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("journal " + path_ + " is closed");
+  }
+  ET_FAULT_POINT("journal.append");
+  const int tmp_fd =
+      open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (tmp_fd < 0) {
+    return Status::IOError("open " + tmp + ": " + std::strerror(errno));
+  }
+  Status st = WriteAllFd(tmp_fd, record.data(), record.size());
+  if (st.ok()) {
+    st = [&] {
+      ET_FAULT_POINT("journal.sync");
+      if (fsync(tmp_fd) != 0) {
+        return Status::IOError(std::string("journal fsync: ") +
+                               std::strerror(errno));
+      }
+      return Status::OK();
+    }();
+  }
+  close(tmp_fd);
+  if (st.ok() && std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    st = Status::IOError("rename " + tmp + " -> " + path_ + ": " +
+                         std::strerror(errno));
+  }
+  if (!st.ok()) {
+    std::remove(tmp.c_str());
+    return st;
+  }
+  // The old fd still points at the unlinked previous file; appends must
+  // land in the rewritten one.
+  const int new_fd = open(path_.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (new_fd < 0) {
+    error_ = Status::IOError("reopen " + path_ + ": " +
+                             std::strerror(errno));
+    synced_cv_.notify_all();
+    return error_;
+  }
+  close(fd_);
+  fd_ = new_fd;
+  // The rename made everything durable; nothing is pending.
+  synced_seq_ = write_seq_;
+  appends_since_rewrite_ = 0;
+  ET_COUNTER_INC("serve.journal.sync");
+  ET_COUNTER_INC("serve.journal.truncated");
+  synced_cv_.notify_all();
+  return Status::OK();
+}
+
+// --- JournalManager --------------------------------------------------
+
+JournalManager::JournalManager(JournalOptions options)
+    : options_(std::move(options)) {
+  RegisterFaultSite("journal.append");
+  RegisterFaultSite("journal.sync");
+  RegisterFaultSite("journal.replay");
+  if (options_.sync_ms > 0.0) {
+    syncer_ = std::thread([this] { SyncerLoop(); });
+  }
+}
+
+JournalManager::~JournalManager() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  dirty_cv_.notify_all();
+  if (syncer_.joinable()) syncer_.join();
+  // Sync stragglers so destruction (clean shutdown) loses nothing.
+  std::vector<std::shared_ptr<SessionJournal>> open;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, weak] : open_) {
+      if (auto journal = weak.lock()) open.push_back(std::move(journal));
+    }
+  }
+  for (const auto& journal : open) (void)journal->Sync();
+}
+
+std::string JournalManager::PathFor(const std::string& session_id) const {
+  return (fs::path(options_.dir) / (session_id + kJournalSuffix)).string();
+}
+
+Result<std::shared_ptr<SessionJournal>> JournalManager::Open(
+    const std::string& session_id, bool truncate) {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create journal dir " + options_.dir +
+                           ": " + ec.message());
+  }
+  const std::string path = PathFor(session_id);
+  const int flags =
+      O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  const int fd = open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " + std::strerror(errno));
+  }
+  std::shared_ptr<SessionJournal> journal(
+      new SessionJournal(this, session_id, path));
+  journal->fd_ = fd;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_[session_id] = journal;
+  }
+  return journal;
+}
+
+Result<std::shared_ptr<SessionJournal>> JournalManager::Create(
+    const std::string& session_id) {
+  return Open(session_id, /*truncate=*/true);
+}
+
+Result<std::shared_ptr<SessionJournal>> JournalManager::OpenExisting(
+    const std::string& session_id) {
+  return Open(session_id, /*truncate=*/false);
+}
+
+void JournalManager::Remove(const std::string& session_id) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = open_.find(session_id);
+    if (it != open_.end()) {
+      if (auto journal = it->second.lock()) journal->Close();
+      open_.erase(it);
+    }
+  }
+  std::error_code ec;
+  fs::remove(PathFor(session_id), ec);
+}
+
+std::string JournalManager::MoveToQuarantine(const std::string& path) {
+  std::error_code ec;
+  for (uint64_t n = 0; n < 10000; ++n) {
+    const std::string dest = path + ".quarantine-" + std::to_string(n);
+    if (fs::exists(dest, ec)) continue;
+    std::error_code rename_ec;
+    fs::rename(path, dest, rename_ec);
+    if (!rename_ec) return dest;
+    ET_LOG(Warn) << "journal quarantine rename " << path << " -> " << dest
+                 << " failed: " << rename_ec.message();
+    return std::string();
+  }
+  return std::string();
+}
+
+void JournalManager::Quarantine(SessionJournal* journal,
+                                const std::string& why) {
+  journal->Close();
+  const std::string dest = MoveToQuarantine(journal->path());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_.erase(journal->session_id());
+    ++quarantined_;
+  }
+  ET_COUNTER_INC("serve.journal.quarantined");
+  ET_LOG(Warn) << "journal " << journal->path() << " quarantined"
+               << (dest.empty() ? "" : " as " + dest) << ": " << why;
+}
+
+void JournalManager::QuarantineFile(const std::string& session_id,
+                                    const std::string& why) {
+  const std::string path = PathFor(session_id);
+  const std::string dest = MoveToQuarantine(path);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++quarantined_;
+  }
+  ET_COUNTER_INC("serve.journal.quarantined");
+  ET_LOG(Warn) << "journal " << path << " quarantined"
+               << (dest.empty() ? "" : " as " + dest) << ": " << why;
+}
+
+uint64_t JournalManager::quarantined() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quarantined_;
+}
+
+std::vector<RecoveredJournal> JournalManager::ScanForRecovery() {
+  std::vector<RecoveredJournal> out;
+  std::error_code ec;
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(options_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= std::strlen(kJournalSuffix)) continue;
+    if (name.rfind(kJournalSuffix) !=
+        name.size() - std::strlen(kJournalSuffix)) {
+      continue;
+    }
+    files.push_back(entry.path().string());
+  }
+  // Deterministic recovery order (directory iteration is not).
+  std::sort(files.begin(), files.end());
+
+  for (const std::string& path : files) {
+    const std::string file = fs::path(path).filename().string();
+    const std::string session_id =
+        file.substr(0, file.size() - std::strlen(kJournalSuffix));
+
+    const Status replay_fault = [] {
+      ET_FAULT_POINT("journal.replay");
+      return Status::OK();
+    }();
+    if (!replay_fault.ok()) {
+      QuarantineFile(session_id, "injected replay fault");
+      continue;
+    }
+
+    std::string bytes;
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        QuarantineFile(session_id, "unreadable journal file");
+        continue;
+      }
+      std::ostringstream ss;
+      ss << in.rdbuf();
+      bytes = ss.str();
+    }
+    JournalScan scan = ScanJournalBytes(bytes, options_.max_record_bytes);
+    if (scan.records.empty()) {
+      // Nothing salvageable — not even a baseline record.
+      QuarantineFile(session_id,
+                     scan.error.empty() ? "empty journal" : scan.error);
+      continue;
+    }
+    RecoveredJournal recovered;
+    recovered.session_id = session_id;
+    recovered.records = std::move(scan.records);
+    if (scan.torn) {
+      // Move the damaged tail aside, keep the clean prefix as the
+      // journal: acked (synced) records always live in the prefix.
+      const std::string dest = MoveToQuarantine(path);
+      if (!dest.empty()) {
+        std::ofstream rewritten(path, std::ios::binary | std::ios::trunc);
+        rewritten.write(bytes.data(),
+                        static_cast<std::streamsize>(scan.clean_bytes));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++quarantined_;
+      }
+      ET_COUNTER_INC("serve.journal.quarantined");
+      ET_LOG(Warn) << "journal " << path << " tail quarantined ("
+                   << scan.error << "); salvaged "
+                   << recovered.records.size() << " records";
+      recovered.tail_quarantined = true;
+    }
+    out.push_back(std::move(recovered));
+  }
+  return out;
+}
+
+void JournalManager::MarkDirty(
+    const std::shared_ptr<SessionJournal>& journal) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!stopping_) {
+      dirty_.insert(journal);
+      dirty_cv_.notify_one();
+      return;
+    }
+  }
+  // Syncer is gone; sync inline so the appender is not stranded.
+  (void)journal->Sync();
+}
+
+void JournalManager::SyncerLoop() {
+  const auto window = std::chrono::duration<double, std::milli>(
+      std::max(options_.sync_ms, 0.1));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    dirty_cv_.wait(lock, [&] { return stopping_ || !dirty_.empty(); });
+    if (stopping_) return;
+    // Let the group-commit window fill before paying the fsyncs.
+    lock.unlock();
+    std::this_thread::sleep_for(window);
+    lock.lock();
+    std::vector<std::shared_ptr<SessionJournal>> batch(dirty_.begin(),
+                                                       dirty_.end());
+    dirty_.clear();
+    lock.unlock();
+    for (const auto& journal : batch) {
+      // A failed sync parks its error on the journal; the waiting
+      // appender surfaces it and the SessionManager quarantines.
+      (void)journal->Sync();
+    }
+    lock.lock();
+    if (stopping_) return;
+  }
+}
+
+}  // namespace serve
+}  // namespace et

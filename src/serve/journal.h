@@ -1,0 +1,248 @@
+// Durable per-session write-ahead journal for the annotation service.
+//
+// Losing a serving process mid-session destroys exactly the state the
+// exploratory-training game exists to build — the accumulated belief
+// and policy state of a long-lived trainer/learner interaction. The
+// journal makes every acked state-mutating wire op durable before its
+// response leaves the server, and because the game loop is
+// deterministic at any thread count, recovery is replay: a restarted
+// server re-applies each session's journaled ops through the normal
+// Session path and arrives at bit-identical state.
+//
+// File layout: one journal per session, `<dir>/<session id>.journal`.
+// A journal is a sequence of CRC-framed records:
+//
+//   [u32 LE payload length][u32 LE CRC32 of payload][payload bytes]
+//
+// Payloads are JSON (see session.cpp for the op record shapes): the
+// first record is a baseline — `create` (full config) or `snap` (a full
+// Session::EncodeSnapshot document) — and every subsequent record is
+// one `label` op carrying the exact wire inputs plus the fingerprint of
+// the post-op session state.
+//
+// Durability: appends are written immediately and group-committed —
+// the appending thread blocks until a shared syncer thread has
+// fsync'd past its record, at most one fsync per journal per
+// `sync_ms` window (`sync_ms <= 0` degrades to fsync-per-append).
+// An acked op is therefore always on disk; a crash can only lose
+// un-acked tails.
+//
+// Snapshot + truncate: every `snapshot_every` label records the
+// SessionManager rewrites the journal as a single `snap` record
+// (tmp file + fsync + atomic rename), bounding replay length.
+//
+// Tear handling at recovery (DESIGN.md §13): records are scanned
+// sequentially; the first unreadable record — short header, oversized
+// length, CRC mismatch, missing bytes — ends the clean prefix. Torn
+// tail bytes are moved to a `.quarantine-<n>` sibling and counted
+// (`serve.journal.quarantined`); the clean prefix is replayed. A
+// journal with no salvageable baseline, or whose replay fails or
+// diverges from the journaled fingerprint, is quarantined whole.
+// Startup never fails because of a damaged journal.
+//
+// Fault sites: `journal.append` (record write), `journal.sync`
+// (fsync), `journal.replay` (per-journal recovery scan).
+
+#ifndef ET_SERVE_JOURNAL_H_
+#define ET_SERVE_JOURNAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+namespace serve {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `n` bytes,
+/// continuing from `seed` (pass the previous return value to chain).
+uint32_t Crc32(const void* data, size_t n, uint32_t seed = 0);
+
+/// Frames one payload as a journal record:
+/// [u32 LE length][u32 LE crc32(payload)][payload].
+std::string EncodeJournalRecord(std::string_view payload);
+
+/// Result of scanning a journal's bytes. `records` is the longest
+/// clean prefix of intact records; `clean_bytes` is its length in
+/// bytes. Anything past it is a torn or corrupt tail.
+struct JournalScan {
+  std::vector<std::string> records;
+  size_t clean_bytes = 0;
+  /// Bytes exist past the clean prefix.
+  bool torn = false;
+  /// Why the scan stopped early (empty when the file was clean).
+  std::string error;
+};
+
+/// Sequentially decodes `bytes`. Never fails: damage ends the clean
+/// prefix and is described in the result. `max_record_bytes` bounds a
+/// single record's announced length (a larger length is damage, not a
+/// record).
+JournalScan ScanJournalBytes(std::string_view bytes,
+                             size_t max_record_bytes);
+
+struct JournalOptions {
+  /// Directory of the per-session journal files (created on demand).
+  std::string dir;
+  /// Group-commit window: appends block until the next batched fsync,
+  /// at most one fsync per journal per window. <= 0 syncs inline on
+  /// every append.
+  double sync_ms = 2.0;
+  /// Upper bound on a single record's payload.
+  size_t max_record_bytes = 16u << 20;
+};
+
+class JournalManager;
+
+/// One session's open journal. Thread-compatible: the SessionManager
+/// serializes access through the per-session entry lock, matching the
+/// record order to the apply order.
+class SessionJournal
+    : public std::enable_shared_from_this<SessionJournal> {
+ public:
+  ~SessionJournal();
+
+  SessionJournal(const SessionJournal&) = delete;
+  SessionJournal& operator=(const SessionJournal&) = delete;
+
+  /// Appends one CRC-framed record and blocks until it is durable
+  /// (fsync'd), honoring the manager's group-commit window. A non-OK
+  /// return means durability is unknown — the caller must quarantine.
+  Status Append(std::string_view payload);
+
+  /// Atomically replaces the journal with the single record `payload`
+  /// (the snapshot+truncate protocol): tmp sibling, fsync, rename over
+  /// the live file, then appends continue on the new file.
+  Status Rewrite(std::string_view payload);
+
+  /// Label records appended since the last Rewrite (or open), used by
+  /// the manager to schedule snapshot+truncate.
+  size_t appends_since_rewrite() const { return appends_since_rewrite_; }
+
+  const std::string& session_id() const { return session_id_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  friend class JournalManager;
+  SessionJournal(JournalManager* manager, std::string session_id,
+                 std::string path);
+
+  /// fsyncs everything written so far; called by the manager's syncer
+  /// (or inline when the window is <= 0). Wakes Append waiters.
+  Status Sync();
+
+  /// Closes the fd (idempotent). Further appends fail.
+  void Close();
+
+  JournalManager* manager_;
+  std::string session_id_;
+  std::string path_;
+
+  std::mutex mu_;
+  std::condition_variable synced_cv_;
+  int fd_ = -1;
+  /// Monotonic append sequence; an append is durable once
+  /// synced_seq_ >= its sequence number.
+  uint64_t write_seq_ = 0;
+  uint64_t synced_seq_ = 0;
+  /// First sync failure; sticky — all later appends fail fast.
+  Status error_ = Status::OK();
+  size_t appends_since_rewrite_ = 0;
+};
+
+/// One recovered journal, ready for replay: the session id (from the
+/// file name) and the clean-prefix records in append order.
+struct RecoveredJournal {
+  std::string session_id;
+  std::vector<std::string> records;
+  /// A torn tail was salvaged away from this journal during the scan.
+  bool tail_quarantined = false;
+};
+
+/// Owns the journal directory: opens per-session journals, runs the
+/// group-commit syncer thread, scans for recovery, and quarantines
+/// damage. Thread-safe.
+class JournalManager {
+ public:
+  explicit JournalManager(JournalOptions options);
+  ~JournalManager();
+
+  JournalManager(const JournalManager&) = delete;
+  JournalManager& operator=(const JournalManager&) = delete;
+
+  const JournalOptions& options() const { return options_; }
+
+  /// Opens a fresh (truncated) journal for `session_id`.
+  Result<std::shared_ptr<SessionJournal>> Create(
+      const std::string& session_id);
+
+  /// Reopens an existing journal for appending, keeping its contents
+  /// (the post-recovery continuation path).
+  Result<std::shared_ptr<SessionJournal>> OpenExisting(
+      const std::string& session_id);
+
+  /// Deletes a session's journal (close / drain / reap: the session
+  /// either no longer exists or survives in the snapshot store).
+  void Remove(const std::string& session_id);
+
+  /// Moves a live journal aside as `<file>.quarantine-<n>`, closes it,
+  /// and counts it. Called when an append or sync fails: the file's
+  /// durability is unknown, so it must never be replayed as truth.
+  void Quarantine(SessionJournal* journal, const std::string& why);
+
+  /// Scans the directory for `*.journal` files and returns every
+  /// salvageable journal for replay. Torn tails are truncated away and
+  /// quarantined as byte files; journals without a readable first
+  /// record are quarantined whole. Damage is counted, never fatal.
+  std::vector<RecoveredJournal> ScanForRecovery();
+
+  /// Quarantines a journal after a failed replay (op error or
+  /// fingerprint divergence): the file is moved aside whole.
+  void QuarantineFile(const std::string& session_id,
+                      const std::string& why);
+
+  /// Quarantine files created by this manager (mirrors the
+  /// serve.journal.quarantined counter).
+  uint64_t quarantined() const;
+
+ private:
+  friend class SessionJournal;
+
+  std::string PathFor(const std::string& session_id) const;
+  Result<std::shared_ptr<SessionJournal>> Open(
+      const std::string& session_id, bool truncate);
+
+  /// Marks a journal dirty for the next group-commit tick.
+  void MarkDirty(const std::shared_ptr<SessionJournal>& journal);
+  void SyncerLoop();
+
+  /// Moves `path` to `<path>.quarantine-<n>` (first free n). Returns
+  /// the destination, empty on failure (the file is left in place but
+  /// still counted — recovery must not trust it either way).
+  std::string MoveToQuarantine(const std::string& path);
+
+  JournalOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable dirty_cv_;
+  std::unordered_set<std::shared_ptr<SessionJournal>> dirty_;
+  /// Journals indexed by session id (weak: entries drop when the
+  /// SessionManager releases them).
+  std::unordered_map<std::string, std::weak_ptr<SessionJournal>> open_;
+  bool stopping_ = false;
+  uint64_t quarantined_ = 0;
+  std::thread syncer_;
+};
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_JOURNAL_H_

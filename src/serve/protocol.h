@@ -21,9 +21,13 @@
 // the backpressure signal — the request was rejected *before any state
 // change*, so retrying it (with a fresh id) is always safe.
 //
-// Methods: session.create, session.label, session.snapshot,
-// session.restore, session.close, server.ping (see session.h for
-// parameter/result shapes, README.md "Serving" for the reference).
+// Methods: session.create, session.label, session.get,
+// session.snapshot, session.restore, session.close, server.ping,
+// admin.drain (see session.h for parameter/result shapes, README.md
+// "Serving" for the reference). session.get is read-only — a client
+// resyncing after a reconnect learns the authoritative round without
+// risking a double-apply; admin.drain starts the same graceful
+// shutdown as SIGTERM (DESIGN.md §13).
 
 #ifndef ET_SERVE_PROTOCOL_H_
 #define ET_SERVE_PROTOCOL_H_

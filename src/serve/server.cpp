@@ -141,6 +141,14 @@ struct Server::Impl {
         // (ECONNABORTED etc.) are per-connection; keep serving.
         return;
       }
+      if (manager.draining()) {
+        // Draining: no new connections — an immediate close tells the
+        // client to retry elsewhere (the Client reconnect loop treats
+        // it like a restart in progress).
+        ET_COUNTER_INC("serve.drain.conns_refused");
+        close(fd);
+        continue;
+      }
       const Status fault = [] {
         try {
           ET_FAULT_POINT("serve.accept");

@@ -1,12 +1,14 @@
 #include "serve/session.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <limits>
 #include <utility>
 
 #include "belief/priors.h"
+#include "common/logging.h"
 #include "common/strings.h"
 #include "core/candidates.h"
 #include "errgen/error_generator.h"
@@ -15,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "robustness/fault.h"
+#include "serve/journal.h"
 #include "serve/stats.h"
 #include "serve/world_cache.h"
 
@@ -830,10 +833,34 @@ SessionManager::SessionManager(const SessionManagerOptions& options)
     world_options.byte_budget = options_.world_cache_bytes;
     worlds_ = std::make_unique<SessionWorldCache>(world_options);
   }
+  if (!options_.journal_dir.empty()) {
+    JournalOptions journal_options;
+    journal_options.dir = options_.journal_dir;
+    journal_options.sync_ms = options_.journal_sync_ms;
+    journals_ = std::make_unique<JournalManager>(journal_options);
+    // Not ready until RecoverFromJournals() has replayed the
+    // directory; early requests are refused kUnavailable, not NotFound.
+    ready_.store(false, std::memory_order_release);
+  }
   RegisterFaultSite("serve.session");
+  // The reaper snapshots before evicting; without a store it would
+  // silently destroy sessions, so it requires one.
+  if (options_.session_idle_ms > 0.0 && store_ != nullptr) {
+    reaper_ = std::thread([this] { ReaperLoop(); });
+  } else if (options_.session_idle_ms > 0.0) {
+    ET_LOG(Warn) << "--session-idle-ms ignored: no snapshot dir to "
+                    "reap sessions into";
+  }
 }
 
-SessionManager::~SessionManager() = default;
+SessionManager::~SessionManager() {
+  {
+    std::lock_guard<std::mutex> lock(reaper_mu_);
+    reaper_stop_ = true;
+  }
+  reaper_cv_.notify_all();
+  if (reaper_.joinable()) reaper_.join();
+}
 
 SessionManager::Stripe& SessionManager::StripeFor(const std::string& id) {
   return *stripes_[std::hash<std::string>()(id) % stripes_.size()];
@@ -867,7 +894,8 @@ size_t SessionManager::ActiveSessions() const {
 }
 
 Status SessionManager::Insert(const std::string& id,
-                              std::unique_ptr<Session> session) {
+                              std::unique_ptr<Session> session,
+                              std::shared_ptr<SessionJournal> journal) {
   // Reserve a slot first so a create racing the cap cannot overshoot.
   size_t count = session_count_.load(std::memory_order_relaxed);
   do {
@@ -895,11 +923,31 @@ Status SessionManager::Insert(const std::string& id,
     it->second->last_activity_ns.store(obs::NowNanos(),
                                        std::memory_order_relaxed);
     it->second->session = std::move(session);
+    it->second->journal = std::move(journal);
   }
   obs::MetricsRegistry::Global()
       .GetGauge("serve.sessions.active")
       .Set(static_cast<double>(session_count_.load(std::memory_order_relaxed)));
   return Status::OK();
+}
+
+std::shared_ptr<SessionManager::Entry> SessionManager::Evict(
+    const std::string& id) {
+  std::shared_ptr<Entry> entry;
+  {
+    Stripe& stripe = StripeFor(id);
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    auto it = stripe.sessions.find(id);
+    if (it == stripe.sessions.end()) return nullptr;
+    entry = it->second;
+    stripe.sessions.erase(it);
+  }
+  session_count_.fetch_sub(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.sessions.active")
+      .Set(static_cast<double>(
+          session_count_.load(std::memory_order_relaxed)));
+  return entry;
 }
 
 void SessionManager::ReserveGeneratedId(const std::string& id) {
@@ -971,6 +1019,21 @@ std::string SessionManager::Handle(const std::string& request_payload,
 }
 
 Result<std::string> SessionManager::Dispatch(const Request& request) {
+  if (!ready_.load(std::memory_order_acquire) &&
+      request.method.rfind("session.", 0) == 0) {
+    return Status::Unavailable("recovering sessions from journals");
+  }
+  // Draining: mutating ops are refused so in-flight work runs dry and
+  // every session can be snapshotted in a quiescent state. Read-only
+  // ops (get/stats/ping) and snapshot keep working so clients can
+  // observe the drain and resync afterwards.
+  if (draining() && (request.method == "session.create" ||
+                     request.method == "session.label" ||
+                     request.method == "session.restore" ||
+                     request.method == "session.close")) {
+    ET_COUNTER_INC("serve.drain.rejected");
+    return Status::Unavailable("server is draining");
+  }
   if (request.method == "session.create") {
     ET_TRACE_SCOPE("serve.session.create");
     return HandleCreate(request.params);
@@ -978,6 +1041,10 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
   if (request.method == "session.label") {
     ET_TRACE_SCOPE("serve.session.label");
     return HandleLabel(request.params);
+  }
+  if (request.method == "session.get") {
+    ET_TRACE_SCOPE("serve.session.get");
+    return HandleGet(request.params);
   }
   if (request.method == "session.snapshot") {
     ET_TRACE_SCOPE("serve.session.snapshot");
@@ -994,6 +1061,10 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
   if (request.method == "stats.scrape") {
     ET_TRACE_SCOPE("serve.stats.scrape");
     return HandleStats(request.params);
+  }
+  if (request.method == "admin.drain") {
+    ET_TRACE_SCOPE("serve.admin.drain");
+    return HandleDrain(request.params);
   }
   if (request.method == "server.ping") {
     obs::JsonWriter w;
@@ -1071,37 +1142,11 @@ std::string SessionStateJson(const std::string& id,
   return w.Release();
 }
 
-}  // namespace
-
-Result<std::string> SessionManager::HandleCreate(
-    const obs::JsonValue& params) {
-  ET_ASSIGN_OR_RETURN(SessionConfig config, DecodeConfig(params));
-  if (config.deadline_ms <= 0.0) {
-    config.deadline_ms = options_.default_deadline_ms;
-  }
-  ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                      Session::Create(config, worlds_.get()));
-  // Serialize the response before publishing the session: afterwards
-  // another worker may already be mutating it. The monotonic counter
-  // cannot collide with itself; restored ids are kept ahead of it by
-  // ReserveGeneratedId.
-  const std::string id =
-      "s-" + std::to_string(
-                 next_session_.fetch_add(1, std::memory_order_relaxed));
-  const std::string result = SessionStateJson(id, *session);
-  ET_RETURN_NOT_OK(Insert(id, std::move(session)));
-  ET_COUNTER_INC("serve.sessions.created");
-  return result;
-}
-
-Result<std::string> SessionManager::HandleLabel(
-    const obs::JsonValue& params) {
-  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
-  ET_ASSIGN_OR_RETURN(const double top_fd_num,
-                      NumField(params, "trainer_top_fd"));
-  ET_ASSIGN_OR_RETURN(const uint64_t top_fd,
-                      CheckedIndex(top_fd_num, "trainer_top_fd"));
-  const obs::JsonValue* labels_json = params.Find("labels");
+/// Parses the wire `labels` array ([row, row, dirty, dirty] entries);
+/// shared by session.label and journal replay, so journaled inputs are
+/// re-validated by exactly the code that accepted them.
+Result<std::vector<LabeledPair>> ParseLabels(
+    const obs::JsonValue* labels_json) {
   if (labels_json == nullptr || !labels_json->is_array()) {
     return Status::InvalidArgument("labels missing or not an array");
   }
@@ -1130,12 +1175,134 @@ Result<std::string> SessionManager::HandleLabel(
     lp.second_dirty = e.array[3].bool_value;
     labels.push_back(lp);
   }
+  return labels;
+}
+
+// --- Journal op records (DESIGN.md §13) ------------------------------
+//
+// Record payloads are JSON objects tagged by "op". The first record of
+// a journal is its baseline — "create" (full config) or "snap" (a full
+// EncodeSnapshot document) — and every later record is one "label" op
+// carrying the exact wire inputs. Each record ends with the
+// fingerprint of the post-op session state; replay verifies the final
+// one against the recovered state.
+
+/// ConfigFingerprint over the full snapshot document: covers learner
+/// posteriors, the RNG stream, trackers, and the pending sample.
+std::string SessionFingerprint(const Session& session) {
+  return ConfigFingerprint(session.EncodeSnapshot());
+}
+
+std::string JournalCreateRecord(const SessionConfig& config,
+                                const std::string& fingerprint) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("op");
+  w.String("create");
+  w.Key("config");
+  EncodeConfig(&w, config);
+  w.Key("fingerprint");
+  w.String(fingerprint);
+  w.EndObject();
+  return w.Release();
+}
+
+std::string JournalSnapRecord(const std::string& snapshot_json,
+                              const std::string& fingerprint) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("op");
+  w.String("snap");
+  w.Key("snapshot");
+  w.String(snapshot_json);
+  w.Key("fingerprint");
+  w.String(fingerprint);
+  w.EndObject();
+  return w.Release();
+}
+
+std::string JournalLabelRecord(const std::vector<LabeledPair>& labels,
+                               size_t trainer_top_fd,
+                               const std::string& fingerprint) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("op");
+  w.String("label");
+  w.Key("trainer_top_fd");
+  w.Uint(trainer_top_fd);
+  w.Key("labels");
+  w.BeginArray();
+  for (const LabeledPair& lp : labels) {
+    w.BeginArray();
+    w.Uint(lp.pair.first);
+    w.Uint(lp.pair.second);
+    w.Bool(lp.first_dirty);
+    w.Bool(lp.second_dirty);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.Key("fingerprint");
+  w.String(fingerprint);
+  w.EndObject();
+  return w.Release();
+}
+
+}  // namespace
+
+Result<std::string> SessionManager::HandleCreate(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(SessionConfig config, DecodeConfig(params));
+  if (config.deadline_ms <= 0.0) {
+    config.deadline_ms = options_.default_deadline_ms;
+  }
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                      Session::Create(config, worlds_.get()));
+  // Serialize the response before publishing the session: afterwards
+  // another worker may already be mutating it. The monotonic counter
+  // cannot collide with itself; restored ids are kept ahead of it by
+  // ReserveGeneratedId.
+  const std::string id =
+      "s-" + std::to_string(
+                 next_session_.fetch_add(1, std::memory_order_relaxed));
+  const std::string result = SessionStateJson(id, *session);
+  std::shared_ptr<SessionJournal> journal;
+  if (journals_ != nullptr) {
+    // The create record must be durable before the id leaves the
+    // server: an acked session must survive a crash.
+    ET_ASSIGN_OR_RETURN(journal, journals_->Create(id));
+    const Status appended = journal->Append(JournalCreateRecord(
+        session->config(), SessionFingerprint(*session)));
+    if (!appended.ok()) {
+      journals_->Quarantine(journal.get(), appended.message());
+      return Status::IOError("session journal unavailable: " +
+                             appended.message());
+    }
+  }
+  const Status inserted = Insert(id, std::move(session), journal);
+  if (!inserted.ok()) {
+    if (journals_ != nullptr) journals_->Remove(id);
+    return inserted;
+  }
+  ET_COUNTER_INC("serve.sessions.created");
+  return result;
+}
+
+Result<std::string> SessionManager::HandleLabel(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  ET_ASSIGN_OR_RETURN(const double top_fd_num,
+                      NumField(params, "trainer_top_fd"));
+  ET_ASSIGN_OR_RETURN(const uint64_t top_fd,
+                      CheckedIndex(top_fd_num, "trainer_top_fd"));
+  ET_ASSIGN_OR_RETURN(const std::vector<LabeledPair> labels,
+                      ParseLabels(params.Find("labels")));
 
   std::shared_ptr<Entry> entry = FindEntry(id);
   if (entry == nullptr) {
     return Status::NotFound("session " + id + " not found");
   }
   LabelOutcome out;
+  Status journal_failure = Status::OK();
   {
     BusyGuard busy(entry->busy);
     std::lock_guard<std::mutex> lock(entry->mu);
@@ -1144,6 +1311,40 @@ Result<std::string> SessionManager::HandleLabel(
     }
     ET_ASSIGN_OR_RETURN(
         out, entry->session->Label(labels, static_cast<size_t>(top_fd)));
+    if (entry->journal != nullptr) {
+      // Journal the applied op before the response leaves the server
+      // (still under the entry lock, so record order == apply order).
+      // Every journal_snapshot_every appends the journal is instead
+      // rewritten as one snapshot record, bounding replay.
+      Status journaled = Status::OK();
+      if (options_.journal_snapshot_every > 0 &&
+          entry->journal->appends_since_rewrite() + 1 >=
+              options_.journal_snapshot_every) {
+        const std::string snapshot = entry->session->EncodeSnapshot();
+        journaled = entry->journal->Rewrite(
+            JournalSnapRecord(snapshot, ConfigFingerprint(snapshot)));
+      } else {
+        journaled = entry->journal->Append(JournalLabelRecord(
+            labels, static_cast<size_t>(top_fd),
+            SessionFingerprint(*entry->session)));
+      }
+      if (!journaled.ok()) {
+        // The op is applied but not durable; the journal's durability
+        // is unknown from here on. Quarantine it and evict the session
+        // — the client gets an IOError (not kUnavailable: state DID
+        // change) and must restore from its last snapshot.
+        journals_->Quarantine(entry->journal.get(), journaled.message());
+        entry->journal.reset();
+        entry->session.reset();
+        journal_failure = Status::IOError(
+            "session journal failed (session evicted): " +
+            journaled.message());
+      }
+    }
+  }
+  if (!journal_failure.ok()) {
+    Evict(id);
+    return journal_failure;
   }
   entry->round.store(out.round, std::memory_order_relaxed);
   entry->labels.store(out.labels_total, std::memory_order_relaxed);
@@ -1243,7 +1444,25 @@ Result<std::string> SessionManager::HandleRestore(
   // create can mint it again.
   ReserveGeneratedId(id);
   const std::string result = SessionStateJson(id, *session);
-  ET_RETURN_NOT_OK(Insert(id, std::move(session)));
+  std::shared_ptr<SessionJournal> journal;
+  if (journals_ != nullptr) {
+    // Baseline the journal on the restored state (re-encoded, so the
+    // journal and the live session agree byte-for-byte).
+    ET_ASSIGN_OR_RETURN(journal, journals_->Create(id));
+    const std::string snapshot = session->EncodeSnapshot();
+    const Status appended = journal->Append(
+        JournalSnapRecord(snapshot, ConfigFingerprint(snapshot)));
+    if (!appended.ok()) {
+      journals_->Quarantine(journal.get(), appended.message());
+      return Status::IOError("session journal unavailable: " +
+                             appended.message());
+    }
+  }
+  const Status inserted = Insert(id, std::move(session), journal);
+  if (!inserted.ok()) {
+    if (journals_ != nullptr) journals_->Remove(id);
+    return inserted;
+  }
   ET_COUNTER_INC("serve.sessions.restored");
   return result;
 }
@@ -1251,22 +1470,10 @@ Result<std::string> SessionManager::HandleRestore(
 Result<std::string> SessionManager::HandleClose(
     const obs::JsonValue& params) {
   ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
-  std::shared_ptr<Entry> entry;
-  {
-    Stripe& stripe = StripeFor(id);
-    std::lock_guard<std::mutex> lock(stripe.mu);
-    auto it = stripe.sessions.find(id);
-    if (it == stripe.sessions.end()) {
-      return Status::NotFound("session " + id + " not found");
-    }
-    entry = it->second;
-    stripe.sessions.erase(it);
+  std::shared_ptr<Entry> entry = Evict(id);
+  if (entry == nullptr) {
+    return Status::NotFound("session " + id + " not found");
   }
-  session_count_.fetch_sub(1, std::memory_order_relaxed);
-  obs::MetricsRegistry::Global()
-      .GetGauge("serve.sessions.active")
-      .Set(static_cast<double>(
-          session_count_.load(std::memory_order_relaxed)));
   ET_COUNTER_INC("serve.sessions.closed");
 
   size_t round = 0;
@@ -1281,7 +1488,10 @@ Result<std::string> SessionManager::HandleClose(
       labels_total = entry->session->labels_total();
       entry->session.reset();
     }
+    entry->journal.reset();
   }
+  // The session no longer exists; its journal must not resurrect it.
+  if (journals_ != nullptr) journals_->Remove(id);
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("closed");
@@ -1345,6 +1555,274 @@ Result<std::string> SessionManager::HandleStats(
   }
   return Status::InvalidArgument("unknown format '" + format +
                                  "' (use json|prometheus)");
+}
+
+Result<std::string> SessionManager::HandleGet(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  std::shared_ptr<Entry> entry = FindEntry(id);
+  if (entry == nullptr) {
+    return Status::NotFound("session " + id + " not found");
+  }
+  BusyGuard busy(entry->busy);
+  std::lock_guard<std::mutex> lock(entry->mu);
+  if (entry->session == nullptr) {
+    return Status::NotFound("session " + id + " closed");
+  }
+  // Read-only: a client resyncing after a reconnect learns the round
+  // it must resume from (and the pending sample) without mutating
+  // anything.
+  return SessionStateJson(id, *entry->session);
+}
+
+Result<std::string> SessionManager::HandleDrain(const obs::JsonValue&) {
+  BeginDrain();
+  // Only the flag flips here; the serving binary's main loop observes
+  // draining() and runs the full Drain + exit sequence outside any
+  // worker thread.
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("draining");
+  w.Bool(true);
+  w.Key("active_sessions");
+  w.Uint(ActiveSessions());
+  w.Key("inflight");
+  w.Uint(InflightRequests());
+  w.EndObject();
+  return w.Release();
+}
+
+void SessionManager::BeginDrain() {
+  if (!draining_.exchange(true, std::memory_order_acq_rel)) {
+    ET_COUNTER_INC("serve.drain.begun");
+  }
+}
+
+Status SessionManager::Drain(double deadline_ms) {
+  BeginDrain();
+  const uint64_t start = obs::NowNanos();
+  bool timed_out = false;
+  // The dispatcher refuses new mutating work; wait for what was
+  // already admitted.
+  while (InflightRequests() > 0) {
+    if (deadline_ms > 0.0 &&
+        static_cast<double>(obs::NowNanos() - start) / 1e6 >
+            deadline_ms) {
+      timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<std::string> ids;
+  for (const SessionStats& s : SnapshotSessionStats()) ids.push_back(s.id);
+  size_t stuck = 0;
+  for (const std::string& id : ids) {
+    std::shared_ptr<Entry> entry = FindEntry(id);
+    if (entry == nullptr) continue;
+    std::unique_lock<std::mutex> lock(entry->mu, std::defer_lock);
+    if (timed_out) {
+      // Past the watchdog an in-flight op may hold this lock forever;
+      // don't wedge the drain behind it. The session stays live and
+      // its journal can still recover it.
+      if (!lock.try_lock()) {
+        ++stuck;
+        continue;
+      }
+    } else {
+      lock.lock();
+    }
+    if (entry->session == nullptr) continue;
+    if (store_ != nullptr) {
+      const Status saved =
+          store_->Save("sess-" + id, entry->session->EncodeSnapshot());
+      if (!saved.ok()) {
+        // Leave the session (and its journal) in place: the journal
+        // still recovers it after the process exits.
+        ET_LOG(Warn) << "drain: snapshot of session " << id
+                     << " failed: " << saved.ToString();
+        ++stuck;
+        continue;
+      }
+      ET_COUNTER_INC("serve.drain.snapshotted");
+    }
+    entry->session.reset();
+    entry->journal.reset();
+    lock.unlock();
+    Evict(id);
+    if (journals_ != nullptr) journals_->Remove(id);
+  }
+  if (timed_out || stuck > 0) {
+    return Status::DeadlineExceeded(
+        "drain deadline exceeded with " + std::to_string(stuck) +
+        " sessions still busy or unsnapshotted");
+  }
+  ET_COUNTER_INC("serve.drain.completed");
+  return Status::OK();
+}
+
+size_t SessionManager::ReapIdleSessions() {
+  if (store_ == nullptr || options_.session_idle_ms <= 0.0 ||
+      draining()) {
+    return 0;
+  }
+  const uint64_t now = obs::NowNanos();
+  const double idle_ms = options_.session_idle_ms;
+  size_t reaped = 0;
+  for (const SessionStats& s : SnapshotSessionStats()) {
+    if (s.busy > 0 || s.last_activity_age_ms < idle_ms) continue;
+    std::shared_ptr<Entry> entry = FindEntry(s.id);
+    if (entry == nullptr) continue;
+    std::unique_lock<std::mutex> lock(entry->mu, std::defer_lock);
+    // Never wait behind a live op — an idle session's lock is free.
+    if (!lock.try_lock()) continue;
+    if (entry->session == nullptr) continue;
+    // Re-check under the lock: the session may have progressed between
+    // the stats snapshot and here.
+    const uint64_t last =
+        entry->last_activity_ns.load(std::memory_order_relaxed);
+    if (now <= last ||
+        static_cast<double>(now - last) / 1e6 < idle_ms) {
+      continue;
+    }
+    const Status saved =
+        store_->Save("sess-" + s.id, entry->session->EncodeSnapshot());
+    if (!saved.ok()) {
+      // Reaping exists to save memory, never to lose state: without a
+      // snapshot the session stays live.
+      ET_LOG(Warn) << "reaper: snapshot of session " << s.id
+                   << " failed: " << saved.ToString();
+      continue;
+    }
+    entry->session.reset();
+    entry->journal.reset();
+    lock.unlock();
+    Evict(s.id);
+    if (journals_ != nullptr) journals_->Remove(s.id);
+    ET_COUNTER_INC("serve.session.reaped");
+    ++reaped;
+  }
+  return reaped;
+}
+
+void SessionManager::ReaperLoop() {
+  const auto period = std::chrono::duration<double, std::milli>(
+      std::max(options_.session_idle_ms / 4.0, 10.0));
+  std::unique_lock<std::mutex> lock(reaper_mu_);
+  while (!reaper_stop_) {
+    reaper_cv_.wait_for(lock, period);
+    if (reaper_stop_) return;
+    lock.unlock();
+    ReapIdleSessions();
+    lock.lock();
+  }
+}
+
+uint64_t SessionManager::JournalQuarantined() const {
+  return journals_ == nullptr ? 0 : journals_->quarantined();
+}
+
+size_t SessionManager::RecoverFromJournals() {
+  if (journals_ == nullptr) {
+    ready_.store(true, std::memory_order_release);
+    return 0;
+  }
+  size_t recovered = 0;
+  for (const RecoveredJournal& journal : journals_->ScanForRecovery()) {
+    const Result<bool> live = ReplayJournal(journal);
+    if (!live.ok()) {
+      journals_->QuarantineFile(journal.session_id,
+                                live.status().message());
+      continue;
+    }
+    if (*live) ++recovered;
+  }
+  ready_.store(true, std::memory_order_release);
+  return recovered;
+}
+
+Result<bool> SessionManager::ReplayJournal(
+    const RecoveredJournal& recovered) {
+  std::unique_ptr<Session> session;
+  std::string last_fingerprint;
+  size_t replayed = 0;
+  for (const std::string& record : recovered.records) {
+    ET_ASSIGN_OR_RETURN(const obs::JsonValue doc, obs::ParseJson(record));
+    if (!doc.is_object()) {
+      return Status::InvalidArgument("journal record is not an object");
+    }
+    ET_ASSIGN_OR_RETURN(const std::string op, StrField(doc, "op"));
+    if (op == "create" || op == "snap") {
+      if (session != nullptr) {
+        return Status::InvalidArgument(
+            "baseline record past the journal head");
+      }
+      if (op == "create") {
+        const obs::JsonValue* config_json = doc.Find("config");
+        if (config_json == nullptr || !config_json->is_object()) {
+          return Status::InvalidArgument(
+              "create record has no config object");
+        }
+        ET_ASSIGN_OR_RETURN(const SessionConfig config,
+                            DecodeConfig(*config_json));
+        ET_ASSIGN_OR_RETURN(session,
+                            Session::Create(config, worlds_.get()));
+      } else {
+        ET_ASSIGN_OR_RETURN(const std::string snapshot,
+                            StrField(doc, "snapshot"));
+        ET_ASSIGN_OR_RETURN(session,
+                            Session::Restore(snapshot, worlds_.get()));
+      }
+    } else if (op == "label") {
+      if (session == nullptr) {
+        return Status::InvalidArgument("label record before a baseline");
+      }
+      ET_ASSIGN_OR_RETURN(const double top_fd_num,
+                          NumField(doc, "trainer_top_fd"));
+      ET_ASSIGN_OR_RETURN(const uint64_t top_fd,
+                          CheckedIndex(top_fd_num, "trainer_top_fd"));
+      ET_ASSIGN_OR_RETURN(const std::vector<LabeledPair> labels,
+                          ParseLabels(doc.Find("labels")));
+      const Result<LabelOutcome> out =
+          session->Label(labels, static_cast<size_t>(top_fd));
+      if (!out.ok()) {
+        return Status::InvalidArgument("journaled label op rejected: " +
+                                       out.status().message());
+      }
+    } else {
+      return Status::InvalidArgument("unknown journal op '" + op + "'");
+    }
+    ET_ASSIGN_OR_RETURN(last_fingerprint, StrField(doc, "fingerprint"));
+    ++replayed;
+  }
+  if (session == nullptr) {
+    return Status::InvalidArgument("journal has no records");
+  }
+  // Determinism is the recovery contract: replaying the journaled ops
+  // must land on exactly the journaled state.
+  const std::string snapshot = session->EncodeSnapshot();
+  if (ConfigFingerprint(snapshot) != last_fingerprint) {
+    return Status::InvalidArgument(
+        "replayed state fingerprint " + ConfigFingerprint(snapshot) +
+        " diverges from journaled " + last_fingerprint);
+  }
+  ET_COUNTER_ADD("serve.journal.replayed", replayed);
+
+  ReserveGeneratedId(recovered.session_id);
+  ET_ASSIGN_OR_RETURN(std::shared_ptr<SessionJournal> journal,
+                      journals_->OpenExisting(recovered.session_id));
+  // Re-baseline on the verified state: heals a salvaged prefix and
+  // bounds the next replay.
+  const Status rebased = journal->Rewrite(
+      JournalSnapRecord(snapshot, ConfigFingerprint(snapshot)));
+  if (!rebased.ok()) {
+    journals_->Quarantine(journal.get(), rebased.message());
+    return false;  // already quarantined; not an error for the caller
+  }
+  ET_RETURN_NOT_OK(
+      Insert(recovered.session_id, std::move(session), journal));
+  ET_COUNTER_INC("serve.sessions.recovered");
+  return true;
 }
 
 Status SessionManager::ForceSessionDeadlineForTest(

@@ -30,9 +30,11 @@
 #define ET_SERVE_SESSION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +54,9 @@ namespace et {
 namespace serve {
 
 class SessionWorldCache;
+class SessionJournal;
+class JournalManager;
+struct RecoveredJournal;
 
 /// Everything that determines a session's world and stream. The
 /// defaults mirror ConvergenceConfig so a default session replays a
@@ -223,6 +228,22 @@ struct SessionManagerOptions {
   /// Byte budget of the shared session-world cache (serve/world_cache);
   /// 0 disables caching and every create builds its world cold.
   size_t world_cache_bytes = size_t{64} << 20;
+  /// Write-ahead journal directory (serve/journal); empty disables
+  /// journaling, and a crash loses every unsnapshotted session.
+  std::string journal_dir;
+  /// Journal group-commit window (--journal-sync-ms): appends block
+  /// until the shared syncer's next fsync, at most one fsync per
+  /// journal per window. <= 0 fsyncs inline on every append.
+  double journal_sync_ms = 2.0;
+  /// Snapshot+truncate cadence: after this many label appends a
+  /// session's journal is rewritten as one snapshot record, bounding
+  /// replay length. 0 never truncates.
+  size_t journal_snapshot_every = 16;
+  /// Idle-session reaper (--session-idle-ms): sessions idle longer
+  /// than this are snapshotted to the store and evicted, so a
+  /// returning client restores transparently. <= 0 disables; requires
+  /// snapshot_dir.
+  double session_idle_ms = 0.0;
 };
 
 /// What a handled request turned out to be, reported back to the
@@ -293,10 +314,45 @@ class SessionManager {
   /// Expires a session's watchdog (deterministic deadline tests).
   Status ForceSessionDeadlineForTest(const std::string& session_id);
 
+  /// Crash recovery (DESIGN.md §13): replays every salvageable journal
+  /// in journal_dir through the normal session path, verifies each
+  /// recovered session's state fingerprint against the last journaled
+  /// one, and quarantines damaged or divergent journals instead of
+  /// failing. Call once before serving starts. Returns the number of
+  /// sessions brought live.
+  size_t RecoverFromJournals();
+
+  /// Flips into draining mode: mutating wire ops (create/label/
+  /// restore/close) are refused with kUnavailable + retry_after_ms.
+  /// Idempotent.
+  void BeginDrain();
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  /// Graceful drain: BeginDrain, wait (bounded by `deadline_ms` when
+  /// > 0) for in-flight requests to finish, then snapshot and evict
+  /// every live session (journals removed — the snapshot store is now
+  /// the authority). kDeadlineExceeded when in-flight work outlives
+  /// the watchdog; sessions not safely snapshotted are left in place
+  /// so their journals still recover them.
+  Status Drain(double deadline_ms);
+
+  /// One reaper sweep: snapshots and evicts sessions idle longer than
+  /// session_idle_ms. Returns sessions reaped. Exposed for tests; the
+  /// background reaper calls it on its own cadence.
+  size_t ReapIdleSessions();
+
+  /// Journals quarantined since startup (0 when journaling is off).
+  uint64_t JournalQuarantined() const;
+
  private:
   struct Entry {
     std::mutex mu;
     std::unique_ptr<Session> session;
+    /// The session's write-ahead journal (null when journaling is
+    /// off). Accessed under mu, like the session.
+    std::shared_ptr<SessionJournal> journal;
     // Lock-free mirrors of the session's progress, refreshed after
     // each operation that held mu; stats scrapes read only these.
     std::atomic<uint64_t> round{0};
@@ -316,14 +372,32 @@ class SessionManager {
   Result<std::string> Dispatch(const Request& request);
   Result<std::string> HandleCreate(const obs::JsonValue& params);
   Result<std::string> HandleLabel(const obs::JsonValue& params);
+  Result<std::string> HandleGet(const obs::JsonValue& params);
   Result<std::string> HandleSnapshot(const obs::JsonValue& params);
   Result<std::string> HandleRestore(const obs::JsonValue& params);
   Result<std::string> HandleClose(const obs::JsonValue& params);
   Result<std::string> HandleStats(const obs::JsonValue& params);
+  Result<std::string> HandleDrain(const obs::JsonValue& params);
 
   /// Inserts under the stripe lock; fails (kUnavailable) at
-  /// max_sessions, (kAlreadyExists) on id collision.
-  Status Insert(const std::string& id, std::unique_ptr<Session> session);
+  /// max_sessions, (kAlreadyExists) on id collision. The journal (may
+  /// be null) rides along into the entry.
+  Status Insert(const std::string& id, std::unique_ptr<Session> session,
+                std::shared_ptr<SessionJournal> journal = nullptr);
+
+  /// Removes `id` from its stripe, maintaining the session count and
+  /// gauge. Returns the entry (its session may still be held by an
+  /// in-flight op), or null when absent. Safe to call while holding
+  /// the entry's mu (stripe locks never nest inside entry locks).
+  std::shared_ptr<Entry> Evict(const std::string& id);
+
+  /// Replays one recovered journal. Returns true when the session was
+  /// brought live, false when it was already quarantined inside (the
+  /// caller must not quarantine again); an error status means the
+  /// caller should quarantine the file.
+  Result<bool> ReplayJournal(const RecoveredJournal& recovered);
+
+  void ReaperLoop();
 
   /// Restored ids land in the same "s-<n>" namespace the create
   /// counter mints from; advance the counter past `id` so later
@@ -338,6 +412,17 @@ class SessionManager {
   std::atomic<obs::DeltaSnapshotter*> delta_{nullptr};
   std::unique_ptr<CheckpointStore> store_;  // null when no snapshot_dir
   std::unique_ptr<SessionWorldCache> worlds_;  // null when budget is 0
+  std::unique_ptr<JournalManager> journals_;  // null when no journal_dir
+  /// False between construction and RecoverFromJournals() on a
+  /// journaling manager: session ops answer kUnavailable so a client
+  /// reconnecting into the recovery window retries instead of seeing
+  /// NotFound for a session the replay is about to revive.
+  std::atomic<bool> ready_{true};
+  std::atomic<bool> draining_{false};
+  std::mutex reaper_mu_;
+  std::condition_variable reaper_cv_;
+  bool reaper_stop_ = false;
+  std::thread reaper_;
 };
 
 }  // namespace serve

@@ -1,0 +1,88 @@
+// Shared corpus of adversarial byte streams, fed to both framing
+// decoders in the serving layer: the wire FrameParser (text
+// "<length>\n<payload>\n" frames) and the journal scanner (binary
+// [u32 len][u32 crc][payload] records). The two formats are different
+// on purpose, so most corpus entries are valid for at most one of
+// them — the point is that BOTH decoders must survive every entry:
+// no crash, no hang, no over-read, and damage reported the way each
+// decoder's contract promises (parser poison vs. torn-tail salvage).
+
+#ifndef ET_TESTS_SERVE_FRAME_CORPUS_H_
+#define ET_TESTS_SERVE_FRAME_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "serve/journal.h"
+
+namespace et {
+namespace serve {
+namespace testing {
+
+struct FrameCorpusCase {
+  std::string name;
+  std::string bytes;
+  /// Completed wire frames FrameParser must produce (-1: don't check).
+  int wire_frames;
+  /// FrameParser::Feed must return non-OK somewhere in the stream.
+  bool wire_error;
+  /// Clean journal records ScanJournalBytes must find (-1: don't
+  /// check).
+  int journal_records;
+  /// ScanJournalBytes must report bytes past the clean prefix.
+  bool journal_torn;
+};
+
+inline std::vector<FrameCorpusCase> FrameCorpus() {
+  std::vector<FrameCorpusCase> cases;
+  const auto add = [&](std::string name, std::string bytes,
+                       int wire_frames, bool wire_error,
+                       int journal_records, bool journal_torn) {
+    cases.push_back({std::move(name), std::move(bytes), wire_frames,
+                     wire_error, journal_records, journal_torn});
+  };
+
+  add("empty", "", 0, false, 0, false);
+  // "8\n{...}\n" read as a binary header announces ~578 MB.
+  add("wire_ok", "8\n{\"id\":1}\n", 1, false, 0, true);
+  add("wire_empty_payload", "0\n\n", 1, false, 0, true);
+  add("wire_nondigit_length", "12x\nhello\n", 0, true, 0, true);
+  add("wire_oversize", "99999999999\nx\n", 0, true, 0, true);
+  add("wire_missing_trailer", "3\nabcX", 0, true, 0, true);
+  // Incomplete is not an error for the wire parser — it waits.
+  add("wire_truncated_payload", "10\nhello", 0, false, 0, true);
+  // "3\na\0b" decodes as a 6.3 MB binary length, then runs out of
+  // header bytes.
+  add("wire_nul_payload", std::string("3\na\0b\n", 6), 1, false, 0,
+      true);
+
+  const std::string rec1 = EncodeJournalRecord("{\"op\":\"label\"}");
+  const std::string rec2 = EncodeJournalRecord("{\"op\":\"snap\"}");
+  // Binary length bytes are never ASCII digits here, so the wire
+  // parser must poison instead of looping or over-reading.
+  add("journal_ok", rec1, 0, true, 1, false);
+  add("journal_two", rec1 + rec2, 0, true, 2, false);
+  std::string bad_crc = rec1;
+  bad_crc[bad_crc.size() - 1] ^= 0x01;
+  add("journal_bad_crc", bad_crc, 0, true, 0, true);
+  add("journal_torn_header", std::string("\x05\x00\x00\x00"
+                                         "ABC",
+                                         7),
+      0, true, 0, true);
+  add("journal_salvage_prefix",
+      rec1 + rec2.substr(0, rec2.size() - 3), 0, true, 1, true);
+  add("journal_oversize_len",
+      std::string("\xff\xff\xff\xff\x00\x00\x00\x00"
+                  "AAAA",
+                  12),
+      0, true, 0, true);
+  add("garbage_ff", std::string(16, '\xff'), 0, true, 0, true);
+  add("nul_only", std::string(1, '\0'), 0, true, 0, true);
+  return cases;
+}
+
+}  // namespace testing
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_TESTS_SERVE_FRAME_CORPUS_H_

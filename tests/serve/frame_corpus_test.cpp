@@ -1,0 +1,109 @@
+// Drives the shared adversarial byte corpus (frame_corpus.h) through
+// both framing decoders: the wire FrameParser and the journal
+// scanner. Beyond the per-case expectations, every entry must satisfy
+// the decoders' structural invariants — the parser yields identical
+// results fed whole or byte-at-a-time, and the scanner's clean prefix
+// re-encodes to exactly the bytes it claims to have consumed.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/frame_corpus.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+constexpr size_t kMaxRecordBytes = 16u << 20;
+
+struct WireOutcome {
+  std::vector<std::string> frames;
+  bool error = false;
+};
+
+WireOutcome FeedWhole(const std::string& bytes) {
+  FrameParser parser;
+  WireOutcome out;
+  out.error = !parser.Feed(bytes.data(), bytes.size(), &out.frames).ok();
+  return out;
+}
+
+WireOutcome FeedByteAtATime(const std::string& bytes) {
+  FrameParser parser;
+  WireOutcome out;
+  for (const char c : bytes) {
+    if (!parser.Feed(&c, 1, &out.frames).ok()) {
+      out.error = true;
+      break;
+    }
+  }
+  return out;
+}
+
+TEST(FrameCorpusTest, WireParserMeetsExpectations) {
+  for (const auto& c : testing::FrameCorpus()) {
+    const WireOutcome got = FeedWhole(c.bytes);
+    EXPECT_EQ(got.error, c.wire_error) << c.name;
+    if (c.wire_frames >= 0) {
+      EXPECT_EQ(got.frames.size(), static_cast<size_t>(c.wire_frames))
+          << c.name;
+    }
+  }
+}
+
+TEST(FrameCorpusTest, WireParserIsChunkingIndependent) {
+  for (const auto& c : testing::FrameCorpus()) {
+    const WireOutcome whole = FeedWhole(c.bytes);
+    const WireOutcome bytewise = FeedByteAtATime(c.bytes);
+    EXPECT_EQ(whole.error, bytewise.error) << c.name;
+    EXPECT_EQ(whole.frames, bytewise.frames) << c.name;
+  }
+}
+
+TEST(FrameCorpusTest, JournalScanMeetsExpectations) {
+  for (const auto& c : testing::FrameCorpus()) {
+    const JournalScan scan = ScanJournalBytes(c.bytes, kMaxRecordBytes);
+    if (c.journal_records >= 0) {
+      EXPECT_EQ(scan.records.size(),
+                static_cast<size_t>(c.journal_records))
+          << c.name;
+    }
+    EXPECT_EQ(scan.torn, c.journal_torn) << c.name << ": " << scan.error;
+    if (scan.torn) {
+      EXPECT_FALSE(scan.error.empty()) << c.name;
+    }
+  }
+}
+
+TEST(FrameCorpusTest, JournalCleanPrefixReencodesExactly) {
+  for (const auto& c : testing::FrameCorpus()) {
+    const JournalScan scan = ScanJournalBytes(c.bytes, kMaxRecordBytes);
+    ASSERT_LE(scan.clean_bytes, c.bytes.size()) << c.name;
+    EXPECT_EQ(scan.torn, scan.clean_bytes < c.bytes.size()) << c.name;
+    std::string reencoded;
+    for (const std::string& record : scan.records) {
+      reencoded += EncodeJournalRecord(record);
+    }
+    EXPECT_EQ(reencoded, c.bytes.substr(0, scan.clean_bytes)) << c.name;
+  }
+}
+
+// The corpus poisons the wire parser in several ways; a poisoned
+// parser must keep refusing input instead of resynchronizing on
+// garbage.
+TEST(FrameCorpusTest, PoisonedWireParserStaysPoisoned) {
+  FrameParser parser;
+  std::vector<std::string> frames;
+  ASSERT_FALSE(parser.Feed("x", 1, &frames).ok());
+  const std::string valid = EncodeFrame("{}");
+  EXPECT_FALSE(parser.Feed(valid.data(), valid.size(), &frames).ok());
+  EXPECT_TRUE(frames.empty());
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

@@ -1,0 +1,223 @@
+// Unit tests of the durable session journal (serve/journal): CRC
+// framing, append durability, group commit, snapshot+truncate
+// rewrite, quarantine, and the recovery scan's torn-tail salvage.
+
+#include "serve/journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/et_journal_test_" +
+                          name + "_" + std::to_string(getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+JournalOptions Options(const std::string& dir, double sync_ms = 0.0) {
+  JournalOptions options;
+  options.dir = dir;
+  options.sync_ms = sync_ms;
+  return options;
+}
+
+TEST(Crc32Test, MatchesTheReferenceCheckValue) {
+  // The standard CRC-32/ISO-HDLC check value.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32Test, ChainsAcrossCalls) {
+  const std::string bytes = "the quick brown fox";
+  const uint32_t whole = Crc32(bytes.data(), bytes.size());
+  const uint32_t head = Crc32(bytes.data(), 7);
+  const uint32_t chained = Crc32(bytes.data() + 7, bytes.size() - 7, head);
+  EXPECT_EQ(chained, whole);
+}
+
+TEST(JournalRecordTest, EncodeScanRoundTrip) {
+  const std::string framed = EncodeJournalRecord("{\"op\":\"create\"}") +
+                             EncodeJournalRecord("") +
+                             EncodeJournalRecord("{\"op\":\"label\"}");
+  const JournalScan scan = ScanJournalBytes(framed, 1u << 20);
+  ASSERT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.records[0], "{\"op\":\"create\"}");
+  EXPECT_EQ(scan.records[1], "");
+  EXPECT_EQ(scan.records[2], "{\"op\":\"label\"}");
+  EXPECT_EQ(scan.clean_bytes, framed.size());
+  EXPECT_FALSE(scan.torn);
+  EXPECT_TRUE(scan.error.empty());
+}
+
+TEST(JournalManagerTest, AppendedRecordsAreOnDisk) {
+  const std::string dir = TempDir("append");
+  JournalManager manager(Options(dir));
+  auto journal = testing::Unwrap(manager.Create("s-1"));
+  ET_ASSERT_OK(journal->Append("{\"op\":\"create\"}"));
+  ET_ASSERT_OK(journal->Append("{\"op\":\"label\",\"n\":1}"));
+  const JournalScan scan =
+      ScanJournalBytes(ReadFile(journal->path()), 1u << 20);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1], "{\"op\":\"label\",\"n\":1}");
+  EXPECT_FALSE(scan.torn);
+}
+
+TEST(JournalManagerTest, GroupCommitWindowStillAcksDurably) {
+  const std::string dir = TempDir("group");
+  // A 2 ms window: appends block on the shared syncer, not inline
+  // fsync. Append() returning OK is the durability contract either
+  // way.
+  JournalManager manager(Options(dir, 2.0));
+  auto journal = testing::Unwrap(manager.Create("s-1"));
+  for (int i = 0; i < 8; ++i) {
+    ET_ASSERT_OK(journal->Append("{\"n\":" + std::to_string(i) + "}"));
+  }
+  const JournalScan scan =
+      ScanJournalBytes(ReadFile(journal->path()), 1u << 20);
+  ASSERT_EQ(scan.records.size(), 8u);
+  EXPECT_EQ(scan.records[7], "{\"n\":7}");
+}
+
+TEST(JournalManagerTest, RewriteTruncatesToOneRecord) {
+  const std::string dir = TempDir("rewrite");
+  JournalManager manager(Options(dir));
+  auto journal = testing::Unwrap(manager.Create("s-1"));
+  ET_ASSERT_OK(journal->Append("{\"op\":\"create\"}"));
+  ET_ASSERT_OK(journal->Append("{\"op\":\"label\"}"));
+  EXPECT_EQ(journal->appends_since_rewrite(), 2u);
+
+  ET_ASSERT_OK(journal->Rewrite("{\"op\":\"snap\"}"));
+  EXPECT_EQ(journal->appends_since_rewrite(), 0u);
+  JournalScan scan = ScanJournalBytes(ReadFile(journal->path()), 1u << 20);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0], "{\"op\":\"snap\"}");
+
+  // Appends continue on the rewritten file.
+  ET_ASSERT_OK(journal->Append("{\"op\":\"label\",\"n\":2}"));
+  scan = ScanJournalBytes(ReadFile(journal->path()), 1u << 20);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[1], "{\"op\":\"label\",\"n\":2}");
+}
+
+TEST(JournalManagerTest, QuarantineMovesTheFileAside) {
+  const std::string dir = TempDir("quarantine");
+  JournalManager manager(Options(dir));
+  auto journal = testing::Unwrap(manager.Create("s-1"));
+  ET_ASSERT_OK(journal->Append("{\"op\":\"create\"}"));
+  const std::string path = journal->path();
+  manager.Quarantine(journal.get(), "test-induced");
+  EXPECT_EQ(manager.quarantined(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".quarantine-0"));
+  // The journal is closed: further appends fail rather than writing
+  // to a file recovery will never read.
+  EXPECT_FALSE(journal->Append("{\"op\":\"label\"}").ok());
+}
+
+TEST(JournalManagerTest, ScanForRecoveryReturnsCleanJournals) {
+  const std::string dir = TempDir("scan");
+  {
+    JournalManager writer(Options(dir));
+    auto a = testing::Unwrap(writer.Create("s-1"));
+    ET_ASSERT_OK(a->Append("{\"op\":\"create\"}"));
+    ET_ASSERT_OK(a->Append("{\"op\":\"label\"}"));
+    auto b = testing::Unwrap(writer.Create("s-2"));
+    ET_ASSERT_OK(b->Append("{\"op\":\"create\"}"));
+  }
+  JournalManager manager(Options(dir));
+  std::vector<RecoveredJournal> recovered = manager.ScanForRecovery();
+  ASSERT_EQ(recovered.size(), 2u);
+  // Sorted by file name for deterministic replay order.
+  EXPECT_EQ(recovered[0].session_id, "s-1");
+  EXPECT_EQ(recovered[0].records.size(), 2u);
+  EXPECT_FALSE(recovered[0].tail_quarantined);
+  EXPECT_EQ(recovered[1].session_id, "s-2");
+  EXPECT_EQ(manager.quarantined(), 0u);
+}
+
+TEST(JournalManagerTest, ScanSalvagesATornTail) {
+  const std::string dir = TempDir("torn");
+  const std::string rec1 = EncodeJournalRecord("{\"op\":\"create\"}");
+  const std::string rec2 = EncodeJournalRecord("{\"op\":\"label\"}");
+  WriteFile(dir + "/s-1.journal",
+            rec1 + rec2.substr(0, rec2.size() - 3));
+
+  JournalManager manager(Options(dir));
+  std::vector<RecoveredJournal> recovered = manager.ScanForRecovery();
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].records.size(), 1u);
+  EXPECT_TRUE(recovered[0].tail_quarantined);
+  EXPECT_EQ(manager.quarantined(), 1u);
+  // The torn bytes moved aside; the live journal is the clean prefix.
+  EXPECT_TRUE(
+      std::filesystem::exists(dir + "/s-1.journal.quarantine-0"));
+  EXPECT_EQ(ReadFile(dir + "/s-1.journal"), rec1);
+}
+
+TEST(JournalManagerTest, ScanQuarantinesAJournalWithNoBaseline) {
+  const std::string dir = TempDir("nobase");
+  WriteFile(dir + "/s-1.journal", "not a journal at all");
+  JournalManager manager(Options(dir));
+  EXPECT_TRUE(manager.ScanForRecovery().empty());
+  EXPECT_EQ(manager.quarantined(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/s-1.journal"));
+  EXPECT_TRUE(
+      std::filesystem::exists(dir + "/s-1.journal.quarantine-0"));
+}
+
+TEST(JournalManagerTest, OpenExistingKeepsContents) {
+  const std::string dir = TempDir("reopen");
+  JournalManager manager(Options(dir));
+  {
+    auto journal = testing::Unwrap(manager.Create("s-1"));
+    ET_ASSERT_OK(journal->Append("{\"op\":\"create\"}"));
+  }
+  auto reopened = testing::Unwrap(manager.OpenExisting("s-1"));
+  ET_ASSERT_OK(reopened->Append("{\"op\":\"label\"}"));
+  const JournalScan scan =
+      ScanJournalBytes(ReadFile(reopened->path()), 1u << 20);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0], "{\"op\":\"create\"}");
+  EXPECT_EQ(scan.records[1], "{\"op\":\"label\"}");
+}
+
+TEST(JournalManagerTest, RemoveDeletesTheFile) {
+  const std::string dir = TempDir("remove");
+  JournalManager manager(Options(dir));
+  std::string path;
+  {
+    auto journal = testing::Unwrap(manager.Create("s-1"));
+    ET_ASSERT_OK(journal->Append("{\"op\":\"create\"}"));
+    path = journal->path();
+  }
+  manager.Remove("s-1");
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

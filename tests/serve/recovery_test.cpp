@@ -1,0 +1,296 @@
+// Crash recovery and lifecycle of journaled sessions at the
+// SessionManager level: replay bit-identity against an uninterrupted
+// manager, fingerprint-divergence quarantine, the recovery readiness
+// gate, graceful drain, and the idle-session reaper.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/journal.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+std::string TempDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/et_recovery_test_" +
+                          name + "_" + std::to_string(getpid());
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::string MakeRequest(uint64_t id, const std::string& method,
+                        const std::string& params) {
+  std::string payload = "{\"id\":" + std::to_string(id) +
+                        ",\"method\":\"" + method + "\"";
+  if (!params.empty()) payload += ",\"params\":" + params;
+  payload += "}";
+  return payload;
+}
+
+Response Call(SessionManager* manager, uint64_t id,
+              const std::string& method, const std::string& params = "") {
+  auto resp =
+      ParseResponse(manager->Handle(MakeRequest(id, method, params)));
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+  return resp.ok() ? *resp : Response{};
+}
+
+std::string SmallCreateParams() {
+  return "{\"dataset\":\"omdb\",\"rows\":120,\"max_rounds\":6,"
+         "\"pairs_per_round\":3,\"seed\":\"17\"}";
+}
+
+/// All-clean labels for the pairs the server just served.
+std::string LabelsFor(const obs::JsonValue& pairs) {
+  std::string labels = "[";
+  for (size_t i = 0; i < pairs.array.size(); ++i) {
+    if (i > 0) labels += ",";
+    labels += "[" +
+              std::to_string(int(pairs.array[i].array[0].number)) + "," +
+              std::to_string(int(pairs.array[i].array[1].number)) +
+              ",false,false]";
+  }
+  return labels + "]";
+}
+
+std::string LabelParams(const std::string& id, const std::string& labels) {
+  return "{\"session_id\":\"" + id +
+         "\",\"trainer_top_fd\":0,\"labels\":" + labels + "}";
+}
+
+/// One all-clean label round. `raw` is the exact response payload —
+/// request ids are chosen identically across managers, so equal rounds
+/// must produce byte-identical payloads.
+struct Played {
+  std::string raw;
+  Response resp;
+};
+
+Played PlayRound(SessionManager* manager, uint64_t id,
+                 const std::string& session_id,
+                 const obs::JsonValue& sample) {
+  Played played;
+  played.raw = manager->Handle(MakeRequest(
+      id, "session.label", LabelParams(session_id, LabelsFor(sample))));
+  auto resp = ParseResponse(played.raw);
+  EXPECT_TRUE(resp.ok()) << resp.status().ToString();
+  if (resp.ok()) played.resp = std::move(*resp);
+  return played;
+}
+
+SessionManagerOptions JournalingOptions(const std::string& journal_dir) {
+  SessionManagerOptions options;
+  options.journal_dir = journal_dir;
+  options.journal_sync_ms = 0.0;
+  options.journal_snapshot_every = 4;  // exercise snapshot+truncate
+  return options;
+}
+
+TEST(RecoveryTest, ReplayReachesBitIdenticalState) {
+  // Reference: an uninterrupted, unjournaled manager playing 6 rounds.
+  SessionManager reference{SessionManagerOptions{}};
+  Response ref_created =
+      Call(&reference, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(ref_created.ok) << ref_created.message;
+  const std::string ref_id =
+      ref_created.result.Find("session_id")->string_value;
+  std::vector<std::string> ref_replies;
+  obs::JsonValue sample = *ref_created.result.Find("sample");
+  for (uint64_t round = 1; round <= 6; ++round) {
+    Played reply = PlayRound(&reference, 100 + round, ref_id, sample);
+    ASSERT_TRUE(reply.resp.ok) << reply.resp.message;
+    ref_replies.push_back(reply.raw);
+    sample = *reply.resp.result.Find("next");
+  }
+
+  // Journaled run, killed (manager destroyed, never closed) after
+  // round 3 — past journal_snapshot_every, so the journal on disk is
+  // a snap baseline plus label records.
+  const std::string dir = TempDir("bitident");
+  std::string id;
+  {
+    SessionManager crashed(JournalingOptions(dir));
+    ASSERT_EQ(crashed.RecoverFromJournals(), 0u);
+    Response created =
+        Call(&crashed, 1, "session.create", SmallCreateParams());
+    ASSERT_TRUE(created.ok) << created.message;
+    id = created.result.Find("session_id")->string_value;
+    obs::JsonValue s = *created.result.Find("sample");
+    for (uint64_t round = 1; round <= 3; ++round) {
+      Played reply = PlayRound(&crashed, 100 + round, id, s);
+      ASSERT_TRUE(reply.resp.ok) << reply.resp.message;
+      EXPECT_EQ(reply.raw, ref_replies[round - 1])
+          << "pre-crash round " << round;
+      s = *reply.resp.result.Find("next");
+    }
+  }
+
+  SessionManager recovered(JournalingOptions(dir));
+  ASSERT_EQ(recovered.RecoverFromJournals(), 1u);
+  EXPECT_EQ(recovered.JournalQuarantined(), 0u);
+  EXPECT_EQ(recovered.ActiveSessions(), 1u);
+
+  // The replayed session resumes exactly where the reference is.
+  Response got = Call(&recovered, 50, "session.get",
+                      "{\"session_id\":\"" + id + "\"}");
+  ASSERT_TRUE(got.ok) << got.message;
+  EXPECT_EQ(got.result.Find("round")->number, 3.0);
+  ASSERT_NE(got.result.Find("sample"), nullptr);
+  obs::JsonValue pending = *got.result.Find("sample");
+  for (uint64_t round = 4; round <= 6; ++round) {
+    Played reply = PlayRound(&recovered, 100 + round, id, pending);
+    ASSERT_TRUE(reply.resp.ok) << reply.resp.message;
+    EXPECT_EQ(reply.raw, ref_replies[round - 1])
+        << "post-recovery round " << round;
+    pending = *reply.resp.result.Find("next");
+  }
+}
+
+TEST(RecoveryTest, FingerprintDivergenceQuarantinesTheJournal) {
+  const std::string dir = TempDir("fingerprint");
+  // A syntactically valid journal whose fingerprint cannot match any
+  // replayed state.
+  const std::string record = EncodeJournalRecord(
+      "{\"op\":\"create\",\"config\":" + SmallCreateParams() +
+      ",\"fingerprint\":\"bogus\"}");
+  {
+    std::ofstream out(dir + "/s-1.journal", std::ios::binary);
+    out.write(record.data(), static_cast<std::streamsize>(record.size()));
+  }
+  SessionManager manager(JournalingOptions(dir));
+  EXPECT_EQ(manager.RecoverFromJournals(), 0u);
+  EXPECT_EQ(manager.JournalQuarantined(), 1u);
+  EXPECT_EQ(manager.ActiveSessions(), 0u);
+  EXPECT_TRUE(
+      std::filesystem::exists(dir + "/s-1.journal.quarantine-0"));
+}
+
+TEST(RecoveryTest, SessionOpsAreUnavailableUntilRecoveryFinishes) {
+  const std::string dir = TempDir("readygate");
+  SessionManager manager(JournalingOptions(dir));
+  // The server binds its socket before replay; a client reconnecting
+  // into that window must get the retryable rejection, not NotFound.
+  Response early =
+      Call(&manager, 1, "session.create", SmallCreateParams());
+  EXPECT_FALSE(early.ok);
+  EXPECT_EQ(early.code, StatusCode::kUnavailable);
+  // Non-session ops are not gated.
+  EXPECT_TRUE(Call(&manager, 2, "server.ping").ok);
+
+  manager.RecoverFromJournals();
+  EXPECT_TRUE(
+      Call(&manager, 3, "session.create", SmallCreateParams()).ok);
+}
+
+TEST(RecoveryTest, DrainSnapshotsEverySessionAndRejectsMutations) {
+  const std::string dir = TempDir("drain");
+  SessionManagerOptions options = JournalingOptions(dir + "/journal");
+  options.snapshot_dir = dir + "/snapshots";
+  SessionManager manager(options);
+  manager.RecoverFromJournals();
+
+  Response created =
+      Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok) << created.message;
+  const std::string id = created.result.Find("session_id")->string_value;
+  ASSERT_EQ(manager.ActiveSessions(), 1u);
+
+  manager.BeginDrain();
+  EXPECT_TRUE(manager.draining());
+  Response rejected_create =
+      Call(&manager, 2, "session.create", SmallCreateParams());
+  EXPECT_FALSE(rejected_create.ok);
+  EXPECT_EQ(rejected_create.code, StatusCode::kUnavailable);
+  Response rejected_label =
+      Call(&manager, 3, "session.label",
+           LabelParams(id, LabelsFor(*created.result.Find("sample"))));
+  EXPECT_FALSE(rejected_label.ok);
+  EXPECT_EQ(rejected_label.code, StatusCode::kUnavailable);
+  // Read-only resync stays available mid-drain.
+  EXPECT_TRUE(Call(&manager, 4, "session.get",
+                   "{\"session_id\":\"" + id + "\"}")
+                  .ok);
+
+  ET_ASSERT_OK(manager.Drain(5000.0));
+  EXPECT_EQ(manager.ActiveSessions(), 0u);
+  // The session survives as a snapshot, not as a journal.
+  EXPECT_TRUE(std::filesystem::exists(options.snapshot_dir));
+  size_t snapshots = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.snapshot_dir)) {
+    snapshots += entry.is_regular_file() ? 1 : 0;
+  }
+  EXPECT_GT(snapshots, 0u);
+  size_t journals = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options.journal_dir)) {
+    journals += entry.path().string().find(".journal") !=
+                        std::string::npos &&
+                    entry.path().string().rfind(".quarantine") ==
+                        std::string::npos
+                ? 1
+                : 0;
+  }
+  EXPECT_EQ(journals, 0u);
+
+  // A drained session restores from its snapshot on a fresh manager.
+  SessionManager next(options);
+  next.RecoverFromJournals();
+  Response restored = Call(&next, 1, "session.restore",
+                           "{\"session_id\":\"" + id + "\"}");
+  ASSERT_TRUE(restored.ok) << restored.message;
+  EXPECT_EQ(restored.result.Find("round")->number, 0.0);
+}
+
+TEST(RecoveryTest, IdleReaperEvictsAndRestoreRevives) {
+  const std::string dir = TempDir("reaper");
+  SessionManagerOptions options;
+  options.snapshot_dir = dir + "/snapshots";
+  options.session_idle_ms = 30.0;
+  SessionManager manager(options);
+
+  Response created =
+      Call(&manager, 1, "session.create", SmallCreateParams());
+  ASSERT_TRUE(created.ok) << created.message;
+  const std::string id = created.result.Find("session_id")->string_value;
+  Response labeled =
+      Call(&manager, 2, "session.label",
+           LabelParams(id, LabelsFor(*created.result.Find("sample"))));
+  ASSERT_TRUE(labeled.ok) << labeled.message;
+
+  // Wait out the idle window; the background reaper (or this nudge)
+  // must evict the session after snapshotting it.
+  for (int i = 0; i < 100 && manager.ActiveSessions() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    manager.ReapIdleSessions();
+  }
+  ASSERT_EQ(manager.ActiveSessions(), 0u);
+
+  // The reaped id answers NotFound; restore brings it back with its
+  // progress intact.
+  Response gone = Call(&manager, 3, "session.get",
+                       "{\"session_id\":\"" + id + "\"}");
+  EXPECT_FALSE(gone.ok);
+  EXPECT_EQ(gone.code, StatusCode::kNotFound);
+  Response restored = Call(&manager, 4, "session.restore",
+                           "{\"session_id\":\"" + id + "\"}");
+  ASSERT_TRUE(restored.ok) << restored.message;
+  EXPECT_EQ(restored.result.Find("round")->number, 1.0);
+  EXPECT_EQ(restored.result.Find("labels_total")->number, 3.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

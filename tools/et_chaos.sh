@@ -1,0 +1,201 @@
+#!/usr/bin/env bash
+# et_chaos.sh: kill-mid-load chaos harness for et_serve (DESIGN.md §13).
+#
+#   tools/et_chaos.sh [BUILD_DIR] [THREADS]
+#
+# Four legs, all against the journaling server:
+#
+#   1. reference  — uninterrupted run; its label-stream transcript is
+#      the ground truth, and a SIGTERM drain must exit 0 with the
+#      serve.sessions.active gauge at 0.
+#   2. kill-mid-load — SIGKILL the server once journal progress shows
+#      acked labels while the load generator is mid-run, restart it on
+#      the same journal dir and port, and require: the restart reports
+#      recovered sessions,
+#      the loadgen finishes with zero failures (exactly-once ledger
+#      intact across the reconnect), and its transcript is
+#      byte-identical to the reference.
+#   3. torn-tail  — a journal whose tail is a truncated record must be
+#      quarantined at startup, never fatal.
+#   4. sync-fault — with ET_FAULT-injected journal.sync failures every
+#      failure must map to exactly one quarantined journal:
+#      serve.journal.quarantined == fault.injected.journal.sync.
+#
+# Exits nonzero on the first violated assertion. Needs et_serve_bin and
+# et_loadgen already built in BUILD_DIR.
+set -euo pipefail
+
+BUILD_DIR=${1:-build}
+THREADS=${2:-4}
+# The kill fires as soon as the busiest journal holds this many
+# records (baseline + acked labels). Progress-based rather than a
+# fixed time offset: a fast box finishes the whole run inside any
+# fixed delay, a slow box hasn't acked anything yet — either way a
+# timer kill lands outside the window that proves anything. Two
+# records = at least one label acked with ~SESSIONS*ROUNDS-1 rounds
+# still to go, so the run is guaranteed to be mid-flight.
+KILL_AFTER_RECORDS=${KILL_AFTER_RECORDS:-2}
+SESSIONS=${SESSIONS:-8}
+CONCURRENCY=${CONCURRENCY:-4}
+ROUNDS=${ROUNDS:-50}
+
+SERVE="$BUILD_DIR/tools/et_serve"
+LOADGEN="$BUILD_DIR/tools/et_loadgen"
+test -x "$SERVE" || { echo "missing $SERVE (build et_serve_bin)"; exit 2; }
+test -x "$LOADGEN" || { echo "missing $LOADGEN (build et_loadgen)"; exit 2; }
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/et_chaos.XXXXXX")
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# start_server LOG METRICS ARGS... — prints nothing; sets SERVER_PID
+# and PORT, waiting for the "listening on" line.
+start_server() {
+  local log=$1 metrics=$2
+  shift 2
+  "$SERVE" --threads="$THREADS" --metrics-out="$metrics" "$@" \
+    > "$log" 2>&1 &
+  SERVER_PID=$!
+  for _ in $(seq 1 100); do
+    PORT=$(sed -n 's/.*listening on 127.0.0.1:\([0-9]*\).*/\1/p' "$log")
+    [ -n "$PORT" ] && return 0
+    kill -0 "$SERVER_PID" 2>/dev/null || { cat "$log"; return 1; }
+    sleep 0.1
+  done
+  echo "server never printed its port"; cat "$log"; return 1
+}
+
+run_loadgen() {
+  "$LOADGEN" --port="$PORT" --sessions=$SESSIONS \
+    --concurrency=$CONCURRENCY --rounds=$ROUNDS "$@"
+}
+
+metric() {  # metric FILE DOTTED-NAME [counters|gauges]
+  python3 -c "
+import json, sys
+m = json.load(open(sys.argv[1]))
+print(int(m[sys.argv[3]].get(sys.argv[2], 0)))
+" "$1" "$2" "${3:-counters}"
+}
+
+echo "== leg 1: reference run + drain =="
+start_server "$WORK/ref.log" "$WORK/ref.metrics.json" \
+  --port=0 --journal-dir="$WORK/ref-journal"
+run_loadgen --out="$WORK/ref.bench.json" \
+  --transcript="$WORK/ref.transcript.jsonl" > "$WORK/ref.loadgen.log"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: drain exited nonzero"; exit 1; }
+grep -q "drained; exiting" "$WORK/ref.log" \
+  || { echo "FAIL: no drain line"; cat "$WORK/ref.log"; exit 1; }
+test "$(metric "$WORK/ref.metrics.json" serve.sessions.active gauges)" = 0 \
+  || { echo "FAIL: sessions gauge not 0 after drain"; exit 1; }
+SERVER_PID=
+echo "ok: drained clean, $(wc -l < "$WORK/ref.transcript.jsonl") acked rounds"
+
+echo "== leg 2: SIGKILL at ${KILL_AFTER_RECORDS} journaled records, restart, recover =="
+start_server "$WORK/crash1.log" "$WORK/crash1.metrics.json" \
+  --port=0 --journal-dir="$WORK/crash-journal"
+run_loadgen --out="$WORK/chaos.bench.json" \
+  --transcript="$WORK/chaos.transcript.jsonl" \
+  --reconnect-deadline-ms=60000 > "$WORK/chaos.loadgen.log" 2>&1 &
+LOADGEN_PID=$!
+# journal_progress: record count of the busiest journal on disk (whole
+# records only — a torn tail in a file being appended doesn't count).
+journal_progress() {
+  python3 - "$WORK/crash-journal" <<'PY'
+import glob, struct, sys
+best = 0
+for path in glob.glob(sys.argv[1] + "/*.journal"):
+    try:
+        data = open(path, "rb").read()
+    except OSError:
+        continue
+    count, off = 0, 0
+    while off + 8 <= len(data):
+        length = struct.unpack_from("<I", data, off)[0]
+        if off + 8 + length > len(data):
+            break
+        count += 1
+        off += 8 + length
+    best = max(best, count)
+print(best)
+PY
+}
+for _ in $(seq 1 1200); do
+  [ "$(journal_progress)" -ge "$KILL_AFTER_RECORDS" ] && break
+  kill -0 "$LOADGEN_PID" 2>/dev/null \
+    || { echo "FAIL: loadgen died before the kill threshold"; \
+         cat "$WORK/chaos.loadgen.log"; exit 1; }
+  sleep 0.05
+done
+[ "$(journal_progress)" -ge "$KILL_AFTER_RECORDS" ] \
+  || { echo "FAIL: kill threshold never reached within 60s"; exit 1; }
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+# Same port: the loadgen's reconnect loop is already dialing it.
+start_server "$WORK/crash2.log" "$WORK/crash2.metrics.json" \
+  --port="$PORT" --journal-dir="$WORK/crash-journal"
+grep -q "^recovered " "$WORK/crash2.log" \
+  || { echo "FAIL: restart printed no recovery line"; cat "$WORK/crash2.log"; exit 1; }
+RECOVERED=$(sed -n 's/^recovered \([0-9]*\) sessions.*/\1/p' "$WORK/crash2.log")
+wait "$LOADGEN_PID" \
+  || { echo "FAIL: loadgen failed across the restart"; cat "$WORK/chaos.loadgen.log"; exit 1; }
+# The kill must actually have interrupted live sessions, or this leg
+# proved nothing.
+test "$RECOVERED" -gt 0 \
+  || { echo "FAIL: kill landed after the run finished (recovered 0)"; exit 1; }
+RECONNECTS=$(python3 -c "
+import json; print(json.load(open('$WORK/chaos.bench.json'))['reconnects'])")
+test "$RECONNECTS" -gt 0 \
+  || { echo "FAIL: loadgen never reconnected"; exit 1; }
+# Every journaled-acked label is present and the recovered label
+# streams are bit-identical to the uninterrupted run.
+cmp "$WORK/ref.transcript.jsonl" "$WORK/chaos.transcript.jsonl" \
+  || { echo "FAIL: transcripts diverge after recovery"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || { echo "FAIL: post-recovery drain exited nonzero"; exit 1; }
+test "$(metric "$WORK/crash2.metrics.json" serve.sessions.active gauges)" = 0 \
+  || { echo "FAIL: sessions gauge not 0 after post-recovery drain"; exit 1; }
+SERVER_PID=
+echo "ok: recovered $RECOVERED sessions, $RECONNECTS reconnects, transcripts identical"
+
+echo "== leg 3: torn journal tail quarantined at startup =="
+mkdir -p "$WORK/torn-journal"
+# A length header announcing 5 payload bytes with only 3 present.
+printf '\x05\x00\x00\x00ABC' > "$WORK/torn-journal/torn.journal"
+start_server "$WORK/torn.log" "$WORK/torn.metrics.json" \
+  --port=0 --journal-dir="$WORK/torn-journal"
+grep -q "^recovered 0 sessions (1 quarantined)" "$WORK/torn.log" \
+  || { echo "FAIL: torn journal not quarantined"; cat "$WORK/torn.log"; exit 1; }
+ls "$WORK/torn-journal"/*.quarantine-0 > /dev/null \
+  || { echo "FAIL: no quarantine file on disk"; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=
+echo "ok: torn journal quarantined, startup survived"
+
+echo "== leg 4: injected journal.sync failures each quarantine once =="
+# Inline sync (sync-ms=0) so every failed fsync surfaces in the append
+# that caused it; the invariant is one quarantined journal per
+# injected fault.
+start_server "$WORK/fault.log" "$WORK/fault.metrics.json" \
+  --port=0 --journal-dir="$WORK/fault-journal" --journal-sync-ms=0 \
+  --fault='journal.sync=fail%0.02;seed=4242'
+run_loadgen --out="$WORK/fault.bench.json" \
+  > "$WORK/fault.loadgen.log" 2>&1 && true
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || true
+INJECTED=$(metric "$WORK/fault.metrics.json" fault.injected.journal.sync)
+QUARANTINED=$(metric "$WORK/fault.metrics.json" serve.journal.quarantined)
+test "$INJECTED" -gt 0 \
+  || { echo "FAIL: fault plan never fired"; exit 1; }
+test "$INJECTED" = "$QUARANTINED" \
+  || { echo "FAIL: $INJECTED injected sync faults but $QUARANTINED quarantines"; exit 1; }
+SERVER_PID=
+echo "ok: $INJECTED injected sync faults, $QUARANTINED quarantines"
+
+echo "PASS: all chaos legs"

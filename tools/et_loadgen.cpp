@@ -4,12 +4,26 @@
 //       [--concurrency=4] [--rounds=50] [--pairs=5] [--dataset=omdb]
 //       [--rows=400] [--degree=0.10] [--policy=sbr] [--gamma=0.5]
 //       [--seed=42] [--snapshot-every=0] [--out=BENCH_serve.json]
+//       [--reconnect-deadline-ms=0] [--transcript=FILE]
 //
 // Replays simulated annotators (human/annotator.h BayesianAnnotator)
 // against a running server: each session's client rebuilds the same
 // deterministic world the server does (BuildSessionWorld), checks the
 // server's canonical trainer prior byte-for-byte, then plays its rounds
-// — Observe, declare, label — over the wire. Client-side worlds are
+// — Observe, declare, label — over the wire. With
+// --reconnect-deadline-ms the harness survives server restarts: a call
+// that dies mid-flight ("outcome unknown") is resolved by resyncing
+// through session.get — if the server's round already advanced the op
+// was journaled before the crash and its ack is recovered from the get
+// reply; if not, the identical label batch is resent without touching
+// the annotator (Observe runs exactly once per round). An acked-label
+// ledger keyed (session, round) enforces exactly-once across
+// reconnects: every acked round recorded exactly once, and a server
+// that comes back below the acked round is a lost-durable-state
+// failure. --transcript=FILE writes one JSON line per acked round
+// (keyed by session seed, sorted), so a kill-and-recover run can be
+// diffed byte-for-byte against an uninterrupted one.
+// Client-side worlds are
 // built up front, before the wall-clock timer starts: world
 // construction is test fixture, not load, and interleaving those CPU
 // bursts with in-flight requests would perturb the very latencies
@@ -27,11 +41,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/logging.h"
 #include "human/annotator.h"
 #include "obs/json.h"
 #include "robustness/checkpoint.h"
@@ -51,6 +67,13 @@ struct WorkerStats {
   uint64_t labels = 0;
   uint64_t sessions_done = 0;
   uint64_t retries = 0;
+  /// Successful re-dials after a lost connection (server restarts
+  /// survived), and label acks recovered via session.get resync after
+  /// an "outcome unknown" call (op applied+journaled, response lost).
+  uint64_t reconnects = 0;
+  uint64_t recovered_acks = 0;
+  /// One JSON line per acked label round (merged + sorted by main).
+  std::vector<std::string> transcript;
   std::vector<std::string> failures;
 };
 
@@ -127,12 +150,52 @@ Status CheckTrainerPrior(const obs::JsonValue& result,
   return Status::OK();
 }
 
+/// The client library's marker for a call that died mid-flight after a
+/// successful reconnect: the op may or may not have been applied, so
+/// the harness must resync (session.get) before resending.
+bool IsOutcomeUnknown(const Status& st) {
+  return st.IsIOError() &&
+         st.message().rfind("outcome unknown", 0) == 0;
+}
+
+/// One JSON line of the label-stream transcript. Keyed by the session
+/// *seed*, not the server-minted id: a recovered run mints the same
+/// seeds but the transcript must compare equal byte-for-byte to an
+/// uninterrupted run regardless of id assignment order.
+std::string TranscriptLine(uint64_t seed, size_t round, size_t top_fd,
+                           const std::vector<LabeledPair>& labels) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("seed");
+  w.String(std::to_string(seed));
+  w.Key("round");
+  w.Uint(round);
+  w.Key("top_fd");
+  w.Uint(top_fd);
+  w.Key("labels");
+  w.BeginArray();
+  for (const LabeledPair& lp : labels) {
+    w.BeginArray();
+    w.Uint(lp.pair.first);
+    w.Uint(lp.pair.second);
+    w.Bool(lp.first_dirty);
+    w.Bool(lp.second_dirty);
+    w.EndArray();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Release();
+}
+
 Status RunOneSession(const std::string& host, int port,
                      const serve::SessionConfig& config,
                      const serve::SessionWorld& world,
-                     size_t snapshot_every, WorkerStats* stats) {
+                     size_t snapshot_every, double reconnect_deadline_ms,
+                     WorkerStats* stats) {
+  serve::ClientOptions client_options;
+  client_options.reconnect_deadline_ms = reconnect_deadline_ms;
   ET_ASSIGN_OR_RETURN(std::unique_ptr<serve::Client> client,
-                      serve::Client::Connect(host, port));
+                      serve::Client::Connect(host, port, client_options));
 
   // Every successful request's latency lands in its op bucket so the
   // benchmark reports per-op percentiles, not just labels.
@@ -145,9 +208,20 @@ Status RunOneSession(const std::string& host, int port,
     return r;
   };
 
-  ET_ASSIGN_OR_RETURN(
-      obs::JsonValue created,
-      timed_call("session.create", ConfigParamsJson(config)));
+  // An ambiguous create is simply retried: if the first one was
+  // applied, its session is an orphan the server's idle reaper (or
+  // drain) cleans up — the harness never learned its id, so no acked
+  // state is at stake.
+  obs::JsonValue created;
+  for (;;) {
+    Result<obs::JsonValue> r =
+        timed_call("session.create", ConfigParamsJson(config));
+    if (r.ok()) {
+      created = std::move(*r);
+      break;
+    }
+    if (!IsOutcomeUnknown(r.status())) return r.status();
+  }
   ET_RETURN_NOT_OK(CheckTrainerPrior(created, world.trainer_prior));
   const obs::JsonValue* sid = created.Find("session_id");
   if (sid == nullptr || !sid->is_string()) {
@@ -156,24 +230,35 @@ Status RunOneSession(const std::string& host, int port,
   const std::string session_id = sid->string_value;
   ET_ASSIGN_OR_RETURN(std::vector<RowPair> sample,
                       PairsField(created, "sample"));
+  const std::string get_params =
+      "{\"session_id\":\"" + session_id + "\"}";
 
   BayesianAnnotator annotator(world.trainer_prior,
                               BayesianAnnotatorOptions{},
                               world.trainer_seed);
+  // Acked-label ledger: every acked round recorded exactly once, keyed
+  // by round number within this (session, round) namespace. A resync
+  // that finds the server below the ledger's high-water mark means
+  // journaled-acked state was lost; a duplicate insert means an ack
+  // was double-counted.
+  std::map<size_t, std::string> ledger;
   size_t expected_round = 0;
   size_t expected_labels = 0;
   bool done = false;
   while (!done && !sample.empty()) {
+    // Observe runs exactly once per round; on resend after an
+    // ambiguous call the same computed batch goes out again.
     annotator.Observe(world.data.rel, sample);
     const std::vector<LabeledPair> labels =
         annotator.Label(world.data.rel, sample);
+    const size_t top_fd = annotator.CurrentHypothesis();
 
     obs::JsonWriter w;
     w.BeginObject();
     w.Key("session_id");
     w.String(session_id);
     w.Key("trainer_top_fd");
-    w.Uint(annotator.CurrentHypothesis());
+    w.Uint(top_fd);
     w.Key("labels");
     w.BeginArray();
     for (const LabeledPair& lp : labels) {
@@ -186,17 +271,82 @@ Status RunOneSession(const std::string& host, int port,
     }
     w.EndArray();
     w.EndObject();
+    const std::string label_params = w.Release();
 
-    const double t0 = NowMs();
-    ET_ASSIGN_OR_RETURN(obs::JsonValue reply,
-                        timed_call("session.label", w.Release()));
-    stats->label_ms.push_back(NowMs() - t0);
+    // Send until acked. An "outcome unknown" failure is resolved by
+    // session.get: round advanced → the op was journaled before the
+    // crash, recover its ack from the get reply (which also carries
+    // the next sample); round unchanged → resend the identical batch.
+    obs::JsonValue reply;
+    bool recovered_ack = false;
+    for (bool acked = false; !acked;) {
+      const double t0 = NowMs();
+      Result<obs::JsonValue> r = timed_call("session.label", label_params);
+      if (r.ok()) {
+        stats->label_ms.push_back(NowMs() - t0);
+        reply = std::move(*r);
+        acked = true;
+        break;
+      }
+      if (!IsOutcomeUnknown(r.status())) return r.status();
+      ET_LOG(Warn) << session_id << ": label for round "
+                   << (expected_round + 1)
+                   << " outcome unknown; resyncing";
+      // The get itself can die mid-flight too; retry IT (never the
+      // label — resending blind could double-apply an already-applied
+      // batch) until it yields a definitive answer.
+      Result<obs::JsonValue> got = Status::Internal("unreached");
+      for (;;) {
+        got = client->Call("session.get", get_params);
+        if (got.ok() || !IsOutcomeUnknown(got.status())) break;
+        ET_LOG(Warn) << session_id << ": resync get lost too; retrying";
+      }
+      if (!got.ok()) {
+        if (got.status().IsNotFound()) {
+          return Status::Internal(
+              session_id + ": acked session lost across restart (" +
+              std::to_string(expected_round) + " rounds acked)");
+        }
+        return got.status();
+      }
+      const obs::JsonValue* server_round = got->Find("round");
+      if (server_round == nullptr) {
+        return Status::Internal(session_id + ": get reply lacks round");
+      }
+      const size_t at = static_cast<size_t>(server_round->number);
+      ET_LOG(Warn) << session_id << ": resync found server at round "
+                   << at << " (acked " << expected_round << ")";
+      if (at == expected_round + 1) {
+        // Applied and journaled; the response was the only casualty.
+        recovered_ack = true;
+        ++stats->recovered_acks;
+        reply = std::move(*got);
+        acked = true;
+      } else if (at != expected_round) {
+        return Status::Internal(
+            session_id + ": server at round " + std::to_string(at) +
+            " after resync, expected " + std::to_string(expected_round) +
+            " or " + std::to_string(expected_round + 1) +
+            " (acked state lost or duplicated)");
+      }
+      // at == expected_round: not applied, loop resends the batch.
+    }
     stats->labels += labels.size();
 
-    // Exactly-once accounting: each request must advance the round by
-    // one and the label counter by exactly this batch.
+    // Exactly-once accounting: each acked batch advances the round by
+    // one and the label counter by exactly this batch, and lands in
+    // the ledger exactly once.
     ++expected_round;
     expected_labels += labels.size();
+    if (!ledger
+             .emplace(expected_round,
+                      TranscriptLine(config.seed, expected_round, top_fd,
+                                     labels))
+             .second) {
+      return Status::Internal(session_id + ": round " +
+                              std::to_string(expected_round) +
+                              " acked twice");
+    }
     const obs::JsonValue* round = reply.Find("round");
     const obs::JsonValue* labels_total = reply.Find("labels_total");
     if (round == nullptr ||
@@ -211,21 +361,40 @@ Status RunOneSession(const std::string& host, int port,
     }
     const obs::JsonValue* done_flag = reply.Find("done");
     done = done_flag != nullptr && done_flag->bool_value;
-    ET_ASSIGN_OR_RETURN(sample, PairsField(reply, "next"));
+    // A direct label reply carries the next sample as "next"; a
+    // session.get resync carries the same pending pairs as "sample".
+    ET_ASSIGN_OR_RETURN(
+        sample, PairsField(reply, recovered_ack ? "sample" : "next"));
 
     if (snapshot_every > 0 && !done &&
         expected_round % snapshot_every == 0) {
-      ET_RETURN_NOT_OK(
-          timed_call("session.snapshot",
-                     "{\"session_id\":\"" + session_id + "\"}")
-              .status());
+      // Snapshot is idempotent — an ambiguous one is simply retried.
+      for (;;) {
+        const Status st =
+            timed_call("session.snapshot", get_params).status();
+        if (st.ok()) break;
+        if (!IsOutcomeUnknown(st)) return st;
+      }
     }
   }
 
-  ET_RETURN_NOT_OK(timed_call("session.close",
-                              "{\"session_id\":\"" + session_id + "\"}")
-                       .status());
+  // An ambiguous close is resolved the same way: NotFound on resync
+  // means the close landed.
+  for (;;) {
+    const Status st = timed_call("session.close", get_params).status();
+    if (st.ok()) break;
+    if (!IsOutcomeUnknown(st)) return st;
+    const Result<obs::JsonValue> got =
+        client->Call("session.get", get_params);
+    if (!got.ok() && got.status().IsNotFound()) break;
+    if (!got.ok() && !IsOutcomeUnknown(got.status())) return got.status();
+  }
+  for (const auto& [round, line] : ledger) {
+    (void)round;
+    stats->transcript.push_back(line);
+  }
   stats->retries += client->unavailable_retries();
+  stats->reconnects += client->reconnects();
   ++stats->sessions_done;
   return Status::OK();
 }
@@ -296,6 +465,9 @@ int main(int argc, char** argv) {
       static_cast<size_t>(flags.GetInt("concurrency", 4));
   const size_t snapshot_every =
       static_cast<size_t>(flags.GetInt("snapshot-every", 0));
+  const double reconnect_deadline_ms =
+      flags.GetDouble("reconnect-deadline-ms", 0.0);
+  const std::string transcript_path = flags.GetString("transcript", "");
 
   serve::SessionConfig base;
   base.dataset = flags.GetString("dataset", "omdb");
@@ -341,8 +513,9 @@ int main(int argc, char** argv) {
         const size_t i =
             next_session.fetch_add(1, std::memory_order_relaxed);
         if (i >= sessions) return;
-        const Status st = RunOneSession(host, port, configs[i], worlds[i],
-                                        snapshot_every, &stats[w]);
+        const Status st =
+            RunOneSession(host, port, configs[i], worlds[i],
+                          snapshot_every, reconnect_deadline_ms, &stats[w]);
         if (!st.ok()) {
           stats[w].failures.push_back("session " + std::to_string(i) +
                                       ": " + st.ToString());
@@ -356,6 +529,8 @@ int main(int argc, char** argv) {
   std::vector<double> latencies;
   std::map<std::string, std::vector<double>> op_latencies;
   uint64_t labels = 0, done = 0, retries = 0;
+  uint64_t reconnects = 0, recovered_acks = 0;
+  std::vector<std::string> transcript;
   std::vector<std::string> failures;
   for (const WorkerStats& s : stats) {
     latencies.insert(latencies.end(), s.label_ms.begin(),
@@ -367,6 +542,10 @@ int main(int argc, char** argv) {
     labels += s.labels;
     done += s.sessions_done;
     retries += s.retries;
+    reconnects += s.reconnects;
+    recovered_acks += s.recovered_acks;
+    transcript.insert(transcript.end(), s.transcript.begin(),
+                      s.transcript.end());
     failures.insert(failures.end(), s.failures.begin(), s.failures.end());
   }
   std::sort(latencies.begin(), latencies.end());
@@ -415,6 +594,10 @@ int main(int argc, char** argv) {
   w.EndObject();
   w.Key("unavailable_retries");
   w.Uint(retries);
+  w.Key("reconnects");
+  w.Uint(reconnects);
+  w.Key("recovered_acks");
+  w.Uint(recovered_acks);
   w.Key("failures");
   w.BeginArray();
   for (const std::string& f : failures) w.String(f);
@@ -432,6 +615,44 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "write %s failed: %s\n", out_path.c_str(),
                  write.ToString().c_str());
     return 1;
+  }
+  if (!transcript_path.empty()) {
+    // Sorted by (seed, round) — seeds are fixed-width enough within a
+    // run and rounds are per-seed monotone, so a lexicographic sort of
+    // the lines themselves would be wrong; sort on the parsed keys.
+    std::sort(transcript.begin(), transcript.end(),
+              [](const std::string& a, const std::string& b) {
+                const auto key = [](const std::string& line) {
+                  const Result<obs::JsonValue> doc = obs::ParseJson(line);
+                  uint64_t seed = 0, round = 0;
+                  if (doc.ok() && doc->is_object()) {
+                    const obs::JsonValue* s = doc->Find("seed");
+                    const obs::JsonValue* r = doc->Find("round");
+                    if (s != nullptr) {
+                      seed = std::strtoull(s->string_value.c_str(),
+                                           nullptr, 10);
+                    }
+                    if (r != nullptr) {
+                      round = static_cast<uint64_t>(r->number);
+                    }
+                  }
+                  return std::make_pair(seed, round);
+                };
+                return key(a) < key(b);
+              });
+    std::string blob;
+    for (const std::string& line : transcript) {
+      blob += line;
+      blob += '\n';
+    }
+    const Status wrote = AtomicWriteFile(transcript_path, blob);
+    if (!wrote.ok()) {
+      std::fprintf(stderr, "write %s failed: %s\n",
+                   transcript_path.c_str(), wrote.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%zu acked rounds)\n", transcript_path.c_str(),
+                transcript.size());
   }
   std::printf("%s\n", payload.c_str());
   std::printf("wrote %s\n", out_path.c_str());

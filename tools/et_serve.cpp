@@ -9,12 +9,23 @@
 //       [--list-fault-sites]
 //
 // Prints one "listening on <host>:<port>" line (port resolves --port=0
-// to the ephemeral bind) and serves until SIGINT/SIGTERM, which drains
-// the metrics registry and trace buffer to --metrics-out/--trace-out
-// (or ET_METRICS_OUT / ET_TRACE_OUT) before exiting. With
-// --snapshot-dir, sessions snapshotted by clients survive a restart:
-// start a new et_serve on the same directory and session.restore
-// resumes them bit-identically.
+// to the ephemeral bind). SIGINT drains the metrics registry and trace
+// buffer to --metrics-out/--trace-out (or ET_METRICS_OUT /
+// ET_TRACE_OUT) and dies by the signal; SIGTERM (or the admin.drain
+// wire op) instead drains gracefully — stop accepting, refuse mutating
+// ops, finish in-flight work under --drain-deadline-ms, snapshot every
+// live session — and exits 0. With --snapshot-dir, sessions
+// snapshotted by clients survive a restart: start a new et_serve on
+// the same directory and session.restore resumes them bit-identically.
+//
+// Crash safety (DESIGN.md §13): --journal-dir enables the per-session
+// write-ahead journal — every acked mutating op is durable before its
+// response is sent (group-committed per --journal-sync-ms, journal
+// rewritten as one snapshot record every --journal-snapshot-every
+// labels) — and on startup et_serve replays the directory's journals,
+// printing one "recovered N sessions (Q quarantined)" line. Damaged
+// journals are quarantined, never fatal. --session-idle-ms reaps idle
+// sessions (snapshot first) so abandoned clients stop holding memory.
 //
 // Live introspection (DESIGN.md §11): --stats-port starts a plain-TCP
 // stats endpoint (send "json\n" or "prometheus\n", or curl
@@ -53,7 +64,13 @@ void Usage() {
       "  --deadline-ms=MS (default per-session deadline; 0 = none)\n"
       "  --world-cache-mb=MB (or ET_WORLD_CACHE; shared session-world\n"
       "  cache budget, 0 = off; default 64)\n"
-      "  --snapshot-dir=DIR (enables session.snapshot/restore)\n"
+      "  --snapshot-dir=DIR (enables session.snapshot/restore;\n"
+      "  defaults to <journal-dir>/snapshots when --journal-dir is set)\n"
+      "  --journal-dir=DIR (write-ahead journal + replay recovery)\n"
+      "  --journal-sync-ms=MS (group-commit window; <=0 = per-append)\n"
+      "  --journal-snapshot-every=N (journal truncation cadence; 0=off)\n"
+      "  --session-idle-ms=MS (reap idle sessions, snapshot first; 0=off)\n"
+      "  --drain-deadline-ms=MS (SIGTERM/admin.drain watchdog)\n"
       "  --stats-port=N (-1 = off; 0 = ephemeral; prints 'stats on')\n"
       "  --stats-interval-ms=MS (delta snapshotter cadence)\n"
       "  --slow-request-ms=MS (slow-request log threshold; 0 = off)\n"
@@ -62,6 +79,12 @@ void Usage() {
       "  ET_TRACE_OUT) --fault=PLAN (or ET_FAULT)\n"
       "  --list-fault-sites (print known sites and exit)\n");
 }
+
+/// SIGTERM means graceful drain, not death: the handler only raises a
+/// flag (async-signal-safe); the main loop runs the drain and exits 0.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void OnDrainSignal(int) { g_drain_requested = 1; }
 
 }  // namespace
 
@@ -76,6 +99,9 @@ int main(int argc, char** argv) {
   RegisterFaultSite("serve.accept");
   RegisterFaultSite("serve.read");
   RegisterFaultSite("serve.session");
+  RegisterFaultSite("journal.append");
+  RegisterFaultSite("journal.sync");
+  RegisterFaultSite("journal.replay");
   if (flags.GetBool("list-fault-sites")) {
     for (const std::string& site : KnownFaultSites()) {
       std::printf("%s\n", site.c_str());
@@ -110,6 +136,22 @@ int main(int argc, char** argv) {
   options.sessions.retry_after_ms = flags.GetDouble("retry-after-ms", 25.0);
   options.sessions.default_deadline_ms = flags.GetDouble("deadline-ms", 0.0);
   options.sessions.snapshot_dir = flags.GetString("snapshot-dir", "");
+  options.sessions.journal_dir = flags.GetString("journal-dir", "");
+  options.sessions.journal_sync_ms =
+      flags.GetDouble("journal-sync-ms", 2.0);
+  options.sessions.journal_snapshot_every =
+      static_cast<size_t>(flags.GetInt("journal-snapshot-every", 16));
+  options.sessions.session_idle_ms =
+      flags.GetDouble("session-idle-ms", 0.0);
+  const double drain_deadline_ms =
+      flags.GetDouble("drain-deadline-ms", 5000.0);
+  if (options.sessions.snapshot_dir.empty() &&
+      !options.sessions.journal_dir.empty()) {
+    // Drain and the reaper snapshot into the store; a journaling server
+    // should have one even when the operator didn't ask.
+    options.sessions.snapshot_dir =
+        options.sessions.journal_dir + "/snapshots";
+  }
   {
     // Budget of the shared session-world cache, in MiB (0 disables).
     const std::string world_mb =
@@ -146,6 +188,16 @@ int main(int argc, char** argv) {
                  server.status().ToString().c_str());
     return 1;
   }
+  serve::SessionManager& sessions = (*server)->sessions();
+
+  if (!options.sessions.journal_dir.empty()) {
+    // Replay before announcing the port: clients gate on the
+    // "listening on" line, so they only see fully recovered state.
+    const size_t recovered = sessions.RecoverFromJournals();
+    std::printf("recovered %zu sessions (%llu quarantined)\n", recovered,
+                static_cast<unsigned long long>(
+                    sessions.JournalQuarantined()));
+  }
 
   // -1 (default) disables the out-of-band endpoint; 0 binds ephemeral.
   const long long stats_port = flags.GetInt("stats-port", -1);
@@ -165,9 +217,8 @@ int main(int argc, char** argv) {
   }
 
   {
-    // SIGINT/SIGTERM: drain metrics + trace to the configured outputs,
-    // then die by the signal's default disposition. Live sessions are
-    // lost unless a client snapshotted them (--snapshot-dir).
+    // SIGINT: drain metrics + trace to the configured outputs, then
+    // die by the signal's default disposition.
     obs::ShutdownFlushConfig shutdown;
     shutdown.tool = "et_serve";
     shutdown.metrics_path = metrics_out;
@@ -177,6 +228,10 @@ int main(int argc, char** argv) {
                                  std::to_string((*server)->port()));
     obs::InstallShutdownFlush(std::move(shutdown));
   }
+  // SIGTERM gets the graceful path instead (installed after the flush
+  // handlers, overriding theirs for this one signal): flag the drain
+  // and let the main loop snapshot everything and exit 0.
+  std::signal(SIGTERM, OnDrainSignal);
 
   std::printf("listening on %s:%d\n", options.host.c_str(),
               (*server)->port());
@@ -185,9 +240,25 @@ int main(int argc, char** argv) {
   }
   std::fflush(stdout);
 
-  // The IO thread owns all the work; park the main thread until a
-  // signal takes the process down through the shutdown flush.
+  // The IO thread owns all the work; the main thread watches for a
+  // drain request (SIGTERM or the admin.drain wire op). SIGINT still
+  // kills through the shutdown flush.
   for (;;) {
-    std::this_thread::sleep_for(std::chrono::seconds(3600));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_drain_requested == 0 && !sessions.draining()) continue;
+    const Status drained = sessions.Drain(drain_deadline_ms);
+    // Stop IO only after the drain: in-flight responses (and drain
+    // rejections steering clients away) still had to go out.
+    (*server)->Stop();
+    stats.reset();
+    obs::FlushObsNow();
+    if (!drained.ok()) {
+      std::fprintf(stderr, "drain failed: %s\n",
+                   drained.ToString().c_str());
+      return 1;
+    }
+    std::printf("drained; exiting with %zu sessions live\n",
+                sessions.ActiveSessions());
+    return 0;
   }
 }
