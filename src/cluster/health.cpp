@@ -1,0 +1,136 @@
+#include "cluster/health.h"
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace et {
+namespace cluster {
+
+HealthChecker::HealthChecker(
+    HealthOptions options, std::vector<std::string> shards,
+    std::function<Status(const std::string&)> probe)
+    : options_(options), probe_(std::move(probe)) {
+  if (options_.down_after < 1) options_.down_after = 1;
+  for (const std::string& shard : shards) states_[shard];
+}
+
+HealthChecker::~HealthChecker() { Stop(); }
+
+void HealthChecker::SetOnDown(std::function<void(const std::string&)> cb) {
+  on_down_ = std::move(cb);
+}
+
+void HealthChecker::SetOnUp(std::function<void(const std::string&)> cb) {
+  on_up_ = std::move(cb);
+}
+
+void HealthChecker::Start() {
+  if (prober_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = false;
+  }
+  prober_ = std::thread([this] { ProbeLoop(); });
+}
+
+void HealthChecker::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (prober_.joinable()) prober_.join();
+}
+
+HealthChecker::Flip HealthChecker::Observe(const std::string& shard,
+                                           bool ok) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(shard);
+  if (it == states_.end()) return Flip::kNone;
+  ShardState& state = it->second;
+  if (ok) {
+    state.consecutive_failures = 0;
+    if (!state.down) return Flip::kNone;
+    state.down = false;
+    return Flip::kUp;
+  }
+  ++state.consecutive_failures;
+  if (state.down || state.consecutive_failures < options_.down_after) {
+    return Flip::kNone;
+  }
+  state.down = true;
+  ++down_transitions_;
+  return Flip::kDown;
+}
+
+void HealthChecker::Fire(Flip flip, const std::string& shard) {
+  if (flip == Flip::kNone) return;
+  // One transition callback at a time: failover orchestration in
+  // on_down must not race a concurrent on_up for the same shard.
+  std::lock_guard<std::recursive_mutex> lock(transition_mu_);
+  if (flip == Flip::kDown) {
+    ET_COUNTER_INC("cluster.shard.down");
+    if (on_down_) on_down_(shard);
+  } else {
+    ET_COUNTER_INC("cluster.shard.up");
+    if (on_up_) on_up_(shard);
+  }
+}
+
+void HealthChecker::RecordFailure(const std::string& shard) {
+  Fire(Observe(shard, false), shard);
+}
+
+void HealthChecker::RecordSuccess(const std::string& shard) {
+  Fire(Observe(shard, true), shard);
+}
+
+bool HealthChecker::IsDown(const std::string& shard) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(shard);
+  return it != states_.end() && it->second.down;
+}
+
+std::vector<std::string> HealthChecker::DownShards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> down;
+  for (const auto& [shard, state] : states_) {
+    if (state.down) down.push_back(shard);
+  }
+  return down;
+}
+
+uint64_t HealthChecker::down_transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return down_transitions_;
+}
+
+void HealthChecker::ProbeLoop() {
+  const auto period =
+      std::chrono::milliseconds(options_.probe_interval_ms == 0
+                                    ? 1
+                                    : options_.probe_interval_ms);
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(stop_mu_);
+      stop_cv_.wait_for(lock, period, [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    std::vector<std::string> shards;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shards.reserve(states_.size());
+      for (const auto& [shard, state] : states_) shards.push_back(shard);
+    }
+    for (const std::string& shard : shards) {
+      const Status st = probe_ ? probe_(shard) : Status::OK();
+      ET_COUNTER_INC("cluster.health.probes");
+      if (!st.ok()) ET_COUNTER_INC("cluster.health.probe_failures");
+      Fire(Observe(shard, st.ok()), shard);
+    }
+  }
+}
+
+}  // namespace cluster
+}  // namespace et

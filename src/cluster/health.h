@@ -1,0 +1,112 @@
+// Active shard health checking for the cluster router.
+//
+// A background thread probes every shard on a fixed cadence; the probe
+// itself is a caller-supplied callback (the router dials the shard and
+// runs a `stats.scrape` round trip), so this class owns only the
+// policy: K consecutive failures flip a shard DOWN (firing on_down
+// exactly once per outage), the first subsequent success flips it back
+// UP (firing on_up). The router's forward path also feeds transport
+// failures in through RecordFailure, so a busy cluster detects a dead
+// shard in K failed requests instead of waiting K probe periods.
+//
+// Transitions are serialized per checker: on_down/on_up callbacks never
+// overlap, so the router's failover orchestration (ring membership,
+// journal adoption, repinning) needs no reentrancy guard of its own.
+
+#ifndef ET_CLUSTER_HEALTH_H_
+#define ET_CLUSTER_HEALTH_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+
+namespace et {
+namespace cluster {
+
+struct HealthOptions {
+  /// Probe cadence per shard.
+  uint64_t probe_interval_ms = 200;
+  /// Consecutive failures (probes and forward-path reports combined)
+  /// before a shard is declared down.
+  int down_after = 3;
+};
+
+class HealthChecker {
+ public:
+  /// `probe` performs one health round trip against the named shard
+  /// (called from the checker thread only). `on_down`/`on_up` fire on
+  /// state transitions, outside the state lock but under a transition
+  /// lock that serializes them with each other.
+  HealthChecker(HealthOptions options, std::vector<std::string> shards,
+                std::function<Status(const std::string&)> probe);
+  ~HealthChecker();
+
+  HealthChecker(const HealthChecker&) = delete;
+  HealthChecker& operator=(const HealthChecker&) = delete;
+
+  void SetOnDown(std::function<void(const std::string&)> cb);
+  void SetOnUp(std::function<void(const std::string&)> cb);
+
+  /// Starts/stops the probe thread. Stop is idempotent and joins.
+  void Start();
+  void Stop();
+
+  /// Forward-path report: a request to `shard` failed at the transport
+  /// layer. Counts toward down_after exactly like a failed probe.
+  void RecordFailure(const std::string& shard);
+
+  /// Forward-path report: a request round-tripped. Resets the failure
+  /// streak; revives a down shard (probes also do this).
+  void RecordSuccess(const std::string& shard);
+
+  bool IsDown(const std::string& shard) const;
+  std::vector<std::string> DownShards() const;
+
+  /// Down transitions since construction (mirrors cluster.shard.down).
+  uint64_t down_transitions() const;
+
+ private:
+  enum class Flip { kNone, kDown, kUp };
+
+  /// Applies one observation under mu_; returns the transition to fire.
+  Flip Observe(const std::string& shard, bool ok);
+  void Fire(Flip flip, const std::string& shard);
+  void ProbeLoop();
+
+  struct ShardState {
+    int consecutive_failures = 0;
+    bool down = false;
+  };
+
+  HealthOptions options_;
+  std::function<Status(const std::string&)> probe_;
+  std::function<void(const std::string&)> on_down_;
+  std::function<void(const std::string&)> on_up_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, ShardState> states_;
+  uint64_t down_transitions_ = 0;
+
+  /// Serializes on_down/on_up invocations across threads. Recursive
+  /// because a transition callback may itself observe failures (the
+  /// router's failover orchestration calls the adopter, and a dead
+  /// adopter's failures re-enter Fire on the same thread).
+  std::recursive_mutex transition_mu_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread prober_;
+};
+
+}  // namespace cluster
+}  // namespace et
+
+#endif  // ET_CLUSTER_HEALTH_H_

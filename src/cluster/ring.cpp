@@ -1,0 +1,91 @@
+#include "cluster/ring.h"
+
+namespace et {
+namespace cluster {
+
+uint64_t RingHash(std::string_view s) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  // splitmix64 finalizer
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 27;
+  h *= 0x94d049bb133111ebull;
+  h ^= h >> 31;
+  return h;
+}
+
+namespace {
+
+std::string PointKey(const std::string& name, int replica) {
+  return name + "#" + std::to_string(replica);
+}
+
+}  // namespace
+
+void HashRing::AddShard(const std::string& name) {
+  if (!shards_.insert(name).second) return;
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    const uint64_t pos = RingHash(PointKey(name, i));
+    auto [it, inserted] = points_.emplace(pos, name);
+    if (!inserted && name < it->second) it->second = name;
+  }
+}
+
+void HashRing::RemoveShard(const std::string& name) {
+  if (shards_.erase(name) == 0) return;
+  // A collided point may belong to a different shard; rebuild only the
+  // removed shard's positions from the surviving membership.
+  for (int i = 0; i < virtual_nodes_; ++i) {
+    const uint64_t pos = RingHash(PointKey(name, i));
+    auto it = points_.find(pos);
+    if (it == points_.end() || it->second != name) continue;
+    points_.erase(it);
+    // If another shard also hashed here, restore its claim.
+    for (const std::string& other : shards_) {
+      for (int j = 0; j < virtual_nodes_; ++j) {
+        if (RingHash(PointKey(other, j)) == pos) {
+          auto [jt, inserted] = points_.emplace(pos, other);
+          if (!inserted && other < jt->second) jt->second = other;
+        }
+      }
+    }
+  }
+}
+
+bool HashRing::HasShard(std::string_view name) const {
+  return shards_.find(std::string(name)) != shards_.end();
+}
+
+std::string HashRing::ShardFor(std::string_view key) const {
+  if (points_.empty()) return std::string();
+  const uint64_t h = RingHash(key);
+  auto it = points_.lower_bound(h);
+  if (it == points_.end()) it = points_.begin();  // wrap past the top
+  return it->second;
+}
+
+std::string HashRing::ShardForExcluding(std::string_view key,
+                                        std::string_view excluding) const {
+  if (points_.empty()) return std::string();
+  const uint64_t h = RingHash(key);
+  auto it = points_.lower_bound(h);
+  // Walk clockwise (with wrap) past every point owned by the excluded
+  // shard; give up after one full revolution.
+  for (size_t step = 0; step <= points_.size(); ++step) {
+    if (it == points_.end()) it = points_.begin();
+    if (it->second != excluding) return it->second;
+    ++it;
+  }
+  return std::string();
+}
+
+std::vector<std::string> HashRing::Shards() const {
+  return std::vector<std::string>(shards_.begin(), shards_.end());
+}
+
+}  // namespace cluster
+}  // namespace et

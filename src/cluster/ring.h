@@ -1,0 +1,81 @@
+// Consistent-hash ring: session-id → shard placement shared by the
+// router, the health checker, and the direct-to-shard tools.
+//
+// Each shard contributes `virtual_nodes` points on a 64-bit ring,
+// positioned by a keyed FNV-1a hash of "<shard>#<replica>"; a key is
+// owned by the first shard point at or clockwise after Hash(key).
+// Virtual nodes smooth placement (at 1k points per shard the busiest
+// shard carries within ~20% of the mean — tests/cluster/ring_test
+// asserts this), and membership changes are minimally disruptive: when
+// one of N shards joins or leaves, only the ~1/N of keys adjacent to
+// its points move, everything else keeps its owner. That property is
+// what lets the router repin only the dead shard's sessions on
+// failover instead of reshuffling the world.
+//
+// Placement is a pure function of (membership set, virtual_nodes) —
+// insertion order does not matter, so a router and an offline tool
+// configured with the same shard names agree on every key.
+
+#ifndef ET_CLUSTER_RING_H_
+#define ET_CLUSTER_RING_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace et {
+namespace cluster {
+
+/// Stable 64-bit hash used for ring positions and key placement.
+/// FNV-1a with a splitmix64 finalizer: FNV alone clusters short
+/// sequential ids ("c-1", "c-2", ...) into adjacent ring arcs; the
+/// finalizer spreads them uniformly.
+uint64_t RingHash(std::string_view s);
+
+class HashRing {
+ public:
+  static constexpr int kDefaultVirtualNodes = 128;
+
+  explicit HashRing(int virtual_nodes = kDefaultVirtualNodes)
+      : virtual_nodes_(virtual_nodes < 1 ? 1 : virtual_nodes) {}
+
+  /// Adds a shard's virtual nodes. Adding a present shard is a no-op.
+  void AddShard(const std::string& name);
+
+  /// Removes a shard's virtual nodes. Absent shard is a no-op.
+  void RemoveShard(const std::string& name);
+
+  bool HasShard(std::string_view name) const;
+
+  /// Shard owning `key`; empty string when the ring is empty.
+  std::string ShardFor(std::string_view key) const;
+
+  /// The shard that would own `key` if `excluding` were not a member —
+  /// i.e. where the dead shard's range lands. Used by failover to pick
+  /// the adopting shard deterministically; empty when no other shard
+  /// exists.
+  std::string ShardForExcluding(std::string_view key,
+                                std::string_view excluding) const;
+
+  /// Member names, sorted.
+  std::vector<std::string> Shards() const;
+
+  size_t shard_count() const { return shards_.size(); }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+ private:
+  int virtual_nodes_;
+  std::set<std::string> shards_;
+  /// position → shard. Collisions (astronomically rare at 64 bits)
+  /// resolve to the lexicographically smaller shard so placement stays
+  /// independent of insertion order.
+  std::map<uint64_t, std::string> points_;
+};
+
+}  // namespace cluster
+}  // namespace et
+
+#endif  // ET_CLUSTER_RING_H_

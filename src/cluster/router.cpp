@@ -1,0 +1,831 @@
+#include "cluster/router.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/protocol.h"
+
+namespace et {
+namespace cluster {
+
+namespace {
+
+/// Blocking connect with an explicit deadline: the socket goes
+/// non-blocking for connect()+poll(), then back to blocking with
+/// SO_RCVTIMEO/SO_SNDTIMEO covering every later call.
+Result<int> DialWithTimeout(const std::string& host, int port,
+                            int connect_timeout_ms, int io_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad shard address: " + host);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    const Status st =
+        Status::IOError(std::string("connect: ") + strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    rc = ::poll(&pfd, 1, connect_timeout_ms);
+    if (rc <= 0) {
+      ::close(fd);
+      return Status::IOError(rc == 0 ? "connect timed out"
+                                     : std::string("poll: ") +
+                                           strerror(errno));
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::IOError(std::string("connect: ") + strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  timeval tv;
+  tv.tv_sec = io_timeout_ms / 1000;
+  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Writes the whole buffer; `*sent` reports progress even on failure so
+/// the caller can distinguish "frame never left" from "frame partially
+/// on the wire".
+Status SendAll(int fd, const std::string& data, size_t* sent) {
+  *sent = 0;
+  while (*sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + *sent, data.size() - *sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      *sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::IOError(std::string("send: ") + strerror(errno));
+  }
+  return Status::OK();
+}
+
+/// Reads exactly one response frame (the connection is request/response
+/// lockstep, so the first completed frame is the answer).
+Status RecvFrame(int fd, size_t max_frame_bytes, std::string* payload) {
+  serve::FrameParser parser(max_frame_bytes);
+  std::vector<std::string> frames;
+  char buf[16384];
+  while (frames.empty()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) return Status::IOError("connection closed by shard");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + strerror(errno));
+    }
+    ET_RETURN_NOT_OK(parser.Feed(buf, static_cast<size_t>(n), &frames));
+  }
+  *payload = std::move(frames.front());
+  return Status::OK();
+}
+
+std::string EncodeRequestPayload(uint64_t id, const std::string& method,
+                                 const obs::JsonValue& params) {
+  std::string out = "{\"id\":" + std::to_string(id) + ",\"method\":\"" +
+                    obs::JsonWriter::Escape(method) + "\",\"params\":";
+  if (params.kind == obs::JsonValue::Kind::kObject) {
+    out += obs::WriteJson(params);
+  } else {
+    out += "{}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+struct Router::Backend {
+  ShardConfig config;
+  std::mutex pool_mu;
+  std::vector<int> idle;
+};
+
+Result<std::unique_ptr<Router>> Router::Start(const RouterOptions& options) {
+  if (options.shards.empty()) {
+    return Status::InvalidArgument("router needs at least one shard");
+  }
+  for (const ShardConfig& shard : options.shards) {
+    if (shard.name.empty()) {
+      return Status::InvalidArgument("shard name must not be empty");
+    }
+    if (shard.port <= 0 || shard.port > 65535) {
+      return Status::InvalidArgument("shard " + shard.name +
+                                     ": bad port " +
+                                     std::to_string(shard.port));
+    }
+  }
+  for (size_t i = 0; i < options.shards.size(); ++i) {
+    for (size_t j = i + 1; j < options.shards.size(); ++j) {
+      if (options.shards[i].name == options.shards[j].name) {
+        return Status::InvalidArgument("duplicate shard name: " +
+                                       options.shards[i].name);
+      }
+    }
+  }
+  // A forwarded request holds a pool worker for its whole backend
+  // round trip, so the one-worker-per-core default would serialize
+  // forwards on small machines — and deadlock outright when a shard
+  // runs in the same process (the blocked forward occupies the worker
+  // the backend's own dispatch needs). Size the pool for the useful
+  // concurrency: one worker per pooled backend connection, plus slack
+  // for in-process servers and local admin requests.
+  ThreadPool::Global().EnsureWorkers(
+      static_cast<size_t>(options.pool_size) * options.shards.size() + 4);
+  std::unique_ptr<Router> router(new Router(options));
+  router->health_->Start();
+  return router;
+}
+
+Router::Router(const RouterOptions& options)
+    : options_(options), ring_(options.virtual_nodes) {
+  std::vector<std::string> names;
+  for (const ShardConfig& shard : options_.shards) {
+    auto backend = std::make_unique<Backend>();
+    backend->config = shard;
+    backends_.push_back(std::move(backend));
+    ring_.AddShard(shard.name);
+    names.push_back(shard.name);
+  }
+  health_ = std::make_unique<HealthChecker>(
+      options_.health, names,
+      [this](const std::string& shard) { return ProbeShard(shard); });
+  health_->SetOnDown([this](const std::string& shard) { OnShardDown(shard); });
+  health_->SetOnUp([this](const std::string& shard) { OnShardUp(shard); });
+}
+
+Router::~Router() {
+  Stop();
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    std::lock_guard<std::mutex> lock(backend->pool_mu);
+    for (int fd : backend->idle) ::close(fd);
+    backend->idle.clear();
+  }
+}
+
+void Router::Stop() {
+  if (stopped_.exchange(true)) return;
+  health_->Stop();
+}
+
+void Router::BeginDrain() {
+  if (!draining_.exchange(true)) ET_COUNTER_INC("cluster.drain.begun");
+}
+
+bool Router::TryBeginRequest() {
+  size_t current = inflight_.load(std::memory_order_relaxed);
+  while (true) {
+    if (current >= options_.max_inflight) return false;
+    if (inflight_.compare_exchange_weak(current, current + 1,
+                                        std::memory_order_acquire)) {
+      return true;
+    }
+  }
+}
+
+void Router::EndRequest() {
+  inflight_.fetch_sub(1, std::memory_order_release);
+}
+
+Router::Backend* Router::FindBackend(const std::string& shard) {
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    if (backend->config.name == shard) return backend.get();
+  }
+  return nullptr;
+}
+
+std::string Router::RingPlace(const std::string& id) {
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  return ring_.ShardFor(id);
+}
+
+std::string Router::ShardForSession(const std::string& session_id) {
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = routes_.find(session_id);
+    if (it != routes_.end() && !it->second.shard.empty()) {
+      return it->second.shard;
+    }
+  }
+  return RingPlace(session_id);
+}
+
+Result<std::string> Router::AcquireRoute(const std::string& id) {
+  std::lock_guard<std::mutex> lock(routes_mu_);
+  Route& route = routes_[id];
+  if (route.migrating) {
+    return Status::Unavailable("session " + id + " is migrating");
+  }
+  if (route.shard.empty()) {
+    std::string placed;
+    {
+      std::lock_guard<std::mutex> ring_lock(ring_mu_);
+      placed = ring_.ShardFor(id);
+    }
+    if (placed.empty()) {
+      if (route.inflight == 0) routes_.erase(id);
+      return Status::Unavailable("no healthy shard available");
+    }
+    route.shard = placed;
+  }
+  ++route.inflight;
+  return route.shard;
+}
+
+void Router::ReleaseRoute(const std::string& id) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = routes_.find(id);
+    if (it == routes_.end()) return;
+    if (--it->second.inflight == 0) notify = true;
+  }
+  if (notify) routes_cv_.notify_all();
+}
+
+Status Router::CallShard(const std::string& shard,
+                         const std::string& request,
+                         std::string* response) {
+  Backend* backend = FindBackend(shard);
+  if (backend == nullptr) {
+    return Status::InvalidArgument("unknown shard: " + shard);
+  }
+  if (health_->IsDown(shard)) {
+    return Status::Unavailable("shard " + shard + " is down");
+  }
+  int fd = -1;
+  bool pooled = false;
+  {
+    std::lock_guard<std::mutex> lock(backend->pool_mu);
+    if (!backend->idle.empty()) {
+      fd = backend->idle.back();
+      backend->idle.pop_back();
+      pooled = true;
+    }
+  }
+  if (fd < 0) {
+    Result<int> dialed =
+        DialWithTimeout(backend->config.host, backend->config.port,
+                        options_.connect_timeout_ms, options_.call_timeout_ms);
+    if (!dialed.ok()) {
+      health_->RecordFailure(shard);
+      // The connection never existed, so the frame provably never
+      // reached the shard: safe for the client to retry blindly.
+      return Status::Unavailable("shard " + shard + " unreachable: " +
+                                 dialed.status().message());
+    }
+    fd = *dialed;
+  }
+  const std::string frame = serve::EncodeFrame(request);
+  size_t sent = 0;
+  Status st = SendAll(fd, frame, &sent);
+  if (!st.ok()) {
+    ::close(fd);
+    health_->RecordFailure(shard);
+    if (sent == 0) {
+      // Zero bytes left this process; the shard only dispatches
+      // *complete* frames, so the request was never applied. (A stale
+      // pooled connection whose first write fails lands here too.)
+      return Status::Unavailable("shard " + shard +
+                                 " write failed before any bytes: " +
+                                 st.message());
+    }
+    return Status::IOError("outcome unknown: partial write to shard " +
+                           shard + ": " + st.message());
+  }
+  st = RecvFrame(fd, serve::kDefaultMaxFrameBytes, response);
+  if (!st.ok()) {
+    ::close(fd);
+    health_->RecordFailure(shard);
+    if (pooled && sent == frame.size()) {
+      // A pooled connection the shard had already closed can swallow a
+      // full send into a dead socket; we cannot prove non-delivery, so
+      // the honest answer is outcome-unknown and the client resyncs
+      // via session.get.
+    }
+    return Status::IOError("outcome unknown: no response from shard " +
+                           shard + ": " + st.message());
+  }
+  health_->RecordSuccess(shard);
+  {
+    std::lock_guard<std::mutex> lock(backend->pool_mu);
+    if (backend->idle.size() < options_.pool_size &&
+        !stopped_.load(std::memory_order_relaxed)) {
+      backend->idle.push_back(fd);
+      fd = -1;
+    }
+  }
+  if (fd >= 0) ::close(fd);
+  return Status::OK();
+}
+
+Status Router::ProbeShard(const std::string& shard) {
+  Backend* backend = FindBackend(shard);
+  if (backend == nullptr) {
+    return Status::InvalidArgument("unknown shard: " + shard);
+  }
+  Result<int> dialed =
+      DialWithTimeout(backend->config.host, backend->config.port,
+                      options_.probe_timeout_ms, options_.probe_timeout_ms);
+  if (!dialed.ok()) return dialed.status();
+  const int fd = *dialed;
+  static const std::string kProbe =
+      "{\"id\":1,\"method\":\"stats.scrape\",\"params\":{}}";
+  const std::string frame = serve::EncodeFrame(kProbe);
+  size_t sent = 0;
+  Status st = SendAll(fd, frame, &sent);
+  if (st.ok()) {
+    std::string response;
+    st = RecvFrame(fd, serve::kDefaultMaxFrameBytes, &response);
+  }
+  ::close(fd);
+  return st;
+}
+
+void Router::ClearPool(const std::string& shard) {
+  Backend* backend = FindBackend(shard);
+  if (backend == nullptr) return;
+  std::vector<int> doomed;
+  {
+    std::lock_guard<std::mutex> lock(backend->pool_mu);
+    doomed.swap(backend->idle);
+  }
+  for (int fd : doomed) ::close(fd);
+}
+
+void Router::OnShardDown(const std::string& shard) {
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    ring_.RemoveShard(shard);
+  }
+  ClearPool(shard);
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.shard_down;
+  }
+  if (!options_.enable_failover || stopped_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  Backend* dead = FindBackend(shard);
+  if (dead == nullptr || dead->config.journal_dir.empty()) return;
+
+  // The adopter is the dead shard's ring successor *after* removal —
+  // deterministic, so a restarted router (or an operator reading the
+  // docs) can predict where sessions went.
+  std::string adopter;
+  {
+    std::lock_guard<std::mutex> lock(ring_mu_);
+    adopter = ring_.ShardFor(shard);
+  }
+  if (adopter.empty()) return;  // no survivors; nothing to adopt onto
+
+  obs::JsonValue params;
+  params.kind = obs::JsonValue::Kind::kObject;
+  obs::JsonValue dir;
+  dir.kind = obs::JsonValue::Kind::kString;
+  dir.string_value = dead->config.journal_dir;
+  params.object.emplace("journal_dir", std::move(dir));
+  const std::string adopt = EncodeRequestPayload(1, "admin.adopt", params);
+
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (stopped_.load(std::memory_order_relaxed)) return;
+    std::string payload;
+    const Status st = CallShard(adopter, adopt, &payload);
+    if (st.ok()) {
+      Result<serve::Response> response = serve::ParseResponse(payload);
+      if (response.ok() && response->ok) {
+        size_t adopted = 0;
+        const obs::JsonValue* sessions = response->result.Find("sessions");
+        if (sessions != nullptr && sessions->is_array()) {
+          std::lock_guard<std::mutex> lock(routes_mu_);
+          for (const obs::JsonValue& id : sessions->array) {
+            if (!id.is_string()) continue;
+            routes_[id.string_value].shard = adopter;
+            ++adopted;
+          }
+        }
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.failovers;
+          counters_.sessions_failed_over += adopted;
+        }
+        ET_COUNTER_INC("cluster.failover");
+        ET_COUNTER_ADD("cluster.sessions.failed_over",
+                       static_cast<uint64_t>(adopted));
+        return;
+      }
+      // The adopter answered but refused (draining, transient IO
+      // error); fall through to retry.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50 * (attempt + 1)));
+  }
+  ET_COUNTER_INC("cluster.failover.abandoned");
+}
+
+void Router::OnShardUp(const std::string& shard) {
+  if (FindBackend(shard) == nullptr) return;
+  ClearPool(shard);
+  std::lock_guard<std::mutex> lock(ring_mu_);
+  ring_.AddShard(shard);
+}
+
+Result<std::string> Router::HandleCreate(serve::Request request,
+                                         std::string* response_payload) {
+  std::string session_id;
+  if (request.params.kind != obs::JsonValue::Kind::kObject) {
+    request.params.kind = obs::JsonValue::Kind::kObject;
+  }
+  const obs::JsonValue* provided = request.params.Find("session_id");
+  if (provided != nullptr) {
+    if (!provided->is_string() || provided->string_value.empty()) {
+      return Status::InvalidArgument("session_id must be a non-empty string");
+    }
+    session_id = provided->string_value;
+  } else {
+    session_id = options_.id_prefix +
+                 std::to_string(next_session_.fetch_add(1));
+    obs::JsonValue id_value;
+    id_value.kind = obs::JsonValue::Kind::kString;
+    id_value.string_value = session_id;
+    request.params.object.emplace("session_id", std::move(id_value));
+  }
+
+  Result<std::string> route = AcquireRoute(session_id);
+  if (!route.ok()) return route.status();
+  const std::string& shard = *route;
+  const std::string payload =
+      EncodeRequestPayload(request.id, request.method, request.params);
+  const Status st = CallShard(shard, payload, response_payload);
+  ReleaseRoute(session_id);
+  if (!st.ok()) return st;
+  return session_id;
+}
+
+Result<std::string> Router::HandleForward(const serve::Request& request,
+                                          const std::string& payload,
+                                          std::string* response_payload) {
+  const obs::JsonValue* id_value = request.params.Find("session_id");
+  if (id_value == nullptr || !id_value->is_string() ||
+      id_value->string_value.empty()) {
+    return Status::InvalidArgument("missing params.session_id");
+  }
+  const std::string& session_id = id_value->string_value;
+  Result<std::string> route = AcquireRoute(session_id);
+  if (!route.ok()) return route.status();
+  const Status st = CallShard(*route, payload, response_payload);
+  ReleaseRoute(session_id);
+  if (!st.ok()) return st;
+  return session_id;
+}
+
+Result<std::string> Router::HandleMigrate(const serve::Request& request) {
+  const obs::JsonValue* id_value = request.params.Find("session_id");
+  if (id_value == nullptr || !id_value->is_string() ||
+      id_value->string_value.empty()) {
+    return Status::InvalidArgument("missing params.session_id");
+  }
+  const obs::JsonValue* target_value = request.params.Find("target");
+  if (target_value == nullptr || !target_value->is_string() ||
+      target_value->string_value.empty()) {
+    return Status::InvalidArgument("missing params.target");
+  }
+  const std::string session_id = id_value->string_value;
+  const std::string target = target_value->string_value;
+  if (FindBackend(target) == nullptr) {
+    return Status::InvalidArgument("unknown target shard: " + target);
+  }
+  if (health_->IsDown(target)) {
+    return Status::Unavailable("target shard " + target + " is down");
+  }
+
+  std::string owner;
+  {
+    std::unique_lock<std::mutex> lock(routes_mu_);
+    Route& route = routes_[session_id];
+    if (route.migrating) {
+      return Status::Unavailable("session " + session_id +
+                                 " is already migrating");
+    }
+    if (route.shard.empty()) {
+      std::string placed;
+      {
+        std::lock_guard<std::mutex> ring_lock(ring_mu_);
+        placed = ring_.ShardFor(session_id);
+      }
+      if (placed.empty()) {
+        if (route.inflight == 0) routes_.erase(session_id);
+        return Status::Unavailable("no healthy shard available");
+      }
+      route.shard = placed;
+    }
+    owner = route.shard;
+    if (owner == target) {
+      return std::string("{\"session_id\":\"") +
+             obs::JsonWriter::Escape(session_id) + "\",\"from\":\"" +
+             obs::JsonWriter::Escape(owner) + "\",\"to\":\"" +
+             obs::JsonWriter::Escape(target) + "\",\"moved\":false}";
+    }
+    route.migrating = true;
+    const bool drained = routes_cv_.wait_for(
+        lock, std::chrono::seconds(5),
+        [&] { return routes_[session_id].inflight == 0; });
+    if (!drained) {
+      routes_[session_id].migrating = false;
+      return Status::DeadlineExceeded(
+          "in-flight requests on " + session_id + " did not drain");
+    }
+  }
+
+  auto unpin = [this, &session_id]() {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = routes_.find(session_id);
+    if (it != routes_.end()) it->second.migrating = false;
+  };
+
+  // 1. Snapshot on the current owner, payload returned inline.
+  obs::JsonValue snap_params;
+  snap_params.kind = obs::JsonValue::Kind::kObject;
+  {
+    obs::JsonValue v;
+    v.kind = obs::JsonValue::Kind::kString;
+    v.string_value = session_id;
+    snap_params.object.emplace("session_id", std::move(v));
+    obs::JsonValue rp;
+    rp.kind = obs::JsonValue::Kind::kBool;
+    rp.bool_value = true;
+    snap_params.object.emplace("return_payload", std::move(rp));
+  }
+  std::string payload;
+  Status st = CallShard(
+      owner, EncodeRequestPayload(1, "session.snapshot", snap_params),
+      &payload);
+  if (!st.ok()) {
+    unpin();
+    return st;
+  }
+  Result<serve::Response> snap = serve::ParseResponse(payload);
+  if (!snap.ok()) {
+    unpin();
+    return snap.status();
+  }
+  if (!snap->ok) {
+    unpin();
+    return Status(snap->code, "snapshot on " + owner + ": " + snap->message);
+  }
+  const obs::JsonValue* snapshot = snap->result.Find("snapshot");
+  if (snapshot == nullptr || !snapshot->is_string()) {
+    unpin();
+    return Status::Internal("shard " + owner +
+                            " returned no inline snapshot payload");
+  }
+
+  // 2. Restore on the target from the inline payload.
+  obs::JsonValue restore_params;
+  restore_params.kind = obs::JsonValue::Kind::kObject;
+  {
+    obs::JsonValue v;
+    v.kind = obs::JsonValue::Kind::kString;
+    v.string_value = session_id;
+    restore_params.object.emplace("session_id", std::move(v));
+    obs::JsonValue s;
+    s.kind = obs::JsonValue::Kind::kString;
+    s.string_value = snapshot->string_value;
+    restore_params.object.emplace("snapshot", std::move(s));
+  }
+  st = CallShard(target,
+                 EncodeRequestPayload(1, "session.restore", restore_params),
+                 &payload);
+  if (!st.ok()) {
+    unpin();
+    return st;
+  }
+  Result<serve::Response> restored = serve::ParseResponse(payload);
+  if (!restored.ok()) {
+    unpin();
+    return restored.status();
+  }
+  if (!restored->ok) {
+    unpin();
+    return Status(restored->code,
+                  "restore on " + target + ": " + restored->message);
+  }
+
+  // 3. Close on the old owner. Best-effort: the target already has the
+  // state, and an orphaned copy on the owner is unreachable (the pin
+  // below routes everything to the target).
+  obs::JsonValue close_params;
+  close_params.kind = obs::JsonValue::Kind::kObject;
+  {
+    obs::JsonValue v;
+    v.kind = obs::JsonValue::Kind::kString;
+    v.string_value = session_id;
+    close_params.object.emplace("session_id", std::move(v));
+  }
+  std::string close_response;
+  (void)CallShard(owner,
+                  EncodeRequestPayload(1, "session.close", close_params),
+                  &close_response);
+
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    Route& route = routes_[session_id];
+    route.shard = target;
+    route.migrating = false;
+  }
+  routes_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.migrations;
+  }
+  ET_COUNTER_INC("cluster.migrations");
+
+  return std::string("{\"session_id\":\"") +
+         obs::JsonWriter::Escape(session_id) + "\",\"from\":\"" +
+         obs::JsonWriter::Escape(owner) + "\",\"to\":\"" +
+         obs::JsonWriter::Escape(target) + "\",\"moved\":true}";
+}
+
+std::string Router::StatsJson() const {
+  RouterCounters counters = this->counters();
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("router");
+  w.Bool(true);
+  w.Key("cluster");
+  w.BeginObject();
+  w.Key("forwarded");
+  w.Uint(counters.forwarded);
+  w.Key("unavailable");
+  w.Uint(counters.unavailable);
+  w.Key("outcome_unknown");
+  w.Uint(counters.outcome_unknown);
+  w.Key("shard_down");
+  w.Uint(counters.shard_down);
+  w.Key("failovers");
+  w.Uint(counters.failovers);
+  w.Key("sessions_failed_over");
+  w.Uint(counters.sessions_failed_over);
+  w.Key("migrations");
+  w.Uint(counters.migrations);
+  w.EndObject();
+  w.Key("pinned_sessions");
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    w.Uint(routes_.size());
+  }
+  w.Key("inflight");
+  w.Uint(inflight_.load(std::memory_order_relaxed));
+  w.Key("draining");
+  w.Bool(draining_.load(std::memory_order_acquire));
+  w.Key("shards");
+  w.BeginArray();
+  for (const std::unique_ptr<Backend>& backend : backends_) {
+    w.BeginObject();
+    w.Key("name");
+    w.String(backend->config.name);
+    w.Key("host");
+    w.String(backend->config.host);
+    w.Key("port");
+    w.Int(backend->config.port);
+    w.Key("up");
+    w.Bool(!health_->IsDown(backend->config.name));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.Release();
+}
+
+RouterCounters Router::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+std::string Router::Handle(const std::string& request_payload,
+                           serve::RequestInfo* info) {
+  ET_TRACE_SCOPE("cluster.route");
+  Result<serve::Request> parsed = serve::ParseRequest(request_payload);
+  if (!parsed.ok()) {
+    if (info != nullptr) info->ok = false;
+    return serve::ErrorResponse(0, parsed.status());
+  }
+  const serve::Request& request = *parsed;
+  if (info != nullptr) info->method = request.method;
+
+  auto fail = [&](const Status& st) {
+    if (info != nullptr) info->ok = false;
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      if (st.code() == StatusCode::kUnavailable) {
+        ++counters_.unavailable;
+      } else if (st.code() == StatusCode::kIOError) {
+        ++counters_.outcome_unknown;
+      }
+    }
+    if (st.code() == StatusCode::kUnavailable) {
+      ET_COUNTER_INC("cluster.unavailable");
+      return serve::ErrorResponse(request.id, st, options_.retry_after_ms);
+    }
+    if (st.code() == StatusCode::kIOError) {
+      ET_COUNTER_INC("cluster.outcome_unknown");
+    }
+    return serve::ErrorResponse(request.id, st);
+  };
+
+  if (request.method == "server.ping") {
+    size_t up = 0;
+    for (const std::unique_ptr<Backend>& backend : backends_) {
+      if (!health_->IsDown(backend->config.name)) ++up;
+    }
+    if (info != nullptr) info->ok = true;
+    return serve::OkResponse(
+        request.id, "{\"pong\":true,\"router\":true,\"shards\":" +
+                        std::to_string(backends_.size()) +
+                        ",\"shards_up\":" + std::to_string(up) + "}");
+  }
+  if (request.method == "stats.scrape") {
+    if (info != nullptr) info->ok = true;
+    return serve::OkResponse(request.id, StatsJson());
+  }
+  if (request.method == "admin.drain") {
+    BeginDrain();
+    if (info != nullptr) info->ok = true;
+    return serve::OkResponse(request.id, "{\"draining\":true}");
+  }
+
+  const bool mutating = request.method != "session.get";
+  if (draining_.load(std::memory_order_acquire) && mutating) {
+    return fail(Status::Unavailable("router is draining"));
+  }
+
+  if (request.method == "admin.migrate") {
+    Result<std::string> result = HandleMigrate(request);
+    if (!result.ok()) return fail(result.status());
+    if (info != nullptr) info->ok = true;
+    return serve::OkResponse(request.id, *result);
+  }
+
+  std::string response_payload;
+  Result<std::string> session_id =
+      request.method == "session.create"
+          ? HandleCreate(request, &response_payload)
+          : (request.method.rfind("session.", 0) == 0
+                 ? HandleForward(request, request_payload, &response_payload)
+                 : Result<std::string>(Status::NotFound("unknown method: " +
+                                                        request.method)));
+  if (info != nullptr && session_id.ok()) info->session_id = *session_id;
+  if (!session_id.ok()) return fail(session_id.status());
+
+  {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.forwarded;
+  }
+  ET_COUNTER_INC("cluster.requests.forwarded");
+  if (info != nullptr) {
+    Result<serve::Response> response = serve::ParseResponse(response_payload);
+    info->ok = response.ok() && response->ok;
+  }
+  return response_payload;
+}
+
+}  // namespace cluster
+}  // namespace et

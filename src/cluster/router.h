@@ -1,0 +1,203 @@
+// Session router: N et_serve shards behind one wire endpoint.
+//
+// The router implements serve::RequestHandler, so tools/et_router
+// reuses the whole poll front end from serve/server.cpp — framing,
+// admission budget, request ids, latency histograms, slow log — and
+// this class only decides *where* each frame goes:
+//
+//   server.ping / stats.scrape / admin.drain   answered locally
+//   admin.migrate                              orchestrated locally
+//   session.create                             id minted here, placed
+//                                              on the consistent-hash
+//                                              ring, forwarded with
+//                                              params.session_id set
+//   session.*                                  pinned shard (or ring)
+//
+// Forwarded frames travel over per-shard pools of blocking
+// connections, one request per checkout, so responses never interleave
+// and the backend's reply (which echoes the client's request id) is
+// passed back byte-verbatim.
+//
+// Error mapping preserves the exactly-once discipline of serve/client:
+// a request that provably never reached a shard (shard marked down,
+// dial failed, zero bytes written — the backend only dispatches
+// *complete* frames) is answered kUnavailable + retry_after_ms, which
+// clients blindly retry; a transport failure after bytes left
+// (send partial, recv error/EOF) is answered `io_error` with an
+// "outcome unknown:" message, which clients resolve by resyncing via
+// the read-only session.get, never by resending blindly.
+//
+// Failover: the health checker (active stats.scrape probes + forward
+// -path failure reports) declares a shard down after K consecutive
+// failures; the router removes it from the ring, picks the ring
+// successor of the dead shard deterministically, and asks it to
+// `admin.adopt` the dead shard's journal directory (PR-8 replay path;
+// requires a shared filesystem). Recovered sessions are repinned to
+// the adopter; the dead shard's other ring range serves new sessions
+// on surviving shards immediately.
+
+#ifndef ET_CLUSTER_ROUTER_H_
+#define ET_CLUSTER_ROUTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/health.h"
+#include "cluster/ring.h"
+#include "common/result.h"
+#include "serve/session.h"
+
+namespace et {
+namespace cluster {
+
+struct ShardConfig {
+  /// Ring identity; must be unique and stable across router restarts.
+  std::string name;
+  std::string host = "127.0.0.1";
+  int port = 0;
+  /// The shard's --journal-dir as visible from this process; empty
+  /// disables failover adoption of this shard's sessions.
+  std::string journal_dir;
+};
+
+struct RouterOptions {
+  std::vector<ShardConfig> shards;
+  int virtual_nodes = HashRing::kDefaultVirtualNodes;
+  /// Bounded in-flight budget of the router front end.
+  size_t max_inflight = 128;
+  double retry_after_ms = 25.0;
+  /// Idle connections kept pooled per shard.
+  size_t pool_size = 8;
+  int connect_timeout_ms = 1000;
+  /// Per-call send/recv deadline on a backend connection.
+  int call_timeout_ms = 30000;
+  /// Deadline of one health probe round trip.
+  int probe_timeout_ms = 500;
+  HealthOptions health;
+  /// Adopt a dead shard's journals onto its ring successor.
+  bool enable_failover = true;
+  /// Prefix of router-minted session ids ("c-<n>"). Distinct from the
+  /// shards' own "s-<n>" namespace so direct-to-shard sessions can
+  /// never collide with routed ones.
+  std::string id_prefix = "c-";
+};
+
+/// Monotonic counters mirrored into the obs registry (cluster.*).
+struct RouterCounters {
+  uint64_t forwarded = 0;
+  uint64_t unavailable = 0;
+  uint64_t outcome_unknown = 0;
+  uint64_t shard_down = 0;
+  uint64_t failovers = 0;
+  uint64_t sessions_failed_over = 0;
+  uint64_t migrations = 0;
+};
+
+class Router : public serve::RequestHandler {
+ public:
+  /// Validates the shard set, builds the ring, starts health probing.
+  static Result<std::unique_ptr<Router>> Start(const RouterOptions& options);
+  ~Router() override;
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  // serve::RequestHandler
+  bool TryBeginRequest() override;
+  void EndRequest() override;
+  double retry_after_ms() const override { return options_.retry_after_ms; }
+  bool draining() const override {
+    return draining_.load(std::memory_order_acquire);
+  }
+  std::string Handle(const std::string& request_payload,
+                     serve::RequestInfo* info) override;
+
+  /// Stops accepting mutating work (create/label/restore/close/
+  /// migrate); reads keep flowing so clients can resync. Idempotent.
+  void BeginDrain();
+
+  /// Stops health probing (and with it, failover). Destruction calls
+  /// this too.
+  void Stop();
+
+  /// Where `session_id` is (or would be) served: its pin, else its
+  /// ring placement. Empty when no shard is healthy.
+  std::string ShardForSession(const std::string& session_id);
+
+  HealthChecker& health() { return *health_; }
+  RouterCounters counters() const;
+  size_t InflightRequests() const {
+    return inflight_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Backend;
+  struct Route {
+    std::string shard;
+    int inflight = 0;
+    bool migrating = false;
+  };
+
+  explicit Router(const RouterOptions& options);
+
+  Backend* FindBackend(const std::string& shard);
+
+  /// One request/response round trip against a shard, pooled
+  /// connection or fresh dial. kUnavailable = provably not applied;
+  /// kIOError "outcome unknown:" = may have been applied.
+  Status CallShard(const std::string& shard, const std::string& request,
+                   std::string* response);
+
+  /// Health probe: fresh connection, stats.scrape, short deadline.
+  /// Bypasses the pool and the down check.
+  Status ProbeShard(const std::string& shard);
+
+  void OnShardDown(const std::string& shard);
+  void OnShardUp(const std::string& shard);
+  void ClearPool(const std::string& shard);
+
+  /// Places `id` on the ring of healthy shards.
+  std::string RingPlace(const std::string& id);
+
+  /// Pins (or looks up) the route of `id` and takes an in-flight ref.
+  Result<std::string> AcquireRoute(const std::string& id);
+  void ReleaseRoute(const std::string& id);
+
+  Result<std::string> HandleCreate(serve::Request request,
+                                   std::string* response_payload);
+  Result<std::string> HandleForward(const serve::Request& request,
+                                    const std::string& payload,
+                                    std::string* response_payload);
+  Result<std::string> HandleMigrate(const serve::Request& request);
+  std::string StatsJson() const;
+
+  RouterOptions options_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  std::unique_ptr<HealthChecker> health_;
+
+  mutable std::mutex ring_mu_;
+  HashRing ring_;
+
+  mutable std::mutex routes_mu_;
+  std::condition_variable routes_cv_;
+  std::unordered_map<std::string, Route> routes_;
+
+  std::atomic<uint64_t> next_session_{1};
+  std::atomic<size_t> inflight_{0};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+
+  mutable std::mutex counters_mu_;
+  RouterCounters counters_;
+};
+
+}  // namespace cluster
+}  // namespace et
+
+#endif  // ET_CLUSTER_ROUTER_H_

@@ -83,6 +83,19 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+size_t ThreadPool::num_threads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkers(size_t n) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return;
+  while (workers_.size() < n) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);

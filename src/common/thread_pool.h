@@ -43,10 +43,19 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const;
 
   /// Enqueues a task for any worker. Never blocks.
   void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `n` workers (never shrinks). The
+  /// one-worker-per-core default assumes CPU-bound tasks; callers
+  /// whose tasks block on external I/O — the cluster router holds a
+  /// worker for the duration of each forwarded request — need more
+  /// workers than cores or a small machine serializes every forward
+  /// (and a router chained to an in-process shard deadlocks: the
+  /// blocked forward occupies the worker its own backend needs).
+  void EnsureWorkers(size_t n);
 
   /// The process-wide pool, created on first use with one worker per
   /// hardware thread (leaked singleton, same rationale as the metrics
@@ -56,7 +65,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;

@@ -239,6 +239,47 @@ class Parser {
     return Status::OK();
   }
 
+  /// Reads exactly four hex digits at pos_ into a code unit.
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t code = 0;
+    for (size_t i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + i];
+      uint32_t digit;
+      if (h >= '0' && h <= '9') {
+        digit = static_cast<uint32_t>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        digit = static_cast<uint32_t>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        digit = static_cast<uint32_t>(h - 'A' + 10);
+      } else {
+        return Error("bad \\u escape");
+      }
+      code = (code << 4) | digit;
+    }
+    pos_ += 4;
+    *out = code;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xC0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else if (code < 0x10000) {
+      *out += static_cast<char>(0xE0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (code >> 18));
+      *out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+  }
+
   Status ParseString(std::string* out) {
     if (!Consume('"')) return Error("expected '\"'");
     out->clear();
@@ -279,14 +320,27 @@ class Parser {
           *out += '\f';
           break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-          const std::string hex(text_.substr(pos_, 4));
-          char* end = nullptr;
-          const long code = std::strtol(hex.c_str(), &end, 16);
-          if (end != hex.c_str() + 4) return Error("bad \\u escape");
-          pos_ += 4;
-          // ASCII only (all we ever emit); others become '?'.
-          *out += code < 0x80 ? static_cast<char>(code) : '?';
+          uint32_t code = 0;
+          ET_RETURN_NOT_OK(ParseHex4(&code));
+          // A high surrogate must be merged with the low surrogate of
+          // an immediately following \uXXXX escape into one code point
+          // beyond the BMP (RFC 8259 §7).
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              return Error("unpaired high surrogate in \\u escape");
+            }
+            pos_ += 2;
+            uint32_t low = 0;
+            ET_RETURN_NOT_OK(ParseHex4(&low));
+            if (low < 0xDC00 || low > 0xDFFF) {
+              return Error("expected low surrogate in \\u escape");
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate in \\u escape");
+          }
+          AppendUtf8(code, out);
           break;
         }
         default:
@@ -339,6 +393,57 @@ class Parser {
 
 Result<JsonValue> ParseJson(std::string_view text) {
   return Parser(text).Parse();
+}
+
+namespace {
+
+void WriteValue(const JsonValue& v, JsonWriter* w) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      w->Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w->Bool(v.bool_value);
+      break;
+    case JsonValue::Kind::kNumber: {
+      // Integral values (request ids, rounds, counters) must round-trip
+      // without picking up a ".0"/exponent — peers parse some of them
+      // with integer parsers.
+      // Range check first: casting an out-of-range double to int64 is
+      // undefined behavior.
+      if (v.number >= -9.0e18 && v.number <= 9.0e18 &&
+          static_cast<double>(static_cast<int64_t>(v.number)) == v.number) {
+        w->Int(static_cast<int64_t>(v.number));
+      } else {
+        w->Double(v.number);
+      }
+      break;
+    }
+    case JsonValue::Kind::kString:
+      w->String(v.string_value);
+      break;
+    case JsonValue::Kind::kArray:
+      w->BeginArray();
+      for (const JsonValue& item : v.array) WriteValue(item, w);
+      w->EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w->BeginObject();
+      for (const auto& [key, value] : v.object) {
+        w->Key(key);
+        WriteValue(value, w);
+      }
+      w->EndObject();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string WriteJson(const JsonValue& value) {
+  JsonWriter w;
+  WriteValue(value, &w);
+  return w.Release();
 }
 
 }  // namespace obs

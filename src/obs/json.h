@@ -1,8 +1,11 @@
 // Minimal JSON support for the observability subsystem: a streaming
 // writer (trace + manifest emission) and a small recursive-descent
-// parser (round-trip validation in tests, manifest re-reading). Not a
-// general-purpose JSON library: numbers are doubles, no \uXXXX escape
-// emission beyond control characters, inputs are trusted local files.
+// parser (round-trip validation in tests, manifest re-reading, wire
+// frames crossing the cluster router). Not a general-purpose JSON
+// library: numbers are doubles, no \uXXXX escape emission beyond
+// control characters. The reader does decode \uXXXX escapes fully —
+// including surrogate pairs — into UTF-8, so frames that arrive with
+// escaped unicode survive a parse/re-encode round trip.
 
 #ifndef ET_OBS_JSON_H_
 #define ET_OBS_JSON_H_
@@ -81,6 +84,14 @@ class JsonValue {
 /// Parses a complete JSON document (trailing whitespace allowed,
 /// trailing garbage rejected).
 Result<JsonValue> ParseJson(std::string_view text);
+
+/// Serializes a JsonValue back to compact JSON text. Object members
+/// emit in sorted-key order (the map's order), so serialization is
+/// deterministic; strings re-escape per JsonWriter::Escape. Numbers
+/// that hold an integral value within int64 range print without a
+/// fractional part, matching what the streaming writer emits for ids
+/// and counters.
+std::string WriteJson(const JsonValue& value);
 
 }  // namespace obs
 }  // namespace et

@@ -48,6 +48,9 @@ uint64_t PeekRequestId(const std::string& payload) {
 struct Server::Impl {
   ServerOptions options;
   SessionManager manager;
+  /// Where frames go: &manager, or the external handler from the
+  /// options (cluster router). Never null after construction.
+  RequestHandler* handler = nullptr;
   int listen_fd = -1;
   int port = 0;
   int wake_read = -1;
@@ -79,6 +82,7 @@ struct Server::Impl {
         manager(opts.sessions),
         snapshotter(obs::DeltaSnapshotter::Options{
             opts.stats_interval_ms == 0 ? 1000 : opts.stats_interval_ms}) {
+    handler = opts.handler != nullptr ? opts.handler : &manager;
   }
 
   ~Impl() {
@@ -141,7 +145,7 @@ struct Server::Impl {
         // (ECONNABORTED etc.) are per-connection; keep serving.
         return;
       }
-      if (manager.draining()) {
+      if (handler->draining()) {
         // Draining: no new connections — an immediate close tells the
         // client to retry elsewhere (the Client reconnect loop treats
         // it like a restart in progress).
@@ -199,10 +203,10 @@ struct Server::Impl {
           conn,
           ErrorResponse(PeekRequestId(payload),
                         Status::Unavailable(read_fault.message()),
-                        manager.retry_after_ms()));
+                        handler->retry_after_ms()));
       return;
     }
-    if (!manager.TryBeginRequest()) {
+    if (!handler->TryBeginRequest()) {
       ET_COUNTER_INC("serve.requests.total");
       ET_COUNTER_INC("serve.requests.unavailable");
       EnqueueResponse(
@@ -210,7 +214,7 @@ struct Server::Impl {
           ErrorResponse(
               PeekRequestId(payload),
               Status::Unavailable("server at max in-flight requests"),
-              manager.retry_after_ms()));
+              handler->retry_after_ms()));
       return;
     }
     // The request exists from here on: it has an id, and its life is
@@ -229,9 +233,9 @@ struct Server::Impl {
       std::string response;
       {
         RequestIdScope scope(request_id);
-        response = self->manager.Handle(payload, &info);
+        response = self->handler->Handle(payload, &info);
       }
-      self->manager.EndRequest();
+      self->handler->EndRequest();
       const uint64_t t_end = obs::NowNanos();
       auto& registry = obs::MetricsRegistry::Global();
       registry.GetHistogram("serve.request.queue_wait")
@@ -435,7 +439,9 @@ Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   // Start wins for tests that run several servers.
   obs::SlowRequestLog::Global().SetThresholdMillis(
       options.slow_request_ms);
-  impl->manager.SetDeltaSnapshotter(&impl->snapshotter);
+  if (options.handler == nullptr) {
+    impl->manager.SetDeltaSnapshotter(&impl->snapshotter);
+  }
   if (options.stats_interval_ms > 0) impl->snapshotter.Start();
 
   impl->io_thread = std::thread([impl] { impl->IoLoop(impl); });

@@ -34,6 +34,12 @@ struct ServerOptions {
   int port = 0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   SessionManagerOptions sessions;
+  /// External request handler (not owned; must outlive the server).
+  /// When set, every frame is dispatched to it instead of the embedded
+  /// SessionManager — this is how cluster::Router reuses the whole
+  /// poll front end (framing, admission, latency metrics, slow log)
+  /// without owning sessions itself. `sessions` above is ignored.
+  RequestHandler* handler = nullptr;
   /// Requests whose total latency (admit -> response enqueued) reaches
   /// this are recorded in the slow-request log; <= 0 disables.
   double slow_request_ms = 0.0;
@@ -57,6 +63,8 @@ class Server {
   /// The bound port (resolves ephemeral binds).
   int port() const;
 
+  /// The embedded session manager. Meaningless (unused) when an
+  /// external handler was configured.
   SessionManager& sessions();
 
   /// The owned snapshotter behind stats.scrape's delta view (running

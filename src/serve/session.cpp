@@ -1020,7 +1020,8 @@ std::string SessionManager::Handle(const std::string& request_payload,
 
 Result<std::string> SessionManager::Dispatch(const Request& request) {
   if (!ready_.load(std::memory_order_acquire) &&
-      request.method.rfind("session.", 0) == 0) {
+      (request.method.rfind("session.", 0) == 0 ||
+       request.method == "admin.adopt")) {
     return Status::Unavailable("recovering sessions from journals");
   }
   // Draining: mutating ops are refused so in-flight work runs dry and
@@ -1030,7 +1031,8 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
   if (draining() && (request.method == "session.create" ||
                      request.method == "session.label" ||
                      request.method == "session.restore" ||
-                     request.method == "session.close")) {
+                     request.method == "session.close" ||
+                     request.method == "admin.adopt")) {
     ET_COUNTER_INC("serve.drain.rejected");
     return Status::Unavailable("server is draining");
   }
@@ -1065,6 +1067,10 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
   if (request.method == "admin.drain") {
     ET_TRACE_SCOPE("serve.admin.drain");
     return HandleDrain(request.params);
+  }
+  if (request.method == "admin.adopt") {
+    ET_TRACE_SCOPE("serve.admin.adopt");
+    return HandleAdopt(request.params);
   }
   if (request.method == "server.ping") {
     obs::JsonWriter w;
@@ -1255,15 +1261,37 @@ Result<std::string> SessionManager::HandleCreate(
   if (config.deadline_ms <= 0.0) {
     config.deadline_ms = options_.default_deadline_ms;
   }
+  // A caller may pre-assign the id (the cluster router mints globally
+  // unique ids so consistent-hash placement is a pure function of the
+  // id); otherwise the monotonic counter mints one.
+  std::string id;
+  const obs::JsonValue* wanted = params.Find("session_id");
+  if (wanted != nullptr) {
+    if (!wanted->is_string() || wanted->string_value.empty()) {
+      return Status::InvalidArgument("session_id must be a non-empty string");
+    }
+    id = wanted->string_value;
+    if (id.find('/') != std::string::npos ||
+        id.find("..") != std::string::npos) {
+      // The id becomes a journal/snapshot file name; no path tricks.
+      return Status::InvalidArgument("session_id contains path characters");
+    }
+    if (FindEntry(id) != nullptr) {
+      return Status::AlreadyExists("session " + id + " is live");
+    }
+    // If it lands in the generated namespace, keep the counter ahead.
+    ReserveGeneratedId(id);
+  }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
                       Session::Create(config, worlds_.get()));
   // Serialize the response before publishing the session: afterwards
   // another worker may already be mutating it. The monotonic counter
   // cannot collide with itself; restored ids are kept ahead of it by
   // ReserveGeneratedId.
-  const std::string id =
-      "s-" + std::to_string(
-                 next_session_.fetch_add(1, std::memory_order_relaxed));
+  if (id.empty()) {
+    id = "s-" + std::to_string(
+                    next_session_.fetch_add(1, std::memory_order_relaxed));
+  }
   const std::string result = SessionStateJson(id, *session);
   std::shared_ptr<SessionJournal> journal;
   if (journals_ != nullptr) {
@@ -1392,7 +1420,14 @@ Result<std::string> SessionManager::HandleLabel(
 
 Result<std::string> SessionManager::HandleSnapshot(
     const obs::JsonValue& params) {
-  if (store_ == nullptr) {
+  // With return_payload the caller receives the snapshot document
+  // itself (cross-shard migration carries state over the wire), so the
+  // store is optional; without it the store is the only destination.
+  const obs::JsonValue* rp = params.Find("return_payload");
+  const bool return_payload =
+      rp != nullptr && rp->kind == obs::JsonValue::Kind::kBool &&
+      rp->bool_value;
+  if (store_ == nullptr && !return_payload) {
     return Status::FailedPrecondition(
         "server started without --snapshot-dir");
   }
@@ -1413,22 +1448,37 @@ Result<std::string> SessionManager::HandleSnapshot(
   entry->last_activity_ns.store(obs::NowNanos(),
                                 std::memory_order_relaxed);
   const std::string name = "sess-" + id;
-  ET_RETURN_NOT_OK(store_->Save(name, payload));
+  if (store_ != nullptr) {
+    ET_RETURN_NOT_OK(store_->Save(name, payload));
+  }
   ET_COUNTER_INC("serve.snapshots.total");
 
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("name");
   w.String(name);
-  w.Key("path");
-  w.String(store_->PathFor(name));
+  if (store_ != nullptr) {
+    w.Key("path");
+    w.String(store_->PathFor(name));
+  }
+  if (return_payload) {
+    w.Key("snapshot");
+    w.String(payload);
+  }
   w.EndObject();
   return w.Release();
 }
 
 Result<std::string> SessionManager::HandleRestore(
     const obs::JsonValue& params) {
-  if (store_ == nullptr) {
+  // An inline `snapshot` param restores from a wire-carried document
+  // (the target side of cross-shard migration); otherwise the state
+  // comes from this shard's own snapshot store.
+  const obs::JsonValue* inline_snapshot = params.Find("snapshot");
+  if (inline_snapshot != nullptr && !inline_snapshot->is_string()) {
+    return Status::InvalidArgument("snapshot must be a string");
+  }
+  if (store_ == nullptr && inline_snapshot == nullptr) {
     return Status::FailedPrecondition(
         "server started without --snapshot-dir");
   }
@@ -1436,8 +1486,12 @@ Result<std::string> SessionManager::HandleRestore(
   if (FindEntry(id) != nullptr) {
     return Status::AlreadyExists("session " + id + " is live");
   }
-  ET_ASSIGN_OR_RETURN(const std::string payload,
-                      store_->Load("sess-" + id));
+  std::string payload;
+  if (inline_snapshot != nullptr) {
+    payload = inline_snapshot->string_value;
+  } else {
+    ET_ASSIGN_OR_RETURN(payload, store_->Load("sess-" + id));
+  }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
                       Session::Restore(payload, worlds_.get()));
   // Before publishing: once the counter is past this id, no concurrent
@@ -1741,8 +1795,8 @@ size_t SessionManager::RecoverFromJournals() {
   return recovered;
 }
 
-Result<bool> SessionManager::ReplayJournal(
-    const RecoveredJournal& recovered) {
+Result<std::unique_ptr<Session>> SessionManager::ReplaySessionRecords(
+    const RecoveredJournal& recovered, std::string* verified_snapshot) {
   std::unique_ptr<Session> session;
   std::string last_fingerprint;
   size_t replayed = 0;
@@ -1807,7 +1861,15 @@ Result<bool> SessionManager::ReplayJournal(
         " diverges from journaled " + last_fingerprint);
   }
   ET_COUNTER_ADD("serve.journal.replayed", replayed);
+  *verified_snapshot = snapshot;
+  return session;
+}
 
+Result<bool> SessionManager::ReplayJournal(
+    const RecoveredJournal& recovered) {
+  std::string snapshot;
+  ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
+                      ReplaySessionRecords(recovered, &snapshot));
   ReserveGeneratedId(recovered.session_id);
   ET_ASSIGN_OR_RETURN(std::shared_ptr<SessionJournal> journal,
                       journals_->OpenExisting(recovered.session_id));
@@ -1823,6 +1885,100 @@ Result<bool> SessionManager::ReplayJournal(
       Insert(recovered.session_id, std::move(session), journal));
   ET_COUNTER_INC("serve.sessions.recovered");
   return true;
+}
+
+Result<std::vector<std::string>> SessionManager::AdoptJournalDir(
+    const std::string& dir, size_t* skipped, size_t* quarantined) {
+  *skipped = 0;
+  *quarantined = 0;
+  if (journals_ == nullptr) {
+    return Status::FailedPrecondition(
+        "adoption requires this server to journal (--journal-dir)");
+  }
+  if (dir.empty() || dir == journals_->options().dir) {
+    return Status::InvalidArgument(
+        "adopt journal_dir must name a foreign journal directory");
+  }
+  // A short-lived manager over the dead shard's directory gives us the
+  // same salvage behavior as startup recovery: torn tails quarantined,
+  // clean prefixes returned for replay.
+  JournalOptions source_options = journals_->options();
+  source_options.dir = dir;
+  JournalManager source(source_options);
+  std::vector<std::string> adopted;
+  for (const RecoveredJournal& recovered : source.ScanForRecovery()) {
+    if (FindEntry(recovered.session_id) != nullptr) {
+      // Live here already (id minted twice in direct-to-shard mode, or
+      // a repeated adopt). The local session is the authority; leave
+      // the foreign file so an operator can inspect it.
+      ++*skipped;
+      continue;
+    }
+    std::string snapshot;
+    Result<std::unique_ptr<Session>> session =
+        ReplaySessionRecords(recovered, &snapshot);
+    if (!session.ok()) {
+      source.QuarantineFile(recovered.session_id,
+                            session.status().message());
+      ++*quarantined;
+      continue;
+    }
+    ReserveGeneratedId(recovered.session_id);
+    // Re-home the verified state into our own journal before the
+    // session goes live: from here on this shard owns its durability.
+    Result<std::shared_ptr<SessionJournal>> journal =
+        journals_->Create(recovered.session_id);
+    if (!journal.ok()) return journal.status();
+    const Status baselined = (*journal)->Append(
+        JournalSnapRecord(snapshot, ConfigFingerprint(snapshot)));
+    if (!baselined.ok()) {
+      journals_->Quarantine(journal->get(), baselined.message());
+      return Status::IOError("session journal unavailable: " +
+                             baselined.message());
+    }
+    const Status inserted =
+        Insert(recovered.session_id, std::move(*session), *journal);
+    if (!inserted.ok()) {
+      journals_->Remove(recovered.session_id);
+      if (inserted.code() == StatusCode::kAlreadyExists) {
+        ++*skipped;
+        continue;
+      }
+      return inserted;
+    }
+    // Only after the session is durably ours: delete the source file so
+    // no other shard (or a second adopt) can replay it — the
+    // split-brain guard.
+    source.Remove(recovered.session_id);
+    ET_COUNTER_INC("serve.sessions.adopted");
+    adopted.push_back(recovered.session_id);
+  }
+  return adopted;
+}
+
+Result<std::string> SessionManager::HandleAdopt(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string dir,
+                      StrField(params, "journal_dir"));
+  size_t skipped = 0;
+  size_t quarantined = 0;
+  ET_ASSIGN_OR_RETURN(std::vector<std::string> adopted,
+                      AdoptJournalDir(dir, &skipped, &quarantined));
+  std::sort(adopted.begin(), adopted.end());
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("adopted");
+  w.Uint(adopted.size());
+  w.Key("skipped");
+  w.Uint(skipped);
+  w.Key("quarantined");
+  w.Uint(quarantined);
+  w.Key("sessions");
+  w.BeginArray();
+  for (const std::string& id : adopted) w.String(id);
+  w.EndArray();
+  w.EndObject();
+  return w.Release();
 }
 
 Status SessionManager::ForceSessionDeadlineForTest(

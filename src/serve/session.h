@@ -257,6 +257,29 @@ struct RequestInfo {
   bool ok = false;
 };
 
+/// What the TCP front end (server.cpp) needs from whatever is behind
+/// it: admission control, drain state, and a payload-in/payload-out
+/// request handler. SessionManager is the in-process implementation;
+/// cluster::Router implements the same surface to reuse the server's
+/// poll loop, request ids, and latency accounting unchanged.
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+
+  /// Backpressure admission. A true return reserves an in-flight slot
+  /// that must be paired with EndRequest.
+  virtual bool TryBeginRequest() = 0;
+  virtual void EndRequest() = 0;
+  virtual double retry_after_ms() const = 0;
+
+  /// Draining handlers refuse new connections at accept.
+  virtual bool draining() const = 0;
+
+  /// Full request cycle; always returns a well-formed response payload.
+  virtual std::string Handle(const std::string& request_payload,
+                             RequestInfo* info) = 0;
+};
+
 /// One live session as seen by a stats scrape. Read from lock-free
 /// mirrors — a scrape never waits on a session mid-label.
 struct SessionStats {
@@ -273,23 +296,26 @@ struct SessionStats {
 
 /// Owns every live session and dispatches wire requests to them.
 /// Thread-safe: any number of workers may call Handle concurrently.
-class SessionManager {
+class SessionManager : public RequestHandler {
  public:
   explicit SessionManager(const SessionManagerOptions& options);
-  ~SessionManager();  // out-of-line: SessionWorldCache is incomplete here
+  ~SessionManager() override;  // out-of-line: SessionWorldCache is
+                               // incomplete here
 
   /// Backpressure admission. TryBeginRequest reserves an in-flight
   /// slot; every reservation must be paired with EndRequest.
-  bool TryBeginRequest();
-  void EndRequest();
-  double retry_after_ms() const { return options_.retry_after_ms; }
+  bool TryBeginRequest() override;
+  void EndRequest() override;
+  double retry_after_ms() const override {
+    return options_.retry_after_ms;
+  }
 
   /// Full request cycle: parse → dispatch → serialize. Always returns
   /// a well-formed response payload (never throws). When `info` is
   /// non-null it is filled with the request's method/session for the
   /// caller's metrics.
   std::string Handle(const std::string& request_payload,
-                     RequestInfo* info = nullptr);
+                     RequestInfo* info = nullptr) override;
 
   size_t ActiveSessions() const;
 
@@ -322,11 +348,25 @@ class SessionManager {
   /// sessions brought live.
   size_t RecoverFromJournals();
 
+  /// Shard failover (DESIGN.md §14): adopts every salvageable journal
+  /// in a *foreign* journal directory — a dead shard's — replaying
+  /// each through the same path as RecoverFromJournals, re-journaling
+  /// the verified state into this manager's own directory, and
+  /// removing the source file so the session can never be adopted
+  /// twice (split-brain guard). Sessions whose id is already live here
+  /// are skipped (counted in `skipped`); damaged or divergent journals
+  /// are quarantined in place (counted in `quarantined`). Returns the
+  /// adopted session ids. Exposed on the wire as `admin.adopt`;
+  /// requires both shards to see the same filesystem.
+  Result<std::vector<std::string>> AdoptJournalDir(const std::string& dir,
+                                                   size_t* skipped,
+                                                   size_t* quarantined);
+
   /// Flips into draining mode: mutating wire ops (create/label/
   /// restore/close) are refused with kUnavailable + retry_after_ms.
   /// Idempotent.
   void BeginDrain();
-  bool draining() const {
+  bool draining() const override {
     return draining_.load(std::memory_order_acquire);
   }
 
@@ -378,6 +418,7 @@ class SessionManager {
   Result<std::string> HandleClose(const obs::JsonValue& params);
   Result<std::string> HandleStats(const obs::JsonValue& params);
   Result<std::string> HandleDrain(const obs::JsonValue& params);
+  Result<std::string> HandleAdopt(const obs::JsonValue& params);
 
   /// Inserts under the stripe lock; fails (kUnavailable) at
   /// max_sessions, (kAlreadyExists) on id collision. The journal (may
@@ -396,6 +437,14 @@ class SessionManager {
   /// caller must not quarantine again); an error status means the
   /// caller should quarantine the file.
   Result<bool> ReplayJournal(const RecoveredJournal& recovered);
+
+  /// Replay core shared by startup recovery and failover adoption:
+  /// re-applies the journaled records through the normal Session path
+  /// and verifies the final state fingerprint. On success
+  /// `verified_snapshot` holds the session's re-encoded snapshot (the
+  /// re-baseline payload).
+  Result<std::unique_ptr<Session>> ReplaySessionRecords(
+      const RecoveredJournal& recovered, std::string* verified_snapshot);
 
   void ReaperLoop();
 

@@ -1,0 +1,403 @@
+// The cluster acceptance test: kill a shard mid-load under the router
+// and prove (1) every session lands on a surviving shard with its
+// journal-replayed state — the final session.get transcript is
+// byte-identical to an uninterrupted single-shard reference run —
+// (2) no label batch is double-applied (exactly-once ledger: each
+// acked round advances the round counter by one and the label total by
+// exactly one batch), and (3) the router's shard-down/failover
+// counters fired. Also covers admin.migrate moving a live session
+// between healthy shards.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/router.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace cluster {
+namespace {
+
+constexpr size_t kPairsPerRound = 3;
+
+std::string MakeRequest(uint64_t id, const std::string& method,
+                        const std::string& params) {
+  return "{\"id\":" + std::to_string(id) + ",\"method\":\"" + method +
+         "\",\"params\":" + params + "}";
+}
+
+std::string CreateParams(uint64_t seed, size_t rounds) {
+  return "{\"dataset\":\"omdb\",\"rows\":120,\"max_rounds\":" +
+         std::to_string(rounds) +
+         ",\"pairs_per_round\":" + std::to_string(kPairsPerRound) +
+         ",\"seed\":\"" + std::to_string(seed) + "\"}";
+}
+
+/// Labels every pair of `sample` clean.
+std::string CleanLabelParams(const std::string& session_id,
+                             const obs::JsonValue& sample) {
+  std::string labels = "[";
+  for (size_t i = 0; i < sample.array.size(); ++i) {
+    if (i > 0) labels += ",";
+    labels += "[" + std::to_string(int(sample.array[i].array[0].number)) +
+              "," + std::to_string(int(sample.array[i].array[1].number)) +
+              ",false,false]";
+  }
+  labels += "]";
+  return "{\"session_id\":\"" + session_id +
+         "\",\"trainer_top_fd\":0,\"labels\":" + labels + "}";
+}
+
+/// One raw request/response round trip on a fresh connection, with the
+/// caller-chosen request id — responses echo it, so two runs issuing
+/// the same id can be compared byte-for-byte.
+Result<std::string> RawCall(int port, const std::string& payload) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IOError("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(fd);
+    return Status::IOError(std::string("connect: ") + strerror(errno));
+  }
+  const std::string frame = serve::EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("send");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  serve::FrameParser parser;
+  std::vector<std::string> frames;
+  char buf[16384];
+  while (frames.empty()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IOError("recv");
+    }
+    const Status st = parser.Feed(buf, static_cast<size_t>(n), &frames);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  ::close(fd);
+  return frames.front();
+}
+
+bool IsOutcomeUnknown(const Status& st) {
+  return st.IsIOError() &&
+         st.message().rfind("outcome unknown", 0) == 0;
+}
+
+/// Per-session client-side state with the exactly-once ledger.
+struct Driven {
+  std::string id;
+  obs::JsonValue sample;
+  size_t round = 0;
+  size_t labels = 0;
+};
+
+serve::ClientOptions PatientClient() {
+  serve::ClientOptions options;
+  options.max_unavailable_retries = 4000;
+  options.min_retry_backoff_ms = 1.0;
+  options.reconnect_deadline_ms = 10000.0;
+  return options;
+}
+
+/// Plays one label round with the resync-via-session.get discipline:
+/// an "outcome unknown" call is never blindly resent — the read-only
+/// get decides whether the batch was applied (round advanced: recover
+/// the ack) or not (resend the identical batch).
+Status PlayRound(serve::Client* client, Driven* s) {
+  const std::string label_params = CleanLabelParams(s->id, s->sample);
+  const std::string get_params =
+      "{\"session_id\":\"" + s->id + "\"}";
+  obs::JsonValue reply;
+  bool recovered = false;
+  for (bool acked = false; !acked;) {
+    Result<obs::JsonValue> r = client->Call("session.label", label_params);
+    if (r.ok()) {
+      reply = std::move(*r);
+      acked = true;
+      break;
+    }
+    if (!IsOutcomeUnknown(r.status())) return r.status();
+    Result<obs::JsonValue> got = Status::Internal("unreached");
+    for (;;) {
+      got = client->Call("session.get", get_params);
+      if (got.ok() || !IsOutcomeUnknown(got.status())) break;
+    }
+    if (!got.ok()) return got.status();
+    const size_t at = static_cast<size_t>(got->Find("round")->number);
+    if (at == s->round + 1) {
+      recovered = true;
+      reply = std::move(*got);
+      acked = true;
+    } else if (at != s->round) {
+      return Status::Internal(s->id + ": server at round " +
+                              std::to_string(at) + ", acked " +
+                              std::to_string(s->round) +
+                              " (state lost or duplicated)");
+    }
+  }
+  // Exactly-once: each ack advances the round by one and the label
+  // total by exactly this batch.
+  ++s->round;
+  s->labels += kPairsPerRound;
+  const obs::JsonValue* round = reply.Find("round");
+  const obs::JsonValue* labels_total = reply.Find("labels_total");
+  if (round == nullptr ||
+      static_cast<size_t>(round->number) != s->round) {
+    return Status::Internal(s->id + ": round lost or duplicated");
+  }
+  if (labels_total == nullptr ||
+      static_cast<size_t>(labels_total->number) != s->labels) {
+    return Status::Internal(s->id + ": label batch double-applied");
+  }
+  s->sample = *reply.Find(recovered ? "sample" : "next");
+  return Status::OK();
+}
+
+class FailoverTest : public ::testing::Test {
+ public:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/et_failover_test_" +
+           std::string(::testing::UnitTest::GetInstance()
+                           ->current_test_info()
+                           ->name()) +
+           "_" + std::to_string(getpid());
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<serve::Server> StartShard(const std::string& journal_dir) {
+    serve::ServerOptions options;
+    options.sessions.journal_dir = journal_dir;
+    options.sessions.journal_sync_ms = 0.0;  // durable per append
+    options.sessions.journal_snapshot_every = 4;
+    auto server = testing::Unwrap(serve::Server::Start(options));
+    server->sessions().RecoverFromJournals();
+    return server;
+  }
+
+  RouterOptions BaseRouterOptions() {
+    RouterOptions options;
+    options.retry_after_ms = 5.0;
+    options.connect_timeout_ms = 500;
+    options.probe_timeout_ms = 300;
+    options.health.probe_interval_ms = 25;
+    options.health.down_after = 2;
+    return options;
+  }
+
+  std::string dir_;
+};
+
+/// The uninterrupted reference: the same load played through a router
+/// over ONE shard (so minted "c-<n>" ids match the cluster run), and
+/// the final session.get payload of each session, issued with a fixed
+/// request id.
+std::vector<std::string> ReferenceTranscript(FailoverTest* fixture,
+                                             const std::string& dir,
+                                             RouterOptions options,
+                                             size_t sessions,
+                                             size_t rounds) {
+  auto shard = fixture->StartShard(dir);
+  options.shards = {ShardConfig{"solo", "127.0.0.1", shard->port(), dir}};
+  auto router = testing::Unwrap(Router::Start(options));
+  serve::ServerOptions front_options;
+  front_options.handler = router.get();
+  auto front = testing::Unwrap(serve::Server::Start(front_options));
+
+  auto client = testing::Unwrap(
+      serve::Client::Connect("127.0.0.1", front->port(), PatientClient()));
+  std::vector<Driven> driven(sessions);
+  for (size_t i = 0; i < sessions; ++i) {
+    auto created = testing::Unwrap(
+        client->Call("session.create", CreateParams(100 + i, rounds)));
+    driven[i].id = created.Find("session_id")->string_value;
+    driven[i].sample = *created.Find("sample");
+  }
+  for (size_t r = 0; r < rounds; ++r) {
+    for (Driven& s : driven) {
+      const Status st = PlayRound(client.get(), &s);
+      EXPECT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+  std::vector<std::string> transcript;
+  for (size_t i = 0; i < sessions; ++i) {
+    transcript.push_back(testing::Unwrap(RawCall(
+        front->port(),
+        MakeRequest(9000 + i, "session.get",
+                    "{\"session_id\":\"" + driven[i].id + "\"}"))));
+  }
+  front->Stop();
+  return transcript;
+}
+
+TEST_F(FailoverTest, KillShardMidLoadRecoversByteIdenticalOnSurvivor) {
+  const size_t kSessions = 4;
+  const size_t kRounds = 6;
+
+  const std::vector<std::string> reference = ReferenceTranscript(
+      this, dir_ + "/ref", BaseRouterOptions(), kSessions, kRounds);
+
+  // The cluster under test: two journaling shards behind the router.
+  std::map<std::string, std::unique_ptr<serve::Server>> shards;
+  shards["a"] = StartShard(dir_ + "/ja");
+  shards["b"] = StartShard(dir_ + "/jb");
+  RouterOptions options = BaseRouterOptions();
+  options.shards = {
+      ShardConfig{"a", "127.0.0.1", shards["a"]->port(), dir_ + "/ja"},
+      ShardConfig{"b", "127.0.0.1", shards["b"]->port(), dir_ + "/jb"},
+  };
+  auto router = testing::Unwrap(Router::Start(options));
+  serve::ServerOptions front_options;
+  front_options.handler = router.get();
+  auto front = testing::Unwrap(serve::Server::Start(front_options));
+
+  auto client = testing::Unwrap(
+      serve::Client::Connect("127.0.0.1", front->port(), PatientClient()));
+  std::vector<Driven> driven(kSessions);
+  for (size_t i = 0; i < kSessions; ++i) {
+    auto created = testing::Unwrap(
+        client->Call("session.create", CreateParams(100 + i, kRounds)));
+    driven[i].id = created.Find("session_id")->string_value;
+    EXPECT_EQ(driven[i].id, "c-" + std::to_string(i + 1));
+    driven[i].sample = *created.Find("sample");
+  }
+
+  // Two rounds of load land journaled state on both shards...
+  for (size_t r = 0; r < 2; ++r) {
+    for (Driven& s : driven) {
+      const Status st = PlayRound(client.get(), &s);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+
+  // ...then the shard owning the first session dies without warning
+  // (server destroyed, journals left on disk — a SIGKILL equivalent).
+  const std::string victim = router->ShardForSession(driven[0].id);
+  ASSERT_FALSE(victim.empty());
+  size_t on_victim = 0;
+  for (const Driven& s : driven) {
+    if (router->ShardForSession(s.id) == victim) ++on_victim;
+  }
+  ASSERT_GT(on_victim, 0u);
+  shards.erase(victim);
+
+  // The remaining rounds ride through the outage: unavailable
+  // rejections are retried by the client, ambiguous calls resolved by
+  // resync, and the dead shard's sessions come back on the survivor
+  // via journal adoption.
+  for (size_t r = 2; r < kRounds; ++r) {
+    for (Driven& s : driven) {
+      const Status st = PlayRound(client.get(), &s);
+      ASSERT_TRUE(st.ok()) << st.ToString();
+    }
+  }
+
+  // Every session now lives on the surviving shard.
+  const std::string survivor = shards.begin()->first;
+  for (const Driven& s : driven) {
+    EXPECT_EQ(router->ShardForSession(s.id), survivor) << s.id;
+  }
+
+  // Failover observability fired.
+  const RouterCounters counters = router->counters();
+  EXPECT_GE(counters.shard_down, 1u);
+  EXPECT_GE(counters.failovers, 1u);
+  EXPECT_GE(counters.sessions_failed_over, on_victim);
+  EXPECT_GE(router->health().down_transitions(), 1u);
+  EXPECT_TRUE(router->health().IsDown(victim));
+
+  // The journal-replayed state answers session.get byte-identically to
+  // the uninterrupted single-shard reference.
+  for (size_t i = 0; i < kSessions; ++i) {
+    const std::string got = testing::Unwrap(RawCall(
+        front->port(),
+        MakeRequest(9000 + i, "session.get",
+                    "{\"session_id\":\"" + driven[i].id + "\"}")));
+    EXPECT_EQ(got, reference[i]) << driven[i].id;
+  }
+  front->Stop();
+}
+
+TEST_F(FailoverTest, AdminMigrateMovesALiveSession) {
+  std::map<std::string, std::unique_ptr<serve::Server>> shards;
+  shards["a"] = StartShard(dir_ + "/ja");
+  shards["b"] = StartShard(dir_ + "/jb");
+  RouterOptions options = BaseRouterOptions();
+  options.shards = {
+      ShardConfig{"a", "127.0.0.1", shards["a"]->port(), dir_ + "/ja"},
+      ShardConfig{"b", "127.0.0.1", shards["b"]->port(), dir_ + "/jb"},
+  };
+  auto router = testing::Unwrap(Router::Start(options));
+  serve::ServerOptions front_options;
+  front_options.handler = router.get();
+  auto front = testing::Unwrap(serve::Server::Start(front_options));
+
+  auto client = testing::Unwrap(
+      serve::Client::Connect("127.0.0.1", front->port(), PatientClient()));
+  Driven s;
+  auto created = testing::Unwrap(
+      client->Call("session.create", CreateParams(7, 6)));
+  s.id = created.Find("session_id")->string_value;
+  s.sample = *created.Find("sample");
+  ASSERT_TRUE(PlayRound(client.get(), &s).ok());
+
+  const std::string owner = router->ShardForSession(s.id);
+  const std::string target = owner == "a" ? "b" : "a";
+  auto moved = testing::Unwrap(client->Call(
+      "admin.migrate", "{\"session_id\":\"" + s.id + "\",\"target\":\"" +
+                           target + "\"}"));
+  EXPECT_TRUE(moved.Find("moved")->bool_value);
+  EXPECT_EQ(moved.Find("to")->string_value, target);
+  EXPECT_EQ(router->ShardForSession(s.id), target);
+  EXPECT_EQ(router->counters().migrations, 1u);
+
+  // The session keeps playing on its new shard: same round counters,
+  // no interruption visible to the client beyond the migrate call.
+  ASSERT_TRUE(PlayRound(client.get(), &s).ok());
+  EXPECT_EQ(s.round, 2u);
+
+  // Migrating back is symmetric.
+  testing::Unwrap(client->Call(
+      "admin.migrate", "{\"session_id\":\"" + s.id + "\",\"target\":\"" +
+                           owner + "\"}"));
+  EXPECT_EQ(router->ShardForSession(s.id), owner);
+  ASSERT_TRUE(PlayRound(client.get(), &s).ok());
+  front->Stop();
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace et

@@ -1,0 +1,111 @@
+// HealthChecker policy in isolation: the probe is a stubbed callback,
+// so these tests exercise the K-consecutive-failures threshold, the
+// exactly-once transition callbacks, and forward-path reports without
+// any sockets.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/health.h"
+
+namespace et {
+namespace cluster {
+namespace {
+
+HealthOptions FastOptions(int down_after) {
+  HealthOptions options;
+  options.probe_interval_ms = 5;
+  options.down_after = down_after;
+  return options;
+}
+
+TEST(HealthTest, DownAfterKConsecutiveFailures) {
+  HealthChecker checker(FastOptions(3), {"a", "b"}, nullptr);
+  int downs = 0;
+  checker.SetOnDown([&](const std::string& shard) {
+    EXPECT_EQ(shard, "a");
+    ++downs;
+  });
+  checker.RecordFailure("a");
+  checker.RecordFailure("a");
+  EXPECT_FALSE(checker.IsDown("a"));
+  EXPECT_EQ(downs, 0);
+  checker.RecordFailure("a");
+  EXPECT_TRUE(checker.IsDown("a"));
+  EXPECT_FALSE(checker.IsDown("b"));
+  EXPECT_EQ(downs, 1);
+  // Further failures while down fire nothing: one outage, one callback.
+  checker.RecordFailure("a");
+  checker.RecordFailure("a");
+  EXPECT_EQ(downs, 1);
+  EXPECT_EQ(checker.down_transitions(), 1u);
+  EXPECT_EQ(checker.DownShards(), std::vector<std::string>{"a"});
+}
+
+TEST(HealthTest, SuccessResetsTheStreak) {
+  HealthChecker checker(FastOptions(3), {"a"}, nullptr);
+  int downs = 0;
+  checker.SetOnDown([&](const std::string&) { ++downs; });
+  checker.RecordFailure("a");
+  checker.RecordFailure("a");
+  checker.RecordSuccess("a");
+  checker.RecordFailure("a");
+  checker.RecordFailure("a");
+  EXPECT_FALSE(checker.IsDown("a"));
+  EXPECT_EQ(downs, 0);
+}
+
+TEST(HealthTest, RecoveryFiresOnUpExactlyOnce) {
+  HealthChecker checker(FastOptions(2), {"a"}, nullptr);
+  int ups = 0;
+  checker.SetOnUp([&](const std::string& shard) {
+    EXPECT_EQ(shard, "a");
+    ++ups;
+  });
+  checker.RecordFailure("a");
+  checker.RecordFailure("a");
+  ASSERT_TRUE(checker.IsDown("a"));
+  checker.RecordSuccess("a");
+  EXPECT_FALSE(checker.IsDown("a"));
+  EXPECT_EQ(ups, 1);
+  checker.RecordSuccess("a");
+  EXPECT_EQ(ups, 1);
+}
+
+TEST(HealthTest, UnknownShardIsIgnored) {
+  HealthChecker checker(FastOptions(1), {"a"}, nullptr);
+  checker.RecordFailure("ghost");
+  EXPECT_FALSE(checker.IsDown("ghost"));
+  EXPECT_TRUE(checker.DownShards().empty());
+}
+
+TEST(HealthTest, ProbeThreadDetectsADeadShard) {
+  // "b" always fails its probe; "a" always passes. The prober must
+  // flip b down (and only b) within a few cadences.
+  HealthChecker checker(
+      FastOptions(2), {"a", "b"}, [](const std::string& shard) {
+        return shard == "b" ? Status::IOError("refused") : Status::OK();
+      });
+  std::atomic<int> downs{0};
+  checker.SetOnDown([&](const std::string& shard) {
+    EXPECT_EQ(shard, "b");
+    ++downs;
+  });
+  checker.Start();
+  for (int i = 0; i < 400 && downs.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  checker.Stop();
+  EXPECT_EQ(downs.load(), 1);
+  EXPECT_TRUE(checker.IsDown("b"));
+  EXPECT_FALSE(checker.IsDown("a"));
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace et

@@ -1,0 +1,198 @@
+// Property-style tests of the consistent-hash ring: placement balance
+// at high virtual-node counts, minimal disruption on membership change
+// (the whole point of consistent hashing — a shard join/leave moves
+// only the keys adjacent to its points, never a full reshuffle), and
+// membership-order independence.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/ring.h"
+
+namespace et {
+namespace cluster {
+namespace {
+
+std::vector<std::string> Keys(size_t n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back("c-" + std::to_string(i));
+  }
+  return keys;
+}
+
+std::map<std::string, std::string> PlaceAll(
+    const HashRing& ring, const std::vector<std::string>& keys) {
+  std::map<std::string, std::string> placement;
+  for (const std::string& key : keys) {
+    placement[key] = ring.ShardFor(key);
+  }
+  return placement;
+}
+
+TEST(RingTest, EmptyRingPlacesNothing) {
+  HashRing ring;
+  EXPECT_EQ(ring.shard_count(), 0u);
+  EXPECT_EQ(ring.ShardFor("c-1"), "");
+}
+
+TEST(RingTest, SingleShardTakesEverything) {
+  HashRing ring;
+  ring.AddShard("a");
+  for (const std::string& key : Keys(100)) {
+    EXPECT_EQ(ring.ShardFor(key), "a");
+  }
+}
+
+TEST(RingTest, PlacementIsDeterministic) {
+  HashRing ring;
+  ring.AddShard("a");
+  ring.AddShard("b");
+  ring.AddShard("c");
+  const std::vector<std::string> keys = Keys(500);
+  const auto first = PlaceAll(ring, keys);
+  const auto second = PlaceAll(ring, keys);
+  EXPECT_EQ(first, second);
+}
+
+TEST(RingTest, BalanceWithinToleranceAt1kVirtualNodes) {
+  // 1k points per shard smooths the ranges enough that every shard's
+  // share of 20k keys lands within 15% of the ideal mean.
+  const int kShards = 4;
+  HashRing ring(1000);
+  for (int s = 0; s < kShards; ++s) {
+    ring.AddShard("shard-" + std::to_string(s));
+  }
+  const std::vector<std::string> keys = Keys(20000);
+  std::map<std::string, size_t> counts;
+  for (const std::string& key : keys) ++counts[ring.ShardFor(key)];
+  ASSERT_EQ(counts.size(), static_cast<size_t>(kShards));
+  const double mean =
+      static_cast<double>(keys.size()) / static_cast<double>(kShards);
+  for (const auto& [shard, count] : counts) {
+    EXPECT_GT(static_cast<double>(count), 0.85 * mean)
+        << shard << " starved: " << count << " of " << keys.size();
+    EXPECT_LT(static_cast<double>(count), 1.15 * mean)
+        << shard << " overloaded: " << count << " of " << keys.size();
+  }
+}
+
+TEST(RingTest, LeaveMovesOnlyTheDeadShardsKeys) {
+  const int kShards = 4;
+  HashRing ring(1000);
+  for (int s = 0; s < kShards; ++s) {
+    ring.AddShard("shard-" + std::to_string(s));
+  }
+  const std::vector<std::string> keys = Keys(10000);
+  const auto before = PlaceAll(ring, keys);
+  ring.RemoveShard("shard-2");
+  const auto after = PlaceAll(ring, keys);
+
+  size_t moved = 0;
+  for (const std::string& key : keys) {
+    ASSERT_NE(after.at(key), "shard-2");
+    if (before.at(key) != after.at(key)) {
+      // Minimal disruption: a key moves only because its old owner
+      // left; survivors' keys stay put.
+      EXPECT_EQ(before.at(key), "shard-2")
+          << key << " moved from surviving " << before.at(key) << " to "
+          << after.at(key);
+      ++moved;
+    }
+  }
+  // The removed shard held ~1/N of the keys; anything near 2/N means
+  // the membership change reshuffled bystanders.
+  EXPECT_LT(static_cast<double>(moved),
+            2.0 * static_cast<double>(keys.size()) / kShards);
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(RingTest, JoinMovesKeysOnlyOntoTheNewShard) {
+  const int kShards = 3;
+  HashRing ring(1000);
+  for (int s = 0; s < kShards; ++s) {
+    ring.AddShard("shard-" + std::to_string(s));
+  }
+  const std::vector<std::string> keys = Keys(10000);
+  const auto before = PlaceAll(ring, keys);
+  ring.AddShard("shard-new");
+  const auto after = PlaceAll(ring, keys);
+
+  size_t moved = 0;
+  for (const std::string& key : keys) {
+    if (before.at(key) != after.at(key)) {
+      EXPECT_EQ(after.at(key), "shard-new")
+          << key << " moved between survivors " << before.at(key)
+          << " -> " << after.at(key);
+      ++moved;
+    }
+  }
+  EXPECT_LT(static_cast<double>(moved),
+            2.0 * static_cast<double>(keys.size()) / (kShards + 1));
+  EXPECT_GT(moved, 0u);
+}
+
+TEST(RingTest, RemoveThenAddRestoresPlacement) {
+  HashRing ring(256);
+  ring.AddShard("a");
+  ring.AddShard("b");
+  ring.AddShard("c");
+  const std::vector<std::string> keys = Keys(2000);
+  const auto before = PlaceAll(ring, keys);
+  ring.RemoveShard("b");
+  ring.AddShard("b");
+  EXPECT_EQ(PlaceAll(ring, keys), before);
+}
+
+TEST(RingTest, MembershipOrderDoesNotMatter) {
+  const std::vector<std::string> keys = Keys(2000);
+  HashRing forward(256);
+  forward.AddShard("a");
+  forward.AddShard("b");
+  forward.AddShard("c");
+  HashRing backward(256);
+  backward.AddShard("c");
+  backward.AddShard("b");
+  backward.AddShard("a");
+  EXPECT_EQ(PlaceAll(forward, keys), PlaceAll(backward, keys));
+}
+
+TEST(RingTest, ExcludingMatchesRemoval) {
+  // ShardForExcluding predicts where a key lands when a shard dies —
+  // the router uses it to pick the failover adopter before actually
+  // removing the shard. It must agree with a real removal.
+  HashRing ring(256);
+  ring.AddShard("a");
+  ring.AddShard("b");
+  ring.AddShard("c");
+  const std::vector<std::string> keys = Keys(1000);
+  std::map<std::string, std::string> excluded;
+  for (const std::string& key : keys) {
+    excluded[key] = ring.ShardForExcluding(key, "b");
+  }
+  ring.RemoveShard("b");
+  for (const std::string& key : keys) {
+    EXPECT_EQ(excluded.at(key), ring.ShardFor(key)) << key;
+  }
+}
+
+TEST(RingTest, DuplicateAddIsIdempotent) {
+  HashRing ring(128);
+  ring.AddShard("a");
+  ring.AddShard("b");
+  const std::vector<std::string> keys = Keys(500);
+  const auto before = PlaceAll(ring, keys);
+  ring.AddShard("a");
+  EXPECT_EQ(ring.shard_count(), 2u);
+  EXPECT_EQ(PlaceAll(ring, keys), before);
+  ring.RemoveShard("nonexistent");
+  EXPECT_EQ(PlaceAll(ring, keys), before);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace et

@@ -87,6 +87,68 @@ TEST(JsonParserTest, RejectsMalformedInput) {
   EXPECT_FALSE(ParseJson("1 trailing").ok());
 }
 
+TEST(JsonParserTest, DecodesUnicodeEscapesToUtf8) {
+  // One escape per UTF-8 length class.
+  EXPECT_EQ(testing::Unwrap(ParseJson(R"("\u0041")")).string_value, "A");
+  EXPECT_EQ(testing::Unwrap(ParseJson(R"("\u00e9")")).string_value,
+            "\xc3\xa9");  // e-acute
+  EXPECT_EQ(testing::Unwrap(ParseJson(R"("\u20AC")")).string_value,
+            "\xe2\x82\xac");  // euro sign (mixed-case hex)
+  // Surrogate pair: U+1F600 (grinning face).
+  EXPECT_EQ(testing::Unwrap(ParseJson(R"("\ud83d\ude00")")).string_value,
+            "\xf0\x9f\x98\x80");
+  // Escapes mixed with literal text and other escapes.
+  EXPECT_EQ(testing::Unwrap(ParseJson(R"("a\u00e9b\nc")")).string_value,
+            "a\xc3\xa9"
+            "b\nc");
+  // \u0000 decodes to a real NUL byte.
+  const std::string nul =
+      testing::Unwrap(ParseJson(R"("\u0000")")).string_value;
+  ASSERT_EQ(nul.size(), 1u);
+  EXPECT_EQ(nul[0], '\0');
+}
+
+TEST(JsonParserTest, RejectsBadUnicodeEscapes) {
+  EXPECT_FALSE(ParseJson(R"("\u12")").ok());     // truncated
+  EXPECT_FALSE(ParseJson(R"("\u12gz")").ok());   // non-hex digit
+  EXPECT_FALSE(ParseJson(R"("\ud83d")").ok());   // lone high surrogate
+  EXPECT_FALSE(ParseJson(R"("\ud83dx")").ok());  // high surrogate, no \u
+  EXPECT_FALSE(ParseJson(R"("\ud83d\u0041")").ok());  // not a low surrogate
+  EXPECT_FALSE(ParseJson(R"("\ude00")").ok());   // lone low surrogate
+}
+
+TEST(JsonWriteJsonTest, SerializesAllKinds) {
+  const JsonValue v = testing::Unwrap(ParseJson(
+      R"({"b":true,"n":null,"s":"hi","xs":[1,2.5,-3],"o":{"k":"v"}})"));
+  // Keys come back sorted (map order), values compact.
+  EXPECT_EQ(WriteJson(v),
+            "{\"b\":true,\"n\":null,\"o\":{\"k\":\"v\"},"
+            "\"s\":\"hi\",\"xs\":[1,2.5,-3]}");
+}
+
+TEST(JsonWriteJsonTest, IntegralNumbersPrintWithoutFraction) {
+  // Integral doubles inside int64 range print as integers; a value
+  // past that range falls back to %.17g (full precision, so the
+  // nearest double to 1e300 shows its trailing digits).
+  const JsonValue v =
+      testing::Unwrap(ParseJson("[7,0,18014398509481984,0.5,1e300]"));
+  EXPECT_EQ(WriteJson(v),
+            "[7,0,18014398509481984,0.5,1.0000000000000001e+300]");
+}
+
+TEST(JsonWriteJsonTest, RoundTripsUnicodeEscapedFrame) {
+  // A router-forwarded frame with escaped unicode must survive
+  // parse -> re-encode -> parse with the same decoded strings.
+  const std::string wire =
+      R"({"id":1,"method":"session.create",)"
+      R"("params":{"note":"caf\u00e9 \ud83d\ude00"}})";
+  const JsonValue first = testing::Unwrap(ParseJson(wire));
+  const std::string re = WriteJson(first);
+  const JsonValue second = testing::Unwrap(ParseJson(re));
+  EXPECT_EQ(second.Find("params")->Find("note")->string_value,
+            "caf\xc3\xa9 \xf0\x9f\x98\x80");
+}
+
 TEST(JsonRoundTripTest, WriterOutputParsesBack) {
   JsonWriter w;
   w.BeginObject();

@@ -1,6 +1,7 @@
 // et_loadgen: load harness for et_serve.
 //
 //   et_loadgen --port=N [--host=127.0.0.1] [--sessions=8]
+//       [--connect=HOST:PORT ...] (repeatable; overrides --host/--port)
 //       [--concurrency=4] [--rounds=50] [--pairs=5] [--dataset=omdb]
 //       [--rows=400] [--degree=0.10] [--policy=sbr] [--gamma=0.5]
 //       [--seed=42] [--snapshot-every=0] [--out=BENCH_serve.json]
@@ -36,6 +37,12 @@
 // "requests_total"), printing a one-line comparison against the
 // previous file before overwriting it; exits nonzero on any
 // lost/duplicated/failed response.
+//
+// Cluster mode: repeated --connect=HOST:PORT flags spread session
+// creation round-robin across the endpoints — either several et_serve
+// shards directly (the no-router baseline) or several et_router
+// front ends. BENCH_serve.json then carries an "endpoints" object with
+// per-endpoint session/label counts so a skewed split is visible.
 
 #include <algorithm>
 #include <atomic>
@@ -75,6 +82,9 @@ struct WorkerStats {
   /// One JSON line per acked label round (merged + sorted by main).
   std::vector<std::string> transcript;
   std::vector<std::string> failures;
+  /// "host:port" -> {sessions completed, labels acked} for the
+  /// per-endpoint split of a multi---connect run.
+  std::map<std::string, std::pair<uint64_t, uint64_t>> endpoints;
 };
 
 double NowMs() {
@@ -456,9 +466,37 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv, 1);
   const std::string host = flags.GetString("host", "127.0.0.1");
   const int port = static_cast<int>(flags.GetInt("port", 0));
-  if (port <= 0) {
-    std::fprintf(stderr, "et_loadgen: --port is required\n");
-    return 2;
+  // Target endpoints: repeated --connect=HOST:PORT wins over the
+  // single --host/--port pair; sessions spread round-robin.
+  struct Endpoint {
+    std::string host;
+    int port = 0;
+  };
+  std::vector<Endpoint> endpoints;
+  for (const std::string& spec : flags.GetStrings("connect")) {
+    const size_t colon = spec.rfind(':');
+    Endpoint ep;
+    if (colon != std::string::npos && colon > 0) {
+      ep.host = spec.substr(0, colon);
+      const auto p = ParseInt(spec.substr(colon + 1));
+      if (p.ok() && *p > 0 && *p <= 65535) {
+        ep.port = static_cast<int>(*p);
+      }
+    }
+    if (ep.port == 0) {
+      std::fprintf(stderr, "et_loadgen: bad --connect '%s' (HOST:PORT)\n",
+                   spec.c_str());
+      return 2;
+    }
+    endpoints.push_back(std::move(ep));
+  }
+  if (endpoints.empty()) {
+    if (port <= 0) {
+      std::fprintf(stderr,
+                   "et_loadgen: --port or --connect is required\n");
+      return 2;
+    }
+    endpoints.push_back(Endpoint{host, port});
   }
   const size_t sessions = static_cast<size_t>(flags.GetInt("sessions", 8));
   const size_t concurrency =
@@ -513,12 +551,19 @@ int main(int argc, char** argv) {
         const size_t i =
             next_session.fetch_add(1, std::memory_order_relaxed);
         if (i >= sessions) return;
+        const Endpoint& ep = endpoints[i % endpoints.size()];
+        const uint64_t labels_before = stats[w].labels;
         const Status st =
-            RunOneSession(host, port, configs[i], worlds[i],
+            RunOneSession(ep.host, ep.port, configs[i], worlds[i],
                           snapshot_every, reconnect_deadline_ms, &stats[w]);
         if (!st.ok()) {
           stats[w].failures.push_back("session " + std::to_string(i) +
                                       ": " + st.ToString());
+        } else {
+          auto& split = stats[w].endpoints[ep.host + ":" +
+                                           std::to_string(ep.port)];
+          ++split.first;
+          split.second += stats[w].labels - labels_before;
         }
       }
     });
@@ -532,6 +577,7 @@ int main(int argc, char** argv) {
   uint64_t reconnects = 0, recovered_acks = 0;
   std::vector<std::string> transcript;
   std::vector<std::string> failures;
+  std::map<std::string, std::pair<uint64_t, uint64_t>> endpoint_split;
   for (const WorkerStats& s : stats) {
     latencies.insert(latencies.end(), s.label_ms.begin(),
                      s.label_ms.end());
@@ -547,6 +593,11 @@ int main(int argc, char** argv) {
     transcript.insert(transcript.end(), s.transcript.begin(),
                       s.transcript.end());
     failures.insert(failures.end(), s.failures.begin(), s.failures.end());
+    for (const auto& [ep, counts] : s.endpoints) {
+      auto& split = endpoint_split[ep];
+      split.first += counts.first;
+      split.second += counts.second;
+    }
   }
   std::sort(latencies.begin(), latencies.end());
   uint64_t requests_total = 0;
@@ -571,6 +622,18 @@ int main(int argc, char** argv) {
   w.Uint(base.pairs_per_round);
   w.Key("labels_total");
   w.Uint(labels);
+  w.Key("endpoints");
+  w.BeginObject();
+  for (const auto& [ep, counts] : endpoint_split) {
+    w.Key(ep);
+    w.BeginObject();
+    w.Key("sessions");
+    w.Uint(counts.first);
+    w.Key("labels");
+    w.Uint(counts.second);
+    w.EndObject();
+  }
+  w.EndObject();
   w.Key("wall_ms");
   w.Double(wall_ms);
   w.Key("sessions_per_sec");

@@ -1,0 +1,199 @@
+// et_router: one wire endpoint in front of N et_serve shards.
+//
+//   et_router --shard=a@127.0.0.1:7101@/tmp/j-a
+//       --shard=b@127.0.0.1:7102@/tmp/j-b
+//       [--host=127.0.0.1] [--port=0] [--virtual-nodes=128]
+//       [--max-inflight=128] [--retry-after-ms=25]
+//       [--probe-interval-ms=200] [--down-after=3]
+//       [--probe-timeout-ms=500] [--connect-timeout-ms=1000]
+//       [--call-timeout-ms=30000] [--pool-size=8] [--no-failover]
+//       [--slow-request-ms=0] [--metrics-out=FILE] [--trace-out=FILE]
+//
+// Each --shard is NAME@HOST:PORT or NAME@HOST:PORT@JOURNAL_DIR; the
+// journal directory (as visible from *this* process — failover assumes
+// a shared filesystem) is what makes the shard's sessions recoverable
+// when it dies: the router asks the dead shard's ring successor to
+// admin.adopt the directory and repins the recovered sessions there.
+//
+// The router speaks the same length-prefixed wire protocol as et_serve
+// on both sides, so existing clients (et_loadgen, serve::Client) work
+// unchanged through it. session.create is placed on a consistent-hash
+// ring over the healthy shards; every other session.* op follows the
+// session's pin. Prints one "router listening on <host>:<port>" line
+// when ready, plus one "shard <name> -> <host>:<port>" line per shard.
+//
+// SIGINT flushes metrics/trace to --metrics-out/--trace-out (or
+// ET_METRICS_OUT / ET_TRACE_OUT) and dies by the signal; SIGTERM (or
+// admin.drain) drains gracefully — refuse mutating ops, let in-flight
+// requests finish, flush observability — and exits 0.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "cluster/router.h"
+#include "obs/jsonlog.h"
+#include "obs/shutdown.h"
+#include "obs/trace.h"
+#include "serve/server.h"
+#include "tool_util.h"
+
+namespace {
+
+using namespace et;
+using tools::Flags;
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: et_router --shard=NAME@HOST:PORT[@JOURNAL_DIR] [...]\n"
+      "  --shard=... (repeatable; >= 1 required; JOURNAL_DIR as seen\n"
+      "  from the router enables failover adoption of that shard)\n"
+      "  --host=ADDR --port=N (0 = ephemeral)\n"
+      "  --virtual-nodes=N (ring points per shard)\n"
+      "  --max-inflight=N --retry-after-ms=MS\n"
+      "  --probe-interval-ms=MS --down-after=K --probe-timeout-ms=MS\n"
+      "  --connect-timeout-ms=MS --call-timeout-ms=MS --pool-size=N\n"
+      "  --no-failover (mark shards down but never adopt journals)\n"
+      "  --slow-request-ms=MS (slow-request log threshold; 0 = off)\n"
+      "  --log-json=FILE (JSON-lines log sink)\n"
+      "  --metrics-out=FILE --trace-out=FILE (or ET_METRICS_OUT /\n"
+      "  ET_TRACE_OUT)\n");
+}
+
+/// NAME@HOST:PORT[@JOURNAL_DIR] -> ShardConfig.
+bool ParseShard(const std::string& spec, cluster::ShardConfig* out) {
+  const size_t at = spec.find('@');
+  if (at == std::string::npos || at == 0) return false;
+  out->name = spec.substr(0, at);
+  std::string rest = spec.substr(at + 1);
+  const size_t at2 = rest.find('@');
+  if (at2 != std::string::npos) {
+    out->journal_dir = rest.substr(at2 + 1);
+    rest = rest.substr(0, at2);
+  }
+  const size_t colon = rest.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  out->host = rest.substr(0, colon);
+  auto port = ParseInt(rest.substr(colon + 1));
+  if (!port.ok() || *port <= 0 || *port > 65535) return false;
+  out->port = static_cast<int>(*port);
+  return true;
+}
+
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+extern "C" void OnDrainSignal(int) { g_drain_requested = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv, 1);
+  if (flags.GetBool("help")) {
+    Usage();
+    return 2;
+  }
+
+  const std::string trace_out = flags.GetOrEnv("trace-out", "ET_TRACE_OUT");
+  const std::string metrics_out =
+      flags.GetOrEnv("metrics-out", "ET_METRICS_OUT");
+  if (!trace_out.empty()) ET_CHECK_OK(obs::StartTracing());
+
+  const std::string log_json = flags.GetString("log-json", "");
+  if (!log_json.empty()) {
+    const Status st = obs::InstallJsonLogSink(log_json);
+    if (!st.ok()) {
+      std::fprintf(stderr, "log-json: %s\n", st.ToString().c_str());
+      return 2;
+    }
+  }
+
+  cluster::RouterOptions options;
+  for (const std::string& spec : flags.GetStrings("shard")) {
+    cluster::ShardConfig shard;
+    if (!ParseShard(spec, &shard)) {
+      std::fprintf(stderr, "bad --shard '%s' (NAME@HOST:PORT[@DIR])\n",
+                   spec.c_str());
+      return 2;
+    }
+    options.shards.push_back(std::move(shard));
+  }
+  if (options.shards.empty()) {
+    Usage();
+    return 2;
+  }
+  options.virtual_nodes = static_cast<int>(
+      flags.GetInt("virtual-nodes", cluster::HashRing::kDefaultVirtualNodes));
+  options.max_inflight =
+      static_cast<size_t>(flags.GetInt("max-inflight", 128));
+  options.retry_after_ms = flags.GetDouble("retry-after-ms", 25.0);
+  options.pool_size = static_cast<size_t>(flags.GetInt("pool-size", 8));
+  options.connect_timeout_ms =
+      static_cast<int>(flags.GetInt("connect-timeout-ms", 1000));
+  options.call_timeout_ms =
+      static_cast<int>(flags.GetInt("call-timeout-ms", 30000));
+  options.probe_timeout_ms =
+      static_cast<int>(flags.GetInt("probe-timeout-ms", 500));
+  options.health.probe_interval_ms =
+      static_cast<uint64_t>(flags.GetInt("probe-interval-ms", 200));
+  options.health.down_after =
+      static_cast<int>(flags.GetInt("down-after", 3));
+  options.enable_failover = !flags.GetBool("no-failover");
+
+  auto router = cluster::Router::Start(options);
+  if (!router.ok()) {
+    std::fprintf(stderr, "router start failed: %s\n",
+                 router.status().ToString().c_str());
+    return 1;
+  }
+
+  serve::ServerOptions server_options;
+  server_options.host = flags.GetString("host", "127.0.0.1");
+  server_options.port = static_cast<int>(flags.GetInt("port", 0));
+  server_options.handler = router->get();
+  server_options.slow_request_ms = flags.GetDouble("slow-request-ms", 0.0);
+  auto server = serve::Server::Start(server_options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+
+  {
+    obs::ShutdownFlushConfig shutdown;
+    shutdown.tool = "et_router";
+    shutdown.metrics_path = metrics_out;
+    shutdown.trace_path = trace_out;
+    for (auto& kv : flags.Items()) shutdown.config.push_back(kv);
+    shutdown.config.emplace_back("port",
+                                 std::to_string((*server)->port()));
+    obs::InstallShutdownFlush(std::move(shutdown));
+  }
+  std::signal(SIGTERM, OnDrainSignal);
+
+  for (const cluster::ShardConfig& shard : options.shards) {
+    std::printf("shard %s -> %s:%d%s\n", shard.name.c_str(),
+                shard.host.c_str(), shard.port,
+                shard.journal_dir.empty() ? "" : " (failover)");
+  }
+  std::printf("router listening on %s:%d\n", server_options.host.c_str(),
+              (*server)->port());
+  std::fflush(stdout);
+
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (g_drain_requested == 0 && !(*router)->draining()) continue;
+    (*router)->BeginDrain();
+    // Let in-flight forwards finish (responses must still go out) with
+    // a bounded wait, then stop the front end and the prober.
+    for (int i = 0; i < 100 && (*router)->InflightRequests() > 0; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    (*server)->Stop();
+    (*router)->Stop();
+    obs::FlushObsNow();
+    std::printf("drained; exiting\n");
+    return 0;
+  }
+}

@@ -2,6 +2,7 @@
 //
 //   et_top --port=N [--host=127.0.0.1] [--interval-ms=1000]
 //       [--count=0] [--no-clear]
+//   et_top --stats=HOST:PORT --stats=HOST:PORT [...]   (cluster view)
 //
 // Polls the server's stats endpoint (et_serve --stats-port) with a
 // "json\n" request each interval and renders, in place: per-op request
@@ -9,6 +10,14 @@
 // table, fault-injection counters, and the slow-request ring. --count
 // renders N frames then exits (CI smoke); --no-clear appends frames
 // instead of redrawing (also automatic when stdout is not a tty).
+//
+// With two or more repeated --stats=HOST:PORT flags et_top renders the
+// aggregated cluster view instead: one row per shard (reachability,
+// sessions, in-flight, request rate, latency percentiles, labels) and
+// a totals row summing sessions/QPS/labels across the fleet (the
+// cluster p95 is the worst shard's — percentiles don't sum). A shard
+// that stops answering shows as down; the frame still renders from the
+// survivors. One --stats flag behaves like --host/--port.
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -195,6 +204,77 @@ void RenderFrame(const obs::JsonValue& doc) {
   }
 }
 
+/// One shard's contribution to the cluster frame, extracted from its
+/// stats JSON (zeros when the shard did not answer).
+struct ShardSample {
+  std::string endpoint;
+  bool up = false;
+  double sessions = 0;
+  double inflight = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p95_ms = 0;
+  double labels = 0;
+};
+
+ShardSample SampleShard(const std::string& endpoint,
+                        const Result<obs::JsonValue>& doc) {
+  ShardSample s;
+  s.endpoint = endpoint;
+  if (!doc.ok() || !doc->is_object()) return s;
+  s.up = true;
+  s.sessions = NumAt(&*doc, "active_sessions");
+  s.inflight = NumAt(&*doc, "inflight_requests");
+  const obs::JsonValue* hists = doc->Find("histograms");
+  const obs::JsonValue* lat =
+      hists != nullptr ? hists->Find("serve.request.latency") : nullptr;
+  s.p50_ms = NumAt(lat, "p50_ns") / 1e6;
+  s.p95_ms = NumAt(lat, "p95_ns") / 1e6;
+  const obs::JsonValue* delta = doc->Find("delta");
+  const obs::JsonValue* delta_hists =
+      delta != nullptr ? delta->Find("histograms") : nullptr;
+  s.qps = NumAt(delta_hists != nullptr
+                    ? delta_hists->Find("serve.request.latency")
+                    : nullptr,
+                "rate_per_s");
+  s.labels = NumAt(doc->Find("counters"), "serve.labels.total");
+  return s;
+}
+
+void RenderClusterFrame(const std::vector<ShardSample>& shards) {
+  size_t shards_up = 0;
+  ShardSample total;
+  for (const ShardSample& s : shards) {
+    if (!s.up) continue;
+    ++shards_up;
+    total.sessions += s.sessions;
+    total.inflight += s.inflight;
+    total.qps += s.qps;
+    total.labels += s.labels;
+    total.p95_ms = std::max(total.p95_ms, s.p95_ms);
+  }
+  std::printf("et_top cluster  shards=%zu up=%zu  sessions=%.0f  "
+              "qps=%.1f\n",
+              shards.size(), shards_up, total.sessions, total.qps);
+  std::printf("%-24s %4s %9s %9s %9s %9s %9s %10s\n", "shard", "up",
+              "sessions", "inflight", "qps", "p50ms", "p95ms", "labels");
+  for (const ShardSample& s : shards) {
+    if (s.up) {
+      std::printf("%-24s %4s %9.0f %9.0f %9.1f %9.2f %9.2f %10.0f\n",
+                  s.endpoint.c_str(), "yes", s.sessions, s.inflight,
+                  s.qps, s.p50_ms, s.p95_ms, s.labels);
+    } else {
+      std::printf("%-24s %4s %9s %9s %9s %9s %9s %10s\n",
+                  s.endpoint.c_str(), "no", "-", "-", "-", "-", "-", "-");
+    }
+  }
+  // Percentiles don't sum: the cluster p95 reported is the worst
+  // shard's, and the cluster p50 column stays blank.
+  std::printf("%-24s %4zu %9.0f %9.0f %9.1f %9s %9.2f %10.0f\n", "TOTAL",
+              shards_up, total.sessions, total.inflight, total.qps, "-",
+              total.p95_ms, total.labels);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -202,13 +282,44 @@ int main(int argc, char** argv) {
   if (flags.GetBool("help")) {
     std::fprintf(stderr,
                  "usage: et_top --port=N [--host=ADDR] "
-                 "[--interval-ms=1000] [--count=0] [--no-clear]\n");
+                 "[--interval-ms=1000] [--count=0] [--no-clear]\n"
+                 "       et_top --stats=HOST:PORT [--stats=...] "
+                 "(aggregated cluster view)\n");
     return 2;
   }
-  const std::string host = flags.GetString("host", "127.0.0.1");
-  const int port = static_cast<int>(flags.GetInt("port", 0));
-  if (port <= 0) {
-    std::fprintf(stderr, "et_top: --port is required\n");
+  // Cluster mode: repeated --stats=HOST:PORT endpoints.
+  struct Endpoint {
+    std::string host;
+    int port = 0;
+  };
+  std::vector<Endpoint> cluster;
+  for (const std::string& spec : flags.GetStrings("stats")) {
+    const size_t colon = spec.rfind(':');
+    Endpoint ep;
+    if (colon != std::string::npos && colon > 0) {
+      ep.host = spec.substr(0, colon);
+      const auto p = ParseInt(spec.substr(colon + 1));
+      if (p.ok() && *p > 0 && *p <= 65535) {
+        ep.port = static_cast<int>(*p);
+      }
+    }
+    if (ep.port == 0) {
+      std::fprintf(stderr, "et_top: bad --stats '%s' (HOST:PORT)\n",
+                   spec.c_str());
+      return 2;
+    }
+    cluster.push_back(std::move(ep));
+  }
+  std::string host = flags.GetString("host", "127.0.0.1");
+  int port = static_cast<int>(flags.GetInt("port", 0));
+  if (cluster.size() == 1) {
+    // A single endpoint is just the classic per-server view.
+    host = cluster[0].host;
+    port = cluster[0].port;
+    cluster.clear();
+  }
+  if (cluster.empty() && port <= 0) {
+    std::fprintf(stderr, "et_top: --port or --stats is required\n");
     return 2;
   }
   const long long interval_ms = flags.GetInt("interval-ms", 1000);
@@ -217,6 +328,31 @@ int main(int argc, char** argv) {
 
   long long frames = 0;
   int consecutive_errors = 0;
+  while (!cluster.empty() && (count <= 0 || frames < count)) {
+    std::vector<ShardSample> shards;
+    size_t up = 0;
+    for (const Endpoint& ep : cluster) {
+      const std::string name = ep.host + ":" + std::to_string(ep.port);
+      const Result<std::string> body = FetchStats(ep.host, ep.port);
+      Result<obs::JsonValue> doc =
+          body.ok() ? obs::ParseJson(*body)
+                    : Result<obs::JsonValue>(body.status());
+      shards.push_back(SampleShard(name, doc));
+      if (shards.back().up) ++up;
+    }
+    if (up == 0) {
+      std::fprintf(stderr, "et_top: no shard answered\n");
+      if (++consecutive_errors >= 3) return 1;
+    } else {
+      consecutive_errors = 0;
+      if (clear) std::printf("\x1b[H\x1b[2J");
+      RenderClusterFrame(shards);
+      std::fflush(stdout);
+      ++frames;
+    }
+    if (count > 0 && frames >= count) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
   while (count <= 0 || frames < count) {
     const Result<std::string> body = FetchStats(host, port);
     if (!body.ok()) {

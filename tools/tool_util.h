@@ -32,11 +32,16 @@ class Flags {
       }
       arg = arg.substr(2);
       const size_t eq = arg.find('=');
+      std::string key, value;
       if (eq == std::string::npos) {
-        values_[arg] = "true";
+        key = arg;
+        value = "true";
       } else {
-        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        key = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
       }
+      values_[key] = value;
+      occurrences_[key].push_back(std::move(value));
     }
   }
 
@@ -63,6 +68,15 @@ class Flags {
     return GetString(key, "false") == "true";
   }
 
+  /// Every occurrence of a repeated flag, in command-line order (the
+  /// scalar getters above see only the last one). Empty when absent —
+  /// cluster tools use this for repeated --connect/--shard/--stats.
+  std::vector<std::string> GetStrings(const std::string& key) const {
+    auto it = occurrences_.find(key);
+    return it == occurrences_.end() ? std::vector<std::string>{}
+                                    : it->second;
+  }
+
   /// All parsed flags, sorted by key (for the run manifest).
   std::vector<std::pair<std::string, std::string>> Items() const {
     std::vector<std::pair<std::string, std::string>> out(values_.begin(),
@@ -84,6 +98,7 @@ class Flags {
 
  private:
   std::unordered_map<std::string, std::string> values_;
+  std::unordered_map<std::string, std::vector<std::string>> occurrences_;
 };
 
 }  // namespace tools
