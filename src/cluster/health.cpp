@@ -106,6 +106,21 @@ uint64_t HealthChecker::down_transitions() const {
   return down_transitions_;
 }
 
+void HealthChecker::ProbeOnce() {
+  std::vector<std::string> shards;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards.reserve(states_.size());
+    for (const auto& [shard, state] : states_) shards.push_back(shard);
+  }
+  for (const std::string& shard : shards) {
+    const Status st = probe_ ? probe_(shard) : Status::OK();
+    ET_COUNTER_INC("cluster.health.probes");
+    if (!st.ok()) ET_COUNTER_INC("cluster.health.probe_failures");
+    Fire(Observe(shard, st.ok()), shard);
+  }
+}
+
 void HealthChecker::ProbeLoop() {
   const auto period =
       std::chrono::milliseconds(options_.probe_interval_ms == 0
@@ -117,18 +132,7 @@ void HealthChecker::ProbeLoop() {
       stop_cv_.wait_for(lock, period, [this] { return stopping_; });
       if (stopping_) return;
     }
-    std::vector<std::string> shards;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      shards.reserve(states_.size());
-      for (const auto& [shard, state] : states_) shards.push_back(shard);
-    }
-    for (const std::string& shard : shards) {
-      const Status st = probe_ ? probe_(shard) : Status::OK();
-      ET_COUNTER_INC("cluster.health.probes");
-      if (!st.ok()) ET_COUNTER_INC("cluster.health.probe_failures");
-      Fire(Observe(shard, st.ok()), shard);
-    }
+    ProbeOnce();
   }
 }
 

@@ -58,6 +58,12 @@ class HealthChecker {
   void Start();
   void Stop();
 
+  /// One synchronous probe round over every shard (what the probe
+  /// thread does each period). For callers that drive probing
+  /// themselves — the deterministic simulation harness runs this from
+  /// virtual-clock timers instead of Start().
+  void ProbeOnce();
+
   /// Forward-path report: a request to `shard` failed at the transport
   /// layer. Counts toward down_after exactly like a failed probe.
   void RecordFailure(const std::string& shard);

@@ -1,20 +1,10 @@
 #include "cluster/router.h"
 
-#include <arpa/inet.h>
-#include <errno.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <string.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <chrono>
-#include <thread>
 #include <utility>
 
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,100 +14,6 @@ namespace et {
 namespace cluster {
 
 namespace {
-
-/// Blocking connect with an explicit deadline: the socket goes
-/// non-blocking for connect()+poll(), then back to blocking with
-/// SO_RCVTIMEO/SO_SNDTIMEO covering every later call.
-Result<int> DialWithTimeout(const std::string& host, int port,
-                            int connect_timeout_ms, int io_timeout_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + strerror(errno));
-  }
-  sockaddr_in addr;
-  memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    ::close(fd);
-    return Status::InvalidArgument("bad shard address: " + host);
-  }
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
-  if (rc != 0 && errno != EINPROGRESS) {
-    const Status st =
-        Status::IOError(std::string("connect: ") + strerror(errno));
-    ::close(fd);
-    return st;
-  }
-  if (rc != 0) {
-    pollfd pfd;
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    pfd.revents = 0;
-    rc = ::poll(&pfd, 1, connect_timeout_ms);
-    if (rc <= 0) {
-      ::close(fd);
-      return Status::IOError(rc == 0 ? "connect timed out"
-                                     : std::string("poll: ") +
-                                           strerror(errno));
-    }
-    int err = 0;
-    socklen_t len = sizeof(err);
-    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
-    if (err != 0) {
-      ::close(fd);
-      return Status::IOError(std::string("connect: ") + strerror(err));
-    }
-  }
-  ::fcntl(fd, F_SETFL, flags);
-  timeval tv;
-  tv.tv_sec = io_timeout_ms / 1000;
-  tv.tv_usec = (io_timeout_ms % 1000) * 1000;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-  const int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
-/// Writes the whole buffer; `*sent` reports progress even on failure so
-/// the caller can distinguish "frame never left" from "frame partially
-/// on the wire".
-Status SendAll(int fd, const std::string& data, size_t* sent) {
-  *sent = 0;
-  while (*sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + *sent, data.size() - *sent,
-                             MSG_NOSIGNAL);
-    if (n > 0) {
-      *sent += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return Status::IOError(std::string("send: ") + strerror(errno));
-  }
-  return Status::OK();
-}
-
-/// Reads exactly one response frame (the connection is request/response
-/// lockstep, so the first completed frame is the answer).
-Status RecvFrame(int fd, size_t max_frame_bytes, std::string* payload) {
-  serve::FrameParser parser(max_frame_bytes);
-  std::vector<std::string> frames;
-  char buf[16384];
-  while (frames.empty()) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n == 0) return Status::IOError("connection closed by shard");
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(std::string("recv: ") + strerror(errno));
-    }
-    ET_RETURN_NOT_OK(parser.Feed(buf, static_cast<size_t>(n), &frames));
-  }
-  *payload = std::move(frames.front());
-  return Status::OK();
-}
 
 std::string EncodeRequestPayload(uint64_t id, const std::string& method,
                                  const obs::JsonValue& params) {
@@ -132,12 +28,32 @@ std::string EncodeRequestPayload(uint64_t id, const std::string& method,
   return out;
 }
 
+// Rewrites the numeric id of a wire payload in place. Every encoder in
+// this codebase — the serve client, this router, OkResponse /
+// ErrorResponse — emits the id as the first key ({"id":N,...), so the
+// rewrite is a pure prefix splice that leaves every other byte of the
+// payload untouched. Returns false (payload unmodified) when the
+// payload does not have that shape.
+bool RewriteLeadingId(uint64_t id, std::string* payload) {
+  static const char kPrefix[] = "{\"id\":";
+  static const size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (payload->compare(0, kPrefixLen, kPrefix) != 0) return false;
+  size_t end = kPrefixLen;
+  while (end < payload->size() && (*payload)[end] >= '0' &&
+         (*payload)[end] <= '9') {
+    ++end;
+  }
+  if (end == kPrefixLen) return false;
+  payload->replace(kPrefixLen, end - kPrefixLen, std::to_string(id));
+  return true;
+}
+
 }  // namespace
 
 struct Router::Backend {
   ShardConfig config;
   std::mutex pool_mu;
-  std::vector<int> idle;
+  std::vector<std::unique_ptr<serve::Connection>> idle;
 };
 
 Result<std::unique_ptr<Router>> Router::Start(const RouterOptions& options) {
@@ -162,22 +78,28 @@ Result<std::unique_ptr<Router>> Router::Start(const RouterOptions& options) {
       }
     }
   }
-  // A forwarded request holds a pool worker for its whole backend
-  // round trip, so the one-worker-per-core default would serialize
-  // forwards on small machines — and deadlock outright when a shard
-  // runs in the same process (the blocked forward occupies the worker
-  // the backend's own dispatch needs). Size the pool for the useful
-  // concurrency: one worker per pooled backend connection, plus slack
-  // for in-process servers and local admin requests.
-  ThreadPool::Global().EnsureWorkers(
-      static_cast<size_t>(options.pool_size) * options.shards.size() + 4);
   std::unique_ptr<Router> router(new Router(options));
-  router->health_->Start();
+  if (options.background) {
+    // A forwarded request holds a pool worker for its whole backend
+    // round trip, so the one-worker-per-core default would serialize
+    // forwards on small machines — and deadlock outright when a shard
+    // runs in the same process (the blocked forward occupies the worker
+    // the backend's own dispatch needs). Size the pool for the useful
+    // concurrency: one worker per pooled backend connection, plus slack
+    // for in-process servers and local admin requests.
+    ThreadPool::Global().EnsureWorkers(
+        static_cast<size_t>(options.pool_size) * options.shards.size() + 4);
+    router->health_->Start();
+  }
   return router;
 }
 
 Router::Router(const RouterOptions& options)
-    : options_(options), ring_(options.virtual_nodes) {
+    : options_(options),
+      transport_(options.transport ? options.transport
+                                   : serve::RealTransport()),
+      clock_(options.clock ? options.clock : RealClock()),
+      ring_(options.virtual_nodes) {
   std::vector<std::string> names;
   for (const ShardConfig& shard : options_.shards) {
     auto backend = std::make_unique<Backend>();
@@ -197,7 +119,6 @@ Router::~Router() {
   Stop();
   for (const std::unique_ptr<Backend>& backend : backends_) {
     std::lock_guard<std::mutex> lock(backend->pool_mu);
-    for (int fd : backend->idle) ::close(fd);
     backend->idle.clear();
   }
 }
@@ -283,7 +204,7 @@ void Router::ReleaseRoute(const std::string& id) {
 }
 
 Status Router::CallShard(const std::string& shard,
-                         const std::string& request,
+                         const std::string& request, uint64_t expect_id,
                          std::string* response) {
   Backend* backend = FindBackend(shard);
   if (backend == nullptr) {
@@ -292,69 +213,120 @@ Status Router::CallShard(const std::string& shard,
   if (health_->IsDown(shard)) {
     return Status::Unavailable("shard " + shard + " is down");
   }
-  int fd = -1;
+  std::unique_ptr<serve::Connection> conn;
   bool pooled = false;
   {
     std::lock_guard<std::mutex> lock(backend->pool_mu);
     if (!backend->idle.empty()) {
-      fd = backend->idle.back();
+      conn = std::move(backend->idle.back());
       backend->idle.pop_back();
       pooled = true;
     }
   }
-  if (fd < 0) {
-    Result<int> dialed =
-        DialWithTimeout(backend->config.host, backend->config.port,
-                        options_.connect_timeout_ms, options_.call_timeout_ms);
-    if (!dialed.ok()) {
+  // Backend connections are pooled and shared by every client the
+  // router serves, and each client numbers its own requests from 1 —
+  // two clients in lockstep mint identical ids, so matching responses
+  // on the client's id cannot tell a stray frame left behind on a
+  // pooled connection (a duplicated response, a late answer) from the
+  // real one. Forwarded frames therefore travel under a router-wide
+  // monotonic id: anything already sitting on a pooled connection
+  // carries a strictly older id and can never match. The client's own
+  // id is spliced back into the matched response before it is relayed,
+  // so the relay stays byte-verbatim for every other byte.
+  const uint64_t backend_id =
+      next_backend_id_.fetch_add(1, std::memory_order_relaxed);
+  std::string wire = request;
+  const bool renumbered = RewriteLeadingId(backend_id, &wire);
+  const uint64_t match_id = renumbered ? backend_id : expect_id;
+  const std::string frame = serve::EncodeFrame(wire);
+  // Up to two send attempts: a pooled connection the shard closed
+  // while it idled fails its first write with zero bytes sent — the
+  // frame provably never left, so discarding the stale connection and
+  // retrying once on a fresh dial is safe, and turns "the pool went
+  // stale" from a spurious kUnavailable into a success. The stale
+  // write is not reported to the health checker (the connection was
+  // dead, not the shard); only the fresh attempt's outcome counts.
+  for (int attempt = 0;; ++attempt) {
+    if (conn == nullptr) {
+      serve::DialOptions dial;
+      dial.connect_timeout_ms = options_.connect_timeout_ms;
+      dial.io_timeout_ms = options_.call_timeout_ms;
+      Result<std::unique_ptr<serve::Connection>> dialed = transport_->Dial(
+          backend->config.host, backend->config.port, dial);
+      if (!dialed.ok()) {
+        health_->RecordFailure(shard);
+        // The connection never existed, so the frame provably never
+        // reached the shard: safe for the client to retry blindly.
+        return Status::Unavailable("shard " + shard + " unreachable: " +
+                                   dialed.status().message());
+      }
+      conn = std::move(*dialed);
+    }
+    size_t sent = 0;
+    Status st = conn->SendAll(frame, &sent);
+    if (!st.ok()) {
+      if (sent == 0) {
+        if (pooled && attempt == 0) {
+          conn.reset();  // stale pooled connection; retry fresh
+          pooled = false;
+          continue;
+        }
+        health_->RecordFailure(shard);
+        // Zero bytes left this process; the shard only dispatches
+        // *complete* frames, so the request was never applied.
+        return Status::Unavailable("shard " + shard +
+                                   " write failed before any bytes: " +
+                                   st.message());
+      }
       health_->RecordFailure(shard);
-      // The connection never existed, so the frame provably never
-      // reached the shard: safe for the client to retry blindly.
-      return Status::Unavailable("shard " + shard + " unreachable: " +
-                                 dialed.status().message());
+      return Status::IOError("outcome unknown: partial write to shard " +
+                             shard + ": " + st.message());
     }
-    fd = *dialed;
+    // Responses are matched to the request by id, like the serve
+    // client does: a pooled connection can carry a stray frame from an
+    // earlier exchange (a duplicated response, or a late answer to a
+    // request we gave up on), and relaying it as THIS request's answer
+    // would hand the caller a stale round. Strays are skipped, bounded
+    // so a babbling peer cannot pin us here.
+    bool matched = false;
+    for (int frames = 0; frames < 4 && !matched; ++frames) {
+      st = serve::RecvOneFrame(conn.get(), serve::kDefaultMaxFrameBytes,
+                               response);
+      if (!st.ok()) {
+        health_->RecordFailure(shard);
+        // Even a pooled connection that swallowed the full send into a
+        // dead socket lands here: we cannot prove non-delivery, so the
+        // honest answer is outcome-unknown and the client resyncs via
+        // session.get.
+        return Status::IOError("outcome unknown: no response from shard " +
+                               shard + ": " + st.message());
+      }
+      Result<serve::Response> parsed = serve::ParseResponse(*response);
+      // An unparsable frame is surfaced to the caller unchanged; only
+      // a well-formed response for a *different* id is a stray.
+      matched = !parsed.ok() || parsed->id == match_id;
+      if (!matched) ET_COUNTER_INC("cluster.call.stray_response");
+    }
+    if (!matched) {
+      // The connection is babbling; drop it and surface the ambiguity
+      // (the request was sent — it may have been applied). The shard
+      // answered frames, so this is not held against its health.
+      return Status::IOError("outcome unknown: shard " + shard +
+                             " answered with mismatched response ids");
+    }
+    break;
   }
-  const std::string frame = serve::EncodeFrame(request);
-  size_t sent = 0;
-  Status st = SendAll(fd, frame, &sent);
-  if (!st.ok()) {
-    ::close(fd);
-    health_->RecordFailure(shard);
-    if (sent == 0) {
-      // Zero bytes left this process; the shard only dispatches
-      // *complete* frames, so the request was never applied. (A stale
-      // pooled connection whose first write fails lands here too.)
-      return Status::Unavailable("shard " + shard +
-                                 " write failed before any bytes: " +
-                                 st.message());
-    }
-    return Status::IOError("outcome unknown: partial write to shard " +
-                           shard + ": " + st.message());
-  }
-  st = RecvFrame(fd, serve::kDefaultMaxFrameBytes, response);
-  if (!st.ok()) {
-    ::close(fd);
-    health_->RecordFailure(shard);
-    if (pooled && sent == frame.size()) {
-      // A pooled connection the shard had already closed can swallow a
-      // full send into a dead socket; we cannot prove non-delivery, so
-      // the honest answer is outcome-unknown and the client resyncs
-      // via session.get.
-    }
-    return Status::IOError("outcome unknown: no response from shard " +
-                           shard + ": " + st.message());
+  if (renumbered) {
+    RewriteLeadingId(expect_id, response);
   }
   health_->RecordSuccess(shard);
   {
     std::lock_guard<std::mutex> lock(backend->pool_mu);
     if (backend->idle.size() < options_.pool_size &&
         !stopped_.load(std::memory_order_relaxed)) {
-      backend->idle.push_back(fd);
-      fd = -1;
+      backend->idle.push_back(std::move(conn));
     }
   }
-  if (fd >= 0) ::close(fd);
   return Status::OK();
 }
 
@@ -363,33 +335,34 @@ Status Router::ProbeShard(const std::string& shard) {
   if (backend == nullptr) {
     return Status::InvalidArgument("unknown shard: " + shard);
   }
-  Result<int> dialed =
-      DialWithTimeout(backend->config.host, backend->config.port,
-                      options_.probe_timeout_ms, options_.probe_timeout_ms);
+  serve::DialOptions dial;
+  dial.connect_timeout_ms = options_.probe_timeout_ms;
+  dial.io_timeout_ms = options_.probe_timeout_ms;
+  Result<std::unique_ptr<serve::Connection>> dialed =
+      transport_->Dial(backend->config.host, backend->config.port, dial);
   if (!dialed.ok()) return dialed.status();
-  const int fd = *dialed;
   static const std::string kProbe =
       "{\"id\":1,\"method\":\"stats.scrape\",\"params\":{}}";
   const std::string frame = serve::EncodeFrame(kProbe);
   size_t sent = 0;
-  Status st = SendAll(fd, frame, &sent);
+  Status st = (*dialed)->SendAll(frame, &sent);
   if (st.ok()) {
     std::string response;
-    st = RecvFrame(fd, serve::kDefaultMaxFrameBytes, &response);
+    st = serve::RecvOneFrame(dialed->get(), serve::kDefaultMaxFrameBytes,
+                             &response);
   }
-  ::close(fd);
   return st;
 }
 
 void Router::ClearPool(const std::string& shard) {
   Backend* backend = FindBackend(shard);
   if (backend == nullptr) return;
-  std::vector<int> doomed;
+  std::vector<std::unique_ptr<serve::Connection>> doomed;
   {
     std::lock_guard<std::mutex> lock(backend->pool_mu);
     doomed.swap(backend->idle);
   }
-  for (int fd : doomed) ::close(fd);
+  doomed.clear();
 }
 
 void Router::OnShardDown(const std::string& shard) {
@@ -417,6 +390,8 @@ void Router::OnShardDown(const std::string& shard) {
     adopter = ring_.ShardFor(shard);
   }
   if (adopter.empty()) return;  // no survivors; nothing to adopt onto
+  ET_LOG(Info) << "failover: shard " << shard << " down, adopter "
+               << adopter;
 
   obs::JsonValue params;
   params.kind = obs::JsonValue::Kind::kObject;
@@ -426,23 +401,49 @@ void Router::OnShardDown(const std::string& shard) {
   params.object.emplace("journal_dir", std::move(dir));
   const std::string adopt = EncodeRequestPayload(1, "admin.adopt", params);
 
-  for (int attempt = 0; attempt < 5; ++attempt) {
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    adopting_.insert(shard);
+  }
+  bool adopt_acked = false;
+  for (int attempt = 0; attempt < 5 && !adopt_acked; ++attempt) {
     if (stopped_.load(std::memory_order_relaxed)) return;
     std::string payload;
-    const Status st = CallShard(adopter, adopt, &payload);
+    const Status st = CallShard(adopter, adopt, 1, &payload);
     if (st.ok()) {
       Result<serve::Response> response = serve::ParseResponse(payload);
       if (response.ok() && response->ok) {
         size_t adopted = 0;
+        std::string adopted_ids;
         const obs::JsonValue* sessions = response->result.Find("sessions");
         if (sessions != nullptr && sessions->is_array()) {
           std::lock_guard<std::mutex> lock(routes_mu_);
           for (const obs::JsonValue& id : sessions->array) {
             if (!id.is_string()) continue;
-            routes_[id.string_value].shard = adopter;
+            Route& route = routes_[id.string_value];
+            // The old owner may only be *declared* dead and still hold
+            // this session live at a stale round; record the fencing
+            // debt so OnShardUp evicts that copy before the shard
+            // serves again. Debt accrues against the routed shard AND
+            // against `shard` itself when they differ: a journal can
+            // sit in `shard`'s directory without the route ever having
+            // pointed there — an earlier adoption that moved it in but
+            // whose response was lost left `shard` holding a live copy
+            // the router never learned about.
+            if (!route.shard.empty() && route.shard != adopter) {
+              fenced_[route.shard].push_back(id.string_value);
+            }
+            if (shard != adopter && shard != route.shard) {
+              fenced_[shard].push_back(id.string_value);
+            }
+            route.shard = adopter;
             ++adopted;
+            adopted_ids += (adopted_ids.empty() ? "" : ",") + id.string_value;
           }
         }
+        ET_LOG(Info) << "failover: " << adopter << " adopted " << adopted
+                     << " session(s) from " << shard << " [" << adopted_ids
+                     << "] (attempt " << attempt + 1 << ")";
         {
           std::lock_guard<std::mutex> lock(counters_mu_);
           ++counters_.failovers;
@@ -451,19 +452,109 @@ void Router::OnShardDown(const std::string& shard) {
         ET_COUNTER_INC("cluster.failover");
         ET_COUNTER_ADD("cluster.sessions.failed_over",
                        static_cast<uint64_t>(adopted));
-        return;
+        adopt_acked = true;
+        break;
       }
       // The adopter answered but refused (draining, transient IO
       // error); fall through to retry.
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50 * (attempt + 1)));
+    clock_->SleepForMillis(50.0 * (attempt + 1));
   }
-  ET_COUNTER_INC("cluster.failover.abandoned");
+  // Lost-response recovery rides on the retries themselves: adoption
+  // deletes the source journals, so a retried admin.adopt scans an
+  // empty directory — but the adopter's cumulative adoption receipt
+  // (see SessionManager::HandleAdopt) still lists every id previously
+  // moved from that directory, and the repin above runs off the
+  // receipt. Do NOT "verify" by scraping the adopter's live session
+  // list instead: a session can be live on the adopter as a stale
+  // pre-failover copy (a shard falsely declared down keeps serving
+  // its sessions in memory even after its journals are adopted away),
+  // and repinning to that zombie copy time-travels the client.
+  if (!adopt_acked) {
+    ET_LOG(Warn) << "failover: adoption of " << shard << " by " << adopter
+                 << " abandoned after 5 attempts";
+    ET_COUNTER_INC("cluster.failover.abandoned");
+  }
+  // Replay an up-transition that arrived while the adoption was in
+  // progress (the adopt loop advances the clock, so probe timers fire
+  // reentrantly and a flapping shard can report healthy mid-retry).
+  // The rejoin was deferred so the fencing debt recorded by the repin
+  // above is paid before the shard serves again.
+  bool rejoin = false;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    adopting_.erase(shard);
+    rejoin = deferred_up_.erase(shard) > 0;
+  }
+  if (rejoin && !health_->IsDown(shard) &&
+      !stopped_.load(std::memory_order_relaxed)) {
+    OnShardUp(shard);
+  }
 }
 
 void Router::OnShardUp(const std::string& shard) {
   if (FindBackend(shard) == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    if (adopting_.count(shard) != 0) {
+      // This shard's journals are still being adopted away. Rejoining
+      // now would re-admit a shard whose sessions are about to be
+      // repinned elsewhere — with the fencing debt for its live copies
+      // not recorded yet, so nothing would ever evict them. Park the
+      // transition; OnShardDown replays it once the adoption settles.
+      deferred_up_.insert(shard);
+      ET_LOG(Info) << "failover: shard " << shard
+                   << " back up; rejoin deferred until adoption settles";
+      return;
+    }
+  }
+  ET_LOG(Info) << "failover: shard " << shard << " back up";
   ClearPool(shard);
+  // Pay the fencing debt before readmitting the shard: any session
+  // failed over away from it while it was out may still be live there
+  // as a stale copy (the shard was only declared dead — a partition
+  // or fault burst, not a crash — or it restarted from journals that
+  // adoption had not yet consumed). Serving from that copy would
+  // time-travel the client, so evict it. admin.evict leaves durable
+  // state alone; an id the shard no longer has is a cheap no-op.
+  std::vector<std::string> fence;
+  {
+    std::lock_guard<std::mutex> lock(routes_mu_);
+    auto it = fenced_.find(shard);
+    if (it != fenced_.end()) {
+      fence = std::move(it->second);
+      fenced_.erase(it);
+    }
+  }
+  for (size_t i = 0; i < fence.size(); ++i) {
+    obs::JsonValue params;
+    params.kind = obs::JsonValue::Kind::kObject;
+    obs::JsonValue sid;
+    sid.kind = obs::JsonValue::Kind::kString;
+    sid.string_value = fence[i];
+    params.object.emplace("session_id", std::move(sid));
+    const std::string evict =
+        EncodeRequestPayload(3, "admin.evict", params);
+    std::string payload;
+    const Status st = CallShard(shard, evict, 3, &payload);
+    Result<serve::Response> response =
+        st.ok() ? serve::ParseResponse(payload)
+                : Result<serve::Response>(st);
+    if (!response.ok() || !response->ok) {
+      // Couldn't fence (the shard flapped again, the call faulted):
+      // put the debt back so the next up-transition retries. The
+      // session stays pinned to its current owner either way.
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      std::vector<std::string>& requeued = fenced_[shard];
+      requeued.insert(requeued.end(), fence.begin() + i, fence.end());
+      ET_LOG(Warn) << "failover: fencing " << shard << " incomplete ("
+                   << requeued.size() << " session(s) requeued)";
+      return;
+    }
+    ET_COUNTER_INC("cluster.fence.evicted");
+    ET_LOG(Info) << "failover: fenced stale copy of " << fence[i]
+                 << " on " << shard;
+  }
   std::lock_guard<std::mutex> lock(ring_mu_);
   ring_.AddShard(shard);
 }
@@ -494,7 +585,26 @@ Result<std::string> Router::HandleCreate(serve::Request request,
   const std::string& shard = *route;
   const std::string payload =
       EncodeRequestPayload(request.id, request.method, request.params);
-  const Status st = CallShard(shard, payload, response_payload);
+  Status st = CallShard(shard, payload, request.id, response_payload);
+  // Same ownership re-check as HandleForward: if failover adopted this
+  // session away while the create was in flight, the shard we called
+  // may be a zombie whose copy the rejoin fence will destroy — make
+  // the client resync rather than trust its ack.
+  if (st.ok()) {
+    std::string now;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      auto it = routes_.find(session_id);
+      if (it != routes_.end()) now = it->second.shard;
+    }
+    if (!now.empty() && now != shard) {
+      ET_COUNTER_INC("cluster.forward.owner_moved");
+      ET_LOG(Warn) << "create: " << session_id << " moved " << shard
+                   << " -> " << now << " mid-call; discarding its reply";
+      st = Status::IOError("outcome unknown: session " + session_id +
+                           " failed over while the create was in flight");
+    }
+  }
   ReleaseRoute(session_id);
   if (!st.ok()) return st;
   return session_id;
@@ -511,7 +621,48 @@ Result<std::string> Router::HandleForward(const serve::Request& request,
   const std::string& session_id = id_value->string_value;
   Result<std::string> route = AcquireRoute(session_id);
   if (!route.ok()) return route.status();
-  const Status st = CallShard(*route, payload, response_payload);
+  std::string called = *route;
+  Status st = CallShard(called, payload, request.id, response_payload);
+  // A read is idempotent, so an outcome-unknown failure — a stale
+  // pooled connection the shard closed while it idled, a response
+  // lost in flight — is safe to retry on a fresh connection here
+  // instead of bubbling "outcome unknown" to the client. Mutating
+  // ops keep the strict contract: the client resolves via resync,
+  // never a blind resend.
+  for (int retry = 0;
+       request.method == "session.get" && st.IsIOError() && retry < 2;
+       ++retry) {
+    st = CallShard(called, payload, request.id, response_payload);
+  }
+  // Ownership re-check. Failover can adopt this session's journals
+  // away from `called` while the call above is in flight: the old
+  // shard — falsely declared down, still alive — may apply the request
+  // to its orphaned copy AFTER the adopter scanned the journal dir, so
+  // its ack asserts state the new owner never inherited (and that the
+  // rejoin fence will destroy). A success from a shard that no longer
+  // owns the session is therefore untrustworthy. Reads re-run against
+  // the new owner; mutations surface outcome-unknown so the client
+  // resyncs and, if the write is indeed missing there, replays it
+  // against the authoritative copy.
+  for (int hop = 0; st.ok() && hop < 2; ++hop) {
+    std::string now;
+    {
+      std::lock_guard<std::mutex> lock(routes_mu_);
+      auto it = routes_.find(session_id);
+      if (it != routes_.end()) now = it->second.shard;
+    }
+    if (now.empty() || now == called) break;
+    ET_COUNTER_INC("cluster.forward.owner_moved");
+    ET_LOG(Warn) << "forward: " << session_id << " moved " << called
+                 << " -> " << now << " mid-call; discarding its reply";
+    if (request.method != "session.get") {
+      st = Status::IOError("outcome unknown: session " + session_id +
+                           " failed over while the call was in flight");
+      break;
+    }
+    called = now;
+    st = CallShard(called, payload, request.id, response_payload);
+  }
   ReleaseRoute(session_id);
   if (!st.ok()) return st;
   return session_id;
@@ -596,7 +747,7 @@ Result<std::string> Router::HandleMigrate(const serve::Request& request) {
   }
   std::string payload;
   Status st = CallShard(
-      owner, EncodeRequestPayload(1, "session.snapshot", snap_params),
+      owner, EncodeRequestPayload(1, "session.snapshot", snap_params), 1,
       &payload);
   if (!st.ok()) {
     unpin();
@@ -633,7 +784,7 @@ Result<std::string> Router::HandleMigrate(const serve::Request& request) {
   }
   st = CallShard(target,
                  EncodeRequestPayload(1, "session.restore", restore_params),
-                 &payload);
+                 1, &payload);
   if (!st.ok()) {
     unpin();
     return st;
@@ -662,7 +813,7 @@ Result<std::string> Router::HandleMigrate(const serve::Request& request) {
   }
   std::string close_response;
   (void)CallShard(owner,
-                  EncodeRequestPayload(1, "session.close", close_params),
+                  EncodeRequestPayload(1, "session.close", close_params), 1,
                   &close_response);
 
   {

@@ -46,12 +46,15 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cluster/health.h"
 #include "cluster/ring.h"
+#include "common/clock.h"
 #include "common/result.h"
 #include "serve/session.h"
+#include "serve/transport.h"
 
 namespace et {
 namespace cluster {
@@ -86,6 +89,14 @@ struct RouterOptions {
   /// shards' own "s-<n>" namespace so direct-to-shard sessions can
   /// never collide with routed ones.
   std::string id_prefix = "c-";
+  /// Wire and time seams; null means RealTransport() / RealClock().
+  serve::Transport* transport = nullptr;
+  Clock* clock = nullptr;
+  /// When false, Start() neither launches the health-probe thread nor
+  /// grows the global thread pool — the caller drives probing
+  /// explicitly via health().ProbeOnce(). The deterministic simulation
+  /// harness runs the router this way, single-threaded.
+  bool background = true;
 };
 
 /// Monotonic counters mirrored into the obs registry (cluster.*).
@@ -151,13 +162,26 @@ class Router : public serve::RequestHandler {
   /// One request/response round trip against a shard, pooled
   /// connection or fresh dial. kUnavailable = provably not applied;
   /// kIOError "outcome unknown:" = may have been applied.
+  /// `expect_id` is the request's own id; on the wire the frame is
+  /// renumbered from the router-wide backend id counter (client id
+  /// counters collide across connections), responses are matched on
+  /// that unique id — strays (late answers, duplicates left on a
+  /// pooled connection) are skipped — and the matched response gets
+  /// `expect_id` spliced back before it is returned.
   Status CallShard(const std::string& shard, const std::string& request,
-                   std::string* response);
+                   uint64_t expect_id, std::string* response);
 
   /// Health probe: fresh connection, stats.scrape, short deadline.
   /// Bypasses the pool and the down check.
   Status ProbeShard(const std::string& shard);
 
+  /// Failover: removes the shard from the ring, asks its ring
+  /// successor to adopt the dead shard's journals, and repins the
+  /// sessions the adopt response lists. Adoption moves journals
+  /// before the response travels back, so a lost response is
+  /// recovered by retrying the adopt itself: the adopter's cumulative
+  /// receipt re-reports every id previously moved from that directory
+  /// even though the retry scans an empty dir.
   void OnShardDown(const std::string& shard);
   void OnShardUp(const std::string& shard);
   void ClearPool(const std::string& shard);
@@ -178,6 +202,8 @@ class Router : public serve::RequestHandler {
   std::string StatsJson() const;
 
   RouterOptions options_;
+  serve::Transport* transport_;
+  Clock* clock_;
   std::vector<std::unique_ptr<Backend>> backends_;
   std::unique_ptr<HealthChecker> health_;
 
@@ -187,8 +213,31 @@ class Router : public serve::RequestHandler {
   mutable std::mutex routes_mu_;
   std::condition_variable routes_cv_;
   std::unordered_map<std::string, Route> routes_;
+  /// Fencing debt, under routes_mu_: sessions repinned away from a
+  /// shard while it was down. A shard declared down on probe failures
+  /// may in truth be alive (partition, fault burst) and still hold
+  /// those sessions live in memory at a stale round; before the shard
+  /// rejoins the ring, OnShardUp sends it admin.evict for each so the
+  /// stale copies can never serve again.
+  std::unordered_map<std::string, std::vector<std::string>> fenced_;
+  /// Shards whose journals OnShardDown is still adopting away, and
+  /// shards whose up-transition arrived inside that window. Probe
+  /// callbacks are reentrant (the adopt loop advances the clock, which
+  /// fires probe timers), so a flapping shard can report healthy while
+  /// its adoption is mid-retry; re-admitting it then would put a shard
+  /// full of about-to-be-stale copies back in the ring before the
+  /// fencing debt for them exists. The rejoin is parked in
+  /// deferred_up_ and replayed when the adoption settles. Both under
+  /// routes_mu_.
+  std::unordered_set<std::string> adopting_;
+  std::unordered_set<std::string> deferred_up_;
 
   std::atomic<uint64_t> next_session_{1};
+  /// Router-wide id namespace for frames sent to shards: pooled
+  /// backend connections are shared across clients whose own request
+  /// ids collide, so CallShard renumbers each forwarded frame from
+  /// this counter and restores the client's id on the response.
+  std::atomic<uint64_t> next_backend_id_{1};
   std::atomic<size_t> inflight_{0};
   std::atomic<bool> draining_{false};
   std::atomic<bool> stopped_{false};

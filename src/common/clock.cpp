@@ -1,0 +1,39 @@
+#include "common/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace et {
+namespace {
+
+class SystemClock : public Clock {
+ public:
+  uint64_t MonotonicNanos() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  uint64_t WallUnixMillis() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepForMillis(double ms) override {
+    if (ms <= 0.0) return;
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<int64_t>(ms * 1e3)));
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static Clock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace et

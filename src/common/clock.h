@@ -1,0 +1,90 @@
+// The clock seam of the serving stack.
+//
+// Two rules keep time handling honest (and simulatable):
+//
+//   1. Interval math — backoff deadlines, delta-snapshot rates, idle
+//      ages — reads MonotonicNanos(), which never jumps. An NTP step
+//      must not stretch or shrink a measured interval.
+//   2. Wall-clock time exists only for *display* fields (snapshot
+//      stamps, log lines) via WallUnixMillis(); nothing derives a
+//      duration from two wall stamps.
+//
+// RealClock() is the process clock (steady_clock / system_clock /
+// this_thread::sleep_for). ManualClock is a virtual clock the
+// deterministic simulation harness (src/sim/) and tests drive
+// explicitly: SleepForMillis advances virtual time instantly, and the
+// two time bases can be skewed independently — which is exactly how
+// the delta-snapshot wall-jump regression test works.
+
+#ifndef ET_COMMON_CLOCK_H_
+#define ET_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace et {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Monotonic nanoseconds since an arbitrary epoch. All interval and
+  /// deadline arithmetic uses this base.
+  virtual uint64_t MonotonicNanos() = 0;
+
+  /// Wall-clock milliseconds since the Unix epoch. Display fields
+  /// only; never subtract two of these.
+  virtual uint64_t WallUnixMillis() = 0;
+
+  /// Blocks the caller for `ms` (no-op for ms <= 0). Virtual clocks
+  /// advance instead of blocking.
+  virtual void SleepForMillis(double ms) = 0;
+};
+
+/// The process-wide real clock (leaked singleton; safe from any
+/// thread, including during static destruction).
+Clock* RealClock();
+
+/// A hand-driven clock for tests and the simulation harness. Starts at
+/// an arbitrary nonzero epoch. Thread-safe.
+class ManualClock : public Clock {
+ public:
+  ManualClock() = default;
+
+  uint64_t MonotonicNanos() override {
+    return mono_ns_.load(std::memory_order_acquire);
+  }
+  uint64_t WallUnixMillis() override {
+    return wall_ms_.load(std::memory_order_acquire);
+  }
+
+  /// Sleeping on a manual clock advances it (both bases): the sleeper
+  /// "waits" in virtual time without blocking the thread.
+  void SleepForMillis(double ms) override {
+    if (ms <= 0.0) return;
+    AdvanceMillis(ms);
+  }
+
+  /// Advances both bases together (the normal passage of time).
+  void AdvanceMillis(double ms) {
+    const uint64_t ns = static_cast<uint64_t>(ms * 1e6);
+    mono_ns_.fetch_add(ns, std::memory_order_acq_rel);
+    wall_ms_.fetch_add(static_cast<uint64_t>(ms),
+                       std::memory_order_acq_rel);
+  }
+
+  /// Steps only the wall clock (an NTP jump). Monotonic time is
+  /// unaffected — that is the whole point.
+  void JumpWallMillis(int64_t delta_ms) {
+    wall_ms_.fetch_add(static_cast<uint64_t>(delta_ms),
+                       std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<uint64_t> mono_ns_{uint64_t{1} << 30};
+  std::atomic<uint64_t> wall_ms_{1700000000000ULL};
+};
+
+}  // namespace et
+
+#endif  // ET_COMMON_CLOCK_H_

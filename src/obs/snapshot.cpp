@@ -60,7 +60,9 @@ MetricsDelta DiffSnapshots(const MetricsSnapshot& older,
   return delta;
 }
 
-DeltaSnapshotter::DeltaSnapshotter(Options options) : options_(options) {
+DeltaSnapshotter::DeltaSnapshotter(Options options)
+    : options_(options),
+      clock_(options.clock ? options.clock : RealClock()) {
   if (options_.interval_ms == 0) options_.interval_ms = 1000;
 }
 
@@ -70,7 +72,7 @@ void DeltaSnapshotter::SampleNow() {
   // Snapshot outside mu_ — the registry has its own lock and the copy
   // can be large.
   MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
-  const uint64_t now = NowNanos();
+  const uint64_t now = clock_->MonotonicNanos();
   std::lock_guard<std::mutex> lock(mu_);
   if (have_cur_) {
     prev_ = std::move(cur_);

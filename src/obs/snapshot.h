@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "obs/metrics.h"
 
 namespace et {
@@ -31,7 +32,8 @@ namespace obs {
 struct MetricsDelta {
   /// False until two samples exist; all vectors empty while false.
   bool valid = false;
-  /// Wall-clock span between the two samples, nanoseconds.
+  /// Monotonic span between the two samples, nanoseconds (immune to
+  /// wall-clock/NTP jumps).
   uint64_t interval_ns = 0;
   /// Counter increments over the interval (name, delta). Counters that
   /// first appeared in the newer sample contribute their full value.
@@ -50,6 +52,11 @@ class DeltaSnapshotter {
   struct Options {
     /// Cadence of the background thread. Ignored by SampleNow().
     uint64_t interval_ms = 1000;
+    /// Time source for sample timestamps (and thus interval_ns); null
+    /// means RealClock(). Interval math always reads the monotonic
+    /// base — a wall-clock (NTP) jump must not stretch or shrink
+    /// reported rates. Tests inject a ManualClock to pin intervals.
+    Clock* clock = nullptr;
   };
 
   DeltaSnapshotter() : DeltaSnapshotter(Options()) {}
@@ -83,6 +90,7 @@ class DeltaSnapshotter {
   void ThreadMain();
 
   Options options_;
+  Clock* clock_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
@@ -90,7 +98,8 @@ class DeltaSnapshotter {
   bool stop_requested_ = false;
   std::thread thread_;
 
-  // prev_/cur_ guarded by mu_; *_ns are NowNanos() at sample time.
+  // prev_/cur_ guarded by mu_; *_ns are clock_->MonotonicNanos() at
+  // sample time.
   bool have_prev_ = false;
   bool have_cur_ = false;
   MetricsSnapshot prev_;

@@ -1,16 +1,6 @@
 #include "serve/client.h"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <algorithm>
-#include <cerrno>
-#include <chrono>
-#include <cstring>
-#include <thread>
 
 #include "robustness/retry.h"
 
@@ -18,102 +8,77 @@ namespace et {
 namespace serve {
 namespace {
 
-/// One connect attempt; returns the connected fd.
-Result<int> DialOnce(const std::string& host, int port) {
-  const int fd = socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    close(fd);
-    return Status::InvalidArgument("bad host address: " + host);
-  }
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    const Status st = Status::IOError(std::string("connect ") + host + ":" +
-                                      std::to_string(port) + ": " +
-                                      std::strerror(errno));
-    close(fd);
-    return st;
-  }
-  const int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  return fd;
-}
-
 /// Dials with the capped-jitter retry policy until `deadline_ms` from
 /// now. The op lambda converts a passed deadline into the non-retryable
 /// kDeadlineExceeded so the retry loop stops on its own; max_attempts
 /// is effectively unbounded — the deadline is the budget.
-Result<int> DialWithDeadline(const std::string& host, int port,
-                             double deadline_ms) {
-  const auto deadline =
-      std::chrono::steady_clock::now() +
-      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-          std::chrono::duration<double, std::milli>(deadline_ms));
+///
+/// The retry helper appends each computed delay to `delays_ms` before
+/// sleeping, so with sleep=false we can replay the exact delays through
+/// the injected clock — real time when clock is the real clock, virtual
+/// time under simulation.
+Result<std::unique_ptr<Connection>> DialWithDeadline(
+    Transport* transport, Clock* clock, const std::string& host, int port,
+    double deadline_ms) {
+  const uint64_t deadline_ns =
+      clock->MonotonicNanos() + static_cast<uint64_t>(deadline_ms * 1e6);
   BackoffOptions backoff;
   backoff.max_attempts = 1000000;
   backoff.initial_delay_ms = 5.0;
   backoff.max_delay_ms = 250.0;
-  return RetryResultWithBackoff<int>(
+  backoff.sleep = false;
+  std::vector<double> delays_ms;
+  size_t slept = 0;
+  return RetryResultWithBackoff<std::unique_ptr<Connection>>(
       "serve.client.dial",
-      [&]() -> Result<int> {
-        Result<int> fd = DialOnce(host, port);
-        if (!fd.ok() && std::chrono::steady_clock::now() >= deadline) {
-          return Status::DeadlineExceeded(
-              "reconnect deadline exceeded: " + fd.status().message());
+      [&]() -> Result<std::unique_ptr<Connection>> {
+        while (slept < delays_ms.size()) {
+          clock->SleepForMillis(delays_ms[slept++]);
         }
-        return fd;
+        Result<std::unique_ptr<Connection>> conn =
+            transport->Dial(host, port, DialOptions{});
+        if (!conn.ok() && clock->MonotonicNanos() >= deadline_ns) {
+          return Status::DeadlineExceeded(
+              "reconnect deadline exceeded: " + conn.status().message());
+        }
+        return conn;
       },
-      backoff);
+      backoff, &delays_ms);
 }
 
 }  // namespace
 
 Result<std::unique_ptr<Client>> Client::Connect(
     const std::string& host, int port, const ClientOptions& options) {
-  Result<int> fd = options.reconnect_deadline_ms > 0.0
-                       ? DialWithDeadline(host, port,
-                                          options.reconnect_deadline_ms)
-                       : DialOnce(host, port);
-  if (!fd.ok()) return fd.status();
-  return std::unique_ptr<Client>(new Client(*fd, host, port, options));
+  Transport* transport =
+      options.transport ? options.transport : RealTransport();
+  Clock* clock = options.clock ? options.clock : RealClock();
+  Result<std::unique_ptr<Connection>> conn =
+      options.reconnect_deadline_ms > 0.0
+          ? DialWithDeadline(transport, clock, host, port,
+                             options.reconnect_deadline_ms)
+          : transport->Dial(host, port, DialOptions{});
+  if (!conn.ok()) return conn.status();
+  return std::unique_ptr<Client>(
+      new Client(std::move(*conn), host, port, options));
 }
 
 Status Client::Reconnect() {
-  if (fd_ >= 0) {
-    close(fd_);
-    fd_ = -1;
-  }
+  conn_.reset();
   ET_ASSIGN_OR_RETURN(
-      fd_, DialWithDeadline(host_, port_, options_.reconnect_deadline_ms));
+      conn_, DialWithDeadline(transport_, clock_, host_, port_,
+                              options_.reconnect_deadline_ms));
   parser_ = FrameParser(options_.max_frame_bytes);
   buffered_.clear();
   ++reconnects_;
   return Status::OK();
 }
 
-Client::~Client() {
-  if (fd_ >= 0) close(fd_);
-}
+Client::~Client() = default;
 
 Status Client::WriteAll(const std::string& bytes) {
-  size_t off = 0;
-  while (off < bytes.size()) {
-    // MSG_NOSIGNAL: a dead server surfaces as an EPIPE Status, not a
-    // process-killing SIGPIPE in the caller (et_loadgen, tests).
-    const ssize_t n =
-        send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
-    if (n > 0) {
-      off += static_cast<size_t>(n);
-      continue;
-    }
-    if (errno == EINTR) continue;
-    return Status::IOError(std::string("write: ") + std::strerror(errno));
-  }
-  return Status::OK();
+  size_t sent = 0;
+  return conn_->SendAll(bytes, &sent);
 }
 
 Result<Response> Client::ReadResponse(uint64_t id) {
@@ -127,17 +92,11 @@ Result<Response> Client::ReadResponse(uint64_t id) {
       ET_ASSIGN_OR_RETURN(Response response, ParseResponse(payload));
       if (response.id == id) return response;
     }
-    const ssize_t n = read(fd_, buf, sizeof(buf));
-    if (n > 0) {
-      ET_RETURN_NOT_OK(
-          parser_.Feed(buf, static_cast<size_t>(n), &buffered_));
-      continue;
-    }
+    ET_ASSIGN_OR_RETURN(const size_t n, conn_->Recv(buf, sizeof(buf)));
     if (n == 0) {
       return Status::IOError("server closed the connection");
     }
-    if (errno == EINTR) continue;
-    return Status::IOError(std::string("read: ") + std::strerror(errno));
+    ET_RETURN_NOT_OK(parser_.Feed(buf, n, &buffered_));
   }
 }
 
@@ -147,15 +106,12 @@ Result<obs::JsonValue> Client::Call(const std::string& method,
   // same wall-clock budget as reconnects instead of a fixed count: a
   // recovering server answers kUnavailable for as long as journal
   // replay takes, which can dwarf max_unavailable_retries worth of
-  // backoff.
-  const auto unavailable_deadline =
+  // backoff. 0 = no deadline-based extension.
+  const uint64_t unavailable_deadline_ns =
       options_.reconnect_deadline_ms > 0.0
-          ? std::chrono::steady_clock::now() +
-                std::chrono::duration_cast<
-                    std::chrono::steady_clock::duration>(
-                    std::chrono::duration<double, std::milli>(
-                        options_.reconnect_deadline_ms))
-          : std::chrono::steady_clock::time_point::min();
+          ? clock_->MonotonicNanos() +
+                static_cast<uint64_t>(options_.reconnect_deadline_ms * 1e6)
+          : 0;
   for (size_t attempt = 0;; ++attempt) {
     const uint64_t id = next_id_++;
     std::string payload = "{\"id\":" + std::to_string(id) +
@@ -190,12 +146,17 @@ Result<obs::JsonValue> Client::Call(const std::string& method,
     if (response.ok) return std::move(response.result);
     if (response.code == StatusCode::kUnavailable &&
         (attempt < options_.max_unavailable_retries ||
-         std::chrono::steady_clock::now() < unavailable_deadline)) {
+         (unavailable_deadline_ns != 0 &&
+          clock_->MonotonicNanos() < unavailable_deadline_ns))) {
       ++unavailable_retries_;
-      const double backoff_ms =
-          std::max(response.retry_after_ms, options_.min_retry_backoff_ms);
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(static_cast<int64_t>(backoff_ms * 1e3)));
+      // Clamp the server's hint: floor keeps a zero/absent hint from
+      // hot-spinning, ceiling keeps one bad hint from parking the
+      // client indefinitely.
+      const double backoff_ms = std::clamp(
+          response.retry_after_ms, options_.min_retry_backoff_ms,
+          std::max(options_.max_retry_backoff_ms,
+                   options_.min_retry_backoff_ms));
+      clock_->SleepForMillis(backoff_ms);
       continue;  // fresh id; the rejected request changed no state
     }
     return Status(response.code, response.message);

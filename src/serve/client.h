@@ -6,6 +6,10 @@
 // transient faults) are retried automatically with a fresh request id,
 // honoring the server's retry_after_ms hint — per the protocol contract
 // they were rejected before any state change, so the retry is safe.
+//
+// All wire I/O goes through serve::Transport and all time through
+// et::Clock; both default to the real implementations. The simulation
+// harness (src/sim/) substitutes deterministic ones.
 
 #ifndef ET_SERVE_CLIENT_H_
 #define ET_SERVE_CLIENT_H_
@@ -15,8 +19,10 @@
 #include <string>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/result.h"
 #include "serve/protocol.h"
+#include "serve/transport.h"
 
 namespace et {
 namespace serve {
@@ -27,6 +33,10 @@ struct ClientOptions {
   /// Floor for the server's retry-after hint (and the fallback when the
   /// hint is absent).
   double min_retry_backoff_ms = 1.0;
+  /// Ceiling for the server's retry-after hint. A buggy or hostile
+  /// server must not be able to park the client for minutes with one
+  /// giant hint.
+  double max_retry_backoff_ms = 2000.0;
   size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Restart tolerance: when > 0, a refused connect or a connection
   /// lost mid-call is re-dialed with the robustness/retry capped-jitter
@@ -35,6 +45,9 @@ struct ClientOptions {
   /// the op may or may not have been applied, so the caller must
   /// resync (session.get) before resending. <= 0 disables reconnects.
   double reconnect_deadline_ms = 0.0;
+  /// Wire and time seams; null means RealTransport() / RealClock().
+  Transport* transport = nullptr;
+  Clock* clock = nullptr;
 };
 
 class Client {
@@ -61,11 +74,14 @@ class Client {
   uint64_t reconnects() const { return reconnects_; }
 
  private:
-  Client(int fd, std::string host, int port, const ClientOptions& options)
-      : fd_(fd),
+  Client(std::unique_ptr<Connection> conn, std::string host, int port,
+         const ClientOptions& options)
+      : conn_(std::move(conn)),
         host_(std::move(host)),
         port_(port),
         options_(options),
+        transport_(options.transport ? options.transport : RealTransport()),
+        clock_(options.clock ? options.clock : RealClock()),
         parser_(options.max_frame_bytes) {}
 
   Status WriteAll(const std::string& bytes);
@@ -73,14 +89,16 @@ class Client {
   Result<Response> ReadResponse(uint64_t id);
 
   /// Re-dials host_:port_ with capped-jitter backoff until the
-  /// reconnect deadline, replacing fd_ and resetting the frame parser
+  /// reconnect deadline, replacing conn_ and resetting the frame parser
   /// (half-received frames from the dead connection are garbage).
   Status Reconnect();
 
-  int fd_;
+  std::unique_ptr<Connection> conn_;
   std::string host_;
   int port_;
   ClientOptions options_;
+  Transport* transport_;
+  Clock* clock_;
   FrameParser parser_;
   std::vector<std::string> buffered_;
   uint64_t next_id_ = 1;

@@ -8,6 +8,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <cstring>
@@ -64,6 +65,9 @@ struct Server::Impl {
   /// Feeds stats.scrape's delta view; started by Start() when
   /// stats_interval_ms > 0, stopped with the server.
   obs::DeltaSnapshotter snapshotter;
+  /// While NowNanos() is below this, the IO thread does not poll the
+  /// listen fd (fd-exhaustion backoff). Touched by the IO thread only.
+  uint64_t accept_paused_until_ns = 0;
 
   struct Conn {
     int fd = -1;
@@ -134,13 +138,45 @@ struct Server::Impl {
         .Add(-1.0);
   }
 
+  /// Parks the listen socket for accept_backoff_ms: a level-triggered
+  /// POLLIN on a listen fd we cannot accept from (fd exhaustion) would
+  /// otherwise wake the IO thread in a hot loop. IO thread only.
+  void PauseAccept() {
+    accept_paused_until_ns =
+        obs::NowNanos() +
+        static_cast<uint64_t>(std::max(1.0, options.accept_backoff_ms) * 1e6);
+    ET_COUNTER_INC("serve.accept.backoff");
+  }
+
   void HandleAccept() {
     for (;;) {
+      const Status exhausted = [] {
+        try {
+          ET_FAULT_POINT("serve.accept.fd_exhausted");
+        } catch (const std::exception& e) {
+          return Status::IOError(e.what());
+        }
+        return Status::OK();
+      }();
+      if (!exhausted.ok()) {
+        // Simulated EMFILE: behave exactly like the real branch below.
+        PauseAccept();
+        return;
+      }
       sockaddr_in addr{};
       socklen_t addr_len = sizeof(addr);
       const int fd =
           accept(listen_fd, reinterpret_cast<sockaddr*>(&addr), &addr_len);
       if (fd < 0) {
+        if (errno == EMFILE || errno == ENFILE || errno == ENOMEM) {
+          // Out of fds (or kernel memory): the pending connection stays
+          // in the backlog and POLLIN stays asserted, so returning here
+          // without a pause would spin the IO thread at 100% doing
+          // failed accepts. Back off and retry once resources may have
+          // been released.
+          PauseAccept();
+          return;
+        }
         // EAGAIN: accepted everything pending. Other errno values
         // (ECONNABORTED etc.) are per-connection; keep serving.
         return;
@@ -317,9 +353,22 @@ struct Server::Impl {
 
   void IoLoop(std::shared_ptr<Impl> self) {
     while (!stopping.load(std::memory_order_acquire)) {
+      // Fd-exhaustion backoff: while paused, drop POLLIN interest on
+      // the listen fd (it would level-trigger forever) and cap the poll
+      // timeout so accepting resumes promptly when the pause lapses.
+      const bool accept_paused =
+          obs::NowNanos() < accept_paused_until_ns;
+      int timeout_ms = 200;
+      if (accept_paused) {
+        const uint64_t remaining_ns =
+            accept_paused_until_ns - obs::NowNanos();
+        timeout_ms = static_cast<int>(
+            std::min<uint64_t>(200, remaining_ns / 1000000 + 1));
+      }
       std::vector<pollfd> fds;
       std::vector<std::shared_ptr<Conn>> polled;
-      fds.push_back({listen_fd, POLLIN, 0});
+      fds.push_back(
+          {listen_fd, static_cast<short>(accept_paused ? 0 : POLLIN), 0});
       fds.push_back({wake_read, POLLIN, 0});
       {
         std::lock_guard<std::mutex> lock(conns_mu);
@@ -334,7 +383,7 @@ struct Server::Impl {
           polled.push_back(conn);
         }
       }
-      const int rc = poll(fds.data(), fds.size(), /*timeout_ms=*/200);
+      const int rc = poll(fds.data(), fds.size(), timeout_ms);
       if (rc < 0 && errno != EINTR) break;
       if (stopping.load(std::memory_order_acquire)) break;
       if (rc <= 0) continue;
@@ -344,7 +393,7 @@ struct Server::Impl {
         while (read(wake_read, drain, sizeof(drain)) > 0) {
         }
       }
-      if (fds[0].revents & POLLIN) HandleAccept();
+      if (!accept_paused && (fds[0].revents & POLLIN)) HandleAccept();
       for (size_t i = 0; i < polled.size(); ++i) {
         const short revents = fds[i + 2].revents;
         const std::shared_ptr<Conn>& conn = polled[i];
@@ -384,6 +433,7 @@ struct Server::Impl {
 
 Result<std::unique_ptr<Server>> Server::Start(const ServerOptions& options) {
   RegisterFaultSite("serve.accept");
+  RegisterFaultSite("serve.accept.fd_exhausted");
   RegisterFaultSite("serve.read");
 
   auto impl = std::make_shared<Impl>(options);

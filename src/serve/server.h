@@ -46,6 +46,11 @@ struct ServerOptions {
   /// Cadence of the owned delta snapshotter feeding stats.scrape's
   /// delta view; 0 disables the background sampling thread.
   uint64_t stats_interval_ms = 1000;
+  /// How long the IO thread stops polling the listen socket after
+  /// accept() fails with EMFILE/ENFILE (fd exhaustion). Re-arming after
+  /// a pause gives the process a chance to shed connections instead of
+  /// spinning on a level-triggered POLLIN that can never succeed.
+  double accept_backoff_ms = 100.0;
 };
 
 /// A running server. Start() binds, listens, and spawns the IO thread;

@@ -828,10 +828,13 @@ SessionManager::SessionManager(const SessionManagerOptions& options)
     store_ = std::make_unique<CheckpointStore>(options_.snapshot_dir,
                                                "serve");
   }
-  if (options_.world_cache_bytes > 0) {
+  if (options_.shared_world_cache != nullptr) {
+    active_worlds_ = options_.shared_world_cache;
+  } else if (options_.world_cache_bytes > 0) {
     WorldCacheOptions world_options;
     world_options.byte_budget = options_.world_cache_bytes;
     worlds_ = std::make_unique<SessionWorldCache>(world_options);
+    active_worlds_ = worlds_.get();
   }
   if (!options_.journal_dir.empty()) {
     JournalOptions journal_options;
@@ -1072,6 +1075,10 @@ Result<std::string> SessionManager::Dispatch(const Request& request) {
     ET_TRACE_SCOPE("serve.admin.adopt");
     return HandleAdopt(request.params);
   }
+  if (request.method == "admin.evict") {
+    ET_TRACE_SCOPE("serve.admin.evict");
+    return HandleEvict(request.params);
+  }
   if (request.method == "server.ping") {
     obs::JsonWriter w;
     w.BeginObject();
@@ -1283,7 +1290,7 @@ Result<std::string> SessionManager::HandleCreate(
     ReserveGeneratedId(id);
   }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                      Session::Create(config, worlds_.get()));
+                      Session::Create(config, active_worlds_));
   // Serialize the response before publishing the session: afterwards
   // another worker may already be mutating it. The monotonic counter
   // cannot collide with itself; restored ids are kept ahead of it by
@@ -1493,7 +1500,7 @@ Result<std::string> SessionManager::HandleRestore(
     ET_ASSIGN_OR_RETURN(payload, store_->Load("sess-" + id));
   }
   ET_ASSIGN_OR_RETURN(std::unique_ptr<Session> session,
-                      Session::Restore(payload, worlds_.get()));
+                      Session::Restore(payload, active_worlds_));
   // Before publishing: once the counter is past this id, no concurrent
   // create can mint it again.
   ReserveGeneratedId(id);
@@ -1820,12 +1827,12 @@ Result<std::unique_ptr<Session>> SessionManager::ReplaySessionRecords(
         ET_ASSIGN_OR_RETURN(const SessionConfig config,
                             DecodeConfig(*config_json));
         ET_ASSIGN_OR_RETURN(session,
-                            Session::Create(config, worlds_.get()));
+                            Session::Create(config, active_worlds_));
       } else {
         ET_ASSIGN_OR_RETURN(const std::string snapshot,
                             StrField(doc, "snapshot"));
         ET_ASSIGN_OR_RETURN(session,
-                            Session::Restore(snapshot, worlds_.get()));
+                            Session::Restore(snapshot, active_worlds_));
       }
     } else if (op == "label") {
       if (session == nullptr) {
@@ -1964,7 +1971,35 @@ Result<std::string> SessionManager::HandleAdopt(
   size_t quarantined = 0;
   ET_ASSIGN_OR_RETURN(std::vector<std::string> adopted,
                       AdoptJournalDir(dir, &skipped, &quarantined));
-  std::sort(adopted.begin(), adopted.end());
+  // Fold this call's catch into the directory's cumulative receipt and
+  // answer with the receipt, not just the delta. Adoption deletes the
+  // source files, so when an adopt applies but its response is lost in
+  // flight, the caller's retry scans an empty directory — without the
+  // receipt it would conclude "nothing to adopt" and strand the moved
+  // sessions on the dead shard's pins forever.
+  std::vector<std::string> receipt;
+  {
+    std::lock_guard<std::mutex> lock(adopt_mu_);
+    std::vector<std::string>& cumulative = adopt_receipts_[dir];
+    for (const std::string& id : adopted) {
+      if (std::find(cumulative.begin(), cumulative.end(), id) ==
+          cumulative.end()) {
+        cumulative.push_back(id);
+      }
+    }
+    receipt = cumulative;
+  }
+  // Only report ids still live here: a session adopted from this
+  // directory long ago may since have been fenced away, closed, or
+  // failed over onward — re-asserting ownership of those would repin
+  // clients onto a copy this shard no longer has (or worse, a stale
+  // one). Newly adopted ids are live by construction.
+  receipt.erase(std::remove_if(receipt.begin(), receipt.end(),
+                               [this](const std::string& id) {
+                                 return FindEntry(id) == nullptr;
+                               }),
+                receipt.end());
+  std::sort(receipt.begin(), receipt.end());
   obs::JsonWriter w;
   w.BeginObject();
   w.Key("adopted");
@@ -1975,8 +2010,33 @@ Result<std::string> SessionManager::HandleAdopt(
   w.Uint(quarantined);
   w.Key("sessions");
   w.BeginArray();
-  for (const std::string& id : adopted) w.String(id);
+  for (const std::string& id : receipt) w.String(id);
   w.EndArray();
+  w.EndObject();
+  return w.Release();
+}
+
+Result<std::string> SessionManager::HandleEvict(
+    const obs::JsonValue& params) {
+  ET_ASSIGN_OR_RETURN(const std::string id, StrField(params, "session_id"));
+  std::shared_ptr<Entry> entry = Evict(id);
+  const bool evicted = entry != nullptr;
+  if (evicted) {
+    // An in-flight op may still hold the entry; waiting on its lock
+    // serializes the eviction after it, like close does.
+    std::lock_guard<std::mutex> lock(entry->mu);
+    entry->session.reset();
+    entry->journal.reset();
+    // Deliberately no journals_->Remove(id): fencing drops a stale
+    // in-memory copy whose durable state lives elsewhere now. If the
+    // caller fenced in error, the journal file (when still present)
+    // resurrects the session on restart instead of destroying it.
+    ET_COUNTER_INC("serve.sessions.fenced");
+  }
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("evicted");
+  w.Bool(evicted);
   w.EndObject();
   return w.Release();
 }

@@ -228,6 +228,12 @@ struct SessionManagerOptions {
   /// Byte budget of the shared session-world cache (serve/world_cache);
   /// 0 disables caching and every create builds its world cold.
   size_t world_cache_bytes = size_t{64} << 20;
+  /// Externally owned world cache shared across managers (must outlive
+  /// this one). When set, world_cache_bytes is ignored and no cache is
+  /// owned. The simulation harness points every simulated shard — and
+  /// every crash/restart incarnation — at one cache so identical
+  /// worlds are built once per sweep instead of once per incarnation.
+  SessionWorldCache* shared_world_cache = nullptr;
   /// Write-ahead journal directory (serve/journal); empty disables
   /// journaling, and a crash loses every unsnapshotted session.
   std::string journal_dir;
@@ -356,8 +362,13 @@ class SessionManager : public RequestHandler {
   /// twice (split-brain guard). Sessions whose id is already live here
   /// are skipped (counted in `skipped`); damaged or divergent journals
   /// are quarantined in place (counted in `quarantined`). Returns the
-  /// adopted session ids. Exposed on the wire as `admin.adopt`;
-  /// requires both shards to see the same filesystem.
+  /// adopted session ids newly brought live by THIS call. Exposed on
+  /// the wire as `admin.adopt`, whose response also carries the
+  /// cumulative adoption receipt for the directory (see HandleAdopt)
+  /// so a retried adopt is idempotent: the first attempt moves the
+  /// journals, and if its response is lost, the retry finds an empty
+  /// directory but still reports every id previously adopted from it.
+  /// Requires both shards to see the same filesystem.
   Result<std::vector<std::string>> AdoptJournalDir(const std::string& dir,
                                                    size_t* skipped,
                                                    size_t* quarantined);
@@ -419,6 +430,16 @@ class SessionManager : public RequestHandler {
   Result<std::string> HandleStats(const obs::JsonValue& params);
   Result<std::string> HandleDrain(const obs::JsonValue& params);
   Result<std::string> HandleAdopt(const obs::JsonValue& params);
+  /// admin.evict — fencing: drops the in-memory session WITHOUT
+  /// touching durable state. The router sends this to a shard
+  /// rejoining the ring for every session that was failed over away
+  /// from it while it was out: the returning shard may still hold a
+  /// stale live copy (it was only *declared* dead), and serving from
+  /// that copy would time-travel the client. Idempotent; evicting an
+  /// absent session reports evicted=false. Unlike session.close the
+  /// journal file is left alone — if the caller fenced in error, the
+  /// journal still resurrects the session on restart.
+  Result<std::string> HandleEvict(const obs::JsonValue& params);
 
   /// Inserts under the stripe lock; fails (kUnavailable) at
   /// max_sessions, (kAlreadyExists) on id collision. The journal (may
@@ -461,6 +482,10 @@ class SessionManager : public RequestHandler {
   std::atomic<obs::DeltaSnapshotter*> delta_{nullptr};
   std::unique_ptr<CheckpointStore> store_;  // null when no snapshot_dir
   std::unique_ptr<SessionWorldCache> worlds_;  // null when budget is 0
+                                               // or a shared cache is set
+  /// The cache creates/restores actually use: options_.shared_world_cache,
+  /// else worlds_.get(), else null.
+  SessionWorldCache* active_worlds_ = nullptr;
   std::unique_ptr<JournalManager> journals_;  // null when no journal_dir
   /// False between construction and RecoverFromJournals() on a
   /// journaling manager: session ops answer kUnavailable so a client
@@ -468,6 +493,16 @@ class SessionManager : public RequestHandler {
   /// NotFound for a session the replay is about to revive.
   std::atomic<bool> ready_{true};
   std::atomic<bool> draining_{false};
+  /// Cumulative adoption receipts, keyed by source journal directory:
+  /// every session id this manager ever adopted from that directory.
+  /// Adoption consumes the source files, so a lost admin.adopt
+  /// response would otherwise leave the caller unable to learn which
+  /// sessions moved — the retry truthfully reports "directory empty".
+  /// The receipt makes the retry idempotent instead. In-memory only:
+  /// if this shard itself dies the sessions are in its own journals,
+  /// and its failover re-homes them with a fresh receipt.
+  std::mutex adopt_mu_;
+  std::unordered_map<std::string, std::vector<std::string>> adopt_receipts_;
   std::mutex reaper_mu_;
   std::condition_variable reaper_cv_;
   bool reaper_stop_ = false;

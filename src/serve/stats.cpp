@@ -11,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/strings.h"
 #include "obs/json.h"
 #include "obs/metrics.h"
@@ -20,15 +21,6 @@
 namespace et {
 namespace serve {
 namespace {
-
-uint64_t UnixMillisNow() {
-  using std::chrono::duration_cast;
-  using std::chrono::milliseconds;
-  using std::chrono::system_clock;
-  return static_cast<uint64_t>(
-      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
-          .count());
-}
 
 constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
 constexpr const char* kQuantileKeys[] = {"p50_ns", "p95_ns", "p99_ns"};
@@ -112,8 +104,10 @@ std::string RenderStatsJson(SessionManager& manager,
   w.BeginObject();
   w.Key("schema");
   w.String("et-stats-v1");
+  // Display stamp only — every rate/interval below derives from the
+  // monotonic interval_ns of the delta snapshotter, never from this.
   w.Key("unix_ms");
-  w.Uint(UnixMillisNow());
+  w.Uint(RealClock()->WallUnixMillis());
   w.Key("active_sessions");
   w.Uint(manager.ActiveSessions());
   w.Key("inflight_requests");

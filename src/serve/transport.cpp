@@ -1,0 +1,157 @@
+#include "serve/transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "serve/protocol.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+class RealConnection : public Connection {
+ public:
+  explicit RealConnection(int fd) : fd_(fd) {}
+  ~RealConnection() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status SendAll(const std::string& data, size_t* sent) override {
+    *sent = 0;
+    while (*sent < data.size()) {
+      // MSG_NOSIGNAL: a dead peer surfaces as an EPIPE Status, not a
+      // process-killing SIGPIPE.
+      const ssize_t n = ::send(fd_, data.data() + *sent,
+                               data.size() - *sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        *sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    return Status::OK();
+  }
+
+  Result<size_t> Recv(char* buf, size_t cap) override {
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, cap, 0);
+      if (n >= 0) return static_cast<size_t>(n);
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+  }
+
+ private:
+  int fd_;
+};
+
+class TcpTransport : public Transport {
+ public:
+  Result<std::unique_ptr<Connection>> Dial(
+      const std::string& host, int port,
+      const DialOptions& options) override {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") +
+                             std::strerror(errno));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      ::close(fd);
+      return Status::InvalidArgument("bad address: " + host);
+    }
+
+    if (options.connect_timeout_ms > 0) {
+      // Deadline connect: non-blocking for connect()+poll(), then back
+      // to blocking for everything after.
+      const int flags = ::fcntl(fd, F_GETFL, 0);
+      ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+      int rc =
+          ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+      if (rc != 0 && errno != EINPROGRESS) {
+        const Status st =
+            Status::IOError(std::string("connect: ") + std::strerror(errno));
+        ::close(fd);
+        return st;
+      }
+      if (rc != 0) {
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLOUT;
+        pfd.revents = 0;
+        rc = ::poll(&pfd, 1, options.connect_timeout_ms);
+        if (rc <= 0) {
+          ::close(fd);
+          return Status::IOError(rc == 0 ? "connect timed out"
+                                         : std::string("poll: ") +
+                                               std::strerror(errno));
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+        if (err != 0) {
+          ::close(fd);
+          return Status::IOError(std::string("connect: ") +
+                                 std::strerror(err));
+        }
+      }
+      ::fcntl(fd, F_SETFL, flags);
+    } else {
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                    sizeof(addr)) < 0) {
+        const Status st = Status::IOError(
+            std::string("connect ") + host + ":" + std::to_string(port) +
+            ": " + std::strerror(errno));
+        ::close(fd);
+        return st;
+      }
+    }
+
+    if (options.io_timeout_ms > 0) {
+      timeval tv;
+      tv.tv_sec = options.io_timeout_ms / 1000;
+      tv.tv_usec = (options.io_timeout_ms % 1000) * 1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return std::unique_ptr<Connection>(new RealConnection(fd));
+  }
+};
+
+}  // namespace
+
+Transport* RealTransport() {
+  static Transport* transport = new TcpTransport();
+  return transport;
+}
+
+Status RecvOneFrame(Connection* conn, size_t max_frame_bytes,
+                    std::string* payload) {
+  FrameParser parser(max_frame_bytes);
+  std::vector<std::string> frames;
+  char buf[16384];
+  while (frames.empty()) {
+    ET_ASSIGN_OR_RETURN(const size_t n, conn->Recv(buf, sizeof(buf)));
+    if (n == 0) return Status::IOError("connection closed by peer");
+    ET_RETURN_NOT_OK(parser.Feed(buf, n, &frames));
+  }
+  *payload = std::move(frames.front());
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace et

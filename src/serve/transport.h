@@ -1,0 +1,76 @@
+// The wire seam of the serving stack.
+//
+// serve::Client and cluster::Router talk to their peers exclusively
+// through this interface: Dial() produces a Connection, SendAll()
+// pushes a framed request, Recv() pulls response bytes. RealTransport()
+// is the production implementation — the blocking-socket code that
+// used to live inline in client.cpp and router.cpp, behavior unchanged.
+// The deterministic simulation harness (src/sim/) substitutes an
+// in-process transport whose every nondeterministic choice (delay,
+// drop, duplication, partition, crash) comes from one seeded stream,
+// so the exact same client/router code runs under simulation.
+//
+// Error contract (what the callers' exactly-once discipline relies on):
+//   Dial fails            -> the request provably never existed
+//   SendAll, *sent == 0   -> no byte left this process; the peer only
+//                            dispatches complete frames, so the request
+//                            was never applied (blind retry is safe)
+//   SendAll, *sent > 0    -> outcome unknown
+//   Recv error / EOF      -> outcome unknown once a request is in flight
+// Implementations must report *sent honestly even on failure.
+
+#ifndef ET_SERVE_TRANSPORT_H_
+#define ET_SERVE_TRANSPORT_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+
+namespace et {
+namespace serve {
+
+struct DialOptions {
+  /// Connect deadline; <= 0 dials with a plain blocking connect.
+  int connect_timeout_ms = 0;
+  /// Per-send/recv deadline on the resulting connection; <= 0 means
+  /// calls block indefinitely.
+  int io_timeout_ms = 0;
+};
+
+/// One bidirectional byte stream. Destruction closes it.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Writes the whole buffer. `*sent` reports progress even on failure
+  /// so the caller can distinguish "frame never left" from "frame
+  /// partially on the wire".
+  virtual Status SendAll(const std::string& data, size_t* sent) = 0;
+
+  /// Reads up to `cap` bytes into `buf`. Returns the byte count (> 0),
+  /// or 0 on orderly peer close (EOF).
+  virtual Result<size_t> Recv(char* buf, size_t cap) = 0;
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::unique_ptr<Connection>> Dial(
+      const std::string& host, int port, const DialOptions& options) = 0;
+};
+
+/// The process-wide TCP transport (leaked singleton).
+Transport* RealTransport();
+
+/// Reads exactly one frame from a request/response-lockstep connection
+/// (the first completed frame is the answer).
+Status RecvOneFrame(Connection* conn, size_t max_frame_bytes,
+                    std::string* payload);
+
+}  // namespace serve
+}  // namespace et
+
+#endif  // ET_SERVE_TRANSPORT_H_

@@ -1,0 +1,865 @@
+#include "sim/harness.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "cluster/router.h"
+#include "common/logging.h"
+#include "obs/json.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace et {
+namespace sim {
+namespace {
+
+constexpr char kHost[] = "sim";
+constexpr int kRouterPort = 100;
+constexpr size_t kPairsPerRound = 3;
+/// Distinct stream for environment events so adding a fault draw never
+/// shifts which shard crashes (and vice versa).
+constexpr uint64_t kEnvSeedSalt = 0x6A09E667F3BCC909ULL;
+/// Fixed request id of every audit read, so payloads captured by the
+/// reference run and by a faulted run compare byte-for-byte.
+constexpr uint64_t kAuditRequestId = 9000;
+
+uint64_t Fnv1a(uint64_t h, const std::string& bytes) {
+  for (const unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string SessionId(int k) { return "sim-" + std::to_string(k); }
+
+std::string MakeRequest(uint64_t id, const std::string& method,
+                        const std::string& params) {
+  return "{\"id\":" + std::to_string(id) + ",\"method\":\"" + method +
+         "\",\"params\":" + params + "}";
+}
+
+/// Driver-chosen session ids pin the same session to the same identity
+/// across the reference run and every faulted run — the precondition
+/// for transcript comparison.
+std::string CreateParams(const std::string& session_id, uint64_t seed,
+                         int max_rounds) {
+  return "{\"session_id\":\"" + session_id +
+         "\",\"dataset\":\"omdb\",\"rows\":120,\"max_rounds\":" +
+         std::to_string(max_rounds) +
+         ",\"pairs_per_round\":" + std::to_string(kPairsPerRound) +
+         ",\"seed\":\"" + std::to_string(seed) + "\"}";
+}
+
+std::string GetParams(const std::string& session_id) {
+  return "{\"session_id\":\"" + session_id + "\"}";
+}
+
+/// Labels every pair of `sample` clean (matching the cluster
+/// acceptance test's workload).
+std::string CleanLabelParams(const std::string& session_id,
+                             const obs::JsonValue& sample) {
+  std::string labels = "[";
+  for (size_t i = 0; i < sample.array.size(); ++i) {
+    if (i > 0) labels += ",";
+    labels += "[" + std::to_string(int(sample.array[i].array[0].number)) +
+              "," + std::to_string(int(sample.array[i].array[1].number)) +
+              ",false,false]";
+  }
+  labels += "]";
+  return "{\"session_id\":\"" + session_id +
+         "\",\"trainer_top_fd\":0,\"labels\":" + labels + "}";
+}
+
+/// True when the call's effect on the server is unknowable from the
+/// error alone (connection lost mid-call, deadline) — the resync
+/// discipline applies. kUnavailable is excluded by the protocol
+/// contract: rejected before any state change.
+bool MaybeApplied(const Status& st) {
+  return st.IsIOError() || st.IsDeadlineExceeded();
+}
+
+struct DrivenSession {
+  std::string id;
+  obs::JsonValue sample;
+  size_t round = 0;   // acked rounds
+  size_t labels = 0;  // acked labels
+  bool created = false;
+  /// An unresolved outcome-unknown create: the session may or may not
+  /// exist, but if it does it is at round 0.
+  bool maybe_created = false;
+  /// Workload gave up on this session during an active disturbance;
+  /// invariants still apply to whatever it acked.
+  bool stalled = false;
+  /// The last unresolved op may have advanced the round by one.
+  bool ambiguous = false;
+};
+
+/// One simulated cluster plus the workload driver and invariant
+/// checkers. Everything — construction order, member declaration order
+/// (destruction!), every loop bound — is deterministic.
+class World {
+ public:
+  World(const SimOptions& opts, const std::string& run_dir)
+      : opts_(opts),
+        run_dir_(run_dir),
+        net_(&clock_, opts.seed, opts.schedule != nullptr ? 0.0 : opts.fault_rate),
+        env_rng_(opts.seed ^ kEnvSeedSalt) {
+    std::error_code ec;
+    std::filesystem::remove_all(run_dir_, ec);
+    std::filesystem::create_directories(run_dir_, ec);
+    if (opts_.schedule != nullptr) {
+      replay_ = true;
+      net_.UseSchedule(opts_.schedule->faults);
+      for (const EnvEvent& e : opts_.schedule->env) {
+        env_replay_[e.step].push_back(e);
+      }
+    }
+    crashed_.assign(static_cast<size_t>(opts_.shards), false);
+    partitioned_.assign(static_cast<size_t>(opts_.shards), false);
+    managers_.resize(static_cast<size_t>(opts_.shards));
+    driven_.resize(static_cast<size_t>(opts_.sessions));
+
+    std::vector<cluster::ShardConfig> shards;
+    for (int i = 0; i < opts_.shards; ++i) {
+      StartShard(i, /*revive=*/false);
+      cluster::ShardConfig cfg;
+      cfg.name = "shard-" + std::to_string(i);
+      cfg.host = kHost;
+      cfg.port = ShardPort(i);
+      cfg.journal_dir = ShardDir(i);
+      shards.push_back(std::move(cfg));
+    }
+
+    cluster::RouterOptions ro;
+    ro.shards = std::move(shards);
+    ro.transport = net_.transport();
+    ro.clock = &clock_;
+    ro.background = false;  // probes run from the virtual-clock timer
+    ro.enable_failover = true;
+    ro.retry_after_ms =
+        opts_.hostile_retry_hint_ms > 0.0 ? opts_.hostile_retry_hint_ms : 5.0;
+    ro.connect_timeout_ms = 100;
+    ro.call_timeout_ms = 1000;
+    ro.probe_timeout_ms = 100;
+    ro.pool_size = 2;
+    ro.health.probe_interval_ms = 25;
+    ro.health.down_after = 2;
+    Result<std::unique_ptr<cluster::Router>> router = cluster::Router::Start(ro);
+    if (!router.ok()) {
+      violation_ = "harness: router start failed: " + router.status().ToString();
+      return;
+    }
+    router_ = std::move(*router);
+    net_.Listen(kHost, kRouterPort, router_.get());
+    probe_timer_ = clock_.AddPeriodicTimer(25.0, [this] {
+      // Past the liveness budget the run is already condemned; keep
+      // the (possibly enormous) remaining advance cheap.
+      if (clock_.ElapsedMillis() > opts_.virtual_budget_ms) return;
+      router_->health().ProbeOnce();
+    });
+
+    serve::ClientOptions co;
+    co.max_unavailable_retries = 4000;
+    co.min_retry_backoff_ms = 1.0;
+    co.max_retry_backoff_ms = opts_.bug_unclamped_backoff ? 1e15 : 2000.0;
+    co.reconnect_deadline_ms = 10000.0;
+    co.transport = net_.transport();
+    co.clock = &clock_;
+    Result<std::unique_ptr<serve::Client>> client =
+        serve::Client::Connect(kHost, kRouterPort, co);
+    if (!client.ok()) {
+      violation_ =
+          "harness: client connect failed: " + client.status().ToString();
+      return;
+    }
+    client_ = std::move(*client);
+  }
+
+  ~World() {
+    if (probe_timer_ != 0) clock_.RemoveTimer(probe_timer_);
+    if (router_ != nullptr) router_->Stop();
+  }
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Unfaulted run that captures every (session, round) state payload.
+  Status RunReference(ReferenceStates* out) {
+    capture_ = out;
+    if (violation_.empty()) Drive();
+    if (!violation_.empty()) {
+      return Status::Internal("reference run failed: " + violation_);
+    }
+    return Status::OK();
+  }
+
+  SimReport Run(const ReferenceStates& reference) {
+    SimReport report;
+    if (violation_.empty()) Drive();
+    if (violation_.empty()) Quiesce();
+    if (violation_.empty()) FinalChecks(reference, &report);
+    report.ok = violation_.empty();
+    report.violation = violation_;
+    if (replay_) {
+      report.schedule = *opts_.schedule;
+    } else {
+      report.schedule.faults = net_.recorded();
+      report.schedule.env = env_recorded_;
+    }
+    report.transport_ops = net_.op_count();
+    report.faults_injected = net_.faults_injected();
+    report.env_events = env_applied_;
+    report.virtual_ms = clock_.ElapsedMillis();
+    return report;
+  }
+
+ private:
+  int ShardPort(int i) const { return 1 + i; }
+  std::string ShardDir(int i) const {
+    return run_dir_ + "/shard-" + std::to_string(i);
+  }
+
+  void StartShard(int i, bool revive) {
+    serve::SessionManagerOptions mo;
+    mo.journal_dir = ShardDir(i);
+    mo.journal_sync_ms = 0.0;  // inline fsync: no syncer thread
+    mo.journal_snapshot_every = 4;
+    mo.retry_after_ms = 5.0;
+    mo.shared_world_cache = opts_.world_cache;
+    std::error_code ec;
+    std::filesystem::create_directories(mo.journal_dir, ec);
+    auto manager = std::make_unique<serve::SessionManager>(mo);
+    manager->RecoverFromJournals();
+    if (revive) {
+      net_.Revive(kHost, ShardPort(i), manager.get());
+    } else {
+      net_.Listen(kHost, ShardPort(i), manager.get());
+    }
+    managers_[static_cast<size_t>(i)] = std::move(manager);
+  }
+
+  bool DisturbanceActive() const {
+    for (int i = 0; i < opts_.shards; ++i) {
+      if (crashed_[static_cast<size_t>(i)] ||
+          partitioned_[static_cast<size_t>(i)]) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  int ActiveDisturbedShard() const {
+    for (int i = 0; i < opts_.shards; ++i) {
+      if (crashed_[static_cast<size_t>(i)] ||
+          partitioned_[static_cast<size_t>(i)]) {
+        return i;
+      }
+    }
+    return -1;
+  }
+
+  bool BudgetExceeded() {
+    if (!violation_.empty()) return true;
+    if (clock_.ElapsedMillis() <= opts_.virtual_budget_ms) return false;
+    violation_ = "liveness: virtual time budget exceeded (" +
+                 std::to_string(clock_.ElapsedMillis()) + " ms > " +
+                 std::to_string(opts_.virtual_budget_ms) +
+                 " ms budget) — stalled workload, livelock, or unbounded "
+                 "backoff";
+    return true;
+  }
+
+  void ApplyEnv(const EnvEvent& e) {
+    // Inapplicable events no-op gracefully: shrinking may remove the
+    // crash an orphaned restart referred to.
+    if (e.shard < 0 || e.shard >= opts_.shards) return;
+    const size_t i = static_cast<size_t>(e.shard);
+    switch (e.kind) {
+      case EnvKind::kCrash:
+        if (crashed_[i] || partitioned_[i]) return;
+        net_.Kill(kHost, ShardPort(e.shard));
+        managers_[i].reset();  // process death: in-memory state gone
+        crashed_[i] = true;
+        break;
+      case EnvKind::kRestart:
+        if (!crashed_[i]) return;
+        StartShard(e.shard, /*revive=*/true);
+        crashed_[i] = false;
+        break;
+      case EnvKind::kPartition:
+        if (crashed_[i] || partitioned_[i]) return;
+        net_.SetPartitioned(kHost, ShardPort(e.shard), true);
+        partitioned_[i] = true;
+        break;
+      case EnvKind::kHeal:
+        if (!partitioned_[i]) return;
+        net_.SetPartitioned(kHost, ShardPort(e.shard), false);
+        partitioned_[i] = false;
+        break;
+    }
+    ++env_applied_;
+  }
+
+  /// One workload step boundary: replay (or draw) environment events.
+  /// At most one disturbance at a time; an active one ends with
+  /// probability 1/4 per step.
+  void EnvStep() {
+    ++step_;
+    if (replay_) {
+      auto it = env_replay_.find(step_);
+      if (it != env_replay_.end()) {
+        for (const EnvEvent& e : it->second) ApplyEnv(e);
+      }
+      return;
+    }
+    if (opts_.env_rate <= 0.0) return;
+    const int active = ActiveDisturbedShard();
+    if (active >= 0) {
+      if (env_rng_.NextDouble() < 0.25) {
+        EnvEvent e;
+        e.step = step_;
+        e.shard = active;
+        e.kind = crashed_[static_cast<size_t>(active)] ? EnvKind::kRestart
+                                                       : EnvKind::kHeal;
+        env_recorded_.push_back(e);
+        ApplyEnv(e);
+      }
+      return;
+    }
+    if (env_rng_.NextDouble() < opts_.env_rate) {
+      EnvEvent e;
+      e.step = step_;
+      e.shard =
+          static_cast<int>(env_rng_.NextBelow(static_cast<uint64_t>(opts_.shards)));
+      e.kind =
+          env_rng_.NextDouble() < 0.5 ? EnvKind::kCrash : EnvKind::kPartition;
+      env_recorded_.push_back(e);
+      ApplyEnv(e);
+    }
+  }
+
+  /// Out-of-band state read: a raw session.get with a fixed request id
+  /// on a fresh connection, in audit mode (no fault draws, no op
+  /// counting) so observing a run never perturbs it.
+  Result<std::string> AuditGet(const std::string& id) {
+    net_.set_audit(true);
+    Result<std::string> payload = AuditGetInner(id);
+    net_.set_audit(false);
+    return payload;
+  }
+
+  Result<std::string> AuditGetInner(const std::string& id) {
+    serve::DialOptions dial;
+    dial.connect_timeout_ms = 1000;
+    dial.io_timeout_ms = 1000;
+    Result<std::unique_ptr<serve::Connection>> conn =
+        net_.transport()->Dial(kHost, kRouterPort, dial);
+    if (!conn.ok()) return conn.status();
+    const std::string frame = serve::EncodeFrame(
+        MakeRequest(kAuditRequestId, "session.get", GetParams(id)));
+    size_t sent = 0;
+    const Status st = (*conn)->SendAll(frame, &sent);
+    if (!st.ok()) return st;
+    std::string payload;
+    const Status recv_st =
+        serve::RecvOneFrame(conn->get(), serve::kDefaultMaxFrameBytes, &payload);
+    if (!recv_st.ok()) return recv_st;
+    return payload;
+  }
+
+  void CaptureState(int k, int round) {
+    if (capture_ == nullptr) return;
+    Result<std::string> payload = AuditGet(driven_[static_cast<size_t>(k)].id);
+    if (!payload.ok()) {
+      violation_ = "harness: reference capture failed for " +
+                   driven_[static_cast<size_t>(k)].id + ": " +
+                   payload.status().ToString();
+      return;
+    }
+    (*capture_)[{k, round}] = std::move(*payload);
+  }
+
+  /// Create with the exactly-once discipline: an outcome-unknown (or
+  /// already-exists) create is resolved through read-only session.get —
+  /// NotFound proves it never applied (safe to resend), success adopts
+  /// the existing round-0 session.
+  void CreateSession(int k) {
+    DrivenSession& s = driven_[static_cast<size_t>(k)];
+    s.id = SessionId(k);
+    const std::string params = CreateParams(
+        s.id, 1000 + 137 * static_cast<uint64_t>(k), opts_.rounds + 2);
+    const std::string get_params = GetParams(s.id);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      if (BudgetExceeded()) return;
+      Result<obs::JsonValue> r = client_->Call("session.create", params);
+      bool resync = false;
+      if (r.ok()) {
+        const obs::JsonValue* sample = r->Find("sample");
+        if (sample == nullptr) {
+          violation_ = "harness: create response missing sample for " + s.id;
+          return;
+        }
+        s.sample = *sample;
+        s.created = true;
+        s.maybe_created = false;
+      } else if (MaybeApplied(r.status())) {
+        s.maybe_created = true;
+        resync = true;
+      } else if (r.status().code() == StatusCode::kAlreadyExists) {
+        resync = true;  // an earlier unknown-outcome attempt landed
+      } else {
+        if (DisturbanceActive()) {
+          s.stalled = true;
+          return;
+        }
+        violation_ = "liveness: create " + s.id +
+                     " failed with no disturbance active: " +
+                     r.status().ToString();
+        return;
+      }
+      if (resync) {
+        bool exists = false;
+        bool resolved = false;
+        for (int g = 0; g < 64 && !resolved; ++g) {
+          if (BudgetExceeded()) return;
+          Result<obs::JsonValue> got = client_->Call("session.get", get_params);
+          if (got.ok()) {
+            const obs::JsonValue* round_v = got->Find("round");
+            const obs::JsonValue* sample = got->Find("sample");
+            if (round_v == nullptr || sample == nullptr) {
+              violation_ = "harness: get response missing fields for " + s.id;
+              return;
+            }
+            if (static_cast<size_t>(round_v->number) != 0) {
+              violation_ = "exactly-once: " + s.id +
+                           " exists at nonzero round right after create";
+              return;
+            }
+            s.sample = *sample;
+            s.created = true;
+            s.maybe_created = false;
+            exists = true;
+            resolved = true;
+          } else if (got.status().IsNotFound()) {
+            s.maybe_created = false;  // provably never applied
+            resolved = true;
+          } else if (MaybeApplied(got.status())) {
+            continue;  // read-only: retry freely
+          } else {
+            if (DisturbanceActive()) {
+              s.stalled = true;
+              return;
+            }
+            violation_ = "liveness: create-resync " + s.id +
+                         " failed with no disturbance active: " +
+                         got.status().ToString();
+            return;
+          }
+        }
+        if (!resolved) {
+          if (DisturbanceActive()) {
+            s.stalled = true;
+            return;
+          }
+          violation_ = "liveness: create " + s.id +
+                       " never resolved with no disturbance active";
+          return;
+        }
+        if (!exists) continue;  // proven unapplied: resend the create
+      }
+      if (s.created) {
+        CaptureState(k, 0);
+        return;
+      }
+    }
+    if (DisturbanceActive()) {
+      s.stalled = true;
+      return;
+    }
+    violation_ = "liveness: create " + s.id +
+                 " did not complete in 64 attempts with no disturbance active";
+  }
+
+  /// One label round with the resync-via-session.get discipline (the
+  /// exactly-once ledger): an outcome-unknown label is never blindly
+  /// resent — unless bug_blind_resend reintroduces exactly that bug.
+  void PlayRoundSim(int k) {
+    DrivenSession& s = driven_[static_cast<size_t>(k)];
+    const std::string label_params = CleanLabelParams(s.id, s.sample);
+    const std::string get_params = GetParams(s.id);
+    obs::JsonValue reply;
+    bool recovered = false;
+    bool acked = false;
+    for (int attempt = 0; attempt < 64 && !acked; ++attempt) {
+      if (BudgetExceeded()) return;
+      Result<obs::JsonValue> r = client_->Call("session.label", label_params);
+      if (r.ok()) {
+        reply = std::move(*r);
+        recovered = false;
+        acked = true;
+        break;
+      }
+      if (MaybeApplied(r.status())) {
+        s.ambiguous = true;
+        if (opts_.bug_blind_resend) continue;  // the double-apply bug
+        bool resolved = false;
+        for (int g = 0; g < 64 && !resolved; ++g) {
+          if (BudgetExceeded()) return;
+          Result<obs::JsonValue> got = client_->Call("session.get", get_params);
+          if (got.ok()) {
+            const obs::JsonValue* at_v = got->Find("round");
+            if (at_v == nullptr) {
+              violation_ = "harness: get response missing round for " + s.id;
+              return;
+            }
+            const size_t at = static_cast<size_t>(at_v->number);
+            if (at == s.round + 1) {
+              recovered = true;
+              reply = std::move(*got);
+              acked = true;
+            } else if (at != s.round) {
+              violation_ = "exactly-once: " + s.id + " at server round " +
+                           std::to_string(at) + ", client acked " +
+                           std::to_string(s.round) +
+                           " (state lost or duplicated; routed to " +
+                           router_->ShardForSession(s.id) + ")";
+              return;
+            }
+            s.ambiguous = false;
+            resolved = true;
+          } else if (MaybeApplied(got.status())) {
+            continue;
+          } else {
+            if (DisturbanceActive()) {
+              s.stalled = true;
+              return;
+            }
+            violation_ = "liveness: resync " + s.id +
+                         " failed with no disturbance active: " +
+                         got.status().ToString();
+            return;
+          }
+        }
+        if (!resolved) {
+          if (DisturbanceActive()) {
+            s.stalled = true;
+            return;
+          }
+          violation_ = "liveness: resync " + s.id +
+                       " never resolved with no disturbance active";
+          return;
+        }
+        continue;  // at == round: proven unapplied, resend
+      }
+      // Provably-unapplied hard failure (e.g. kUnavailable retries
+      // exhausted).
+      if (DisturbanceActive()) {
+        s.stalled = true;
+        return;
+      }
+      violation_ = "liveness: label " + s.id +
+                   " failed with no disturbance active: " +
+                   r.status().ToString();
+      return;
+    }
+    if (!acked) {
+      if (DisturbanceActive()) {
+        s.stalled = true;
+        return;
+      }
+      violation_ = "liveness: label " + s.id +
+                   " not acked in 64 attempts with no disturbance active";
+      return;
+    }
+    ++s.round;
+    s.labels += kPairsPerRound;
+    s.ambiguous = false;
+    const obs::JsonValue* round_v = reply.Find("round");
+    const obs::JsonValue* labels_v = reply.Find("labels_total");
+    if (round_v == nullptr ||
+        static_cast<size_t>(round_v->number) != s.round) {
+      violation_ = "exactly-once: " + s.id + ": round lost or duplicated";
+      return;
+    }
+    if (labels_v == nullptr ||
+        static_cast<size_t>(labels_v->number) != s.labels) {
+      violation_ =
+          "exactly-once: " + s.id + ": label batch lost or double-applied";
+      return;
+    }
+    const obs::JsonValue* next = reply.Find(recovered ? "sample" : "next");
+    if (next == nullptr) {
+      violation_ = "harness: label response missing next sample for " + s.id;
+      return;
+    }
+    s.sample = *next;
+    ET_LOG(Debug) << "sim: " << s.id << " acked round " << s.round
+                  << (recovered ? " (recovered via resync)" : "")
+                  << " on " << router_->ShardForSession(s.id);
+    CaptureState(k, static_cast<int>(s.round));
+  }
+
+  void Drive() {
+    for (int k = 0; k < opts_.sessions; ++k) {
+      EnvStep();
+      CreateSession(k);
+      if (!violation_.empty() || BudgetExceeded()) return;
+    }
+    for (int r = 0; r < opts_.rounds; ++r) {
+      for (int k = 0; k < opts_.sessions; ++k) {
+        DrivenSession& s = driven_[static_cast<size_t>(k)];
+        if (!s.created || s.stalled) continue;
+        EnvStep();
+        PlayRoundSim(k);
+        if (!violation_.empty() || BudgetExceeded()) return;
+      }
+    }
+  }
+
+  /// End-of-run repair: stop faults, heal partitions, restart crashed
+  /// shards, and give the health probes time to re-admit everyone —
+  /// the invariants are then checked against a fully-connected
+  /// cluster, so a shrunk schedule missing its heal/restart tail still
+  /// converges.
+  void Quiesce() {
+    net_.StopFaults();
+    for (int i = 0; i < opts_.shards; ++i) {
+      const size_t idx = static_cast<size_t>(i);
+      if (partitioned_[idx]) {
+        net_.SetPartitioned(kHost, ShardPort(i), false);
+        partitioned_[idx] = false;
+      }
+      if (crashed_[idx]) {
+        StartShard(i, /*revive=*/true);
+        crashed_[idx] = false;
+      }
+    }
+    clock_.AdvanceMillis(2000.0);  // ~80 probe rounds: detect + readmit
+  }
+
+  void FinalChecks(const ReferenceStates& reference, SimReport* report) {
+    uint64_t digest = 14695981039346656037ULL;
+    for (int k = 0; k < opts_.sessions; ++k) {
+      DrivenSession& s = driven_[static_cast<size_t>(k)];
+      if (s.id.empty()) s.id = SessionId(k);  // budget hit before create
+
+      // Invariant: ring-placement consistency. Every session routes to
+      // a live shard and a read through the router resolves.
+      const std::string shard = router_->ShardForSession(s.id);
+      if (shard.empty()) {
+        violation_ = "ring placement: no healthy shard for " + s.id;
+        return;
+      }
+      Result<std::string> payload = AuditGet(s.id);
+      if (!payload.ok()) {
+        violation_ = "ring placement: audit read of " + s.id +
+                     " failed after quiesce: " + payload.status().ToString();
+        return;
+      }
+      Result<serve::Response> resp = serve::ParseResponse(*payload);
+      if (!resp.ok()) {
+        violation_ = "harness: audit response unparsable for " + s.id + ": " +
+                     resp.status().ToString();
+        return;
+      }
+      if (!resp->ok) {
+        if (resp->code == StatusCode::kNotFound && !s.created) {
+          // Provably-unapplied (or unresolved) create: absence is the
+          // consistent outcome.
+          digest = Fnv1a(digest, s.id + ":absent");
+          continue;
+        }
+        violation_ = (s.created ? "exactly-once: acked session lost: "
+                                : "ring placement: audit read failed: ") +
+                     s.id + " -> " + resp->message;
+        return;
+      }
+
+      // Invariant: exactly-once ledger.
+      const obs::JsonValue* round_v = resp->result.Find("round");
+      const obs::JsonValue* labels_v = resp->result.Find("labels_total");
+      if (round_v == nullptr || labels_v == nullptr) {
+        violation_ = "harness: audit response missing fields for " + s.id;
+        return;
+      }
+      const size_t server_round = static_cast<size_t>(round_v->number);
+      const size_t server_labels = static_cast<size_t>(labels_v->number);
+      size_t lo = s.round;
+      size_t hi = s.round + (s.ambiguous ? 1 : 0);
+      if (!s.created) {
+        lo = 0;  // unresolved create that landed: round 0
+        hi = 0;
+      }
+      if (server_round < lo || server_round > hi) {
+        violation_ = "exactly-once: " + s.id + " at server round " +
+                     std::to_string(server_round) + ", client acked " +
+                     std::to_string(s.round) +
+                     (s.ambiguous ? " (+1 ambiguous)" : "") +
+                     " — state lost or duplicated (routed to " + shard +
+                     ")";
+        return;
+      }
+      if (server_labels != server_round * kPairsPerRound) {
+        violation_ = "exactly-once: " + s.id + " labels_total " +
+                     std::to_string(server_labels) + " != " +
+                     std::to_string(kPairsPerRound) + " * round " +
+                     std::to_string(server_round);
+        return;
+      }
+
+      // Invariant: transcript bit-identity against the unfaulted
+      // reference at the same round.
+      auto it = reference.find({k, static_cast<int>(server_round)});
+      if (it == reference.end()) {
+        violation_ = "harness: no reference state for (" + std::to_string(k) +
+                     ", " + std::to_string(server_round) + ")";
+        return;
+      }
+      if (*payload != it->second) {
+        violation_ = "transcript divergence: " + s.id + " at round " +
+                     std::to_string(server_round) +
+                     " differs byte-wise from the unfaulted reference";
+        return;
+      }
+      digest = Fnv1a(digest, *payload);
+    }
+    report->transcript_digest = digest;
+  }
+
+  const SimOptions opts_;
+  const std::string run_dir_;
+
+  // Declaration order is destruction order in reverse: the client and
+  // router die before the managers and the net.
+  SimClock clock_;
+  SimNet net_;
+  SplitMix64 env_rng_;
+  std::vector<std::unique_ptr<serve::SessionManager>> managers_;
+  std::unique_ptr<cluster::Router> router_;
+  std::unique_ptr<serve::Client> client_;
+
+  bool replay_ = false;
+  std::unordered_map<uint64_t, std::vector<EnvEvent>> env_replay_;
+  std::vector<EnvEvent> env_recorded_;
+  std::vector<bool> crashed_;
+  std::vector<bool> partitioned_;
+  std::vector<DrivenSession> driven_;
+  uint64_t step_ = 0;
+  size_t env_applied_ = 0;
+  int probe_timer_ = 0;
+  ReferenceStates* capture_ = nullptr;
+  std::string violation_;
+};
+
+std::string RootDir(const SimOptions& options) {
+  if (!options.journal_root.empty()) return options.journal_root;
+  return (std::filesystem::temp_directory_path() /
+          ("et_sim_" + std::to_string(getpid())))
+      .string();
+}
+
+}  // namespace
+
+Result<ReferenceStates> ComputeReference(const SimOptions& options) {
+  SimOptions clean = options;
+  clean.fault_rate = 0.0;
+  clean.env_rate = 0.0;
+  clean.schedule = nullptr;
+  clean.hostile_retry_hint_ms = 0.0;
+  clean.bug_blind_resend = false;
+  clean.bug_unclamped_backoff = false;
+  ReferenceStates reference;
+  World world(clean, RootDir(options) + "/ref");
+  const Status st = world.RunReference(&reference);
+  if (!st.ok()) return st;
+  return reference;
+}
+
+SimReport RunSeed(const SimOptions& options,
+                  const ReferenceStates& reference) {
+  World world(options, RootDir(options) + "/run");
+  return world.Run(reference);
+}
+
+SimReport RunSeed(const SimOptions& options) {
+  Result<ReferenceStates> reference = ComputeReference(options);
+  if (!reference.ok()) {
+    SimReport report;
+    report.violation =
+        "harness: reference run failed: " + reference.status().ToString();
+    return report;
+  }
+  return RunSeed(options, *reference);
+}
+
+Result<SimSchedule> ShrinkSchedule(const SimOptions& options,
+                                   const ReferenceStates& reference,
+                                   const SimSchedule& failing,
+                                   std::string* violation_out) {
+  int runs = 0;
+  constexpr int kMaxRuns = 400;
+  auto violates = [&](const SimSchedule& schedule, std::string* violation) {
+    SimOptions o = options;
+    o.schedule = &schedule;
+    const SimReport report = RunSeed(o, reference);
+    ++runs;
+    *violation = report.violation;
+    return !report.ok;
+  };
+
+  std::string violation;
+  if (!violates(failing, &violation)) {
+    return Status::FailedPrecondition(
+        "schedule does not reproduce a violation under replay");
+  }
+  SimSchedule current = failing;
+  if (violation_out != nullptr) *violation_out = violation;
+
+  // Greedy chunked removal, largest chunks first (so "remove ALL
+  // faults" / "remove ALL env events" is tried immediately), then
+  // singles. Each accepted removal keeps the violation alive.
+  for (size_t chunk = current.faults.size(); chunk >= 1; chunk /= 2) {
+    for (size_t i = 0; i < current.faults.size() && runs < kMaxRuns;) {
+      SimSchedule trial = current;
+      const size_t n = std::min(chunk, trial.faults.size() - i);
+      trial.faults.erase(trial.faults.begin() + static_cast<long>(i),
+                         trial.faults.begin() + static_cast<long>(i + n));
+      if (violates(trial, &violation)) {
+        current = std::move(trial);
+        if (violation_out != nullptr) *violation_out = violation;
+      } else {
+        i += n;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  for (size_t chunk = current.env.size(); chunk >= 1; chunk /= 2) {
+    for (size_t i = 0; i < current.env.size() && runs < kMaxRuns;) {
+      SimSchedule trial = current;
+      const size_t n = std::min(chunk, trial.env.size() - i);
+      trial.env.erase(trial.env.begin() + static_cast<long>(i),
+                      trial.env.begin() + static_cast<long>(i + n));
+      if (violates(trial, &violation)) {
+        current = std::move(trial);
+        if (violation_out != nullptr) *violation_out = violation;
+      } else {
+        i += n;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return current;
+}
+
+}  // namespace sim
+}  // namespace et

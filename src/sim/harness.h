@@ -1,0 +1,129 @@
+// The deterministic simulation harness: a whole cluster — shards,
+// router, client — wired over SimNet/SimClock and driven through the
+// exactly-once annotation workload while faults and whole-process
+// disturbances are injected, then checked against three invariants:
+//
+//   1. Exactly-once ledger. No acked label batch is lost and none is
+//      applied twice: every session's final round/label counters must
+//      match the client-side ledger (with a one-round tolerance only
+//      for a genuinely unresolved outcome-unknown tail).
+//   2. Ring-placement consistency. After quiesce, every session that
+//      was ever acked is reachable through the router: ShardForSession
+//      names a shard and a read-only session.get succeeds there.
+//   3. Transcript bit-identity. The final session.get payload of every
+//      session is byte-identical to the state an unfaulted reference
+//      run produced at the same round — faults may slow a session
+//      down, but they may never change what it computed.
+//
+// A run is fully determined by (options, seed): record mode draws
+// every fault from SplitMix64(seed) and returns the schedule it
+// injected; replaying that schedule consumes no randomness, which is
+// what makes shrinking sound — ShrinkSchedule greedily removes events
+// and keeps any subset that still violates, converging on a minimal
+// repro a human can read.
+
+#ifndef ET_SIM_HARNESS_H_
+#define ET_SIM_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/result.h"
+#include "sim/sim.h"
+
+namespace et {
+namespace serve {
+class SessionWorldCache;
+}  // namespace serve
+
+namespace sim {
+
+struct SimOptions {
+  uint64_t seed = 1;
+  int shards = 3;
+  int sessions = 4;
+  int rounds = 6;
+  /// Per-transport-op fault probability (record mode).
+  double fault_rate = 0.05;
+  /// Per-workload-step probability of starting a disturbance (crash or
+  /// partition of one shard); an active disturbance ends with
+  /// probability 1/4 per step. At most one disturbance at a time.
+  double env_rate = 0.02;
+  /// Root for the simulated shards' journal directories; empty picks a
+  /// per-process temp dir. The reference run and every seed run use
+  /// disjoint subdirectories, cleaned before use.
+  std::string journal_root;
+  /// A run that has not finished inside this much virtual time has
+  /// stalled — livelock, lost wakeup, unbounded backoff — and is
+  /// reported as a violation (the sweep's liveness check).
+  double virtual_budget_ms = 600000.0;
+  /// When > 0, the router attaches this retry-after hint to every
+  /// kUnavailable it returns — a hostile/buggy server. The client's
+  /// backoff clamp must keep the run inside the virtual budget.
+  double hostile_retry_hint_ms = 0.0;
+  /// Bug reintroductions (sweep demos; see ISSUE/PR description):
+  /// blindly resend an outcome-unknown label batch instead of
+  /// resyncing via session.get — the double-apply bug the ledger
+  /// invariant exists to catch.
+  bool bug_blind_resend = false;
+  /// Disable the client's retry-after clamp (max backoff 1e15 ms) — a
+  /// hostile hint then parks the client past the virtual budget.
+  bool bug_unclamped_backoff = false;
+  /// Replay mode: inject exactly this schedule instead of drawing from
+  /// the seed. Must outlive the call.
+  const SimSchedule* schedule = nullptr;
+  /// Shared across runs of a sweep so identical session worlds build
+  /// once, not once per run. May be null.
+  serve::SessionWorldCache* world_cache = nullptr;
+};
+
+/// The unfaulted reference: (session index, round) -> the byte-exact
+/// session.get response payload at that round. Unfaulted runs consume
+/// no randomness, so the reference is seed-independent — compute it
+/// once per sweep.
+using ReferenceStates = std::map<std::pair<int, int>, std::string>;
+
+struct SimReport {
+  bool ok = false;
+  /// Human-readable description of the first invariant violation;
+  /// empty when ok.
+  std::string violation;
+  /// The complete fault record of the run (recorded in record mode,
+  /// echoed in replay mode) — replaying it reproduces the run.
+  SimSchedule schedule;
+  /// FNV-1a digest of every session's final state payload: two runs of
+  /// the same (options, seed) must report identical digests.
+  uint64_t transcript_digest = 0;
+  uint64_t transport_ops = 0;
+  size_t faults_injected = 0;
+  size_t env_events = 0;
+  double virtual_ms = 0.0;
+};
+
+/// Runs the workload with faults disabled and captures every
+/// (session, round) state payload.
+Result<ReferenceStates> ComputeReference(const SimOptions& options);
+
+/// One simulated run: build the cluster, drive the workload under
+/// faults, quiesce, check the invariants. Never throws; invariant
+/// violations land in the report.
+SimReport RunSeed(const SimOptions& options, const ReferenceStates& reference);
+
+/// Convenience: computes the reference itself first.
+SimReport RunSeed(const SimOptions& options);
+
+/// Greedy event-removal shrink of a violating schedule: returns a
+/// (locally) minimal schedule that still violates, with the violation
+/// it reproduces in `violation_out`. Errors if `failing` does not
+/// reproduce any violation under replay.
+Result<SimSchedule> ShrinkSchedule(const SimOptions& options,
+                                   const ReferenceStates& reference,
+                                   const SimSchedule& failing,
+                                   std::string* violation_out);
+
+}  // namespace sim
+}  // namespace et
+
+#endif  // ET_SIM_HARNESS_H_

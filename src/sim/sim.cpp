@@ -1,0 +1,511 @@
+#include "sim/sim.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "serve/protocol.h"
+
+namespace et {
+namespace sim {
+
+// ---------------------------------------------------------------------------
+// SimClock
+
+void SimClock::AdvanceMillis(double ms) {
+  if (ms <= 0.0) return;
+  const uint64_t target = mono_ns_ + static_cast<uint64_t>(ms * 1e6);
+  if (firing_) {
+    // Nested advance from inside a timer callback: just move time.
+    // Re-firing here could recurse unboundedly (a probe that sleeps
+    // longer than its own period); the skipped firings run on the next
+    // top-level advance instead.
+    mono_ns_ = std::max(mono_ns_, target);
+    return;
+  }
+  // A pathological advance (an unclamped multi-year backoff — exactly
+  // the bug class the sim exists to catch) must not fire a 25ms probe
+  // timer 10^8 times: each timer fires at most kMaxFiresPerAdvance
+  // times per top-level advance, then skips past the target.
+  constexpr int kMaxFiresPerAdvance = 100;
+  std::unordered_map<int, int> fires;
+  for (;;) {
+    Timer* due = nullptr;
+    for (Timer& t : timers_) {
+      if (t.dead || t.next_ns > target) continue;
+      if (due == nullptr || t.next_ns < due->next_ns ||
+          (t.next_ns == due->next_ns && t.id < due->id)) {
+        due = &t;
+      }
+    }
+    if (due == nullptr) break;
+    if (++fires[due->id] > kMaxFiresPerAdvance) {
+      due->next_ns = target + due->period_ns;
+      continue;
+    }
+    mono_ns_ = std::max(mono_ns_, due->next_ns);
+    const int fired_id = due->id;
+    firing_ = true;
+    due->fn();  // may re-enter AdvanceMillis; guarded above
+    firing_ = false;
+    // The callback may have registered timers (reallocating timers_);
+    // re-find the fired one before touching it again.
+    for (Timer& t : timers_) {
+      if (t.id != fired_id) continue;
+      // Fixed-delay rescheduling — what a sleep-loop prober does: the
+      // next firing is one period after the callback FINISHED. A
+      // callback that itself advances time (a health probe waiting out
+      // a connect timeout against a partitioned peer) must not leave a
+      // backlog of missed periods, or probing would cascade and race
+      // virtual time away from the workload.
+      t.next_ns = mono_ns_ + t.period_ns;
+      break;
+    }
+  }
+  mono_ns_ = std::max(mono_ns_, target);
+  timers_.erase(std::remove_if(timers_.begin(), timers_.end(),
+                               [](const Timer& t) { return t.dead; }),
+                timers_.end());
+}
+
+int SimClock::AddPeriodicTimer(double period_ms, std::function<void()> fn) {
+  Timer timer;
+  timer.id = next_timer_id_++;
+  timer.period_ns = static_cast<uint64_t>(std::max(period_ms, 0.001) * 1e6);
+  timer.next_ns = mono_ns_ + timer.period_ns;
+  timer.fn = std::move(fn);
+  timers_.push_back(std::move(timer));
+  return timers_.back().id;
+}
+
+void SimClock::RemoveTimer(int id) {
+  for (Timer& t : timers_) {
+    if (t.id == id) t.dead = true;  // reaped by the next advance
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schedule serialization
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kDialFail:
+      return "dial_fail";
+    case FaultKind::kSendZero:
+      return "send_zero";
+    case FaultKind::kSendPartial:
+      return "send_partial";
+    case FaultKind::kDropRequest:
+      return "drop_request";
+    case FaultKind::kDropResponse:
+      return "drop_response";
+    case FaultKind::kDupResponse:
+      return "dup_response";
+    case FaultKind::kDelay:
+      return "delay";
+  }
+  return "none";
+}
+
+const char* EnvKindName(EnvKind kind) {
+  switch (kind) {
+    case EnvKind::kCrash:
+      return "crash";
+    case EnvKind::kRestart:
+      return "restart";
+    case EnvKind::kPartition:
+      return "partition";
+    case EnvKind::kHeal:
+      return "heal";
+  }
+  return "crash";
+}
+
+namespace {
+
+Result<FaultKind> ParseFaultKind(const std::string& name) {
+  for (const FaultKind kind :
+       {FaultKind::kNone, FaultKind::kDialFail, FaultKind::kSendZero,
+        FaultKind::kSendPartial, FaultKind::kDropRequest,
+        FaultKind::kDropResponse, FaultKind::kDupResponse,
+        FaultKind::kDelay}) {
+    if (name == FaultKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown fault kind '" + name + "'");
+}
+
+Result<EnvKind> ParseEnvKind(const std::string& name) {
+  for (const EnvKind kind : {EnvKind::kCrash, EnvKind::kRestart,
+                             EnvKind::kPartition, EnvKind::kHeal}) {
+    if (name == EnvKindName(kind)) return kind;
+  }
+  return Status::InvalidArgument("unknown env kind '" + name + "'");
+}
+
+}  // namespace
+
+std::string SimSchedule::Serialize() const {
+  std::ostringstream out;
+  for (const FaultEvent& f : faults) {
+    out << "fault " << f.op_index << " " << FaultKindName(f.kind);
+    if (f.kind == FaultKind::kDelay) out << " " << f.delay_ms;
+    out << "\n";
+  }
+  for (const EnvEvent& e : env) {
+    out << "env " << e.step << " " << EnvKindName(e.kind) << " " << e.shard
+        << "\n";
+  }
+  return out.str();
+}
+
+Result<SimSchedule> SimSchedule::Parse(const std::string& text) {
+  SimSchedule schedule;
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    const std::string where = " (line " + std::to_string(lineno) + ")";
+    if (tag == "fault") {
+      FaultEvent event;
+      std::string kind;
+      if (!(fields >> event.op_index >> kind)) {
+        return Status::InvalidArgument("malformed fault line" + where);
+      }
+      ET_ASSIGN_OR_RETURN(event.kind, ParseFaultKind(kind));
+      if (event.kind == FaultKind::kDelay && !(fields >> event.delay_ms)) {
+        return Status::InvalidArgument("delay fault missing delay_ms" +
+                                       where);
+      }
+      schedule.faults.push_back(event);
+    } else if (tag == "env") {
+      EnvEvent event;
+      std::string kind;
+      if (!(fields >> event.step >> kind >> event.shard)) {
+        return Status::InvalidArgument("malformed env line" + where);
+      }
+      ET_ASSIGN_OR_RETURN(event.kind, ParseEnvKind(kind));
+      schedule.env.push_back(event);
+    } else {
+      return Status::InvalidArgument("unknown schedule tag '" + tag + "'" +
+                                     where);
+    }
+  }
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// SimConnection / SimTransport
+//
+// Namespace scope (not anonymous) so SimNet's friend declarations
+// grant them access to the endpoint registry and the fault stream.
+
+/// A dialed stream bound to the epoch of the peer it connected to. The
+/// peer's handler is re-resolved through SimNet at every use, so a
+/// crash between calls is observed (EOF / no dispatch), never a
+/// dangling pointer.
+class SimConnection : public serve::Connection {
+ public:
+  SimConnection(SimNet* net, SimClock* clock, std::string host, int port,
+                uint64_t epoch, int io_timeout_ms)
+      : net_(net),
+        clock_(clock),
+        host_(std::move(host)),
+        port_(port),
+        epoch_(epoch),
+        io_timeout_ms_(io_timeout_ms) {}
+
+  Status SendAll(const std::string& data, size_t* sent) override;
+  Result<size_t> Recv(char* buf, size_t cap) override;
+
+ private:
+  /// Runs completed request frames through the peer's handler
+  /// (admission included, mirroring the real front end) and queues the
+  /// framed response per `fault`.
+  void Dispatch(const std::string& data, FaultKind fault);
+
+  SimNet* net_;
+  SimClock* clock_;
+  std::string host_;
+  int port_;
+  uint64_t epoch_;
+  int io_timeout_ms_;
+  serve::FrameParser peer_parser_;
+  std::string rx_;
+  bool broken_ = false;
+};
+
+class SimTransport : public serve::Transport {
+ public:
+  SimTransport(SimNet* net, SimClock* clock) : net_(net), clock_(clock) {}
+
+  Result<std::unique_ptr<serve::Connection>> Dial(
+      const std::string& host, int port,
+      const serve::DialOptions& options) override {
+    const std::string peer = host + ":" + std::to_string(port);
+    double delay_ms = 0.0;
+    const FaultKind fault = net_->DrawFault(/*dial_site=*/true, &delay_ms);
+    if (fault == FaultKind::kDelay) clock_->AdvanceMillis(delay_ms);
+    if (fault == FaultKind::kDialFail) {
+      return Status::IOError("sim: injected dial failure to " + peer);
+    }
+    SimNet::Endpoint* ep = net_->Find(host, port);
+    if (ep == nullptr || !ep->alive) {
+      return Status::IOError("sim: connect " + peer +
+                             ": connection refused");
+    }
+    if (ep->partitioned) {
+      // A real connect would block until the timeout; model the wait.
+      clock_->AdvanceMillis(options.connect_timeout_ms > 0
+                                ? options.connect_timeout_ms
+                                : 1000.0);
+      return Status::IOError("sim: connect " + peer + ": timed out");
+    }
+    return std::unique_ptr<serve::Connection>(
+        new SimConnection(net_, clock_, host, port, ep->epoch,
+                          options.io_timeout_ms));
+  }
+
+ private:
+  SimNet* net_;
+  SimClock* clock_;
+};
+
+Status SimConnection::SendAll(const std::string& data, size_t* sent) {
+  *sent = 0;
+  const std::string peer = host_ + ":" + std::to_string(port_);
+  if (broken_) {
+    return Status::IOError("sim: send on broken connection to " + peer);
+  }
+  // A send to a dead or partitioned peer "succeeds" locally — the
+  // kernel buffers it — and the loss is observed at Recv (EOF for a
+  // dead peer, timeout for a partition). This is the TCP behavior the
+  // callers' "outcome unknown" discipline is built for.
+  if (net_->Peer(host_, port_, epoch_) != SimNet::PeerState::kOk) {
+    *sent = data.size();
+    broken_ = true;
+    return Status::OK();
+  }
+  double delay_ms = 0.0;
+  const FaultKind fault = net_->DrawFault(/*dial_site=*/false, &delay_ms);
+  switch (fault) {
+    case FaultKind::kSendZero:
+      return Status::IOError("sim: injected send failure to " + peer +
+                             " (no bytes written)");
+    case FaultKind::kSendPartial:
+      *sent = std::max<size_t>(1, data.size() / 2);
+      if (*sent >= data.size()) *sent = data.size() - 1;
+      broken_ = true;
+      return Status::IOError("sim: injected connection loss mid-frame to " +
+                             peer);
+    case FaultKind::kDropRequest:
+      *sent = data.size();
+      broken_ = true;
+      return Status::OK();
+    case FaultKind::kDelay:
+      clock_->AdvanceMillis(delay_ms);
+      break;
+    default:
+      break;
+  }
+  *sent = data.size();
+  Dispatch(data, fault);
+  return Status::OK();
+}
+
+void SimConnection::Dispatch(const std::string& data, FaultKind fault) {
+  std::vector<std::string> payloads;
+  if (!peer_parser_.Feed(data.data(), data.size(), &payloads).ok()) {
+    broken_ = true;  // protocol garbage: the peer drops the connection
+    return;
+  }
+  for (const std::string& payload : payloads) {
+    serve::RequestHandler* handler = net_->Handler(host_, port_, epoch_);
+    if (handler == nullptr) {  // peer died between frames
+      broken_ = true;
+      return;
+    }
+    uint64_t id = 0;
+    Result<serve::Request> request = serve::ParseRequest(payload);
+    if (request.ok()) id = request->id;
+    std::string response;
+    if (!handler->TryBeginRequest()) {
+      response = serve::ErrorResponse(
+          id, Status::Unavailable("server overloaded"),
+          handler->retry_after_ms());
+    } else {
+      serve::RequestInfo info;
+      response = handler->Handle(payload, &info);
+      handler->EndRequest();
+    }
+    const std::string frame = serve::EncodeFrame(response);
+    switch (fault) {
+      case FaultKind::kDropResponse:
+        // The request WAS applied; only the ack is lost. The client
+        // must resync, never blindly resend.
+        broken_ = true;
+        break;
+      case FaultKind::kDupResponse:
+        // Delivered twice, then the connection dies. Breaking it keeps
+        // the strict request/response lockstep of pooled connections
+        // intact (a live connection with a stale buffered frame would
+        // desync every later request on it); the duplicate surfaces as
+        // a stale-id frame the reader must skip.
+        rx_ += frame;
+        rx_ += frame;
+        broken_ = true;
+        break;
+      default:
+        rx_ += frame;
+        break;
+    }
+  }
+}
+
+Result<size_t> SimConnection::Recv(char* buf, size_t cap) {
+  if (!rx_.empty()) {
+    const size_t n = std::min(cap, rx_.size());
+    std::copy(rx_.begin(), rx_.begin() + static_cast<ptrdiff_t>(n), buf);
+    rx_.erase(0, n);
+    return n;
+  }
+  if (broken_) return size_t{0};  // EOF
+  const SimNet::PeerState state = net_->Peer(host_, port_, epoch_);
+  if (state == SimNet::PeerState::kDead) return size_t{0};  // EOF
+  if (state == SimNet::PeerState::kPartitioned) {
+    // Block until the io deadline (or a nominal one — a deadline-less
+    // recv against a partition would hang a real process too).
+    clock_->AdvanceMillis(io_timeout_ms_ > 0 ? io_timeout_ms_ : 1000.0);
+    return Status::IOError("sim: recv from " + host_ + ":" +
+                           std::to_string(port_) +
+                           " timed out (partitioned)");
+  }
+  // The protocol is request/response lockstep: by the time a caller
+  // recvs, the (synchronous) dispatch has queued the reply. An empty
+  // queue on a healthy connection means the harness lost track of a
+  // frame — fail loudly instead of deadlocking.
+  return Status::IOError("sim: recv would block (no response in flight)");
+}
+
+// ---------------------------------------------------------------------------
+// SimNet
+
+SimNet::SimNet(SimClock* clock, uint64_t seed, double fault_rate)
+    : clock_(clock),
+      rng_(seed),
+      fault_rate_(fault_rate),
+      transport_impl_(new SimTransport(this, clock)) {}
+
+serve::Transport* SimNet::transport() { return transport_impl_.get(); }
+
+void SimNet::Listen(const std::string& host, int port,
+                    serve::RequestHandler* handler) {
+  Endpoint& ep = endpoints_[{host, port}];
+  ep.handler = handler;
+  ep.alive = true;
+}
+
+void SimNet::Kill(const std::string& host, int port) {
+  Endpoint* ep = Find(host, port);
+  if (ep == nullptr || !ep->alive) return;
+  ep->alive = false;
+  ep->handler = nullptr;
+  ++ep->epoch;
+}
+
+void SimNet::Revive(const std::string& host, int port,
+                    serve::RequestHandler* handler) {
+  Endpoint& ep = endpoints_[{host, port}];
+  ep.alive = true;
+  ep.handler = handler;
+  ++ep.epoch;
+}
+
+void SimNet::SetPartitioned(const std::string& host, int port,
+                            bool partitioned) {
+  Endpoint* ep = Find(host, port);
+  if (ep != nullptr) ep->partitioned = partitioned;
+}
+
+void SimNet::UseSchedule(const std::vector<FaultEvent>& faults) {
+  replay_ = true;
+  replay_faults_.clear();
+  for (const FaultEvent& f : faults) replay_faults_[f.op_index] = f;
+}
+
+void SimNet::StopFaults() {
+  fault_rate_ = 0.0;
+  replay_faults_.clear();
+}
+
+SimNet::Endpoint* SimNet::Find(const std::string& host, int port) {
+  auto it = endpoints_.find({host, port});
+  return it == endpoints_.end() ? nullptr : &it->second;
+}
+
+SimNet::PeerState SimNet::Peer(const std::string& host, int port,
+                               uint64_t epoch) {
+  Endpoint* ep = Find(host, port);
+  if (ep == nullptr || !ep->alive || ep->epoch != epoch) {
+    return PeerState::kDead;
+  }
+  if (ep->partitioned) return PeerState::kPartitioned;
+  return PeerState::kOk;
+}
+
+serve::RequestHandler* SimNet::Handler(const std::string& host, int port,
+                                       uint64_t epoch) {
+  return Peer(host, port, epoch) == PeerState::kOk
+             ? Find(host, port)->handler
+             : nullptr;
+}
+
+FaultKind SimNet::DrawFault(bool dial_site, double* delay_ms) {
+  *delay_ms = 0.0;
+  if (audit_) return FaultKind::kNone;
+  const uint64_t op = op_count_++;
+  if (replay_) {
+    const auto it = replay_faults_.find(op);
+    if (it == replay_faults_.end()) return FaultKind::kNone;
+    const FaultEvent& event = it->second;
+    const bool dial_kind = event.kind == FaultKind::kDialFail;
+    const bool applicable =
+        event.kind == FaultKind::kDelay || (dial_site == dial_kind);
+    if (!applicable) return FaultKind::kNone;  // shrink-shifted: ignore
+    *delay_ms = event.delay_ms;
+    ++faults_injected_;
+    return event.kind;
+  }
+  if (fault_rate_ <= 0.0) return FaultKind::kNone;
+  if (rng_.NextDouble() >= fault_rate_) return FaultKind::kNone;
+  FaultKind kind;
+  if (dial_site) {
+    kind = rng_.NextBelow(4) == 0 ? FaultKind::kDelay : FaultKind::kDialFail;
+  } else {
+    static constexpr FaultKind kSendKinds[] = {
+        FaultKind::kSendZero,     FaultKind::kSendPartial,
+        FaultKind::kDropRequest,  FaultKind::kDropResponse,
+        FaultKind::kDupResponse,  FaultKind::kDelay,
+    };
+    kind = kSendKinds[rng_.NextBelow(6)];
+  }
+  FaultEvent event;
+  event.op_index = op;
+  event.kind = kind;
+  if (kind == FaultKind::kDelay) {
+    event.delay_ms = 1.0 + static_cast<double>(rng_.NextBelow(50));
+  }
+  *delay_ms = event.delay_ms;
+  recorded_.push_back(event);
+  ++faults_injected_;
+  return kind;
+}
+
+}  // namespace sim
+}  // namespace et

@@ -1,0 +1,274 @@
+// Deterministic simulation of the serving stack's wire and clock.
+//
+// The serve/cluster code talks to the world through exactly two seams —
+// serve::Transport and et::Clock — so substituting both puts the whole
+// client/router/shard stack inside a single-threaded, seeded simulation
+// (the FoundationDB recipe): SimClock is a virtual clock whose sleeps
+// advance time instantly and fire registered periodic timers (the
+// router's health probes), and SimNet is an in-process network whose
+// every nondeterministic choice — fault injection, delays — is drawn
+// from one SplitMix64 stream. A seed therefore fully determines a run;
+// a failing seed replays bit-identically, and its recorded fault
+// schedule can be shrunk to a minimal repro (sim/harness.h).
+//
+// Fault model (FaultKind), chosen to exercise every branch of the
+// transport error contract in transport.h:
+//
+//   kDialFail      connect refused            -> request never existed
+//   kSendZero      send fails, zero bytes     -> provably unapplied
+//   kSendPartial   connection dies mid-frame  -> outcome unknown
+//   kDropRequest   frame sent, never arrives  -> outcome unknown
+//   kDropResponse  frame APPLIED, reply lost  -> outcome unknown (the
+//                                               dangerous one: a blind
+//                                               resend double-applies)
+//   kDupResponse   reply delivered twice      -> stale-id skip path
+//   kDelay         virtual latency            -> timers fire mid-call
+//
+// Environment events (EnvEvent) model whole-process failures: shard
+// crash/restart and network partition/heal. The harness applies them at
+// workload step boundaries; SimNet models a crash as an endpoint epoch
+// bump, so connections dialed before the crash observe EOF exactly like
+// sockets of a dead process, while a restarted process (same host:port,
+// new epoch, new handler) serves fresh dials.
+
+#ifndef ET_SIM_SIM_H_
+#define ET_SIM_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+
+namespace et {
+namespace sim {
+
+/// SplitMix64: tiny, well-mixed, and trivially portable — every draw
+/// the simulation makes comes from one of these streams, which is what
+/// makes a seed a complete description of a run.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [0, n); n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return Next() % n; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Virtual time. Single-threaded by design: the simulation owns the
+/// only thread, so no atomics. Sleeps advance time instantly, and any
+/// advance fires due periodic timers in (due-time, registration) order
+/// — that is how the router's health-probe cadence runs while a client
+/// "sleeps" through a retry backoff.
+class SimClock : public Clock {
+ public:
+  SimClock() = default;
+
+  uint64_t MonotonicNanos() override { return mono_ns_; }
+  uint64_t WallUnixMillis() override {
+    return kWallEpochMs + (mono_ns_ - kMonoEpochNs) / 1000000;
+  }
+  void SleepForMillis(double ms) override { AdvanceMillis(ms); }
+
+  /// Advances virtual time, firing every periodic timer that falls due
+  /// within the span. A timer callback that itself sleeps (the router's
+  /// failover retry loop) advances time reentrantly WITHOUT re-firing
+  /// timers — the guard bounds recursion; skipped firings catch up on
+  /// the next top-level advance.
+  void AdvanceMillis(double ms);
+
+  /// Registers a periodic callback, first due one period from now.
+  /// Returns an id for RemoveTimer.
+  int AddPeriodicTimer(double period_ms, std::function<void()> fn);
+  void RemoveTimer(int id);
+
+  /// Virtual milliseconds elapsed since construction.
+  double ElapsedMillis() const {
+    return static_cast<double>(mono_ns_ - kMonoEpochNs) / 1e6;
+  }
+
+ private:
+  static constexpr uint64_t kMonoEpochNs = uint64_t{1} << 30;
+  static constexpr uint64_t kWallEpochMs = 1700000000000ULL;
+
+  struct Timer {
+    int id = 0;
+    uint64_t period_ns = 0;
+    uint64_t next_ns = 0;
+    std::function<void()> fn;
+    bool dead = false;
+  };
+
+  uint64_t mono_ns_ = kMonoEpochNs;
+  bool firing_ = false;
+  int next_timer_id_ = 1;
+  std::vector<Timer> timers_;
+};
+
+enum class FaultKind : int {
+  kNone = 0,
+  kDialFail,
+  kSendZero,
+  kSendPartial,
+  kDropRequest,
+  kDropResponse,
+  kDupResponse,
+  kDelay,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One injected transport fault, keyed by the global transport-op index
+/// at which it fired (ops are counted deterministically, so the index
+/// addresses the same dial/send across replays of the same schedule).
+struct FaultEvent {
+  uint64_t op_index = 0;
+  FaultKind kind = FaultKind::kNone;
+  double delay_ms = 0.0;  // kDelay only
+};
+
+enum class EnvKind : int { kCrash = 0, kRestart, kPartition, kHeal };
+
+const char* EnvKindName(EnvKind kind);
+
+/// One environment disturbance, keyed by the workload step at which the
+/// harness applies it.
+struct EnvEvent {
+  uint64_t step = 0;
+  EnvKind kind = EnvKind::kCrash;
+  int shard = 0;
+};
+
+/// The complete fault record of a run: replaying it (SimNet replay mode
+/// + the harness's env replay) consumes no randomness at all, so a
+/// schedule survives shrinking — removing one event leaves every other
+/// event addressed exactly as before.
+struct SimSchedule {
+  std::vector<FaultEvent> faults;
+  std::vector<EnvEvent> env;
+
+  bool empty() const { return faults.empty() && env.empty(); }
+  size_t size() const { return faults.size() + env.size(); }
+
+  /// Line-oriented text form:
+  ///   fault <op_index> <kind> [<delay_ms>]
+  ///   env <step> <kind> <shard>
+  std::string Serialize() const;
+  static Result<SimSchedule> Parse(const std::string& text);
+};
+
+/// The in-process network. Endpoints are (host, port) keyed handlers —
+/// the same serve::RequestHandler surface the real TCP front end
+/// dispatches to — with an epoch that increments on crash/restart so
+/// stale connections observe a dead peer. Requests dispatch inline
+/// (single thread): SendAll parses completed frames and runs the
+/// handler synchronously, queuing the framed response for Recv.
+class SimNet {
+ public:
+  /// Record mode: faults are drawn from SplitMix64(seed) at
+  /// `fault_rate` per transport op and recorded. Pass a schedule via
+  /// UseSchedule for replay mode instead.
+  SimNet(SimClock* clock, uint64_t seed, double fault_rate);
+
+  SimNet(const SimNet&) = delete;
+  SimNet& operator=(const SimNet&) = delete;
+
+  /// Registers (or re-registers) a live endpoint.
+  void Listen(const std::string& host, int port,
+              serve::RequestHandler* handler);
+
+  /// Process crash: endpoint dead, epoch bumped, handler detached.
+  /// Existing connections observe EOF; dials are refused.
+  void Kill(const std::string& host, int port);
+
+  /// Process restart: alive again under a NEW epoch with a new handler
+  /// (the old incarnation's connections stay dead).
+  void Revive(const std::string& host, int port,
+              serve::RequestHandler* handler);
+
+  /// Partition: the endpoint is unreachable (dials and recvs time out)
+  /// but the process stays alive — unlike Kill, the same epoch resumes
+  /// serving on heal.
+  void SetPartitioned(const std::string& host, int port, bool partitioned);
+
+  /// Replay mode: faults come from the schedule (op_index lookup), the
+  /// RNG is never consulted, and nothing new is recorded.
+  void UseSchedule(const std::vector<FaultEvent>& faults);
+
+  /// Audit mode: transport ops neither count nor draw faults — the
+  /// harness uses it for reference-state reads so observation never
+  /// perturbs the simulation.
+  void set_audit(bool audit) { audit_ = audit; }
+  bool audit() const { return audit_; }
+
+  /// Stops further fault injection (quiesce) in either mode.
+  void StopFaults();
+
+  uint64_t op_count() const { return op_count_; }
+  const std::vector<FaultEvent>& recorded() const { return recorded_; }
+  size_t faults_injected() const { return faults_injected_; }
+
+  serve::Transport* transport();
+
+ private:
+  friend class SimTransport;
+  friend class SimConnection;
+
+  struct Endpoint {
+    serve::RequestHandler* handler = nullptr;
+    uint64_t epoch = 0;
+    bool alive = false;
+    bool partitioned = false;
+  };
+
+  enum class PeerState { kOk, kDead, kPartitioned };
+
+  Endpoint* Find(const std::string& host, int port);
+  PeerState Peer(const std::string& host, int port, uint64_t epoch);
+  serve::RequestHandler* Handler(const std::string& host, int port,
+                                 uint64_t epoch);
+
+  /// One fault decision for one transport op. `dial_site` restricts the
+  /// applicable kinds; in replay mode an event whose kind does not fit
+  /// the site is a graceful no-op (shrink safety).
+  FaultKind DrawFault(bool dial_site, double* delay_ms);
+
+  SimClock* clock_;
+  SplitMix64 rng_;
+  double fault_rate_;
+  bool replay_ = false;
+  bool audit_ = false;
+  std::unordered_map<uint64_t, FaultEvent> replay_faults_;
+  std::vector<FaultEvent> recorded_;
+  uint64_t op_count_ = 0;
+  size_t faults_injected_ = 0;
+  // std::map: deterministic iteration order.
+  std::map<std::pair<std::string, int>, Endpoint> endpoints_;
+  std::unique_ptr<serve::Transport> transport_impl_;
+};
+
+}  // namespace sim
+}  // namespace et
+
+#endif  // ET_SIM_SIM_H_

@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "obs/metrics.h"
 
 namespace et {
@@ -140,6 +141,24 @@ TEST(DeltaSnapshotterTest, BackgroundThreadSamplesOnCadence) {
   EXPECT_GE(snapshotter.LatestSample().counters.size(), 1u);
   snapshotter.Stop();
   snapshotter.Stop();  // idempotent
+}
+
+TEST(DeltaSnapshotterTest, WallClockJumpDoesNotSkewInterval) {
+  // Regression: interval_ns used to come from the wall clock, so an
+  // NTP step between samples produced rates off by orders of magnitude
+  // (or a garbage interval on a backwards jump). The interval must be
+  // measured on the monotonic base only.
+  ManualClock clock;
+  DeltaSnapshotter::Options options;
+  options.clock = &clock;
+  DeltaSnapshotter snapshotter(options);
+  snapshotter.SampleNow();
+  clock.AdvanceMillis(1000);
+  clock.JumpWallMillis(3600.0 * 1000.0);  // NTP step: +1h wall, 0 mono
+  snapshotter.SampleNow();
+  const MetricsDelta d = snapshotter.LatestDelta();
+  ASSERT_TRUE(d.valid);
+  EXPECT_EQ(d.interval_ns, 1000000000ull);
 }
 
 TEST(DeltaSnapshotterTest, StopWithoutStartIsSafe) {

@@ -1,0 +1,119 @@
+// Regression tests for the client's retry-after clamp: a hostile or
+// buggy server hint (huge, zero, or absent) must neither park the
+// client for minutes nor let it hot-spin. Driven over the simulated
+// transport/clock so backoff is measured in exact virtual time.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/session.h"
+#include "sim/sim.h"
+#include "testing/test_util.h"
+
+namespace et {
+namespace serve {
+namespace {
+
+/// Rejects every request kUnavailable with a fixed retry_after_ms
+/// hint — the "hostile server" of the simulation's backoff checks.
+class AlwaysUnavailable : public RequestHandler {
+ public:
+  explicit AlwaysUnavailable(double hint_ms) : hint_ms_(hint_ms) {}
+
+  bool TryBeginRequest() override { return true; }
+  void EndRequest() override {}
+  double retry_after_ms() const override { return hint_ms_; }
+  bool draining() const override { return false; }
+  std::string Handle(const std::string& request_payload,
+                     RequestInfo* info) override {
+    ++rejections_;
+    Result<Request> request = ParseRequest(request_payload);
+    const uint64_t id = request.ok() ? request->id : 0;
+    if (info != nullptr) info->method = request.ok() ? request->method : "?";
+    return ErrorResponse(id, Status::Unavailable("backpressure"),
+                         hint_ms_);
+  }
+
+  int rejections() const { return rejections_; }
+
+ private:
+  double hint_ms_;
+  int rejections_ = 0;
+};
+
+TEST(ClientBackoffTest, HostileHintIsClampedToCeiling) {
+  sim::SimClock clock;
+  sim::SimNet net(&clock, /*seed=*/1, /*fault_rate=*/0.0);
+  AlwaysUnavailable handler(/*hint_ms=*/1e9);  // ~11.6 days per retry
+  net.Listen("shard", 1, &handler);
+
+  ClientOptions options;
+  options.transport = net.transport();
+  options.clock = &clock;
+  options.max_unavailable_retries = 3;
+  options.min_retry_backoff_ms = 1.0;
+  options.max_retry_backoff_ms = 50.0;
+  auto client = testing::Unwrap(Client::Connect("shard", 1, options));
+
+  const double before_ms = clock.ElapsedMillis();
+  Result<obs::JsonValue> result = client->Call("server.ping", "");
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_EQ(handler.rejections(), 4);  // initial call + 3 retries
+  const double waited_ms = clock.ElapsedMillis() - before_ms;
+  // Each of the 3 backoffs is clamped to [1, 50] ms; the hostile hint
+  // must not leak through.
+  EXPECT_GE(waited_ms, 3.0);
+  EXPECT_LE(waited_ms, 150.0);
+}
+
+TEST(ClientBackoffTest, AbsentHintIsFlooredNotHotSpun) {
+  sim::SimClock clock;
+  sim::SimNet net(&clock, /*seed=*/1, /*fault_rate=*/0.0);
+  AlwaysUnavailable handler(/*hint_ms=*/0.0);  // no hint at all
+  net.Listen("shard", 1, &handler);
+
+  ClientOptions options;
+  options.transport = net.transport();
+  options.clock = &clock;
+  options.max_unavailable_retries = 4;
+  options.min_retry_backoff_ms = 5.0;
+  options.max_retry_backoff_ms = 50.0;
+  auto client = testing::Unwrap(Client::Connect("shard", 1, options));
+
+  const double before_ms = clock.ElapsedMillis();
+  Result<obs::JsonValue> result = client->Call("server.ping", "");
+  EXPECT_FALSE(result.ok());
+  // A zero hint gets the floor: 4 retries wait at least 4 * 5 ms.
+  EXPECT_GE(clock.ElapsedMillis() - before_ms, 20.0);
+}
+
+TEST(ClientBackoffTest, MisconfiguredCeilingBelowFloorStillBounded) {
+  sim::SimClock clock;
+  sim::SimNet net(&clock, /*seed=*/1, /*fault_rate=*/0.0);
+  AlwaysUnavailable handler(/*hint_ms=*/1e9);
+  net.Listen("shard", 1, &handler);
+
+  ClientOptions options;
+  options.transport = net.transport();
+  options.clock = &clock;
+  options.max_unavailable_retries = 2;
+  options.min_retry_backoff_ms = 10.0;
+  options.max_retry_backoff_ms = 1.0;  // below the floor
+  auto client = testing::Unwrap(Client::Connect("shard", 1, options));
+
+  const double before_ms = clock.ElapsedMillis();
+  (void)client->Call("server.ping", "");
+  // std::clamp requires lo <= hi; the client must repair the bounds
+  // instead of invoking undefined behavior, and the effective ceiling
+  // becomes the floor.
+  EXPECT_LE(clock.ElapsedMillis() - before_ms, 2 * 10.0 + 1.0);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace et

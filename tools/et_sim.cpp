@@ -1,0 +1,234 @@
+// et_sim: drive the deterministic simulation harness (src/sim/) over a
+// range of seeds and report the first invariant violation, shrunk to a
+// minimal fault schedule.
+//
+//   et_sim --seeds=0:500                  sweep seeds [0, 500)
+//   et_sim --seed=123                     one seed, print its report
+//   et_sim --seed=123 --digest            run the seed twice and check
+//                                         the runs are bit-identical
+//   et_sim --replay=sched.txt --seed=123  replay a saved schedule
+//   et_sim --bug=blind_resend             reintroduce a fixed bug and
+//          --bug=unclamped_backoff        prove the sweep catches it
+//   --min-out=PATH                        write the minimized schedule
+//   --threads=N                           accepted for CI symmetry;
+//                                         only 1 is implemented (the
+//                                         simulation is single-threaded
+//                                         by construction)
+//
+// Exit code 0: every seed passed (or, under --expect-violation, a
+// violation was found). 1: a violation (or, under --expect-violation,
+// none). 2: usage/setup error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "serve/world_cache.h"
+#include "sim/harness.h"
+#include "sim/sim.h"
+#include "tool_util.h"
+
+namespace {
+
+using et::sim::ReferenceStates;
+using et::sim::SimOptions;
+using et::sim::SimReport;
+using et::sim::SimSchedule;
+
+void PrintReport(uint64_t seed, const SimReport& report) {
+  std::printf(
+      "{\"seed\":%llu,\"ok\":%s,\"transport_ops\":%llu,"
+      "\"faults_injected\":%zu,\"env_events\":%zu,\"virtual_ms\":%.1f,"
+      "\"digest\":\"%016llx\",\"schedule_events\":%zu}\n",
+      static_cast<unsigned long long>(seed), report.ok ? "true" : "false",
+      static_cast<unsigned long long>(report.transport_ops),
+      report.faults_injected, report.env_events, report.virtual_ms,
+      static_cast<unsigned long long>(report.transcript_digest),
+      report.schedule.size());
+}
+
+int FailSetup(const std::string& message) {
+  std::fprintf(stderr, "et_sim: %s\n", message.c_str());
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  et::tools::Flags flags(argc, argv, 1);
+  // The sweep's own output is the report; library noise (failover
+  // retries, journal recovery) would swamp it. --log-level=info
+  // restores it when debugging a repro.
+  const std::string log_level = flags.GetString("log-level", "error");
+  et::SetLogLevel(log_level == "debug"  ? et::LogLevel::kDebug
+                  : log_level == "info" ? et::LogLevel::kInfo
+                  : log_level == "warn" ? et::LogLevel::kWarn
+                                        : et::LogLevel::kError);
+
+  const long long threads = flags.GetInt("threads", 1);
+  if (threads != 1) {
+    return FailSetup("--threads=" + std::to_string(threads) +
+                     ": only --threads=1 is implemented; the simulation "
+                     "is deterministic because it is single-threaded");
+  }
+
+  SimOptions options;
+  options.shards = static_cast<int>(flags.GetInt("shards", 3));
+  options.sessions = static_cast<int>(flags.GetInt("sessions", 4));
+  options.rounds = static_cast<int>(flags.GetInt("rounds", 6));
+  options.fault_rate = flags.GetDouble("fault-rate", 0.05);
+  options.env_rate = flags.GetDouble("env-rate", 0.02);
+  options.journal_root = flags.GetString("journal-root", "");
+  options.virtual_budget_ms =
+      flags.GetDouble("virtual-budget-ms", 600000.0);
+  options.hostile_retry_hint_ms =
+      flags.GetDouble("hostile-retry-hint-ms", 0.0);
+  for (const std::string& bug : flags.GetStrings("bug")) {
+    if (bug == "blind_resend") {
+      options.bug_blind_resend = true;
+    } else if (bug == "unclamped_backoff") {
+      options.bug_unclamped_backoff = true;
+      // The bug only bites when a hostile hint arrives; default one in
+      // unless the caller chose their own.
+      if (options.hostile_retry_hint_ms <= 0.0) {
+        options.hostile_retry_hint_ms =
+            flags.GetDouble("hostile-retry-hint-ms", 5e9);
+      }
+    } else {
+      return FailSetup("unknown --bug=" + bug +
+                       " (known: blind_resend, unclamped_backoff)");
+    }
+  }
+
+  // One world cache for the whole sweep: identical session worlds
+  // build once, not once per seed.
+  et::serve::SessionWorldCache world_cache;
+  options.world_cache = &world_cache;
+
+  uint64_t seed_begin = 0;
+  uint64_t seed_end = 0;
+  const std::string seeds = flags.GetString("seeds", "");
+  if (!seeds.empty()) {
+    const size_t colon = seeds.find(':');
+    if (colon == std::string::npos) {
+      return FailSetup("--seeds wants BEGIN:END, got '" + seeds + "'");
+    }
+    seed_begin = std::strtoull(seeds.substr(0, colon).c_str(), nullptr, 10);
+    seed_end = std::strtoull(seeds.substr(colon + 1).c_str(), nullptr, 10);
+    if (seed_end <= seed_begin) {
+      return FailSetup("--seeds range is empty: " + seeds);
+    }
+  } else {
+    seed_begin = static_cast<uint64_t>(flags.GetInt("seed", 1));
+    seed_end = seed_begin + 1;
+  }
+
+  const bool check_digest = flags.GetBool("digest");
+  const bool expect_violation = flags.GetBool("expect-violation");
+  const bool shrink = flags.GetString("shrink", "true") != "false";
+  const std::string min_out = flags.GetString("min-out", "");
+  const std::string replay_path = flags.GetString("replay", "");
+
+  et::Result<ReferenceStates> reference = et::sim::ComputeReference(options);
+  if (!reference.ok()) {
+    return FailSetup("reference run failed: " +
+                     reference.status().ToString());
+  }
+
+  // Replay mode: one schedule, one seed, no sweep.
+  SimSchedule replay_schedule;
+  if (!replay_path.empty()) {
+    std::ifstream in(replay_path);
+    if (!in) return FailSetup("cannot read --replay=" + replay_path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    et::Result<SimSchedule> parsed = et::sim::SimSchedule::Parse(buf.str());
+    if (!parsed.ok()) {
+      return FailSetup("--replay: " + parsed.status().ToString());
+    }
+    replay_schedule = std::move(*parsed);
+    options.schedule = &replay_schedule;
+    options.seed = seed_begin;
+    const SimReport report = et::sim::RunSeed(options, *reference);
+    PrintReport(options.seed, report);
+    if (!report.ok) {
+      std::fprintf(stderr, "violation: %s\n", report.violation.c_str());
+    }
+    return report.ok == !expect_violation ? 0 : 1;
+  }
+
+  uint64_t violating_seed = 0;
+  SimReport violating_report;
+  bool violated = false;
+  for (uint64_t seed = seed_begin; seed < seed_end && !violated; ++seed) {
+    options.seed = seed;
+    SimReport report = et::sim::RunSeed(options, *reference);
+    if (check_digest) {
+      const SimReport again = et::sim::RunSeed(options, *reference);
+      if (again.transcript_digest != report.transcript_digest ||
+          again.transport_ops != report.transport_ops ||
+          again.schedule.Serialize() != report.schedule.Serialize() ||
+          again.violation != report.violation) {
+        std::fprintf(stderr,
+                     "NONDETERMINISM at seed %llu: two identical runs "
+                     "diverged (digest %016llx vs %016llx, ops %llu vs "
+                     "%llu)\n",
+                     static_cast<unsigned long long>(seed),
+                     static_cast<unsigned long long>(report.transcript_digest),
+                     static_cast<unsigned long long>(again.transcript_digest),
+                     static_cast<unsigned long long>(report.transport_ops),
+                     static_cast<unsigned long long>(again.transport_ops));
+        return 1;
+      }
+    }
+    PrintReport(seed, report);
+    if (!report.ok) {
+      violated = true;
+      violating_seed = seed;
+      violating_report = std::move(report);
+    }
+  }
+
+  if (!violated) {
+    std::fprintf(stderr, "et_sim: %llu seed(s) passed\n",
+                 static_cast<unsigned long long>(seed_end - seed_begin));
+    return expect_violation ? 1 : 0;
+  }
+
+  std::fprintf(stderr, "et_sim: seed %llu VIOLATED: %s\n",
+               static_cast<unsigned long long>(violating_seed),
+               violating_report.violation.c_str());
+
+  SimSchedule minimal = violating_report.schedule;
+  std::string min_violation = violating_report.violation;
+  if (shrink) {
+    options.seed = violating_seed;
+    et::Result<SimSchedule> shrunk = et::sim::ShrinkSchedule(
+        options, *reference, violating_report.schedule, &min_violation);
+    if (shrunk.ok()) {
+      minimal = std::move(*shrunk);
+      std::fprintf(stderr,
+                   "et_sim: shrunk %zu events -> %zu; minimal repro "
+                   "violates with: %s\n",
+                   violating_report.schedule.size(), minimal.size(),
+                   min_violation.c_str());
+    } else {
+      std::fprintf(stderr, "et_sim: shrink failed (%s); keeping full schedule\n",
+                   shrunk.status().ToString().c_str());
+    }
+  }
+  const std::string serialized =
+      "# et_sim seed " + std::to_string(violating_seed) + ": " +
+      min_violation + "\n" + minimal.Serialize();
+  if (!min_out.empty()) {
+    std::ofstream out(min_out);
+    out << serialized;
+    std::fprintf(stderr, "et_sim: minimized schedule written to %s\n",
+                 min_out.c_str());
+  } else {
+    std::fprintf(stderr, "%s", serialized.c_str());
+  }
+  return expect_violation ? 0 : 1;
+}
